@@ -1,0 +1,14 @@
+"""Benchmark regenerating the energy-savings claim of Section V-A."""
+
+from repro.eval.experiments import energy_savings
+
+from benchmarks.conftest import run_experiment
+
+
+def test_energy_savings(benchmark, scale):
+    result = run_experiment(benchmark, energy_savings, scale)
+    # SySMT saves energy on average for both thread counts (paper: ~33%/~35%).
+    assert result["average_saving"]["2t"] > 0.1
+    assert result["average_saving"]["4t"] > 0.1
+    for row in result["per_model"].values():
+        assert row["saving_2t"] > 0.0

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 10: pruning vs 4T SySMT accuracy/speedup."""
+
+from repro.eval.experiments import fig10_pruning
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10_pruning(benchmark, scale):
+    result = run_experiment(
+        benchmark, fig10_pruning, scale, pruning_levels=(0.0, 0.4, 0.6), max_slowed=2
+    )
+    curves = result["curves"]
+    # Pruning increases weight sparsity, which lowers collisions: at the full
+    # 4x point the pruned models lose no more accuracy than the dense model.
+    dense_4x = curves["0%"][0]["accuracy"] - curves["0%"][0]["int8_accuracy"]
+    pruned_4x = curves["40%"][0]["accuracy"] - curves["40%"][0]["int8_accuracy"]
+    assert pruned_4x >= dense_4x - 0.08
+    # Throttling layers to 2T trades speedup for accuracy.
+    for points in curves.values():
+        assert points[-1]["speedup"] <= points[0]["speedup"]

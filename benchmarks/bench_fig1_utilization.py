@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 1: MAC-utilization breakdown of the CNN zoo."""
+
+from repro.eval.experiments import fig1_utilization
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig1_mac_utilization(benchmark, scale):
+    result = run_experiment(benchmark, fig1_utilization, scale)
+    average = result["average"]
+    # The paper's qualitative claim: a majority of MAC operations do not fully
+    # utilize an 8b-8b unit (most are idle or effectively narrow).
+    assert average["idle"] + average["partial"] > 0.5
+    assert average["full"] < 0.5

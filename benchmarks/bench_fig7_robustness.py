@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig. 7: robustness to whole-model precision reduction."""
+
+import numpy as np
+
+from repro.eval.experiments import fig7_robustness
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig7_robustness(benchmark, scale):
+    result = run_experiment(benchmark, fig7_robustness, scale)
+    per_model = result["per_model"]
+    # The A8W8 baseline is the best operating point on average, and the
+    # 4-thread worst case (A4W4) the lowest.
+    baseline = np.mean([row["A8W8"] for row in per_model.values()])
+    a4w8 = np.mean([row["A4W8"] for row in per_model.values()])
+    a4w4 = np.mean([row["A4W4"] for row in per_model.values()])
+    assert baseline >= a4w8 - 0.02
+    assert a4w8 >= a4w4 - 0.02

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Fig. 8: per-layer MSE vs activation sparsity."""
+
+from repro.eval.experiments import fig8_mse
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig8_mse(benchmark, scale):
+    result = run_experiment(benchmark, fig8_mse, scale)
+    # Reordering lowers the average NB-SMT-induced MSE.
+    assert (
+        result["mean_relative_mse_with"]
+        <= result["mean_relative_mse_without"] * 1.05
+    )
+    # MSE and sparsity are anti-correlated (sparser layers collide less).
+    assert result["correlation_without"] < 0.3

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 9: utilization improvement vs sparsity (Eq. 8)."""
+
+from repro.eval.experiments import fig9_utilization_gain
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig9_utilization_gain(benchmark, scale):
+    result = run_experiment(benchmark, fig9_utilization_gain, scale)
+    # Without reordering the measured gain tracks the 1 + s line of Eq. (8).
+    assert result["mean_abs_deviation_from_eq8"] < 0.2
+    for point in result["series"]["without_reorder"]:
+        assert 1.0 <= point["measured_gain"] <= 2.0 + 1e-6

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the MLPerf quality-target paragraph of Section V-B."""
+
+from repro.eval.experiments import mlperf_quality
+
+from benchmarks.conftest import run_experiment
+
+
+def test_mlperf_quality_targets(benchmark, scale):
+    result = run_experiment(benchmark, mlperf_quality, scale)
+    for name, row in result["per_model"].items():
+        # The throttled 2T SySMT keeps a close-to-2x speedup...
+        assert row["speedup"] > 1.5, name
+        # ...and comes within a small margin of the MLPerf quality target.
+        assert row["achieved_accuracy"] >= 0.95 * row["target_accuracy"], name

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table I: model accuracy (FP32 vs INT8) and MACs."""
+
+from repro.eval.experiments import table1_models
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table1_models(benchmark, scale):
+    result = run_experiment(benchmark, table1_models, scale)
+    for name, row in result["models"].items():
+        # 8-bit min-max quantization stays close to the FP32 accuracy.
+        assert row["int8_accuracy"] >= row["fp32_accuracy"] - 0.05, name
+        assert row["conv_macs"] > row["fc_macs"]

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table II: area, power and throughput of the arrays."""
+
+import pytest
+
+from repro.eval.experiments import table2_hardware
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table2_hardware(benchmark, scale):
+    result = run_experiment(benchmark, table2_hardware, scale)
+    configs = result["configs"]
+    assert configs["sysmt_2t"]["area_ratio"] == pytest.approx(1.44, abs=0.05)
+    assert configs["sysmt_4t"]["area_ratio"] == pytest.approx(2.48, abs=0.08)
+    assert configs["sysmt_2t"]["power_mw_80"] == pytest.approx(429, rel=0.02)
+    assert configs["sysmt_4t"]["throughput_gmacs"] == pytest.approx(1024, rel=0.01)

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table IV: 2T SySMT vs static 4-bit PTQ baselines."""
+
+import numpy as np
+
+from repro.eval.experiments import table4_ptq
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table4_ptq_comparison(benchmark, scale):
+    result = run_experiment(benchmark, table4_ptq, scale)
+    rows = result["per_model"].values()
+    sysmt = np.mean([row["sysmt"] for row in rows])
+    aciq = np.mean([row["aciq"] for row in result["per_model"].values()])
+    # SySMT's on-demand reduction is at least competitive with static 4-bit
+    # PTQ on average (the paper reports it winning at every operating point).
+    assert sysmt >= aciq - 0.03

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table V: 4T SySMT accuracy with layer throttling."""
+
+from repro.eval.experiments import table5_4threads
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table5_4threads(benchmark, scale):
+    result = run_experiment(benchmark, table5_4threads, scale)
+    for name, entries in result["per_model"].items():
+        assert entries["4T"]["speedup"] >= 3.9, name
+        if "1L@2T" in entries:
+            # Slowing the highest-MSE layer costs speedup...
+            assert entries["1L@2T"]["speedup"] <= entries["4T"]["speedup"]
+            # ...and does not hurt accuracy beyond noise.
+            assert entries["1L@2T"]["accuracy"] >= entries["4T"]["accuracy"] - 0.06

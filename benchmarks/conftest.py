@@ -1,0 +1,37 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+section.  Every experiment runs exactly once per session (they are scientific
+measurements, not micro-benchmarks), and the formatted rows/series are
+printed so that ``pytest benchmarks/ --benchmark-only`` reproduces the
+paper's tables on stdout.
+
+The experiment scale is controlled by the ``REPRO_SCALE`` environment
+variable (``fast`` by default, ``full`` for the larger protocol).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+
+def experiment_scale() -> str:
+    return os.environ.get("REPRO_SCALE", "fast")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return experiment_scale()
+
+
+def run_experiment(benchmark, module, scale: str, **kwargs):
+    """Run one experiment module exactly once under pytest-benchmark."""
+    result = benchmark.pedantic(
+        lambda: module.run(scale=scale, **kwargs), rounds=1, iterations=1
+    )
+    text = module.format_result(result)
+    print("\n" + text, file=sys.stderr)
+    return result

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Explore the NB-SMT packing policies of Table III on one model.
+
+Shows how each PE capability -- 8-bit sparsity detection (S), activation
+data-width (A), weight data-width (W) and operand swapping (Aw/aW) --
+contributes to recovering the accuracy lost to thread collisions, and how
+collision/reduction rates change per policy.
+
+Run with::
+
+    python examples/policy_exploration.py [model]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.eval.harness import SysmtHarness
+from repro.models.zoo import load_trained_model
+from repro.utils.tables import format_table
+
+POLICIES = ("min", "S", "A", "Aw", "S+A", "S+Aw")
+
+
+def main(model_name: str = "googlenet") -> None:
+    trained = load_trained_model(model_name, fast=True)
+    harness = SysmtHarness(trained, max_eval_images=96, calibration_images=128)
+    try:
+        baseline = harness.int8_accuracy
+        rows = []
+        for policy in POLICIES:
+            run = harness.evaluate_nbsmt(threads=2, policy=policy, reorder=False)
+            collision = np.mean(
+                [stats.collision_rate for stats in run.layer_stats.values()]
+            )
+            reduction = np.mean(
+                [stats.reduction_rate for stats in run.layer_stats.values()]
+            )
+            rows.append(
+                (
+                    policy,
+                    f"{run.accuracy:.3f}",
+                    f"{baseline - run.accuracy:+.3f}",
+                    f"{100 * collision:.1f}%",
+                    f"{100 * reduction:.1f}%",
+                )
+            )
+        print(
+            format_table(
+                ["Policy", "Top-1", "Drop vs A8W8", "Collisions", "Reduced MACs"],
+                rows,
+                title=(
+                    f"2T SySMT packing policies on {trained.display_name} "
+                    f"(A8W8 baseline {baseline:.3f})"
+                ),
+            )
+        )
+        print(
+            "\nS exploits zero operands, A/W exploit 4-bit operands, the lower-case "
+            "suffix adds operand swapping; combining them (S+A) minimizes the number "
+            "of MACs that actually lose precision."
+        )
+    finally:
+        harness.close()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "googlenet")

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full experiment registry (Fig. 1, Table I-V, Fig. 7-10, energy and
+MLPerf) at the requested scale and prints each formatted result.  Results are
+also persisted as JSON under ``artifacts/results/``.
+
+Run with::
+
+    python examples/reproduce_paper.py [fast|full] [experiment ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.eval.experiments import EXPERIMENTS
+
+
+def main(argv: list[str]) -> None:
+    scale = "fast"
+    selected = list(EXPERIMENTS)
+    if argv:
+        if argv[0] in ("fast", "full"):
+            scale = argv[0]
+            selected = argv[1:] or selected
+        else:
+            selected = argv
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    for name in selected:
+        module = EXPERIMENTS[name]
+        start = time.time()
+        print(f"\n=== {name} ({module.__name__.rsplit('.', 1)[-1]}) ===")
+        result = module.run(scale=scale)
+        print(module.format_result(result))
+        print(f"[{name} finished in {time.time() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Cycle-level demo of the conventional OS-SA versus SySMT on one matmul.
+
+This example skips the CNN pipeline entirely and drives the systolic-array
+simulators directly with a random quantized matrix multiplication, showing
+what NB-SMT does at the hardware level: cycle counts, utilization, collisions
+and the numerical error introduced by on-the-fly precision reduction.
+
+Run with::
+
+    python examples/systolic_array_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.smt import NBSMTMatmul
+from repro.systolic.os_sa import OutputStationarySA
+from repro.systolic.sysmt import SySMTArray
+from repro.utils.rng import new_rng
+from repro.utils.tables import format_table
+
+
+def make_operands(m: int = 64, k: int = 256, n: int = 64, sparsity: float = 0.55):
+    """Bell-shaped quantized operands with ReLU-like activation sparsity."""
+    rng = new_rng(42)
+    x = np.clip(np.rint(np.abs(rng.normal(0, 28, (m, k)))), 0, 255).astype(np.int64)
+    x[rng.random((m, k)) < sparsity] = 0
+    w = np.clip(np.rint(rng.normal(0, 24, (k, n))), -127, 127).astype(np.int64)
+    return x, w
+
+
+def main() -> None:
+    x, w = make_operands()
+    exact = x @ w
+
+    baseline = OutputStationarySA(rows=16, cols=16, pipeline_stages=2)
+    out_base, report_base = baseline.matmul(x, w)
+    assert np.array_equal(out_base, exact)
+
+    rows = [
+        (
+            "Conventional SA",
+            report_base.cycles,
+            "1.00x",
+            f"{100 * report_base.utilization:.1f}%",
+            "0",
+        )
+    ]
+    for threads in (2, 4):
+        array = SySMTArray(rows=16, cols=16, threads=threads, policy="S+A",
+                           pipeline_stages=2)
+        out, report = array.matmul(x, w)
+        stats = array.stats
+        error = np.abs(out - exact)
+        rows.append(
+            (
+                f"SySMT {threads}T (S+A)",
+                report.cycles,
+                f"{report_base.cycles / report.cycles:.2f}x",
+                f"{100 * stats.smt_utilization:.1f}%",
+                f"max {error.max()}, rel MSE {stats.relative_mse:.2e}",
+            )
+        )
+    print(
+        format_table(
+            ["Configuration", "Cycles", "Speedup", "PE utilization", "Output error"],
+            rows,
+            title="64x256x64 int8 matmul on a 16x16 output-stationary array",
+        )
+    )
+
+    print("\nFunctional executor collision breakdown (2T, S+A):")
+    executor = NBSMTMatmul(2, "S+A")
+    executor.matmul(x, w)
+    stats = executor.stats
+    print(
+        format_table(
+            ["Metric", "Value"],
+            [
+                ("Activation sparsity", f"{100 * stats.activation_sparsity:.1f}%"),
+                ("MACs colliding", f"{100 * stats.collision_rate:.1f}%"),
+                ("MACs actually reduced", f"{100 * stats.reduction_rate:.1f}%"),
+                ("Utilization gain (Fig. 9)", f"{stats.utilization_gain:.2f}x"),
+                ("Eq. (8) prediction 1+s", f"{1 + stats.activation_sparsity:.2f}x"),
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in fully offline environments where pip's
+PEP 517 editable-install path is unavailable (no ``wheel`` package and no
+network access), via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,27 @@
+"""Reproduction of "Non-Blocking Simultaneous Multithreading: Embracing the
+Resiliency of Deep Neural Networks" (Shomron & Weiser, MICRO 2020).
+
+The package is organized around the paper's structure:
+
+* :mod:`repro.nn` -- a from-scratch NumPy deep-learning substrate (layers,
+  models, training, synthetic data) standing in for PyTorch + ImageNet.
+* :mod:`repro.quant` -- 8-bit post-training quantization, calibration and
+  the static 4-bit PTQ baselines (ACIQ / LBQ style) used for comparison.
+* :mod:`repro.core` -- the paper's primary contribution: non-blocking
+  simultaneous multithreading (NB-SMT): the flexible multiplier, on-the-fly
+  precision reduction, PE control logic and packing policies.
+* :mod:`repro.systolic` -- the output-stationary systolic array baseline and
+  SySMT, the NB-SMT-enabled systolic array, plus data reordering and
+  utilization models.
+* :mod:`repro.hw` -- area / power / energy models calibrated to the paper's
+  Table II.
+* :mod:`repro.pruning` -- magnitude pruning used in the 4-thread study.
+* :mod:`repro.models` -- the scaled-down CNN zoo (AlexNet, ResNet-18/50,
+  GoogLeNet, DenseNet-121, MobileNet-v1 analogues).
+* :mod:`repro.eval` -- experiment drivers reproducing every table and figure
+  of the paper's evaluation section.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,104 @@
+"""Command-line interface for the reproduction.
+
+Provides three subcommands:
+
+``repro-experiments``-style usage (via ``python -m repro.cli``):
+
+* ``list`` -- show the experiment registry (one entry per paper table/figure).
+* ``run <experiment> [...]`` -- run one or more experiments and print the
+  formatted tables (equivalent to ``examples/reproduce_paper.py``).
+* ``zoo`` -- train/load the scaled-down model zoo and print a summary.
+
+The CLI is a thin layer over :mod:`repro.eval.experiments` so that results
+are identical to the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.eval.experiments import EXPERIMENTS
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, module in EXPERIMENTS.items():
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name.ljust(width)}  {summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"known experiments: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.time()
+        print(f"\n=== {name} ===")
+        result = module.run(scale=args.scale)
+        print(module.format_result(result))
+        print(f"[{name} finished in {time.time() - start:.1f}s]")
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.models.zoo import MODEL_BUILDERS, load_trained_model
+    from repro.utils.tables import format_table
+
+    rows = []
+    names = args.models or sorted(MODEL_BUILDERS)
+    for name in names:
+        trained = load_trained_model(name, fast=(args.scale == "fast"))
+        rows.append(
+            (
+                trained.display_name,
+                trained.model.num_parameters(),
+                f"{100 * trained.fp32_accuracy:.1f}%",
+            )
+        )
+    print(format_table(["Model", "Parameters", "FP32 top-1"], rows,
+                       title="Scaled-down model zoo"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NB-SMT / SySMT reproduction (Shomron & Weiser, MICRO 2020)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("fast", "full"),
+        default="fast",
+        help="experiment scale (fast: small eval sets; full: larger protocol)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT")
+    run_parser.set_defaults(func=_cmd_run)
+
+    zoo_parser = subparsers.add_parser("zoo", help="train/load the model zoo")
+    zoo_parser.add_argument("models", nargs="*", metavar="MODEL")
+    zoo_parser.set_defaults(func=_cmd_zoo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Non-blocking simultaneous multithreading (NB-SMT) -- the paper's core idea.
+
+NB-SMT keeps several "DNN threads" in flight on shared MAC hardware.  When
+the threads' combined computation demand exceeds the MAC capability (a
+*thread collision*, the structural hazard of Section III-B), NB-SMT does not
+stall; it momentarily reduces the numerical precision of the colliding
+operands so that all threads issue in the same cycle.
+
+Module map
+----------
+* :mod:`repro.core.bitops` -- MSB/LSB splits of 8-bit operands.
+* :mod:`repro.core.precision` -- on-the-fly precision reduction (Section
+  III-C1) and 4-bit data-width checks.
+* :mod:`repro.core.fmul` -- the flexible multiplier decompositions of
+  Eq. (4) and Eq. (5) (one 8b-8b, two 4b-8b, four 4b-4b).
+* :mod:`repro.core.policies` -- the packing policies of Table III (S, A, W,
+  Aw, aW and their combinations).
+* :mod:`repro.core.packing` -- vectorized effective-operand computation under
+  a policy (the functional model of Algorithm 1).
+* :mod:`repro.core.smt` -- the functional NB-SMT matrix-multiply executor
+  with per-layer statistics.
+* :mod:`repro.core.engine` -- :class:`~repro.quant.engine.IntMatmulEngine`
+  adapter used by the quantized model executor.
+* :mod:`repro.core.collision` -- MAC classification (Fig. 1) and collision
+  statistics.
+"""
+
+from repro.core.precision import (
+    act_fits_4bit,
+    reduce_act_to_4bit_msb,
+    reduce_wgt_to_4bit_msb,
+    wgt_fits_4bit,
+)
+from repro.core.fmul import FlexibleMultiplier, fmul_2x4b8b, fmul_4x4b4b
+from repro.core.policies import PackingPolicy, get_policy, POLICY_NAMES
+from repro.core.smt import NBSMTMatmul, SMTStatistics
+from repro.core.engine import NBSMTEngine
+from repro.core.collision import classify_macs, MacBreakdown
+
+__all__ = [
+    "act_fits_4bit",
+    "wgt_fits_4bit",
+    "reduce_act_to_4bit_msb",
+    "reduce_wgt_to_4bit_msb",
+    "FlexibleMultiplier",
+    "fmul_2x4b8b",
+    "fmul_4x4b4b",
+    "PackingPolicy",
+    "get_policy",
+    "POLICY_NAMES",
+    "NBSMTMatmul",
+    "SMTStatistics",
+    "NBSMTEngine",
+    "classify_macs",
+    "MacBreakdown",
+]

@@ -1,0 +1,48 @@
+"""Bit-level helpers for 8-bit operands.
+
+The flexible multiplier (Section IV-C1) operates on the 4-bit MSB and LSB
+halves of its operands.  Activations are unsigned 8-bit values (post-ReLU);
+weights are signed 8-bit values in two's complement, whose MSB half carries
+the sign (Eq. (5)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def split_unsigned(x: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+    """Split unsigned 8-bit values into (MSB nibble, LSB nibble), both in [0, 15]."""
+    x = np.asarray(x)
+    if np.any((x < 0) | (x > 255)):
+        raise ValueError("unsigned 8-bit operand out of range [0, 255]")
+    return x >> 4, x & 0xF
+
+
+def combine_unsigned(msb: np.ndarray | int, lsb: np.ndarray | int) -> np.ndarray:
+    """Inverse of :func:`split_unsigned`."""
+    msb = np.asarray(msb)
+    lsb = np.asarray(lsb)
+    return (msb << 4) + lsb
+
+
+def split_signed(w: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+    """Split signed 8-bit values into (signed MSB nibble in [-8, 7], LSB in [0, 15]).
+
+    The decomposition satisfies ``w == 16 * msb + lsb`` (Eq. (5)): the MSB
+    half is interpreted as a signed 4-bit quantity (it carries the sign bit
+    ``w7``), while the LSB half is unsigned.
+    """
+    w = np.asarray(w)
+    if np.any((w < -128) | (w > 127)):
+        raise ValueError("signed 8-bit operand out of range [-128, 127]")
+    lsb = w & 0xF
+    msb = (w - lsb) >> 4
+    return msb, lsb
+
+
+def combine_signed(msb: np.ndarray | int, lsb: np.ndarray | int) -> np.ndarray:
+    """Inverse of :func:`split_signed`."""
+    msb = np.asarray(msb)
+    lsb = np.asarray(lsb)
+    return 16 * msb + lsb

@@ -1,0 +1,83 @@
+"""Adapter exposing the NB-SMT executor as a quantized-matmul engine.
+
+:class:`NBSMTEngine` plugs the functional executor of :mod:`repro.core.smt`
+into :class:`repro.quant.qmodel.QuantizedModel`: each quantized convolution
+layer's integer matmul is executed with the layer's configured thread count,
+packing policy and (optional) K-dimension reordering permutation, and the
+per-layer statistics are accumulated for later analysis (utilization, MSE,
+collision breakdown).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies import PackingPolicy, get_policy
+from repro.core.smt import NBSMTMatmul, SMTStatistics
+from repro.quant.engine import LayerContext, exact_int_matmul
+
+
+class NBSMTEngine:
+    """Executes quantized matmuls under NB-SMT and records per-layer stats.
+
+    Parameters
+    ----------
+    policy:
+        Packing policy (name or object) used for every layer.
+    default_threads:
+        Thread count used when a layer context does not specify one.
+    collect_stats:
+        Accumulate :class:`SMTStatistics` per layer (needed for MSE,
+        utilization and energy analyses; adds the cost of one exact matmul).
+    force_reference:
+        Use the chunked reference executor even for two threads.
+    """
+
+    def __init__(
+        self,
+        policy: PackingPolicy | str = "S+A",
+        default_threads: int = 2,
+        collect_stats: bool = True,
+        force_reference: bool = False,
+    ):
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.default_threads = default_threads
+        self.collect_stats = collect_stats
+        self.force_reference = force_reference
+        self.layer_stats: dict[str, SMTStatistics] = {}
+
+    def reset_stats(self) -> None:
+        self.layer_stats = {}
+
+    def stats_for(self, layer_name: str) -> SMTStatistics:
+        return self.layer_stats.setdefault(layer_name, SMTStatistics())
+
+    def matmul(
+        self, x_q: np.ndarray, w_q: np.ndarray, ctx: LayerContext
+    ) -> np.ndarray:
+        threads = ctx.threads if ctx.threads else self.default_threads
+        if threads <= 1:
+            ctx.add_stat("macs", x_q.shape[0] * x_q.shape[1] * w_q.shape[1])
+            ctx.add_stat("issue_slots", x_q.shape[0] * x_q.shape[1] * w_q.shape[1])
+            if self.collect_stats:
+                executor = NBSMTMatmul(1, self.policy, collect_stats=True)
+                out = executor.matmul(x_q, w_q)
+                self.stats_for(ctx.name).merge(executor.stats)
+                return out
+            return exact_int_matmul(x_q, w_q)
+
+        executor = NBSMTMatmul(
+            threads,
+            self.policy,
+            collect_stats=self.collect_stats,
+            force_reference=self.force_reference,
+        )
+        out = executor.matmul(x_q, w_q, permutation=ctx.permutation)
+        ctx.add_stat("macs", x_q.shape[0] * x_q.shape[1] * w_q.shape[1])
+        ctx.add_stat(
+            "issue_slots",
+            x_q.shape[0] * (-(-x_q.shape[1] // threads)) * w_q.shape[1],
+        )
+        if self.collect_stats:
+            self.stats_for(ctx.name).merge(executor.stats)
+        return out

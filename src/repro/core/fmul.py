@@ -1,0 +1,138 @@
+"""Flexible multiplier (fMUL) decompositions (Section IV-C1).
+
+The SySMT PE replaces its 8b-8b multiplier with a *flexible* multiplier:
+
+* the 2-threaded fMUL (Eq. (4), Fig. 6) is built from two 5b-8b signed
+  multipliers plus shift logic and can compute either one 8b-8b product or
+  two independent 4b-8b products;
+* the 4-threaded fMUL (Eq. (5)) is built from four small multipliers and can
+  compute one 8b-8b product, two 4b-8b products, or four 4b-4b products.
+
+These functions are bit-accurate models of that hardware: activations are
+unsigned 8-bit, weights are signed 8-bit, and the narrow ports receive a
+4-bit nibble together with a flag saying whether its product must be shifted
+left by 4 (the nibble is an MSB half).  Property tests verify that the
+decompositions are exact for every possible operand value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitops import split_signed, split_unsigned
+
+
+def mul_8b8b_via_two_5b8b(x: np.ndarray | int, w: np.ndarray | int) -> np.ndarray:
+    """Compute ``x * w`` exactly using the Eq. (4) decomposition.
+
+    The unsigned activation is split into nibbles and each nibble feeds a
+    5b-8b signed multiplier (the extra bit is a zero MSB making the unsigned
+    nibble a non-negative signed value); the MSB product is shifted left by 4.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    w = np.asarray(w, dtype=np.int64)
+    x_msb, x_lsb = split_unsigned(x)
+    return (x_msb * w << 4) + x_lsb * w
+
+
+def mul_8b8b_via_four_4b(x: np.ndarray | int, w: np.ndarray | int) -> np.ndarray:
+    """Compute ``x * w`` exactly using the Eq. (5) decomposition.
+
+    The product is the sum of four partial products between the activation
+    nibbles (unsigned) and the weight nibbles (signed MSB half, unsigned LSB
+    half), with shifts of 8, 4, 4 and 0 bits.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    w = np.asarray(w, dtype=np.int64)
+    x_msb, x_lsb = split_unsigned(x)
+    w_msb, w_lsb = split_signed(w)
+    return (
+        (x_msb * w_msb << 8)
+        + (x_msb * w_lsb << 4)
+        + (x_lsb * w_msb << 4)
+        + (x_lsb * w_lsb)
+    )
+
+
+def fmul_2x4b8b(
+    x1: np.ndarray | int,
+    w1: np.ndarray | int,
+    shift1: np.ndarray | int,
+    x2: np.ndarray | int,
+    w2: np.ndarray | int,
+    shift2: np.ndarray | int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two independent 4b-8b products with optional post-shift (Fig. 6).
+
+    ``x1``/``x2`` are 4-bit unsigned nibbles (either the LSBs of a value that
+    fits in 4 bits, or the rounded MSBs of a wider value), ``w1``/``w2`` are
+    signed 8-bit weights, and ``shift1``/``shift2`` select the 4-bit left
+    shift applied when the nibble is an MSB half.
+    """
+    x1 = np.asarray(x1, dtype=np.int64)
+    x2 = np.asarray(x2, dtype=np.int64)
+    w1 = np.asarray(w1, dtype=np.int64)
+    w2 = np.asarray(w2, dtype=np.int64)
+    if np.any((x1 < 0) | (x1 > 15)) or np.any((x2 < 0) | (x2 > 15)):
+        raise ValueError("fMUL narrow ports accept 4-bit unsigned nibbles")
+    product1 = x1 * w1 * np.where(np.asarray(shift1) != 0, 16, 1)
+    product2 = x2 * w2 * np.where(np.asarray(shift2) != 0, 16, 1)
+    return product1, product2
+
+
+def fmul_4x4b4b(
+    acts: np.ndarray,
+    wgts: np.ndarray,
+    act_shifts: np.ndarray,
+    wgt_shifts: np.ndarray,
+) -> np.ndarray:
+    """Four independent 4b-4b products with per-operand post-shifts.
+
+    ``acts`` holds unsigned 4-bit nibbles, ``wgts`` signed 4-bit nibbles; the
+    shift flags restore the weight of MSB halves.  The leading dimension (4)
+    indexes the thread.
+    """
+    acts = np.asarray(acts, dtype=np.int64)
+    wgts = np.asarray(wgts, dtype=np.int64)
+    if acts.shape[0] != 4 or wgts.shape[0] != 4:
+        raise ValueError("fmul_4x4b4b expects 4 thread operands")
+    if np.any((acts < 0) | (acts > 15)):
+        raise ValueError("activation nibbles must be unsigned 4-bit values")
+    if np.any((wgts < -8) | (wgts > 7)):
+        raise ValueError("weight nibbles must be signed 4-bit values")
+    scale_a = np.where(np.asarray(act_shifts) != 0, 16, 1)
+    scale_w = np.where(np.asarray(wgt_shifts) != 0, 16, 1)
+    return acts * wgts * scale_a * scale_w
+
+
+@dataclass
+class FlexibleMultiplier:
+    """Convenience object bundling the fMUL operating modes.
+
+    ``threads`` selects the hardware variant: 2 gives the Eq. (4) unit (one
+    8b-8b or two 4b-8b), 4 gives the Eq. (5) unit (adds the 4x4b-4b mode).
+    """
+
+    threads: int = 2
+
+    def __post_init__(self):
+        if self.threads not in (2, 4):
+            raise ValueError("FlexibleMultiplier supports 2 or 4 threads")
+
+    def one_8b8b(self, x: np.ndarray | int, w: np.ndarray | int) -> np.ndarray:
+        """Full-precision mode: a single exact 8b-8b product."""
+        if self.threads == 2:
+            return mul_8b8b_via_two_5b8b(x, w)
+        return mul_8b8b_via_four_4b(x, w)
+
+    def two_4b8b(self, x1, w1, shift1, x2, w2, shift2) -> tuple[np.ndarray, np.ndarray]:
+        """Two independent reduced-precision products."""
+        return fmul_2x4b8b(x1, w1, shift1, x2, w2, shift2)
+
+    def four_4b4b(self, acts, wgts, act_shifts, wgt_shifts) -> np.ndarray:
+        """Four independent 4b-4b products (4-threaded fMUL only)."""
+        if self.threads != 4:
+            raise ValueError("4x4b-4b mode requires the 4-threaded fMUL")
+        return fmul_4x4b4b(acts, wgts, act_shifts, wgt_shifts)

@@ -1,0 +1,111 @@
+"""Thread-packing policies (the configurations of Table III).
+
+A packing policy decides how a PE resolves a thread collision:
+
+* ``S`` -- exploit 8-bit sparsity: a thread whose activation or weight is
+  zero does not need the MAC, so the other thread may use the full 8b-8b
+  multiplier (Fig. 2b).
+* ``A`` / ``W`` -- exploit the data-width of the activation / weight: a
+  colliding operand that already fits in 4 bits keeps its LSBs and incurs no
+  error (Fig. 2c); otherwise it is rounded and truncated to its 4-bit MSBs.
+* ``Aw`` / ``aW`` -- additionally exploit the *other* operand's data-width:
+  if the primary operand is wide but the secondary operand fits in 4 bits,
+  the operands are swapped between the multiplier ports and no error is
+  incurred (Fig. 2d).
+
+The lower-case / upper-case naming follows the paper: the capital letter is
+the operand whose precision is reduced on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PackingPolicy:
+    """Configuration of the PE collision-resolution logic.
+
+    Attributes
+    ----------
+    name:
+        Human-readable policy name (Table III column).
+    sparsity:
+        Exploit 8-bit sparsity (the ``S`` component).
+    width_primary:
+        Exploit the data-width of the reduced operand (``A`` when reducing
+        activations, ``W`` when reducing weights).
+    width_secondary:
+        Exploit the data-width of the other operand by swapping ports
+        (the lower-case letter in ``Aw`` / ``aW``).
+    reduce:
+        Which operand is reduced when a collision cannot be resolved:
+        ``"act"`` or ``"wgt"``.
+    """
+
+    name: str
+    sparsity: bool
+    width_primary: bool
+    width_secondary: bool
+    reduce: str = "act"
+
+    def __post_init__(self):
+        if self.reduce not in ("act", "wgt"):
+            raise ValueError("reduce must be 'act' or 'wgt'")
+        if self.width_secondary and not self.width_primary:
+            raise ValueError("width_secondary requires width_primary")
+
+
+def _build_registry() -> dict[str, PackingPolicy]:
+    policies = [
+        # Activation-reduction family (used for all models except ResNet-50).
+        PackingPolicy("min", sparsity=False, width_primary=False, width_secondary=False),
+        PackingPolicy("S", sparsity=True, width_primary=False, width_secondary=False),
+        PackingPolicy("A", sparsity=False, width_primary=True, width_secondary=False),
+        PackingPolicy("Aw", sparsity=False, width_primary=True, width_secondary=True),
+        PackingPolicy("S+A", sparsity=True, width_primary=True, width_secondary=False),
+        PackingPolicy("S+Aw", sparsity=True, width_primary=True, width_secondary=True),
+        # Weight-reduction family (ResNet-50 in the paper).
+        PackingPolicy("min_w", sparsity=False, width_primary=False,
+                      width_secondary=False, reduce="wgt"),
+        PackingPolicy("W", sparsity=False, width_primary=True,
+                      width_secondary=False, reduce="wgt"),
+        PackingPolicy("aW", sparsity=False, width_primary=True,
+                      width_secondary=True, reduce="wgt"),
+        PackingPolicy("S+W", sparsity=True, width_primary=True,
+                      width_secondary=False, reduce="wgt"),
+        PackingPolicy("S+aW", sparsity=True, width_primary=True,
+                      width_secondary=True, reduce="wgt"),
+        PackingPolicy("S_w", sparsity=True, width_primary=False,
+                      width_secondary=False, reduce="wgt"),
+    ]
+    return {policy.name: policy for policy in policies}
+
+
+_REGISTRY = _build_registry()
+
+#: All registered policy names.
+POLICY_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+#: The policy the paper uses by default for the 2-threaded SySMT.
+DEFAULT_POLICY_NAME = "S+A"
+
+
+def get_policy(name: str) -> PackingPolicy:
+    """Look up a policy by its Table III name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def default_policy_for(model_name: str) -> PackingPolicy:
+    """The per-model policy choice of Section V-B.
+
+    The paper exploits activation data-width (S+A) for all models except
+    ResNet-50, which is more robust to weight quantization and therefore uses
+    S+W.
+    """
+    if model_name.lower().startswith("resnet50"):
+        return get_policy("S+W")
+    return get_policy(DEFAULT_POLICY_NAME)

@@ -1,0 +1,651 @@
+"""Functional NB-SMT matrix-multiply executor.
+
+The SySMT hardware computes ``O = X @ W`` where each PE accumulates one
+output element and the K dimension is split across T threads (output-register
+sharing, Eq. (2)/(3)).  This module models that computation *functionally*:
+it produces the exact integer accumulators the hardware would produce,
+including the noise introduced when thread collisions force reduced-precision
+products, together with per-layer statistics (collision breakdown,
+utilization, MSE versus the error-free result).
+
+Two implementations are provided and cross-checked by the test suite:
+
+* a chunked **reference** path that materializes the per-position activity
+  tensors and handles any thread count, and
+* a **factorized** fast path for two threads, which expresses the NB-SMT
+  noise as two extra matrix multiplications of masked deltas (exploiting the
+  fact that the collision indicator factors into an activation-side and a
+  weight-side rank-1 term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import packing
+from repro.core.policies import PackingPolicy, get_policy
+
+
+@dataclass
+class SMTStatistics:
+    """Counters accumulated by the executor across calls.
+
+    All counters refer to MAC *operations* (one per (m, k, n) position of the
+    original matmul) or to PE issue *slots* (one per group of T MAC
+    operations that share a PE cycle).
+    """
+
+    mac_total: int = 0
+    mac_active: int = 0
+    mac_collided: int = 0
+    mac_reduced: int = 0
+    slots_total: int = 0
+    slots_active: int = 0
+    act_values: int = 0
+    act_nonzero: int = 0
+    sum_sq_error: float = 0.0
+    sum_sq_exact: float = 0.0
+    outputs: int = 0
+
+    def merge(self, other: "SMTStatistics") -> None:
+        for name in (
+            "mac_total",
+            "mac_active",
+            "mac_collided",
+            "mac_reduced",
+            "slots_total",
+            "slots_active",
+            "act_values",
+            "act_nonzero",
+            "sum_sq_error",
+            "sum_sq_exact",
+            "outputs",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def activation_sparsity(self) -> float:
+        """Fraction of zero-valued quantized activations."""
+        if self.act_values == 0:
+            return 0.0
+        return 1.0 - self.act_nonzero / self.act_values
+
+    @property
+    def baseline_utilization(self) -> float:
+        """Fraction of conventional-SA MAC cycles doing useful work."""
+        if self.mac_total == 0:
+            return 0.0
+        return self.mac_active / self.mac_total
+
+    @property
+    def smt_utilization(self) -> float:
+        """Fraction of SySMT PE issue slots doing useful work."""
+        if self.slots_total == 0:
+            return 0.0
+        return self.slots_active / self.slots_total
+
+    @property
+    def utilization_gain(self) -> float:
+        """Utilization improvement of SySMT over the conventional SA (Fig. 9)."""
+        if self.baseline_utilization == 0.0:
+            return 1.0
+        return self.smt_utilization / self.baseline_utilization
+
+    @property
+    def collision_rate(self) -> float:
+        if self.mac_total == 0:
+            return 0.0
+        return self.mac_collided / self.mac_total
+
+    @property
+    def reduction_rate(self) -> float:
+        if self.mac_total == 0:
+            return 0.0
+        return self.mac_reduced / self.mac_total
+
+    @property
+    def relative_mse(self) -> float:
+        """MSE of the noisy output relative to the mean square of the exact output."""
+        if self.sum_sq_exact == 0.0:
+            return 0.0
+        return self.sum_sq_error / self.sum_sq_exact
+
+    @property
+    def mse(self) -> float:
+        if self.outputs == 0:
+            return 0.0
+        return self.sum_sq_error / self.outputs
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mac_total": float(self.mac_total),
+            "mac_active": float(self.mac_active),
+            "mac_collided": float(self.mac_collided),
+            "mac_reduced": float(self.mac_reduced),
+            "slots_total": float(self.slots_total),
+            "slots_active": float(self.slots_active),
+            "activation_sparsity": self.activation_sparsity,
+            "baseline_utilization": self.baseline_utilization,
+            "smt_utilization": self.smt_utilization,
+            "utilization_gain": self.utilization_gain,
+            "collision_rate": self.collision_rate,
+            "reduction_rate": self.reduction_rate,
+            "relative_mse": self.relative_mse,
+            "mse": self.mse,
+        }
+
+
+def split_into_threads(
+    x_q: np.ndarray, w_q: np.ndarray, threads: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split the K dimension into ``threads`` contiguous slices (Eq. (2)).
+
+    Returns arrays of shape ``(T, M, K/T)`` and ``(T, K/T, N)``; K is padded
+    with zeros (inactive positions) when not divisible by the thread count.
+    """
+    m, k = x_q.shape
+    k_w, n = w_q.shape
+    if k != k_w:
+        raise ValueError("inner dimensions of X and W differ")
+    per_thread = -(-k // threads)  # ceil division
+    padded_k = per_thread * threads
+    if padded_k != k:
+        x_pad = np.zeros((m, padded_k), dtype=x_q.dtype)
+        x_pad[:, :k] = x_q
+        w_pad = np.zeros((padded_k, n), dtype=w_q.dtype)
+        w_pad[:k, :] = w_q
+        x_q, w_q = x_pad, w_pad
+    x_threads = x_q.reshape(m, threads, per_thread).transpose(1, 0, 2)
+    w_threads = w_q.reshape(threads, per_thread, n)
+    return np.ascontiguousarray(x_threads), np.ascontiguousarray(w_threads)
+
+
+def _exact_matmul(x_q: np.ndarray, w_q: np.ndarray) -> np.ndarray:
+    return np.rint(x_q.astype(np.float64) @ w_q.astype(np.float64)).astype(np.int64)
+
+
+class NBSMTMatmul:
+    """Functional NB-SMT executor for a fixed thread count and policy.
+
+    Parameters
+    ----------
+    threads:
+        Number of DNN threads sharing each PE (1, 2 or 4).  One thread is
+        the conventional, error-free execution.
+    policy:
+        A :class:`PackingPolicy` or its Table III name.
+    collect_stats:
+        Maintain the :class:`SMTStatistics` counters (requires computing the
+        exact result as well; disable for pure-speed runs).
+    force_reference:
+        Always use the chunked reference implementation (used by tests to
+        validate the factorized 2-thread fast path).
+    chunk_rows:
+        Row chunk size of the reference implementation.
+    """
+
+    def __init__(
+        self,
+        threads: int = 2,
+        policy: PackingPolicy | str = "S+A",
+        collect_stats: bool = True,
+        force_reference: bool = False,
+        chunk_rows: int = 256,
+    ):
+        if threads not in (1, 2, 4):
+            raise ValueError("NB-SMT supports 1, 2 or 4 threads")
+        self.threads = threads
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.collect_stats = collect_stats
+        self.force_reference = force_reference
+        self.chunk_rows = chunk_rows
+        self.stats = SMTStatistics()
+
+    # -- public API -----------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats = SMTStatistics()
+
+    def matmul(
+        self,
+        x_q: np.ndarray,
+        w_q: np.ndarray,
+        permutation: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Integer accumulators of the NB-SMT execution of ``x_q @ w_q``.
+
+        ``x_q`` holds unsigned 8-bit activations (shape ``(M, K)``), ``w_q``
+        signed 8-bit weights (shape ``(K, N)``).  ``permutation`` optionally
+        reorders the K dimension before the threads are formed (Section IV-B);
+        the result is unchanged by any permutation when no noise is injected.
+        """
+        x_q = np.asarray(x_q)
+        w_q = np.asarray(w_q)
+        if permutation is not None:
+            x_q = x_q[:, permutation]
+            w_q = w_q[permutation, :]
+
+        if self.threads == 1:
+            out = _exact_matmul(x_q, w_q)
+            if self.collect_stats:
+                self._record_single_thread(x_q, w_q)
+            return out
+
+        x_t, w_t = split_into_threads(x_q, w_q, self.threads)
+        if self.threads == 2 and not self.force_reference:
+            out, stats = _fast_2t(x_t, w_t, self.policy, self.collect_stats)
+        elif self.threads == 4 and not self.force_reference:
+            out, stats = _fast_4t(x_t, w_t, self.policy, self.collect_stats)
+        else:
+            out, stats = _reference_multi_t(
+                x_t, w_t, self.policy, self.collect_stats, self.chunk_rows
+            )
+        if self.collect_stats and stats is not None:
+            self.stats.merge(stats)
+        return out
+
+    # -- internals --------------------------------------------------------------
+    def _record_single_thread(self, x_q: np.ndarray, w_q: np.ndarray) -> None:
+        stats = SMTStatistics()
+        active = _count_active(x_q, w_q)
+        total = x_q.shape[0] * x_q.shape[1] * w_q.shape[1]
+        stats.mac_total = total
+        stats.mac_active = active
+        stats.slots_total = total
+        stats.slots_active = active
+        stats.act_values = int(x_q.size)
+        stats.act_nonzero = int(np.count_nonzero(x_q))
+        stats.outputs = x_q.shape[0] * w_q.shape[1]
+        self.stats.merge(stats)
+
+
+def _count_active(x_q: np.ndarray, w_q: np.ndarray) -> int:
+    """Number of (m, k, n) MAC positions where both operands are nonzero."""
+    x_nonzero = (x_q != 0).astype(np.int64)
+    w_nonzero = (w_q != 0).astype(np.int64)
+    return int(x_nonzero.sum(axis=0) @ w_nonzero.sum(axis=1))
+
+
+def _fast_2t(
+    x_t: np.ndarray,
+    w_t: np.ndarray,
+    policy: PackingPolicy,
+    collect_stats: bool,
+) -> tuple[np.ndarray, SMTStatistics | None]:
+    """Factorized 2-thread execution: exact matmul plus masked-delta matmuls."""
+    x1, x2 = x_t[0].astype(np.int64), x_t[1].astype(np.int64)
+    w1, w2 = w_t[0].astype(np.int64), w_t[1].astype(np.int64)
+
+    exact = _exact_matmul(np.concatenate([x1, x2], axis=1),
+                          np.concatenate([w1, w2], axis=0))
+
+    act_nonzero_1, act_nonzero_2 = x1 != 0, x2 != 0
+    wgt_nonzero_1, wgt_nonzero_2 = w1 != 0, w2 != 0
+    if policy.sparsity:
+        collide_act = act_nonzero_1 & act_nonzero_2          # (M, Kt)
+        collide_wgt = wgt_nonzero_1 & wgt_nonzero_2          # (Kt, N)
+    else:
+        collide_act = np.ones_like(act_nonzero_1, dtype=bool)
+        collide_wgt = np.ones_like(wgt_nonzero_1, dtype=bool)
+
+    error = np.zeros_like(exact, dtype=np.float64)
+    reduced_positions = 0
+    for x_self, w_self in ((x1, w1), (x2, w2)):
+        if policy.reduce == "act":
+            delta = packing.act_reduction_delta(x_self, policy)       # (M, Kt)
+            left = (collide_act * delta).astype(np.float64)
+            right = (collide_wgt * w_self).astype(np.float64)
+            if policy.width_secondary:
+                right = right * (~_wgt_fits(w_self))
+        else:
+            delta = packing.wgt_reduction_delta(w_self, policy)       # (Kt, N)
+            left = (collide_act * x_self).astype(np.float64)
+            if policy.width_secondary:
+                left = left * (~_act_fits(x_self))
+            right = (collide_wgt * delta).astype(np.float64)
+        error += left @ right
+        if collect_stats:
+            if policy.reduce == "act":
+                err_cols = collide_act & (delta != 0)
+                err_rows = collide_wgt & (w_self != 0)
+                if policy.width_secondary:
+                    err_rows = err_rows & (~_wgt_fits(w_self))
+            else:
+                err_cols = collide_act & (x_self != 0)
+                if policy.width_secondary:
+                    err_cols = err_cols & (~_act_fits(x_self))
+                err_rows = collide_wgt & (delta != 0)
+            reduced_positions += int(
+                err_cols.sum(axis=0).astype(np.int64)
+                @ err_rows.sum(axis=1).astype(np.int64)
+            )
+
+    out = exact + np.rint(error).astype(np.int64)
+
+    if not collect_stats:
+        return out, None
+
+    stats = SMTStatistics()
+    m, kt = x1.shape
+    n = w1.shape[1]
+    active_1 = int(act_nonzero_1.sum(axis=0).astype(np.int64)
+                   @ wgt_nonzero_1.sum(axis=1).astype(np.int64))
+    active_2 = int(act_nonzero_2.sum(axis=0).astype(np.int64)
+                   @ wgt_nonzero_2.sum(axis=1).astype(np.int64))
+    both_active = int(
+        (act_nonzero_1 & act_nonzero_2).sum(axis=0).astype(np.int64)
+        @ (wgt_nonzero_1 & wgt_nonzero_2).sum(axis=1).astype(np.int64)
+    )
+    stats.mac_total = 2 * m * kt * n
+    stats.mac_active = active_1 + active_2
+    stats.mac_collided = 2 * both_active
+    stats.mac_reduced = reduced_positions
+    stats.slots_total = m * kt * n
+    stats.slots_active = active_1 + active_2 - both_active
+    stats.act_values = int(x1.size + x2.size)
+    stats.act_nonzero = int(act_nonzero_1.sum() + act_nonzero_2.sum())
+    stats.sum_sq_error = float(((out - exact).astype(np.float64) ** 2).sum())
+    stats.sum_sq_exact = float((exact.astype(np.float64) ** 2).sum())
+    stats.outputs = int(exact.size)
+    return out, stats
+
+
+def _act_fits(x: np.ndarray) -> np.ndarray:
+    from repro.core.precision import act_fits_4bit
+
+    return act_fits_4bit(x)
+
+
+def _wgt_fits(w: np.ndarray) -> np.ndarray:
+    from repro.core.precision import wgt_fits_4bit
+
+    return wgt_fits_4bit(w)
+
+
+def _reference_multi_t(
+    x_t: np.ndarray,
+    w_t: np.ndarray,
+    policy: PackingPolicy,
+    collect_stats: bool,
+    chunk_rows: int,
+) -> tuple[np.ndarray, SMTStatistics | None]:
+    """Chunked reference implementation for any thread count.
+
+    Materializes the per-position activity tensor chunk by chunk and applies
+    the collision rules of Algorithm 1 (and its 4-thread extension) exactly.
+    """
+    threads, m, kt = x_t.shape
+    n = w_t.shape[2]
+    x_t = x_t.astype(np.int64)
+    w_t = w_t.astype(np.int64)
+
+    out = np.zeros((m, n), dtype=np.int64)
+    exact = np.zeros((m, n), dtype=np.int64) if collect_stats else None
+    stats = SMTStatistics() if collect_stats else None
+
+    wgt_nonzero = w_t != 0                                   # (T, Kt, N)
+
+    for start in range(0, m, chunk_rows):
+        stop = min(start + chunk_rows, m)
+        x_chunk = x_t[:, start:stop, :]                      # (T, rows, Kt)
+        rows = stop - start
+
+        # Activity per thread and per position.
+        active = np.empty((threads, rows, kt, n), dtype=bool)
+        for t in range(threads):
+            act_nonzero = x_chunk[t] != 0                    # (rows, Kt)
+            active[t] = act_nonzero[:, :, None] & wgt_nonzero[t][None, :, :]
+        demand = active.sum(axis=0, dtype=np.int8)           # (rows, Kt, N)
+
+        chunk_out = np.zeros((rows, n), dtype=np.int64)
+        chunk_exact = np.zeros((rows, n), dtype=np.int64)
+        reduced_positions = 0
+
+        for t in range(threads):
+            x_col = x_chunk[t][:, :, None]                   # (rows, Kt, 1)
+            w_row = w_t[t][None, :, :]                       # (1, Kt, N)
+            exact_prod = x_col * w_row                       # (rows, Kt, N)
+
+            if policy.sparsity:
+                collide_pair = active[t] & (demand == 2)
+                collide_many = active[t] & (demand >= 3)
+            elif threads == 2:
+                # Without sparsity detection every thread always demands the
+                # MAC, so every position is treated as a full collision.
+                collide_pair = np.ones_like(active[t])
+                collide_many = np.zeros_like(active[t])
+            else:
+                collide_pair = np.zeros_like(active[t])
+                collide_many = np.ones_like(active[t])
+
+            effective = exact_prod
+            if np.any(collide_pair):
+                pair_prod = packing.colliding_product_2t(x_col, w_row, policy)
+                effective = np.where(collide_pair, pair_prod, effective)
+            if np.any(collide_many):
+                many_prod = packing.colliding_product_4t(x_col, w_row, policy)
+                effective = np.where(collide_many, many_prod, effective)
+
+            chunk_out += effective.sum(axis=1)
+            if collect_stats:
+                chunk_exact += exact_prod.sum(axis=1)
+                reduced_positions += int(
+                    ((effective != exact_prod) & (collide_pair | collide_many)).sum()
+                )
+
+        out[start:stop] = chunk_out
+        if collect_stats:
+            exact[start:stop] = chunk_exact
+            stats.mac_total += threads * rows * kt * n
+            stats.mac_active += int(active.sum())
+            stats.mac_collided += int((active & (demand >= 2)).sum())
+            stats.mac_reduced += reduced_positions
+            stats.slots_total += rows * kt * n
+            stats.slots_active += int(active.any(axis=0).sum())
+
+    if collect_stats:
+        stats.act_values = int(x_t.size)
+        stats.act_nonzero = int(np.count_nonzero(x_t))
+        stats.sum_sq_error = float(((out - exact).astype(np.float64) ** 2).sum())
+        stats.sum_sq_exact = float((exact.astype(np.float64) ** 2).sum())
+        stats.outputs = int(out.size)
+    return out, stats
+
+
+def _thread_error_factors(
+    x_self: np.ndarray, w_self: np.ndarray, policy: PackingPolicy
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Separable factors of the pairwise-collision error term of one thread.
+
+    Returns a list of ``(left, right)`` pairs such that the error a thread
+    contributes at position ``(m, k, n)`` when it collides pairwise equals
+    ``sum_i left_i[m, k] * right_i[k, n]``.
+    """
+    from repro.core.precision import act_fits_4bit, wgt_fits_4bit
+
+    if policy.reduce == "act":
+        delta = packing.act_reduction_delta(x_self, policy).astype(np.float64)
+        right = w_self.astype(np.float64)
+        if policy.width_secondary:
+            right = right * (~wgt_fits_4bit(w_self))
+        return [(delta, right)]
+    delta = packing.wgt_reduction_delta(w_self, policy).astype(np.float64)
+    left = x_self.astype(np.float64)
+    if policy.width_secondary:
+        left = left * (~act_fits_4bit(x_self))
+    return [(left, delta)]
+
+
+def _thread_manyway_factors(
+    x_self: np.ndarray, w_self: np.ndarray, policy: PackingPolicy
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Separable factors of the 3-/4-way-collision error term of one thread.
+
+    The 4b-4b product minus the exact product is the difference of two
+    separable terms: ``x4 (x) w4 - x (x) w``.
+    """
+    from repro.core.precision import (
+        act_fits_4bit,
+        reduce_act_to_4bit_msb,
+        reduce_wgt_to_4bit_msb,
+        wgt_fits_4bit,
+    )
+
+    if policy.width_primary:
+        x4 = np.where(act_fits_4bit(x_self), x_self, reduce_act_to_4bit_msb(x_self))
+        w4 = np.where(wgt_fits_4bit(w_self), w_self, reduce_wgt_to_4bit_msb(w_self))
+    else:
+        x4 = reduce_act_to_4bit_msb(x_self)
+        w4 = reduce_wgt_to_4bit_msb(w_self)
+    return [
+        (x4.astype(np.float64), w4.astype(np.float64)),
+        (-x_self.astype(np.float64), w_self.astype(np.float64)),
+    ]
+
+
+def _demand_monomials(others: list[int]) -> tuple[list, list]:
+    """Inclusion-exclusion expansions of the other-thread demand indicators.
+
+    For the three "other" threads of a 4-threaded PE, returns the monomial
+    expansions of ``1(exactly one other active)`` and ``1(two or more others
+    active)`` as lists of ``(coefficient, subset_of_other_threads)`` terms.
+    Each monomial ``prod_{s in subset} u_s`` is separable because ``u_s``
+    factors into an activation-side and a weight-side mask.
+    """
+    s1, s2, s3 = others
+    exactly_one = [
+        (1.0, (s1,)), (1.0, (s2,)), (1.0, (s3,)),
+        (-2.0, (s1, s2)), (-2.0, (s1, s3)), (-2.0, (s2, s3)),
+        (3.0, (s1, s2, s3)),
+    ]
+    two_or_more = [
+        (1.0, (s1, s2)), (1.0, (s1, s3)), (1.0, (s2, s3)),
+        (-2.0, (s1, s2, s3)),
+    ]
+    return exactly_one, two_or_more
+
+
+def _fast_4t(
+    x_t: np.ndarray,
+    w_t: np.ndarray,
+    policy: PackingPolicy,
+    collect_stats: bool,
+) -> tuple[np.ndarray, SMTStatistics | None]:
+    """Factorized 4-thread execution.
+
+    The NB-SMT output equals the exact product plus error terms gated by the
+    per-position demand count.  Because the demand indicator of each thread
+    factors into an activation-side and a weight-side binary mask, the gated
+    error sums expand (by inclusion-exclusion over the other threads) into a
+    modest number of ordinary matrix multiplications.
+    """
+    threads = 4
+    xs = [x_t[t].astype(np.int64) for t in range(threads)]
+    ws = [w_t[t].astype(np.int64) for t in range(threads)]
+
+    exact = _exact_matmul(
+        np.concatenate(xs, axis=1), np.concatenate(ws, axis=0)
+    )
+
+    act_masks = [x != 0 for x in xs]
+    wgt_masks = [w != 0 for w in ws]
+
+    error = np.zeros_like(exact, dtype=np.float64)
+
+    if not policy.sparsity:
+        # Every position is a full (>= 3-way) collision: all threads always
+        # produce 4b-4b products.
+        for t in range(threads):
+            for left, right in _thread_manyway_factors(xs[t], ws[t], policy):
+                error += left @ right
+    else:
+        for t in range(threads):
+            others = [s for s in range(threads) if s != t]
+            exactly_one, two_or_more = _demand_monomials(others)
+            pair_factors = _thread_error_factors(xs[t], ws[t], policy)
+            many_factors = _thread_manyway_factors(xs[t], ws[t], policy)
+            for coeff, subset in exactly_one:
+                act_gate = act_masks[t].copy()
+                wgt_gate = wgt_masks[t].copy()
+                for s in subset:
+                    act_gate = act_gate & act_masks[s]
+                    wgt_gate = wgt_gate & wgt_masks[s]
+                for left, right in pair_factors:
+                    error += coeff * ((act_gate * left) @ (wgt_gate * right))
+            for coeff, subset in two_or_more:
+                act_gate = act_masks[t].copy()
+                wgt_gate = wgt_masks[t].copy()
+                for s in subset:
+                    act_gate = act_gate & act_masks[s]
+                    wgt_gate = wgt_gate & wgt_masks[s]
+                for left, right in many_factors:
+                    error += coeff * ((act_gate * left) @ (wgt_gate * right))
+
+    out = exact + np.rint(error).astype(np.int64)
+    if not collect_stats:
+        return out, None
+
+    stats = SMTStatistics()
+    m, kt = xs[0].shape
+    n = ws[0].shape[1]
+
+    def _pair_count(act_gate: np.ndarray, wgt_gate: np.ndarray) -> int:
+        return int(
+            act_gate.sum(axis=0).astype(np.int64)
+            @ wgt_gate.sum(axis=1).astype(np.int64)
+        )
+
+    active_counts = [_pair_count(act_masks[t], wgt_masks[t]) for t in range(threads)]
+
+    # Issue slots with at least one active thread, by inclusion-exclusion over
+    # the four separable activity masks.
+    slots_active = 0
+    for size in range(1, threads + 1):
+        from itertools import combinations
+
+        sign = (-1) ** (size + 1)
+        for subset in combinations(range(threads), size):
+            act_gate = act_masks[subset[0]]
+            wgt_gate = wgt_masks[subset[0]]
+            for s in subset[1:]:
+                act_gate = act_gate & act_masks[s]
+                wgt_gate = wgt_gate & wgt_masks[s]
+            slots_active += sign * _pair_count(act_gate, wgt_gate)
+
+    # Positions where a thread is active and at least one other thread is
+    # active too (collisions), again by inclusion-exclusion.
+    collided = 0
+    for t in range(threads):
+        others = [s for s in range(threads) if s != t]
+        alone = 0
+        for size in range(0, len(others) + 1):
+            from itertools import combinations
+
+            sign = (-1) ** size
+            for subset in combinations(others, size):
+                act_gate = act_masks[t]
+                wgt_gate = wgt_masks[t]
+                for s in subset:
+                    act_gate = act_gate & act_masks[s]
+                    wgt_gate = wgt_gate & wgt_masks[s]
+                alone += sign * _pair_count(act_gate, wgt_gate)
+        collided += active_counts[t] - alone
+
+    stats.mac_total = threads * m * kt * n
+    stats.mac_active = int(sum(active_counts))
+    stats.mac_collided = int(collided)
+    # The per-position reduction count is not reconstructed exactly on this
+    # path (it would require non-separable indicators); collisions are used
+    # as the upper-bound proxy.  The reference executor reports the exact
+    # count when needed.
+    stats.mac_reduced = int(collided)
+    stats.slots_total = m * kt * n
+    stats.slots_active = int(slots_active)
+    stats.act_values = int(sum(x.size for x in xs))
+    stats.act_nonzero = int(sum(mask.sum() for mask in act_masks))
+    stats.sum_sq_error = float(((out - exact).astype(np.float64) ** 2).sum())
+    stats.sum_sq_exact = float((exact.astype(np.float64) ** 2).sum())
+    stats.outputs = int(exact.size)
+    return out, stats

@@ -1,0 +1,29 @@
+"""Experiment drivers reproducing the paper's evaluation section.
+
+:mod:`repro.eval.harness` wires a trained zoo model into the quantized
+executor with a chosen NB-SMT configuration; the modules around it implement
+the individual measurements (MAC utilization breakdown, per-layer MSE, layer
+throttling, energy), and :mod:`repro.eval.experiments` contains one module
+per paper table/figure.
+"""
+
+from repro.eval.harness import NBSMTRunResult, SysmtHarness
+from repro.eval.macs import mac_utilization_breakdown, model_mac_counts
+from repro.eval.mse import per_layer_mse
+from repro.eval.throttle import ThrottlePlan, plan_speedup, rank_layers_by_mse, throttle_to_accuracy
+from repro.eval.energy import energy_report
+from repro.eval.mlperf import meets_quality_target
+
+__all__ = [
+    "SysmtHarness",
+    "NBSMTRunResult",
+    "mac_utilization_breakdown",
+    "model_mac_counts",
+    "per_layer_mse",
+    "ThrottlePlan",
+    "rank_layers_by_mse",
+    "plan_speedup",
+    "throttle_to_accuracy",
+    "energy_report",
+    "meets_quality_target",
+]

@@ -1,0 +1,80 @@
+"""Energy analysis (Section V-A and the headline 33%/35% savings).
+
+Per-layer utilization is extracted from the NB-SMT simulator, converted to
+average power through the Table II-calibrated power model, and combined with
+the per-layer MAC counts through Eq. (6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.harness import NBSMTRunResult, SysmtHarness
+from repro.hw.energy import EnergyModel, LayerEnergyInput
+
+
+@dataclass
+class EnergyReport:
+    """Baseline-versus-SySMT energy for one model."""
+
+    model: str
+    baseline_mj: float
+    sysmt_mj: float
+    threads: int
+
+    @property
+    def saving(self) -> float:
+        if self.baseline_mj == 0:
+            return 0.0
+        return 1.0 - self.sysmt_mj / self.baseline_mj
+
+
+def energy_report(
+    harness: SysmtHarness,
+    run: NBSMTRunResult,
+    threads: int,
+    rows: int = 16,
+    cols: int = 16,
+) -> EnergyReport:
+    """Energy of a completed NB-SMT run versus the conventional-SA baseline.
+
+    The baseline executes every layer with one thread at that layer's
+    measured baseline utilization; the SySMT execution uses the per-layer
+    thread assignment of ``run`` and the measured SySMT issue-slot
+    utilization.
+    """
+    model = EnergyModel(rows, cols)
+    macs = harness.layer_mac_counts()
+
+    baseline_layers = []
+    sysmt_layers = []
+    for name, stats in run.layer_stats.items():
+        layer_macs = macs.get(name, 0)
+        if layer_macs == 0 or stats.mac_total == 0:
+            continue
+        baseline_layers.append(
+            LayerEnergyInput(
+                name=name,
+                macs=layer_macs,
+                utilization=stats.baseline_utilization,
+                threads=1,
+            )
+        )
+        layer_threads = run.threads.get(name, threads)
+        sysmt_layers.append(
+            LayerEnergyInput(
+                name=name,
+                macs=layer_macs,
+                utilization=stats.smt_utilization if layer_threads > 1
+                else stats.baseline_utilization,
+                threads=layer_threads,
+            )
+        )
+    baseline_mj = model.model_energy_mj(baseline_layers)
+    sysmt_mj = model.model_energy_mj(sysmt_layers)
+    return EnergyReport(
+        model=harness.trained.name,
+        baseline_mj=baseline_mj,
+        sysmt_mj=sysmt_mj,
+        threads=threads,
+    )

@@ -1,0 +1,41 @@
+"""One module per table/figure of the paper's evaluation section.
+
+Every experiment module exposes ``run(scale=...)`` returning a plain
+dictionary of results and ``format_result(result)`` rendering the same rows
+or series the paper reports.  The benchmark harness under ``benchmarks/``
+calls these and prints the tables; ``EXPERIMENTS.md`` records paper-vs-
+measured values.
+"""
+
+from repro.eval.experiments import (
+    energy_savings,
+    fig1_utilization,
+    fig7_robustness,
+    fig8_mse,
+    fig9_utilization_gain,
+    fig10_pruning,
+    mlperf_quality,
+    table1_models,
+    table2_hardware,
+    table3_policies,
+    table4_ptq,
+    table5_4threads,
+)
+
+#: Experiment registry keyed by the paper's table/figure identifier.
+EXPERIMENTS = {
+    "fig1": fig1_utilization,
+    "table1": table1_models,
+    "table2": table2_hardware,
+    "fig7": fig7_robustness,
+    "table3": table3_policies,
+    "fig8": fig8_mse,
+    "table4": table4_ptq,
+    "fig9": fig9_utilization_gain,
+    "table5": table5_4threads,
+    "fig10": fig10_pruning,
+    "energy": energy_savings,
+    "mlperf": mlperf_quality,
+}
+
+__all__ = ["EXPERIMENTS"]

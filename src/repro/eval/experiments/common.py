@@ -1,0 +1,124 @@
+"""Shared infrastructure for the experiment modules.
+
+Experiments share trained models (disk-cached by the zoo) and harnesses
+(memoized per process) so that running the whole benchmark suite does not
+re-train or re-calibrate the same model repeatedly.  Each experiment is run
+at a *scale*:
+
+* ``"fast"`` -- small dataset, short training, small evaluation set.  Used by
+  the benchmark defaults and the test suite; finishes in minutes for the
+  whole suite.
+* ``"full"`` -- the larger synthetic dataset and evaluation set.  Closer to
+  the paper's protocol; takes substantially longer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.harness import SysmtHarness
+from repro.models.zoo import TrainedModel, load_trained_model
+from repro.utils.cache import default_cache_dir
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Evaluation sizes of one experiment scale."""
+
+    name: str
+    fast_models: bool
+    eval_images: int
+    calibration_images: int
+    batch_size: int = 64
+
+
+SCALES: dict[str, ScaleConfig] = {
+    "fast": ScaleConfig("fast", fast_models=True, eval_images=96,
+                        calibration_images=128),
+    "full": ScaleConfig("full", fast_models=False, eval_images=256,
+                        calibration_images=256),
+}
+
+_HARNESS_CACHE: dict[tuple[str, str], SysmtHarness] = {}
+_MODEL_CACHE: dict[tuple[str, str], TrainedModel] = {}
+
+
+def get_scale(scale: str | ScaleConfig) -> ScaleConfig:
+    if isinstance(scale, ScaleConfig):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALES)}") from None
+
+
+def get_trained_model(name: str, scale: str | ScaleConfig = "fast") -> TrainedModel:
+    """Train-or-load a zoo model at the requested scale (memoized)."""
+    config = get_scale(scale)
+    key = (name, config.name)
+    if key not in _MODEL_CACHE:
+        _MODEL_CACHE[key] = load_trained_model(name, fast=config.fast_models)
+    return _MODEL_CACHE[key]
+
+
+def get_harness(name: str, scale: str | ScaleConfig = "fast") -> SysmtHarness:
+    """Build (or reuse) the experiment harness for one model."""
+    config = get_scale(scale)
+    key = (name, config.name)
+    if key not in _HARNESS_CACHE:
+        trained = get_trained_model(name, config)
+        _HARNESS_CACHE[key] = SysmtHarness(
+            trained,
+            max_eval_images=config.eval_images,
+            calibration_images=config.calibration_images,
+            batch_size=config.batch_size,
+        )
+    return _HARNESS_CACHE[key]
+
+
+def clear_harness_cache() -> None:
+    """Drop memoized harnesses (restores the wrapped models' matmuls)."""
+    for harness in _HARNESS_CACHE.values():
+        harness.close()
+    _HARNESS_CACHE.clear()
+    _MODEL_CACHE.clear()
+
+
+def results_dir() -> Path:
+    """Directory where experiment results are persisted as JSON."""
+    path = default_cache_dir() / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _to_jsonable(value):
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def save_result(experiment_id: str, result: dict) -> Path:
+    """Persist an experiment result dictionary as JSON; returns the path."""
+    path = results_dir() / f"{experiment_id}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_to_jsonable(result), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_result(experiment_id: str) -> dict | None:
+    """Load a previously saved experiment result, if present."""
+    path = results_dir() / f"{experiment_id}.json"
+    if not path.exists():
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

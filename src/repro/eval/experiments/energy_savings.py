@@ -1,0 +1,84 @@
+"""Energy savings of SySMT over the conventional SA (Section V-A).
+
+The paper reports that SySMT saves on average ~33% (2 threads) and ~35%
+(4 threads) of the energy of the five CNNs: SySMT finishes each layer T times
+faster at a power that grows sub-proportionally with utilization (Eq. (6)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.energy import energy_report
+from repro.eval.experiments.common import get_harness, save_result
+from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "energy"
+
+#: Average savings the paper reports.
+PAPER_AVERAGE_SAVING = {2: 0.33, 4: 0.35}
+
+
+def run(
+    scale: str = "fast",
+    models: tuple[str, ...] = PAPER_MODEL_NAMES,
+    thread_counts: tuple[int, ...] = (2, 4),
+) -> dict:
+    """Per-model energy savings for 2- and 4-threaded SySMT."""
+    per_model: dict[str, dict[str, float]] = {}
+    for name in models:
+        harness = get_harness(name, scale)
+        row: dict[str, float] = {}
+        for threads in thread_counts:
+            run_result = harness.evaluate_nbsmt(
+                threads=threads, reorder=True, collect_stats=True
+            )
+            report = energy_report(harness, run_result, threads=threads)
+            row[f"saving_{threads}t"] = report.saving
+            row[f"baseline_mj_{threads}t"] = report.baseline_mj
+            row[f"sysmt_mj_{threads}t"] = report.sysmt_mj
+        per_model[name] = row
+
+    averages = {
+        f"{threads}t": float(
+            np.mean([row[f"saving_{threads}t"] for row in per_model.values()])
+        )
+        for threads in thread_counts
+    }
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": scale,
+        "per_model": per_model,
+        "average_saving": averages,
+        "paper_average_saving": {str(k): v for k, v in PAPER_AVERAGE_SAVING.items()},
+    }
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for name, row in result["per_model"].items():
+        rows.append(
+            (
+                DISPLAY_NAMES.get(name, name),
+                row.get("baseline_mj_2t", 0.0),
+                100 * row.get("saving_2t", 0.0),
+                100 * row.get("saving_4t", 0.0),
+            )
+        )
+    rows.append(
+        (
+            "Average",
+            float("nan"),
+            100 * result["average_saving"].get("2t", 0.0),
+            100 * result["average_saving"].get("4t", 0.0),
+        )
+    )
+    return format_table(
+        ["Model", "Baseline energy [mJ]", "2T saving %", "4T saving %"],
+        rows,
+        float_fmt=".2f",
+        title="Energy savings of SySMT over the conventional SA (Eq. (6))",
+    )

@@ -1,0 +1,131 @@
+"""Figure 10: ResNet-18 accuracy versus 4T SySMT speedup under weight pruning.
+
+Pruned weights are zeros, so a pruned model collides less and loses less
+accuracy at four threads; but heavier pruning also lowers the model's own
+baseline accuracy.  The figure traces accuracy/speedup operating points
+(throttling more layers to two threads moves left) for several pruning
+levels.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.eval.experiments.common import get_scale, get_trained_model, save_result
+from repro.eval.harness import SysmtHarness
+from repro.eval.throttle import rank_layers_by_mse, throttle_layers
+from repro.models.zoo import TrainedModel
+from repro.pruning import PruningSchedule, iterative_magnitude_prune, sparsity_of
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "fig10"
+
+
+def _pruned_copy(trained: TrainedModel, sparsity: float, retrain_epochs: int) -> TrainedModel:
+    """Clone the trained model and prune the clone to the requested sparsity."""
+    pruned = TrainedModel(
+        name=trained.name,
+        model=copy.deepcopy(trained.model),
+        dataset=trained.dataset,
+        fp32_accuracy=trained.fp32_accuracy,
+        train_config=trained.train_config,
+    )
+    if sparsity > 0:
+        schedule = PruningSchedule(
+            target_sparsity=sparsity, steps=2, retrain_epochs=retrain_epochs, lr=0.01
+        )
+        iterative_magnitude_prune(
+            pruned.model,
+            pruned.dataset.train_images,
+            pruned.dataset.train_labels,
+            schedule,
+        )
+    return pruned
+
+
+def run(
+    scale: str = "fast",
+    model: str = "resnet18",
+    pruning_levels: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6),
+    max_slowed: int = 2,
+    retrain_epochs: int = 2,
+) -> dict:
+    """Accuracy/speedup trade-off of a 4T SySMT for several pruning levels."""
+    config = get_scale(scale)
+    trained = get_trained_model(model, config)
+    curves: dict[str, list[dict[str, float]]] = {}
+    achieved_sparsity: dict[str, float] = {}
+
+    for level in pruning_levels:
+        pruned = _pruned_copy(trained, level, retrain_epochs)
+        achieved_sparsity[f"{level:.0%}"] = sparsity_of(pruned.model)
+        harness = SysmtHarness(
+            pruned,
+            max_eval_images=config.eval_images,
+            calibration_images=config.calibration_images,
+            batch_size=config.batch_size,
+        )
+        try:
+            baseline = harness.evaluate_nbsmt(threads=4, reorder=True, collect_stats=True)
+            ranked = rank_layers_by_mse(
+                baseline.layer_stats, harness.qmodel.layer_names()
+            )
+            points = [
+                {
+                    "slowed_layers": 0,
+                    "accuracy": baseline.accuracy,
+                    "speedup": baseline.speedup,
+                    "int8_accuracy": harness.int8_accuracy,
+                }
+            ]
+            slowed: list[str] = []
+            for count in range(1, max_slowed + 1):
+                if count > len(ranked):
+                    break
+                slowed = ranked[:count]
+                result, _ = throttle_layers(
+                    harness, base_threads=4, slow_layers=slowed, slow_threads=2,
+                    reorder=True,
+                )
+                points.append(
+                    {
+                        "slowed_layers": count,
+                        "accuracy": result.accuracy,
+                        "speedup": result.speedup,
+                        "int8_accuracy": harness.int8_accuracy,
+                    }
+                )
+            curves[f"{level:.0%}"] = points
+        finally:
+            harness.close()
+
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": scale,
+        "model": model,
+        "curves": curves,
+        "achieved_weight_sparsity": achieved_sparsity,
+    }
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for level, points in result["curves"].items():
+        for point in points:
+            rows.append(
+                (
+                    level,
+                    point["slowed_layers"],
+                    point["speedup"],
+                    100 * point["accuracy"],
+                    100 * point["int8_accuracy"],
+                )
+            )
+    return format_table(
+        ["Pruning", "Layers @2T", "Speedup [x]", "4T accuracy %", "A8W8 accuracy %"],
+        rows,
+        float_fmt=".2f",
+        title=f"Fig. 10 -- {result['model']} accuracy vs 4T speedup under pruning",
+    )

@@ -1,0 +1,73 @@
+"""Figure 1: utilization of 8-bit MAC units during CNN inference.
+
+The paper classifies every MAC of five quantized CNNs into fully utilized
+(8b-8b), partially utilized (4b-8b / 8b-4b / 4b-4b) and idle (a zero
+operand), and reports that on average only ~20% of MAC units are fully
+utilized while ~60% are idle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.macs import mac_utilization_breakdown
+from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "fig1"
+
+#: Approximate average fractions the paper reports (Fig. 1 / Section II).
+PAPER_AVERAGE = {"full": 0.20, "partial": 0.20, "idle": 0.60}
+
+
+def run(
+    scale: str = "fast", models: tuple[str, ...] = PAPER_MODEL_NAMES
+) -> dict:
+    """Measure the idle/partial/full MAC breakdown for each model."""
+    per_model: dict[str, dict[str, float]] = {}
+    for name in models:
+        harness = get_harness(name, scale)
+        breakdown = mac_utilization_breakdown(harness)
+        per_model[name] = breakdown.fractions
+
+    average = {
+        key: float(np.mean([fractions[key] for fractions in per_model.values()]))
+        for key in ("full", "partial", "idle")
+    }
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": scale,
+        "per_model": per_model,
+        "average": average,
+        "paper_average": PAPER_AVERAGE,
+    }
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for name, fractions in result["per_model"].items():
+        rows.append(
+            (
+                DISPLAY_NAMES.get(name, name),
+                100 * fractions["full"],
+                100 * fractions["partial"],
+                100 * fractions["idle"],
+            )
+        )
+    rows.append(
+        (
+            "Average",
+            100 * result["average"]["full"],
+            100 * result["average"]["partial"],
+            100 * result["average"]["idle"],
+        )
+    )
+    return format_table(
+        ["Model", "Utilized (8b-8b) %", "Partially utilized %", "Idle %"],
+        rows,
+        float_fmt=".1f",
+        title="Fig. 1 -- MAC utilization breakdown during CNN inference",
+    )

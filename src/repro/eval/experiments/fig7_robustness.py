@@ -1,0 +1,68 @@
+"""Figure 7: model robustness to on-the-fly numerical precision reduction.
+
+Reducing all activations (A4W8), all weights (A8W4) or both (A4W4) on the fly
+bounds the worst case of a 2-threaded (A4W8/A8W4) and 4-threaded (A4W4)
+SySMT.  The paper's observation: most models are more robust to activation
+reduction than to weight reduction (ResNet-50 being the exception).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import get_harness, save_result
+from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
+from repro.quant.robustness import robustness_sweep
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "fig7"
+
+#: Paper Fig. 7 top-1 accuracies (ImageNet) for qualitative comparison.
+PAPER_FIG7 = {
+    "alexnet": {"A8W8": 56.4, "A4W8": 53.0, "A8W4": 52.3, "A4W4": 45.3},
+    "resnet18": {"A8W8": 69.7, "A4W8": 66.6, "A8W4": 50.9, "A4W4": 63.2},
+    "resnet50": {"A8W8": 76.2, "A4W8": 70.1, "A8W4": 72.5, "A4W4": 28.9},
+    "googlenet": {"A8W8": 69.6, "A4W8": 63.4, "A8W4": 41.8, "A4W4": 60.1},
+    "densenet121": {"A8W8": 74.7, "A4W8": 71.9, "A8W4": 66.1, "A4W4": 60.1},
+}
+
+
+def run(
+    scale: str = "fast", models: tuple[str, ...] = PAPER_MODEL_NAMES
+) -> dict:
+    """Accuracy of each model at the A8W8 / A4W8 / A8W4 / A4W4 points."""
+    per_model: dict[str, dict[str, float]] = {}
+    for name in models:
+        harness = get_harness(name, scale)
+        per_model[name] = robustness_sweep(
+            harness.qmodel,
+            harness.eval_images,
+            harness.eval_labels,
+            batch_size=harness.batch_size,
+        )
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": scale,
+        "per_model": per_model,
+        "paper": PAPER_FIG7,
+    }
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for name, accuracies in result["per_model"].items():
+        rows.append(
+            (
+                DISPLAY_NAMES.get(name, name),
+                100 * accuracies["A8W8"],
+                100 * accuracies["A4W8"],
+                100 * accuracies["A8W4"],
+                100 * accuracies["A4W4"],
+            )
+        )
+    return format_table(
+        ["Model", "A8W8 (baseline) %", "A4W8 %", "A8W4 %", "A4W4 %"],
+        rows,
+        float_fmt=".1f",
+        title="Fig. 7 -- robustness to whole-model on-the-fly precision reduction",
+    )

@@ -1,0 +1,80 @@
+"""Figure 8: per-layer MSE versus activation sparsity (GoogLeNet, 2T SySMT).
+
+Each layer is one point: its activation sparsity against the mean squared
+error NB-SMT injects into its output, with and without activation reordering.
+The paper's findings: MSE and sparsity are anti-correlated, and reordering
+lowers every layer's MSE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.mse import mse_sparsity_correlation, per_layer_mse
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "fig8"
+
+
+def run(scale: str = "fast", model: str = "googlenet", threads: int = 2) -> dict:
+    """Per-layer (sparsity, MSE) series with and without reordering."""
+    harness = get_harness(model, scale)
+    without = per_layer_mse(harness, threads=threads, reorder=False)
+    with_reorder = per_layer_mse(harness, threads=threads, reorder=True)
+
+    def serialize(points):
+        return [
+            {
+                "layer": point.layer,
+                "sparsity": point.sparsity,
+                "mse": point.mse,
+                "relative_mse": point.relative_mse,
+            }
+            for point in points
+        ]
+
+    mean_without = float(np.mean([p.relative_mse for p in without])) if without else 0.0
+    mean_with = float(np.mean([p.relative_mse for p in with_reorder])) if with_reorder else 0.0
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": scale,
+        "model": model,
+        "threads": threads,
+        "without_reorder": serialize(without),
+        "with_reorder": serialize(with_reorder),
+        "correlation_without": mse_sparsity_correlation(without),
+        "correlation_with": mse_sparsity_correlation(with_reorder),
+        "mean_relative_mse_without": mean_without,
+        "mean_relative_mse_with": mean_with,
+    }
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    with_by_layer = {point["layer"]: point for point in result["with_reorder"]}
+    for point in result["without_reorder"]:
+        reordered = with_by_layer.get(point["layer"], {})
+        rows.append(
+            (
+                point["layer"],
+                100 * point["sparsity"],
+                point["relative_mse"],
+                reordered.get("relative_mse", float("nan")),
+            )
+        )
+    table = format_table(
+        ["Layer", "Act. sparsity %", "rel. MSE (w/o reorder)", "rel. MSE (w/ reorder)"],
+        rows,
+        float_fmt=".4f",
+        title=f"Fig. 8 -- {result['model']} per-layer MSE vs sparsity (2T SySMT)",
+    )
+    summary = (
+        f"\nsparsity-MSE correlation: w/o reorder {result['correlation_without']:.3f}, "
+        f"w/ reorder {result['correlation_with']:.3f}\n"
+        f"mean relative MSE: w/o {result['mean_relative_mse_without']:.4f}, "
+        f"w/ {result['mean_relative_mse_with']:.4f}"
+    )
+    return table + summary

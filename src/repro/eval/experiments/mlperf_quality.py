@@ -1,0 +1,68 @@
+"""MLPerf quality targets with a 2T SySMT (Section V-B, "2T SySMT: MLPerf").
+
+ResNet-50 must stay within 99% of its reference accuracy and MobileNet-v1
+within 98%.  The paper meets both with a 2-threaded SySMT: ResNet-50 by
+running two high-MSE layers with one thread (1.97x speedup), MobileNet-v1 by
+running the depthwise convolutions with one thread (1.94x speedup).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.mlperf import QUALITY_TARGETS, run_quality_target
+from repro.models.zoo import DISPLAY_NAMES
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "mlperf"
+
+
+def run(
+    scale: str = "fast", models: tuple[str, ...] = ("resnet50", "mobilenet_v1")
+) -> dict:
+    """Throttled 2T SySMT runs against the MLPerf quality targets."""
+    per_model: dict[str, dict[str, float]] = {}
+    for name in models:
+        harness = get_harness(name, scale)
+        outcome = run_quality_target(harness, QUALITY_TARGETS.get(name))
+        per_model[name] = {
+            "target_fraction": outcome.target_fraction,
+            "reference_accuracy": outcome.reference_accuracy,
+            "target_accuracy": outcome.target_accuracy,
+            "achieved_accuracy": outcome.achieved_accuracy,
+            "speedup": outcome.speedup,
+            "slowed_layers": outcome.slowed_layers,
+            "meets_target": float(outcome.meets_target),
+        }
+    result = {"experiment": EXPERIMENT_ID, "scale": scale, "per_model": per_model}
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for name, row in result["per_model"].items():
+        rows.append(
+            (
+                DISPLAY_NAMES.get(name, name),
+                f"{100 * row['target_fraction']:.0f}%",
+                100 * row["reference_accuracy"],
+                100 * row["achieved_accuracy"],
+                row["speedup"],
+                int(row["slowed_layers"]),
+                "yes" if row["meets_target"] else "no",
+            )
+        )
+    return format_table(
+        [
+            "Model",
+            "Quality target",
+            "Reference top-1 %",
+            "2T SySMT top-1 %",
+            "Speedup [x]",
+            "Layers @1T",
+            "Meets target",
+        ],
+        rows,
+        float_fmt=".2f",
+        title="MLPerf quality targets with a throttled 2T SySMT",
+    )

@@ -1,0 +1,56 @@
+"""Table I: evaluated CNN models -- FP32 vs INT8 accuracy and MAC counts.
+
+The paper's Table I shows that the simple 8-bit min-max quantization keeps
+accuracy within a fraction of a percent of FP32 for every model, and lists
+the convolution and fully-connected MAC counts per image.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import get_harness, get_trained_model, save_result
+from repro.eval.macs import model_mac_counts
+from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "table1"
+
+
+def run(
+    scale: str = "fast", models: tuple[str, ...] = PAPER_MODEL_NAMES
+) -> dict:
+    """Measure FP32 and INT8 accuracy plus MAC counts for each zoo model."""
+    rows: dict[str, dict[str, float]] = {}
+    for name in models:
+        trained = get_trained_model(name, scale)
+        harness = get_harness(name, scale)
+        macs = model_mac_counts(trained.model, image_size=trained.dataset.config.image_size)
+        rows[name] = {
+            "fp32_accuracy": harness.fp32_accuracy,
+            "int8_accuracy": harness.int8_accuracy,
+            "conv_macs": macs["conv"],
+            "fc_macs": macs["fc"],
+            "parameters": trained.model.num_parameters(),
+        }
+    result = {"experiment": EXPERIMENT_ID, "scale": scale, "models": rows}
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for name, values in result["models"].items():
+        rows.append(
+            (
+                DISPLAY_NAMES.get(name, name),
+                100 * values["fp32_accuracy"],
+                100 * values["int8_accuracy"],
+                f"{values['conv_macs'] / 1e6:.1f}M",
+                f"{values['fc_macs'] / 1e3:.1f}K",
+            )
+        )
+    return format_table(
+        ["Model", "FP32 top-1 %", "INT8 top-1 %", "CONV MACs", "FC MACs"],
+        rows,
+        float_fmt=".2f",
+        title="Table I -- evaluated models: accuracy and MAC operations",
+    )

@@ -1,0 +1,83 @@
+"""Table II: design parameters, power and area of the 16x16 arrays.
+
+The area/power models are calibrated to the paper's published values, so this
+experiment reproduces the table (and the derived area ratios the abstract
+quotes: 2T is ~1.4x the conventional SA area, 4T is ~2.5x) and checks the
+throughput and power-vs-utilization relationships the energy analysis uses.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import save_result
+from repro.hw.area import AreaModel
+from repro.hw.power import PowerModel
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "table2"
+
+#: Published Table II values for comparison.
+PAPER_TABLE_II = {
+    "sa": {"throughput_gmacs": 256, "power_mw_80": 320, "area_mm2": 0.220},
+    "sysmt_2t": {"throughput_gmacs": 512, "power_mw_80": 429, "area_mm2": 0.317},
+    "sysmt_4t": {"throughput_gmacs": 1024, "power_mw_80": 723, "area_mm2": 0.545},
+}
+
+
+def run(scale: str = "fast", rows: int = 16, cols: int = 16) -> dict:
+    """Evaluate the hardware models for the three array configurations."""
+    configs = {"sa": 1, "sysmt_2t": 2, "sysmt_4t": 4}
+    table: dict[str, dict[str, float]] = {}
+    for key, threads in configs.items():
+        area = AreaModel(rows, cols, threads)
+        power = PowerModel(rows, cols, threads)
+        table[key] = {
+            "threads": threads,
+            "throughput_gmacs": power.throughput_gmacs,
+            "power_mw_80": power.power_mw(0.8),
+            "power_mw_40": power.power_mw(0.4),
+            "area_mm2": area.total_area_mm2,
+            "pe_um2": area.pe_area_um2,
+            "mac_um2": area.mac_area_um2,
+            "area_ratio": area.area_ratio_to_baseline(),
+        }
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": scale,
+        "array": {"rows": rows, "cols": cols},
+        "configs": table,
+        "paper": PAPER_TABLE_II,
+    }
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    labels = {"sa": "SA", "sysmt_2t": "SySMT 2T", "sysmt_4t": "SySMT 4T"}
+    rows = []
+    for key, values in result["configs"].items():
+        paper = result["paper"][key]
+        rows.append(
+            (
+                labels[key],
+                values["throughput_gmacs"],
+                values["power_mw_80"],
+                paper["power_mw_80"],
+                values["area_mm2"],
+                paper["area_mm2"],
+                values["area_ratio"],
+            )
+        )
+    return format_table(
+        [
+            "Config",
+            "Throughput [GMACS]",
+            "Power@80% [mW]",
+            "Paper power",
+            "Area [mm^2]",
+            "Paper area",
+            "Area ratio",
+        ],
+        rows,
+        float_fmt=".3f",
+        title="Table II -- design parameters, power and area (16x16 arrays)",
+    )

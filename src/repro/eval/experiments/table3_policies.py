@@ -1,0 +1,61 @@
+"""Table III: contribution of sparsity and data-width exploitation (2T SySMT).
+
+The paper's Table III compares, per model, the accuracy of a 2-threaded
+SySMT under different packing policies without reordering: the baseline
+"min" (reduce everything), S (sparsity only), A (activation data-width), Aw
+(both operands' data-width, reduce activations), and the combinations S+A /
+S+Aw.  For ResNet-50 the weight-reduction family (W, aW, S+W, S+aW) is used
+instead.  The expected ordering: min is worst, combining sparsity with
+data-width is best, and the extra swap (Aw/aW) does not add much.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import get_harness, save_result
+from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "table3"
+
+#: Policy columns per model family (ResNet-50 uses the weight family).
+ACT_FAMILY = ("min", "S", "A", "Aw", "S+A", "S+Aw")
+WGT_FAMILY = ("min_w", "S_w", "W", "aW", "S+W", "S+aW")
+
+
+def policies_for(model_name: str) -> tuple[str, ...]:
+    if model_name.startswith("resnet50"):
+        return WGT_FAMILY
+    return ACT_FAMILY
+
+
+def run(
+    scale: str = "fast",
+    models: tuple[str, ...] = PAPER_MODEL_NAMES,
+    policies: tuple[str, ...] | None = None,
+) -> dict:
+    """2T SySMT accuracy per policy (no reordering), plus the INT8 baseline."""
+    per_model: dict[str, dict[str, float]] = {}
+    for name in models:
+        harness = get_harness(name, scale)
+        row: dict[str, float] = {"A8W8": harness.int8_accuracy}
+        for policy in policies or policies_for(name):
+            result = harness.evaluate_nbsmt(
+                threads=2, policy=policy, reorder=False, collect_stats=False
+            )
+            row[policy] = result.accuracy
+        per_model[name] = row
+    result = {"experiment": EXPERIMENT_ID, "scale": scale, "per_model": per_model}
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    lines = []
+    for name, row in result["per_model"].items():
+        headers = ["Model"] + list(row.keys())
+        values = [DISPLAY_NAMES.get(name, name)] + [100 * v for v in row.values()]
+        lines.append(format_table(headers, [values], float_fmt=".1f"))
+    return (
+        "Table III -- 2T SySMT accuracy per packing policy (no reordering)\n"
+        + "\n".join(lines)
+    )

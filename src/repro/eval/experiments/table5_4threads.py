@@ -1,0 +1,69 @@
+"""Table V: 4T SySMT accuracy and speedup with layer throttling.
+
+With four threads, collisions are more frequent and 3-/4-way collisions
+reduce both operands to 4 bits, so the paper trades speedup for accuracy by
+running the highest-MSE layers with two threads ("1L@2T", "2L@2T" columns).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.throttle import rank_layers_by_mse, throttle_layers
+from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "table5"
+
+
+def run(
+    scale: str = "fast",
+    models: tuple[str, ...] = PAPER_MODEL_NAMES,
+    max_slowed: int = 2,
+) -> dict:
+    """4T accuracy/speedup with 0, 1 and 2 layers throttled to 2 threads."""
+    per_model: dict[str, dict[str, dict[str, float]]] = {}
+    for name in models:
+        harness = get_harness(name, scale)
+        baseline = harness.evaluate_nbsmt(threads=4, reorder=True, collect_stats=True)
+        ranked = rank_layers_by_mse(baseline.layer_stats, harness.qmodel.layer_names())
+        entries = {
+            "4T": {"accuracy": baseline.accuracy, "speedup": baseline.speedup},
+            "A8W8": {"accuracy": harness.int8_accuracy, "speedup": 1.0},
+        }
+        slowed: list[str] = []
+        for count in range(1, max_slowed + 1):
+            if count > len(ranked):
+                break
+            slowed = ranked[:count]
+            result, _ = throttle_layers(
+                harness, base_threads=4, slow_layers=slowed, slow_threads=2,
+                reorder=True,
+            )
+            entries[f"{count}L@2T"] = {
+                "accuracy": result.accuracy,
+                "speedup": result.speedup,
+            }
+        per_model[name] = entries
+    result = {"experiment": EXPERIMENT_ID, "scale": scale, "per_model": per_model}
+    save_result(EXPERIMENT_ID, result)
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for name, entries in result["per_model"].items():
+        row = [DISPLAY_NAMES.get(name, name)]
+        for key in ("A8W8", "4T", "1L@2T", "2L@2T"):
+            if key in entries:
+                row.append(
+                    f"{100 * entries[key]['accuracy']:.1f} "
+                    f"({entries[key]['speedup']:.1f}x)"
+                )
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(
+        ["Model", "A8W8 (1x)", "4T", "1L@2T", "2L@2T"],
+        rows,
+        title="Table V -- 4T SySMT accuracy (speedup) with layers slowed to 2T",
+    )

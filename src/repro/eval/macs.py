@@ -1,0 +1,88 @@
+"""MAC counting and MAC-utilization breakdown (Fig. 1 and Table I).
+
+``mac_utilization_breakdown`` classifies every MAC of the quantized
+convolution layers into idle / partially-utilized / fully-utilized, as in
+Fig. 1; ``model_mac_counts`` reports per-model MAC operation counts for the
+Table I columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.collision import MacBreakdown, classify_macs
+from repro.eval.harness import SysmtHarness
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.module import Module
+from repro.quant.engine import LayerContext, exact_int_matmul
+
+
+class _ClassifyingEngine:
+    """Engine that classifies MAC operations while executing them exactly."""
+
+    def __init__(self):
+        self.breakdown = MacBreakdown()
+        self.per_layer: dict[str, MacBreakdown] = {}
+
+    def matmul(
+        self, x_q: np.ndarray, w_q: np.ndarray, ctx: LayerContext
+    ) -> np.ndarray:
+        layer_breakdown = classify_macs(x_q, w_q)
+        self.breakdown.merge(layer_breakdown)
+        per_layer = self.per_layer.setdefault(ctx.name, MacBreakdown())
+        per_layer.merge(layer_breakdown)
+        return exact_int_matmul(x_q, w_q)
+
+
+def mac_utilization_breakdown(
+    harness: SysmtHarness, images: np.ndarray | None = None
+) -> MacBreakdown:
+    """Idle / partial / full MAC breakdown of one model (a Fig. 1 bar)."""
+    engine = _ClassifyingEngine()
+    harness.qmodel.set_engine(engine)
+    if images is None:
+        images = harness.eval_images
+    harness.qmodel.forward(images[: harness.batch_size])
+    return engine.breakdown
+
+
+def model_mac_counts(model: Module, image_size: int = 32) -> dict[str, int]:
+    """Per-model MAC counts split into convolution and fully-connected MACs.
+
+    The counts are per input image, mirroring the Table I "MAC Ops." columns.
+    Spatial sizes are tracked through the layer graph by a probe forward pass.
+    """
+    conv_macs = 0
+    fc_macs = 0
+    # Probe spatial dimensions by hooking conv layers during a single forward.
+    spatial: dict[int, tuple[int, int]] = {}
+
+    conv_layers = [m for m in model.modules() if isinstance(m, Conv2d)]
+    linear_layers = [m for m in model.modules() if isinstance(m, Linear)]
+    originals = [layer.matmul_fn for layer in conv_layers]
+
+    def make_probe(index: int, original):
+        def probe(cols: np.ndarray, weight_2d: np.ndarray) -> np.ndarray:
+            spatial[index] = (cols.shape[0], cols.shape[1])
+            return original(cols, weight_2d)
+
+        return probe
+
+    try:
+        for index, layer in enumerate(conv_layers):
+            layer.matmul_fn = make_probe(index, originals[index])
+        probe_image = np.zeros((1, 3, image_size, image_size), dtype=np.float32)
+        model.eval()
+        model(probe_image)
+    finally:
+        for layer, original in zip(conv_layers, originals):
+            layer.matmul_fn = original
+
+    for index, layer in enumerate(conv_layers):
+        rows, depth = spatial.get(index, (0, 0))
+        group_out = layer.out_channels // layer.groups
+        conv_macs += rows * depth * group_out * layer.groups
+    for layer in linear_layers:
+        fc_macs += layer.macs_per_image()
+    return {"conv": conv_macs, "fc": fc_macs, "total": conv_macs + fc_macs}

@@ -1,0 +1,82 @@
+"""MLPerf-style quality targets (the MLPerf paragraph of Section V-B).
+
+MLPerf defines per-model quality targets as a fraction of the reference
+accuracy: 99% for ResNet-50 and 98% for MobileNet-v1.  The paper meets both
+with a 2-threaded SySMT by slowing down a small number of high-MSE layers
+(ResNet-50) or running depthwise convolutions with one thread (MobileNet-v1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.harness import SysmtHarness
+from repro.eval.throttle import throttle_to_accuracy
+
+#: MLPerf quality targets as a fraction of the reference (FP32) accuracy.
+QUALITY_TARGETS: dict[str, float] = {
+    "resnet50": 0.99,
+    "mobilenet_v1": 0.98,
+}
+
+
+@dataclass
+class MLPerfResult:
+    """Outcome of one MLPerf quality-target run."""
+
+    model: str
+    target_fraction: float
+    reference_accuracy: float
+    achieved_accuracy: float
+    speedup: float
+    slowed_layers: int
+
+    @property
+    def target_accuracy(self) -> float:
+        return self.target_fraction * self.reference_accuracy
+
+    @property
+    def meets_target(self) -> bool:
+        return self.achieved_accuracy >= self.target_accuracy
+
+
+def meets_quality_target(accuracy: float, reference: float, fraction: float) -> bool:
+    """Whether an accuracy meets an MLPerf-style quality target."""
+    return accuracy >= fraction * reference
+
+
+def run_quality_target(
+    harness: SysmtHarness,
+    target_fraction: float | None = None,
+    threads: int = 2,
+    policy: str | None = None,
+    max_slowed: int = 4,
+) -> MLPerfResult:
+    """Throttle a 2-threaded SySMT run until the MLPerf quality target is met.
+
+    At most ``max_slowed`` layers are dropped to a single thread (the paper
+    needs two for ResNet-50); the search stops earlier once the target is met.
+    """
+    name = harness.trained.name
+    if target_fraction is None:
+        target_fraction = QUALITY_TARGETS.get(name, 0.99)
+    reference = harness.fp32_accuracy
+    target = target_fraction * reference
+    plans = throttle_to_accuracy(
+        harness,
+        target_accuracy=target,
+        base_threads=threads,
+        slow_threads=1,
+        policy=policy,
+        reorder=True,
+        max_slowed=max_slowed,
+    )
+    final = plans[-1]
+    return MLPerfResult(
+        model=name,
+        target_fraction=target_fraction,
+        reference_accuracy=reference,
+        achieved_accuracy=final.accuracy,
+        speedup=final.speedup,
+        slowed_layers=final.num_slowed,
+    )

@@ -1,0 +1,62 @@
+"""Per-layer MSE analysis (Fig. 8).
+
+For every NB-SMT layer we relate the activation sparsity to the mean squared
+error the NB-SMT execution injects into that layer's output, with and without
+activation reordering.  The paper observes that MSE and sparsity are
+anti-correlated (fewer nonzero activations means fewer collisions) and that
+reordering lowers the MSE of every layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.harness import SysmtHarness
+
+
+@dataclass
+class LayerMsePoint:
+    """One dot of the Fig. 8 scatter: a layer's sparsity and its MSE."""
+
+    layer: str
+    sparsity: float
+    mse: float
+    relative_mse: float
+
+
+def per_layer_mse(
+    harness: SysmtHarness,
+    threads: int = 2,
+    policy: str | None = None,
+    reorder: bool = False,
+) -> list[LayerMsePoint]:
+    """Per-layer (sparsity, MSE) points of an NB-SMT run."""
+    result = harness.evaluate_nbsmt(
+        threads=threads, policy=policy, reorder=reorder, collect_stats=True
+    )
+    points = []
+    for name, stats in result.layer_stats.items():
+        if stats.mac_total == 0:
+            continue
+        points.append(
+            LayerMsePoint(
+                layer=name,
+                sparsity=stats.activation_sparsity,
+                mse=stats.mse,
+                relative_mse=stats.relative_mse,
+            )
+        )
+    return points
+
+
+def mse_sparsity_correlation(points: list[LayerMsePoint]) -> float:
+    """Pearson correlation between layer sparsity and relative MSE."""
+    import numpy as np
+
+    if len(points) < 2:
+        return 0.0
+    sparsities = np.array([point.sparsity for point in points])
+    mses = np.array([point.relative_mse for point in points])
+    if np.std(sparsities) == 0 or np.std(mses) == 0:
+        return 0.0
+    return float(np.corrcoef(sparsities, mses)[0, 1])

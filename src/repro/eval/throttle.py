@@ -1,0 +1,122 @@
+"""Layer throttling: trading speedup for accuracy (Section V-B).
+
+SySMT is tunable: specific layers can be executed with fewer threads and
+therefore contribute less (or no) NB-SMT noise.  The paper chooses the layers
+to slow down by their recorded MSE -- highest-MSE layers first, breaking ties
+towards the beginning of the network -- and reports the resulting
+accuracy/speedup operating points (the GoogLeNet 1%-cap example, the MLPerf
+quality targets, Table V and Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.smt import SMTStatistics
+from repro.eval.harness import NBSMTRunResult, SysmtHarness
+
+
+@dataclass
+class ThrottlePlan:
+    """A per-layer thread assignment together with its measured outcome."""
+
+    threads: dict[str, int]
+    slowed_layers: list[str] = field(default_factory=list)
+    accuracy: float = 0.0
+    speedup: float = 1.0
+
+    @property
+    def num_slowed(self) -> int:
+        return len(self.slowed_layers)
+
+
+def rank_layers_by_mse(
+    layer_stats: dict[str, SMTStatistics], layer_order: list[str]
+) -> list[str]:
+    """Layers sorted by decreasing relative MSE (ties: earlier layers first)."""
+    position = {name: index for index, name in enumerate(layer_order)}
+    return sorted(
+        (name for name in layer_stats if name in position),
+        key=lambda name: (-round(layer_stats[name].relative_mse, 6), position[name]),
+    )
+
+
+def plan_speedup(harness: SysmtHarness, threads: dict[str, int]) -> float:
+    """Speedup of a per-layer thread assignment over the conventional SA."""
+    return harness.speedup_for(threads)
+
+
+def throttle_layers(
+    harness: SysmtHarness,
+    base_threads: int,
+    slow_layers: list[str],
+    slow_threads: int,
+    policy: str | None = None,
+    reorder: bool = True,
+) -> tuple[NBSMTRunResult, dict[str, int]]:
+    """Evaluate a run with the given layers slowed to ``slow_threads``."""
+    assignment = {}
+    for name, layer in harness.qmodel.layers.items():
+        default = base_threads
+        if harness.qmodel.config.depthwise_single_thread and layer.module.groups > 1:
+            default = 1
+        assignment[name] = slow_threads if name in slow_layers else default
+    result = harness.evaluate_nbsmt(
+        threads=assignment, policy=policy, reorder=reorder
+    )
+    return result, assignment
+
+
+def throttle_to_accuracy(
+    harness: SysmtHarness,
+    target_accuracy: float,
+    base_threads: int = 4,
+    slow_threads: int = 2,
+    policy: str | None = None,
+    reorder: bool = True,
+    max_slowed: int | None = None,
+) -> list[ThrottlePlan]:
+    """Progressively slow down the highest-MSE layers until a target is met.
+
+    Returns the sequence of operating points visited (the dots of Fig. 10 /
+    the columns of Table V): the first entry runs every layer at
+    ``base_threads``, each subsequent entry slows one more layer to
+    ``slow_threads``.  The search stops when the target accuracy is reached
+    or ``max_slowed`` layers have been slowed.
+    """
+    baseline = harness.evaluate_nbsmt(
+        threads=base_threads, policy=policy, reorder=reorder
+    )
+    layer_order = harness.qmodel.layer_names()
+    ranked = rank_layers_by_mse(baseline.layer_stats, layer_order)
+    if max_slowed is None:
+        max_slowed = len(ranked)
+
+    plans = [
+        ThrottlePlan(
+            threads=dict(baseline.threads),
+            slowed_layers=[],
+            accuracy=baseline.accuracy,
+            speedup=baseline.speedup,
+        )
+    ]
+    if baseline.accuracy >= target_accuracy:
+        return plans
+
+    slowed: list[str] = []
+    for layer_name in ranked[:max_slowed]:
+        slowed.append(layer_name)
+        result, assignment = throttle_layers(
+            harness, base_threads, slowed, slow_threads, policy=policy, reorder=reorder
+        )
+        plans.append(
+            ThrottlePlan(
+                threads=assignment,
+                slowed_layers=list(slowed),
+                accuracy=result.accuracy,
+                speedup=result.speedup,
+            )
+        )
+        if result.accuracy >= target_accuracy:
+            break
+    return plans

@@ -1,0 +1,22 @@
+"""Hardware cost models: area, power and energy of the 16x16 arrays.
+
+The paper implements the conventional OS-SA and the 2-/4-threaded SySMT in
+SystemVerilog and synthesizes them with a 45nm library at 500MHz; Table II
+reports the resulting area, power and throughput, and Section V-A derives
+energy from per-layer utilization via Eq. (6).  Synthesis tools are not
+available here, so the models in this subpackage are calibrated to the
+published Table II numbers and reproduce the same derivation pipeline.
+"""
+
+from repro.hw.area import AreaModel, TABLE_II_AREA
+from repro.hw.power import PowerModel, TABLE_II_POWER_POINTS
+from repro.hw.energy import EnergyModel, LayerEnergyInput
+
+__all__ = [
+    "AreaModel",
+    "TABLE_II_AREA",
+    "PowerModel",
+    "TABLE_II_POWER_POINTS",
+    "EnergyModel",
+    "LayerEnergyInput",
+]

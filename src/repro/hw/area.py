@@ -1,0 +1,62 @@
+"""Area model calibrated to the paper's Table II (45nm, 16x16 array, 500MHz)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Published Table II area numbers for the 16x16 arrays.
+#: ``total`` is in mm^2; ``pe`` and ``mac`` are per-PE/per-MAC in um^2.
+TABLE_II_AREA: dict[str, dict[str, float]] = {
+    "sa": {"total_mm2": 0.220, "pe_um2": 853.0, "mac_um2": 591.0},
+    "sysmt_2t": {"total_mm2": 0.317, "pe_um2": 1233.0, "mac_um2": 786.0},
+    "sysmt_4t": {"total_mm2": 0.545, "pe_um2": 2122.0, "mac_um2": 1102.0},
+}
+
+#: Reference array size the Table II numbers were synthesized for.
+REFERENCE_ARRAY = 16 * 16
+
+
+def _config_key(threads: int) -> str:
+    if threads <= 1:
+        return "sa"
+    if threads == 2:
+        return "sysmt_2t"
+    if threads == 4:
+        return "sysmt_4t"
+    raise ValueError("area model supports 1, 2 or 4 threads")
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area of an R x C array with the given thread count.
+
+    The per-PE area is taken from Table II; the array-level overhead (I/O
+    skew registers, control) is the published total minus ``R*C`` PEs and is
+    scaled with the array perimeter.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    threads: int = 1
+
+    @property
+    def pe_area_um2(self) -> float:
+        return TABLE_II_AREA[_config_key(self.threads)]["pe_um2"]
+
+    @property
+    def mac_area_um2(self) -> float:
+        return TABLE_II_AREA[_config_key(self.threads)]["mac_um2"]
+
+    @property
+    def total_area_mm2(self) -> float:
+        reference = TABLE_II_AREA[_config_key(self.threads)]
+        pe_total_reference = REFERENCE_ARRAY * reference["pe_um2"] * 1e-6
+        overhead_reference = max(reference["total_mm2"] - pe_total_reference, 0.0)
+        perimeter_scale = (self.rows + self.cols) / 32.0
+        pe_total = self.rows * self.cols * reference["pe_um2"] * 1e-6
+        return pe_total + overhead_reference * perimeter_scale
+
+    def area_ratio_to_baseline(self) -> float:
+        """Area of this configuration relative to the conventional SA."""
+        baseline = AreaModel(self.rows, self.cols, threads=1)
+        return self.total_area_mm2 / baseline.total_area_mm2

@@ -1,0 +1,56 @@
+"""Energy model: Eq. (6) of the paper.
+
+The energy of layer ``l`` is ``E_l = MAC_l / Throughput * P_l`` where
+``MAC_l`` is the layer's MAC count, ``Throughput`` the array's peak MAC rate
+and ``P_l`` the average power at the layer's measured utilization; the model
+energy is the sum over layers.  SySMT spends 1/T of the baseline's time per
+layer (constant speedup) at a higher but sub-proportional power, which is
+where the paper's ~33-39% energy savings come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.power import PowerModel
+
+
+@dataclass(frozen=True)
+class LayerEnergyInput:
+    """Per-layer quantities feeding Eq. (6)."""
+
+    name: str
+    macs: int
+    utilization: float
+    threads: int = 1
+
+
+@dataclass
+class EnergyModel:
+    """Energy of executing a model on a given array configuration."""
+
+    rows: int = 16
+    cols: int = 16
+
+    def layer_energy_mj(self, layer: LayerEnergyInput) -> float:
+        """Energy (millijoules) of one layer, Eq. (6)."""
+        power_model = PowerModel(self.rows, self.cols, threads=layer.threads)
+        seconds = layer.macs / (power_model.throughput_gmacs * 1e9)
+        power_w = power_model.power_mw(layer.utilization) * 1e-3
+        return power_w * seconds * 1e3
+
+    def model_energy_mj(self, layers: list[LayerEnergyInput]) -> float:
+        """Total energy of a model (sum of Eq. (6) over layers)."""
+        return float(sum(self.layer_energy_mj(layer) for layer in layers))
+
+    def energy_saving(
+        self,
+        baseline_layers: list[LayerEnergyInput],
+        smt_layers: list[LayerEnergyInput],
+    ) -> float:
+        """Fractional energy saving of the SySMT execution over the baseline."""
+        baseline = self.model_energy_mj(baseline_layers)
+        smt = self.model_energy_mj(smt_layers)
+        if baseline == 0:
+            return 0.0
+        return 1.0 - smt / baseline

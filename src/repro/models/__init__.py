@@ -1,0 +1,39 @@
+"""Scaled-down CNN zoo mirroring the architectures evaluated in the paper.
+
+The paper evaluates AlexNet, ResNet-18, ResNet-50, GoogLeNet and DenseNet-121
+on ImageNet (plus MobileNet-v1 for the MLPerf paragraph).  Those pre-trained
+models are not available offline, so each entry here reproduces the same
+architectural motif at 32x32 resolution on the synthetic dataset: plain
+convolution stacks (AlexNet), basic and bottleneck residual blocks (ResNet),
+parallel inception branches (GoogLeNet), dense feature reuse (DenseNet) and
+depthwise-separable convolutions (MobileNet-v1).
+"""
+
+from repro.models.alexnet import build_alexnet_mini
+from repro.models.resnet import build_resnet18_mini, build_resnet50_mini
+from repro.models.googlenet import build_googlenet_mini
+from repro.models.densenet import build_densenet121_mini
+from repro.models.mobilenet import build_mobilenet_v1_mini
+from repro.models.zoo import (
+    MODEL_BUILDERS,
+    PAPER_MODEL_NAMES,
+    TrainedModel,
+    load_dataset,
+    load_trained_model,
+    load_zoo,
+)
+
+__all__ = [
+    "build_alexnet_mini",
+    "build_resnet18_mini",
+    "build_resnet50_mini",
+    "build_googlenet_mini",
+    "build_densenet121_mini",
+    "build_mobilenet_v1_mini",
+    "MODEL_BUILDERS",
+    "PAPER_MODEL_NAMES",
+    "TrainedModel",
+    "load_dataset",
+    "load_trained_model",
+    "load_zoo",
+]

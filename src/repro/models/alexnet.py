@@ -1,0 +1,50 @@
+"""AlexNet-style plain convolution stack (scaled down to 32x32 inputs)."""
+
+from __future__ import annotations
+
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.layers.norm import BatchNorm2d
+from repro.models.common import SeedStream
+
+
+def build_alexnet_mini(num_classes: int = 10, width: int = 24, seed: int = 2020) -> Sequential:
+    """A five-convolution plain stack in the spirit of AlexNet.
+
+    AlexNet's defining property for this paper is that it is a plain (no skip
+    connections) stack of wide convolutions followed by large fully-connected
+    layers; it is also the paper's most quantization-robust model (Fig. 7).
+    """
+    seeds = SeedStream("alexnet", seed)
+    w = width
+    return Sequential(
+        Conv2d(3, w, 5, stride=1, padding=2, bias=False, seed=seeds.next()),
+        BatchNorm2d(w),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(w, 2 * w, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(2 * w),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(2 * w, 3 * w, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(3 * w),
+        ReLU(),
+        Conv2d(3 * w, 3 * w, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(3 * w),
+        ReLU(),
+        Conv2d(3 * w, 2 * w, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(2 * w),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(2 * w * 4 * 4, 4 * w, seed=seeds.next()),
+        ReLU(),
+        Linear(4 * w, num_classes, seed=seeds.next()),
+    )

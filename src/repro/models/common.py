@@ -1,0 +1,24 @@
+"""Shared helpers for the model zoo builders."""
+
+from __future__ import annotations
+
+from repro.utils.rng import derive_seed
+
+
+class SeedStream:
+    """Deterministic per-layer seed source for a model builder.
+
+    Each call to :meth:`next` yields a new seed derived from the model name
+    and a running counter, so two builds of the same model are identical and
+    two different models are independent.
+    """
+
+    def __init__(self, model_name: str, base_seed: int = 2020):
+        self._model_name = model_name
+        self._base_seed = base_seed
+        self._counter = 0
+
+    def next(self) -> int:
+        seed = derive_seed(self._base_seed, self._model_name, self._counter)
+        self._counter += 1
+        return seed

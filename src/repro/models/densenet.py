@@ -1,0 +1,68 @@
+"""DenseNet-style model built from dense blocks and transition layers."""
+
+from __future__ import annotations
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    DenseBlock,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.layers.norm import BatchNorm2d
+from repro.models.common import SeedStream
+
+
+def _dense_layer(in_ch: int, growth: int, seeds: SeedStream) -> Sequential:
+    """BN-ReLU-Conv(3x3) producing ``growth`` new feature maps."""
+    return Sequential(
+        BatchNorm2d(in_ch),
+        ReLU(),
+        Conv2d(in_ch, growth, 3, padding=1, bias=False, seed=seeds.next()),
+    )
+
+
+def _dense_block(in_ch: int, layers: int, growth: int, seeds: SeedStream) -> tuple[DenseBlock, int]:
+    blocks = []
+    channels = in_ch
+    for _ in range(layers):
+        blocks.append(_dense_layer(channels, growth, seeds))
+        channels += growth
+    return DenseBlock(blocks), channels
+
+
+def _transition(in_ch: int, out_ch: int, seeds: SeedStream) -> Sequential:
+    return Sequential(
+        BatchNorm2d(in_ch),
+        ReLU(),
+        Conv2d(in_ch, out_ch, 1, bias=False, seed=seeds.next()),
+        AvgPool2d(2),
+    )
+
+
+def build_densenet121_mini(
+    num_classes: int = 10, growth: int = 12, seed: int = 2020
+) -> Sequential:
+    """Three dense blocks with transitions (DenseNet-121 motif)."""
+    seeds = SeedStream("densenet121", seed)
+    stem_ch = 2 * growth
+    layers = Sequential(
+        Conv2d(3, stem_ch, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(stem_ch),
+        ReLU(),
+    )
+    channels = stem_ch
+    for block_index, num_layers in enumerate((4, 4, 4)):
+        block, channels = _dense_block(channels, num_layers, growth, seeds)
+        layers.append(block)
+        if block_index < 2:
+            out_channels = channels // 2
+            layers.append(_transition(channels, out_channels, seeds))
+            channels = out_channels
+    layers.append(BatchNorm2d(channels))
+    layers.append(ReLU())
+    layers.append(GlobalAvgPool2d())
+    layers.append(Linear(channels, num_classes, seed=seeds.next()))
+    return layers

@@ -1,0 +1,64 @@
+"""GoogLeNet-style model built from inception blocks."""
+
+from __future__ import annotations
+
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool2d,
+    InceptionBlock,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.layers.norm import BatchNorm2d
+from repro.models.common import SeedStream
+
+
+def _conv_bn_relu(in_ch: int, out_ch: int, kernel: int, seeds: SeedStream, stride: int = 1) -> Sequential:
+    return Sequential(
+        Conv2d(
+            in_ch,
+            out_ch,
+            kernel,
+            stride=stride,
+            padding=kernel // 2,
+            bias=False,
+            seed=seeds.next(),
+        ),
+        BatchNorm2d(out_ch),
+        ReLU(),
+    )
+
+
+def _inception(in_ch: int, ch1: int, ch3: int, ch5: int, chp: int, seeds: SeedStream) -> InceptionBlock:
+    """Four parallel branches: 1x1, 1x1->3x3, 1x1->5x5 and pool->1x1."""
+    branch1 = _conv_bn_relu(in_ch, ch1, 1, seeds)
+    branch3 = Sequential(
+        _conv_bn_relu(in_ch, ch3 // 2, 1, seeds),
+        _conv_bn_relu(ch3 // 2, ch3, 3, seeds),
+    )
+    branch5 = Sequential(
+        _conv_bn_relu(in_ch, max(ch5 // 2, 4), 1, seeds),
+        _conv_bn_relu(max(ch5 // 2, 4), ch5, 5, seeds),
+    )
+    branch_pool = Sequential(
+        MaxPool2d(3, stride=1, padding=1),
+        _conv_bn_relu(in_ch, chp, 1, seeds),
+    )
+    return InceptionBlock(branch1, branch3, branch5, branch_pool)
+
+
+def build_googlenet_mini(num_classes: int = 10, seed: int = 2020) -> Sequential:
+    """Stem + three inception blocks + classifier (GoogLeNet motif)."""
+    seeds = SeedStream("googlenet", seed)
+    return Sequential(
+        _conv_bn_relu(3, 16, 3, seeds),
+        MaxPool2d(2),
+        _inception(16, 8, 16, 8, 8, seeds),        # -> 40 channels
+        _inception(40, 12, 24, 8, 8, seeds),       # -> 52 channels
+        MaxPool2d(2),
+        _inception(52, 16, 32, 12, 12, seeds),     # -> 72 channels
+        GlobalAvgPool2d(),
+        Linear(72, num_classes, seed=seeds.next()),
+    )

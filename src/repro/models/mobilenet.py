@@ -1,0 +1,64 @@
+"""MobileNet-v1-style model built from depthwise-separable convolutions.
+
+Used for the paper's MLPerf paragraph: pointwise (1x1) convolutions carry the
+bulk of the MACs and run under NB-SMT with two threads, while depthwise
+convolutions run with a single thread.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.layers.norm import BatchNorm2d
+from repro.models.common import SeedStream
+
+
+def _depthwise_separable(
+    in_ch: int, out_ch: int, stride: int, seeds: SeedStream
+) -> Sequential:
+    """Depthwise 3x3 (groups=in_ch) followed by pointwise 1x1."""
+    return Sequential(
+        Conv2d(
+            in_ch,
+            in_ch,
+            3,
+            stride=stride,
+            padding=1,
+            bias=False,
+            groups=in_ch,
+            seed=seeds.next(),
+        ),
+        BatchNorm2d(in_ch),
+        ReLU(),
+        Conv2d(in_ch, out_ch, 1, bias=False, seed=seeds.next()),
+        BatchNorm2d(out_ch),
+        ReLU(),
+    )
+
+
+def build_mobilenet_v1_mini(num_classes: int = 10, width: int = 16, seed: int = 2020) -> Sequential:
+    """Stem + five depthwise-separable blocks (MobileNet-v1 motif)."""
+    seeds = SeedStream("mobilenet_v1", seed)
+    w = width
+    return Sequential(
+        Conv2d(3, w, 3, stride=1, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(w),
+        ReLU(),
+        _depthwise_separable(w, 2 * w, 1, seeds),
+        _depthwise_separable(2 * w, 2 * w, 2, seeds),
+        _depthwise_separable(2 * w, 4 * w, 1, seeds),
+        _depthwise_separable(4 * w, 4 * w, 2, seeds),
+        _depthwise_separable(4 * w, 8 * w, 1, seeds),
+        GlobalAvgPool2d(),
+        Linear(8 * w, num_classes, seed=seeds.next()),
+    )
+
+
+def is_depthwise_conv(conv: Conv2d) -> bool:
+    """True when the convolution is depthwise (one group per input channel)."""
+    return conv.groups > 1 and conv.groups == conv.in_channels

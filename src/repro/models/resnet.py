@@ -1,0 +1,101 @@
+"""ResNet-style models: basic blocks (ResNet-18) and bottlenecks (ResNet-50)."""
+
+from __future__ import annotations
+
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from repro.nn.layers.norm import BatchNorm2d
+from repro.models.common import SeedStream
+
+
+def _conv_bn(in_ch: int, out_ch: int, kernel: int, stride: int, seeds: SeedStream) -> Sequential:
+    return Sequential(
+        Conv2d(
+            in_ch,
+            out_ch,
+            kernel,
+            stride=stride,
+            padding=kernel // 2,
+            bias=False,
+            seed=seeds.next(),
+        ),
+        BatchNorm2d(out_ch),
+    )
+
+
+def _basic_block(in_ch: int, out_ch: int, stride: int, seeds: SeedStream) -> ResidualBlock:
+    body = Sequential(
+        Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(out_ch),
+        ReLU(),
+        Conv2d(out_ch, out_ch, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(out_ch),
+    )
+    shortcut = None
+    if stride != 1 or in_ch != out_ch:
+        shortcut = _conv_bn(in_ch, out_ch, 1, stride, seeds)
+    return ResidualBlock(body, shortcut)
+
+
+def _bottleneck_block(
+    in_ch: int, mid_ch: int, out_ch: int, stride: int, seeds: SeedStream
+) -> ResidualBlock:
+    body = Sequential(
+        Conv2d(in_ch, mid_ch, 1, bias=False, seed=seeds.next()),
+        BatchNorm2d(mid_ch),
+        ReLU(),
+        Conv2d(mid_ch, mid_ch, 3, stride=stride, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(mid_ch),
+        ReLU(),
+        Conv2d(mid_ch, out_ch, 1, bias=False, seed=seeds.next()),
+        BatchNorm2d(out_ch),
+    )
+    shortcut = None
+    if stride != 1 or in_ch != out_ch:
+        shortcut = _conv_bn(in_ch, out_ch, 1, stride, seeds)
+    return ResidualBlock(body, shortcut)
+
+
+def build_resnet18_mini(num_classes: int = 10, width: int = 16, seed: int = 2020) -> Sequential:
+    """Three stages of two basic residual blocks each (ResNet-18 motif)."""
+    seeds = SeedStream("resnet18", seed)
+    w = width
+    return Sequential(
+        Conv2d(3, w, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(w),
+        ReLU(),
+        _basic_block(w, w, 1, seeds),
+        _basic_block(w, w, 1, seeds),
+        _basic_block(w, 2 * w, 2, seeds),
+        _basic_block(2 * w, 2 * w, 1, seeds),
+        _basic_block(2 * w, 4 * w, 2, seeds),
+        _basic_block(4 * w, 4 * w, 1, seeds),
+        GlobalAvgPool2d(),
+        Linear(4 * w, num_classes, seed=seeds.next()),
+    )
+
+
+def build_resnet50_mini(num_classes: int = 10, width: int = 16, seed: int = 2020) -> Sequential:
+    """Three stages of bottleneck residual blocks (ResNet-50 motif)."""
+    seeds = SeedStream("resnet50", seed)
+    w = width
+    expansion = 2
+    return Sequential(
+        Conv2d(3, w, 3, padding=1, bias=False, seed=seeds.next()),
+        BatchNorm2d(w),
+        ReLU(),
+        _bottleneck_block(w, w, expansion * w, 1, seeds),
+        _bottleneck_block(expansion * w, w, expansion * w, 1, seeds),
+        _bottleneck_block(expansion * w, 2 * w, 2 * expansion * w, 2, seeds),
+        _bottleneck_block(2 * expansion * w, 2 * w, 2 * expansion * w, 1, seeds),
+        _bottleneck_block(2 * expansion * w, 4 * w, 4 * expansion * w, 2, seeds),
+        _bottleneck_block(4 * expansion * w, 4 * w, 4 * expansion * w, 1, seeds),
+        GlobalAvgPool2d(),
+        Linear(4 * expansion * w, num_classes, seed=seeds.next()),
+    )

@@ -1,0 +1,180 @@
+"""Model registry plus train-or-load-from-cache helpers.
+
+Experiments request models by the paper's names (``"resnet18"`` etc.); the
+zoo trains the scaled-down analogue once on the synthetic dataset and caches
+the resulting parameters under the artifact cache, so repeated benchmark runs
+reuse the same checkpoints, just as the paper reuses PyTorch's pre-trained
+weights.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.alexnet import build_alexnet_mini
+from repro.models.densenet import build_densenet121_mini
+from repro.models.googlenet import build_googlenet_mini
+from repro.models.mobilenet import build_mobilenet_v1_mini
+from repro.models.resnet import build_resnet18_mini, build_resnet50_mini
+from repro.nn.data import DatasetConfig, SyntheticImageDataset
+from repro.nn.module import Module
+from repro.nn.train import TrainConfig, Trainer, evaluate_accuracy
+from repro.utils.cache import ArtifactCache, default_cache
+from repro.utils.rng import derive_seed
+
+#: Builders keyed by the paper's model names.
+MODEL_BUILDERS: dict[str, Callable[..., Module]] = {
+    "alexnet": build_alexnet_mini,
+    "resnet18": build_resnet18_mini,
+    "resnet50": build_resnet50_mini,
+    "googlenet": build_googlenet_mini,
+    "densenet121": build_densenet121_mini,
+    "mobilenet_v1": build_mobilenet_v1_mini,
+}
+
+#: The five models of the paper's main evaluation (Table I / Fig. 1 / Fig. 7).
+PAPER_MODEL_NAMES: tuple[str, ...] = (
+    "alexnet",
+    "resnet18",
+    "resnet50",
+    "googlenet",
+    "densenet121",
+)
+
+#: Display names matching the paper's tables.
+DISPLAY_NAMES: dict[str, str] = {
+    "alexnet": "AlexNet",
+    "resnet18": "ResNet-18",
+    "resnet50": "ResNet-50",
+    "googlenet": "GoogLeNet",
+    "densenet121": "DenseNet-121",
+    "mobilenet_v1": "MobileNet-v1",
+}
+
+_DATASET_CACHE: dict[tuple, SyntheticImageDataset] = {}
+
+
+def load_dataset(
+    fast: bool = False, config: DatasetConfig | None = None
+) -> SyntheticImageDataset:
+    """Return the shared synthetic dataset (memoized per configuration).
+
+    ``fast=True`` selects a much smaller dataset used by the test suite.
+    """
+    if config is None:
+        if fast:
+            config = DatasetConfig(train_size=512, val_size=160, image_size=32)
+        else:
+            config = DatasetConfig()
+    key = (
+        config.num_classes,
+        config.image_size,
+        config.channels,
+        config.train_size,
+        config.val_size,
+        config.noise_std,
+        config.seed,
+    )
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = SyntheticImageDataset(config)
+    return _DATASET_CACHE[key]
+
+
+@dataclass
+class TrainedModel:
+    """A trained zoo entry along with its evaluation context."""
+
+    name: str
+    model: Module
+    dataset: SyntheticImageDataset
+    fp32_accuracy: float
+    train_config: dict
+
+    @property
+    def display_name(self) -> str:
+        return DISPLAY_NAMES.get(self.name, self.name)
+
+
+def _default_train_config(name: str, fast: bool) -> TrainConfig:
+    if fast:
+        return TrainConfig(epochs=3, batch_size=64, lr=0.08, lr_decay_epochs=(2,),
+                           seed=derive_seed(7, name, "train"))
+    return TrainConfig(
+        epochs=8,
+        batch_size=64,
+        lr=0.08,
+        lr_decay_epochs=(5, 7),
+        weight_decay=1e-4,
+        seed=derive_seed(7, name, "train"),
+    )
+
+
+def _model_config_key(name: str, fast: bool, builder_kwargs: dict) -> dict:
+    return {"name": name, "fast": fast, "builder": builder_kwargs, "version": 3}
+
+
+def load_trained_model(
+    name: str,
+    fast: bool = False,
+    cache: ArtifactCache | None = None,
+    train_config: TrainConfig | None = None,
+    builder_kwargs: dict | None = None,
+    force_retrain: bool = False,
+) -> TrainedModel:
+    """Train (or load from cache) one zoo model.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`MODEL_BUILDERS`.
+    fast:
+        Use the small dataset / short schedule intended for unit tests.
+    cache:
+        Artifact cache; defaults to the repository-wide cache.
+    train_config, builder_kwargs:
+        Overrides for the training schedule and model builder.
+    force_retrain:
+        Ignore any cached checkpoint.
+    """
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}")
+    cache = cache or default_cache()
+    builder_kwargs = dict(builder_kwargs or {})
+    dataset = load_dataset(fast=fast)
+    builder_kwargs.setdefault("num_classes", dataset.num_classes)
+    model = MODEL_BUILDERS[name](**builder_kwargs)
+    config = train_config or _default_train_config(name, fast)
+    cache_key = _model_config_key(name, fast, builder_kwargs)
+
+    cached = None if force_retrain else cache.load(f"model-{name}", cache_key)
+    if cached is not None and "__fp32_accuracy" in cached:
+        accuracy = float(cached.pop("__fp32_accuracy"))
+        model.load_state_dict(cached)
+        model.eval()
+        return TrainedModel(name, model, dataset, accuracy, vars(config))
+
+    trainer = Trainer(model, config)
+    trainer.fit(
+        dataset.train_images,
+        dataset.train_labels,
+        dataset.val_images,
+        dataset.val_labels,
+    )
+    accuracy = evaluate_accuracy(model, dataset.val_images, dataset.val_labels)
+    state = model.state_dict()
+    state["__fp32_accuracy"] = np.array(accuracy, dtype=np.float64)
+    cache.save(f"model-{name}", cache_key, state)
+    model.eval()
+    return TrainedModel(name, model, dataset, accuracy, vars(config))
+
+
+def load_zoo(
+    names: tuple[str, ...] | list[str] = PAPER_MODEL_NAMES,
+    fast: bool = False,
+    cache: ArtifactCache | None = None,
+) -> dict[str, TrainedModel]:
+    """Load several zoo models keyed by name."""
+    return {name: load_trained_model(name, fast=fast, cache=cache) for name in names}

@@ -1,0 +1,57 @@
+"""A small, from-scratch NumPy deep-learning substrate.
+
+This subpackage stands in for the PyTorch stack the paper uses: it provides
+tensors-as-arrays, layers with forward *and* backward passes, graph-ish
+composite blocks (residual, inception, dense), losses, an SGD optimizer, a
+training loop and a deterministic synthetic image-classification dataset.
+
+Everything downstream (quantization, NB-SMT error injection, the systolic
+array simulators) operates on models built from these pieces.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    DenseBlock,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    InceptionBlock,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+)
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.optim import SGD
+from repro.nn.data import SyntheticImageDataset, DataLoader
+from repro.nn.train import Trainer, TrainConfig, evaluate_accuracy
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm2d",
+    "Flatten",
+    "Identity",
+    "Concat",
+    "ResidualBlock",
+    "InceptionBlock",
+    "DenseBlock",
+    "CrossEntropyLoss",
+    "SGD",
+    "SyntheticImageDataset",
+    "DataLoader",
+    "Trainer",
+    "TrainConfig",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,130 @@
+"""Low-level tensor operations shared by the layers.
+
+The central primitive is the im2col / col2im lowering that turns a 2D
+convolution into a matrix multiplication.  The same lowering is what the
+paper's systolic-array mapping uses (conv as matmul, Section IV-A), so the
+quantized executor and the SySMT simulators consume exactly these matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Lower an NCHW tensor into the (rows, patch) matrix of a convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Square-kernel convolution geometry.
+
+    Returns
+    -------
+    cols:
+        Matrix of shape ``(N * OH * OW, C * kernel * kernel)``.  Row ``r``
+        holds the flattened receptive field of output position ``r``.
+    (OH, OW):
+        The spatial output size.
+    """
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    x_padded = pad_nchw(x, padding)
+
+    strides = x_padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x_padded,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` for gradients (overlaps are accumulated)."""
+    batch, channels, height, width = x_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=cols.dtype,
+    )
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    for kh in range(kernel):
+        for kw in range(kernel):
+            padded[
+                :,
+                :,
+                kh : kh + stride * out_h : stride,
+                kw : kw + stride * out_w : stride,
+            ] += cols6[:, :, :, :, kh, kw].transpose(0, 3, 1, 2)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding : padding + height, padding : padding + width]
+
+
+def cols_to_feature_map(
+    out_cols: np.ndarray, batch: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Reshape a ``(N*OH*OW, C_out)`` matmul result back into NCHW."""
+    out_channels = out_cols.shape[1]
+    return out_cols.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+
+
+def feature_map_to_cols(grad_out: np.ndarray) -> np.ndarray:
+    """Reshape an NCHW gradient into the ``(N*OH*OW, C_out)`` layout."""
+    batch, out_channels, out_h, out_w = grad_out.shape
+    return grad_out.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, out_channels)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels."""
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

@@ -1,0 +1,25 @@
+"""Layer implementations (forward + backward) for the NumPy substrate."""
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.reshape import Flatten, Identity
+from repro.nn.layers.combine import Concat, DenseBlock, InceptionBlock, ResidualBlock
+
+__all__ = [
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm2d",
+    "Flatten",
+    "Identity",
+    "Concat",
+    "ResidualBlock",
+    "InceptionBlock",
+    "DenseBlock",
+]

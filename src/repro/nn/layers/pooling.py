@@ -1,0 +1,109 @@
+"""Spatial pooling layers (max, average, global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Square max pooling."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: dict[str, object] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        merged = x.reshape(batch * channels, 1, height, width)
+        cols, (out_h, out_w) = F.im2col(
+            merged, self.kernel_size, self.stride, self.padding
+        )
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        self._cache = {
+            "x_shape": x.shape,
+            "cols_shape": cols.shape,
+            "argmax": argmax,
+            "out_hw": (out_h, out_w),
+        }
+        return out.reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._cache["x_shape"]
+        cols_shape = self._cache["cols_shape"]
+        argmax = self._cache["argmax"]
+        grad_cols = np.zeros(cols_shape, dtype=np.float32)
+        grad_cols[np.arange(cols_shape[0]), argmax] = grad_out.reshape(-1)
+        grad_merged = F.col2im(
+            grad_cols,
+            (batch * channels, 1, height, width),
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        self._cache = {}
+        return grad_merged.reshape(batch, channels, height, width)
+
+
+class AvgPool2d(Module):
+    """Square average pooling."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: dict[str, object] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        merged = x.reshape(batch * channels, 1, height, width)
+        cols, (out_h, out_w) = F.im2col(
+            merged, self.kernel_size, self.stride, self.padding
+        )
+        out = cols.mean(axis=1)
+        self._cache = {"x_shape": x.shape, "cols_shape": cols.shape, "out_hw": (out_h, out_w)}
+        return out.reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._cache["x_shape"]
+        cols_shape = self._cache["cols_shape"]
+        grad_cols = np.repeat(
+            grad_out.reshape(-1, 1) / (self.kernel_size**2), cols_shape[1], axis=1
+        )
+        grad_merged = F.col2im(
+            grad_cols,
+            (batch * channels, 1, height, width),
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        self._cache = {}
+        return grad_merged.reshape(batch, channels, height, width)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the full spatial extent, producing ``(N, C)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._x_shape
+        grad_in = np.broadcast_to(
+            grad_out[:, :, None, None] / (height * width),
+            (batch, channels, height, width),
+        ).astype(np.float32)
+        self._x_shape = None
+        return np.array(grad_in)

@@ -1,0 +1,34 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Flatten everything but the batch dimension."""
+
+    def __init__(self):
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        shape = self._x_shape
+        self._x_shape = None
+        return grad_out.reshape(shape)
+
+
+class Identity(Module):
+    """Pass-through layer (used as a residual shortcut)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

@@ -1,0 +1,45 @@
+"""Loss functions for training the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient with
+    respect to the logits (already divided by the batch size).
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._cache: dict[str, np.ndarray] = {}
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        probs = F.softmax(logits)
+        num_classes = logits.shape[1]
+        targets = F.one_hot(labels, num_classes)
+        if self.label_smoothing:
+            targets = (
+                targets * (1.0 - self.label_smoothing)
+                + self.label_smoothing / num_classes
+            )
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        loss = -(targets * log_probs).sum(axis=1).mean()
+        self._cache = {"probs": probs, "targets": targets}
+        return float(loss)
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+    def backward(self) -> np.ndarray:
+        probs = self._cache["probs"]
+        targets = self._cache["targets"]
+        batch = probs.shape[0]
+        self._cache = {}
+        return ((probs - targets) / batch).astype(np.float32)

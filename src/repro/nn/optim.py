@@ -1,0 +1,44 @@
+"""Optimizers.  SGD with momentum and weight decay is all the zoo needs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum and L2 decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter] | tuple[Parameter, ...],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(param.value) for param in self.parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            velocity *= self.momentum
+            velocity += grad
+            param.value -= self.lr * velocity
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = lr

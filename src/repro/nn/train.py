@@ -1,0 +1,129 @@
+"""Training loop and accuracy evaluation for the model zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import DataLoader
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for zoo training."""
+
+    epochs: int = 6
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_decay_epochs: tuple[int, ...] = (4,)
+    lr_decay_factor: float = 0.1
+    label_smoothing: float = 0.0
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history returned by :meth:`Trainer.fit`."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracies[-1] if self.val_accuracies else float("nan")
+
+
+def evaluate_accuracy(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 128,
+) -> float:
+    """Top-1 accuracy of ``model`` on the given images (model left in eval mode)."""
+    model.eval()
+    correct = 0
+    for start in range(0, images.shape[0], batch_size):
+        batch = images[start : start + batch_size]
+        batch_labels = labels[start : start + batch_size]
+        logits = model(batch)
+        correct += int((logits.argmax(axis=1) == batch_labels).sum())
+    return correct / images.shape[0]
+
+
+class Trainer:
+    """SGD trainer for the NumPy substrate."""
+
+    def __init__(self, model: Module, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.loss_fn = CrossEntropyLoss(label_smoothing=self.config.label_smoothing)
+        self.optimizer = SGD(
+            list(model.parameters()),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        val_images: np.ndarray | None = None,
+        val_labels: np.ndarray | None = None,
+    ) -> TrainResult:
+        """Train for ``config.epochs`` epochs and return the history."""
+        config = self.config
+        result = TrainResult()
+        loader = DataLoader(
+            train_images,
+            train_labels,
+            batch_size=config.batch_size,
+            shuffle=True,
+            seed=config.seed,
+        )
+        lr = config.lr
+        for epoch in range(config.epochs):
+            if epoch in config.lr_decay_epochs:
+                lr *= config.lr_decay_factor
+                self.optimizer.set_lr(lr)
+            self.model.train()
+            epoch_loss = 0.0
+            epoch_correct = 0
+            epoch_count = 0
+            for batch_images, batch_labels in loader:
+                self.optimizer.zero_grad()
+                logits = self.model(batch_images)
+                loss = self.loss_fn(logits, batch_labels)
+                grad = self.loss_fn.backward()
+                self.model.backward(grad)
+                self.optimizer.step()
+                epoch_loss += loss * batch_images.shape[0]
+                epoch_correct += int((logits.argmax(axis=1) == batch_labels).sum())
+                epoch_count += batch_images.shape[0]
+            result.losses.append(epoch_loss / epoch_count)
+            result.train_accuracies.append(epoch_correct / epoch_count)
+            if val_images is not None and val_labels is not None:
+                accuracy = evaluate_accuracy(self.model, val_images, val_labels)
+                result.val_accuracies.append(accuracy)
+                self.model.train()
+            if config.verbose:  # pragma: no cover - logging only
+                val_text = (
+                    f" val={result.val_accuracies[-1]:.3f}"
+                    if result.val_accuracies
+                    else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{config.epochs} "
+                    f"loss={result.losses[-1]:.3f} "
+                    f"train={result.train_accuracies[-1]:.3f}{val_text}"
+                )
+        self.model.eval()
+        return result

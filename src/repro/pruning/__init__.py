@@ -1,0 +1,17 @@
+"""Weight pruning used by the paper's 4-thread study (Fig. 10)."""
+
+from repro.pruning.magnitude import (
+    PruningSchedule,
+    apply_masks,
+    iterative_magnitude_prune,
+    magnitude_masks,
+    sparsity_of,
+)
+
+__all__ = [
+    "PruningSchedule",
+    "magnitude_masks",
+    "apply_masks",
+    "iterative_magnitude_prune",
+    "sparsity_of",
+]

@@ -1,0 +1,125 @@
+"""Iterative magnitude pruning with retraining.
+
+The paper uses "simple magnitude-based pruning that iteratively prunes a
+certain percentage of the model weights followed by retraining" (Section
+V-A, after Han et al.).  We prune convolution weights layer-wise by magnitude,
+retrain for a few epochs with the pruned weights masked to zero, and repeat
+until the target sparsity is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module, Parameter
+from repro.nn.train import TrainConfig, Trainer
+
+
+@dataclass
+class PruningSchedule:
+    """How to reach the target sparsity."""
+
+    target_sparsity: float
+    steps: int = 2
+    retrain_epochs: int = 2
+    lr: float = 0.01
+
+    def __post_init__(self):
+        if not 0.0 <= self.target_sparsity < 1.0:
+            raise ValueError("target_sparsity must lie in [0, 1)")
+        if self.steps < 1:
+            raise ValueError("steps must be positive")
+
+
+def _prunable_parameters(model: Module) -> dict[str, Parameter]:
+    """Convolution weights are the pruning targets (biases and BN are kept)."""
+    params: dict[str, Parameter] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, Conv2d):
+            params[f"{name}.weight"] = module.weight
+    return params
+
+
+def magnitude_masks(
+    model: Module, sparsity: float
+) -> dict[str, np.ndarray]:
+    """Per-layer binary masks keeping the largest-magnitude weights.
+
+    The same fraction is pruned in every convolution layer (layer-wise
+    unstructured pruning).
+    """
+    masks: dict[str, np.ndarray] = {}
+    for name, param in _prunable_parameters(model).items():
+        values = np.abs(param.value).reshape(-1)
+        if sparsity <= 0.0:
+            masks[name] = np.ones_like(param.value, dtype=bool)
+            continue
+        cutoff_index = int(np.floor(sparsity * values.size))
+        cutoff_index = min(max(cutoff_index, 0), values.size - 1)
+        threshold = np.partition(values, cutoff_index)[cutoff_index]
+        masks[name] = np.abs(param.value) > threshold
+    return masks
+
+
+def apply_masks(model: Module, masks: dict[str, np.ndarray]) -> None:
+    """Zero out the pruned weights in place."""
+    params = _prunable_parameters(model)
+    for name, mask in masks.items():
+        params[name].value *= mask
+
+
+def sparsity_of(model: Module) -> float:
+    """Fraction of zero-valued convolution weights in the model."""
+    params = _prunable_parameters(model)
+    total = sum(param.size for param in params.values())
+    zeros = sum(int((param.value == 0).sum()) for param in params.values())
+    if total == 0:
+        return 0.0
+    return zeros / total
+
+
+class _MaskedTrainer(Trainer):
+    """Trainer that re-applies pruning masks after every optimizer step."""
+
+    def __init__(self, model: Module, config: TrainConfig, masks: dict[str, np.ndarray]):
+        super().__init__(model, config)
+        self._masks = masks
+        original_step = self.optimizer.step
+
+        def masked_step() -> None:
+            original_step()
+            apply_masks(model, self._masks)
+
+        self.optimizer.step = masked_step  # type: ignore[method-assign]
+
+
+def iterative_magnitude_prune(
+    model: Module,
+    train_images: np.ndarray,
+    train_labels: np.ndarray,
+    schedule: PruningSchedule,
+    val_images: np.ndarray | None = None,
+    val_labels: np.ndarray | None = None,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Prune ``model`` in place to the target sparsity; returns the final masks."""
+    masks: dict[str, np.ndarray] = {}
+    for step in range(1, schedule.steps + 1):
+        step_sparsity = schedule.target_sparsity * step / schedule.steps
+        masks = magnitude_masks(model, step_sparsity)
+        apply_masks(model, masks)
+        if schedule.retrain_epochs > 0:
+            config = TrainConfig(
+                epochs=schedule.retrain_epochs,
+                lr=schedule.lr,
+                lr_decay_epochs=(),
+                seed=seed + step,
+            )
+            trainer = _MaskedTrainer(model, config, masks)
+            trainer.fit(train_images, train_labels, val_images, val_labels)
+            apply_masks(model, masks)
+    model.eval()
+    return masks

@@ -1,0 +1,42 @@
+"""Post-training quantization: the paper's 8-bit baseline and PTQ comparisons.
+
+The paper quantizes each CNN with "a simple 8-bit uniform min-max
+quantization, using symmetric unsigned quantization for activations and
+symmetric signed quantization for weights", per-layer for activations and
+per-kernel for weights, after a short statistics-gathering (calibration) run
+(Section V-A).  This subpackage implements that pipeline, the whole-model
+robustness sweeps of Fig. 7, and the static 4-bit PTQ baselines (ACIQ / LBQ
+style) used in Tables IV and V.
+"""
+
+from repro.quant.quantizer import (
+    QuantizedTensor,
+    WeightQuantization,
+    dequantize,
+    quantize_activations,
+    quantize_weights_per_channel,
+)
+from repro.quant.engine import ExactEngine, IntMatmulEngine, LayerContext
+from repro.quant.calibration import CalibrationResult, calibrate_model
+from repro.quant.qmodel import QuantizedModel, QuantConfig
+from repro.quant.robustness import ReducedPrecisionEngine, robustness_sweep
+from repro.quant.baselines import aciq_clip_engine, lbq_search_engine
+
+__all__ = [
+    "QuantizedTensor",
+    "WeightQuantization",
+    "quantize_activations",
+    "quantize_weights_per_channel",
+    "dequantize",
+    "IntMatmulEngine",
+    "ExactEngine",
+    "LayerContext",
+    "CalibrationResult",
+    "calibrate_model",
+    "QuantizedModel",
+    "QuantConfig",
+    "ReducedPrecisionEngine",
+    "robustness_sweep",
+    "aciq_clip_engine",
+    "lbq_search_engine",
+]

@@ -1,0 +1,152 @@
+"""Static 4-bit post-training-quantization baselines (Table IV comparison).
+
+The paper compares the 2-threaded SySMT against two PTQ methods that
+carefully choose static quantization parameters:
+
+* **ACIQ** (Banner et al.) -- analytically clips the tensor range assuming a
+  Laplace distribution and quantizes to the reduced bit-width within the
+  clipped range.
+* **LBQ** (Kravchik et al.) -- searches per-layer quantization parameters
+  that minimize the layer output error.
+
+Both are re-implemented here in spirit: they receive the already-quantized
+8-bit integer tensors (the same operands the NB-SMT engine sees) and requantize
+the selected operand to a static 4-bit grid whose clipping value is chosen
+analytically (ACIQ) or by a per-layer MSE search (LBQ).  Unlike NB-SMT, the
+reduction applies to *every* value of the selected operand, but the grid is
+optimized rather than fixed to the 4-bit MSBs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.engine import LayerContext, exact_int_matmul
+
+#: ACIQ's optimal clipping multiplier for a Laplace distribution at 4 bits.
+ACIQ_LAPLACE_ALPHA_4BIT = 5.03
+
+
+def _requantize_unsigned(x: np.ndarray, clip_value: float, bits: int) -> np.ndarray:
+    """Re-quantize non-negative integers onto a ``bits``-bit grid in [0, clip]."""
+    levels = 2**bits - 1
+    clip_value = max(float(clip_value), 1.0)
+    step = clip_value / levels
+    q = np.clip(np.rint(np.clip(x, 0, clip_value) / step), 0, levels)
+    return np.rint(q * step).astype(np.int64)
+
+
+def _requantize_signed(w: np.ndarray, clip_value: float, bits: int) -> np.ndarray:
+    """Re-quantize signed integers onto a symmetric ``bits``-bit grid."""
+    levels = 2 ** (bits - 1) - 1
+    clip_value = max(float(clip_value), 1.0)
+    step = clip_value / levels
+    q = np.clip(np.rint(np.clip(w, -clip_value, clip_value) / step), -levels, levels)
+    return np.rint(q * step).astype(np.int64)
+
+
+class StaticLowBitEngine:
+    """Base class: per-layer static requantization of one operand to 4 bits."""
+
+    def __init__(self, act_bits: int = 4, wgt_bits: int = 8):
+        self.act_bits = act_bits
+        self.wgt_bits = wgt_bits
+        self._act_clips: dict[str, float] = {}
+        self._wgt_clips: dict[str, float] = {}
+
+    # subclasses provide the clip selection rules -------------------------------
+    def _choose_act_clip(self, x_q: np.ndarray, w_q: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _choose_wgt_clip(self, x_q: np.ndarray, w_q: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def matmul(
+        self, x_q: np.ndarray, w_q: np.ndarray, ctx: LayerContext
+    ) -> np.ndarray:
+        x_eff = x_q
+        w_eff = w_q
+        if self.act_bits < 8:
+            if ctx.name not in self._act_clips:
+                self._act_clips[ctx.name] = self._choose_act_clip(x_q, w_q)
+            x_eff = _requantize_unsigned(x_q, self._act_clips[ctx.name], self.act_bits)
+        if self.wgt_bits < 8:
+            if ctx.name not in self._wgt_clips:
+                self._wgt_clips[ctx.name] = self._choose_wgt_clip(x_q, w_q)
+            w_eff = _requantize_signed(w_q, self._wgt_clips[ctx.name], self.wgt_bits)
+        ctx.add_stat("macs", x_q.shape[0] * x_q.shape[1] * w_q.shape[1])
+        return exact_int_matmul(x_eff, w_eff)
+
+
+class ACIQEngine(StaticLowBitEngine):
+    """Analytic Laplace clipping (ACIQ-style)."""
+
+    def _choose_act_clip(self, x_q: np.ndarray, w_q: np.ndarray) -> float:
+        values = x_q[x_q > 0].astype(np.float64)
+        if values.size == 0:
+            return 255.0
+        laplace_b = float(np.mean(np.abs(values - values.mean())))
+        clip = ACIQ_LAPLACE_ALPHA_4BIT * max(laplace_b, 1e-3)
+        return float(min(max(clip, 16.0), 255.0))
+
+    def _choose_wgt_clip(self, x_q: np.ndarray, w_q: np.ndarray) -> float:
+        values = w_q[w_q != 0].astype(np.float64)
+        if values.size == 0:
+            return 127.0
+        laplace_b = float(np.mean(np.abs(values - values.mean())))
+        clip = ACIQ_LAPLACE_ALPHA_4BIT * max(laplace_b, 1e-3)
+        return float(min(max(clip, 8.0), 127.0))
+
+
+class LBQEngine(StaticLowBitEngine):
+    """Per-layer output-MSE search over clipping candidates (LBQ-style)."""
+
+    def __init__(self, act_bits: int = 4, wgt_bits: int = 8, candidates: int = 12):
+        super().__init__(act_bits, wgt_bits)
+        self.candidates = candidates
+
+    def _search(
+        self,
+        x_q: np.ndarray,
+        w_q: np.ndarray,
+        requantize,
+        operand: str,
+        max_value: float,
+        bits: int,
+    ) -> float:
+        exact = exact_int_matmul(x_q, w_q).astype(np.float64)
+        best_clip = max_value
+        best_mse = np.inf
+        for fraction in np.linspace(0.3, 1.0, self.candidates):
+            clip = max(fraction * max_value, 1.0)
+            if operand == "act":
+                candidate = exact_int_matmul(requantize(x_q, clip, bits), w_q)
+            else:
+                candidate = exact_int_matmul(x_q, requantize(w_q, clip, bits))
+            mse = float(((candidate - exact) ** 2).mean())
+            if mse < best_mse:
+                best_mse = mse
+                best_clip = clip
+        return float(best_clip)
+
+    def _choose_act_clip(self, x_q: np.ndarray, w_q: np.ndarray) -> float:
+        max_value = float(x_q.max(initial=1))
+        return self._search(
+            x_q, w_q, _requantize_unsigned, "act", max_value, self.act_bits
+        )
+
+    def _choose_wgt_clip(self, x_q: np.ndarray, w_q: np.ndarray) -> float:
+        max_value = float(np.abs(w_q).max(initial=1))
+        return self._search(
+            x_q, w_q, _requantize_signed, "wgt", max_value, self.wgt_bits
+        )
+
+
+def aciq_clip_engine(act_bits: int = 4, wgt_bits: int = 8) -> ACIQEngine:
+    """Factory mirroring the paper's ACIQ comparison configuration."""
+    return ACIQEngine(act_bits=act_bits, wgt_bits=wgt_bits)
+
+
+def lbq_search_engine(act_bits: int = 4, wgt_bits: int = 8) -> LBQEngine:
+    """Factory mirroring the paper's LBQ comparison configuration."""
+    return LBQEngine(act_bits=act_bits, wgt_bits=wgt_bits)

@@ -1,0 +1,186 @@
+"""Quantized model executor.
+
+Wraps a trained floating-point model and replaces the matrix multiplication
+inside selected convolution (and optionally linear) layers with a quantized
+integer execution carried out by a pluggable engine.  This mirrors the
+paper's simulator: "the convolution operations are mapped to matrix
+multiplication operations to fit the hardware simulator" (Section V-A), and
+the first convolution layer and the fully-connected layers are left intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.module import Module
+from repro.nn.train import evaluate_accuracy
+from repro.quant.calibration import CalibrationResult
+from repro.quant.engine import ExactEngine, IntMatmulEngine, LayerContext
+from repro.quant.quantizer import (
+    dequantize,
+    quantize_activations,
+    quantize_weights_per_channel,
+)
+
+
+@dataclass
+class QuantConfig:
+    """Which layers are quantized and with how many bits."""
+
+    act_bits: int = 8
+    wgt_bits: int = 8
+    skip_first_conv: bool = True
+    include_linear: bool = False
+    depthwise_single_thread: bool = True
+
+
+@dataclass
+class QuantizedLayer:
+    """Book-keeping for one layer executed by the quantized engine."""
+
+    name: str
+    module: Module
+    kind: str
+    context: LayerContext
+    original_matmul: object = None
+    engine: IntMatmulEngine | None = None
+
+
+def _is_depthwise(module: Module) -> bool:
+    return isinstance(module, Conv2d) and module.groups > 1
+
+
+class QuantizedModel:
+    """Executes a model with quantized convolutions through an engine.
+
+    The wrapper is installed on construction and removed by :meth:`remove`
+    (or by using the instance as a context manager).  The underlying model's
+    floating-point parameters are never modified.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        calibration: CalibrationResult,
+        engine: IntMatmulEngine | None = None,
+        config: QuantConfig | None = None,
+    ):
+        self.model = model
+        self.calibration = calibration
+        self.config = config or QuantConfig()
+        self.default_engine: IntMatmulEngine = engine or ExactEngine()
+        self.layers: dict[str, QuantizedLayer] = {}
+        self._select_layers()
+        self._install()
+
+    # -- layer selection / installation ------------------------------------
+    def _select_layers(self) -> None:
+        first_conv_seen = False
+        for name, module in self.model.named_modules():
+            if isinstance(module, Conv2d):
+                if self.config.skip_first_conv and not first_conv_seen:
+                    first_conv_seen = True
+                    continue
+                first_conv_seen = True
+                if name not in self.calibration.act_scales:
+                    raise KeyError(f"layer {name!r} missing from calibration result")
+                threads = 1 if (
+                    self.config.depthwise_single_thread and _is_depthwise(module)
+                ) else 2
+                context = LayerContext(name=name, kind="conv", threads=threads)
+                self.layers[name] = QuantizedLayer(name, module, "conv", context)
+            elif self.config.include_linear and isinstance(module, Linear):
+                if name not in self.calibration.act_scales:
+                    raise KeyError(f"layer {name!r} missing from calibration result")
+                context = LayerContext(name=name, kind="linear", threads=1)
+                self.layers[name] = QuantizedLayer(name, module, "linear", context)
+
+    def _make_hook(self, layer: QuantizedLayer):
+        act_scale = self.calibration.scale_for(layer.name)
+        config = self.config
+
+        def hook(cols: np.ndarray, weight_2d: np.ndarray) -> np.ndarray:
+            engine = layer.engine or self.default_engine
+            x_q = quantize_activations(cols, act_scale, bits=config.act_bits)
+            w_q = quantize_weights_per_channel(weight_2d, bits=config.wgt_bits)
+            accumulators = engine.matmul(x_q.values, w_q.values, layer.context)
+            return dequantize(accumulators, act_scale, w_q.scales)
+
+        return hook
+
+    def _install(self) -> None:
+        for layer in self.layers.values():
+            layer.original_matmul = layer.module.matmul_fn
+            layer.module.matmul_fn = self._make_hook(layer)
+
+    def remove(self) -> None:
+        """Restore the original floating-point matmuls."""
+        for layer in self.layers.values():
+            if layer.original_matmul is not None:
+                layer.module.matmul_fn = layer.original_matmul
+                layer.original_matmul = None
+
+    def __enter__(self) -> "QuantizedModel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.remove()
+
+    # -- configuration -------------------------------------------------------
+    def layer_names(self) -> list[str]:
+        return list(self.layers)
+
+    def set_engine(
+        self, engine: IntMatmulEngine, layer_names: list[str] | None = None
+    ) -> None:
+        """Set the engine for all layers (default) or a subset."""
+        if layer_names is None:
+            self.default_engine = engine
+            for layer in self.layers.values():
+                layer.engine = None
+            return
+        for name in layer_names:
+            self.layers[name].engine = engine
+
+    def set_threads(self, threads: int | dict[str, int]) -> None:
+        """Set the NB-SMT thread count globally or per layer."""
+        if isinstance(threads, int):
+            for layer in self.layers.values():
+                if self.config.depthwise_single_thread and _is_depthwise(layer.module):
+                    layer.context.threads = 1
+                else:
+                    layer.context.threads = threads
+            return
+        for name, count in threads.items():
+            self.layers[name].context.threads = count
+
+    def thread_assignment(self) -> dict[str, int]:
+        return {name: layer.context.threads for name, layer in self.layers.items()}
+
+    def set_permutations(self, permutations: dict[str, np.ndarray | None]) -> None:
+        """Install per-layer K-dimension reordering permutations."""
+        for name, permutation in permutations.items():
+            if name in self.layers:
+                self.layers[name].context.permutation = permutation
+
+    def clear_stats(self) -> None:
+        for layer in self.layers.values():
+            layer.context.stats = {}
+
+    def collect_stats(self) -> dict[str, dict[str, float]]:
+        return {name: dict(layer.context.stats) for name, layer in self.layers.items()}
+
+    # -- evaluation -------------------------------------------------------------
+    def evaluate(
+        self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64
+    ) -> float:
+        """Top-1 accuracy of the quantized model."""
+        return evaluate_accuracy(self.model, images, labels, batch_size=batch_size)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        self.model.eval()
+        return self.model(images)

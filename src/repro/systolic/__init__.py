@@ -1,0 +1,45 @@
+"""Output-stationary systolic arrays: the conventional baseline and SySMT.
+
+The paper demonstrates NB-SMT as an extension of an 8-bit output-stationary
+systolic array (OS-SA) for matrix multiplication (Section IV).  This
+subpackage provides:
+
+* :mod:`repro.systolic.dataflow` -- matrix tiling, skewed injection schedule
+  and cycle-count model of the OS dataflow;
+* :mod:`repro.systolic.os_sa` -- the conventional OS-SA (one 8b-8b MAC per
+  PE per cycle);
+* :mod:`repro.systolic.sysmt` -- SySMT, whose PEs execute T threads per
+  cycle using the NB-SMT collision rules;
+* :mod:`repro.systolic.reorder` -- the data-arrangement mechanism of
+  Section IV-B (statistics-driven column reordering);
+* :mod:`repro.systolic.utilization` -- the analytic utilization model of
+  Eq. (7)/(8) and helpers for measured utilization.
+"""
+
+from repro.systolic.dataflow import (
+    CycleModel,
+    skewed_schedule,
+    split_matrices_for_threads,
+    tile_matrices,
+)
+from repro.systolic.os_sa import OutputStationarySA, ArrayReport
+from repro.systolic.sysmt import SySMTArray
+from repro.systolic.reorder import compute_reorder_permutation, identity_permutation
+from repro.systolic.utilization import (
+    utilization_gain_analytic,
+    utilization_probability,
+)
+
+__all__ = [
+    "CycleModel",
+    "tile_matrices",
+    "skewed_schedule",
+    "split_matrices_for_threads",
+    "OutputStationarySA",
+    "SySMTArray",
+    "ArrayReport",
+    "compute_reorder_permutation",
+    "identity_permutation",
+    "utilization_gain_analytic",
+    "utilization_probability",
+]

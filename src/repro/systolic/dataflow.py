@@ -1,0 +1,92 @@
+"""Output-stationary dataflow: tiling, skewing and the cycle model.
+
+In an output-stationary systolic array, PE ``(i, j)`` accumulates output
+element ``O[i, j]`` of the current tile.  Activations stream in from the left
+(one row per array row) and weights from the top (one column per array
+column), both skewed so that ``x[i, k]`` and ``w[k, j]`` meet at PE ``(i, j)``
+on cycle ``k + i + j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Latency model of one output tile on an R x C output-stationary array.
+
+    ``pipeline_stages`` models internal PE pipelining (the SySMT PEs are
+    two-staged, Section V-A); it adds latency but does not affect throughput.
+    """
+
+    rows: int
+    cols: int
+    pipeline_stages: int = 1
+
+    def tile_cycles(self, depth: int) -> int:
+        """Cycles to fully accumulate one tile with inner dimension ``depth``."""
+        if depth <= 0:
+            return 0
+        drain = (self.rows - 1) + (self.cols - 1)
+        return depth + drain + self.pipeline_stages
+
+    def matmul_cycles(self, m: int, k: int, n: int, depth_per_cycle: int = 1) -> int:
+        """Cycles to compute an ``(M, K) @ (K, N)`` product by tiling.
+
+        ``depth_per_cycle`` is the number of K-steps consumed per cycle: 1 for
+        the conventional SA, T for a T-threaded SySMT (which is what makes
+        the speedup directly proportional to the number of threads).
+        """
+        tiles_m = -(-m // self.rows)
+        tiles_n = -(-n // self.cols)
+        depth = -(-k // depth_per_cycle)
+        return tiles_m * tiles_n * self.tile_cycles(depth)
+
+
+def tile_matrices(
+    x: np.ndarray, w: np.ndarray, rows: int, cols: int
+) -> Iterator[tuple[slice, slice, np.ndarray, np.ndarray]]:
+    """Yield ``(row_slice, col_slice, x_tile, w_tile)`` for each output tile."""
+    m, k = x.shape
+    k2, n = w.shape
+    if k != k2:
+        raise ValueError("inner dimensions of X and W differ")
+    for row_start in range(0, m, rows):
+        row_slice = slice(row_start, min(row_start + rows, m))
+        for col_start in range(0, n, cols):
+            col_slice = slice(col_start, min(col_start + cols, n))
+            yield row_slice, col_slice, x[row_slice, :], w[:, col_slice]
+
+
+def skewed_schedule(depth: int, rows: int, cols: int) -> Iterator[tuple[int, int, int, int]]:
+    """Yield ``(cycle, k, i, j)`` tuples of the skewed OS dataflow.
+
+    PE ``(i, j)`` consumes the ``k``-th operand pair on cycle ``k + i + j``.
+    This generator enumerates the full schedule of one tile and is used by
+    the explicit (PE-object) simulators and by tests; the vectorized
+    simulators exploit the same identity without enumerating it.
+    """
+    for k in range(depth):
+        for i in range(rows):
+            for j in range(cols):
+                yield k + i + j, k, i, j
+
+
+def split_matrices_for_threads(
+    x: np.ndarray, w: np.ndarray, threads: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split the K dimension of a matmul into T thread slices (Eq. (2)).
+
+    Returns ``x_threads`` with shape ``(T, M, ceil(K/T))`` and ``w_threads``
+    with shape ``(T, ceil(K/T), N)``; the K dimension is zero-padded when not
+    divisible by ``threads``.  This is the same split the functional executor
+    uses, re-exported here because it is part of the SySMT data layout
+    (Fig. 3c / Fig. 4).
+    """
+    from repro.core.smt import split_into_threads
+
+    return split_into_threads(x, w, threads)

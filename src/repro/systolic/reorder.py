@@ -1,0 +1,99 @@
+"""Data arrangement: statistics-driven column reordering (Section IV-B).
+
+Reordering pairs activation-matrix columns that are likely to demand the
+full 8-bit MAC with columns that are likely to be zero or 4-bit, so that the
+threads formed by the K-dimension split (Eq. (2)) collide less often.  The
+statistics are gathered once per layer during calibration; at runtime the
+permutation is static.
+
+A column's "demand score" is the probability that its activation requires an
+8-bit multiplication, i.e. that it is nonzero *and* wider than 4 bits.  The
+permutation assigns the score-sorted columns to pairing groups in serpentine
+order so that each group (one K-step of the T threads) mixes heavy and light
+columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.calibration import ColumnStats
+
+
+def identity_permutation(num_columns: int) -> np.ndarray:
+    """The no-reordering permutation."""
+    return np.arange(num_columns, dtype=np.int64)
+
+
+def column_demand_scores(stats: ColumnStats) -> np.ndarray:
+    """Probability that each column demands a full 8-bit MAC."""
+    return stats.p_wide
+
+
+def compute_reorder_permutation(stats: ColumnStats, threads: int = 2) -> np.ndarray:
+    """Permutation of the K dimension that balances demand across threads.
+
+    The returned array ``perm`` is to be applied as ``X[:, perm]`` and
+    ``W[perm, :]`` before the thread split; position ``t * (K/T) + j`` of the
+    reordered matrices (thread ``t``, step ``j``) then holds original column
+    ``perm[t * (K/T) + j]``.
+    """
+    if threads < 1:
+        raise ValueError("threads must be positive")
+    scores = column_demand_scores(stats)
+    num_columns = scores.shape[0]
+    per_thread = -(-num_columns // threads)
+
+    # Sort columns by demand, heaviest first (stable for reproducibility).
+    order = np.argsort(-scores, kind="stable")
+
+    # Serpentine assignment of sorted columns to pairing groups: group j of
+    # the reordered layout holds columns {perm[t * per_thread + j] for all t}.
+    groups: list[list[int]] = [[] for _ in range(per_thread)]
+    direction = 1
+    group_index = 0
+    for column in order:
+        groups[group_index].append(int(column))
+        group_index += direction
+        if group_index == per_thread:
+            group_index = per_thread - 1
+            direction = -1
+        elif group_index < 0:
+            group_index = 0
+            direction = 1
+
+    permutation = np.full(per_thread * threads, -1, dtype=np.int64)
+    spare_slots: list[int] = []
+    for j, group in enumerate(groups):
+        for t, column in enumerate(group):
+            permutation[t * per_thread + j] = column
+        for t in range(len(group), threads):
+            spare_slots.append(t * per_thread + j)
+
+    # Positions left unassigned (K not divisible by T) stay "empty"; the
+    # executor pads them with zeros, so we trim the permutation back to the
+    # real column count by dropping the unfilled slots.
+    filled = permutation[permutation >= 0]
+    if filled.shape[0] != num_columns:
+        raise RuntimeError("reordering produced an inconsistent permutation")
+    return filled
+
+
+def expected_collision_rate(
+    stats: ColumnStats, permutation: np.ndarray | None, threads: int = 2
+) -> float:
+    """Analytic expected fraction of K-steps in which all threads demand 8 bits.
+
+    Used to sanity-check that reordering reduces collisions: pairing a heavy
+    column with a light one lowers the product of per-column demand
+    probabilities.
+    """
+    scores = column_demand_scores(stats)
+    if permutation is not None:
+        scores = scores[permutation]
+    num_columns = scores.shape[0]
+    per_thread = -(-num_columns // threads)
+    padded = np.zeros(per_thread * threads)
+    padded[: num_columns] = scores
+    grouped = padded.reshape(threads, per_thread)
+    return float(np.prod(grouped, axis=0).mean())

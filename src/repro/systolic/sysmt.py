@@ -1,0 +1,235 @@
+"""SySMT: the NB-SMT-enabled output-stationary systolic array (Section IV).
+
+Each SySMT PE receives T operand pairs per cycle (one per thread), applies
+the local control logic of Algorithm 1 to resolve thread collisions, and
+accumulates all thread contributions into a single shared partial-sum
+register (output sharing, Fig. 3c).  Connectivity therefore scales with the
+thread count, and the array consumes the K dimension T positions per cycle,
+which is what yields the constant speedup of T over the conventional array.
+
+Two simulators are provided and cross-checked by tests:
+
+* :meth:`SySMTArray.matmul` -- vectorized tile-by-tile execution whose MAC
+  results are produced by the same functional NB-SMT executor used for
+  accuracy experiments;
+* :meth:`SySMTArray.matmul_explicit` -- a slow PE-object simulation whose
+  per-cycle decisions follow Algorithm 1 literally (including the fMUL
+  nibble/shift interface), used to validate the functional model bit by bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import packing
+from repro.core.fmul import FlexibleMultiplier
+from repro.core.policies import PackingPolicy, get_policy
+from repro.core.precision import (
+    act_fits_4bit,
+    prepare_act_operand,
+    prepare_wgt_operand,
+    reduce_act_to_4bit_msb,
+    wgt_fits_4bit,
+)
+from repro.core.smt import NBSMTMatmul, SMTStatistics, split_into_threads
+from repro.systolic.dataflow import CycleModel, tile_matrices
+from repro.systolic.os_sa import ArrayReport
+
+
+class _SysmtPE:
+    """One SySMT PE executing Algorithm 1 each cycle (explicit simulation)."""
+
+    def __init__(self, threads: int, policy: PackingPolicy):
+        self.threads = threads
+        self.policy = policy
+        self.fmul = FlexibleMultiplier(2 if threads == 2 else 4)
+        self.accumulator = 0
+        self.active_cycles = 0
+
+    def step(self, xs: np.ndarray, ws: np.ndarray) -> None:
+        """Consume one operand pair per thread and accumulate their products."""
+        xs = np.asarray(xs, dtype=np.int64)
+        ws = np.asarray(ws, dtype=np.int64)
+        active = [
+            bool(packing.thread_active(xs[t], ws[t], self.policy.sparsity))
+            for t in range(self.threads)
+        ]
+        demand = sum(active)
+        if demand > 0:
+            self.active_cycles += 1
+
+        if self.policy.sparsity and demand <= 1:
+            # No collision: every thread computes its exact 8b-8b product
+            # (inactive threads contribute zero anyway).
+            for t in range(self.threads):
+                self.accumulator += int(xs[t]) * int(ws[t])
+            return
+
+        if self.threads == 2 or (self.policy.sparsity and demand == 2):
+            self._step_pairwise(xs, ws, active)
+        else:
+            self._step_many(xs, ws, active)
+
+    def _step_pairwise(self, xs, ws, active) -> None:
+        """Two colliding threads share the fMUL as two 4b-8b products."""
+        if self.policy.sparsity:
+            colliding = [t for t in range(self.threads) if active[t]]
+        else:
+            colliding = list(range(self.threads))
+        # Exact contribution for the non-colliding threads.
+        for t in range(self.threads):
+            if t not in colliding:
+                self.accumulator += int(xs[t]) * int(ws[t])
+        if not colliding:
+            return
+        if len(colliding) == 1:
+            t = colliding[0]
+            self.accumulator += int(xs[t]) * int(ws[t])
+            return
+        t_a, t_b = colliding[:2]
+        products = []
+        for t in (t_a, t_b):
+            products.append(self._pair_product(int(xs[t]), int(ws[t])))
+        self.accumulator += sum(products)
+        # Any additional colliding threads (only possible without sparsity
+        # detection in a >2-thread PE) are handled by the many-way path.
+        for t in colliding[2:]:
+            self.accumulator += int(
+                packing.colliding_product_4t(xs[t], ws[t], self.policy)
+            )
+
+    def _pair_product(self, x: int, w: int) -> int:
+        """Product of one colliding thread through the 4b-8b fMUL port."""
+        if self.policy.reduce == "act":
+            if self.policy.width_secondary and not act_fits_4bit(x) and wgt_fits_4bit(w):
+                # Swap: the weight LSBs drive the narrow port, no error.
+                return int(x) * int(w)
+            nibble, shift = prepare_act_operand(x)
+            if not self.policy.width_primary and act_fits_4bit(x):
+                # Without the width check, even narrow values are rounded.
+                nibble, shift = reduce_act_to_4bit_msb(x) >> 4, 1
+            product, _ = self.fmul.two_4b8b(nibble, w, shift, 0, 0, 0)
+            return int(product)
+        # Weight-reduction family: modeled functionally.
+        return int(packing.colliding_product_2t(x, w, self.policy))
+
+    def _step_many(self, xs, ws, active) -> None:
+        """Three or more demanding threads: all active threads go 4b-4b."""
+        for t in range(self.threads):
+            if self.policy.sparsity and not active[t]:
+                self.accumulator += int(xs[t]) * int(ws[t])
+                continue
+            if self.policy.width_primary:
+                a_nib, a_shift = prepare_act_operand(xs[t])
+                w_nib, w_shift = prepare_wgt_operand(ws[t])
+            else:
+                a_nib, a_shift = reduce_act_to_4bit_msb(xs[t]) >> 4, 1
+                reduced_w = packing.reduce_wgt_to_4bit_msb(ws[t])
+                w_nib, w_shift = reduced_w >> 4, 1
+            self.accumulator += int(a_nib) * int(w_nib) * (16 if a_shift else 1) * (
+                16 if w_shift else 1
+            )
+
+
+class SySMTArray:
+    """An R x C SySMT array executing T threads per PE."""
+
+    def __init__(
+        self,
+        rows: int = 16,
+        cols: int = 16,
+        threads: int = 2,
+        policy: PackingPolicy | str = "S+A",
+        pipeline_stages: int = 2,
+    ):
+        if threads not in (2, 4):
+            raise ValueError("SySMT supports 2 or 4 threads")
+        self.rows = rows
+        self.cols = cols
+        self.threads = threads
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.cycle_model = CycleModel(rows, cols, pipeline_stages)
+        self.stats = SMTStatistics()
+
+    def reset_stats(self) -> None:
+        self.stats = SMTStatistics()
+
+    # -- vectorized simulation ------------------------------------------------
+    def matmul(
+        self,
+        x_q: np.ndarray,
+        w_q: np.ndarray,
+        permutation: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, ArrayReport]:
+        """Execute the NB-SMT matmul tile by tile; returns output and report."""
+        x_q = np.asarray(x_q)
+        w_q = np.asarray(w_q)
+        if permutation is not None:
+            x_q = x_q[:, permutation]
+            w_q = w_q[permutation, :]
+        m, k = x_q.shape
+        n = w_q.shape[1]
+        out = np.zeros((m, n), dtype=np.int64)
+        report = ArrayReport()
+        executor = NBSMTMatmul(self.threads, self.policy, collect_stats=True)
+        for row_slice, col_slice, x_tile, w_tile in tile_matrices(
+            x_q, w_q, self.rows, self.cols
+        ):
+            out[row_slice, col_slice] = executor.matmul(x_tile, w_tile)
+            tile_rows = row_slice.stop - row_slice.start
+            tile_cols = col_slice.stop - col_slice.start
+            depth = -(-k // self.threads)
+            report.cycles += self.cycle_model.tile_cycles(depth)
+            report.mac_cycles_total += tile_rows * tile_cols * depth
+            report.tiles += 1
+        report.mac_cycles_active += int(executor.stats.slots_active)
+        self.stats.merge(executor.stats)
+        return out, report
+
+    # -- explicit PE-level simulation ----------------------------------------------
+    def matmul_explicit(
+        self,
+        x_q: np.ndarray,
+        w_q: np.ndarray,
+        permutation: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, ArrayReport]:
+        """PE-object simulation (small matrices only)."""
+        x_q = np.asarray(x_q)
+        w_q = np.asarray(w_q)
+        if permutation is not None:
+            x_q = x_q[:, permutation]
+            w_q = w_q[permutation, :]
+        m, k = x_q.shape
+        n = w_q.shape[1]
+        out = np.zeros((m, n), dtype=np.int64)
+        report = ArrayReport()
+        for row_slice, col_slice, x_tile, w_tile in tile_matrices(
+            x_q, w_q, self.rows, self.cols
+        ):
+            x_threads, w_threads = split_into_threads(x_tile, w_tile, self.threads)
+            depth = x_threads.shape[2]
+            tile_rows = row_slice.stop - row_slice.start
+            tile_cols = col_slice.stop - col_slice.start
+            grid = [
+                [_SysmtPE(self.threads, self.policy) for _ in range(tile_cols)]
+                for _ in range(tile_rows)
+            ]
+            for step in range(depth):
+                for i in range(tile_rows):
+                    for j in range(tile_cols):
+                        grid[i][j].step(x_threads[:, i, step], w_threads[:, step, j])
+            for i in range(tile_rows):
+                for j in range(tile_cols):
+                    out[row_slice.start + i, col_slice.start + j] = grid[i][j].accumulator
+                    report.mac_cycles_active += grid[i][j].active_cycles
+            report.mac_cycles_total += tile_rows * tile_cols * depth
+            report.cycles += self.cycle_model.tile_cycles(depth)
+            report.tiles += 1
+        return out, report
+
+    # -- performance model ---------------------------------------------------------
+    def speedup_over(self, baseline_cycles: int, own_cycles: int) -> float:
+        """Speedup of this array versus a baseline cycle count."""
+        if own_cycles == 0:
+            return float("inf")
+        return baseline_cycles / own_cycles

@@ -1,0 +1,56 @@
+"""Analytic utilization model (Eq. (7) and Eq. (8)) and helpers.
+
+The paper models PE utilization as the probability that at least one of the
+T threads sharing the PE has a nonzero activation-weight pair.  Under the
+simplifying assumption that threads are independent and identically
+distributed with nonzero probability ``r``, the utilization gain of T = 2
+threads over a single thread reduces to ``1 + s`` where ``s = 1 - r`` is the
+activation sparsity -- the straight line of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+def utilization_probability(nonzero_probs: np.ndarray | list[float]) -> float:
+    """Eq. (7): probability that a PE shared by the given threads is utilized."""
+    probs = np.asarray(nonzero_probs, dtype=np.float64)
+    if np.any((probs < 0) | (probs > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return float(1.0 - np.prod(1.0 - probs))
+
+
+def utilization_gain_analytic(sparsity: float, threads: int = 2) -> float:
+    """Eq. (8) generalized to T threads: gain = (1 - s^T) / (1 - s).
+
+    For two threads this is exactly ``1 + s``; for a single thread it is 1.
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError("sparsity must lie in [0, 1]")
+    if threads < 1:
+        raise ValueError("threads must be positive")
+    if sparsity == 1.0:
+        # All-zero input: both the baseline and SySMT are fully idle.
+        return 1.0
+    r = 1.0 - sparsity
+    return float((1.0 - sparsity**threads) / r)
+
+
+def monte_carlo_utilization_gain(
+    sparsity: float, threads: int = 2, samples: int = 100_000, seed: int = 0
+) -> float:
+    """Monte-Carlo estimate of the utilization gain under the Eq. (7) model.
+
+    Used by tests to confirm the closed form; weights are assumed nonzero as
+    in the paper's derivation.
+    """
+    rng = new_rng(seed)
+    active = rng.random((samples, threads)) >= sparsity
+    base_util = active.mean()
+    smt_util = active.any(axis=1).mean()
+    if base_util == 0:
+        return 1.0
+    return float(smt_util / base_util)

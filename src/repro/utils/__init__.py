@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic RNG, result caching and table rendering."""
+
+from repro.utils.rng import new_rng, seed_everything
+from repro.utils.cache import ArtifactCache, default_cache
+from repro.utils.tables import format_table
+
+__all__ = [
+    "new_rng",
+    "seed_everything",
+    "ArtifactCache",
+    "default_cache",
+    "format_table",
+]

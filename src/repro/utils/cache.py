@@ -1,0 +1,73 @@
+"""On-disk caching of expensive artifacts (trained models, calibration data).
+
+Training even the scaled-down CNN zoo takes tens of seconds per model, and
+several benchmarks share the same trained checkpoints.  The cache stores NumPy
+archives keyed by a configuration hash under ``<repo>/artifacts`` (or the
+directory given by the ``REPRO_CACHE_DIR`` environment variable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+
+def _stable_hash(config: dict) -> str:
+    """Return a short, stable hash of a JSON-serializable configuration."""
+    encoded = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (env var override, else ``./artifacts``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / "artifacts"
+
+
+class ArtifactCache:
+    """A tiny content-addressed store for dictionaries of NumPy arrays."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, name: str, config: dict) -> Path:
+        return self.root / f"{name}-{_stable_hash(config)}.npz"
+
+    def has(self, name: str, config: dict) -> bool:
+        """Return whether an artifact for this name/config pair exists."""
+        return self._path(name, config).exists()
+
+    def load(self, name: str, config: dict) -> dict[str, np.ndarray] | None:
+        """Load a cached artifact, or ``None`` when absent or unreadable."""
+        path = self._path(name, config)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return {key: archive[key] for key in archive.files}
+        except (OSError, ValueError):
+            return None
+
+    def save(self, name: str, config: dict, arrays: dict[str, np.ndarray]) -> Path:
+        """Persist a dictionary of arrays; returns the file path."""
+        path = self._path(name, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, **arrays)
+        return path
+
+
+_DEFAULT_CACHE: ArtifactCache | None = None
+
+
+def default_cache() -> ArtifactCache:
+    """Return the process-wide default :class:`ArtifactCache`."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ArtifactCache()
+    return _DEFAULT_CACHE

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module renders them as aligned monospace tables without external deps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render ``headers`` and ``rows`` as an aligned plain-text table."""
+    rendered_rows = [[_render_cell(cell, float_fmt) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: dict[str, object], float_fmt: str = ".3f") -> str:
+    """Render a flat ``key: value`` mapping, one entry per line."""
+    lines = []
+    for key, value in mapping.items():
+        lines.append(f"{key}: {_render_cell(value, float_fmt)}")
+    return "\n".join(lines)

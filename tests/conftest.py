@@ -1,0 +1,112 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight artifacts (the fast-trained zoo model and its harness) are
+session-scoped and cached on disk under ``artifacts/`` so repeated test runs
+do not re-train.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Sequential,
+    SyntheticImageDataset,
+    TrainConfig,
+    Trainer,
+)
+from repro.nn.data import DatasetConfig
+from repro.nn.layers.combine import conv_bn_relu
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return new_rng(1234)
+
+
+def make_quantized_pair(
+    rng: np.random.Generator,
+    m: int = 48,
+    k: int = 64,
+    n: int = 24,
+    act_sparsity: float = 0.5,
+    wgt_sparsity: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random quantized activation/weight matrices with bell-shaped values."""
+    x = np.clip(np.rint(np.abs(rng.normal(0.0, 30.0, (m, k)))), 0, 255)
+    x[rng.random((m, k)) < act_sparsity] = 0
+    w = np.clip(np.rint(rng.normal(0.0, 25.0, (k, n))), -127, 127)
+    w[rng.random((k, n)) < wgt_sparsity] = 0
+    return x.astype(np.int64), w.astype(np.int64)
+
+
+@pytest.fixture
+def quantized_pair(rng) -> tuple[np.ndarray, np.ndarray]:
+    return make_quantized_pair(rng)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SyntheticImageDataset:
+    """A very small dataset for fast end-to-end tests."""
+    return SyntheticImageDataset(
+        DatasetConfig(train_size=256, val_size=96, image_size=16, num_classes=6, seed=7)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_model(tiny_dataset):
+    """A tiny CNN trained for a couple of epochs on the tiny dataset."""
+    model = Sequential(
+        conv_bn_relu(3, 8, 3, seed=11),
+        MaxPool2d(2),
+        conv_bn_relu(8, 16, 3, seed=12),
+        conv_bn_relu(16, 16, 3, seed=13),
+        MaxPool2d(2),
+        GlobalAvgPool2d(),
+        Linear(16, tiny_dataset.num_classes, seed=14),
+    )
+    trainer = Trainer(model, TrainConfig(epochs=3, batch_size=64, lr=0.1, seed=3))
+    trainer.fit(
+        tiny_dataset.train_images,
+        tiny_dataset.train_labels,
+        tiny_dataset.val_images,
+        tiny_dataset.val_labels,
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_entry(tiny_dataset, tiny_trained_model):
+    """A TrainedModel wrapper around the tiny CNN (for harness-level tests)."""
+    from repro.models.zoo import TrainedModel
+    from repro.nn.train import evaluate_accuracy
+
+    accuracy = evaluate_accuracy(
+        tiny_trained_model, tiny_dataset.val_images, tiny_dataset.val_labels
+    )
+    return TrainedModel(
+        name="tinynet",
+        model=tiny_trained_model,
+        dataset=tiny_dataset,
+        fp32_accuracy=accuracy,
+        train_config={},
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_harness(tiny_trained_entry):
+    from repro.eval.harness import SysmtHarness
+
+    harness = SysmtHarness(
+        tiny_trained_entry,
+        max_eval_images=96,
+        calibration_images=96,
+        batch_size=48,
+    )
+    yield harness
+    harness.close()

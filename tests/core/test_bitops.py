@@ -1,0 +1,61 @@
+"""Bit-splitting helpers: exhaustive and property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitops import (
+    combine_signed,
+    combine_unsigned,
+    split_signed,
+    split_unsigned,
+)
+
+
+def test_split_unsigned_roundtrip_exhaustive():
+    values = np.arange(256)
+    msb, lsb = split_unsigned(values)
+    assert np.all((msb >= 0) & (msb <= 15))
+    assert np.all((lsb >= 0) & (lsb <= 15))
+    assert np.array_equal(combine_unsigned(msb, lsb), values)
+
+
+def test_split_signed_roundtrip_exhaustive():
+    values = np.arange(-128, 128)
+    msb, lsb = split_signed(values)
+    assert np.all((msb >= -8) & (msb <= 7))
+    assert np.all((lsb >= 0) & (lsb <= 15))
+    assert np.array_equal(combine_signed(msb, lsb), values)
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_split_unsigned_scalar(value):
+    msb, lsb = split_unsigned(value)
+    assert int(msb) * 16 + int(lsb) == value
+
+
+@given(st.integers(min_value=-128, max_value=127))
+def test_split_signed_scalar(value):
+    msb, lsb = split_signed(value)
+    assert int(msb) * 16 + int(lsb) == value
+
+
+def test_split_unsigned_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        split_unsigned(np.array([256]))
+    with pytest.raises(ValueError):
+        split_unsigned(np.array([-1]))
+
+
+def test_split_signed_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        split_signed(np.array([128]))
+    with pytest.raises(ValueError):
+        split_signed(np.array([-129]))
+
+
+def test_split_signed_examples_from_paper():
+    # -14 (0b11110010) has LSB nibble 2 and signed MSB nibble -1.
+    msb, lsb = split_signed(-14)
+    assert int(lsb) == 2
+    assert int(msb) == -1

@@ -1,0 +1,74 @@
+"""MAC classification (Fig. 1 measurement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import MacBreakdown, classify_macs
+from repro.core.precision import act_fits_4bit, wgt_fits_4bit
+from repro.utils.rng import new_rng
+from tests.conftest import make_quantized_pair
+
+
+def brute_force_breakdown(x, w):
+    idle = partial = full = 0
+    for m in range(x.shape[0]):
+        for k in range(x.shape[1]):
+            for n in range(w.shape[1]):
+                xv, wv = x[m, k], w[k, n]
+                if xv == 0 or wv == 0:
+                    idle += 1
+                elif act_fits_4bit(xv) or wgt_fits_4bit(wv):
+                    partial += 1
+                else:
+                    full += 1
+    return idle, partial, full
+
+
+def test_classify_matches_brute_force():
+    rng = new_rng(5)
+    x, w = make_quantized_pair(rng, m=6, k=8, n=5)
+    breakdown = classify_macs(x, w)
+    idle, partial, full = brute_force_breakdown(x, w)
+    assert breakdown.idle == idle
+    assert breakdown.partial == partial
+    assert breakdown.full == full
+    assert breakdown.total == 6 * 8 * 5
+
+
+def test_all_zero_inputs_are_idle():
+    breakdown = classify_macs(np.zeros((3, 4), dtype=int), np.ones((4, 2), dtype=int))
+    assert breakdown.idle == breakdown.total == 3 * 4 * 2
+    assert breakdown.full == 0
+
+
+def test_all_wide_inputs_are_full():
+    x = np.full((3, 4), 200)
+    w = np.full((4, 2), 100)
+    breakdown = classify_macs(x, w)
+    assert breakdown.full == breakdown.total
+
+
+def test_narrow_inputs_are_partial():
+    x = np.full((3, 4), 7)
+    w = np.full((4, 2), 100)
+    breakdown = classify_macs(x, w)
+    assert breakdown.partial == breakdown.total
+
+
+def test_fractions_sum_to_one(quantized_pair):
+    x, w = quantized_pair
+    fractions = classify_macs(x, w).fractions
+    assert fractions["idle"] + fractions["partial"] + fractions["full"] == pytest.approx(1.0)
+
+
+def test_merge_accumulates():
+    a = MacBreakdown(idle=1, partial=2, full=3)
+    b = MacBreakdown(idle=10, partial=20, full=30)
+    a.merge(b)
+    assert (a.idle, a.partial, a.full) == (11, 22, 33)
+    assert a.as_row() == pytest.approx((33 / 66, 22 / 66, 11 / 66))
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        classify_macs(np.zeros((2, 3)), np.zeros((4, 2)))

@@ -1,0 +1,59 @@
+"""Packing-policy registry semantics."""
+
+import pytest
+
+from repro.core.policies import (
+    DEFAULT_POLICY_NAME,
+    POLICY_NAMES,
+    PackingPolicy,
+    default_policy_for,
+    get_policy,
+)
+
+
+def test_registry_contains_table_iii_columns():
+    for name in ("min", "S", "A", "Aw", "S+A", "S+Aw", "W", "aW", "S+W", "S+aW"):
+        assert name in POLICY_NAMES
+
+
+def test_get_policy_unknown_name():
+    with pytest.raises(KeyError):
+        get_policy("does-not-exist")
+
+
+def test_default_policy_is_s_plus_a():
+    assert get_policy(DEFAULT_POLICY_NAME).sparsity
+    assert get_policy(DEFAULT_POLICY_NAME).width_primary
+    assert get_policy(DEFAULT_POLICY_NAME).reduce == "act"
+
+
+def test_default_policy_for_resnet50_reduces_weights():
+    assert default_policy_for("resnet50").reduce == "wgt"
+    assert default_policy_for("resnet18").reduce == "act"
+    assert default_policy_for("googlenet").name == "S+A"
+
+
+def test_policy_flag_combinations():
+    s_policy = get_policy("S")
+    assert s_policy.sparsity and not s_policy.width_primary
+    aw_policy = get_policy("Aw")
+    assert aw_policy.width_primary and aw_policy.width_secondary
+    assert not aw_policy.sparsity
+    weight_family = get_policy("S+aW")
+    assert weight_family.reduce == "wgt"
+    assert weight_family.width_secondary
+
+
+def test_invalid_policy_construction():
+    with pytest.raises(ValueError):
+        PackingPolicy("bad", sparsity=True, width_primary=False,
+                      width_secondary=True)
+    with pytest.raises(ValueError):
+        PackingPolicy("bad", sparsity=True, width_primary=True,
+                      width_secondary=False, reduce="other")
+
+
+def test_policies_are_frozen():
+    policy = get_policy("S+A")
+    with pytest.raises(AttributeError):
+        policy.sparsity = False

@@ -1,0 +1,89 @@
+"""On-the-fly precision reduction: bounds, idempotence and paper examples."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core.precision import (
+    act_fits_4bit,
+    prepare_act_operand,
+    prepare_wgt_operand,
+    reduce_act_to_4bit_msb,
+    reduce_wgt_to_4bit_msb,
+    reduction_error_bound,
+    wgt_fits_4bit,
+)
+
+
+def test_paper_example_values():
+    # Fig. 2a: 46 -> 48 (nibble 3) and 178 -> 176 (nibble 11).
+    assert int(reduce_act_to_4bit_msb(46)) == 48
+    assert int(reduce_act_to_4bit_msb(178)) == 176
+
+
+def test_reduced_values_are_multiples_of_16():
+    values = np.arange(256)
+    reduced = reduce_act_to_4bit_msb(values)
+    assert np.all(reduced % 16 == 0)
+    assert np.all((reduced >= 0) & (reduced <= 240))
+
+
+def test_weight_reduction_range():
+    values = np.arange(-128, 128)
+    reduced = reduce_wgt_to_4bit_msb(values)
+    assert np.all(reduced % 16 == 0)
+    assert np.all((reduced >= -128) & (reduced <= 112))
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_act_reduction_error_bound(value):
+    error = abs(int(reduce_act_to_4bit_msb(value)) - value)
+    assert error <= reduction_error_bound() or value > 240 + reduction_error_bound()
+    # Values above 248 clip to 240; the clip error is bounded by 15.
+    assert error <= 15
+
+
+@given(st.integers(min_value=-128, max_value=127))
+def test_wgt_reduction_error_bound(value):
+    error = abs(int(reduce_wgt_to_4bit_msb(value)) - value)
+    assert error <= 15
+
+
+def test_reduction_is_idempotent():
+    values = np.arange(256)
+    once = reduce_act_to_4bit_msb(values)
+    twice = reduce_act_to_4bit_msb(once)
+    assert np.array_equal(once, twice)
+
+
+def test_fits_4bit_boundaries():
+    assert bool(act_fits_4bit(0))
+    assert bool(act_fits_4bit(15))
+    assert not bool(act_fits_4bit(16))
+    assert bool(wgt_fits_4bit(-8))
+    assert bool(wgt_fits_4bit(7))
+    assert not bool(wgt_fits_4bit(8))
+    assert not bool(wgt_fits_4bit(-9))
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_prepare_act_operand_reconstruction(value):
+    nibble, shift = prepare_act_operand(value)
+    reconstructed = int(nibble) * (16 if int(shift) else 1)
+    if value <= 15:
+        assert reconstructed == value
+        assert int(shift) == 0
+    else:
+        assert reconstructed == int(reduce_act_to_4bit_msb(value))
+        assert int(shift) == 1
+    assert 0 <= int(nibble) <= 15
+
+
+@given(st.integers(min_value=-128, max_value=127))
+def test_prepare_wgt_operand_reconstruction(value):
+    nibble, shift = prepare_wgt_operand(value)
+    reconstructed = int(nibble) * (16 if int(shift) else 1)
+    if -8 <= value <= 7:
+        assert reconstructed == value
+    else:
+        assert reconstructed == int(reduce_wgt_to_4bit_msb(value))
+    assert -8 <= int(nibble) <= 15

@@ -1,0 +1,226 @@
+"""Functional NB-SMT executor: fast paths vs reference, invariants, stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policies import POLICY_NAMES, get_policy
+from repro.core.smt import NBSMTMatmul, SMTStatistics, split_into_threads
+from tests.conftest import make_quantized_pair
+from repro.utils.rng import new_rng
+
+ALL_POLICIES = ("min", "S", "A", "Aw", "S+A", "S+Aw", "W", "aW", "S+W", "S+aW")
+
+
+# -- thread splitting -------------------------------------------------------------
+
+def test_split_into_threads_shapes_and_padding():
+    x = np.arange(2 * 7).reshape(2, 7)
+    w = np.arange(7 * 3).reshape(7, 3)
+    x_t, w_t = split_into_threads(x, w, 2)
+    assert x_t.shape == (2, 2, 4)
+    assert w_t.shape == (2, 4, 3)
+    # Padded positions are zero.
+    assert np.all(x_t[1, :, -1] == 0)
+    assert np.all(w_t[1, -1, :] == 0)
+
+
+def test_split_into_threads_reconstructs_matmul():
+    rng = new_rng(0)
+    x, w = make_quantized_pair(rng, m=10, k=13, n=5)
+    x_t, w_t = split_into_threads(x, w, 4)
+    total = sum(x_t[t] @ w_t[t] for t in range(4))
+    assert np.array_equal(total, x @ w)
+
+
+def test_split_requires_matching_inner_dims():
+    with pytest.raises(ValueError):
+        split_into_threads(np.zeros((2, 3)), np.zeros((4, 2)), 2)
+
+
+# -- basic executor invariants --------------------------------------------------------
+
+def test_single_thread_is_exact(quantized_pair):
+    x, w = quantized_pair
+    executor = NBSMTMatmul(1, "S+A")
+    assert np.array_equal(executor.matmul(x, w), x @ w)
+    assert executor.stats.mac_total == x.shape[0] * x.shape[1] * w.shape[1]
+
+
+def test_invalid_thread_count():
+    with pytest.raises(ValueError):
+        NBSMTMatmul(3, "S+A")
+
+
+def test_no_collisions_means_no_error(rng):
+    """If thread 2's activations are all zero, S policies are exact."""
+    x, w = make_quantized_pair(rng, m=24, k=32, n=12, act_sparsity=0.3)
+    x[:, 16:] = 0  # the second thread never demands the MAC
+    for policy in ("S", "S+A", "S+Aw"):
+        executor = NBSMTMatmul(2, policy)
+        assert np.array_equal(executor.matmul(x, w), x @ w), policy
+
+
+def test_narrow_activations_are_error_free_with_width_policy(rng):
+    x, w = make_quantized_pair(rng, m=24, k=32, n=12)
+    x = np.clip(x, 0, 15)
+    for policy in ("A", "S+A", "Aw", "S+Aw"):
+        executor = NBSMTMatmul(2, policy)
+        assert np.array_equal(executor.matmul(x, w), x @ w), policy
+
+
+def test_narrow_weights_are_error_free_with_weight_policy(rng):
+    x, w = make_quantized_pair(rng, m=24, k=32, n=12)
+    w = np.clip(w, -8, 7)
+    for policy in ("W", "S+W", "aW", "S+aW"):
+        executor = NBSMTMatmul(2, policy)
+        assert np.array_equal(executor.matmul(x, w), x @ w), policy
+
+
+def test_min_policy_equals_whole_model_reduction(rng):
+    """The 'min' policy reduces every activation, like the A4W8 sweep."""
+    from repro.core.precision import act_fits_4bit, reduce_act_to_4bit_msb
+
+    x, w = make_quantized_pair(rng, m=16, k=24, n=8)
+    executor = NBSMTMatmul(2, "min")
+    out = executor.matmul(x, w)
+    x_reduced = reduce_act_to_4bit_msb(x)
+    assert np.array_equal(out, x_reduced @ w)
+
+
+def test_permutation_leaves_exact_result_unchanged(rng):
+    x, w = make_quantized_pair(rng, m=16, k=24, n=8)
+    executor = NBSMTMatmul(1, "S+A")
+    perm = new_rng(3).permutation(24)
+    assert np.array_equal(executor.matmul(x, w, permutation=perm), x @ w)
+
+
+def test_permutation_changes_collisions_but_not_shape(rng):
+    x, w = make_quantized_pair(rng, m=32, k=40, n=16)
+    perm = new_rng(4).permutation(40)
+    executor = NBSMTMatmul(2, "S+A")
+    out = executor.matmul(x, w, permutation=perm)
+    assert out.shape == (32, 16)
+
+
+# -- fast vs reference equivalence ---------------------------------------------------
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+@pytest.mark.parametrize("threads", [2, 4])
+def test_fast_path_matches_reference(rng, policy, threads):
+    x, w = make_quantized_pair(rng, m=40, k=48, n=20)
+    fast = NBSMTMatmul(threads, policy)
+    reference = NBSMTMatmul(threads, policy, force_reference=True, chunk_rows=16)
+    out_fast = fast.matmul(x, w)
+    out_reference = reference.matmul(x, w)
+    assert np.array_equal(out_fast, out_reference)
+    assert fast.stats.mac_total == reference.stats.mac_total
+    assert fast.stats.slots_total == reference.stats.slots_total
+    assert fast.stats.slots_active == reference.stats.slots_active
+    assert fast.stats.mac_active == reference.stats.mac_active
+    assert fast.stats.sum_sq_error == pytest.approx(reference.stats.sum_sq_error)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    act_sparsity=st.floats(min_value=0.0, max_value=0.9),
+    threads=st.sampled_from([2, 4]),
+    policy=st.sampled_from(["min", "S", "S+A", "S+Aw", "S+W"]),
+)
+def test_fast_path_matches_reference_property(seed, act_sparsity, threads, policy):
+    rng = new_rng(seed)
+    x, w = make_quantized_pair(rng, m=12, k=16, n=6, act_sparsity=act_sparsity)
+    fast = NBSMTMatmul(threads, policy, collect_stats=False)
+    reference = NBSMTMatmul(threads, policy, collect_stats=False,
+                            force_reference=True, chunk_rows=5)
+    assert np.array_equal(fast.matmul(x, w), reference.matmul(x, w))
+
+
+def test_2t_reduced_count_matches_reference(rng):
+    x, w = make_quantized_pair(rng, m=24, k=32, n=12)
+    for policy in ("min", "S", "S+A", "S+Aw", "S+W"):
+        fast = NBSMTMatmul(2, policy)
+        reference = NBSMTMatmul(2, policy, force_reference=True)
+        fast.matmul(x, w)
+        reference.matmul(x, w)
+        assert fast.stats.mac_reduced == reference.stats.mac_reduced, policy
+
+
+# -- statistics ------------------------------------------------------------------------
+
+def test_statistics_merge_and_derived_quantities():
+    a = SMTStatistics(mac_total=100, mac_active=40, slots_total=50, slots_active=35,
+                      act_values=100, act_nonzero=40, sum_sq_error=10.0,
+                      sum_sq_exact=100.0, outputs=10)
+    b = SMTStatistics(mac_total=100, mac_active=60, slots_total=50, slots_active=45,
+                      act_values=100, act_nonzero=60, sum_sq_error=0.0,
+                      sum_sq_exact=100.0, outputs=10)
+    a.merge(b)
+    assert a.mac_total == 200
+    assert a.baseline_utilization == pytest.approx(0.5)
+    assert a.smt_utilization == pytest.approx(0.8)
+    assert a.utilization_gain == pytest.approx(1.6)
+    assert a.activation_sparsity == pytest.approx(0.5)
+    assert a.relative_mse == pytest.approx(0.05)
+    assert a.mse == pytest.approx(0.5)
+    assert set(a.as_dict()) >= {"mac_total", "utilization_gain", "relative_mse"}
+
+
+def test_empty_statistics_are_safe():
+    stats = SMTStatistics()
+    assert stats.baseline_utilization == 0.0
+    assert stats.utilization_gain == 1.0
+    assert stats.relative_mse == 0.0
+    assert stats.mse == 0.0
+    assert stats.activation_sparsity == 0.0
+
+
+def test_mse_increases_with_threads(rng):
+    x, w = make_quantized_pair(rng, m=48, k=64, n=24)
+    mse = {}
+    for threads in (2, 4):
+        executor = NBSMTMatmul(threads, "S+A")
+        executor.matmul(x, w)
+        mse[threads] = executor.stats.relative_mse
+    assert mse[4] >= mse[2]
+
+
+def test_policy_ordering_of_error(rng):
+    """Combining sparsity and width must not be worse than either alone."""
+    x, w = make_quantized_pair(rng, m=64, k=96, n=32)
+    errors = {}
+    for policy in ("min", "S", "A", "S+A"):
+        executor = NBSMTMatmul(2, policy)
+        executor.matmul(x, w)
+        errors[policy] = executor.stats.sum_sq_error
+    assert errors["S+A"] <= errors["S"]
+    assert errors["S+A"] <= errors["A"]
+    assert errors["S"] <= errors["min"]
+    assert errors["A"] <= errors["min"]
+
+
+def test_utilization_gain_close_to_eq8(rng):
+    """With independent random threads, the measured gain tracks 1 + s."""
+    x, w = make_quantized_pair(rng, m=96, k=128, n=32, act_sparsity=0.6,
+                               wgt_sparsity=0.0)
+    executor = NBSMTMatmul(2, "S+A")
+    executor.matmul(x, w)
+    sparsity = executor.stats.activation_sparsity
+    assert executor.stats.utilization_gain == pytest.approx(1 + sparsity, abs=0.08)
+
+
+def test_reset_stats(quantized_pair):
+    x, w = quantized_pair
+    executor = NBSMTMatmul(2, "S+A")
+    executor.matmul(x, w)
+    assert executor.stats.mac_total > 0
+    executor.reset_stats()
+    assert executor.stats.mac_total == 0
+
+
+def test_collect_stats_false_skips_counters(quantized_pair):
+    x, w = quantized_pair
+    executor = NBSMTMatmul(2, "S+A", collect_stats=False)
+    executor.matmul(x, w)
+    assert executor.stats.mac_total == 0

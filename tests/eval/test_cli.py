@@ -1,0 +1,35 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.eval.experiments import EXPERIMENTS
+
+
+def test_list_command_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_rejects_unknown_experiment(capsys):
+    assert main(["run", "not-an-experiment"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_run_table2(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["run", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "finished in" in out
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+    args = parser.parse_args(["--scale", "full", "run", "table2"])
+    assert args.scale == "full"
+    assert args.experiments == ["table2"]

@@ -1,0 +1,126 @@
+"""MAC breakdown, per-layer MSE, throttling, energy and MLPerf helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.smt import SMTStatistics
+from repro.eval.energy import energy_report
+from repro.eval.macs import mac_utilization_breakdown, model_mac_counts
+from repro.eval.mlperf import meets_quality_target, run_quality_target
+from repro.eval.mse import mse_sparsity_correlation, per_layer_mse
+from repro.eval.throttle import (
+    plan_speedup,
+    rank_layers_by_mse,
+    throttle_layers,
+    throttle_to_accuracy,
+)
+
+
+# -- Fig. 1 measurement ------------------------------------------------------------
+
+def test_mac_breakdown_fractions(tiny_harness):
+    breakdown = mac_utilization_breakdown(tiny_harness)
+    fractions = breakdown.fractions
+    assert fractions["idle"] + fractions["partial"] + fractions["full"] == pytest.approx(1.0)
+    # ReLU-driven sparsity makes a large share of MACs idle.
+    assert fractions["idle"] > 0.2
+
+
+def test_model_mac_counts(tiny_trained_entry):
+    counts = model_mac_counts(
+        tiny_trained_entry.model,
+        image_size=tiny_trained_entry.dataset.config.image_size,
+    )
+    assert counts["total"] == counts["conv"] + counts["fc"]
+    assert counts["conv"] > counts["fc"] > 0
+
+
+# -- Fig. 8 measurement --------------------------------------------------------------
+
+def test_per_layer_mse_points(tiny_harness):
+    points = per_layer_mse(tiny_harness, threads=2, reorder=False)
+    assert points
+    for point in points:
+        assert 0.0 <= point.sparsity <= 1.0
+        assert point.mse >= 0.0
+    correlation = mse_sparsity_correlation(points)
+    assert -1.0 <= correlation <= 1.0
+
+
+def test_reordering_does_not_increase_mean_mse(tiny_harness):
+    without = per_layer_mse(tiny_harness, threads=2, reorder=False)
+    with_reorder = per_layer_mse(tiny_harness, threads=2, reorder=True)
+    mean_without = np.mean([p.relative_mse for p in without])
+    mean_with = np.mean([p.relative_mse for p in with_reorder])
+    assert mean_with <= mean_without * 1.05
+
+
+# -- throttling ------------------------------------------------------------------------
+
+def test_rank_layers_by_mse_orders_descending():
+    stats = {
+        "a": SMTStatistics(sum_sq_error=10.0, sum_sq_exact=100.0, outputs=1, mac_total=1),
+        "b": SMTStatistics(sum_sq_error=50.0, sum_sq_exact=100.0, outputs=1, mac_total=1),
+        "c": SMTStatistics(sum_sq_error=50.0, sum_sq_exact=100.0, outputs=1, mac_total=1),
+    }
+    ranked = rank_layers_by_mse(stats, ["a", "b", "c"])
+    assert ranked[0] == "b"  # ties broken towards earlier layers
+    assert ranked[1] == "c"
+    assert ranked[-1] == "a"
+
+
+def test_throttle_layers_improves_accuracy_and_reduces_speedup(tiny_harness):
+    baseline = tiny_harness.evaluate_nbsmt(threads=4, reorder=True)
+    ranked = rank_layers_by_mse(baseline.layer_stats, tiny_harness.qmodel.layer_names())
+    throttled, assignment = throttle_layers(
+        tiny_harness, base_threads=4, slow_layers=ranked[:1], slow_threads=2,
+        reorder=True,
+    )
+    assert assignment[ranked[0]] == 2
+    assert throttled.speedup < 4.0
+    assert throttled.accuracy >= baseline.accuracy - 0.05
+    assert plan_speedup(tiny_harness, assignment) == pytest.approx(throttled.speedup)
+
+
+def test_throttle_to_accuracy_stops_at_target(tiny_harness):
+    plans = throttle_to_accuracy(
+        tiny_harness,
+        target_accuracy=0.0,
+        base_threads=4,
+        slow_threads=2,
+    )
+    assert len(plans) == 1  # target already met by the all-4T plan
+    plans = throttle_to_accuracy(
+        tiny_harness,
+        target_accuracy=1.01,  # unreachable: slows every layer
+        base_threads=4,
+        slow_threads=2,
+        max_slowed=2,
+    )
+    assert len(plans) == 3
+    assert plans[-1].num_slowed == 2
+    assert plans[-1].speedup <= plans[0].speedup
+
+
+# -- energy ---------------------------------------------------------------------------
+
+def test_energy_report_savings(tiny_harness):
+    run = tiny_harness.evaluate_nbsmt(threads=2, reorder=True)
+    report = energy_report(tiny_harness, run, threads=2)
+    assert report.baseline_mj > 0
+    assert report.sysmt_mj > 0
+    assert 0.0 < report.saving < 0.6
+
+
+# -- MLPerf ----------------------------------------------------------------------------
+
+def test_meets_quality_target():
+    assert meets_quality_target(0.99, 1.0, 0.99)
+    assert not meets_quality_target(0.98, 1.0, 0.99)
+
+
+def test_run_quality_target(tiny_harness):
+    outcome = run_quality_target(tiny_harness, target_fraction=0.5, threads=2)
+    assert outcome.meets_target
+    assert outcome.speedup > 1.0
+    assert outcome.achieved_accuracy >= 0.5 * outcome.reference_accuracy

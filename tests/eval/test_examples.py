@@ -1,0 +1,44 @@
+"""Example scripts: importable, documented and wired to the public API.
+
+The examples are exercised as modules (their ``main`` functions are heavy, so
+only the cheapest one is executed end to end here; the benchmark harness
+covers the expensive paths).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLE_FILES) >= 4
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert "quickstart" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_examples_import_and_are_documented(path):
+    module = _load(path)
+    assert module.__doc__ and len(module.__doc__) > 40
+    assert hasattr(module, "main")
+
+
+def test_systolic_array_demo_runs(capsys):
+    module = _load(EXAMPLES_DIR / "systolic_array_demo.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "SySMT 2T" in out
+    assert "Eq. (8)" in out

@@ -1,0 +1,200 @@
+"""Experiment modules: registry, formatters and the lightweight experiments.
+
+The heavyweight experiments (which train zoo models) are exercised by the
+benchmark harness; here we cover the experiment registry, the hardware-only
+experiment end to end, the result persistence helpers and every formatter on
+synthetic result dictionaries.
+"""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS
+from repro.eval.experiments import (
+    energy_savings,
+    fig1_utilization,
+    fig7_robustness,
+    fig8_mse,
+    fig9_utilization_gain,
+    fig10_pruning,
+    mlperf_quality,
+    table1_models,
+    table2_hardware,
+    table3_policies,
+    table4_ptq,
+    table5_4threads,
+)
+from repro.eval.experiments.common import (
+    SCALES,
+    get_scale,
+    load_result,
+    save_result,
+)
+
+
+def test_registry_covers_every_evaluation_artifact():
+    expected = {
+        "fig1", "table1", "table2", "fig7", "table3", "fig8", "table4",
+        "fig9", "table5", "fig10", "energy", "mlperf",
+    }
+    assert set(EXPERIMENTS) == expected
+    for module in EXPERIMENTS.values():
+        assert hasattr(module, "run")
+        assert hasattr(module, "format_result")
+        assert hasattr(module, "EXPERIMENT_ID")
+
+
+def test_scales_and_unknown_scale():
+    assert get_scale("fast").fast_models
+    assert not get_scale("full").fast_models
+    assert get_scale(SCALES["fast"]) is SCALES["fast"]
+    with pytest.raises(KeyError):
+        get_scale("mystery")
+
+
+def test_save_and_load_result(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    payload = {"experiment": "unit", "values": {"a": 1.5}}
+    path = save_result("unit", payload)
+    assert path.exists()
+    assert load_result("unit") == payload
+    assert load_result("missing") is None
+
+
+def test_table2_experiment_end_to_end(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    result = table2_hardware.run()
+    assert result["configs"]["sysmt_2t"]["area_ratio"] == pytest.approx(1.44, abs=0.05)
+    text = table2_hardware.format_result(result)
+    assert "SySMT 2T" in text and "Area ratio" in text
+
+
+def test_formatters_render_synthetic_results():
+    fig1_text = fig1_utilization.format_result(
+        {
+            "per_model": {"resnet18": {"full": 0.2, "partial": 0.2, "idle": 0.6}},
+            "average": {"full": 0.2, "partial": 0.2, "idle": 0.6},
+        }
+    )
+    assert "ResNet-18" in fig1_text and "Idle" in fig1_text
+
+    table1_text = table1_models.format_result(
+        {
+            "models": {
+                "alexnet": {
+                    "fp32_accuracy": 0.9,
+                    "int8_accuracy": 0.89,
+                    "conv_macs": 1_000_000,
+                    "fc_macs": 1000,
+                }
+            }
+        }
+    )
+    assert "AlexNet" in table1_text
+
+    fig7_text = fig7_robustness.format_result(
+        {"per_model": {"resnet18": {"A8W8": 0.9, "A4W8": 0.85, "A8W4": 0.6,
+                                    "A4W4": 0.5}}}
+    )
+    assert "A4W4" in fig7_text
+
+    table3_text = table3_policies.format_result(
+        {"per_model": {"resnet18": {"A8W8": 0.9, "min": 0.7, "S+A": 0.88}}}
+    )
+    assert "S+A" in table3_text
+
+    fig8_text = fig8_mse.format_result(
+        {
+            "model": "googlenet",
+            "without_reorder": [
+                {"layer": "l1", "sparsity": 0.5, "mse": 1.0, "relative_mse": 0.01}
+            ],
+            "with_reorder": [
+                {"layer": "l1", "sparsity": 0.5, "mse": 0.5, "relative_mse": 0.005}
+            ],
+            "correlation_without": -0.5,
+            "correlation_with": -0.6,
+            "mean_relative_mse_without": 0.01,
+            "mean_relative_mse_with": 0.005,
+        }
+    )
+    assert "googlenet" in fig8_text and "correlation" in fig8_text
+
+    fig9_text = fig9_utilization_gain.format_result(
+        {
+            "model": "googlenet",
+            "series": {
+                "without_reorder": [
+                    {"layer": "l1", "sparsity": 0.5, "measured_gain": 1.5,
+                     "analytic_gain": 1.5}
+                ],
+                "with_reorder": [
+                    {"layer": "l1", "sparsity": 0.5, "measured_gain": 1.6,
+                     "analytic_gain": 1.5}
+                ],
+            },
+            "mean_abs_deviation_from_eq8": 0.02,
+        }
+    )
+    assert "Eq. (8)" in fig9_text
+
+    table4_text = table4_ptq.format_result(
+        {
+            "per_model": {
+                "resnet18": {"a_bits": 4, "w_bits": 8, "sysmt": 0.9, "lbq": 0.88,
+                             "aciq": 0.87, "fp32": 0.92}
+            }
+        }
+    )
+    assert "ACIQ" in table4_text
+
+    table5_text = table5_4threads.format_result(
+        {
+            "per_model": {
+                "resnet18": {
+                    "A8W8": {"accuracy": 0.9, "speedup": 1.0},
+                    "4T": {"accuracy": 0.8, "speedup": 4.0},
+                    "1L@2T": {"accuracy": 0.85, "speedup": 3.7},
+                }
+            }
+        }
+    )
+    assert "1L@2T" in table5_text
+
+    fig10_text = fig10_pruning.format_result(
+        {
+            "model": "resnet18",
+            "curves": {
+                "40%": [
+                    {"slowed_layers": 0, "accuracy": 0.8, "speedup": 4.0,
+                     "int8_accuracy": 0.9}
+                ]
+            },
+        }
+    )
+    assert "Pruning" in fig10_text
+
+    energy_text = energy_savings.format_result(
+        {
+            "per_model": {
+                "resnet18": {"baseline_mj_2t": 1.0, "saving_2t": 0.3, "saving_4t": 0.35}
+            },
+            "average_saving": {"2t": 0.3, "4t": 0.35},
+        }
+    )
+    assert "saving" in energy_text.lower()
+
+    mlperf_text = mlperf_quality.format_result(
+        {
+            "per_model": {
+                "resnet50": {
+                    "target_fraction": 0.99,
+                    "reference_accuracy": 0.9,
+                    "achieved_accuracy": 0.895,
+                    "speedup": 1.97,
+                    "slowed_layers": 2,
+                    "meets_target": 1.0,
+                }
+            }
+        }
+    )
+    assert "ResNet-50" in mlperf_text and "yes" in mlperf_text

@@ -1,0 +1,73 @@
+"""Experiment harness: accuracy pipeline, reordering, speedup model."""
+
+import numpy as np
+import pytest
+
+
+def test_reference_accuracies(tiny_harness):
+    assert 0.0 <= tiny_harness.int8_accuracy <= 1.0
+    assert abs(tiny_harness.int8_accuracy - tiny_harness.fp32_accuracy) <= 0.1
+    # Accuracies are memoized.
+    assert tiny_harness.int8_accuracy == tiny_harness.int8_accuracy
+
+
+def test_nbsmt_run_reports_stats_and_speedup(tiny_harness):
+    result = tiny_harness.evaluate_nbsmt(threads=2, policy="S+A", reorder=False)
+    assert 0.0 <= result.accuracy <= 1.0
+    assert result.policy == "S+A"
+    assert result.speedup == pytest.approx(2.0, abs=0.01)
+    assert result.layer_stats
+    for stats in result.layer_stats.values():
+        assert stats.mac_total > 0
+    assert result.mean_utilization_gain() >= 1.0
+
+
+def test_nbsmt_accuracy_ordering(tiny_harness):
+    """NB-SMT accuracy sits between the worst-case 'min' policy and INT8."""
+    int8 = tiny_harness.int8_accuracy
+    best = tiny_harness.evaluate_nbsmt(threads=2, policy="S+A", reorder=True,
+                                       collect_stats=False)
+    worst = tiny_harness.evaluate_nbsmt(threads=2, policy="min", reorder=False,
+                                        collect_stats=False)
+    assert best.accuracy >= worst.accuracy - 0.03
+    assert best.accuracy <= int8 + 0.05
+
+
+def test_four_threads_degrade_more_than_two(tiny_harness):
+    two = tiny_harness.evaluate_nbsmt(threads=2, policy="S+A", collect_stats=False)
+    four = tiny_harness.evaluate_nbsmt(threads=4, policy="S+A", collect_stats=False)
+    assert four.accuracy <= two.accuracy + 0.05
+    assert four.speedup == pytest.approx(4.0, abs=0.01)
+
+
+def test_reorder_permutations_are_valid(tiny_harness):
+    permutations = tiny_harness.reorder_permutations(threads=2)
+    assert permutations
+    for name, perm in permutations.items():
+        stats = tiny_harness.calibration.column_stats[name]
+        assert sorted(perm.tolist()) == list(range(stats.num_columns))
+    # Cached on repeated calls.
+    assert tiny_harness.reorder_permutations(threads=2) is permutations
+
+
+def test_layer_mac_counts_positive_and_cached(tiny_harness):
+    macs = tiny_harness.layer_mac_counts()
+    assert macs
+    assert all(count > 0 for count in macs.values())
+    assert tiny_harness.layer_mac_counts() is macs
+
+
+def test_speedup_for_mixed_assignment(tiny_harness):
+    names = list(tiny_harness.qmodel.layer_names())
+    assignment = {name: 2 for name in names}
+    assignment[names[0]] = 1
+    speedup = tiny_harness.speedup_for(assignment)
+    assert 1.0 < speedup < 2.0
+
+
+def test_per_layer_threads_respected(tiny_harness):
+    names = tiny_harness.qmodel.layer_names()
+    assignment = {name: 1 for name in names}
+    result = tiny_harness.evaluate_nbsmt(threads=assignment, collect_stats=False)
+    assert result.speedup == pytest.approx(1.0)
+    assert result.accuracy == pytest.approx(tiny_harness.int8_accuracy, abs=0.02)

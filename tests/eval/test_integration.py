@@ -1,0 +1,104 @@
+"""Cross-module integration tests.
+
+These tests tie the layers of the stack together the same way the paper's
+evaluation does: quantized model -> NB-SMT engine -> systolic array and
+hardware models, checking the invariants that the experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import NBSMTEngine
+from repro.core.smt import NBSMTMatmul
+from repro.quant.engine import ExactEngine, LayerContext
+from repro.systolic.os_sa import OutputStationarySA
+from repro.systolic.sysmt import SySMTArray
+from repro.systolic.utilization import utilization_gain_analytic
+from repro.utils.rng import new_rng
+from tests.conftest import make_quantized_pair
+
+
+def test_quantized_layer_through_array_equals_engine(tiny_harness):
+    """The SySMT array and the NB-SMT engine produce identical accumulators."""
+    name = tiny_harness.qmodel.layer_names()[0]
+    layer = tiny_harness.qmodel.layers[name]
+    scale = tiny_harness.calibration.scale_for(name)
+
+    # Capture one real quantized operand pair from the wrapped model.
+    captured = {}
+    original_matmul = layer.module.matmul_fn
+
+    def capture(cols, weight_2d):
+        from repro.quant.quantizer import (
+            quantize_activations,
+            quantize_weights_per_channel,
+        )
+
+        captured["x"] = quantize_activations(cols, scale).values
+        captured["w"] = quantize_weights_per_channel(weight_2d).values
+        return original_matmul(cols, weight_2d)
+
+    layer.module.matmul_fn = capture
+    try:
+        tiny_harness.qmodel.forward(tiny_harness.eval_images[:8])
+    finally:
+        layer.module.matmul_fn = original_matmul
+
+    x_q, w_q = captured["x"], captured["w"]
+    engine = NBSMTEngine("S+A")
+    engine_out = engine.matmul(x_q, w_q, LayerContext(name=name, threads=2))
+    array = SySMTArray(rows=8, cols=8, threads=2, policy="S+A")
+    array_out, _ = array.matmul(x_q, w_q)
+    assert np.array_equal(engine_out, array_out)
+
+
+def test_real_activations_follow_eq8(tiny_harness):
+    """Measured utilization gain of real layers stays near the 1+s line."""
+    run = tiny_harness.evaluate_nbsmt(threads=2, reorder=False, collect_stats=True)
+    for stats in run.layer_stats.values():
+        if stats.mac_total == 0:
+            continue
+        predicted = utilization_gain_analytic(stats.activation_sparsity, 2)
+        assert stats.utilization_gain == pytest.approx(predicted, abs=0.25)
+
+
+def test_baseline_array_utilization_matches_executor_stats():
+    """The OS-SA utilization counter equals the executor's baseline counter."""
+    rng = new_rng(33)
+    x, w = make_quantized_pair(rng, m=24, k=40, n=16)
+    array = OutputStationarySA(rows=8, cols=8)
+    _, report = array.matmul(x, w)
+    executor = NBSMTMatmul(2, "S+A")
+    executor.matmul(x, w)
+    assert report.mac_cycles_active == executor.stats.mac_active
+    assert report.utilization == pytest.approx(executor.stats.baseline_utilization)
+
+
+def test_exact_engine_and_one_thread_nbsmt_agree_on_model(tiny_harness):
+    """Running every layer with one thread reproduces the INT8 baseline."""
+    names = tiny_harness.qmodel.layer_names()
+    single = tiny_harness.evaluate_nbsmt(
+        threads={name: 1 for name in names}, collect_stats=False
+    )
+    tiny_harness.qmodel.set_engine(ExactEngine())
+    exact_accuracy = tiny_harness.qmodel.evaluate(
+        tiny_harness.eval_images, tiny_harness.eval_labels,
+        batch_size=tiny_harness.batch_size,
+    )
+    assert single.accuracy == pytest.approx(exact_accuracy, abs=1e-9)
+
+
+def test_weight_family_policy_on_model(tiny_harness):
+    """The ResNet-50-style weight-reduction family works end to end."""
+    run = tiny_harness.evaluate_nbsmt(threads=2, policy="S+W", collect_stats=False)
+    assert 0.0 <= run.accuracy <= 1.0
+    assert run.policy == "S+W"
+
+
+def test_thread_count_monotonicity_of_noise(tiny_harness):
+    """More threads means more collisions and at least as much injected noise."""
+    two = tiny_harness.evaluate_nbsmt(threads=2, reorder=False, collect_stats=True)
+    four = tiny_harness.evaluate_nbsmt(threads=4, reorder=False, collect_stats=True)
+    mse_two = np.mean([s.relative_mse for s in two.layer_stats.values()])
+    mse_four = np.mean([s.relative_mse for s in four.layer_stats.values()])
+    assert mse_four >= mse_two * 0.9

@@ -1,0 +1,102 @@
+"""Area, power and energy models calibrated to the paper's Table II."""
+
+import pytest
+
+from repro.hw.area import AreaModel, TABLE_II_AREA
+from repro.hw.energy import EnergyModel, LayerEnergyInput
+from repro.hw.power import PowerModel, TABLE_II_POWER_POINTS
+
+
+# -- area ---------------------------------------------------------------------------
+
+def test_area_matches_table_ii_at_reference_size():
+    for threads, key in ((1, "sa"), (2, "sysmt_2t"), (4, "sysmt_4t")):
+        model = AreaModel(16, 16, threads)
+        assert model.total_area_mm2 == pytest.approx(
+            TABLE_II_AREA[key]["total_mm2"], rel=0.02
+        )
+        assert model.pe_area_um2 == TABLE_II_AREA[key]["pe_um2"]
+        assert model.mac_area_um2 == TABLE_II_AREA[key]["mac_um2"]
+
+
+def test_area_ratios_match_paper_claims():
+    assert AreaModel(16, 16, 2).area_ratio_to_baseline() == pytest.approx(1.44, abs=0.05)
+    assert AreaModel(16, 16, 4).area_ratio_to_baseline() == pytest.approx(2.48, abs=0.08)
+
+
+def test_area_scales_with_array_size():
+    small = AreaModel(8, 8, 2).total_area_mm2
+    large = AreaModel(32, 32, 2).total_area_mm2
+    assert large > 3.5 * small
+
+
+def test_area_invalid_threads():
+    with pytest.raises(ValueError):
+        AreaModel(16, 16, 3).total_area_mm2
+
+
+# -- power ----------------------------------------------------------------------------
+
+def test_power_matches_published_points():
+    sa = PowerModel(16, 16, 1)
+    assert sa.power_mw(0.4) == pytest.approx(277, rel=0.01)
+    assert sa.power_mw(0.8) == pytest.approx(320, rel=0.01)
+    assert PowerModel(16, 16, 2).power_mw(0.8) == pytest.approx(429, rel=0.01)
+    assert PowerModel(16, 16, 4).power_mw(0.8) == pytest.approx(723, rel=0.01)
+
+
+def test_power_monotonic_in_utilization_and_threads():
+    for threads in (1, 2, 4):
+        model = PowerModel(16, 16, threads)
+        assert model.power_mw(0.9) > model.power_mw(0.1)
+    assert PowerModel(16, 16, 4).power_mw(0.5) > PowerModel(16, 16, 2).power_mw(0.5)
+
+
+def test_power_rejects_bad_utilization():
+    with pytest.raises(ValueError):
+        PowerModel().power_mw(1.5)
+
+
+def test_throughput_table_ii():
+    assert PowerModel(16, 16, 1).throughput_gmacs == pytest.approx(256)
+    assert PowerModel(16, 16, 2).throughput_gmacs == pytest.approx(512)
+    assert PowerModel(16, 16, 4).throughput_gmacs == pytest.approx(1024)
+
+
+def test_power_point_data_is_consistent():
+    assert set(TABLE_II_POWER_POINTS) == {"sa", "sysmt_2t", "sysmt_4t"}
+
+
+# -- energy ------------------------------------------------------------------------------
+
+def test_layer_energy_eq6():
+    model = EnergyModel(16, 16)
+    layer = LayerEnergyInput("conv1", macs=1_000_000_000, utilization=0.8, threads=1)
+    power = PowerModel(16, 16, 1)
+    expected_seconds = 1e9 / (power.throughput_gmacs * 1e9)
+    expected_mj = power.power_mw(0.8) * 1e-3 * expected_seconds * 1e3
+    assert model.layer_energy_mj(layer) == pytest.approx(expected_mj)
+
+
+def test_sysmt_saves_energy_versus_baseline():
+    """The paper's headline: 2x faster at <2x power means energy goes down."""
+    model = EnergyModel(16, 16)
+    baseline = [LayerEnergyInput("l", macs=10**9, utilization=0.4, threads=1)]
+    sysmt_2t = [LayerEnergyInput("l", macs=10**9, utilization=0.8, threads=2)]
+    saving = model.energy_saving(baseline, sysmt_2t)
+    assert 0.1 < saving < 0.6
+
+
+def test_energy_saving_empty_baseline():
+    model = EnergyModel()
+    assert model.energy_saving([], []) == 0.0
+
+
+def test_model_energy_sums_layers():
+    model = EnergyModel()
+    layers = [
+        LayerEnergyInput("a", macs=10**8, utilization=0.5, threads=1),
+        LayerEnergyInput("b", macs=2 * 10**8, utilization=0.5, threads=1),
+    ]
+    total = model.model_energy_mj(layers)
+    assert total == pytest.approx(sum(model.layer_energy_mj(l) for l in layers))

@@ -1,0 +1,98 @@
+"""Model zoo: builders, registry and architectural motifs."""
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_BUILDERS, PAPER_MODEL_NAMES
+from repro.models.common import SeedStream
+from repro.models.mobilenet import is_depthwise_conv
+from repro.models.zoo import DISPLAY_NAMES, load_dataset, load_trained_model
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.combine import Concat, DenseBlock, ResidualBlock
+from repro.utils.cache import ArtifactCache
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(scope="module")
+def probe_images():
+    return new_rng(0).normal(size=(2, 3, 32, 32)).astype(np.float32)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+def test_builders_produce_classifiers(name, probe_images):
+    model = MODEL_BUILDERS[name](num_classes=7)
+    model.eval()
+    logits = model(probe_images)
+    assert logits.shape == (2, 7)
+    assert np.all(np.isfinite(logits))
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+def test_builders_are_deterministic(name):
+    first = MODEL_BUILDERS[name](num_classes=5)
+    second = MODEL_BUILDERS[name](num_classes=5)
+    for (key_a, param_a), (key_b, param_b) in zip(
+        first.named_parameters(), second.named_parameters()
+    ):
+        assert key_a == key_b
+        np.testing.assert_array_equal(param_a.value, param_b.value)
+
+
+def test_registry_covers_paper_models():
+    assert set(PAPER_MODEL_NAMES) <= set(MODEL_BUILDERS)
+    assert set(PAPER_MODEL_NAMES) <= set(DISPLAY_NAMES)
+    assert "mobilenet_v1" in MODEL_BUILDERS
+
+
+def test_architectural_motifs():
+    resnet = MODEL_BUILDERS["resnet18"]()
+    assert any(isinstance(m, ResidualBlock) for m in resnet.modules())
+    googlenet = MODEL_BUILDERS["googlenet"]()
+    assert any(isinstance(m, Concat) for m in googlenet.modules())
+    densenet = MODEL_BUILDERS["densenet121"]()
+    assert any(isinstance(m, DenseBlock) for m in densenet.modules())
+    mobilenet = MODEL_BUILDERS["mobilenet_v1"]()
+    assert any(
+        isinstance(m, Conv2d) and is_depthwise_conv(m) for m in mobilenet.modules()
+    )
+    alexnet = MODEL_BUILDERS["alexnet"]()
+    assert not any(isinstance(m, ResidualBlock) for m in alexnet.modules())
+
+
+def test_seed_stream_is_deterministic_and_distinct():
+    a = SeedStream("model-a")
+    b = SeedStream("model-a")
+    c = SeedStream("model-b")
+    assert a.next() == b.next()
+    assert a.next() == b.next()
+    assert SeedStream("model-a").next() != c.next()
+
+
+def test_load_dataset_memoization():
+    first = load_dataset(fast=True)
+    second = load_dataset(fast=True)
+    assert first is second
+
+
+def test_load_trained_model_uses_cache(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    from repro.nn.train import TrainConfig
+
+    config = TrainConfig(epochs=1, batch_size=64, lr=0.05, lr_decay_epochs=())
+    first = load_trained_model(
+        "googlenet", fast=True, cache=cache, train_config=config
+    )
+    assert 0.0 <= first.fp32_accuracy <= 1.0
+    # Second call must hit the on-disk cache and restore identical weights.
+    second = load_trained_model(
+        "googlenet", fast=True, cache=cache, train_config=config
+    )
+    for (_, a), (_, b) in zip(
+        first.model.named_parameters(), second.model.named_parameters()
+    ):
+        np.testing.assert_array_equal(a.value, b.value)
+
+
+def test_load_trained_model_unknown_name():
+    with pytest.raises(KeyError):
+        load_trained_model("not-a-model")

@@ -1,0 +1,84 @@
+"""Numerical gradient checking utility shared by the layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+def numerical_gradient_check(
+    module: Module,
+    x: np.ndarray,
+    epsilon: float = 1e-3,
+    rtol: float = 1e-2,
+    atol: float = 1e-3,
+    seed: int = 0,
+    samples: int = 12,
+) -> None:
+    """Compare analytic gradients against central finite differences.
+
+    The scalar objective is ``sum(output * projection)`` for a fixed random
+    projection, so its gradient with respect to the output is the projection
+    itself.  A random subset of input and parameter coordinates is checked to
+    keep the test fast.
+    """
+    rng = new_rng(seed)
+    module.train()
+    output = module(x.astype(np.float64).astype(np.float32))
+    projection = rng.normal(size=output.shape).astype(np.float32)
+
+    module.zero_grad()
+    module(x)
+    grad_input = module.backward(projection)
+
+    def objective(x_value: np.ndarray) -> float:
+        return float((module(x_value) * projection).sum())
+
+    def is_smooth(coarse: float, fine: float) -> bool:
+        """Reject coordinates where the finite difference itself is unstable.
+
+        ReLU kinks make central differences biased when a perturbation flips
+        an activation sign; comparing two step sizes detects those points so
+        they can be skipped instead of producing false failures.
+        """
+        return abs(coarse - fine) <= max(atol, rtol * abs(fine))
+
+    # Check a random subset of input coordinates.
+    flat_index = rng.choice(x.size, size=min(samples, x.size), replace=False)
+    for index in flat_index:
+        position = np.unravel_index(index, x.shape)
+        estimates = []
+        for step in (epsilon, epsilon / 2):
+            x_plus = x.copy()
+            x_plus[position] += step
+            x_minus = x.copy()
+            x_minus[position] -= step
+            estimates.append((objective(x_plus) - objective(x_minus)) / (2 * step))
+        if not is_smooth(estimates[0], estimates[1]):
+            continue
+        actual = float(grad_input[position])
+        np.testing.assert_allclose(actual, estimates[1], rtol=rtol, atol=atol)
+
+    # Check a random subset of each parameter's coordinates.
+    module.zero_grad()
+    module(x)
+    module.backward(projection)
+    for _, param in module.named_parameters():
+        indices = rng.choice(param.size, size=min(4, param.size), replace=False)
+        for index in indices:
+            position = np.unravel_index(index, param.value.shape)
+            original = float(param.value[position])
+            estimates = []
+            for step in (epsilon, epsilon / 2):
+                param.value[position] = original + step
+                upper = objective(x)
+                param.value[position] = original - step
+                lower = objective(x)
+                param.value[position] = original
+                estimates.append((upper - lower) / (2 * step))
+            if not is_smooth(estimates[0], estimates[1]):
+                continue
+            actual = float(param.grad[position])
+            np.testing.assert_allclose(actual, estimates[1], rtol=rtol, atol=atol)

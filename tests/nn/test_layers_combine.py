@@ -1,0 +1,104 @@
+"""Composite blocks: residual, inception (concat) and dense connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Concat,
+    Conv2d,
+    DenseBlock,
+    Identity,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from repro.nn.layers.combine import conv_bn_relu
+from repro.utils.rng import new_rng
+from tests.nn.gradcheck import numerical_gradient_check
+
+
+def test_concat_forward_splits_channels():
+    branch_a = Conv2d(2, 3, 1, bias=False, seed=0)
+    branch_b = Conv2d(2, 5, 1, bias=False, seed=1)
+    block = Concat(branch_a, branch_b)
+    x = new_rng(0).normal(size=(2, 2, 4, 4)).astype(np.float32)
+    out = block(x)
+    assert out.shape == (2, 8, 4, 4)
+    np.testing.assert_allclose(out[:, :3], branch_a(x), rtol=1e-5)
+    np.testing.assert_allclose(out[:, 3:], branch_b(x), rtol=1e-5)
+
+
+def test_concat_backward_before_forward_raises():
+    block = Concat(Identity())
+    with pytest.raises(RuntimeError):
+        block.backward(np.zeros((1, 1, 1, 1), dtype=np.float32))
+
+
+def test_concat_gradients():
+    block = Concat(Conv2d(2, 2, 1, bias=False, seed=2), Conv2d(2, 3, 3, padding=1,
+                                                               bias=False, seed=3))
+    x = new_rng(1).normal(size=(2, 2, 4, 4)).astype(np.float32)
+    numerical_gradient_check(block, x)
+
+
+def test_residual_identity_shortcut():
+    body = Conv2d(3, 3, 3, padding=1, bias=False, seed=4)
+    block = ResidualBlock(body)
+    x = new_rng(2).normal(size=(1, 3, 4, 4)).astype(np.float32)
+    expected = np.maximum(body(x) + x, 0)
+    np.testing.assert_allclose(block(x), expected, rtol=1e-5)
+
+
+def test_residual_projection_shortcut():
+    body = Conv2d(3, 6, 3, stride=2, padding=1, bias=False, seed=5)
+    shortcut = Conv2d(3, 6, 1, stride=2, bias=False, seed=6)
+    block = ResidualBlock(body, shortcut)
+    x = new_rng(3).normal(size=(1, 3, 8, 8)).astype(np.float32)
+    assert block(x).shape == (1, 6, 4, 4)
+
+
+def test_residual_shape_mismatch_raises():
+    block = ResidualBlock(Conv2d(3, 5, 3, padding=1, bias=False, seed=7))
+    with pytest.raises(ValueError):
+        block(np.zeros((1, 3, 4, 4), dtype=np.float32))
+
+
+def test_residual_gradients():
+    block = ResidualBlock(
+        Sequential(Conv2d(2, 2, 3, padding=1, bias=False, seed=8), ReLU(),
+                   Conv2d(2, 2, 3, padding=1, bias=False, seed=9)),
+    )
+    x = new_rng(4).normal(size=(2, 2, 4, 4)).astype(np.float32)
+    numerical_gradient_check(block, x)
+
+
+def test_dense_block_channel_growth():
+    layers = [Conv2d(4 + 2 * i, 2, 3, padding=1, bias=False, seed=10 + i)
+              for i in range(3)]
+    block = DenseBlock(layers)
+    x = new_rng(5).normal(size=(1, 4, 4, 4)).astype(np.float32)
+    out = block(x)
+    assert out.shape == (1, 4 + 3 * 2, 4, 4)
+    # The input is passed through unchanged as the first channels.
+    np.testing.assert_allclose(out[:, :4], x)
+
+
+def test_dense_block_backward_before_forward_raises():
+    block = DenseBlock([Conv2d(2, 1, 1, bias=False, seed=20)])
+    with pytest.raises(RuntimeError):
+        block.backward(np.zeros((1, 3, 2, 2), dtype=np.float32))
+
+
+def test_dense_block_gradients():
+    layers = [Conv2d(2 + i, 1, 3, padding=1, bias=False, seed=30 + i) for i in range(2)]
+    block = DenseBlock(layers)
+    x = new_rng(6).normal(size=(1, 2, 4, 4)).astype(np.float32)
+    numerical_gradient_check(block, x)
+
+
+def test_conv_bn_relu_builder():
+    block = conv_bn_relu(3, 8, 3, stride=2, seed=40)
+    x = new_rng(7).normal(size=(2, 3, 8, 8)).astype(np.float32)
+    out = block(x)
+    assert out.shape == (2, 8, 4, 4)
+    assert np.all(out >= 0)

@@ -1,0 +1,90 @@
+"""Conv2d: forward correctness, gradient checks, grouping and the matmul hook."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.conv import Conv2d
+from repro.utils.rng import new_rng
+from tests.nn.gradcheck import numerical_gradient_check
+
+
+def test_forward_matches_manual_small_case():
+    conv = Conv2d(1, 1, 2, stride=1, padding=0, bias=False, seed=0)
+    conv.weight.value[...] = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+    x = np.arange(9, dtype=np.float32).reshape(1, 1, 3, 3)
+    out = conv(x)
+    # Output (0,0): 0*1 + 1*2 + 3*3 + 4*4 = 27
+    assert out.shape == (1, 1, 2, 2)
+    assert out[0, 0, 0, 0] == pytest.approx(27.0)
+    assert out[0, 0, 1, 1] == pytest.approx(4 + 10 + 21 + 32)
+
+
+def test_forward_shape_with_stride_and_padding():
+    conv = Conv2d(3, 8, 3, stride=2, padding=1, seed=1)
+    x = new_rng(0).normal(size=(2, 3, 16, 16)).astype(np.float32)
+    assert conv(x).shape == (2, 8, 8, 8)
+    assert conv.output_spatial(16, 16) == (8, 8)
+
+
+def test_bias_is_added_per_channel():
+    conv = Conv2d(1, 2, 1, bias=True, seed=2)
+    conv.weight.value[...] = 0.0
+    conv.bias.value[...] = np.array([1.5, -2.0], dtype=np.float32)
+    out = conv(np.zeros((1, 1, 4, 4), dtype=np.float32))
+    assert np.allclose(out[0, 0], 1.5)
+    assert np.allclose(out[0, 1], -2.0)
+
+
+def test_depthwise_groups_forward():
+    conv = Conv2d(4, 4, 3, padding=1, groups=4, bias=False, seed=3)
+    x = new_rng(1).normal(size=(2, 4, 6, 6)).astype(np.float32)
+    out = conv(x)
+    assert out.shape == (2, 4, 6, 6)
+    # Each output channel depends only on its own input channel.
+    x2 = x.copy()
+    x2[:, 0] = 0
+    out2 = conv(x2)
+    assert not np.allclose(out[:, 0], out2[:, 0])
+    np.testing.assert_allclose(out[:, 1:], out2[:, 1:])
+
+
+def test_invalid_group_configuration():
+    with pytest.raises(ValueError):
+        Conv2d(4, 6, 3, groups=4)
+    conv = Conv2d(3, 4, 3)
+    with pytest.raises(ValueError):
+        conv(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+
+def test_macs_per_image():
+    conv = Conv2d(3, 8, 3, stride=1, padding=1)
+    assert conv.macs_per_image(16, 16) == 16 * 16 * 3 * 9 * 8
+    depthwise = Conv2d(8, 8, 3, padding=1, groups=8)
+    assert depthwise.macs_per_image(16, 16) == 16 * 16 * 9 * 8
+
+
+def test_matmul_hook_is_used():
+    conv = Conv2d(1, 1, 1, bias=False, seed=4)
+    conv.weight.value[...] = 1.0
+    calls = []
+
+    def hook(cols, weight_2d):
+        calls.append(cols.shape)
+        return np.zeros((cols.shape[0], weight_2d.shape[1]), dtype=np.float32)
+
+    conv.matmul_fn = hook
+    out = conv(np.ones((1, 1, 2, 2), dtype=np.float32))
+    assert calls and calls[0] == (4, 1)
+    assert np.all(out == 0)
+
+
+def test_gradients_numerically():
+    conv = Conv2d(2, 3, 3, stride=1, padding=1, bias=True, seed=5)
+    x = new_rng(2).normal(size=(2, 2, 5, 5)).astype(np.float32)
+    numerical_gradient_check(conv, x)
+
+
+def test_gradients_numerically_strided_depthwise():
+    conv = Conv2d(2, 2, 3, stride=2, padding=1, bias=False, groups=2, seed=6)
+    x = new_rng(3).normal(size=(1, 2, 6, 6)).astype(np.float32)
+    numerical_gradient_check(conv, x)

@@ -1,0 +1,161 @@
+"""Linear, ReLU, pooling, batch-norm and reshape layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.layers.norm import BatchNorm2d
+from repro.utils.rng import new_rng
+from tests.nn.gradcheck import numerical_gradient_check
+
+
+# -- Linear -------------------------------------------------------------------
+
+def test_linear_forward_matches_matmul():
+    layer = Linear(4, 3, seed=0)
+    x = new_rng(0).normal(size=(5, 4)).astype(np.float32)
+    expected = x @ layer.weight.value.T + layer.bias.value
+    np.testing.assert_allclose(layer(x), expected, rtol=1e-5)
+    assert layer.macs_per_image() == 12
+
+
+def test_linear_rejects_non_2d_input():
+    with pytest.raises(ValueError):
+        Linear(4, 3)(np.zeros((2, 4, 1), dtype=np.float32))
+
+
+def test_linear_gradients():
+    layer = Linear(6, 4, seed=1)
+    x = new_rng(1).normal(size=(3, 6)).astype(np.float32)
+    numerical_gradient_check(layer, x)
+
+
+# -- ReLU ----------------------------------------------------------------------
+
+def test_relu_forward_and_backward():
+    layer = ReLU()
+    x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+    out = layer(x)
+    np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+    grad = layer.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad, [[0.0, 0.0, 1.0]])
+
+
+def test_relu_backward_before_forward_raises():
+    with pytest.raises(RuntimeError):
+        ReLU().backward(np.ones((1, 1)))
+
+
+# -- pooling ---------------------------------------------------------------------
+
+def test_maxpool_forward_values():
+    layer = MaxPool2d(2)
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    out = layer(x)
+    np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+
+def test_maxpool_gradient_routes_to_argmax():
+    layer = MaxPool2d(2)
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    layer(x)
+    grad = layer.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+    assert grad.sum() == 4
+    assert grad[0, 0, 1, 1] == 1  # position of value 5
+
+
+def test_avgpool_forward_and_gradient():
+    layer = AvgPool2d(2)
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    out = layer(x)
+    assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+    grad = layer.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+    np.testing.assert_allclose(grad, 0.25)
+
+
+def test_global_avgpool():
+    layer = GlobalAvgPool2d()
+    x = new_rng(2).normal(size=(2, 3, 4, 4)).astype(np.float32)
+    out = layer(x)
+    np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-6)
+    grad = layer.backward(np.ones((2, 3), dtype=np.float32))
+    np.testing.assert_allclose(grad, 1.0 / 16)
+
+
+def test_pooling_gradients_numerically():
+    x = new_rng(3).normal(size=(2, 2, 6, 6)).astype(np.float32)
+    numerical_gradient_check(AvgPool2d(2), x)
+    numerical_gradient_check(GlobalAvgPool2d(), x)
+
+
+# -- batch norm --------------------------------------------------------------------
+
+def test_batchnorm_normalizes_in_training():
+    layer = BatchNorm2d(3)
+    x = new_rng(4).normal(loc=5.0, scale=3.0, size=(8, 3, 4, 4)).astype(np.float32)
+    out = layer(x)
+    assert abs(out.mean()) < 1e-4
+    assert out.std() == pytest.approx(1.0, abs=1e-2)
+
+
+def test_batchnorm_running_stats_used_in_eval():
+    layer = BatchNorm2d(2)
+    x = new_rng(5).normal(loc=2.0, size=(16, 2, 4, 4)).astype(np.float32)
+    for _ in range(60):
+        layer(x)
+    layer.eval()
+    out = layer(x)
+    # Running stats converge towards the batch statistics (momentum 0.1), so
+    # the eval-mode output is approximately normalized.
+    assert abs(out.mean()) < 0.1
+    assert abs(layer.running_mean.mean() - 2.0) < 0.1
+
+
+def test_batchnorm_fold_into_affine():
+    layer = BatchNorm2d(2)
+    layer.eval()
+    x = new_rng(6).normal(size=(4, 2, 3, 3)).astype(np.float32)
+    scale, shift = layer.fold_into_affine()
+    expected = x * scale[None, :, None, None] + shift[None, :, None, None]
+    np.testing.assert_allclose(layer(x), expected, rtol=1e-5)
+
+
+def test_batchnorm_reset_running_stats():
+    layer = BatchNorm2d(2)
+    layer(np.full((4, 2, 2, 2), 7.0, dtype=np.float32))
+    assert not np.allclose(layer.running_mean, 0)
+    layer.reset_running_stats()
+    np.testing.assert_array_equal(layer.running_mean, 0)
+    np.testing.assert_array_equal(layer.running_var, 1)
+
+
+def test_batchnorm_gradients_numerically():
+    layer = BatchNorm2d(2)
+    x = new_rng(7).normal(size=(4, 2, 3, 3)).astype(np.float32)
+    numerical_gradient_check(layer, x, rtol=2e-2, atol=2e-3)
+
+
+# -- reshape ----------------------------------------------------------------------
+
+def test_flatten_roundtrip():
+    layer = Flatten()
+    x = new_rng(8).normal(size=(3, 2, 4, 4)).astype(np.float32)
+    out = layer(x)
+    assert out.shape == (3, 32)
+    grad = layer.backward(out)
+    assert grad.shape == x.shape
+
+
+def test_identity_passthrough():
+    layer = Identity()
+    x = np.ones((2, 2), dtype=np.float32)
+    assert layer(x) is x
+    assert layer.backward(x) is x

@@ -1,0 +1,75 @@
+"""Module system: registration, traversal, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module, Parameter
+
+
+def test_parameter_basics():
+    param = Parameter(np.ones((2, 3)))
+    assert param.shape == (2, 3)
+    assert param.size == 6
+    param.grad += 1.0
+    param.zero_grad()
+    assert np.all(param.grad == 0)
+
+
+def test_child_and_parameter_registration():
+    model = Sequential(Linear(4, 3, seed=0), ReLU(), Linear(3, 2, seed=1))
+    names = [name for name, _ in model.named_modules()]
+    assert "" in names and "0" in names and "2" in names
+    param_names = [name for name, _ in model.named_parameters()]
+    assert "0.weight" in param_names and "2.bias" in param_names
+    assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+
+def test_train_eval_propagates():
+    model = Sequential(Linear(4, 3, seed=0), ReLU())
+    model.eval()
+    assert all(not module.training for module in model.modules())
+    model.train()
+    assert all(module.training for module in model.modules())
+
+
+def test_zero_grad():
+    model = Sequential(Linear(4, 3, seed=0))
+    for param in model.parameters():
+        param.grad += 5.0
+    model.zero_grad()
+    assert all(np.all(param.grad == 0) for param in model.parameters())
+
+
+def test_state_dict_roundtrip_includes_buffers():
+    model = Sequential(Linear(4, 4, seed=0), BatchNorm2d(4))
+    bn = model[1]
+    bn._buffers["running_mean"] = np.full(4, 2.5, dtype=np.float32)
+    state = model.state_dict()
+    assert "1.running_mean" in state
+
+    clone = Sequential(Linear(4, 4, seed=99), BatchNorm2d(4))
+    clone.load_state_dict(state)
+    np.testing.assert_array_equal(clone[0].weight.value, model[0].weight.value)
+    np.testing.assert_array_equal(clone[1].running_mean, np.full(4, 2.5))
+
+
+def test_load_state_dict_validates():
+    model = Sequential(Linear(4, 3, seed=0))
+    with pytest.raises(KeyError):
+        model.load_state_dict({"not-a-key": np.zeros(3)})
+    with pytest.raises(ValueError):
+        model.load_state_dict({"0.weight": np.zeros((1, 1))})
+
+
+def test_sequential_indexing_and_append():
+    model = Sequential(Linear(4, 3, seed=0))
+    model.append(ReLU())
+    assert len(model) == 2
+    assert isinstance(model[1], ReLU)
+
+
+def test_base_module_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module().forward(np.zeros(1))

@@ -1,0 +1,164 @@
+"""Loss, optimizer, data pipeline and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CrossEntropyLoss,
+    DataLoader,
+    Flatten,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+    SyntheticImageDataset,
+    TrainConfig,
+    Trainer,
+    evaluate_accuracy,
+)
+from repro.nn.data import DatasetConfig
+from repro.utils.rng import new_rng
+
+
+# -- loss --------------------------------------------------------------------------
+
+def test_cross_entropy_matches_manual():
+    loss_fn = CrossEntropyLoss()
+    logits = np.array([[2.0, 0.0, -2.0]], dtype=np.float32)
+    labels = np.array([0])
+    loss = loss_fn(logits, labels)
+    probs = np.exp(logits[0]) / np.exp(logits[0]).sum()
+    assert loss == pytest.approx(-np.log(probs[0]), rel=1e-5)
+
+
+def test_cross_entropy_gradient_matches_numerical():
+    loss_fn = CrossEntropyLoss()
+    rng = new_rng(0)
+    logits = rng.normal(size=(4, 5)).astype(np.float32)
+    labels = rng.integers(0, 5, size=4)
+    loss_fn(logits, labels)
+    grad = loss_fn.backward()
+    epsilon = 1e-3
+    for i in range(4):
+        for j in range(5):
+            perturbed = logits.astype(np.float64)
+            perturbed[i, j] += epsilon
+            upper = loss_fn(perturbed, labels)
+            perturbed[i, j] -= 2 * epsilon
+            lower = loss_fn(perturbed, labels)
+            expected = (upper - lower) / (2 * epsilon)
+            assert grad[i, j] == pytest.approx(expected, abs=2e-3)
+
+
+def test_cross_entropy_label_smoothing():
+    plain = CrossEntropyLoss()
+    smoothed = CrossEntropyLoss(label_smoothing=0.2)
+    logits = np.array([[10.0, -10.0]], dtype=np.float32)
+    labels = np.array([0])
+    assert smoothed(logits, labels) > plain(logits, labels)
+    with pytest.raises(ValueError):
+        CrossEntropyLoss(label_smoothing=1.5)
+
+
+# -- optimizer -----------------------------------------------------------------------
+
+def test_sgd_step_moves_against_gradient():
+    layer = Linear(2, 2, bias=False, seed=0)
+    optimizer = SGD(list(layer.parameters()), lr=0.1, momentum=0.0)
+    layer.weight.grad[...] = 1.0
+    before = layer.weight.value.copy()
+    optimizer.step()
+    np.testing.assert_allclose(layer.weight.value, before - 0.1, rtol=1e-6)
+
+
+def test_sgd_momentum_accumulates():
+    layer = Linear(1, 1, bias=False, seed=0)
+    optimizer = SGD(list(layer.parameters()), lr=1.0, momentum=0.5)
+    layer.weight.grad[...] = 1.0
+    optimizer.step()
+    first_step = layer.weight.value.copy()
+    layer.weight.grad[...] = 1.0
+    optimizer.step()
+    # Second update is 1 + 0.5 = 1.5 in magnitude.
+    assert (first_step - layer.weight.value)[0, 0] == pytest.approx(1.5)
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    layer = Linear(1, 1, bias=False, seed=0)
+    layer.weight.value[...] = 10.0
+    optimizer = SGD(list(layer.parameters()), lr=0.1, momentum=0.0, weight_decay=0.1)
+    layer.weight.grad[...] = 0.0
+    optimizer.step()
+    assert layer.weight.value[0, 0] < 10.0
+
+
+def test_sgd_requires_parameters():
+    with pytest.raises(ValueError):
+        SGD([])
+
+
+# -- data ----------------------------------------------------------------------------
+
+def test_dataset_is_deterministic():
+    config = DatasetConfig(train_size=64, val_size=16, image_size=16, seed=5)
+    first = SyntheticImageDataset(config)
+    second = SyntheticImageDataset(config)
+    np.testing.assert_array_equal(first.train_images, second.train_images)
+    np.testing.assert_array_equal(first.val_labels, second.val_labels)
+
+
+def test_dataset_shapes_and_labels():
+    dataset = SyntheticImageDataset(
+        DatasetConfig(train_size=32, val_size=8, image_size=16, num_classes=4)
+    )
+    assert dataset.train_images.shape == (32, 3, 16, 16)
+    assert dataset.val_images.shape == (8, 3, 16, 16)
+    assert set(np.unique(dataset.train_labels)) <= set(range(4))
+    assert dataset.calibration_batch(10).shape[0] == 10
+    assert dataset.num_classes == 4
+
+
+def test_dataloader_batches_cover_dataset():
+    images = np.arange(10 * 3).reshape(10, 3).astype(np.float32)
+    labels = np.arange(10)
+    loader = DataLoader(images, labels, batch_size=4, shuffle=True, seed=0)
+    assert len(loader) == 3
+    seen = []
+    for batch_images, batch_labels in loader:
+        assert batch_images.shape[0] == batch_labels.shape[0]
+        seen.extend(batch_labels.tolist())
+    assert sorted(seen) == list(range(10))
+
+
+def test_dataloader_validates_lengths():
+    with pytest.raises(ValueError):
+        DataLoader(np.zeros((3, 1)), np.zeros(2))
+
+
+# -- trainer ----------------------------------------------------------------------------
+
+def test_training_reduces_loss_and_learns(tiny_dataset):
+    model = Sequential(
+        Flatten(),
+        Linear(3 * 16 * 16, 32, seed=0),
+        ReLU(),
+        Linear(32, tiny_dataset.num_classes, seed=1),
+    )
+    trainer = Trainer(model, TrainConfig(epochs=4, batch_size=32, lr=0.05, seed=0))
+    result = trainer.fit(
+        tiny_dataset.train_images,
+        tiny_dataset.train_labels,
+        tiny_dataset.val_images,
+        tiny_dataset.val_labels,
+    )
+    assert result.losses[-1] < result.losses[0]
+    chance = 1.0 / tiny_dataset.num_classes
+    assert result.final_val_accuracy > chance * 1.5
+
+
+def test_evaluate_accuracy_bounds(tiny_dataset, tiny_trained_model):
+    accuracy = evaluate_accuracy(
+        tiny_trained_model, tiny_dataset.val_images, tiny_dataset.val_labels
+    )
+    assert 0.0 <= accuracy <= 1.0
+    assert accuracy > 1.0 / tiny_dataset.num_classes

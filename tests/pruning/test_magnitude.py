@@ -1,0 +1,97 @@
+"""Magnitude pruning: masks, sparsity targets and retraining behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, GlobalAvgPool2d, Linear, MaxPool2d, Sequential
+from repro.nn.layers.combine import conv_bn_relu
+from repro.pruning import (
+    PruningSchedule,
+    apply_masks,
+    iterative_magnitude_prune,
+    magnitude_masks,
+    sparsity_of,
+)
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture
+def small_cnn():
+    return Sequential(
+        conv_bn_relu(3, 8, 3, seed=0),
+        MaxPool2d(2),
+        conv_bn_relu(8, 8, 3, seed=1),
+        GlobalAvgPool2d(),
+        Linear(8, 6, seed=2),
+    )
+
+
+def test_masks_hit_target_sparsity(small_cnn):
+    masks = magnitude_masks(small_cnn, 0.5)
+    apply_masks(small_cnn, masks)
+    assert sparsity_of(small_cnn) == pytest.approx(0.5, abs=0.05)
+
+
+def test_masks_keep_largest_magnitudes(small_cnn):
+    conv = next(m for m in small_cnn.modules() if isinstance(m, Conv2d))
+    masks = magnitude_masks(small_cnn, 0.5)
+    conv_mask = next(iter(masks.values()))
+    kept = np.abs(conv.weight.value[conv_mask])
+    pruned = np.abs(conv.weight.value[~conv_mask])
+    assert kept.min() >= pruned.max() - 1e-9
+
+
+def test_zero_sparsity_keeps_everything(small_cnn):
+    masks = magnitude_masks(small_cnn, 0.0)
+    apply_masks(small_cnn, masks)
+    assert sparsity_of(small_cnn) < 0.05
+
+
+def test_linear_and_bias_are_not_pruned(small_cnn):
+    masks = magnitude_masks(small_cnn, 0.9)
+    assert all(".weight" in name for name in masks)
+    assert not any("bias" in name for name in masks)
+    linear = small_cnn[-1]
+    apply_masks(small_cnn, masks)
+    assert np.count_nonzero(linear.weight.value) == linear.weight.value.size
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        PruningSchedule(target_sparsity=1.0)
+    with pytest.raises(ValueError):
+        PruningSchedule(target_sparsity=0.5, steps=0)
+
+
+def test_iterative_pruning_reaches_target_and_keeps_masks(small_cnn, tiny_dataset):
+    schedule = PruningSchedule(target_sparsity=0.4, steps=2, retrain_epochs=1, lr=0.01)
+    masks = iterative_magnitude_prune(
+        small_cnn,
+        tiny_dataset.train_images[:128],
+        tiny_dataset.train_labels[:128],
+        schedule,
+    )
+    # Retraining must not resurrect pruned weights.
+    assert sparsity_of(small_cnn) >= 0.4 - 0.05
+    for name, module in small_cnn.named_modules():
+        key = f"{name}.weight"
+        if key in masks:
+            assert np.all(module.weight.value[~masks[key]] == 0)
+
+
+def test_pruned_model_accuracy_degrades_gracefully(tiny_trained_entry):
+    """Moderate pruning plus retraining keeps the model useful (Fig. 10 premise)."""
+    import copy
+
+    from repro.nn.train import evaluate_accuracy
+
+    entry = tiny_trained_entry
+    model = copy.deepcopy(entry.model)
+    dataset = entry.dataset
+    baseline = evaluate_accuracy(model, dataset.val_images, dataset.val_labels)
+    schedule = PruningSchedule(target_sparsity=0.3, steps=1, retrain_epochs=1, lr=0.01)
+    iterative_magnitude_prune(
+        model, dataset.train_images, dataset.train_labels, schedule
+    )
+    pruned_accuracy = evaluate_accuracy(model, dataset.val_images, dataset.val_labels)
+    assert pruned_accuracy >= baseline - 0.25

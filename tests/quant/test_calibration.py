@@ -1,0 +1,86 @@
+"""Calibration pass: activation ranges, BN recalibration, column statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, GlobalAvgPool2d, Linear, MaxPool2d, ReLU, Sequential
+from repro.nn.layers.combine import conv_bn_relu
+from repro.nn.layers.norm import BatchNorm2d
+from repro.quant.calibration import calibrate_model, recalibrate_batchnorm
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture
+def small_model():
+    return Sequential(
+        conv_bn_relu(3, 4, 3, seed=0),
+        MaxPool2d(2),
+        conv_bn_relu(4, 8, 3, seed=1),
+        GlobalAvgPool2d(),
+        Linear(8, 5, seed=2),
+    )
+
+
+@pytest.fixture
+def calibration_images():
+    return new_rng(0).normal(size=(32, 3, 8, 8)).astype(np.float32)
+
+
+def test_calibration_covers_all_conv_layers(small_model, calibration_images):
+    result = calibrate_model(small_model, calibration_images, batch_size=16)
+    conv_names = [
+        name for name, module in small_model.named_modules()
+        if isinstance(module, Conv2d)
+    ]
+    assert set(result.act_scales) == set(conv_names)
+    assert all(scale > 0 for scale in result.act_scales.values())
+    assert result.num_batches == 2
+
+
+def test_calibration_includes_linear_when_requested(small_model, calibration_images):
+    result = calibrate_model(
+        small_model, calibration_images, include_linear=True, batch_size=16
+    )
+    linear_names = [
+        name for name, module in small_model.named_modules()
+        if isinstance(module, Linear)
+    ]
+    assert set(linear_names) <= set(result.act_scales)
+
+
+def test_calibration_restores_original_matmuls(small_model, calibration_images):
+    conv = next(m for m in small_model.modules() if isinstance(m, Conv2d))
+    original = conv.matmul_fn
+    calibrate_model(small_model, calibration_images, batch_size=16)
+    assert conv.matmul_fn is original
+
+
+def test_column_stats_shapes_and_ranges(small_model, calibration_images):
+    result = calibrate_model(small_model, calibration_images, batch_size=16)
+    for name, stats in result.column_stats.items():
+        assert stats.num_columns > 0
+        assert np.all((stats.p_wide >= 0) & (stats.p_wide <= 1))
+        assert np.all((stats.p_nonzero >= 0) & (stats.p_nonzero <= 1))
+        assert np.all(stats.p_wide <= stats.p_nonzero + 1e-12)
+
+
+def test_column_stats_can_be_skipped(small_model, calibration_images):
+    result = calibrate_model(
+        small_model, calibration_images, batch_size=16, collect_column_stats=False
+    )
+    assert result.column_stats == {}
+
+
+def test_bn_recalibration_tracks_input_statistics():
+    bn = BatchNorm2d(3)
+    model = Sequential(bn)
+    images = new_rng(1).normal(loc=4.0, scale=2.0, size=(64, 3, 4, 4)).astype(np.float32)
+    recalibrate_batchnorm(model, images, batch_size=16)
+    assert bn.running_mean == pytest.approx(np.full(3, 4.0), abs=0.3)
+    assert bn.running_var == pytest.approx(np.full(3, 4.0), abs=1.0)
+    assert not model.training
+
+
+def test_recalibration_without_bn_is_noop():
+    model = Sequential(Linear(4, 2, seed=0))
+    recalibrate_batchnorm(model, np.zeros((4, 4), dtype=np.float32))

@@ -1,0 +1,89 @@
+"""Quantization primitives: ranges, round trips and scale conventions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant.quantizer import (
+    activation_scale,
+    dequantize,
+    quantize_activations,
+    quantize_weights_per_channel,
+)
+from repro.utils.rng import new_rng
+
+
+def test_activation_scale_maps_max_to_255():
+    scale = activation_scale(10.2)
+    assert 10.2 / scale == pytest.approx(255)
+    assert activation_scale(0.0) == 1.0
+    assert activation_scale(-3.0) == 1.0
+
+
+def test_quantize_activations_range_and_clipping():
+    q = quantize_activations(np.array([-5.0, 0.0, 1.0, 2.0]), scale=2.0 / 255)
+    assert q.values.min() >= 0
+    assert q.values.max() <= 255
+    assert q.values[0] == 0  # negatives clip to zero
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    max_value=st.floats(min_value=0.1, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_activation_roundtrip_error_bounded(max_value, seed):
+    rng = new_rng(seed)
+    x = rng.uniform(0, max_value, size=64).astype(np.float32)
+    scale = activation_scale(max_value)
+    q = quantize_activations(x, scale)
+    reconstructed = q.dequantize()
+    assert np.max(np.abs(reconstructed - x)) <= scale / 2 + 1e-6
+
+
+def test_weight_quantization_is_per_channel_symmetric():
+    w = np.array([[1.0, -10.0], [-2.0, 5.0], [0.5, 0.0]], dtype=np.float32)
+    quantized = quantize_weights_per_channel(w)
+    assert quantized.values.shape == w.shape
+    assert quantized.scales.shape == (2,)
+    assert np.abs(quantized.values).max() <= 127
+    # Each channel's largest magnitude maps to 127.
+    assert abs(quantized.values[:, 0]).max() == 127
+    assert abs(quantized.values[:, 1]).max() == 127
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_weight_roundtrip_error_bounded(seed):
+    rng = new_rng(seed)
+    w = rng.normal(0, 0.2, size=(32, 8)).astype(np.float32)
+    quantized = quantize_weights_per_channel(w)
+    reconstructed = quantized.dequantize()
+    per_channel_bound = quantized.scales / 2 + 1e-7
+    assert np.all(np.abs(reconstructed - w).max(axis=0) <= per_channel_bound)
+
+
+def test_zero_channel_does_not_divide_by_zero():
+    w = np.zeros((4, 2), dtype=np.float32)
+    quantized = quantize_weights_per_channel(w)
+    assert np.all(quantized.values == 0)
+    assert np.all(quantized.scales == 1.0)
+
+
+def test_dequantize_applies_both_scales():
+    accumulators = np.array([[10, 20]], dtype=np.int64)
+    out = dequantize(accumulators, act_scale=0.5, weight_scales=np.array([2.0, 4.0]))
+    np.testing.assert_allclose(out, [[10.0, 40.0]])
+
+
+def test_integer_matmul_pipeline_matches_float_within_quant_error():
+    rng = new_rng(3)
+    x = np.abs(rng.normal(0, 1, size=(20, 30))).astype(np.float32)
+    w = rng.normal(0, 0.1, size=(30, 10)).astype(np.float32)
+    scale = activation_scale(float(x.max()))
+    x_q = quantize_activations(x, scale)
+    w_q = quantize_weights_per_channel(w)
+    out = dequantize(x_q.values @ w_q.values, scale, w_q.scales)
+    exact = x @ w
+    # Error grows with K; bound it loosely but meaningfully.
+    assert np.abs(out - exact).max() < 0.05 * np.abs(exact).max() + 0.05

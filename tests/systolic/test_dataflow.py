@@ -1,0 +1,69 @@
+"""Tiling, skewed schedule and the cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.systolic.dataflow import (
+    CycleModel,
+    skewed_schedule,
+    split_matrices_for_threads,
+    tile_matrices,
+)
+from repro.utils.rng import new_rng
+from tests.conftest import make_quantized_pair
+
+
+def test_tile_matrices_cover_output():
+    rng = new_rng(0)
+    x, w = make_quantized_pair(rng, m=10, k=12, n=9)
+    covered = np.zeros((10, 9), dtype=int)
+    for row_slice, col_slice, x_tile, w_tile in tile_matrices(x, w, 4, 4):
+        assert x_tile.shape[1] == 12
+        assert w_tile.shape[0] == 12
+        covered[row_slice, col_slice] += 1
+    assert np.all(covered == 1)
+
+
+def test_tile_matrices_rejects_mismatch():
+    with pytest.raises(ValueError):
+        list(tile_matrices(np.zeros((2, 3)), np.zeros((4, 5)), 2, 2))
+
+
+def test_skewed_schedule_cycle_identity():
+    for cycle, k, i, j in skewed_schedule(depth=3, rows=2, cols=2):
+        assert cycle == k + i + j
+
+
+def test_skewed_schedule_count():
+    schedule = list(skewed_schedule(depth=5, rows=3, cols=2))
+    assert len(schedule) == 5 * 3 * 2
+
+
+def test_cycle_model_tile_cycles():
+    model = CycleModel(rows=16, cols=16, pipeline_stages=1)
+    assert model.tile_cycles(0) == 0
+    assert model.tile_cycles(64) == 64 + 15 + 15 + 1
+
+
+def test_cycle_model_speedup_is_proportional_to_threads():
+    model = CycleModel(rows=16, cols=16, pipeline_stages=2)
+    base = model.matmul_cycles(256, 1024, 256, depth_per_cycle=1)
+    two = model.matmul_cycles(256, 1024, 256, depth_per_cycle=2)
+    four = model.matmul_cycles(256, 1024, 256, depth_per_cycle=4)
+    assert base / two == pytest.approx(2.0, rel=0.1)
+    assert base / four == pytest.approx(4.0, rel=0.15)
+
+
+def test_cycle_model_tiling_counts():
+    model = CycleModel(rows=4, cols=4)
+    # 2 x 3 output tiles
+    cycles = model.matmul_cycles(8, 10, 12)
+    assert cycles == 2 * 3 * model.tile_cycles(10)
+
+
+def test_split_matrices_for_threads_matches_core():
+    rng = new_rng(1)
+    x, w = make_quantized_pair(rng, m=6, k=10, n=4)
+    x_t, w_t = split_matrices_for_threads(x, w, 2)
+    assert x_t.shape == (2, 6, 5)
+    assert np.array_equal(sum(x_t[t] @ w_t[t] for t in range(2)), x @ w)

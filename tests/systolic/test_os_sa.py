@@ -1,0 +1,63 @@
+"""Conventional OS-SA simulator correctness."""
+
+import numpy as np
+import pytest
+
+from repro.systolic.os_sa import ArrayReport, OutputStationarySA
+from repro.utils.rng import new_rng
+from tests.conftest import make_quantized_pair
+
+
+def test_vectorized_matches_matmul():
+    rng = new_rng(0)
+    x, w = make_quantized_pair(rng, m=20, k=30, n=18)
+    array = OutputStationarySA(rows=8, cols=8)
+    out, report = array.matmul(x, w)
+    assert np.array_equal(out, x @ w)
+    assert report.tiles == 3 * 3
+    assert report.mac_cycles_total == 20 * 30 * 18
+
+
+def test_explicit_matches_vectorized():
+    rng = new_rng(1)
+    x, w = make_quantized_pair(rng, m=7, k=9, n=6)
+    array = OutputStationarySA(rows=4, cols=4)
+    out_vec, report_vec = array.matmul(x, w)
+    out_exp, report_exp = array.matmul_explicit(x, w)
+    assert np.array_equal(out_vec, out_exp)
+    assert report_vec.mac_cycles_active == report_exp.mac_cycles_active
+    assert report_vec.cycles == report_exp.cycles
+
+
+def test_utilization_reflects_sparsity():
+    rng = new_rng(2)
+    x_dense, w = make_quantized_pair(rng, m=16, k=16, n=16, act_sparsity=0.0,
+                                     wgt_sparsity=0.0)
+    x_sparse = x_dense.copy()
+    x_sparse[new_rng(3).random(x_sparse.shape) < 0.7] = 0
+    array = OutputStationarySA(rows=8, cols=8)
+    _, dense_report = array.matmul(x_dense, w)
+    _, sparse_report = array.matmul(x_sparse, w)
+    assert dense_report.utilization > sparse_report.utilization
+
+
+def test_cycle_count_uses_cycle_model():
+    array = OutputStationarySA(rows=4, cols=4, pipeline_stages=1)
+    x = np.ones((4, 10), dtype=int)
+    w = np.ones((10, 4), dtype=int)
+    _, report = array.matmul(x, w)
+    assert report.cycles == array.cycle_model.tile_cycles(10)
+
+
+def test_invalid_dimensions():
+    with pytest.raises(ValueError):
+        OutputStationarySA(rows=0, cols=4)
+
+
+def test_report_merge():
+    a = ArrayReport(cycles=10, mac_cycles_total=100, mac_cycles_active=50, tiles=1)
+    b = ArrayReport(cycles=5, mac_cycles_total=50, mac_cycles_active=25, tiles=2)
+    a.merge(b)
+    assert a.cycles == 15
+    assert a.utilization == pytest.approx(0.5)
+    assert ArrayReport().utilization == 0.0

@@ -1,0 +1,84 @@
+"""SySMT array simulator: equivalence with the functional executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.smt import NBSMTMatmul
+from repro.systolic.os_sa import OutputStationarySA
+from repro.systolic.sysmt import SySMTArray
+from repro.utils.rng import new_rng
+from tests.conftest import make_quantized_pair
+
+
+@pytest.mark.parametrize("threads,policy", [(2, "S+A"), (2, "S+Aw"), (2, "S+W"),
+                                            (4, "S+A")])
+def test_vectorized_array_matches_functional_executor(threads, policy):
+    rng = new_rng(7)
+    x, w = make_quantized_pair(rng, m=20, k=32, n=12)
+    array = SySMTArray(rows=8, cols=8, threads=threads, policy=policy)
+    out, report = array.matmul(x, w)
+    expected = NBSMTMatmul(threads, policy).matmul(x, w)
+    assert np.array_equal(out, expected)
+    assert report.tiles > 0
+
+
+@pytest.mark.parametrize("threads,policy", [(2, "S+A"), (2, "S"), (2, "min"),
+                                            (4, "S+A")])
+def test_explicit_pe_simulation_matches_functional_executor(threads, policy):
+    rng = new_rng(8)
+    x, w = make_quantized_pair(rng, m=6, k=16, n=5)
+    array = SySMTArray(rows=4, cols=4, threads=threads, policy=policy)
+    out, _ = array.matmul_explicit(x, w)
+    expected = NBSMTMatmul(threads, policy).matmul(x, w)
+    assert np.array_equal(out, expected)
+
+
+def test_explicit_matches_vectorized_with_permutation():
+    rng = new_rng(9)
+    x, w = make_quantized_pair(rng, m=5, k=12, n=4)
+    perm = new_rng(10).permutation(12)
+    array = SySMTArray(rows=4, cols=4, threads=2, policy="S+A")
+    out_vec, _ = array.matmul(x, w, permutation=perm)
+    out_exp, _ = array.matmul_explicit(x, w, permutation=perm)
+    assert np.array_equal(out_vec, out_exp)
+
+
+def test_cycle_speedup_is_proportional_to_threads():
+    rng = new_rng(11)
+    x, w = make_quantized_pair(rng, m=32, k=2048, n=32)
+    baseline = OutputStationarySA(rows=16, cols=16, pipeline_stages=2)
+    _, base_report = baseline.matmul(x, w)
+    # The array drain (R + C - 2 cycles per tile) slightly dilutes the ideal
+    # T-times speedup; with a deep K dimension it approaches T.
+    expected_minimum = {2: 1.9, 4: 3.6}
+    for threads in (2, 4):
+        sysmt = SySMTArray(rows=16, cols=16, threads=threads, policy="S+A",
+                           pipeline_stages=2)
+        _, report = sysmt.matmul(x, w)
+        speedup = sysmt.speedup_over(base_report.cycles, report.cycles)
+        assert expected_minimum[threads] <= speedup <= threads
+
+
+def test_sysmt_utilization_not_below_baseline():
+    rng = new_rng(12)
+    x, w = make_quantized_pair(rng, m=32, k=64, n=32, act_sparsity=0.6)
+    baseline = OutputStationarySA(rows=8, cols=8)
+    _, base_report = baseline.matmul(x, w)
+    sysmt = SySMTArray(rows=8, cols=8, threads=2, policy="S+A")
+    _, report = sysmt.matmul(x, w)
+    assert report.utilization >= base_report.utilization
+
+
+def test_invalid_thread_count():
+    with pytest.raises(ValueError):
+        SySMTArray(threads=3)
+
+
+def test_stats_accumulate_and_reset():
+    rng = new_rng(13)
+    x, w = make_quantized_pair(rng, m=8, k=16, n=8)
+    array = SySMTArray(rows=4, cols=4, threads=2)
+    array.matmul(x, w)
+    assert array.stats.mac_total > 0
+    array.reset_stats()
+    assert array.stats.mac_total == 0

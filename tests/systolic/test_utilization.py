@@ -1,0 +1,58 @@
+"""Analytic utilization model (Eq. (7)/(8)) against Monte-Carlo simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.systolic.utilization import (
+    monte_carlo_utilization_gain,
+    utilization_gain_analytic,
+    utilization_probability,
+)
+
+
+def test_eq7_basic_values():
+    assert utilization_probability([1.0, 1.0]) == 1.0
+    assert utilization_probability([0.0, 0.0]) == 0.0
+    assert utilization_probability([0.5]) == pytest.approx(0.5)
+    assert utilization_probability([0.5, 0.5]) == pytest.approx(0.75)
+
+
+def test_eq7_rejects_invalid_probabilities():
+    with pytest.raises(ValueError):
+        utilization_probability([1.5])
+
+
+def test_eq8_is_one_plus_sparsity_for_two_threads():
+    for sparsity in (0.0, 0.25, 0.5, 0.9):
+        assert utilization_gain_analytic(sparsity, 2) == pytest.approx(1 + sparsity)
+
+
+def test_eq8_limits():
+    assert utilization_gain_analytic(0.0, 4) == 1.0
+    assert utilization_gain_analytic(1.0, 2) == 1.0
+    assert utilization_gain_analytic(0.5, 1) == 1.0
+
+
+def test_eq8_rejects_invalid_input():
+    with pytest.raises(ValueError):
+        utilization_gain_analytic(1.5, 2)
+    with pytest.raises(ValueError):
+        utilization_gain_analytic(0.5, 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    sparsity=st.floats(min_value=0.05, max_value=0.9),
+    threads=st.sampled_from([2, 4]),
+)
+def test_analytic_matches_monte_carlo(sparsity, threads):
+    analytic = utilization_gain_analytic(sparsity, threads)
+    simulated = monte_carlo_utilization_gain(sparsity, threads, samples=50_000, seed=1)
+    assert simulated == pytest.approx(analytic, rel=0.05)
+
+
+def test_gain_increases_with_threads():
+    for sparsity in (0.3, 0.6):
+        assert utilization_gain_analytic(sparsity, 4) > utilization_gain_analytic(
+            sparsity, 2
+        )

@@ -1,0 +1,91 @@
+"""Utility modules: RNG determinism, artifact cache, table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.utils.cache import ArtifactCache, default_cache
+from repro.utils.rng import DEFAULT_SEED, derive_seed, new_rng, seed_everything
+from repro.utils.tables import format_mapping, format_table
+
+
+# -- rng ---------------------------------------------------------------------------
+
+def test_new_rng_is_deterministic():
+    assert new_rng(3).integers(0, 1000, 5).tolist() == new_rng(3).integers(0, 1000, 5).tolist()
+
+
+def test_new_rng_default_seed_is_stable():
+    assert np.array_equal(new_rng().random(4), new_rng(DEFAULT_SEED).random(4))
+
+
+def test_derive_seed_distinguishes_tags():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a", 0) == derive_seed(1, "a", 0)
+    assert 0 <= derive_seed(5, "x") < 2**31 - 1
+
+
+def test_seed_everything_controls_global_state():
+    seed_everything(99)
+    first = np.random.random(3)
+    seed_everything(99)
+    np.testing.assert_array_equal(first, np.random.random(3))
+
+
+# -- cache --------------------------------------------------------------------------
+
+def test_cache_save_load_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    config = {"model": "resnet18", "epochs": 3}
+    arrays = {"weights": np.arange(6).reshape(2, 3).astype(np.float32)}
+    assert not cache.has("test", config)
+    path = cache.save("test", config, arrays)
+    assert path.exists()
+    assert cache.has("test", config)
+    loaded = cache.load("test", config)
+    np.testing.assert_array_equal(loaded["weights"], arrays["weights"])
+
+
+def test_cache_distinguishes_configs(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.save("test", {"a": 1}, {"x": np.zeros(1)})
+    assert cache.load("test", {"a": 2}) is None
+
+
+def test_cache_handles_corrupt_files(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    config = {"a": 1}
+    path = cache.save("test", config, {"x": np.zeros(1)})
+    path.write_bytes(b"not-a-npz")
+    assert cache.load("test", config) is None
+
+
+def test_default_cache_is_singleton():
+    assert default_cache() is default_cache()
+
+
+# -- tables ---------------------------------------------------------------------------
+
+def test_format_table_alignment_and_title():
+    text = format_table(
+        ["Name", "Value"],
+        [("alpha", 1.234), ("b", 10.0)],
+        float_fmt=".2f",
+        title="My table",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "My table"
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert "1.23" in text and "10.00" in text
+    # All data rows have equal width.
+    assert len(set(len(line) for line in lines[2:])) == 1
+
+
+def test_format_table_handles_mixed_types():
+    text = format_table(["a", "b"], [[1, "x"], [2.5, None]])
+    assert "None" in text and "2.50" in text
+
+
+def test_format_mapping():
+    text = format_mapping({"accuracy": 0.98765, "name": "resnet"}, float_fmt=".2f")
+    assert "accuracy: 0.99" in text
+    assert "name: resnet" in text
