@@ -1,0 +1,298 @@
+#!/usr/bin/env python
+"""Performance benchmark runner: times the NB-SMT execution paths.
+
+Measures, on this machine:
+
+* the 4-thread (and 2-thread) NB-SMT matmul microbenchmarks -- the seed's
+  general-thread-count fallback (the chunked reference executor), the seed's
+  factorized implementation (``fast4t_impl="legacy"``) and the optimized
+  stacked-GEMM path;
+* the explicit SySMT array simulators -- per-PE objects versus the
+  vectorized lane-level execution;
+* an end-to-end 4-thread model evaluation -- the serial seed configuration
+  (reference fallback; also the seed's factorized variant with per-call
+  executor construction and no weight-quantization caching) versus the
+  optimized pipeline, serial and with a 4-worker sharded process pool.
+
+Results are written as JSON (default ``BENCH_pr1.json`` at the repo root) so
+the performance trajectory of the project is recorded per PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr1.json]
+        [--scale fast|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.engine import NBSMTEngine
+from repro.core.smt import NBSMTMatmul
+from repro.systolic.sysmt import SySMTArray
+
+
+def _best_of(fn, repeats: int, min_time: float = 0.0) -> float:
+    """Best wall-clock time of ``repeats`` runs (at least one)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+        if best > 10.0 and min_time == 0.0:
+            break  # very slow paths need no extra repeats
+    return best
+
+
+def _quantized_pair(rng, m, k, n, act_sparsity=0.45, wgt_sparsity=0.1):
+    x = rng.integers(0, 256, size=(m, k), dtype=np.int64)
+    w = rng.integers(-127, 128, size=(k, n), dtype=np.int64)
+    x[rng.random((m, k)) < act_sparsity] = 0
+    w[rng.random((k, n)) < wgt_sparsity] = 0
+    return x, w
+
+
+def bench_matmul(scale: str) -> dict:
+    """Microbenchmarks of the NB-SMT matmul execution paths."""
+    rng = np.random.default_rng(7)
+    if scale == "full":
+        m, k, n, repeats = 1024, 512, 128, 5
+    else:
+        m, k, n, repeats = 512, 256, 64, 5
+    x, w = _quantized_pair(rng, m, k, n)
+    macs = float(m) * k * n
+
+    results: dict[str, dict] = {}
+    for threads in (2, 4):
+        arms = {
+            "seed_reference_fallback": NBSMTMatmul(
+                threads, "S+A", collect_stats=True, force_reference=True
+            ),
+            "optimized_factorized": NBSMTMatmul(threads, "S+A", collect_stats=True),
+        }
+        if threads == 4:
+            arms["seed_factorized_legacy"] = NBSMTMatmul(
+                threads, "S+A", collect_stats=True, fast4t_impl="legacy"
+            )
+        timings = {}
+        for name, executor in arms.items():
+            executor.matmul(x, w)  # warm-up (LUTs, BLAS)
+            ref_repeats = 1 if "reference" in name else repeats
+            seconds = _best_of(lambda e=executor: e.matmul(x, w), ref_repeats)
+            timings[name] = {
+                "seconds": seconds,
+                "ops_per_sec": macs / seconds,
+            }
+        entry = {
+            "shape": [m, k, n],
+            "threads": threads,
+            "policy": "S+A",
+            "collect_stats": True,
+            "timings": timings,
+        }
+        entry["speedup_vs_seed_reference"] = (
+            timings["seed_reference_fallback"]["seconds"]
+            / timings["optimized_factorized"]["seconds"]
+        )
+        if "seed_factorized_legacy" in timings:
+            entry["speedup_vs_seed_factorized"] = (
+                timings["seed_factorized_legacy"]["seconds"]
+                / timings["optimized_factorized"]["seconds"]
+            )
+        results[f"matmul_{threads}t"] = entry
+    return results
+
+
+def bench_explicit_sim(scale: str) -> dict:
+    """Per-PE object simulation versus vectorized lane-level execution."""
+    rng = np.random.default_rng(11)
+    m, k, n = (48, 96, 24) if scale == "fast" else (96, 192, 48)
+    x, w = _quantized_pair(rng, m, k, n)
+    array = SySMTArray(rows=16, cols=16, threads=4, policy="S+A")
+    array.matmul_explicit(x, w)
+    vectorized = _best_of(lambda: array.matmul_explicit(x, w), 3)
+    per_pe = _best_of(lambda: array.matmul_per_pe(x, w), 1)
+    return {
+        "explicit_sim_4t": {
+            "shape": [m, k, n],
+            "timings": {
+                "seed_per_pe_objects": {"seconds": per_pe},
+                "optimized_vectorized": {"seconds": vectorized},
+            },
+            "speedup": per_pe / vectorized,
+        }
+    }
+
+
+def _build_harness(scale: str):
+    from repro.eval.harness import SysmtHarness
+    from repro.models.zoo import TrainedModel
+    from repro.nn import (
+        GlobalAvgPool2d,
+        Linear,
+        MaxPool2d,
+        Sequential,
+        SyntheticImageDataset,
+        TrainConfig,
+        Trainer,
+    )
+    from repro.nn.data import DatasetConfig
+    from repro.nn.layers.combine import conv_bn_relu
+
+    eval_images = 256 if scale == "fast" else 1024
+    dataset = SyntheticImageDataset(
+        DatasetConfig(
+            train_size=256, val_size=eval_images, image_size=16,
+            num_classes=6, seed=7,
+        )
+    )
+    model = Sequential(
+        conv_bn_relu(3, 8, 3, seed=11),
+        MaxPool2d(2),
+        conv_bn_relu(8, 16, 3, seed=12),
+        conv_bn_relu(16, 16, 3, seed=13),
+        MaxPool2d(2),
+        GlobalAvgPool2d(),
+        Linear(16, dataset.num_classes, seed=14),
+    )
+    trainer = Trainer(model, TrainConfig(epochs=2, batch_size=64, lr=0.1, seed=3))
+    trainer.fit(
+        dataset.train_images, dataset.train_labels,
+        dataset.val_images, dataset.val_labels,
+    )
+    entry = TrainedModel("tinynet", model, dataset, 0.0, {})
+    return SysmtHarness(
+        entry, max_eval_images=eval_images, calibration_images=96, batch_size=64
+    )
+
+
+def bench_end_to_end(scale: str) -> dict:
+    """End-to-end 4-thread NB-SMT model evaluation, serial and sharded."""
+    harness = _build_harness(scale)
+    images = int(harness.eval_images.shape[0])
+    harness.evaluate_nbsmt(threads=4)  # warm-up
+
+    def seed_reference_run():
+        harness.evaluate_nbsmt(
+            threads=4,
+            engine=NBSMTEngine("S+A", collect_stats=True, force_reference=True),
+        )
+
+    def seed_factorized_run():
+        harness.qmodel.config.cache_weight_quant = False
+        try:
+            harness.evaluate_nbsmt(
+                threads=4,
+                engine=NBSMTEngine(
+                    "S+A",
+                    collect_stats=True,
+                    reuse_executors=False,
+                    fast4t_impl="legacy",
+                ),
+            )
+        finally:
+            harness.qmodel.config.cache_weight_quant = True
+
+    repeats = 3
+    timings = {
+        "seed_serial_reference": {
+            "seconds": _best_of(seed_reference_run, 1)
+        },
+        "seed_serial_factorized": {
+            "seconds": _best_of(seed_factorized_run, repeats)
+        },
+        "optimized_serial": {
+            "seconds": _best_of(lambda: harness.evaluate_nbsmt(threads=4), repeats)
+        },
+        "optimized_parallel_4workers": {
+            "seconds": _best_of(
+                lambda: harness.evaluate_nbsmt(threads=4, workers=4), repeats
+            )
+        },
+    }
+    for values in timings.values():
+        values["images_per_sec"] = images / values["seconds"]
+    result = {
+        "eval_4t": {
+            "images": images,
+            "threads": 4,
+            "collect_stats": True,
+            "timings": timings,
+            "speedup_parallel4_vs_seed_serial": (
+                timings["seed_serial_reference"]["seconds"]
+                / timings["optimized_parallel_4workers"]["seconds"]
+            ),
+            "speedup_serial_vs_seed_serial": (
+                timings["seed_serial_reference"]["seconds"]
+                / timings["optimized_serial"]["seconds"]
+            ),
+            "speedup_serial_vs_seed_factorized": (
+                timings["seed_serial_factorized"]["seconds"]
+                / timings["optimized_serial"]["seconds"]
+            ),
+        }
+    }
+    harness.close()
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr1.json"),
+    )
+    parser.add_argument("--scale", choices=("fast", "full"), default="fast")
+    args = parser.parse_args(argv)
+
+    results: dict = {
+        "meta": {
+            "generated": datetime.now(timezone.utc).isoformat(),
+            "scale": args.scale,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+            "note": (
+                "seed_* arms re-run the seed implementations retained in the "
+                "codebase (chunked reference fallback; legacy factorized "
+                "4-thread path; per-call executor construction without "
+                "weight-quantization caching)."
+            ),
+        },
+        "benchmarks": {},
+    }
+    print("running matmul microbenchmarks...", flush=True)
+    results["benchmarks"].update(bench_matmul(args.scale))
+    print("running explicit-simulator benchmarks...", flush=True)
+    results["benchmarks"].update(bench_explicit_sim(args.scale))
+    print("running end-to-end evaluation benchmarks...", flush=True)
+    results["benchmarks"].update(bench_end_to_end(args.scale))
+
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+
+    for name, entry in results["benchmarks"].items():
+        speedups = {
+            key: round(value, 2)
+            for key, value in entry.items()
+            if key.startswith("speedup")
+        }
+        print(f"{name}: {speedups}")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

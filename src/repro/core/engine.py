@@ -6,6 +6,10 @@ layer's integer matmul is executed with the layer's configured thread count,
 packing policy and (optional) K-dimension reordering permutation, and the
 per-layer statistics are accumulated for later analysis (utilization, MSE,
 collision breakdown).
+
+One :class:`~repro.core.smt.NBSMTMatmul` executor is kept per (layer, thread
+count) and reused across batches, so per-call setup work is paid once per
+layer instead of once per batch.
 """
 
 from __future__ import annotations
@@ -30,7 +34,14 @@ class NBSMTEngine:
         Accumulate :class:`SMTStatistics` per layer (needed for MSE,
         utilization and energy analyses; adds the cost of one exact matmul).
     force_reference:
-        Use the chunked reference executor even for two threads.
+        Use the chunked reference executor even for the fast-path thread
+        counts.
+    reuse_executors:
+        Keep one executor per (layer, threads) and reuse it across calls
+        (the default).  ``False`` restores the seed behavior of constructing
+        a fresh :class:`NBSMTMatmul` per call, kept for A/B benchmarking.
+    fast4t_impl:
+        Forwarded to :class:`NBSMTMatmul` (``"stacked"`` or ``"legacy"``).
     """
 
     def __init__(
@@ -39,18 +50,38 @@ class NBSMTEngine:
         default_threads: int = 2,
         collect_stats: bool = True,
         force_reference: bool = False,
+        reuse_executors: bool = True,
+        fast4t_impl: str = "stacked",
     ):
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
         self.default_threads = default_threads
         self.collect_stats = collect_stats
         self.force_reference = force_reference
+        self.reuse_executors = reuse_executors
+        self.fast4t_impl = fast4t_impl
         self.layer_stats: dict[str, SMTStatistics] = {}
+        self._executors: dict[tuple[str, int], NBSMTMatmul] = {}
 
     def reset_stats(self) -> None:
         self.layer_stats = {}
 
     def stats_for(self, layer_name: str) -> SMTStatistics:
         return self.layer_stats.setdefault(layer_name, SMTStatistics())
+
+    def _executor_for(self, layer_name: str, threads: int) -> NBSMTMatmul:
+        key = (layer_name, threads)
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = NBSMTMatmul(
+                threads,
+                self.policy,
+                collect_stats=self.collect_stats,
+                force_reference=self.force_reference,
+                fast4t_impl=self.fast4t_impl,
+            )
+            if self.reuse_executors:
+                self._executors[key] = executor
+        return executor
 
     def matmul(
         self, x_q: np.ndarray, w_q: np.ndarray, ctx: LayerContext
@@ -60,18 +91,14 @@ class NBSMTEngine:
             ctx.add_stat("macs", x_q.shape[0] * x_q.shape[1] * w_q.shape[1])
             ctx.add_stat("issue_slots", x_q.shape[0] * x_q.shape[1] * w_q.shape[1])
             if self.collect_stats:
-                executor = NBSMTMatmul(1, self.policy, collect_stats=True)
+                executor = self._executor_for(ctx.name, 1)
                 out = executor.matmul(x_q, w_q)
                 self.stats_for(ctx.name).merge(executor.stats)
+                executor.reset_stats()
                 return out
             return exact_int_matmul(x_q, w_q)
 
-        executor = NBSMTMatmul(
-            threads,
-            self.policy,
-            collect_stats=self.collect_stats,
-            force_reference=self.force_reference,
-        )
+        executor = self._executor_for(ctx.name, threads)
         out = executor.matmul(x_q, w_q, permutation=ctx.permutation)
         ctx.add_stat("macs", x_q.shape[0] * x_q.shape[1] * w_q.shape[1])
         ctx.add_stat(
@@ -80,4 +107,5 @@ class NBSMTEngine:
         )
         if self.collect_stats:
             self.stats_for(ctx.name).merge(executor.stats)
+            executor.reset_stats()
         return out

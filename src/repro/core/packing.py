@@ -21,11 +21,42 @@ import numpy as np
 
 from repro.core.policies import PackingPolicy
 from repro.core.precision import (
+    _ACT_REDUCE_LUT,
+    _WGT_REDUCE_LUT,
     act_fits_4bit,
     reduce_act_to_4bit_msb,
     reduce_wgt_to_4bit_msb,
     wgt_fits_4bit,
 )
+
+
+def _build_delta_luts() -> dict[tuple[str, bool], np.ndarray]:
+    """Reduction-delta lookup tables, keyed by (operand, width_primary).
+
+    ``delta[value] = reduced(value) - value`` with the entries where the value
+    already fits in 4 bits zeroed when the policy exploits data-width.  The
+    deltas are bounded by 15 (8 from rounding, widened by clipping at the
+    range ends, e.g. 255 -> 240), so they are stored as int8: the downstream
+    masked-delta GEMMs are memory-bandwidth bound and narrow operands matter.
+    """
+    act_values = np.arange(256, dtype=np.int64)
+    wgt_values = np.arange(-128, 128, dtype=np.int64)
+    act_delta = _ACT_REDUCE_LUT - act_values
+    wgt_delta = _WGT_REDUCE_LUT - wgt_values
+    luts = {
+        ("act", False): act_delta.astype(np.int8),
+        ("act", True): np.where(
+            act_fits_4bit(act_values), 0, act_delta
+        ).astype(np.int8),
+        ("wgt", False): wgt_delta.astype(np.int8),
+        ("wgt", True): np.where(
+            wgt_fits_4bit(wgt_values), 0, wgt_delta
+        ).astype(np.int8),
+    }
+    return luts
+
+
+_DELTA_LUTS = _build_delta_luts()
 
 
 def thread_active(x: np.ndarray, w: np.ndarray, use_sparsity: bool) -> np.ndarray:
@@ -108,9 +139,11 @@ def act_reduction_delta(x: np.ndarray, policy: PackingPolicy) -> np.ndarray:
     Used by the factorized fast path of the 2-threaded executor: where the
     policy keeps the exact value (4-bit fit) the delta is zero.
     """
-    x = np.asarray(x, dtype=np.int64)
-    reduced = reduce_act_to_4bit_msb(x)
-    delta = reduced - x
+    x = np.asarray(x)
+    if x.dtype.kind in "iu":
+        return _DELTA_LUTS[("act", policy.width_primary)].take(np.clip(x, 0, 255))
+    x = x.astype(np.int64)
+    delta = reduce_act_to_4bit_msb(x) - x
     if policy.width_primary:
         delta = np.where(act_fits_4bit(x), 0, delta)
     return delta
@@ -118,9 +151,13 @@ def act_reduction_delta(x: np.ndarray, policy: PackingPolicy) -> np.ndarray:
 
 def wgt_reduction_delta(w: np.ndarray, policy: PackingPolicy) -> np.ndarray:
     """``w_effective - w`` for a colliding weight, ignoring the swap path."""
-    w = np.asarray(w, dtype=np.int64)
-    reduced = reduce_wgt_to_4bit_msb(w)
-    delta = reduced - w
+    w = np.asarray(w)
+    if w.dtype.kind in "iu":
+        return _DELTA_LUTS[("wgt", policy.width_primary)].take(
+            np.clip(w, -128, 127) + 128
+        )
+    w = w.astype(np.int64)
+    delta = reduce_wgt_to_4bit_msb(w) - w
     if policy.width_primary:
         delta = np.where(wgt_fits_4bit(w), 0, delta)
     return delta

@@ -21,6 +21,26 @@ WGT_REDUCED_MIN = -128
 WGT_REDUCED_MAX = 112
 
 
+def _build_luts() -> tuple[np.ndarray, np.ndarray]:
+    """256-entry lookup tables of the rounded 4-bit MSB reductions.
+
+    The reduction is a pure elementwise function of an 8-bit operand, so the
+    hot paths replace the round/divide/clip arithmetic with one table lookup.
+    Activation entries are indexed by the unsigned value, weight entries by
+    ``value + 128``.
+    """
+    act = np.arange(256, dtype=np.int64)
+    act_lut = np.clip((act + 8) // 16 * 16, 0, ACT_REDUCED_MAX)
+    wgt = np.arange(-128, 128, dtype=np.int64)
+    wgt_lut = np.clip(
+        np.floor_divide(wgt + 8, 16) * 16, WGT_REDUCED_MIN, WGT_REDUCED_MAX
+    )
+    return act_lut, wgt_lut
+
+
+_ACT_REDUCE_LUT, _WGT_REDUCE_LUT = _build_luts()
+
+
 def act_fits_4bit(x: np.ndarray | int) -> np.ndarray:
     """True where an unsigned activation is representable by its 4-bit LSBs."""
     x = np.asarray(x)
@@ -45,6 +65,8 @@ def reduce_act_to_4bit_msb(x: np.ndarray | int) -> np.ndarray:
     and 178 -> 176 (the example of Fig. 2a).
     """
     x = np.asarray(x)
+    if x.dtype.kind in "iu":
+        return _ACT_REDUCE_LUT.take(np.clip(x, 0, 255))
     reduced = _round_to_multiple_of_16(x)
     return np.clip(reduced, 0, ACT_REDUCED_MAX)
 
@@ -52,6 +74,8 @@ def reduce_act_to_4bit_msb(x: np.ndarray | int) -> np.ndarray:
 def reduce_wgt_to_4bit_msb(w: np.ndarray | int) -> np.ndarray:
     """Reduce signed weights to the value their rounded 4-bit MSBs encode."""
     w = np.asarray(w)
+    if w.dtype.kind in "iu":
+        return _WGT_REDUCE_LUT.take(np.clip(w, -128, 127) + 128)
     reduced = _round_to_multiple_of_16(w)
     return np.clip(reduced, WGT_REDUCED_MIN, WGT_REDUCED_MAX)
 

@@ -105,18 +105,15 @@ class SysmtHarness:
     def fp32_accuracy(self) -> float:
         """Floating-point accuracy on the harness evaluation set."""
         if self._fp32_accuracy is None:
-            self.qmodel.remove()
-            try:
-                from repro.nn.train import evaluate_accuracy
+            from repro.nn.train import evaluate_accuracy
 
+            with self.qmodel.float_execution():
                 self._fp32_accuracy = evaluate_accuracy(
                     self.trained.model,
                     self.eval_images,
                     self.eval_labels,
                     batch_size=self.batch_size,
                 )
-            finally:
-                self.qmodel._install()
         return self._fp32_accuracy
 
     @property
@@ -154,11 +151,22 @@ class SysmtHarness:
         policy: PackingPolicy | str | None = None,
         reorder: bool = False,
         collect_stats: bool = True,
+        workers: int = 1,
+        engine: NBSMTEngine | None = None,
     ) -> NBSMTRunResult:
-        """Accuracy (and per-layer statistics) of an NB-SMT execution."""
+        """Accuracy (and per-layer statistics) of an NB-SMT execution.
+
+        ``workers > 1`` shards the evaluation images across a fork-based
+        process pool (see :mod:`repro.eval.parallel`); the per-layer
+        statistics of all shards are merged back into the returned result,
+        so the outcome is identical to a serial run.  ``engine`` optionally
+        supplies a pre-configured engine (for benchmarking alternative
+        engine configurations); it must use the requested policy.
+        """
         policy = policy or self.default_policy
         policy_obj = get_policy(policy) if isinstance(policy, str) else policy
-        engine = NBSMTEngine(policy_obj, collect_stats=collect_stats)
+        if engine is None:
+            engine = NBSMTEngine(policy_obj, collect_stats=collect_stats)
 
         self.qmodel.set_threads(threads)
         if reorder:
@@ -169,9 +177,21 @@ class SysmtHarness:
         self.qmodel.set_engine(engine)
         self.qmodel.clear_stats()
 
-        accuracy = self.qmodel.evaluate(
-            self.eval_images, self.eval_labels, batch_size=self.batch_size
-        )
+        if workers > 1:
+            from repro.eval.parallel import evaluate_sharded
+
+            accuracy = evaluate_sharded(
+                self.qmodel,
+                self.eval_images,
+                self.eval_labels,
+                batch_size=self.batch_size,
+                workers=workers,
+                engine=engine,
+            )
+        else:
+            accuracy = self.qmodel.evaluate(
+                self.eval_images, self.eval_labels, batch_size=self.batch_size
+            )
         assignment = self.qmodel.thread_assignment()
         return NBSMTRunResult(
             accuracy=accuracy,

@@ -1,0 +1,153 @@
+"""Sharded multi-process evaluation.
+
+Zoo-wide experiments evaluate many images through a quantized model whose
+per-image work is independent, so the evaluation set is sharded across a
+pool of worker processes and the results are reduced in the parent:
+
+* accuracy as summed correct-prediction counts,
+* NB-SMT per-layer counters via :meth:`SMTStatistics.merge`,
+* per-layer context statistics (MAC/issue-slot counts) as summed floats.
+
+Workers are forked (copy-on-write), so neither the model nor the images are
+pickled; each child inherits the installed :class:`QuantizedModel` hooks and
+its own copy of the engine, evaluates its contiguous shard, and sends back
+only the small counter structures.  On platforms without ``fork`` (or for
+``workers <= 1``) the evaluation degrades to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.smt import SMTStatistics
+
+#: State inherited by forked workers; set immediately before the pool forks.
+_WORKER_STATE: dict | None = None
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker processes can be used on this platform."""
+    return (
+        hasattr(os, "fork")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``shards`` contiguous chunks."""
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def count_correct(
+    model, images: np.ndarray, labels: np.ndarray, batch_size: int
+) -> int:
+    """Number of correct top-1 predictions, evaluated batch by batch."""
+    model.eval()
+    correct = 0
+    for start in range(0, images.shape[0], batch_size):
+        batch = images[start : start + batch_size]
+        logits = model(batch)
+        correct += int((logits.argmax(axis=1) == labels[start : start + batch_size]).sum())
+    return correct
+
+
+@dataclass
+class ShardOutcome:
+    """What one worker sends back to the parent."""
+
+    correct: int
+    total: int
+    layer_stats: dict[str, SMTStatistics] = field(default_factory=dict)
+    ctx_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def _run_shard(bounds: tuple[int, int]) -> ShardOutcome:
+    state = _WORKER_STATE
+    qmodel = state["qmodel"]
+    engine = state["engine"]
+    images = state["images"]
+    labels = state["labels"]
+    batch_size = state["batch_size"]
+    start, stop = bounds
+    # The forked child inherited the parent's accumulated statistics; clear
+    # them so the shard reports only its own contribution.
+    qmodel.clear_stats()
+    if engine is not None and hasattr(engine, "reset_stats"):
+        engine.reset_stats()
+    correct = count_correct(
+        qmodel.model, images[start:stop], labels[start:stop], batch_size
+    )
+    layer_stats = dict(engine.layer_stats) if engine is not None else {}
+    return ShardOutcome(
+        correct=correct,
+        total=stop - start,
+        layer_stats=layer_stats,
+        ctx_stats=qmodel.collect_stats(),
+    )
+
+
+def evaluate_sharded(
+    qmodel,
+    images: np.ndarray,
+    labels: np.ndarray,
+    *,
+    batch_size: int = 64,
+    workers: int = 1,
+    engine=None,
+) -> float:
+    """Top-1 accuracy of ``qmodel`` with images sharded across processes.
+
+    ``engine`` optionally names the NB-SMT engine whose per-layer
+    :class:`SMTStatistics` should be reduced back into the parent (it must be
+    the engine currently installed on ``qmodel``).  The per-layer context
+    statistics of ``qmodel`` are always reduced.  Returns the accuracy; the
+    merged statistics are left on ``engine``/``qmodel`` exactly as a serial
+    evaluation would have left them.
+    """
+    global _WORKER_STATE
+    total = int(images.shape[0])
+    if total == 0:
+        return 0.0
+    if workers <= 1 or total < 2 or not fork_available():
+        correct = count_correct(qmodel.model, images, labels, batch_size)
+        return correct / total
+
+    bounds = shard_bounds(total, workers)
+    _WORKER_STATE = {
+        "qmodel": qmodel,
+        "engine": engine,
+        "images": images,
+        "labels": labels,
+        "batch_size": batch_size,
+    }
+    context = multiprocessing.get_context("fork")
+    try:
+        with context.Pool(processes=len(bounds)) as pool:
+            outcomes = pool.map(_run_shard, bounds)
+    finally:
+        _WORKER_STATE = None
+
+    correct = sum(outcome.correct for outcome in outcomes)
+    for outcome in outcomes:
+        if engine is not None:
+            for name, stats in outcome.layer_stats.items():
+                engine.layer_stats.setdefault(name, SMTStatistics()).merge(stats)
+        for name, values in outcome.ctx_stats.items():
+            layer = qmodel.layers.get(name)
+            if layer is None:
+                continue
+            for key, value in values.items():
+                layer.context.add_stat(key, value)
+    return correct / total

@@ -66,7 +66,12 @@ def im2col(
         ),
         writeable=False,
     )
-    # (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW)
+    # (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW).  Reshaping the
+    # transposed window view usually materializes a fresh C-contiguous
+    # matrix, but singleton axes can merge lazily (e.g. batch=1 with a 1x1
+    # kernel yields a strided view), so the contiguous layout the
+    # BLAS-backed engines want is enforced explicitly; ascontiguousarray is
+    # a no-op in the common already-copied case.
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
         batch * out_h * out_w, channels * kernel * kernel
     )

@@ -102,18 +102,51 @@ def calibrate_model(
     recalibrate_bn: bool = True,
     collect_column_stats: bool = True,
 ) -> CalibrationResult:
-    """Run the statistics-gathering pass and return a :class:`CalibrationResult`."""
+    """Run the statistics-gathering pass and return a :class:`CalibrationResult`.
+
+    Calibration must observe the model's *floating-point* behavior.  If a
+    :class:`~repro.quant.qmodel.QuantizedModel` is currently installed on the
+    model, its hooks are bypassed for the duration of this function (both the
+    batch-norm recalibration and the statistics passes), then restored:
+    calibrating through quantized execution would bake quantization noise
+    into the BN statistics and the activation scales.
+    """
+    from repro.quant.qmodel import unwrap_matmul_fn
+
+    targets = _target_layers(model, include_linear)
+    installed = {name: layer.matmul_fn for name, layer in targets.items()}
+    originals = {name: unwrap_matmul_fn(fn) for name, fn in installed.items()}
+    try:
+        for name, layer in targets.items():
+            layer.matmul_fn = originals[name]
+        result = _calibrate_float_model(
+            model, images, batch_size, targets, originals,
+            recalibrate_bn, collect_column_stats,
+        )
+    finally:
+        for name, layer in targets.items():
+            layer.matmul_fn = installed[name]
+    return result
+
+
+def _calibrate_float_model(
+    model: Module,
+    images: np.ndarray,
+    batch_size: int,
+    targets: dict[str, Module],
+    originals: dict[str, object],
+    recalibrate_bn: bool,
+    collect_column_stats: bool,
+) -> CalibrationResult:
     if recalibrate_bn:
         recalibrate_batchnorm(model, images, batch_size)
     model.eval()
 
-    targets = _target_layers(model, include_linear)
     result = CalibrationResult()
 
     # Pass 1: per-batch max of the lowered activation matrix, averaged.
     max_sums = {name: 0.0 for name in targets}
     batch_counts = {name: 0 for name in targets}
-    originals = {name: layer.matmul_fn for name, layer in targets.items()}
 
     def make_max_observer(name: str, original):
         def observer(cols: np.ndarray, weight_2d: np.ndarray) -> np.ndarray:

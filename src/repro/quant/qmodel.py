@@ -10,6 +10,7 @@ the first convolution layer and the fully-connected layers are left intact.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,13 +30,33 @@ from repro.quant.quantizer import (
 
 @dataclass
 class QuantConfig:
-    """Which layers are quantized and with how many bits."""
+    """Which layers are quantized and with how many bits.
+
+    ``cache_weight_quant`` caches each layer's per-channel weight
+    quantization across calls (weights do not change during evaluation); the
+    cache is validated against a cheap value fingerprint and refreshed
+    automatically when the weights are mutated in place (e.g. by pruning).
+    """
 
     act_bits: int = 8
     wgt_bits: int = 8
     skip_first_conv: bool = True
     include_linear: bool = False
     depthwise_single_thread: bool = True
+    cache_weight_quant: bool = True
+
+
+def unwrap_matmul_fn(fn):
+    """Follow the ``__wrapped__`` chain down to the float matmul function.
+
+    Quantization hooks installed by :class:`QuantizedModel` carry a
+    ``__wrapped__`` attribute pointing at the function they replaced, so any
+    code that needs the model's pristine floating-point behavior (notably
+    calibration) can recover it even when a hook is installed.
+    """
+    while hasattr(fn, "__wrapped__"):
+        fn = fn.__wrapped__
+    return fn
 
 
 @dataclass
@@ -48,6 +69,7 @@ class QuantizedLayer:
     context: LayerContext
     original_matmul: object = None
     engine: IntMatmulEngine | None = None
+    hook: object = None
 
 
 def _is_depthwise(module: Module) -> bool:
@@ -102,33 +124,124 @@ class QuantizedModel:
     def _make_hook(self, layer: QuantizedLayer):
         act_scale = self.calibration.scale_for(layer.name)
         config = self.config
+        weight_cache: dict[str, object] = {}
+
+        def weight_fingerprint(weight_2d: np.ndarray) -> tuple:
+            # Position-weighted projections make the fingerprint sensitive
+            # to row/column permutations and sign-balanced edits that a
+            # plain sum would miss; collisions would need a mutation
+            # crafted against the cached random projection vectors.
+            probes = weight_cache.get("probes")
+            if probes is None or probes[0].shape[0] != weight_2d.shape[0]:
+                rng = np.random.default_rng(0x5EED)
+                probes = (
+                    rng.standard_normal(weight_2d.shape[0]),
+                    rng.standard_normal(weight_2d.shape[1]),
+                )
+                weight_cache["probes"] = probes
+            row_probe, col_probe = probes
+            return (
+                weight_2d.shape,
+                weight_2d.dtype,
+                float(weight_2d.sum()),
+                float(row_probe @ weight_2d @ col_probe),
+            )
 
         def hook(cols: np.ndarray, weight_2d: np.ndarray) -> np.ndarray:
             engine = layer.engine or self.default_engine
             x_q = quantize_activations(cols, act_scale, bits=config.act_bits)
-            w_q = quantize_weights_per_channel(weight_2d, bits=config.wgt_bits)
+            if config.cache_weight_quant:
+                fingerprint = weight_fingerprint(weight_2d)
+                if weight_cache.get("fingerprint") != fingerprint:
+                    weight_cache["fingerprint"] = fingerprint
+                    weight_cache["quant"] = quantize_weights_per_channel(
+                        weight_2d, bits=config.wgt_bits
+                    )
+                w_q = weight_cache["quant"]
+            else:
+                w_q = quantize_weights_per_channel(weight_2d, bits=config.wgt_bits)
             accumulators = engine.matmul(x_q.values, w_q.values, layer.context)
             return dequantize(accumulators, act_scale, w_q.scales)
 
         return hook
 
     def _install(self) -> None:
+        """Install (or re-install) this wrapper's hooks; idempotent.
+
+        Quantization wrappers do not stack: if another wrapper's hook is
+        currently installed on a module, it is *replaced*, and the pristine
+        floating-point function (recovered through the ``__wrapped__`` chain)
+        becomes the restore target.  A displaced wrapper re-installs itself
+        the next time it is used (see :meth:`_ensure_installed`).
+        """
         for layer in self.layers.values():
-            layer.original_matmul = layer.module.matmul_fn
-            layer.module.matmul_fn = self._make_hook(layer)
+            current = layer.module.matmul_fn
+            if layer.hook is not None and current is layer.hook:
+                continue
+            layer.original_matmul = unwrap_matmul_fn(current)
+            if layer.hook is None:
+                hook = self._make_hook(layer)
+                # Expose the pristine float function so calibration (and
+                # float_execution) can bypass installed quantization hooks.
+                hook.__wrapped__ = layer.original_matmul
+                layer.hook = hook
+            layer.module.matmul_fn = layer.hook
+
+    def _ensure_installed(self) -> None:
+        """Re-install hooks that were displaced and later removed.
+
+        Only modules currently holding their *pristine float* function are
+        re-hooked: a foreign wrapper (another quantization wrapper, a
+        calibration observer, a test probe) is left in place, since it either
+        delegates to this wrapper's hook or intentionally replaces it.
+        """
+        for layer in self.layers.values():
+            if (
+                layer.hook is not None
+                and layer.module.matmul_fn is layer.hook.__wrapped__
+            ):
+                layer.original_matmul = layer.hook.__wrapped__
+                layer.module.matmul_fn = layer.hook
 
     def remove(self) -> None:
-        """Restore the original floating-point matmuls."""
+        """Restore the original floating-point matmuls.
+
+        Only hooks that are still installed are removed; a module whose hook
+        was displaced by another wrapper is left untouched.
+        """
         for layer in self.layers.values():
-            if layer.original_matmul is not None:
+            if (
+                layer.original_matmul is not None
+                and layer.module.matmul_fn is layer.hook
+            ):
                 layer.module.matmul_fn = layer.original_matmul
-                layer.original_matmul = None
+            layer.original_matmul = None
 
     def __enter__(self) -> "QuantizedModel":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.remove()
+
+    @contextmanager
+    def float_execution(self):
+        """Temporarily run the wrapped model with its float matmuls.
+
+        Unlike :meth:`remove` followed by a re-install, this restores the
+        *pristine* float functions even when several quantization wrappers
+        have been stacked on the same model, and puts the currently installed
+        hooks back afterwards.
+        """
+        installed = {
+            name: layer.module.matmul_fn for name, layer in self.layers.items()
+        }
+        try:
+            for layer in self.layers.values():
+                layer.module.matmul_fn = unwrap_matmul_fn(layer.module.matmul_fn)
+            yield self
+        finally:
+            for name, layer in self.layers.items():
+                layer.module.matmul_fn = installed[name]
 
     # -- configuration -------------------------------------------------------
     def layer_names(self) -> list[str]:
@@ -176,11 +289,40 @@ class QuantizedModel:
 
     # -- evaluation -------------------------------------------------------------
     def evaluate(
-        self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+        workers: int = 1,
     ) -> float:
-        """Top-1 accuracy of the quantized model."""
+        """Top-1 accuracy of the quantized model.
+
+        ``workers > 1`` shards the images across a process pool (fork-based;
+        falls back to serial execution where fork is unavailable) and merges
+        the per-shard statistics back into this process: per-layer context
+        stats always, and the default engine's NB-SMT layer statistics when
+        it collects any (engines installed as per-layer overrides only
+        contribute context stats).
+        """
+        self._ensure_installed()
+        if workers > 1:
+            from repro.eval.parallel import evaluate_sharded
+
+            engine = self.default_engine
+            return evaluate_sharded(
+                self,
+                images,
+                labels,
+                batch_size=batch_size,
+                workers=workers,
+                # Reduce the default engine's per-layer NB-SMT statistics
+                # back into this process (per-layer engine overrides keep
+                # only their context stats, as documented).
+                engine=engine if hasattr(engine, "layer_stats") else None,
+            )
         return evaluate_accuracy(self.model, images, labels, batch_size=batch_size)
 
     def forward(self, images: np.ndarray) -> np.ndarray:
+        self._ensure_installed()
         self.model.eval()
         return self.model(images)

@@ -7,14 +7,19 @@ register (output sharing, Fig. 3c).  Connectivity therefore scales with the
 thread count, and the array consumes the K dimension T positions per cycle,
 which is what yields the constant speedup of T over the conventional array.
 
-Two simulators are provided and cross-checked by tests:
+Three simulators are provided and cross-checked by tests:
 
 * :meth:`SySMTArray.matmul` -- vectorized tile-by-tile execution whose MAC
   results are produced by the same functional NB-SMT executor used for
   accuracy experiments;
-* :meth:`SySMTArray.matmul_explicit` -- a slow PE-object simulation whose
+* :meth:`SySMTArray.matmul_explicit` -- a cycle-accurate simulation that
+  evaluates Algorithm 1 lane-by-lane with vectorized numpy ops over whole
+  tiles (every PE's per-cycle collision decision is materialized, unlike the
+  factorized functional executor which only computes their aggregate);
+* :meth:`SySMTArray.matmul_per_pe` -- the slow PE-object simulation whose
   per-cycle decisions follow Algorithm 1 literally (including the fMUL
-  nibble/shift interface), used to validate the functional model bit by bit.
+  nibble/shift interface), used to validate the vectorized simulators bit
+  by bit.
 """
 
 from __future__ import annotations
@@ -31,7 +36,12 @@ from repro.core.precision import (
     reduce_act_to_4bit_msb,
     wgt_fits_4bit,
 )
-from repro.core.smt import NBSMTMatmul, SMTStatistics, split_into_threads
+from repro.core.smt import (
+    NBSMTMatmul,
+    SMTStatistics,
+    nbsmt_effective_chunk,
+    split_into_threads,
+)
 from repro.systolic.dataflow import CycleModel, tile_matrices
 from repro.systolic.os_sa import ArrayReport
 
@@ -186,14 +196,64 @@ class SySMTArray:
         self.stats.merge(executor.stats)
         return out, report
 
-    # -- explicit PE-level simulation ----------------------------------------------
+    # -- explicit lane-level simulation ---------------------------------------
     def matmul_explicit(
         self,
         x_q: np.ndarray,
         w_q: np.ndarray,
         permutation: np.ndarray | None = None,
     ) -> tuple[np.ndarray, ArrayReport]:
-        """PE-object simulation (small matrices only)."""
+        """Cycle-accurate simulation, vectorized over whole tiles.
+
+        Evaluates the per-cycle collision decisions of Algorithm 1 for every
+        PE lane of every tile with numpy ops (one ``(T, rows, depth, cols)``
+        activity tensor per tile) instead of per-PE Python objects; agrees
+        bit-for-bit with :meth:`matmul_per_pe`.
+        """
+        x_q = np.asarray(x_q)
+        w_q = np.asarray(w_q)
+        if permutation is not None:
+            x_q = x_q[:, permutation]
+            w_q = w_q[permutation, :]
+        m, k = x_q.shape
+        n = w_q.shape[1]
+        out = np.zeros((m, n), dtype=np.int64)
+        report = ArrayReport()
+        for row_slice, col_slice, x_tile, w_tile in tile_matrices(
+            x_q, w_q, self.rows, self.cols
+        ):
+            x_threads, w_threads = split_into_threads(x_tile, w_tile, self.threads)
+            depth = x_threads.shape[2]
+            tile_rows = row_slice.stop - row_slice.start
+            tile_cols = col_slice.stop - col_slice.start
+            chunk = nbsmt_effective_chunk(x_threads, w_threads, self.policy)
+            out[row_slice, col_slice] = chunk.out
+            if self.policy.sparsity:
+                report.mac_cycles_active += chunk.active_slots
+            else:
+                # Without sparsity detection every thread demands the MAC on
+                # every cycle, so every PE cycle counts as active.
+                report.mac_cycles_active += tile_rows * tile_cols * depth
+            report.mac_cycles_total += tile_rows * tile_cols * depth
+            report.cycles += self.cycle_model.tile_cycles(depth)
+            report.tiles += 1
+        return out, report
+
+    # -- explicit PE-object simulation ----------------------------------------
+    def matmul_per_pe(
+        self,
+        x_q: np.ndarray,
+        w_q: np.ndarray,
+        permutation: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, ArrayReport]:
+        """PE-object simulation (small matrices only).
+
+        One Python object per PE, stepping Algorithm 1 and the fMUL
+        nibble/shift interface one operand pair at a time.  Orders of
+        magnitude slower than :meth:`matmul_explicit`; kept as the ground
+        truth for the ``slow``-marked cross-validation tests and the
+        benchmark baseline.
+        """
         x_q = np.asarray(x_q)
         w_q = np.asarray(w_q)
         if permutation is not None:

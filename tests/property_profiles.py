@@ -1,0 +1,33 @@
+"""Standardized Hypothesis settings profiles for the property tests.
+
+Import the tier that matches the cost of one example, so the example budget
+is consistent suite-wide and can be scaled globally:
+
+* ``QUICK_SETTINGS``      -- cheap pure-python examples.
+* ``STANDARD_SETTINGS``   -- one factorized-vs-reference executor cross-check.
+* ``SLOW_SETTINGS``       -- examples that run the explicit simulators.
+
+The ``REPRO_PROPERTY_SCALE`` environment variable multiplies the example
+counts (e.g. ``REPRO_PROPERTY_SCALE=10`` for a thorough overnight run).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_SCALE = float(os.environ.get("REPRO_PROPERTY_SCALE", "1"))
+
+
+def _profile(max_examples: int) -> settings:
+    return settings(
+        max_examples=max(1, int(max_examples * _SCALE)),
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+
+
+QUICK_SETTINGS = _profile(100)
+STANDARD_SETTINGS = _profile(40)
+SLOW_SETTINGS = _profile(15)
