@@ -6,20 +6,29 @@ Measures, on this machine:
 * the 4-thread (and 2-thread) NB-SMT matmul microbenchmarks -- the seed's
   general-thread-count fallback (the chunked reference executor), the seed's
   factorized implementation (``fast4t_impl="legacy"``) and the optimized
-  stacked-GEMM path;
+  stacked-GEMM path, with and without sparsity-adaptive block pruning
+  (including a narrow-valued operand regime where most reduction deltas
+  vanish and pruning shines);
 * the explicit SySMT array simulators -- per-PE objects versus the
   vectorized lane-level execution;
 * an end-to-end 4-thread model evaluation -- the serial seed configuration
   (reference fallback; also the seed's factorized variant with per-call
   executor construction and no weight-quantization caching) versus the
-  optimized pipeline, serial and with a 4-worker sharded process pool.
+  optimized pipeline, serial and with a 4-worker sharded process pool;
+* a suite-level arm: an overlap-heavy slice of the paper-reproduction
+  experiment suite executed the pre-sweep way (each experiment a serial
+  loop, no artifact sharing) versus orchestrated through the sweep
+  scheduler (``workers=4``, shared point store), plus a resumed run that
+  restarts the orchestrated suite from its persisted points.
 
-Results are written as JSON (default ``BENCH_pr1.json`` at the repo root) so
-the performance trajectory of the project is recorded per PR.
+Results are written as JSON (default ``BENCH_pr2.json`` at the repo root) so
+the performance trajectory of the project is recorded per PR; when the
+previous PR's ``BENCH_pr1.json`` is present its headline timings are
+embedded for comparison.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr1.json]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr2.json]
         [--scale fast|full]
 """
 
@@ -84,6 +93,9 @@ def bench_matmul(scale: str) -> dict:
             arms["seed_factorized_legacy"] = NBSMTMatmul(
                 threads, "S+A", collect_stats=True, fast4t_impl="legacy"
             )
+            arms["optimized_nopruning"] = NBSMTMatmul(
+                threads, "S+A", collect_stats=True, prune_blocks=False
+            )
         timings = {}
         for name, executor in arms.items():
             executor.matmul(x, w)  # warm-up (LUTs, BLAS)
@@ -109,7 +121,33 @@ def bench_matmul(scale: str) -> dict:
                 timings["seed_factorized_legacy"]["seconds"]
                 / timings["optimized_factorized"]["seconds"]
             )
+        if "optimized_nopruning" in timings:
+            entry["speedup_block_pruning"] = (
+                timings["optimized_nopruning"]["seconds"]
+                / timings["optimized_factorized"]["seconds"]
+            )
         results[f"matmul_{threads}t"] = entry
+
+    # Narrow-valued operands (most activations fit 4 bits): the regime the
+    # sparsity-adaptive block pruning targets -- most reduction-delta blocks
+    # are empty or nearly empty and are skipped before stacking.
+    x_narrow = x % 16
+    timings = {}
+    for name, prune in (("pruned", True), ("unpruned", False)):
+        executor = NBSMTMatmul(4, "S+A", collect_stats=True, prune_blocks=prune)
+        executor.matmul(x_narrow, w)
+        seconds = _best_of(lambda e=executor: e.matmul(x_narrow, w), repeats)
+        timings[name] = {"seconds": seconds, "ops_per_sec": macs / seconds}
+    results["matmul_4t_narrow_acts"] = {
+        "shape": [m, k, n],
+        "threads": 4,
+        "policy": "S+A",
+        "note": "activations clipped to 4-bit range; block pruning regime",
+        "timings": timings,
+        "speedup_block_pruning": (
+            timings["unpruned"]["seconds"] / timings["pruned"]["seconds"]
+        ),
+    }
     return results
 
 
@@ -214,6 +252,17 @@ def bench_end_to_end(scale: str) -> dict:
         "optimized_serial": {
             "seconds": _best_of(lambda: harness.evaluate_nbsmt(threads=4), repeats)
         },
+        "optimized_serial_nopruning": {
+            "seconds": _best_of(
+                lambda: harness.evaluate_nbsmt(
+                    threads=4,
+                    engine=NBSMTEngine(
+                        "S+A", collect_stats=True, prune_blocks=False
+                    ),
+                ),
+                repeats,
+            )
+        },
         "optimized_parallel_4workers": {
             "seconds": _best_of(
                 lambda: harness.evaluate_nbsmt(threads=4, workers=4), repeats
@@ -246,13 +295,132 @@ def bench_end_to_end(scale: str) -> dict:
     return result
 
 
+#: The overlap-heavy slice of the experiment suite used by the suite arm:
+#: Fig. 8 / Fig. 9 share their two GoogLeNet evaluations, and the energy
+#: analysis shares the five 4-thread baselines of the Table V throttling
+#: curves (plus one of its 2-thread runs with Fig. 9).
+SUITE_EXPERIMENTS = ("fig8", "fig9", "table5", "energy")
+
+
+def bench_suite(scale: str, workers: int = 4) -> dict:
+    """Experiment-suite wall clock: pre-sweep serial loops vs orchestration.
+
+    All arms start from a warm model-zoo disk cache but cold in-process
+    harness caches and an empty sweep point store, so they time the same
+    calibration + evaluation work.  The ``serial_isolated`` arm reproduces
+    the pre-sweep behavior: one experiment at a time, each computing every
+    evaluation itself (no point sharing, no persistence reads).  The
+    ``orchestrated`` arm runs the same experiments through one sweep
+    session (``workers=4``; on a multi-core machine the model groups fan
+    out across forked workers, on a single core the scheduler degrades to
+    serial and the win is the cross-experiment point reuse).  The
+    ``resumed`` arm restarts the orchestrated suite afterwards and serves
+    everything from the persisted points.
+    """
+    from repro.eval.experiments import EXPERIMENTS
+    from repro.eval.experiments.common import clear_harness_cache
+    from repro.eval.sweep import PointStore, SweepSession
+
+    # Warm the zoo disk cache outside the timed region.
+    for name in SUITE_EXPERIMENTS:
+        EXPERIMENTS[name]  # registry sanity
+    from repro.models.zoo import PAPER_MODEL_NAMES, load_trained_model
+
+    for model in PAPER_MODEL_NAMES:
+        load_trained_model(model, fast=(scale == "fast"))
+
+    def timed(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    def serial_isolated():
+        for name in SUITE_EXPERIMENTS:
+            session = SweepSession(scale=scale, workers=1, reuse=False)
+            EXPERIMENTS[name].run(scale=scale, session=session)
+
+    def orchestrated(resume: bool):
+        session = SweepSession(scale=scale, workers=workers, resume=resume)
+        for name in SUITE_EXPERIMENTS:
+            EXPERIMENTS[name].run(scale=scale, session=session)
+
+    store = PointStore(scale)
+    store.clear()
+    clear_harness_cache()
+    serial_seconds = timed(serial_isolated)
+
+    store.clear()
+    clear_harness_cache()
+    orchestrated_seconds = timed(lambda: orchestrated(resume=False))
+
+    clear_harness_cache()
+    resumed_seconds = timed(lambda: orchestrated(resume=True))
+
+    return {
+        "suite": {
+            "experiments": list(SUITE_EXPERIMENTS),
+            "workers": workers,
+            "cpus_available": os.cpu_count(),
+            "timings": {
+                "serial_isolated": {"seconds": serial_seconds},
+                f"orchestrated_workers{workers}": {
+                    "seconds": orchestrated_seconds
+                },
+                "resumed_from_store": {"seconds": resumed_seconds},
+            },
+            "speedup_orchestrated_vs_serial": (
+                serial_seconds / orchestrated_seconds
+            ),
+            "speedup_resume_vs_serial": serial_seconds / resumed_seconds,
+        }
+    }
+
+
+def _compare_to_pr1(results: dict, pr1_path: str) -> dict | None:
+    """Headline timing ratios against the previous PR's benchmark file."""
+    try:
+        with open(pr1_path) as handle:
+            pr1 = json.load(handle)["benchmarks"]
+    except (OSError, ValueError, KeyError):
+        return None
+    comparison: dict[str, dict] = {}
+    for key in ("matmul_2t", "matmul_4t", "eval_4t"):
+        ours = results.get(key, {}).get("timings", {})
+        theirs = pr1.get(key, {}).get("timings", {})
+        shared = sorted(set(ours) & set(theirs))
+        if not shared:
+            continue
+        comparison[key] = {
+            arm: {
+                "pr1_seconds": theirs[arm]["seconds"],
+                "pr2_seconds": ours[arm]["seconds"],
+                "pr2_over_pr1_speedup": (
+                    theirs[arm]["seconds"] / ours[arm]["seconds"]
+                ),
+            }
+            for arm in shared
+        }
+    return comparison
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr1.json"),
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr2.json"),
     )
     parser.add_argument("--scale", choices=("fast", "full"), default="fast")
+    parser.add_argument(
+        "--skip-suite",
+        action="store_true",
+        help="skip the (slow) experiment-suite arm",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker budget of the orchestrated suite arm",
+    )
     args = parser.parse_args(argv)
 
     results: dict = {
@@ -277,6 +445,14 @@ def main(argv=None) -> int:
     results["benchmarks"].update(bench_explicit_sim(args.scale))
     print("running end-to-end evaluation benchmarks...", flush=True)
     results["benchmarks"].update(bench_end_to_end(args.scale))
+    if not args.skip_suite:
+        print("running experiment-suite benchmarks...", flush=True)
+        results["benchmarks"].update(bench_suite(args.scale, args.workers))
+
+    pr1_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr1.json")
+    comparison = _compare_to_pr1(results["benchmarks"], pr1_path)
+    if comparison:
+        results["comparison_to_pr1"] = comparison
 
     out_path = os.path.abspath(args.out)
     with open(out_path, "w") as handle:

@@ -32,17 +32,25 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.eval.sweep import SweepSession
+
     names = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         print(f"known experiments: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    # One session spans all selected experiments, so sweep points shared
+    # between experiments (e.g. Fig. 8 / Fig. 9) are computed once and a
+    # --resume run continues from whatever points already completed.
+    session = SweepSession(
+        scale=args.scale, workers=args.workers, resume=args.resume
+    )
     for name in names:
         module = EXPERIMENTS[name]
         start = time.time()
         print(f"\n=== {name} ===")
-        result = module.run(scale=args.scale)
+        result = module.run(scale=args.scale, session=session)
         print(module.format_result(result))
         print(f"[{name} finished in {time.time() - start:.1f}s]")
     return 0
@@ -86,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT")
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker budget for the sweep scheduler (points x image shards; "
+        "never oversubscribes the machine)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse sweep points persisted by earlier runs instead of "
+        "recomputing them (continue an interrupted suite)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     zoo_parser = subparsers.add_parser("zoo", help="train/load the model zoo")

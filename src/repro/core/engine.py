@@ -42,6 +42,9 @@ class NBSMTEngine:
         a fresh :class:`NBSMTMatmul` per call, kept for A/B benchmarking.
     fast4t_impl:
         Forwarded to :class:`NBSMTMatmul` (``"stacked"`` or ``"legacy"``).
+    prune_blocks:
+        Forwarded to :class:`NBSMTMatmul` (sparsity-adaptive block pruning
+        in the stacked 4-thread path; bit-exact, on by default).
     """
 
     def __init__(
@@ -52,6 +55,7 @@ class NBSMTEngine:
         force_reference: bool = False,
         reuse_executors: bool = True,
         fast4t_impl: str = "stacked",
+        prune_blocks: bool = True,
     ):
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
         self.default_threads = default_threads
@@ -59,6 +63,7 @@ class NBSMTEngine:
         self.force_reference = force_reference
         self.reuse_executors = reuse_executors
         self.fast4t_impl = fast4t_impl
+        self.prune_blocks = prune_blocks
         self.layer_stats: dict[str, SMTStatistics] = {}
         self._executors: dict[tuple[str, int], NBSMTMatmul] = {}
 
@@ -78,6 +83,7 @@ class NBSMTEngine:
                 collect_stats=self.collect_stats,
                 force_reference=self.force_reference,
                 fast4t_impl=self.fast4t_impl,
+                prune_blocks=self.prune_blocks,
             )
             if self.reuse_executors:
                 self._executors[key] = executor

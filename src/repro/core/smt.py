@@ -143,6 +143,42 @@ class SMTStatistics:
             return 0.0
         return self.sum_sq_error / self.outputs
 
+    def to_payload(self) -> dict[str, float]:
+        """Raw counters as a JSON-able dict (see :meth:`from_payload`)."""
+        return {
+            "mac_total": int(self.mac_total),
+            "mac_active": int(self.mac_active),
+            "mac_collided": int(self.mac_collided),
+            "mac_reduced": int(self.mac_reduced),
+            "slots_total": int(self.slots_total),
+            "slots_active": int(self.slots_active),
+            "act_values": int(self.act_values),
+            "act_nonzero": int(self.act_nonzero),
+            "sum_sq_error": float(self.sum_sq_error),
+            "sum_sq_exact": float(self.sum_sq_exact),
+            "outputs": int(self.outputs),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SMTStatistics":
+        """Rebuild the counters from :meth:`to_payload` output.
+
+        Integer counters survive a JSON round trip exactly, and the two
+        float sums round-trip bit-exactly through ``json`` (repr-based), so
+        ``from_payload(json.loads(json.dumps(s.to_payload())))`` reproduces
+        every derived statistic bit-for-bit.
+        """
+        stats = cls()
+        for name in (
+            "mac_total", "mac_active", "mac_collided", "mac_reduced",
+            "slots_total", "slots_active", "act_values", "act_nonzero",
+            "outputs",
+        ):
+            setattr(stats, name, int(payload[name]))
+        stats.sum_sq_error = float(payload["sum_sq_error"])
+        stats.sum_sq_exact = float(payload["sum_sq_exact"])
+        return stats
+
     def as_dict(self) -> dict[str, float]:
         return {
             "mac_total": float(self.mac_total),
@@ -224,6 +260,11 @@ class _ErrorAccumulator:
     oversized single terms), writes the gated factors directly into
     preallocated stacked operands (no per-term temporaries or concatenation)
     and issues one BLAS call per group.
+
+    ``columns`` optionally restricts a term to a subset of its K positions:
+    a K column whose gated left column or gated right row is entirely zero
+    contributes nothing, so it can be dropped from the stacked operands
+    without changing the product (sparsity-adaptive block pruning).
     """
 
     def __init__(self, m: int, n: int):
@@ -239,18 +280,32 @@ class _ErrorAccumulator:
         values_right: np.ndarray,
         bound: float,
         scale: float = 1.0,
+        columns: np.ndarray | None = None,
     ) -> None:
         """Record the term; ``bound`` upper-bounds its product-sum magnitude."""
         self._terms.append(
-            (gate_left, values_left, gate_right, values_right, bound, scale)
+            (gate_left, values_left, gate_right, values_right, bound, scale,
+             columns)
         )
 
+    @staticmethod
+    def _term_width(term: tuple) -> int:
+        columns = term[6]
+        return term[1].shape[-1] if columns is None else len(columns)
+
     def _evaluate_group(self, group: list[tuple], dtype) -> np.ndarray:
-        width = sum(term[1].shape[-1] for term in group)
+        width = sum(self._term_width(term) for term in group)
         lefts = np.empty((self.m, width), dtype=dtype)
         rights = np.empty((width, self.n), dtype=dtype)
         pos = 0
-        for gate_l, val_l, gate_r, val_r, _, scale in group:
+        for gate_l, val_l, gate_r, val_r, _, scale, columns in group:
+            if columns is not None:
+                val_l = val_l[:, columns]
+                val_r = val_r[columns, :]
+                if isinstance(gate_l, np.ndarray):
+                    gate_l = gate_l[:, columns]
+                if isinstance(gate_r, np.ndarray):
+                    gate_r = gate_r[columns, :]
             stop = pos + val_l.shape[-1]
             left_view = lefts[:, pos:stop]
             np.multiply(gate_l, val_l, out=left_view, casting="unsafe")
@@ -290,6 +345,61 @@ class _ErrorAccumulator:
         return np.rint(total).astype(np.int64)
 
 
+class _ColumnPruner:
+    """Sparsity-adaptive block pruning for the factorized 4-thread path.
+
+    Every error block is ``(gate_a * left) @ (gate_w * right)``; a K column
+    contributes only when the gated left factor has a nonzero in that column
+    *and* the gated right factor has a nonzero in that row.  Exact per-block
+    masks would cost ``O(M Kt)`` per block, so the pruner intersects three
+    cheap over-approximations, each computed once and reused: the subset
+    gate's active columns (a by-product of the sums the subset-skip test
+    needs anyway) and per-thread activity vectors of the left/right value
+    factors (one ``any`` reduction per thread, computed lazily).  Blocks
+    with no active column are dropped before stacking; mostly-inactive
+    blocks are narrowed to their active columns.  Dropped columns contribute
+    exactly zero, so pruning is bit-exact.
+    """
+
+    def __init__(self, kt: int, select_fraction: float = 0.5):
+        self.kt = kt
+        self.select_fraction = select_fraction
+        self._cols: dict[tuple[str, int], np.ndarray] = {}
+
+    def side_vector(self, kind: str, t: int, values: np.ndarray,
+                    axis: int) -> np.ndarray:
+        """Per-K activity of one value factor (lazily memoized per thread)."""
+        key = (kind, t)
+        vec = self._cols.get(key)
+        if vec is None:
+            vec = (values != 0).any(axis=axis)
+            self._cols[key] = vec
+        return vec
+
+    def columns(
+        self,
+        subset_cols: np.ndarray | None,
+        left_cols: np.ndarray,
+        right_rows: np.ndarray,
+    ) -> tuple[bool, np.ndarray | None]:
+        """``(keep, columns)`` for one block.
+
+        ``keep`` is False when no K column is active (the block is skipped
+        entirely); ``columns`` is the active-column index subset when enough
+        columns are inactive for the gather to pay for itself, else None
+        (stack the full block).
+        """
+        active = left_cols & right_rows
+        if subset_cols is not None:
+            active = active & subset_cols
+        count = int(active.sum())
+        if count == 0:
+            return False, None
+        if count > self.select_fraction * self.kt:
+            return True, None
+        return True, np.flatnonzero(active)
+
+
 class NBSMTMatmul:
     """Functional NB-SMT executor for a fixed thread count and policy.
 
@@ -313,6 +423,11 @@ class NBSMTMatmul:
         path; ``"legacy"`` selects the seed's original factorized
         implementation, retained for A/B benchmarking (its ``mac_reduced``
         counter is a collision-count proxy, not the exact reduction count).
+    prune_blocks:
+        Sparsity-adaptive block pruning in the stacked 4-thread path: error
+        blocks whose gated factors have no jointly-active K column are
+        skipped before stacking, and mostly-inactive blocks are narrowed to
+        their active columns.  Bit-exact; disable for A/B benchmarking.
     """
 
     def __init__(
@@ -323,6 +438,7 @@ class NBSMTMatmul:
         force_reference: bool = False,
         chunk_rows: int = 256,
         fast4t_impl: str = "stacked",
+        prune_blocks: bool = True,
     ):
         if threads not in (1, 2, 4):
             raise ValueError("NB-SMT supports 1, 2 or 4 threads")
@@ -334,6 +450,7 @@ class NBSMTMatmul:
         self.force_reference = force_reference
         self.chunk_rows = chunk_rows
         self.fast4t_impl = fast4t_impl
+        self.prune_blocks = prune_blocks
         self.stats = SMTStatistics()
 
     # -- public API -----------------------------------------------------------
@@ -375,7 +492,10 @@ class NBSMTMatmul:
         elif self.fast4t_impl == "legacy":
             out, stats = _fast_4t_legacy(x_t, w_t, self.policy, self.collect_stats)
         else:
-            out, stats = _fast_4t(x_t, w_t, self.policy, self.collect_stats)
+            out, stats = _fast_4t(
+                x_t, w_t, self.policy, self.collect_stats,
+                prune_blocks=self.prune_blocks,
+            )
         if self.collect_stats and stats is not None:
             self.stats.merge(stats)
         return out
@@ -667,6 +787,7 @@ def _fast_4t(
     w_t: np.ndarray,
     policy: PackingPolicy,
     collect_stats: bool,
+    prune_blocks: bool = True,
 ) -> tuple[np.ndarray, SMTStatistics | None]:
     """Optimized factorized 4-thread execution.
 
@@ -679,6 +800,11 @@ def _fast_4t(
     GEMMs whose float dtype is chosen by exactness bounds.  Statistics are
     reconstructed exactly from per-K-column histograms of the 4-bit thread
     activity patterns (see :func:`_reduced_tables`).
+
+    ``prune_blocks`` additionally drops (or narrows to their jointly-active
+    K columns) error blocks whose gated delta/value factors are empty --
+    frequent for sparse or narrow-valued operands, where most reduction
+    deltas vanish (see :class:`_ColumnPruner`; bit-exact).
     """
     threads = 4
     amax, wmax = _operand_maxima(x_t, w_t)
@@ -707,6 +833,23 @@ def _fast_4t(
     dws = [_wgt_lut_take(luts["dw"], w) for w in ws]
 
     accumulator = _ErrorAccumulator(m, n)
+    pruner = _ColumnPruner(kt) if prune_blocks else None
+
+    def gated_add(t, gate_a, left, lkind, gate_w, right, rkind,
+                  bound, scale=1.0, subset_cols=None):
+        """Record thread ``t``'s error block, pruned to its active K columns."""
+        columns = None
+        if pruner is not None:
+            keep, columns = pruner.columns(
+                subset_cols,
+                pruner.side_vector(lkind, t, left, axis=0),
+                pruner.side_vector(rkind, t, right, axis=1),
+            )
+            if not keep:
+                return
+        accumulator.add(gate_a, left, gate_w, right, bound, scale=scale,
+                        columns=columns)
+
     ones_gate = True  # scalar "no gate" for ungated blocks
     pair_bound = (
         float(kt) * _DELTA_MAX * wmax
@@ -723,9 +866,12 @@ def _fast_4t(
         # Every position is a full (>= 3-way) collision:
         # out = X4 @ W4 = exact + sum_t dx (x) w + x (x) dw + dx (x) dw.
         for t in range(threads):
-            accumulator.add(ones_gate, dxs[t], ones_gate, ws[t], many_bounds[0])
-            accumulator.add(ones_gate, xs[t], ones_gate, dws[t], many_bounds[1])
-            accumulator.add(ones_gate, dxs[t], ones_gate, dws[t], many_bounds[2])
+            gated_add(t, ones_gate, dxs[t], "dx",
+                      ones_gate, ws[t], "w", many_bounds[0])
+            gated_add(t, ones_gate, xs[t], "x",
+                      ones_gate, dws[t], "dw", many_bounds[1])
+            gated_add(t, ones_gate, dxs[t], "dx",
+                      ones_gate, dws[t], "dw", many_bounds[2])
         out = exact + accumulator.total()
     else:
         if policy.width_secondary:
@@ -751,11 +897,11 @@ def _fast_4t(
         for size in (2, 3, 4):
             for subset in combinations(range(threads), size):
                 gate_a, gate_w = gates[subset]
-                relevant = int(
-                    gate_a.sum(axis=0).astype(np.int64)
-                    @ gate_w.sum(axis=1).astype(np.int64)
-                )
-                if relevant == 0:
+                # Active K columns of this subset gate: a block gated by
+                # (A_S, W_S) only receives contributions where some row of
+                # A_S and some column of W_S are jointly nonzero.
+                subset_cols = gate_a.any(axis=0) & gate_w.any(axis=1)
+                if not subset_cols.any():
                     continue
                 c1, c2 = _SUBSET_COEFFS[size - 1]
                 for t in subset:
@@ -771,31 +917,39 @@ def _fast_4t(
                         merged_x_dw = c2 if policy.width_secondary else c1 + c2
                         pair_dx, merged_dx_w = 0.0, c2
                     if pair_dx != 0.0:
-                        accumulator.add(
-                            gate_a, dxs[t], gate_w, sec_wgt[t],
+                        gated_add(
+                            t, gate_a, dxs[t], "dx",
+                            gate_w, sec_wgt[t], "secw",
                             bound=abs(pair_dx) * pair_bound, scale=pair_dx,
+                            subset_cols=subset_cols,
                         )
                     if pair_x_dw != 0.0:
-                        accumulator.add(
-                            gate_a, sec_act[t], gate_w, dws[t],
+                        gated_add(
+                            t, gate_a, sec_act[t], "seca",
+                            gate_w, dws[t], "dw",
                             bound=abs(pair_x_dw) * pair_bound, scale=pair_x_dw,
+                            subset_cols=subset_cols,
                         )
                     if merged_dx_w != 0.0:
-                        accumulator.add(
-                            gate_a, dxs[t], gate_w, ws[t],
+                        gated_add(
+                            t, gate_a, dxs[t], "dx",
+                            gate_w, ws[t], "w",
                             bound=abs(merged_dx_w) * many_bounds[0],
-                            scale=merged_dx_w,
+                            scale=merged_dx_w, subset_cols=subset_cols,
                         )
                     if merged_x_dw != 0.0:
-                        accumulator.add(
-                            gate_a, xs[t], gate_w, dws[t],
+                        gated_add(
+                            t, gate_a, xs[t], "x",
+                            gate_w, dws[t], "dw",
                             bound=abs(merged_x_dw) * many_bounds[1],
-                            scale=merged_x_dw,
+                            scale=merged_x_dw, subset_cols=subset_cols,
                         )
                     if c2 != 0.0:
-                        accumulator.add(
-                            gate_a, dxs[t], gate_w, dws[t],
+                        gated_add(
+                            t, gate_a, dxs[t], "dx",
+                            gate_w, dws[t], "dw",
                             bound=abs(c2) * many_bounds[2], scale=c2,
+                            subset_cols=subset_cols,
                         )
         out = exact + accumulator.total()
 

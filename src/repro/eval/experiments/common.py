@@ -1,26 +1,32 @@
 """Shared infrastructure for the experiment modules.
 
 Experiments share trained models (disk-cached by the zoo) and harnesses
-(memoized per process) so that running the whole benchmark suite does not
-re-train or re-calibrate the same model repeatedly.  Each experiment is run
-at a *scale*:
+(memoized per process, bounded LRU) so that running the whole benchmark
+suite does not re-train or re-calibrate the same model repeatedly.  Each
+experiment is run at a *scale*:
 
 * ``"fast"`` -- small dataset, short training, small evaluation set.  Used by
   the benchmark defaults and the test suite; finishes in minutes for the
   whole suite.
 * ``"full"`` -- the larger synthetic dataset and evaluation set.  Closer to
   the paper's protocol; takes substantially longer.
+
+This module also hosts the sweep-point runners shared by several
+experiments (see :mod:`repro.eval.sweep`): the plain NB-SMT evaluation
+point, the FP32/INT8 baseline point, and the throttling-curve point.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
-from repro.eval.harness import SysmtHarness
+from repro.core.smt import SMTStatistics
+from repro.eval.harness import NBSMTRunResult, SysmtHarness
+from repro.eval.sweep import SweepPoint, point_runner, to_jsonable
 from repro.models.zoo import TrainedModel, load_trained_model
 from repro.utils.cache import default_cache_dir
 
@@ -43,8 +49,17 @@ SCALES: dict[str, ScaleConfig] = {
                         calibration_images=256),
 }
 
-_HARNESS_CACHE: dict[tuple[str, str], SysmtHarness] = {}
-_MODEL_CACHE: dict[tuple[str, str], TrainedModel] = {}
+#: Bounded LRU caches: harnesses/models are evicted least-recently-used once
+#: the limit is exceeded (evicted harnesses are closed, restoring the
+#: wrapped model's float matmuls), so sweeping many (model, scale) pairs no
+#: longer grows process memory without bound.
+_HARNESS_CACHE: OrderedDict[tuple[str, str], SysmtHarness] = OrderedDict()
+_MODEL_CACHE: OrderedDict[tuple[str, str], TrainedModel] = OrderedDict()
+
+
+def harness_cache_limit() -> int:
+    """Cached-harness budget (``REPRO_HARNESS_CACHE_LIMIT``, default 6)."""
+    return max(1, int(os.environ.get("REPRO_HARNESS_CACHE_LIMIT", "6")))
 
 
 def get_scale(scale: str | ScaleConfig) -> ScaleConfig:
@@ -57,33 +72,75 @@ def get_scale(scale: str | ScaleConfig) -> ScaleConfig:
 
 
 def get_trained_model(name: str, scale: str | ScaleConfig = "fast") -> TrainedModel:
-    """Train-or-load a zoo model at the requested scale (memoized)."""
+    """Train-or-load a zoo model at the requested scale (memoized, bounded)."""
     config = get_scale(scale)
     key = (name, config.name)
-    if key not in _MODEL_CACHE:
-        _MODEL_CACHE[key] = load_trained_model(name, fast=config.fast_models)
-    return _MODEL_CACHE[key]
+    entry = _MODEL_CACHE.get(key)
+    if entry is None:
+        entry = load_trained_model(name, fast=config.fast_models)
+        _MODEL_CACHE[key] = entry
+    else:
+        _MODEL_CACHE.move_to_end(key)
+    limit = harness_cache_limit()
+    while len(_MODEL_CACHE) > limit:
+        _MODEL_CACHE.popitem(last=False)
+    return entry
 
 
 def get_harness(name: str, scale: str | ScaleConfig = "fast") -> SysmtHarness:
-    """Build (or reuse) the experiment harness for one model."""
+    """Build (or reuse) the experiment harness for one model.
+
+    The cache is a bounded LRU; evicting a harness calls ``close()`` on it.
+    A caller still holding a reference to an evicted (or cleared) harness
+    can keep using it -- its quantization hooks re-install themselves on the
+    next evaluation -- so eviction and :func:`clear_harness_cache` are safe
+    in the middle of a sweep.
+    """
     config = get_scale(scale)
     key = (name, config.name)
-    if key not in _HARNESS_CACHE:
+    harness = _HARNESS_CACHE.get(key)
+    if harness is None:
         trained = get_trained_model(name, config)
-        _HARNESS_CACHE[key] = SysmtHarness(
+        harness = SysmtHarness(
             trained,
             max_eval_images=config.eval_images,
             calibration_images=config.calibration_images,
             batch_size=config.batch_size,
         )
-    return _HARNESS_CACHE[key]
+        _HARNESS_CACHE[key] = harness
+    else:
+        _HARNESS_CACHE.move_to_end(key)
+    limit = harness_cache_limit()
+    while len(_HARNESS_CACHE) > limit:
+        _, evicted = _HARNESS_CACHE.popitem(last=False)
+        evicted.close()
+    return harness
 
 
 def clear_harness_cache() -> None:
-    """Drop memoized harnesses (restores the wrapped models' matmuls)."""
+    """Drop memoized harnesses (restores the wrapped models' matmuls).
+
+    Safe mid-sweep: a harness that is still referenced by in-flight work
+    re-installs its hooks on its next evaluation, and the next
+    :func:`get_harness` call simply rebuilds (deterministically identical)
+    state.
+    """
     for harness in _HARNESS_CACHE.values():
         harness.close()
+    _HARNESS_CACHE.clear()
+    _MODEL_CACHE.clear()
+
+
+def discard_inherited_state() -> None:
+    """Forget caches inherited by a forked sweep worker.
+
+    The parent's memoized harnesses arrive through fork with their hooks
+    installed on the parent's model objects; keeping them would pin that
+    copy-on-write memory for models the worker may never touch.  Unlike
+    :func:`clear_harness_cache` this does *not* close the harnesses -- the
+    hook state belongs to the parent's live objects, and the worker simply
+    rebuilds what it needs.
+    """
     _HARNESS_CACHE.clear()
     _MODEL_CACHE.clear()
 
@@ -95,23 +152,11 @@ def results_dir() -> Path:
     return path
 
 
-def _to_jsonable(value):
-    if isinstance(value, dict):
-        return {str(key): _to_jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_to_jsonable(item) for item in value]
-    if isinstance(value, (np.floating, np.integer)):
-        return value.item()
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    return value
-
-
 def save_result(experiment_id: str, result: dict) -> Path:
     """Persist an experiment result dictionary as JSON; returns the path."""
     path = results_dir() / f"{experiment_id}.json"
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(_to_jsonable(result), handle, indent=2, sort_keys=True)
+        json.dump(to_jsonable(result), handle, indent=2, sort_keys=True)
     return path
 
 
@@ -122,3 +167,149 @@ def load_result(experiment_id: str) -> dict | None:
         return None
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# Shared sweep points
+# ---------------------------------------------------------------------------
+
+
+def baseline_point(model: str) -> SweepPoint:
+    """FP32 + INT8 reference accuracies of one model."""
+    return SweepPoint.make("baseline_accuracy", model=model)
+
+
+@point_runner("baseline_accuracy")
+def _run_baseline_accuracy(ctx, point: SweepPoint) -> dict:
+    harness = get_harness(point.model, ctx.scale)
+    return {"fp32": harness.fp32_accuracy, "int8": harness.int8_accuracy}
+
+
+def nbsmt_point(
+    model: str,
+    threads,
+    policy: str | None = None,
+    reorder: bool = False,
+    collect_stats: bool = True,
+    cost: float = 1.0,
+) -> SweepPoint:
+    """One NB-SMT accuracy/statistics evaluation.
+
+    ``policy=None`` is resolved to the model's default policy name here, so
+    experiments passing the default explicitly share the same point.
+    ``threads`` is an int or a per-layer ``{name: threads}`` assignment.
+    """
+    if policy is None:
+        from repro.core.policies import default_policy_for
+
+        policy = default_policy_for(model).name
+    elif not isinstance(policy, str):
+        policy = policy.name
+    return SweepPoint.make(
+        "nbsmt",
+        model=model,
+        cost=cost,
+        threads=threads,
+        policy=policy,
+        reorder=bool(reorder),
+        collect_stats=bool(collect_stats),
+    )
+
+
+def nbsmt_payload(result: NBSMTRunResult) -> dict:
+    """JSON payload of one NB-SMT run (raw per-layer counters included)."""
+    return {
+        "accuracy": result.accuracy,
+        "policy": result.policy,
+        "reordered": result.reordered,
+        "threads": dict(result.threads),
+        "speedup": result.speedup,
+        "layer_stats": {
+            name: stats.to_payload()
+            for name, stats in result.layer_stats.items()
+        },
+    }
+
+
+def payload_layer_stats(payload: dict) -> dict[str, SMTStatistics]:
+    """Rebuild the per-layer statistics objects of an ``nbsmt`` payload."""
+    return {
+        name: SMTStatistics.from_payload(stats)
+        for name, stats in payload["layer_stats"].items()
+    }
+
+
+@point_runner("nbsmt")
+def _run_nbsmt(ctx, point: SweepPoint) -> dict:
+    harness = get_harness(point.model, ctx.scale)
+    threads = point.param("threads")
+    if isinstance(threads, tuple):
+        threads = {name: int(count) for name, count in threads}
+    result = harness.evaluate_nbsmt(
+        threads=threads,
+        policy=point.param("policy"),
+        reorder=bool(point.param("reorder")),
+        collect_stats=bool(point.param("collect_stats")),
+        workers=ctx.inner_workers,
+    )
+    return nbsmt_payload(result)
+
+
+def throttle_curve_point(
+    model: str,
+    base_threads: int = 4,
+    slow_threads: int = 2,
+    max_slowed: int = 2,
+    reorder: bool = True,
+) -> SweepPoint:
+    """Baseline run plus progressive highest-MSE-layer throttling."""
+    return SweepPoint.make(
+        "throttle_curve",
+        model=model,
+        cost=float(1 + max_slowed),
+        base_threads=int(base_threads),
+        slow_threads=int(slow_threads),
+        max_slowed=int(max_slowed),
+        reorder=bool(reorder),
+    )
+
+
+@point_runner("throttle_curve")
+def _run_throttle_curve(ctx, point: SweepPoint) -> dict:
+    from repro.eval.throttle import rank_layers_by_mse, throttle_assignment
+
+    model = point.model
+    base_threads = int(point.param("base_threads"))
+    slow_threads = int(point.param("slow_threads"))
+    max_slowed = int(point.param("max_slowed"))
+    reorder = bool(point.param("reorder"))
+
+    baseline = ctx.evaluate(
+        nbsmt_point(model, threads=base_threads, reorder=reorder,
+                    collect_stats=True)
+    )
+    harness = get_harness(model, ctx.scale)
+    ranked = rank_layers_by_mse(
+        payload_layer_stats(baseline), harness.qmodel.layer_names()
+    )
+    steps = []
+    for count in range(1, max_slowed + 1):
+        if count > len(ranked):
+            break
+        slowed = ranked[:count]
+        assignment = throttle_assignment(
+            harness.qmodel, base_threads, slowed, slow_threads
+        )
+        payload = ctx.evaluate(
+            nbsmt_point(model, threads=assignment, reorder=reorder,
+                        collect_stats=True)
+        )
+        steps.append(
+            {
+                "slowed_layers": count,
+                "slowed": list(slowed),
+                "accuracy": payload["accuracy"],
+                "speedup": payload["speedup"],
+            }
+        )
+    return {"baseline": baseline, "ranked": ranked, "steps": steps}

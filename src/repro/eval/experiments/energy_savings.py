@@ -10,7 +10,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.eval.energy import energy_report
-from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.experiments.common import (
+    get_harness,
+    nbsmt_point,
+    payload_layer_stats,
+    save_result,
+)
+from repro.eval.harness import NBSMTRunResult
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
 from repro.utils.tables import format_table
 
@@ -20,24 +27,58 @@ EXPERIMENT_ID = "energy"
 PAPER_AVERAGE_SAVING = {2: 0.33, 4: 0.35}
 
 
+@point_runner("energy")
+def _run_energy(ctx, point: SweepPoint) -> dict:
+    threads = int(point.param("threads"))
+    payload = ctx.evaluate(
+        nbsmt_point(point.model, threads=threads, reorder=True,
+                    collect_stats=True)
+    )
+    harness = get_harness(point.model, ctx.scale)
+    run_result = NBSMTRunResult(
+        accuracy=payload["accuracy"],
+        threads={name: int(count) for name, count in payload["threads"].items()},
+        policy=payload["policy"],
+        reordered=bool(payload["reordered"]),
+        layer_stats=payload_layer_stats(payload),
+        speedup=payload["speedup"],
+    )
+    report = energy_report(harness, run_result, threads=threads)
+    return {
+        "saving": report.saving,
+        "baseline_mj": report.baseline_mj,
+        "sysmt_mj": report.sysmt_mj,
+    }
+
+
 def run(
     scale: str = "fast",
     models: tuple[str, ...] = PAPER_MODEL_NAMES,
     thread_counts: tuple[int, ...] = (2, 4),
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """Per-model energy savings for 2- and 4-threaded SySMT."""
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = [
+        SweepPoint.make("energy", model=name, threads=int(threads), cost=2.0)
+        for name in models
+        for threads in thread_counts
+    ]
+    payloads = run_sweep(points, session)
+
     per_model: dict[str, dict[str, float]] = {}
+    cursor = 0
     for name in models:
-        harness = get_harness(name, scale)
         row: dict[str, float] = {}
         for threads in thread_counts:
-            run_result = harness.evaluate_nbsmt(
-                threads=threads, reorder=True, collect_stats=True
-            )
-            report = energy_report(harness, run_result, threads=threads)
-            row[f"saving_{threads}t"] = report.saving
-            row[f"baseline_mj_{threads}t"] = report.baseline_mj
-            row[f"sysmt_mj_{threads}t"] = report.sysmt_mj
+            report = payloads[cursor]
+            cursor += 1
+            row[f"saving_{threads}t"] = report["saving"]
+            row[f"baseline_mj_{threads}t"] = report["baseline_mj"]
+            row[f"sysmt_mj_{threads}t"] = report["sysmt_mj"]
         per_model[name] = row
 
     averages = {
@@ -48,7 +89,7 @@ def run(
     }
     result = {
         "experiment": EXPERIMENT_ID,
-        "scale": scale,
+        "scale": session.scale,
         "per_model": per_model,
         "average_saving": averages,
         "paper_average_saving": {str(k): v for k, v in PAPER_AVERAGE_SAVING.items()},

@@ -11,8 +11,15 @@ from __future__ import annotations
 
 import copy
 
-from repro.eval.experiments.common import get_scale, get_trained_model, save_result
+from repro.eval.experiments.common import (
+    baseline_point,
+    get_scale,
+    get_trained_model,
+    save_result,
+    throttle_curve_point,
+)
 from repro.eval.harness import SysmtHarness
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.eval.throttle import rank_layers_by_mse, throttle_layers
 from repro.models.zoo import TrainedModel
 from repro.pruning import PruningSchedule, iterative_magnitude_prune, sparsity_of
@@ -43,65 +50,122 @@ def _pruned_copy(trained: TrainedModel, sparsity: float, retrain_epochs: int) ->
     return pruned
 
 
+@point_runner("pruned_curve")
+def _run_pruned_curve(ctx, point: SweepPoint) -> dict:
+    """One pruning level's accuracy/speedup curve (plus achieved sparsity)."""
+    model = point.model
+    level = float(point.param("level"))
+    max_slowed = int(point.param("max_slowed"))
+    retrain_epochs = int(point.param("retrain_epochs"))
+    config = get_scale(ctx.scale)
+    trained = get_trained_model(model, config)
+
+    if level == 0.0:
+        # The unpruned level is exactly the Table V throttling sweep of this
+        # model; share its points instead of rebuilding a harness.
+        curve = ctx.evaluate(
+            throttle_curve_point(
+                model, base_threads=4, slow_threads=2, max_slowed=max_slowed,
+                reorder=True,
+            )
+        )
+        int8 = ctx.evaluate(baseline_point(model))["int8"]
+        points = [
+            {
+                "slowed_layers": 0,
+                "accuracy": curve["baseline"]["accuracy"],
+                "speedup": curve["baseline"]["speedup"],
+                "int8_accuracy": int8,
+            }
+        ]
+        for step in curve["steps"]:
+            points.append(
+                {
+                    "slowed_layers": step["slowed_layers"],
+                    "accuracy": step["accuracy"],
+                    "speedup": step["speedup"],
+                    "int8_accuracy": int8,
+                }
+            )
+        return {
+            "points": points,
+            "weight_sparsity": sparsity_of(trained.model),
+        }
+
+    pruned = _pruned_copy(trained, level, retrain_epochs)
+    achieved = sparsity_of(pruned.model)
+    harness = SysmtHarness(
+        pruned,
+        max_eval_images=config.eval_images,
+        calibration_images=config.calibration_images,
+        batch_size=config.batch_size,
+    )
+    try:
+        baseline = harness.evaluate_nbsmt(threads=4, reorder=True, collect_stats=True)
+        ranked = rank_layers_by_mse(
+            baseline.layer_stats, harness.qmodel.layer_names()
+        )
+        points = [
+            {
+                "slowed_layers": 0,
+                "accuracy": baseline.accuracy,
+                "speedup": baseline.speedup,
+                "int8_accuracy": harness.int8_accuracy,
+            }
+        ]
+        for count in range(1, max_slowed + 1):
+            if count > len(ranked):
+                break
+            slowed = ranked[:count]
+            result, _ = throttle_layers(
+                harness, base_threads=4, slow_layers=slowed, slow_threads=2,
+                reorder=True,
+            )
+            points.append(
+                {
+                    "slowed_layers": count,
+                    "accuracy": result.accuracy,
+                    "speedup": result.speedup,
+                    "int8_accuracy": harness.int8_accuracy,
+                }
+            )
+    finally:
+        harness.close()
+    return {"points": points, "weight_sparsity": achieved}
+
+
 def run(
     scale: str = "fast",
     model: str = "resnet18",
     pruning_levels: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6),
     max_slowed: int = 2,
     retrain_epochs: int = 2,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """Accuracy/speedup trade-off of a 4T SySMT for several pruning levels."""
-    config = get_scale(scale)
-    trained = get_trained_model(model, config)
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = [
+        SweepPoint.make(
+            "pruned_curve", model=model, cost=4.0,
+            level=float(level), max_slowed=int(max_slowed),
+            retrain_epochs=int(retrain_epochs),
+        )
+        for level in pruning_levels
+    ]
+    payloads = run_sweep(points, session)
+
     curves: dict[str, list[dict[str, float]]] = {}
     achieved_sparsity: dict[str, float] = {}
-
-    for level in pruning_levels:
-        pruned = _pruned_copy(trained, level, retrain_epochs)
-        achieved_sparsity[f"{level:.0%}"] = sparsity_of(pruned.model)
-        harness = SysmtHarness(
-            pruned,
-            max_eval_images=config.eval_images,
-            calibration_images=config.calibration_images,
-            batch_size=config.batch_size,
-        )
-        try:
-            baseline = harness.evaluate_nbsmt(threads=4, reorder=True, collect_stats=True)
-            ranked = rank_layers_by_mse(
-                baseline.layer_stats, harness.qmodel.layer_names()
-            )
-            points = [
-                {
-                    "slowed_layers": 0,
-                    "accuracy": baseline.accuracy,
-                    "speedup": baseline.speedup,
-                    "int8_accuracy": harness.int8_accuracy,
-                }
-            ]
-            slowed: list[str] = []
-            for count in range(1, max_slowed + 1):
-                if count > len(ranked):
-                    break
-                slowed = ranked[:count]
-                result, _ = throttle_layers(
-                    harness, base_threads=4, slow_layers=slowed, slow_threads=2,
-                    reorder=True,
-                )
-                points.append(
-                    {
-                        "slowed_layers": count,
-                        "accuracy": result.accuracy,
-                        "speedup": result.speedup,
-                        "int8_accuracy": harness.int8_accuracy,
-                    }
-                )
-            curves[f"{level:.0%}"] = points
-        finally:
-            harness.close()
+    for level, payload in zip(pruning_levels, payloads):
+        curves[f"{level:.0%}"] = payload["points"]
+        achieved_sparsity[f"{level:.0%}"] = payload["weight_sparsity"]
 
     result = {
         "experiment": EXPERIMENT_ID,
-        "scale": scale,
+        "scale": session.scale,
         "model": model,
         "curves": curves,
         "achieved_weight_sparsity": achieved_sparsity,

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.eval.experiments.common import get_harness, save_result
 from repro.eval.macs import mac_utilization_breakdown
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
 from repro.utils.tables import format_table
 
@@ -21,15 +22,25 @@ EXPERIMENT_ID = "fig1"
 PAPER_AVERAGE = {"full": 0.20, "partial": 0.20, "idle": 0.60}
 
 
+@point_runner("mac_breakdown")
+def _run_mac_breakdown(ctx, point: SweepPoint) -> dict:
+    harness = get_harness(point.model, ctx.scale)
+    return mac_utilization_breakdown(harness).fractions
+
+
 def run(
-    scale: str = "fast", models: tuple[str, ...] = PAPER_MODEL_NAMES
+    scale: str = "fast",
+    models: tuple[str, ...] = PAPER_MODEL_NAMES,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """Measure the idle/partial/full MAC breakdown for each model."""
-    per_model: dict[str, dict[str, float]] = {}
-    for name in models:
-        harness = get_harness(name, scale)
-        breakdown = mac_utilization_breakdown(harness)
-        per_model[name] = breakdown.fractions
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = [SweepPoint.make("mac_breakdown", model=name) for name in models]
+    payloads = run_sweep(points, session)
+    per_model = dict(zip(models, payloads))
 
     average = {
         key: float(np.mean([fractions[key] for fractions in per_model.values()]))
@@ -37,7 +48,7 @@ def run(
     }
     result = {
         "experiment": EXPERIMENT_ID,
-        "scale": scale,
+        "scale": session.scale,
         "per_model": per_model,
         "average": average,
         "paper_average": PAPER_AVERAGE,

@@ -9,6 +9,7 @@ reduction than to weight reduction (ResNet-50 being the exception).
 from __future__ import annotations
 
 from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
 from repro.quant.robustness import robustness_sweep
 from repro.utils.tables import format_table
@@ -25,22 +26,33 @@ PAPER_FIG7 = {
 }
 
 
+@point_runner("robustness")
+def _run_robustness(ctx, point: SweepPoint) -> dict:
+    harness = get_harness(point.model, ctx.scale)
+    return robustness_sweep(
+        harness.qmodel,
+        harness.eval_images,
+        harness.eval_labels,
+        batch_size=harness.batch_size,
+    )
+
+
 def run(
-    scale: str = "fast", models: tuple[str, ...] = PAPER_MODEL_NAMES
+    scale: str = "fast",
+    models: tuple[str, ...] = PAPER_MODEL_NAMES,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """Accuracy of each model at the A8W8 / A4W8 / A8W4 / A4W4 points."""
-    per_model: dict[str, dict[str, float]] = {}
-    for name in models:
-        harness = get_harness(name, scale)
-        per_model[name] = robustness_sweep(
-            harness.qmodel,
-            harness.eval_images,
-            harness.eval_labels,
-            batch_size=harness.batch_size,
-        )
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = [SweepPoint.make("robustness", model=name) for name in models]
+    payloads = run_sweep(points, session)
+    per_model = dict(zip(models, payloads))
     result = {
         "experiment": EXPERIMENT_ID,
-        "scale": scale,
+        "scale": session.scale,
         "per_model": per_model,
         "paper": PAPER_FIG7,
     }

@@ -4,24 +4,62 @@ Each layer is one point: its activation sparsity against the mean squared
 error NB-SMT injects into its output, with and without activation reordering.
 The paper's findings: MSE and sparsity are anti-correlated, and reordering
 lowers every layer's MSE.
+
+Declares the same two NB-SMT evaluation points as Fig. 9, so a suite run
+computes the underlying evaluations once for both figures.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.eval.experiments.common import get_harness, save_result
-from repro.eval.mse import mse_sparsity_correlation, per_layer_mse
+from repro.eval.experiments.common import (
+    nbsmt_point,
+    payload_layer_stats,
+    save_result,
+)
+from repro.eval.mse import LayerMsePoint, mse_sparsity_correlation
+from repro.eval.sweep import ensure_session, run_sweep
 from repro.utils.tables import format_table
 
 EXPERIMENT_ID = "fig8"
 
 
-def run(scale: str = "fast", model: str = "googlenet", threads: int = 2) -> dict:
+def _mse_points(payload: dict) -> list[LayerMsePoint]:
+    """Per-layer (sparsity, MSE) points of one ``nbsmt`` payload."""
+    points = []
+    for name, stats in payload_layer_stats(payload).items():
+        if stats.mac_total == 0:
+            continue
+        points.append(
+            LayerMsePoint(
+                layer=name,
+                sparsity=stats.activation_sparsity,
+                mse=stats.mse,
+                relative_mse=stats.relative_mse,
+            )
+        )
+    return points
+
+
+def run(
+    scale: str = "fast",
+    model: str = "googlenet",
+    threads: int = 2,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
+) -> dict:
     """Per-layer (sparsity, MSE) series with and without reordering."""
-    harness = get_harness(model, scale)
-    without = per_layer_mse(harness, threads=threads, reorder=False)
-    with_reorder = per_layer_mse(harness, threads=threads, reorder=True)
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = [
+        nbsmt_point(model, threads=threads, reorder=False, collect_stats=True),
+        nbsmt_point(model, threads=threads, reorder=True, collect_stats=True),
+    ]
+    payloads = run_sweep(points, session)
+    without = _mse_points(payloads[0])
+    with_reorder = _mse_points(payloads[1])
 
     def serialize(points):
         return [
@@ -38,7 +76,7 @@ def run(scale: str = "fast", model: str = "googlenet", threads: int = 2) -> dict
     mean_with = float(np.mean([p.relative_mse for p in with_reorder])) if with_reorder else 0.0
     result = {
         "experiment": EXPERIMENT_ID,
-        "scale": scale,
+        "scale": session.scale,
         "model": model,
         "threads": threads,
         "without_reorder": serialize(without),

@@ -4,30 +4,51 @@ Each layer is one point: its activation sparsity against the measured
 utilization gain over the conventional SA, compared against the analytic
 line of Eq. (8) (gain = 1 + sparsity).  Reordering pushes layers above the
 line because it breaks the thread-independence assumption.
+
+Declares the same two NB-SMT evaluation points as Fig. 8, so a suite run
+computes the underlying evaluations once for both figures.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.experiments.common import (
+    nbsmt_point,
+    payload_layer_stats,
+    save_result,
+)
+from repro.eval.sweep import ensure_session, run_sweep
 from repro.systolic.utilization import utilization_gain_analytic
 from repro.utils.tables import format_table
 
 EXPERIMENT_ID = "fig9"
 
 
-def run(scale: str = "fast", model: str = "googlenet", threads: int = 2) -> dict:
+def run(
+    scale: str = "fast",
+    model: str = "googlenet",
+    threads: int = 2,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
+) -> dict:
     """Per-layer measured utilization gain with and without reordering."""
-    harness = get_harness(model, scale)
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    sweep_points = [
+        nbsmt_point(model, threads=threads, reorder=False, collect_stats=True),
+        nbsmt_point(model, threads=threads, reorder=True, collect_stats=True),
+    ]
+    payloads = run_sweep(sweep_points, session)
 
     series = {}
-    for label, reorder in (("without_reorder", False), ("with_reorder", True)):
-        run_result = harness.evaluate_nbsmt(
-            threads=threads, reorder=reorder, collect_stats=True
-        )
+    for label, payload in (
+        ("without_reorder", payloads[0]),
+        ("with_reorder", payloads[1]),
+    ):
         points = []
-        for name, stats in run_result.layer_stats.items():
+        for name, stats in payload_layer_stats(payload).items():
             if stats.mac_total == 0 or stats.slots_total == 0:
                 continue
             sparsity = stats.activation_sparsity
@@ -47,7 +68,7 @@ def run(scale: str = "fast", model: str = "googlenet", threads: int = 2) -> dict
     ]
     result = {
         "experiment": EXPERIMENT_ID,
-        "scale": scale,
+        "scale": session.scale,
         "model": model,
         "threads": threads,
         "series": series,

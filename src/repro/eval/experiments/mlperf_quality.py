@@ -10,30 +10,55 @@ from __future__ import annotations
 
 from repro.eval.experiments.common import get_harness, save_result
 from repro.eval.mlperf import QUALITY_TARGETS, run_quality_target
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.models.zoo import DISPLAY_NAMES
 from repro.utils.tables import format_table
 
 EXPERIMENT_ID = "mlperf"
 
 
+@point_runner("mlperf_target")
+def _run_mlperf_target(ctx, point: SweepPoint) -> dict:
+    harness = get_harness(point.model, ctx.scale)
+    target = point.param("target_fraction")
+    outcome = run_quality_target(
+        harness, float(target) if target is not None else None
+    )
+    return {
+        "target_fraction": outcome.target_fraction,
+        "reference_accuracy": outcome.reference_accuracy,
+        "target_accuracy": outcome.target_accuracy,
+        "achieved_accuracy": outcome.achieved_accuracy,
+        "speedup": outcome.speedup,
+        "slowed_layers": outcome.slowed_layers,
+        "meets_target": float(outcome.meets_target),
+    }
+
+
 def run(
-    scale: str = "fast", models: tuple[str, ...] = ("resnet50", "mobilenet_v1")
+    scale: str = "fast",
+    models: tuple[str, ...] = ("resnet50", "mobilenet_v1"),
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """Throttled 2T SySMT runs against the MLPerf quality targets."""
-    per_model: dict[str, dict[str, float]] = {}
-    for name in models:
-        harness = get_harness(name, scale)
-        outcome = run_quality_target(harness, QUALITY_TARGETS.get(name))
-        per_model[name] = {
-            "target_fraction": outcome.target_fraction,
-            "reference_accuracy": outcome.reference_accuracy,
-            "target_accuracy": outcome.target_accuracy,
-            "achieved_accuracy": outcome.achieved_accuracy,
-            "speedup": outcome.speedup,
-            "slowed_layers": outcome.slowed_layers,
-            "meets_target": float(outcome.meets_target),
-        }
-    result = {"experiment": EXPERIMENT_ID, "scale": scale, "per_model": per_model}
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = [
+        SweepPoint.make(
+            "mlperf_target", model=name, cost=3.0,
+            target_fraction=QUALITY_TARGETS.get(name),
+        )
+        for name in models
+    ]
+    payloads = run_sweep(points, session)
+    per_model = dict(zip(models, payloads))
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": session.scale,
+        "per_model": per_model,
+    }
     save_result(EXPERIMENT_ID, result)
     return result
 

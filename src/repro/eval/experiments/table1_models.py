@@ -7,31 +7,55 @@ the convolution and fully-connected MAC counts per image.
 
 from __future__ import annotations
 
-from repro.eval.experiments.common import get_harness, get_trained_model, save_result
+from repro.eval.experiments.common import (
+    baseline_point,
+    get_trained_model,
+    save_result,
+)
 from repro.eval.macs import model_mac_counts
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
 from repro.utils.tables import format_table
 
 EXPERIMENT_ID = "table1"
 
 
+@point_runner("model_macs")
+def _run_model_macs(ctx, point: SweepPoint) -> dict:
+    trained = get_trained_model(point.model, ctx.scale)
+    macs = model_mac_counts(
+        trained.model, image_size=trained.dataset.config.image_size
+    )
+    return {**macs, "parameters": trained.model.num_parameters()}
+
+
 def run(
-    scale: str = "fast", models: tuple[str, ...] = PAPER_MODEL_NAMES
+    scale: str = "fast",
+    models: tuple[str, ...] = PAPER_MODEL_NAMES,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """Measure FP32 and INT8 accuracy plus MAC counts for each zoo model."""
-    rows: dict[str, dict[str, float]] = {}
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = []
     for name in models:
-        trained = get_trained_model(name, scale)
-        harness = get_harness(name, scale)
-        macs = model_mac_counts(trained.model, image_size=trained.dataset.config.image_size)
+        points.append(baseline_point(name))
+        points.append(SweepPoint.make("model_macs", model=name, cost=0.2))
+    payloads = run_sweep(points, session)
+
+    rows: dict[str, dict[str, float]] = {}
+    for index, name in enumerate(models):
+        baseline, macs = payloads[2 * index], payloads[2 * index + 1]
         rows[name] = {
-            "fp32_accuracy": harness.fp32_accuracy,
-            "int8_accuracy": harness.int8_accuracy,
+            "fp32_accuracy": baseline["fp32"],
+            "int8_accuracy": baseline["int8"],
             "conv_macs": macs["conv"],
             "fc_macs": macs["fc"],
-            "parameters": trained.model.num_parameters(),
+            "parameters": macs["parameters"],
         }
-    result = {"experiment": EXPERIMENT_ID, "scale": scale, "models": rows}
+    result = {"experiment": EXPERIMENT_ID, "scale": session.scale, "models": rows}
     save_result(EXPERIMENT_ID, result)
     return result
 

@@ -9,6 +9,7 @@ throughput and power-vs-utilization relationships the energy analysis uses.
 from __future__ import annotations
 
 from repro.eval.experiments.common import save_result
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.hw.area import AreaModel
 from repro.hw.power import PowerModel
 from repro.utils.tables import format_table
@@ -23,8 +24,10 @@ PAPER_TABLE_II = {
 }
 
 
-def run(scale: str = "fast", rows: int = 16, cols: int = 16) -> dict:
-    """Evaluate the hardware models for the three array configurations."""
+@point_runner("hw_configs")
+def _run_hw_configs(ctx, point: SweepPoint) -> dict:
+    rows = int(point.param("rows"))
+    cols = int(point.param("cols"))
     configs = {"sa": 1, "sysmt_2t": 2, "sysmt_4t": 4}
     table: dict[str, dict[str, float]] = {}
     for key, threads in configs.items():
@@ -40,11 +43,29 @@ def run(scale: str = "fast", rows: int = 16, cols: int = 16) -> dict:
             "mac_um2": area.mac_area_um2,
             "area_ratio": area.area_ratio_to_baseline(),
         }
+    return table
+
+
+def run(
+    scale: str = "fast",
+    rows: int = 16,
+    cols: int = 16,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
+) -> dict:
+    """Evaluate the hardware models for the three array configurations."""
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = [
+        SweepPoint.make("hw_configs", rows=int(rows), cols=int(cols), cost=0.1)
+    ]
+    payloads = run_sweep(points, session)
     result = {
         "experiment": EXPERIMENT_ID,
-        "scale": scale,
+        "scale": session.scale,
         "array": {"rows": rows, "cols": cols},
-        "configs": table,
+        "configs": payloads[0],
         "paper": PAPER_TABLE_II,
     }
     save_result(EXPERIMENT_ID, result)

@@ -11,7 +11,8 @@ data-width is best, and the extra swap (Aw/aW) does not add much.
 
 from __future__ import annotations
 
-from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.experiments.common import baseline_point, nbsmt_point, save_result
+from repro.eval.sweep import ensure_session, run_sweep
 from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
 from repro.utils.tables import format_table
 
@@ -32,19 +33,39 @@ def run(
     scale: str = "fast",
     models: tuple[str, ...] = PAPER_MODEL_NAMES,
     policies: tuple[str, ...] | None = None,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """2T SySMT accuracy per policy (no reordering), plus the INT8 baseline."""
-    per_model: dict[str, dict[str, float]] = {}
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = []
+    columns: dict[str, tuple[str, ...]] = {}
     for name in models:
-        harness = get_harness(name, scale)
-        row: dict[str, float] = {"A8W8": harness.int8_accuracy}
-        for policy in policies or policies_for(name):
-            result = harness.evaluate_nbsmt(
-                threads=2, policy=policy, reorder=False, collect_stats=False
+        columns[name] = policies or policies_for(name)
+        points.append(baseline_point(name))
+        for policy in columns[name]:
+            points.append(
+                nbsmt_point(name, threads=2, policy=policy, reorder=False,
+                            collect_stats=False)
             )
-            row[policy] = result.accuracy
+    payloads = run_sweep(points, session)
+
+    per_model: dict[str, dict[str, float]] = {}
+    cursor = 0
+    for name in models:
+        row: dict[str, float] = {"A8W8": payloads[cursor]["int8"]}
+        cursor += 1
+        for policy in columns[name]:
+            row[policy] = payloads[cursor]["accuracy"]
+            cursor += 1
         per_model[name] = row
-    result = {"experiment": EXPERIMENT_ID, "scale": scale, "per_model": per_model}
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": session.scale,
+        "per_model": per_model,
+    }
     save_result(EXPERIMENT_ID, result)
     return result
 

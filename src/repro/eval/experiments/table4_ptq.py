@@ -9,7 +9,13 @@ LBQ and ACIQ at the corresponding 4/8 operating points.
 
 from __future__ import annotations
 
-from repro.eval.experiments.common import get_harness, save_result
+from repro.eval.experiments.common import (
+    baseline_point,
+    get_harness,
+    nbsmt_point,
+    save_result,
+)
+from repro.eval.sweep import SweepPoint, ensure_session, point_runner, run_sweep
 from repro.models.zoo import DISPLAY_NAMES
 from repro.quant.baselines import aciq_clip_engine, lbq_search_engine
 from repro.utils.tables import format_table
@@ -25,36 +31,71 @@ TABLE_IV_CONFIG: dict[str, tuple[int, int]] = {
 }
 
 
+@point_runner("ptq")
+def _run_ptq(ctx, point: SweepPoint) -> dict:
+    harness = get_harness(point.model, ctx.scale)
+    act_bits = int(point.param("act_bits"))
+    wgt_bits = int(point.param("wgt_bits"))
+    if point.param("method") == "lbq":
+        engine = lbq_search_engine(act_bits, wgt_bits)
+    else:
+        engine = aciq_clip_engine(act_bits, wgt_bits)
+    previous_engine = harness.qmodel.default_engine
+    harness.qmodel.set_engine(engine)
+    try:
+        accuracy = harness.qmodel.evaluate(
+            harness.eval_images, harness.eval_labels,
+            batch_size=harness.batch_size,
+        )
+    finally:
+        harness.qmodel.set_engine(previous_engine)
+    return {"accuracy": accuracy}
+
+
 def run(
-    scale: str = "fast", models: tuple[str, ...] | None = None
+    scale: str = "fast",
+    models: tuple[str, ...] | None = None,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """SySMT (2T, reordered) vs ACIQ-style vs LBQ-style accuracy per model."""
+    session = ensure_session(session, scale, workers=workers, resume=resume)
     models = models or tuple(TABLE_IV_CONFIG)
-    per_model: dict[str, dict[str, float]] = {}
+    points = []
     for name in models:
         act_bits, wgt_bits = TABLE_IV_CONFIG.get(name, (4, 8))
-        harness = get_harness(name, scale)
-        row: dict[str, float] = {
-            "fp32": harness.fp32_accuracy,
+        points.append(baseline_point(name))
+        points.append(
+            nbsmt_point(name, threads=2, reorder=True, collect_stats=False)
+        )
+        for method in ("lbq", "aciq"):
+            points.append(
+                SweepPoint.make(
+                    "ptq", model=name, method=method,
+                    act_bits=act_bits, wgt_bits=wgt_bits,
+                )
+            )
+    payloads = run_sweep(points, session)
+
+    per_model: dict[str, dict[str, float]] = {}
+    for index, name in enumerate(models):
+        act_bits, wgt_bits = TABLE_IV_CONFIG.get(name, (4, 8))
+        baseline, sysmt, lbq, aciq = payloads[4 * index : 4 * index + 4]
+        per_model[name] = {
+            "fp32": baseline["fp32"],
             "a_bits": act_bits,
             "w_bits": wgt_bits,
+            "sysmt": sysmt["accuracy"],
+            "lbq": lbq["accuracy"],
+            "aciq": aciq["accuracy"],
         }
-
-        sysmt = harness.evaluate_nbsmt(
-            threads=2, reorder=True, collect_stats=False
-        )
-        row["sysmt"] = sysmt.accuracy
-
-        harness.qmodel.set_engine(lbq_search_engine(act_bits, wgt_bits))
-        row["lbq"] = harness.qmodel.evaluate(
-            harness.eval_images, harness.eval_labels, batch_size=harness.batch_size
-        )
-        harness.qmodel.set_engine(aciq_clip_engine(act_bits, wgt_bits))
-        row["aciq"] = harness.qmodel.evaluate(
-            harness.eval_images, harness.eval_labels, batch_size=harness.batch_size
-        )
-        per_model[name] = row
-    result = {"experiment": EXPERIMENT_ID, "scale": scale, "per_model": per_model}
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": session.scale,
+        "per_model": per_model,
+    }
     save_result(EXPERIMENT_ID, result)
     return result
 

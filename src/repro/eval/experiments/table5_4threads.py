@@ -7,8 +7,12 @@ running the highest-MSE layers with two threads ("1L@2T", "2L@2T" columns).
 
 from __future__ import annotations
 
-from repro.eval.experiments.common import get_harness, save_result
-from repro.eval.throttle import rank_layers_by_mse, throttle_layers
+from repro.eval.experiments.common import (
+    baseline_point,
+    save_result,
+    throttle_curve_point,
+)
+from repro.eval.sweep import ensure_session, run_sweep
 from repro.models.zoo import DISPLAY_NAMES, PAPER_MODEL_NAMES
 from repro.utils.tables import format_table
 
@@ -19,32 +23,45 @@ def run(
     scale: str = "fast",
     models: tuple[str, ...] = PAPER_MODEL_NAMES,
     max_slowed: int = 2,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    session=None,
 ) -> dict:
     """4T accuracy/speedup with 0, 1 and 2 layers throttled to 2 threads."""
-    per_model: dict[str, dict[str, dict[str, float]]] = {}
+    session = ensure_session(session, scale, workers=workers, resume=resume)
+    points = []
     for name in models:
-        harness = get_harness(name, scale)
-        baseline = harness.evaluate_nbsmt(threads=4, reorder=True, collect_stats=True)
-        ranked = rank_layers_by_mse(baseline.layer_stats, harness.qmodel.layer_names())
-        entries = {
-            "4T": {"accuracy": baseline.accuracy, "speedup": baseline.speedup},
-            "A8W8": {"accuracy": harness.int8_accuracy, "speedup": 1.0},
-        }
-        slowed: list[str] = []
-        for count in range(1, max_slowed + 1):
-            if count > len(ranked):
-                break
-            slowed = ranked[:count]
-            result, _ = throttle_layers(
-                harness, base_threads=4, slow_layers=slowed, slow_threads=2,
+        points.append(baseline_point(name))
+        points.append(
+            throttle_curve_point(
+                name, base_threads=4, slow_threads=2, max_slowed=max_slowed,
                 reorder=True,
             )
-            entries[f"{count}L@2T"] = {
-                "accuracy": result.accuracy,
-                "speedup": result.speedup,
+        )
+    payloads = run_sweep(points, session)
+
+    per_model: dict[str, dict[str, dict[str, float]]] = {}
+    for index, name in enumerate(models):
+        baseline, curve = payloads[2 * index], payloads[2 * index + 1]
+        entries = {
+            "4T": {
+                "accuracy": curve["baseline"]["accuracy"],
+                "speedup": curve["baseline"]["speedup"],
+            },
+            "A8W8": {"accuracy": baseline["int8"], "speedup": 1.0},
+        }
+        for step in curve["steps"]:
+            entries[f"{step['slowed_layers']}L@2T"] = {
+                "accuracy": step["accuracy"],
+                "speedup": step["speedup"],
             }
         per_model[name] = entries
-    result = {"experiment": EXPERIMENT_ID, "scale": scale, "per_model": per_model}
+    result = {
+        "experiment": EXPERIMENT_ID,
+        "scale": session.scale,
+        "per_model": per_model,
+    }
     save_result(EXPERIMENT_ID, result)
     return result
 

@@ -168,6 +168,10 @@ class SysmtHarness:
         if engine is None:
             engine = NBSMTEngine(policy_obj, collect_stats=collect_stats)
 
+        # A harness may be evaluated again after close() (e.g. when the
+        # bounded harness cache evicted it mid-sweep); re-install the hooks
+        # so the sharded path below never runs the pristine float model.
+        self.qmodel.ensure_installed()
         self.qmodel.set_threads(threads)
         if reorder:
             base_threads = threads if isinstance(threads, int) else 2

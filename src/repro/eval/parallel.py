@@ -28,6 +28,9 @@ from repro.core.smt import SMTStatistics
 #: State inherited by forked workers; set immediately before the pool forks.
 _WORKER_STATE: dict | None = None
 
+#: True inside a forked sweep worker process (set by :func:`run_worklists`).
+IN_POOL_WORKER = False
+
 
 def fork_available() -> bool:
     """Whether fork-based worker processes can be used on this platform."""
@@ -35,6 +38,90 @@ def fork_available() -> bool:
         hasattr(os, "fork")
         and "fork" in multiprocessing.get_all_start_methods()
     )
+
+
+def available_cpus() -> int:
+    """Number of CPUs usable by this process (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def plan_worker_allocation(
+    workers: int, groups: int, cpus: int | None = None
+) -> tuple[int, int]:
+    """Split a worker budget between sweep points and image shards.
+
+    Returns ``(pool, inner)``: the number of point-worker processes and the
+    number of image-shard workers each point evaluation may fork in turn.
+    The plan never oversubscribes: ``pool * inner <= max(workers, 1)`` and
+    ``pool * inner <= cpus``, and neither level exceeds what it can use
+    (``pool <= groups``; on a single-CPU machine everything degrades to
+    ``(1, 1)``, i.e. the serial path).
+    """
+    cpus = cpus if cpus is not None else available_cpus()
+    cpus = max(1, cpus)
+    workers = max(1, workers)
+    pool = max(1, min(workers, groups, cpus))
+    inner = max(1, min(workers // pool, cpus // pool))
+    return pool, inner
+
+
+def partition_worklists(weights: list[float], bins: int) -> list[list[int]]:
+    """Partition task indices into ``bins`` lists, balancing total weight.
+
+    Deterministic longest-processing-time greedy: tasks are placed heaviest
+    first onto the currently lightest bin (ties towards lower bin index).
+    Returns only non-empty bins; within a bin the original order is kept.
+    """
+    bins = max(1, min(bins, len(weights)))
+    loads = [0.0] * bins
+    assignment: list[list[int]] = [[] for _ in range(bins)]
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for index in order:
+        target = min(range(bins), key=lambda b: (loads[b], b))
+        loads[target] += weights[index]
+        assignment[target].append(index)
+    for worklist in assignment:
+        worklist.sort()
+    return [worklist for worklist in assignment if worklist]
+
+
+def _worklist_main(thunks, initializer) -> None:
+    global IN_POOL_WORKER
+    IN_POOL_WORKER = True
+    if initializer is not None:
+        initializer()
+    for thunk in thunks:
+        thunk()
+
+
+def run_worklists(
+    worklists: list[list],
+    initializer=None,
+) -> list[bool]:
+    """Run each worklist of thunks serially inside one forked worker process.
+
+    Workers are forked (copy-on-write), so thunks may close over arbitrary
+    parent state; they communicate results through side effects visible to
+    the parent (e.g. files).  ``initializer`` runs once per worker before its
+    thunks (e.g. to drop state inherited from the parent).  Returns one
+    success flag per worklist; a worker that crashed or raised reports
+    ``False``, and the caller is expected to degrade to running its missing
+    work serially.
+    """
+    context = multiprocessing.get_context("fork")
+    processes = []
+    for worklist in worklists:
+        process = context.Process(
+            target=_worklist_main, args=(worklist, initializer)
+        )
+        process.start()
+        processes.append(process)
+    for process in processes:
+        process.join()
+    return [process.exitcode == 0 for process in processes]
 
 
 def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:

@@ -46,6 +46,29 @@ def plan_speedup(harness: SysmtHarness, threads: dict[str, int]) -> float:
     return harness.speedup_for(threads)
 
 
+def throttle_assignment(
+    qmodel,
+    base_threads: int,
+    slow_layers: list[str],
+    slow_threads: int,
+) -> dict[str, int]:
+    """Per-layer thread assignment with the given layers slowed down.
+
+    Depthwise convolutions keep their single thread when the quantization
+    config pins them there (as :meth:`QuantizedModel.set_threads` would).
+    """
+    assignment = {}
+    for name, layer in qmodel.layers.items():
+        default = base_threads
+        if (
+            qmodel.config.depthwise_single_thread
+            and getattr(layer.module, "groups", 1) > 1
+        ):
+            default = 1
+        assignment[name] = slow_threads if name in slow_layers else default
+    return assignment
+
+
 def throttle_layers(
     harness: SysmtHarness,
     base_threads: int,
@@ -55,12 +78,9 @@ def throttle_layers(
     reorder: bool = True,
 ) -> tuple[NBSMTRunResult, dict[str, int]]:
     """Evaluate a run with the given layers slowed to ``slow_threads``."""
-    assignment = {}
-    for name, layer in harness.qmodel.layers.items():
-        default = base_threads
-        if harness.qmodel.config.depthwise_single_thread and layer.module.groups > 1:
-            default = 1
-        assignment[name] = slow_threads if name in slow_layers else default
+    assignment = throttle_assignment(
+        harness.qmodel, base_threads, slow_layers, slow_threads
+    )
     result = harness.evaluate_nbsmt(
         threads=assignment, policy=policy, reorder=reorder
     )

@@ -187,6 +187,16 @@ class QuantizedModel:
                 layer.hook = hook
             layer.module.matmul_fn = layer.hook
 
+    def ensure_installed(self) -> None:
+        """Public alias of :meth:`_ensure_installed`.
+
+        Callers that may run after this wrapper was removed (e.g. a sweep
+        point evaluated after ``clear_harness_cache()`` closed the cached
+        harness mid-sweep) can call this to re-install the hooks before
+        touching the model directly.
+        """
+        self._ensure_installed()
+
     def _ensure_installed(self) -> None:
         """Re-install hooks that were displaced and later removed.
 

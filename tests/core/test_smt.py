@@ -224,3 +224,56 @@ def test_collect_stats_false_skips_counters(quantized_pair):
     executor = NBSMTMatmul(2, "S+A", collect_stats=False)
     executor.matmul(x, w)
     assert executor.stats.mac_total == 0
+
+
+# -- sparsity-adaptive block pruning (4T stacked path) ----------------------------
+
+def _pruning_triplet(x, w, policy):
+    pruned = NBSMTMatmul(4, policy, collect_stats=True, prune_blocks=True)
+    unpruned = NBSMTMatmul(4, policy, collect_stats=True, prune_blocks=False)
+    reference = NBSMTMatmul(4, policy, collect_stats=True, force_reference=True)
+    return (
+        (pruned, pruned.matmul(x, w)),
+        (unpruned, unpruned.matmul(x, w)),
+        (reference, reference.matmul(x, w)),
+    )
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_block_pruning_bit_exact(rng, policy):
+    x, w = make_quantized_pair(rng, m=40, k=48, n=16, act_sparsity=0.6,
+                               wgt_sparsity=0.5)
+    (p, out_p), (u, out_u), (r, out_r) = _pruning_triplet(x, w, policy)
+    assert np.array_equal(out_p, out_u)
+    assert np.array_equal(out_p, out_r)
+    assert p.stats.as_dict() == u.stats.as_dict() == r.stats.as_dict()
+
+
+def test_block_pruning_with_empty_delta_blocks(rng):
+    # All activations fit 4 bits -> every activation reduction delta is zero
+    # and the dx-based blocks are skipped entirely; outputs must not change.
+    x, w = make_quantized_pair(rng, m=48, k=64, n=24, act_sparsity=0.5)
+    x = x % 16
+    (p, out_p), (u, out_u), (r, out_r) = _pruning_triplet(x, w, "S+A")
+    assert np.array_equal(out_p, out_u)
+    assert np.array_equal(out_p, out_r)
+    assert p.stats.as_dict() == u.stats.as_dict()
+
+
+def test_block_pruning_stats_off_path(rng):
+    x, w = make_quantized_pair(rng, m=32, k=32, n=8, act_sparsity=0.7,
+                               wgt_sparsity=0.6)
+    pruned = NBSMTMatmul(4, "S+A", collect_stats=False, prune_blocks=True)
+    unpruned = NBSMTMatmul(4, "S+A", collect_stats=False, prune_blocks=False)
+    assert np.array_equal(pruned.matmul(x, w), unpruned.matmul(x, w))
+
+
+def test_statistics_payload_roundtrip(rng):
+    import json
+
+    x, w = make_quantized_pair(rng, m=24, k=32, n=8)
+    executor = NBSMTMatmul(4, "S+A", collect_stats=True)
+    executor.matmul(x, w)
+    payload = json.loads(json.dumps(executor.stats.to_payload()))
+    rebuilt = SMTStatistics.from_payload(payload)
+    assert rebuilt.as_dict() == executor.stats.as_dict()

@@ -33,3 +33,22 @@ def test_parser_requires_command():
     args = parser.parse_args(["--scale", "full", "run", "table2"])
     assert args.scale == "full"
     assert args.experiments == ["table2"]
+    assert args.workers == 1 and not args.resume
+
+
+def test_parser_accepts_sweep_flags():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--workers", "4", "--resume", "table2"])
+    assert args.workers == 4
+    assert args.resume
+
+
+def test_run_with_workers_and_resume(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["run", "table2", "--workers", "2"]) == 0
+    capsys.readouterr()
+    # The persisted sweep point is picked up by a --resume run.
+    assert main(["run", "table2", "--resume"]) == 0
+    assert "Table II" in capsys.readouterr().out
+    points = list((tmp_path / "results" / "points" / "fast").glob("*.json"))
+    assert points, "sweep points must be persisted under the results cache"
