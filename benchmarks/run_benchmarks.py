@@ -19,16 +19,21 @@ Measures, on this machine:
   experiment suite executed the pre-sweep way (each experiment a serial
   loop, no artifact sharing) versus orchestrated through the sweep
   scheduler (``workers=4``, shared point store), plus a resumed run that
-  restarts the orchestrated suite from its persisted points.
+  restarts the orchestrated suite from its persisted points;
+* a serving arm: closed-loop request traffic against warm NB-SMT serving
+  endpoints (``repro/serve``) -- sequential per-request execution
+  (``max_batch=1``, one client) versus dynamic batching at saturation
+  (engine-sized batches, clients >> batch size), reporting per-endpoint
+  throughput, p50/p99 latency and batch fill.
 
-Results are written as JSON (default ``BENCH_pr2.json`` at the repo root) so
+Results are written as JSON (default ``BENCH_pr3.json`` at the repo root) so
 the performance trajectory of the project is recorded per PR; when the
-previous PR's ``BENCH_pr1.json`` is present its headline timings are
+previous PR's ``BENCH_pr2.json`` is present its headline timings are
 embedded for comparison.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr2.json]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr3.json]
         [--scale fast|full]
 """
 
@@ -376,25 +381,214 @@ def bench_suite(scale: str, workers: int = 4) -> dict:
     }
 
 
-def _compare_to_pr1(results: dict, pr1_path: str) -> dict | None:
+#: Serving-arm endpoints: per-model NB-SMT engine configs at each model's
+#: empirically useful batch size (the registry stores per-model configs by
+#: design).  Threads=2 is the paper's primary SySMT operating point.
+SERVING_ENDPOINTS = (
+    {"name": "mobilenet_v1", "threads": 2, "max_batch": 32},
+    {"name": "googlenet", "threads": 2, "max_batch": 32},
+    {"name": "resnet18", "threads": 2, "max_batch": 8},
+)
+
+
+def _closed_loop(batcher, images, *, requests: int, concurrency: int):
+    """Drive single-image closed-loop clients; returns (elapsed, latencies)."""
+    import threading
+
+    latencies: list[float] = []
+    lock = threading.Lock()
+    counter = {"next": 0}
+
+    def worker():
+        while True:
+            with lock:
+                index = counter["next"]
+                if index >= requests:
+                    return
+                counter["next"] += 1
+            start = index % images.shape[0]
+            issued = time.perf_counter()
+            batcher.submit(images[start : start + 1], size=1).result(timeout=600)
+            elapsed = time.perf_counter() - issued
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, concurrency))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, sorted(latencies)
+
+
+def _load_report(requests: int, elapsed: float, latencies: list[float]):
+    """Wrap one arm's measurements in the serving client's LoadReport."""
+    from repro.serve.client import LoadReport
+
+    return LoadReport(
+        requests=requests,
+        images=requests,
+        rejected=0,
+        errors=0,
+        elapsed_seconds=elapsed,
+        latencies_seconds=latencies,
+    )
+
+
+def bench_serving(scale: str) -> dict:
+    """Dynamic batching versus sequential per-request serving (repro/serve).
+
+    For each endpoint of the serving mini-zoo, one warm engine replica
+    handles (a) a single closed-loop client issuing one image per request
+    with batching disabled -- the sequential per-request baseline -- and
+    (b) saturating closed-loop traffic (clients = 4x the batch budget)
+    through the dynamic batcher.  Both arms run the identical engine stack
+    (statistics collection on), so the ratio isolates what request
+    coalescing buys.
+    """
+    from repro.eval.experiments.common import clear_harness_cache
+    from repro.serve.batcher import DynamicBatcher
+    from repro.serve.metrics import EndpointMetrics
+    from repro.serve.pool import EnginePool
+    from repro.serve.registry import ModelSpec, ServeRegistry
+
+    sequential_requests = 48 if scale == "fast" else 128
+    batched_requests = 256 if scale == "fast" else 1024
+
+    endpoints: dict[str, dict] = {}
+    for config in SERVING_ENDPOINTS:
+        registry = ServeRegistry()
+        spec = registry.register(
+            ModelSpec(
+                name=config["name"],
+                threads=config["threads"],
+                max_batch=config["max_batch"],
+                max_wait_ms=5.0,
+            )
+        )
+        pool = EnginePool(registry, scale=scale, warm=True)
+        replica = pool.replica_set(spec.name).replicas[0]
+        images = replica.harness.eval_images
+
+        def warmed_batcher(max_batch, max_wait, metrics=None):
+            batcher = DynamicBatcher(
+                pool.runner_for(spec.name, metrics=metrics),
+                max_batch=max_batch,
+                max_wait=max_wait,
+                name=f"bench-{spec.name}",
+            )
+            # Prime caches (engine executors, BLAS buffers at both the
+            # single-image and the full-batch shapes) outside the timed
+            # region.
+            for index in range(2):
+                batcher.submit(images[index : index + 1]).result(timeout=600)
+            for _ in range(2):
+                futures = [
+                    batcher.submit(images[index : index + 1])
+                    for index in range(max_batch)
+                ]
+                for future in futures:
+                    future.result(timeout=600)
+            if metrics is not None:
+                # Batch-fill metrics start counting after the warm-up.
+                batcher.on_batch = metrics.record_batch
+            return batcher
+
+        sequential = warmed_batcher(max_batch=1, max_wait=0.0)
+        seq_elapsed, seq_latencies = _closed_loop(
+            sequential, images, requests=sequential_requests, concurrency=1
+        )
+        sequential.close()
+
+        concurrency = 4 * spec.max_batch
+        metrics = EndpointMetrics(spec.name, batch_capacity=spec.max_batch)
+        batched = warmed_batcher(
+            max_batch=spec.max_batch, max_wait=0.015, metrics=metrics
+        )
+        bat_elapsed, bat_latencies = _closed_loop(
+            batched,
+            images,
+            requests=batched_requests,
+            concurrency=concurrency,
+        )
+        batched.close()
+        pool.close()
+
+        seq_report = _load_report(sequential_requests, seq_elapsed, seq_latencies)
+        bat_report = _load_report(batched_requests, bat_elapsed, bat_latencies)
+        seq_throughput = seq_report.throughput_images_per_s
+        bat_throughput = bat_report.throughput_images_per_s
+        endpoints[spec.name] = {
+            "threads": spec.threads,
+            "policy": spec.resolved_policy(),
+            "max_batch": spec.max_batch,
+            "sequential": {
+                "requests": sequential_requests,
+                "throughput_images_per_s": seq_throughput,
+                "latency_p50_ms": seq_report.latency_quantile(0.50) * 1000,
+                "latency_p99_ms": seq_report.latency_quantile(0.99) * 1000,
+            },
+            "dynamic_batching": {
+                "requests": batched_requests,
+                "concurrency": concurrency,
+                "throughput_images_per_s": bat_throughput,
+                "latency_p50_ms": bat_report.latency_quantile(0.50) * 1000,
+                "latency_p99_ms": bat_report.latency_quantile(0.99) * 1000,
+                "mean_batch_size": metrics.mean_batch_size,
+                "batch_fill": metrics.batch_fill,
+            },
+            "speedup_batched_vs_sequential": bat_throughput / seq_throughput,
+        }
+        print(
+            f"  serving/{spec.name}: sequential {seq_throughput:.1f} img/s, "
+            f"batched {bat_throughput:.1f} img/s "
+            f"({bat_throughput / seq_throughput:.2f}x, "
+            f"fill {metrics.batch_fill:.2f}, "
+            f"p99 {bat_report.latency_quantile(0.99) * 1000:.0f} ms)",
+            flush=True,
+        )
+    clear_harness_cache()
+    best = max(
+        entry["speedup_batched_vs_sequential"] for entry in endpoints.values()
+    )
+    return {
+        "serving": {
+            "scale": scale,
+            "collect_stats": True,
+            "endpoints": endpoints,
+            "speedup_dynamic_batching_best": best,
+            "note": (
+                "closed-loop single-image clients against warm repro.serve "
+                "endpoints; sequential = max_batch 1, one client; dynamic "
+                "batching = engine-sized batches at saturation"
+            ),
+        }
+    }
+
+
+def _compare_to_previous(results: dict, previous_path: str, tag: str) -> dict | None:
     """Headline timing ratios against the previous PR's benchmark file."""
     try:
-        with open(pr1_path) as handle:
-            pr1 = json.load(handle)["benchmarks"]
+        with open(previous_path) as handle:
+            previous = json.load(handle)["benchmarks"]
     except (OSError, ValueError, KeyError):
         return None
     comparison: dict[str, dict] = {}
     for key in ("matmul_2t", "matmul_4t", "eval_4t"):
         ours = results.get(key, {}).get("timings", {})
-        theirs = pr1.get(key, {}).get("timings", {})
+        theirs = previous.get(key, {}).get("timings", {})
         shared = sorted(set(ours) & set(theirs))
         if not shared:
             continue
         comparison[key] = {
             arm: {
-                "pr1_seconds": theirs[arm]["seconds"],
-                "pr2_seconds": ours[arm]["seconds"],
-                "pr2_over_pr1_speedup": (
+                f"{tag}_seconds": theirs[arm]["seconds"],
+                "seconds": ours[arm]["seconds"],
+                f"speedup_vs_{tag}": (
                     theirs[arm]["seconds"] / ours[arm]["seconds"]
                 ),
             }
@@ -407,13 +601,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr2.json"),
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr3.json"),
     )
     parser.add_argument("--scale", choices=("fast", "full"), default="fast")
     parser.add_argument(
         "--skip-suite",
         action="store_true",
         help="skip the (slow) experiment-suite arm",
+    )
+    parser.add_argument(
+        "--skip-serving",
+        action="store_true",
+        help="skip the serving (dynamic batching) arm",
     )
     parser.add_argument(
         "--workers",
@@ -445,14 +644,17 @@ def main(argv=None) -> int:
     results["benchmarks"].update(bench_explicit_sim(args.scale))
     print("running end-to-end evaluation benchmarks...", flush=True)
     results["benchmarks"].update(bench_end_to_end(args.scale))
+    if not args.skip_serving:
+        print("running serving benchmarks...", flush=True)
+        results["benchmarks"].update(bench_serving(args.scale))
     if not args.skip_suite:
         print("running experiment-suite benchmarks...", flush=True)
         results["benchmarks"].update(bench_suite(args.scale, args.workers))
 
-    pr1_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr1.json")
-    comparison = _compare_to_pr1(results["benchmarks"], pr1_path)
+    pr2_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr2.json")
+    comparison = _compare_to_previous(results["benchmarks"], pr2_path, "pr2")
     if comparison:
-        results["comparison_to_pr1"] = comparison
+        results["comparison_to_pr2"] = comparison
 
     out_path = os.path.abspath(args.out)
     with open(out_path, "w") as handle:

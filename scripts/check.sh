@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 repo check: byte-compile the package and run the fast test profile.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+# Examples:
+#   scripts/check.sh                 # compileall + fast tests
+#   scripts/check.sh -m serve        # compileall + the opt-in serving lane
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== pytest =="
+python -m pytest -x -q "$@"

@@ -1,16 +1,17 @@
 """Command-line interface for the reproduction.
 
-Provides three subcommands:
-
 ``repro-experiments``-style usage (via ``python -m repro.cli``):
 
 * ``list`` -- show the experiment registry (one entry per paper table/figure).
 * ``run <experiment> [...]`` -- run one or more experiments and print the
   formatted tables (equivalent to ``examples/reproduce_paper.py``).
 * ``zoo`` -- train/load the scaled-down model zoo and print a summary.
+* ``serve`` -- start the dynamically-batched NB-SMT inference server
+  (:mod:`repro.serve`) for selected zoo models.
+* ``client`` -- closed-loop load generator against a running server.
 
-The CLI is a thin layer over :mod:`repro.eval.experiments` so that results
-are identical to the benchmark harness.
+The CLI is a thin layer over :mod:`repro.eval.experiments` and
+:mod:`repro.serve` so that results are identical to the benchmark harness.
 """
 
 from __future__ import annotations
@@ -76,6 +77,65 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.registry import default_registry
+    from repro.serve.server import run_server
+
+    overrides = {
+        "threads": args.threads,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "max_pending": args.max_pending,
+        "collect_stats": not args.no_stats,
+    }
+    if args.policy is not None:
+        overrides["policy"] = args.policy
+    registry = default_registry(models=args.models or ["resnet18"], **overrides)
+    run_server(
+        registry=registry,
+        scale=args.scale,
+        fork_workers=args.fork_workers,
+        host=args.host,
+        port=args.port,
+    )
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.models.zoo import load_dataset
+    from repro.serve.client import fetch_json, run_load
+    from repro.utils.tables import format_table
+
+    dataset = load_dataset(fast=(args.scale == "fast"))
+    images = dataset.val_images[: args.pool_images]
+    labels = dataset.val_labels[: args.pool_images]
+    report = run_load(
+        args.url,
+        args.model,
+        images,
+        labels,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        batch_size=args.batch_size,
+    )
+    summary = report.summary()
+    rows = [(key, f"{value:.4g}" if isinstance(value, float) else str(value))
+            for key, value in summary.items()]
+    print(format_table(["Metric", "Value"], rows,
+                       title=f"Load report: {args.model} @ {args.url}"))
+    if args.show_metrics:
+        metrics = fetch_json(args.url, "/v1/metrics")
+        endpoint = metrics.get("endpoints", {}).get(args.model)
+        if endpoint:
+            print(
+                f"server: batches={endpoint['batches']} "
+                f"mean_batch={endpoint['mean_batch_size']:.2f} "
+                f"fill={endpoint['batch_fill']:.2f} "
+                f"p99={endpoint['latency']['p99_s'] * 1000:.1f}ms"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -112,6 +172,75 @@ def build_parser() -> argparse.ArgumentParser:
     zoo_parser = subparsers.add_parser("zoo", help="train/load the model zoo")
     zoo_parser.add_argument("models", nargs="*", metavar="MODEL")
     zoo_parser.set_defaults(func=_cmd_zoo)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="start the dynamically-batched NB-SMT inference server"
+    )
+    serve_parser.add_argument(
+        "models",
+        nargs="*",
+        metavar="MODEL",
+        default=None,
+        help="zoo models to serve (default: resnet18)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8421)
+    serve_parser.add_argument(
+        "--threads", type=int, default=4, help="NB-SMT threads per endpoint"
+    )
+    serve_parser.add_argument(
+        "--policy", default=None, help="packing policy (default: per-model)"
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=32, help="images per engine call"
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="batching latency budget for the oldest queued request",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=512,
+        help="admission budget: in-flight images before shedding (429)",
+    )
+    serve_parser.add_argument(
+        "--fork-workers",
+        type=int,
+        default=0,
+        help="forked worker replicas per endpoint (0 = serve in-process)",
+    )
+    serve_parser.add_argument(
+        "--no-stats",
+        action="store_true",
+        help="skip NB-SMT statistics collection on the serving path",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    client_parser = subparsers.add_parser(
+        "client", help="closed-loop load generator against a running server"
+    )
+    client_parser.add_argument("model", metavar="MODEL")
+    client_parser.add_argument("--url", default="http://127.0.0.1:8421")
+    client_parser.add_argument("--requests", type=int, default=100)
+    client_parser.add_argument("--concurrency", type=int, default=8)
+    client_parser.add_argument(
+        "--batch-size", type=int, default=1, help="images per request"
+    )
+    client_parser.add_argument(
+        "--pool-images",
+        type=int,
+        default=128,
+        help="validation images cycled through by the generator",
+    )
+    client_parser.add_argument(
+        "--show-metrics",
+        action="store_true",
+        help="also fetch and summarize the server-side /v1/metrics",
+    )
+    client_parser.set_defaults(func=_cmd_client)
     return parser
 
 

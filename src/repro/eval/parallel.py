@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import sys
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -88,40 +90,92 @@ def partition_worklists(weights: list[float], bins: int) -> list[list[int]]:
     return [worklist for worklist in assignment if worklist]
 
 
-def _worklist_main(thunks, initializer) -> None:
+def _worklist_main(thunks, initializer, finalizer) -> None:
     global IN_POOL_WORKER
     IN_POOL_WORKER = True
-    if initializer is not None:
-        initializer()
-    for thunk in thunks:
-        thunk()
+    # Graceful shutdown: SIGINT/SIGTERM ask the worker to *drain* -- the
+    # thunk in flight completes (and persists its point), the remaining
+    # thunks are skipped, and the finalizer still runs so engines/harnesses
+    # are closed instead of the process being ripped out from under them.
+    stop_requested = False
+
+    def _request_stop(signum, frame):
+        nonlocal stop_requested
+        stop_requested = True
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        if initializer is not None:
+            initializer()
+        for thunk in thunks:
+            if stop_requested:
+                break
+            thunk()
+    finally:
+        if finalizer is not None:
+            finalizer()
 
 
 def run_worklists(
     worklists: list[list],
     initializer=None,
+    finalizer=None,
 ) -> list[bool]:
     """Run each worklist of thunks serially inside one forked worker process.
 
     Workers are forked (copy-on-write), so thunks may close over arbitrary
     parent state; they communicate results through side effects visible to
     the parent (e.g. files).  ``initializer`` runs once per worker before its
-    thunks (e.g. to drop state inherited from the parent).  Returns one
-    success flag per worklist; a worker that crashed or raised reports
-    ``False``, and the caller is expected to degrade to running its missing
-    work serially.
+    thunks (e.g. to drop state inherited from the parent); ``finalizer``
+    runs once per worker after them, even when the worker is asked to stop.
+    Returns one success flag per worklist; a worker that crashed or raised
+    reports ``False``, and the caller is expected to degrade to running its
+    missing work serially.
+
+    Shutdown is graceful at both levels: a worker receiving SIGINT/SIGTERM
+    finishes its in-flight thunk, skips the rest, runs the finalizer and
+    exits cleanly; a ``KeyboardInterrupt`` in the joining parent forwards
+    SIGTERM to the still-running workers, waits for them to drain (bounded),
+    and escalates to SIGKILL only for stragglers -- no orphaned forks.
     """
     context = multiprocessing.get_context("fork")
     processes = []
     for worklist in worklists:
         process = context.Process(
-            target=_worklist_main, args=(worklist, initializer)
+            target=_worklist_main, args=(worklist, initializer, finalizer)
         )
         process.start()
         processes.append(process)
-    for process in processes:
-        process.join()
+    try:
+        for process in processes:
+            process.join()
+    except BaseException:
+        _drain_processes(processes)
+        raise
     return [process.exitcode == 0 for process in processes]
+
+
+def _drain_processes(processes, drain_timeout: float = 30.0) -> None:
+    """Ask live workers to drain (SIGTERM), then reap; SIGKILL stragglers."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=drain_timeout)
+    stragglers = [process for process in processes if process.is_alive()]
+    if stragglers:
+        print(
+            f"parallel: killing {len(stragglers)} worker(s) that did not "
+            "drain in time",
+            file=sys.stderr,
+        )
+        for process in stragglers:
+            process.kill()
+            process.join()
 
 
 def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:

@@ -346,6 +346,17 @@ def _worker_initializer(session: SweepSession, inner_workers: int):
     return initialize
 
 
+def _worker_finalizer():
+    """Close the harnesses a sweep worker built for itself.
+
+    Runs even when the worker drains early on SIGINT/SIGTERM, so forked
+    workers never exit with engines installed on live models.
+    """
+    from repro.eval.experiments.common import clear_harness_cache
+
+    clear_harness_cache()
+
+
 def _make_group_thunk(points: list[SweepPoint]):
     def run_group():
         for point in points:
@@ -401,7 +412,9 @@ def run_sweep(
                 for indices in parallel.partition_worklists(weights, pool)
             ]
             ok = parallel.run_worklists(
-                worklists, initializer=_worker_initializer(session, inner)
+                worklists,
+                initializer=_worker_initializer(session, inner),
+                finalizer=_worker_finalizer,
             )
             if not all(ok):
                 failed = sum(1 for flag in ok if not flag)

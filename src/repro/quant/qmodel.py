@@ -297,6 +297,22 @@ class QuantizedModel:
     def collect_stats(self) -> dict[str, dict[str, float]]:
         return {name: dict(layer.context.stats) for name, layer in self.layers.items()}
 
+    def warm(self, images: np.ndarray) -> None:
+        """Prime the quantized execution path without polluting statistics.
+
+        Runs one forward pass through the installed hooks so that every
+        per-layer cache on the serving hot path is populated before real
+        traffic arrives: the per-channel weight-quantization cache, the
+        engine's per-(layer, threads) executors and their lookup tables,
+        and the BLAS/im2col scratch allocations.  Context statistics
+        accumulated by the warm-up are discarded (engine-side statistics
+        are the caller's to reset -- the engine may be shared).
+        """
+        self._ensure_installed()
+        self.model.eval()
+        self.model(images)
+        self.clear_stats()
+
     # -- evaluation -------------------------------------------------------------
     def evaluate(
         self,

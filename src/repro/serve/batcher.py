@@ -1,0 +1,293 @@
+"""Dynamic request batching: coalesce queued requests into engine batches.
+
+The NB-SMT engines (like the hardware they model) amortize per-invocation
+cost over the batch dimension, so serving one image per engine call wastes
+most of the machine.  :class:`DynamicBatcher` sits between the request
+front-end and a warm engine replica: requests are queued, and a worker
+thread assembles them into batches bounded by two knobs:
+
+* ``max_batch`` -- never put more than this many images into one engine call;
+* ``max_wait`` -- never hold the oldest queued request longer than this many
+  seconds waiting for companions (the latency budget).
+
+A batch is flushed as soon as it is full *or* its oldest member's wait
+budget expires; whatever is queued at that moment rides along (greedy
+fill), so an idle server adds at most ``max_wait`` of latency and a
+saturated server runs full batches back to back.  An empty queue costs
+nothing: the worker blocks on the queue, no polling.
+
+Requests may carry micro-batches (``size > 1``).  Requests are atomic --
+one is never split across engine calls; a request that would overflow the
+current batch is carried over to start the next one.
+
+The batcher is synchronous at its core (``submit`` returns a
+``concurrent.futures.Future``); the asyncio front-end bridges with
+``asyncio.wrap_future``, and tests/benchmarks drive it directly.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`DynamicBatcher.submit` after :meth:`close`."""
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`DynamicBatcher.submit` when ``max_queue`` is hit."""
+
+
+@dataclass
+class BatchRequest:
+    """One queued request: an opaque payload plus its image count."""
+
+    payload: object
+    size: int = 1
+    enqueued_at: float = 0.0
+    future: Future = field(default_factory=Future)
+
+
+@dataclass
+class BatchReport:
+    """What the ``on_batch`` hook learns about one executed batch."""
+
+    num_requests: int
+    num_images: int
+    service_seconds: float
+    queue_waits: list[float] = field(default_factory=list)
+
+
+_STOP = object()
+
+
+class DynamicBatcher:
+    """Coalesces submitted requests and executes them through ``runner``.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(payloads) -> results``: executes one batch, returning one
+        result per payload, in order.  Runs on the batcher's worker thread.
+    max_batch:
+        Image budget per engine call (a single larger request still runs,
+        alone).
+    max_wait:
+        Seconds the oldest queued request may wait for companions.
+    max_queue:
+        Optional bound on queued images; ``0`` means unbounded (admission
+        control normally lives in front of the batcher, see
+        :class:`repro.serve.registry.AdmissionController`).
+    on_batch:
+        Optional hook called with a :class:`BatchReport` after each batch
+        executes (before request futures resolve).
+    workers:
+        Batch-assembly worker threads.  One (the default) is right for a
+        single in-process replica; with several replicas behind the runner
+        (e.g. forked workers on a multicore box) matching ``workers`` to
+        the replica count keeps every replica busy -- batches then execute
+        concurrently, at the cost of deterministic batch splits.
+    autostart:
+        Start the worker threads immediately.  Tests and benchmarks pass
+        ``False`` to pre-fill the queue and get deterministic batch splits.
+    """
+
+    def __init__(
+        self,
+        runner,
+        *,
+        max_batch: int = 32,
+        max_wait: float = 0.005,
+        max_queue: int = 0,
+        on_batch=None,
+        workers: int = 1,
+        autostart: bool = True,
+        name: str = "batcher",
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.runner = runner
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.max_queue = int(max_queue)
+        self.on_batch = on_batch
+        self.workers = int(workers)
+        self.name = name
+        self._queue: queue_module.Queue = queue_module.Queue()
+        self._lock = threading.Lock()
+        self._pending_images = 0
+        self._closed = False
+        self._drain = True
+        self._threads: list[threading.Thread] = []
+        if autostart:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker threads (idempotent; refuses after close)."""
+        with self._lock:
+            if self._closed:
+                raise BatcherClosed(f"{self.name} is closed")
+            if not self._threads:
+                for index in range(self.workers):
+                    thread = threading.Thread(
+                        target=self._worker,
+                        name=f"{self.name}-{index}",
+                        daemon=True,
+                    )
+                    thread.start()
+                    self._threads.append(thread)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting requests and shut the workers down.
+
+        ``drain=True`` (the default, and what the server's graceful shutdown
+        uses) executes every already-queued request before returning;
+        ``drain=False`` cancels them.
+        """
+        with self._lock:
+            just_closed = not self._closed
+            if just_closed:
+                self._closed = True
+                self._drain = drain
+                for _ in range(max(1, self.workers)):
+                    self._queue.put(_STOP)
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=timeout)
+        if just_closed:
+            # Settle whatever the workers did not pick up (everything, when
+            # the batcher was never started).
+            self._finish()
+
+    @property
+    def pending_images(self) -> int:
+        """Images queued (or carried over) but not yet executing."""
+        with self._lock:
+            return self._pending_images
+
+    # -- submission --------------------------------------------------------
+    def submit(self, payload, size: int = 1) -> Future:
+        """Queue one request; resolves to ``runner``'s result for it."""
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        request = BatchRequest(payload, int(size), enqueued_at=time.monotonic())
+        with self._lock:
+            if self._closed:
+                raise BatcherClosed(f"{self.name} is closed")
+            if self.max_queue and self._pending_images + request.size > self.max_queue:
+                raise QueueFull(
+                    f"{self.name}: {self._pending_images} images queued "
+                    f"(max_queue={self.max_queue})"
+                )
+            self._pending_images += request.size
+            self._queue.put(request)
+        return request.future
+
+    # -- worker ------------------------------------------------------------
+    def _worker(self) -> None:
+        carry: BatchRequest | None = None
+        while True:
+            if carry is not None:
+                first, carry = carry, None
+            else:
+                item = self._queue.get()
+                if item is _STOP:
+                    return
+                first = item
+            batch, images, carry = self._collect(first)
+            self._run_batch(batch, images)
+
+    def _collect(
+        self, first: BatchRequest
+    ) -> tuple[list[BatchRequest], int, BatchRequest | None]:
+        """Assemble one batch starting from ``first``; returns any carry."""
+        batch = [first]
+        images = first.size
+        carry: BatchRequest | None = None
+        deadline = first.enqueued_at + self.max_wait
+        while images < self.max_batch:
+            timeout = deadline - time.monotonic()
+            try:
+                if timeout > 0:
+                    item = self._queue.get(timeout=timeout)
+                else:
+                    # Budget spent: greedily take whatever is already queued
+                    # (batching queued work costs no extra latency).
+                    item = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is _STOP:
+                # Nothing follows a sentinel (submit refuses once closed),
+                # so re-queueing keeps it for this worker's exit.
+                self._queue.put(_STOP)
+                break
+            if images + item.size > self.max_batch:
+                carry = item
+                break
+            batch.append(item)
+            images += item.size
+        return batch, images, carry
+
+    def _run_batch(self, batch: list[BatchRequest], images: int) -> None:
+        with self._lock:
+            self._pending_images -= images
+        started = time.monotonic()
+        try:
+            results = self.runner([request.payload for request in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"{self.name}: runner returned {len(results)} results "
+                    f"for {len(batch)} requests"
+                )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            for request in batch:
+                if not request.future.cancelled():
+                    request.future.set_exception(exc)
+            return
+        finished = time.monotonic()
+        if self.on_batch is not None:
+            self.on_batch(
+                BatchReport(
+                    num_requests=len(batch),
+                    num_images=images,
+                    service_seconds=finished - started,
+                    queue_waits=[started - r.enqueued_at for r in batch],
+                )
+            )
+        for request, result in zip(batch, results):
+            if not request.future.cancelled():
+                request.future.set_result(result)
+
+    def _finish(self) -> None:
+        """Settle whatever remains queued after the workers exited."""
+        leftovers: list[BatchRequest] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is not _STOP:
+                leftovers.append(item)
+        if self._drain:
+            while leftovers:
+                chunk: list[BatchRequest] = []
+                images = 0
+                while leftovers and (
+                    not chunk or images + leftovers[0].size <= self.max_batch
+                ):
+                    request = leftovers.pop(0)
+                    chunk.append(request)
+                    images += request.size
+                self._run_batch(chunk, images)
+        else:
+            for request in leftovers:
+                with self._lock:
+                    self._pending_images -= request.size
+                request.future.cancel()

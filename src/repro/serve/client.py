@@ -1,0 +1,191 @@
+"""Closed-loop HTTP load generator for the NB-SMT inference server.
+
+``repro.cli client`` drives a running server with synthetic zoo images:
+``concurrency`` worker threads each keep one keep-alive connection open
+and issue requests back to back (closed loop), so offered load scales with
+concurrency until the server's admission controller starts shedding.
+Latencies are measured end-to-end per request; the summary reports p50/p99,
+throughput, the rejection rate and (when labels are supplied) top-1
+accuracy of the served predictions.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+import numpy as np
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    requests: int
+    images: int
+    rejected: int
+    errors: int
+    elapsed_seconds: float
+    latencies_seconds: list[float] = field(default_factory=list)
+    correct: int = 0
+    labeled: int = 0
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.images / self.elapsed_seconds
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_seconds:
+            return 0.0
+        ordered = sorted(self.latencies_seconds)
+        index = min(len(ordered) - 1, max(0, int(q * len(ordered)) - 1))
+        return ordered[index]
+
+    @property
+    def accuracy(self) -> float | None:
+        return self.correct / self.labeled if self.labeled else None
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "images": self.images,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_seconds,
+            "throughput_images_per_s": self.throughput_images_per_s,
+            "latency_p50_ms": self.latency_quantile(0.50) * 1000.0,
+            "latency_p99_ms": self.latency_quantile(0.99) * 1000.0,
+            "accuracy": self.accuracy,
+        }
+
+
+def predict_once(
+    connection: http.client.HTTPConnection,
+    endpoint: str,
+    images: np.ndarray,
+) -> tuple[int, dict]:
+    """Issue one ``:predict`` call on an open keep-alive connection."""
+    body = json.dumps({"inputs": images.tolist()})
+    connection.request(
+        "POST",
+        f"/v1/models/{endpoint}:predict",
+        body=body,
+        headers={"Content-Type": "application/json"},
+    )
+    response = connection.getresponse()
+    payload = json.loads(response.read().decode("utf-8"))
+    return response.status, payload
+
+
+def fetch_json(url: str, path: str) -> dict:
+    """GET a JSON document (e.g. ``/v1/metrics``) from the server."""
+    parts = urlsplit(url)
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port or 80, timeout=30
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def run_load(
+    url: str,
+    endpoint: str,
+    images: np.ndarray,
+    labels: np.ndarray | None = None,
+    *,
+    requests: int = 100,
+    concurrency: int = 8,
+    batch_size: int = 1,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive ``requests`` closed-loop predictions and report latencies.
+
+    Each request carries ``batch_size`` images drawn round-robin from
+    ``images``; workers reuse one connection each.  A 429 response is
+    counted as a rejection and consumes its slot of the request budget
+    (shed requests are not re-sent), so ``report.requests + rejected +
+    errors == requests``.
+    """
+    parts = urlsplit(url)
+    host, port = parts.hostname, parts.port or 80
+    counter = {"issued": 0}
+    report = LoadReport(requests=0, images=0, rejected=0, errors=0,
+                        elapsed_seconds=0.0)
+    lock = threading.Lock()
+
+    def next_request_index() -> int | None:
+        with lock:
+            if counter["issued"] >= requests:
+                return None
+            counter["issued"] += 1
+            return counter["issued"] - 1
+
+    def worker() -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                index = next_request_index()
+                if index is None:
+                    return
+                start = (index * batch_size) % images.shape[0]
+                stop = start + batch_size
+                batch = images[start:stop]
+                if batch.shape[0] < batch_size:  # wrap around
+                    batch = np.concatenate(
+                        [batch, images[: batch_size - batch.shape[0]]], axis=0
+                    )
+                issued = time.monotonic()
+                try:
+                    status, payload = predict_once(connection, endpoint, batch)
+                except (OSError, http.client.HTTPException):
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout
+                    )
+                    with lock:
+                        report.errors += 1
+                    continue
+                latency = time.monotonic() - issued
+                with lock:
+                    if status == 200:
+                        report.requests += 1
+                        report.images += batch.shape[0]
+                        report.latencies_seconds.append(latency)
+                        if labels is not None:
+                            expected = [
+                                int(labels[(start + offset) % images.shape[0]])
+                                for offset in range(batch.shape[0])
+                            ]
+                            report.labeled += len(expected)
+                            report.correct += sum(
+                                int(a == b)
+                                for a, b in zip(payload["argmax"], expected)
+                            )
+                    elif status == 429:
+                        report.rejected += 1
+                    else:
+                        report.errors += 1
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"load-{index}", daemon=True)
+        for index in range(max(1, concurrency))
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = time.monotonic() - started
+    return report

@@ -1,0 +1,224 @@
+"""Serving metrics: latency quantiles, throughput, batch fill, NB-SMT stats.
+
+Every endpoint accumulates its own :class:`EndpointMetrics`; the server
+exposes the JSON snapshot under ``GET /v1/metrics``.  Latency quantiles are
+estimated from geometric histograms (fixed memory, ~9% relative resolution
+per bucket) while counts, sums and extrema stay exact.  The per-layer
+:class:`~repro.core.smt.SMTStatistics` produced by the NB-SMT engines are
+merged across batches, so an endpoint's aggregated statistics over a set of
+requests equal what one harness evaluation of the same images would report.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+from repro.core.smt import SMTStatistics
+
+#: Histogram range: 1 microsecond .. 120 seconds, geometric buckets.
+_LATENCY_MIN = 1e-6
+_LATENCY_MAX = 120.0
+_BUCKETS_PER_DECADE = 25
+
+
+class LatencyHistogram:
+    """Geometric latency histogram with quantile estimation.
+
+    Bucket upper bounds grow by ``10 ** (1 / buckets_per_decade)`` (~9.6%
+    steps), so a quantile estimate is within one bucket width of the true
+    order statistic.  Counts, the sum and the min/max are tracked exactly.
+    """
+
+    def __init__(
+        self,
+        low: float = _LATENCY_MIN,
+        high: float = _LATENCY_MAX,
+        buckets_per_decade: int = _BUCKETS_PER_DECADE,
+    ):
+        self.low = low
+        self.ratio = 10.0 ** (1.0 / buckets_per_decade)
+        self._log_ratio = math.log(self.ratio)
+        num = int(math.ceil(math.log(high / low) / self._log_ratio)) + 1
+        self.counts = [0] * (num + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= self.low:
+            return 0
+        index = int(math.log(seconds / self.low) / self._log_ratio) + 1
+        return min(index, len(self.counts) - 1)
+
+    def _upper_bound(self, index: int) -> float:
+        return self.low * self.ratio**index
+
+    def record(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        self.counts[self._bucket(seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (upper bucket bound), clamped to max."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return min(self._upper_bound(index), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "p50_s": self.quantile(0.50),
+            "p90_s": self.quantile(0.90),
+            "p99_s": self.quantile(0.99),
+        }
+
+
+class EndpointMetrics:
+    """Counters and histograms of one served model endpoint.
+
+    ``batch_capacity`` is the endpoint's configured maximum batch size; the
+    *batch fill* is the mean fraction of that capacity realized by executed
+    batches -- the figure of merit of the dynamic batcher.
+    """
+
+    def __init__(self, name: str, batch_capacity: int = 1):
+        self.name = name
+        self.batch_capacity = max(1, int(batch_capacity))
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.requests = 0
+        self.images = 0
+        self.rejected_requests = 0
+        self.rejected_images = 0
+        self.failed_requests = 0
+        self.batches = 0
+        self.batched_images = 0
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+        self.batch_service = LatencyHistogram()
+        self.layer_stats: dict[str, SMTStatistics] = {}
+
+    # -- recording ---------------------------------------------------------
+    def record_request(self, latency_seconds: float, images: int = 1) -> None:
+        """One completed request (end-to-end latency, admission to reply)."""
+        with self._lock:
+            self.requests += 1
+            self.images += int(images)
+            self.latency.record(latency_seconds)
+
+    def record_rejection(self, images: int = 1) -> None:
+        """One request turned away by admission control (backpressure)."""
+        with self._lock:
+            self.rejected_requests += 1
+            self.rejected_images += int(images)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed_requests += 1
+
+    def record_batch(self, report) -> None:
+        """One executed batch (a :class:`repro.serve.batcher.BatchReport`)."""
+        with self._lock:
+            self.batches += 1
+            self.batched_images += report.num_images
+            self.batch_service.record(report.service_seconds)
+            for wait in report.queue_waits:
+                self.queue_wait.record(wait)
+
+    def merge_layer_stats(self, layer_stats: dict[str, SMTStatistics]) -> None:
+        """Fold one batch's per-layer NB-SMT statistics into the endpoint."""
+        with self._lock:
+            for layer_name, stats in layer_stats.items():
+                self.layer_stats.setdefault(layer_name, SMTStatistics()).merge(stats)
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def batch_fill(self) -> float:
+        """Mean executed batch size over the configured maximum batch size."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_images / (self.batches * self.batch_capacity)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_images / self.batches if self.batches else 0.0
+
+    def throughput(self) -> float:
+        """Served images per second since this endpoint started."""
+        elapsed = time.monotonic() - self.started_at
+        return self.images / elapsed if elapsed > 0 else 0.0
+
+    def merged_smt_stats(self) -> dict[str, SMTStatistics]:
+        """Copy of the aggregated per-layer NB-SMT statistics."""
+        with self._lock:
+            copies: dict[str, SMTStatistics] = {}
+            for layer_name, stats in self.layer_stats.items():
+                copy = SMTStatistics()
+                copy.merge(stats)
+                copies[layer_name] = copy
+            return copies
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            smt = {
+                layer_name: stats.to_payload()
+                for layer_name, stats in self.layer_stats.items()
+            }
+            return {
+                "name": self.name,
+                "requests": self.requests,
+                "images": self.images,
+                "rejected_requests": self.rejected_requests,
+                "rejected_images": self.rejected_images,
+                "failed_requests": self.failed_requests,
+                "throughput_images_per_s": self.throughput(),
+                "batches": self.batches,
+                "mean_batch_size": self.mean_batch_size,
+                "batch_fill": self.batch_fill,
+                "latency": self.latency.snapshot(),
+                "queue_wait": self.queue_wait.snapshot(),
+                "batch_service": self.batch_service.snapshot(),
+                "smt_layer_stats": smt,
+            }
+
+
+class MetricsRegistry:
+    """All endpoint metrics of one server instance."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointMetrics] = {}
+
+    def endpoint(self, name: str, batch_capacity: int = 1) -> EndpointMetrics:
+        with self._lock:
+            entry = self._endpoints.get(name)
+            if entry is None:
+                entry = EndpointMetrics(name, batch_capacity=batch_capacity)
+                self._endpoints[name] = entry
+            return entry
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        return {
+            "endpoints": {entry.name: entry.snapshot() for entry in endpoints}
+        }

@@ -1,0 +1,475 @@
+"""Warm NB-SMT engine replicas backing the serving endpoints.
+
+Serving latency budgets rule out calibrating (let alone training) a model
+on the request path, so each endpoint is backed by *warm replicas*: a
+calibrated :class:`~repro.quant.qmodel.QuantizedModel` leased from the
+refcounted experiment-harness cache
+(:func:`repro.eval.experiments.common.acquire_harness`) plus one
+pre-configured :class:`~repro.core.engine.NBSMTEngine` whose executors,
+lookup tables and weight-quantization caches are primed by a warm-up
+forward pass before the endpoint goes live.
+
+Two replica flavors share one interface:
+
+* :class:`InlineReplica` executes in-process (the default; on a single-CPU
+  box nothing beats it).
+* :class:`ForkedReplica` mirrors the replica into a persistent forked
+  worker process -- the same copy-on-write fork machinery the sweep
+  scheduler uses (:mod:`repro.eval.parallel`), so the child inherits the
+  parent's already-calibrated harness for free and multicore machines run
+  batches of different models (or multiple replicas of a hot model) in
+  parallel.  Workers drain their in-flight batch and close their engines
+  on SIGTERM/SIGINT.
+
+:class:`EnginePool` owns the replicas and hands each
+:class:`~repro.serve.batcher.DynamicBatcher` a runner closure that
+concatenates request payloads, executes the batch on a free replica,
+splits the logits back per request and folds the batch's
+:class:`~repro.core.smt.SMTStatistics` into the endpoint metrics.
+Execution is bit-identical to the harness path: the same engine stack,
+the same statistics, batched or not.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import signal
+import threading
+import weakref
+
+import numpy as np
+
+from repro.core.engine import NBSMTEngine
+from repro.core.smt import SMTStatistics
+from repro.eval import parallel
+from repro.eval.throttle import throttle_assignment
+from repro.serve.registry import ModelSpec
+
+
+#: One execution lock per live QuantizedModel: endpoints aliased to the same
+#: zoo model (``ModelSpec(model=...)``) share one cached harness, and their
+#: batcher threads must not reconfigure/execute the same model concurrently.
+_QMODEL_LOCKS: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+_QMODEL_LOCKS_GUARD = threading.Lock()
+
+
+def _execution_lock(qmodel) -> threading.RLock:
+    with _QMODEL_LOCKS_GUARD:
+        lock = _QMODEL_LOCKS.get(qmodel)
+        if lock is None:
+            lock = threading.RLock()
+            _QMODEL_LOCKS[qmodel] = lock
+        return lock
+
+
+class CachedHarnessProvider:
+    """Default lease source: the refcounted experiment-harness LRU."""
+
+    def __init__(self, scale: str = "fast"):
+        self.scale = scale
+
+    def acquire(self, spec: ModelSpec):
+        from repro.eval.experiments.common import acquire_harness
+
+        return acquire_harness(spec.zoo_model, self.scale)
+
+    def release(self, harness) -> None:
+        from repro.eval.experiments.common import release_harness
+
+        release_harness(harness)
+
+
+class InlineReplica:
+    """One warm (harness, engine) pair executing batches in-process."""
+
+    def __init__(self, spec: ModelSpec, provider, warm: bool = True):
+        self.spec = spec
+        self.provider = provider
+        self.harness = provider.acquire(spec)
+        self.engine = NBSMTEngine(
+            spec.resolved_policy(),
+            collect_stats=spec.collect_stats,
+            fast4t_impl=spec.fast4t_impl,
+            prune_blocks=spec.prune_blocks,
+        )
+        self._closed = False
+        self._lock = _execution_lock(self.harness.qmodel)
+        with self._lock:
+            self._install()
+        if warm:
+            self.warm()
+
+    def _install(self) -> None:
+        qmodel = self.harness.qmodel
+        qmodel.ensure_installed()
+        if self.spec.slow_layers:
+            qmodel.set_threads(
+                throttle_assignment(
+                    qmodel,
+                    self.spec.threads,
+                    list(self.spec.slow_layers),
+                    self.spec.slow_threads,
+                )
+            )
+        else:
+            qmodel.set_threads(self.spec.threads)
+        if self.spec.reorder:
+            qmodel.set_permutations(
+                self.harness.reorder_permutations(self.spec.threads)
+            )
+        else:
+            self.harness.clear_permutations()
+        qmodel.set_engine(self.engine)
+        qmodel.clear_stats()
+        self._assignment = qmodel.thread_assignment()
+        self._permutations = {
+            name: layer.context.permutation
+            for name, layer in qmodel.layers.items()
+        }
+
+    def thread_assignment(self) -> dict[str, int]:
+        return self.harness.qmodel.thread_assignment()
+
+    def warm(self) -> None:
+        """Prime engine executors and quantization caches before traffic."""
+        sample = self.harness.eval_images[:1]
+        if sample.shape[0]:
+            with self._lock:
+                self._reassert()
+                self.harness.qmodel.warm(sample)
+                self.engine.reset_stats()
+
+    def _reassert(self) -> None:
+        """Re-assert this replica's configuration on the shared model.
+
+        A harness shared with experiment code (or with another endpoint
+        aliased to the same zoo model) may have been reconfigured between
+        requests -- different engine, thread assignment or permutations.
+        """
+        qmodel = self.harness.qmodel
+        qmodel.ensure_installed()
+        if (
+            qmodel.default_engine is not self.engine
+            or qmodel.thread_assignment() != self._assignment
+            or any(
+                layer.context.permutation is not self._permutations[name]
+                for name, layer in qmodel.layers.items()
+            )
+        ):
+            self._install()
+
+    def infer(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, dict[str, SMTStatistics]]:
+        """Run one batch; returns logits and the batch's per-layer stats.
+
+        Execution holds the shared model's lock, so endpoints aliased to
+        the same zoo model serialize instead of corrupting each other.
+        """
+        if self._closed:
+            raise RuntimeError(f"replica for {self.spec.name!r} is closed")
+        with self._lock:
+            self._reassert()
+            self.engine.reset_stats()
+            logits = self.harness.qmodel.forward(images)
+            layer_stats = self.engine.layer_stats
+            self.engine.reset_stats()
+        return logits, layer_stats
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.provider.release(self.harness)
+
+
+def _forked_replica_main(spec: ModelSpec, provider, conn) -> None:
+    """Worker-process loop of a :class:`ForkedReplica`.
+
+    SIGTERM/SIGINT request a drain: the in-flight batch finishes and its
+    response is sent before the engine is closed and the process exits.
+    """
+    parallel.IN_POOL_WORKER = True
+    stop = {"requested": False}
+
+    def _request_stop(signum, frame):
+        stop["requested"] = True
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+    replica = InlineReplica(spec, provider, warm=False)
+    try:
+        while not stop["requested"]:
+            try:
+                # Bounded poll instead of a blocking recv: a signal that
+                # lands while the worker is idle is noticed within the
+                # poll interval (a blocked recv would simply be retried
+                # after the handler returns, PEP 475).
+                if not conn.poll(0.2):
+                    continue
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            images = message
+            try:
+                logits, layer_stats = replica.infer(images)
+            except Exception as exc:  # noqa: BLE001 - reported to parent
+                conn.send(("error", repr(exc)))
+                continue
+            payloads = {
+                name: stats.to_payload() for name, stats in layer_stats.items()
+            }
+            conn.send(("ok", logits, payloads))
+    finally:
+        replica.close()
+        conn.close()
+
+
+class ForkedReplica:
+    """A warm replica living in a persistent forked worker process.
+
+    The fork happens *after* the parent has (or can cheaply build) the
+    calibrated harness in its cache, so the child inherits it copy-on-write
+    -- the same trick the sweep scheduler's per-model workers use.
+    """
+
+    def __init__(self, spec: ModelSpec, provider, warm: bool = True):
+        if not parallel.fork_available():  # pragma: no cover - platform
+            raise RuntimeError("forked replicas require the fork start method")
+        import multiprocessing
+
+        self.spec = spec
+        self.provider = provider
+        self._warm = warm
+        context = multiprocessing.get_context("fork")
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_forked_replica_main,
+            args=(spec, provider, child_conn),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._lock = threading.Lock()
+        self._closed = False
+        if warm:
+            self.warm()
+
+    def warm(self) -> None:
+        """One throwaway request primes the child's engine caches."""
+        # The child replica is constructed unwarmed; any inference warms it.
+
+    def respawn(self) -> "ForkedReplica":
+        """A fresh replica replacing this (dead) one; reaps the remains."""
+        with self._lock:
+            self._closed = True
+            self._reap(timeout=1.0)
+        return ForkedReplica(self.spec, self.provider, warm=self._warm)
+
+    def _reap(self, timeout: float) -> None:
+        """Join (escalating to kill) the worker and close the pipe."""
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=timeout)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.kill()
+            self._process.join()
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def infer(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, dict[str, SMTStatistics]]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"replica for {self.spec.name!r} is closed")
+            try:
+                self._conn.send(images)
+                reply = self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                # The worker process died; poison this replica so the
+                # replica set respawns it instead of reusing a dead pipe.
+                self._closed = True
+                raise RuntimeError(
+                    f"forked replica for {self.spec.name!r} died: {exc!r}"
+                ) from exc
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"forked replica for {self.spec.name!r} failed: {reply[1]}"
+            )
+        _, logits, payloads = reply
+        layer_stats = {
+            name: SMTStatistics.from_payload(payload)
+            for name, payload in payloads.items()
+        }
+        return logits, layer_stats
+
+    def close(self, timeout: float = 10.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            self._reap(timeout=timeout)
+
+
+class ReplicaSet:
+    """Replicas of one endpoint plus a blocking free-list dispatcher."""
+
+    def __init__(self, replicas: list):
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        self.replicas = replicas
+        self._free: queue_module.Queue = queue_module.Queue()
+        for replica in replicas:
+            self._free.put(replica)
+
+    def infer(self, images: np.ndarray):
+        """Run on the next free replica (blocks while all are busy).
+
+        A replica whose worker process died is replaced by a fresh respawn
+        before its slot returns to the free list, so one crash costs one
+        failed batch, not a permanently broken slot.
+        """
+        replica = self._free.get()
+        try:
+            result = replica.infer(images)
+        except BaseException:
+            self._free.put(self._replace_if_dead(replica))
+            raise
+        self._free.put(replica)
+        return result
+
+    def _replace_if_dead(self, replica):
+        if getattr(replica, "_closed", False) and hasattr(replica, "respawn"):
+            try:
+                fresh = replica.respawn()
+            except Exception:  # pragma: no cover - respawn is best-effort
+                return replica
+            self.replicas[self.replicas.index(replica)] = fresh
+            return fresh
+        return replica
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+
+
+class EnginePool:
+    """Warm replica sets for every endpoint of a registry.
+
+    ``fork_workers`` > 0 backs each endpoint with that many forked worker
+    replicas *in addition to* building (and keeping) the calibrated harness
+    in the parent, which the children then inherit copy-on-write; ``0``
+    (the default) serves inline.  ``provider`` overrides where harnesses
+    come from (tests inject pre-built ones); by default they are leased
+    from the refcounted experiment-harness cache at ``scale``.
+    """
+
+    def __init__(
+        self,
+        registry,
+        scale: str = "fast",
+        fork_workers: int = 0,
+        provider=None,
+        warm: bool = True,
+    ):
+        self.registry = registry
+        self.scale = scale
+        self.fork_workers = int(fork_workers)
+        self.provider = provider or CachedHarnessProvider(scale)
+        self.warm = warm
+        self._sets: dict[str, ReplicaSet] = {}
+        self._input_shapes: dict[str, tuple[int, ...]] = {}
+        self._lock = threading.Lock()
+
+    def replica_set(self, endpoint: str) -> ReplicaSet:
+        """Build (or fetch) the warm replica set of one endpoint."""
+        with self._lock:
+            replica_set = self._sets.get(endpoint)
+            if replica_set is None:
+                spec = self.registry.get(endpoint)
+                replica_set = ReplicaSet(self._build_replicas(spec))
+                self._sets[endpoint] = replica_set
+            return replica_set
+
+    def _build_replicas(self, spec: ModelSpec) -> list:
+        replicas: list = []
+        if self.fork_workers > 0 and parallel.fork_available():
+            # Warm the harness in the parent first so every forked child
+            # inherits the calibrated model copy-on-write instead of
+            # re-calibrating it.
+            parent = InlineReplica(spec, self.provider, warm=self.warm)
+            self._input_shapes[spec.name] = tuple(
+                parent.harness.eval_images.shape[1:]
+            )
+            workers = max(self.fork_workers, spec.replicas)
+            for _ in range(workers):
+                replicas.append(ForkedReplica(spec, self.provider, warm=self.warm))
+            parent.close()
+        else:
+            # Inline replicas of one endpoint would all wrap the same
+            # cached QuantizedModel and serialize on its execution lock, so
+            # more than one buys nothing: build exactly one.
+            replica = InlineReplica(spec, self.provider, warm=self.warm)
+            self._input_shapes[spec.name] = tuple(
+                replica.harness.eval_images.shape[1:]
+            )
+            replicas.append(replica)
+        return replicas
+
+    def replica_count(self, endpoint: str) -> int:
+        """Replicas backing one endpoint (= useful batcher concurrency)."""
+        return len(self.replica_set(endpoint).replicas)
+
+    def input_shape(self, endpoint: str) -> tuple[int, ...]:
+        """Per-image input shape ``(C, H, W)`` the endpoint's model expects."""
+        self.replica_set(endpoint)
+        return self._input_shapes[endpoint]
+
+    def runner_for(self, endpoint: str, metrics=None):
+        """The batch runner closure handed to this endpoint's batcher.
+
+        Payloads are image arrays of shape ``(B_i, C, H, W)``; the runner
+        concatenates them, executes once, splits the logits back per
+        request and merges the batch's NB-SMT statistics into ``metrics``
+        (an :class:`repro.serve.metrics.EndpointMetrics`) when given.
+        """
+        replica_set = self.replica_set(endpoint)
+
+        def run_batch(payloads: list[np.ndarray]) -> list[np.ndarray]:
+            sizes = [int(payload.shape[0]) for payload in payloads]
+            if len(payloads) == 1:
+                images = payloads[0]
+            else:
+                images = np.concatenate(payloads, axis=0)
+            logits, layer_stats = replica_set.infer(images)
+            if metrics is not None and layer_stats:
+                metrics.merge_layer_stats(layer_stats)
+            results = []
+            offset = 0
+            for size in sizes:
+                results.append(logits[offset : offset + size])
+                offset += size
+            return results
+
+        return run_batch
+
+    def close(self) -> None:
+        """Close every replica (releasing the harness leases)."""
+        with self._lock:
+            sets, self._sets = list(self._sets.values()), {}
+        for replica_set in sets:
+            replica_set.close()

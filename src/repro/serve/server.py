@@ -1,0 +1,324 @@
+"""Asyncio HTTP front-end of the NB-SMT inference service.
+
+Pure stdlib: a minimal HTTP/1.1 server on ``asyncio`` streams (keep-alive,
+``Content-Length`` framing, JSON bodies).  The event loop only parses
+requests and awaits futures; all model execution happens on the dynamic
+batchers' worker threads (NumPy/BLAS release the GIL), so one process
+serves many concurrent connections per endpoint.
+
+Routes
+------
+* ``GET /healthz`` -- liveness.
+* ``GET /v1/models`` -- registered endpoints, their engine configuration
+  and current admission pressure.
+* ``GET /v1/metrics`` -- per-endpoint latency/throughput/batch-fill plus
+  aggregated NB-SMT statistics.
+* ``POST /v1/models/<name>:predict`` -- body ``{"inputs": [...]}`` where
+  ``inputs`` is one image ``(C, H, W)`` or a micro-batch ``(B, C, H, W)``
+  as nested JSON lists.  Responds with logits and top-1 classes.  When the
+  endpoint's admission budget is exhausted, responds ``429`` immediately
+  (backpressure) instead of queueing without bound.
+
+Shutdown is graceful: SIGINT/SIGTERM stop accepting connections, drain
+every batcher (queued requests still execute and respond), close the
+engine pool (releasing harness leases / terminating forked workers), and
+then return from :meth:`NBSMTServer.serve_forever`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+
+import numpy as np
+
+from repro.serve.batcher import DynamicBatcher, QueueFull
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import EnginePool
+from repro.serve.registry import ServeRegistry, default_registry
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class NBSMTServer:
+    """The serving subsystem assembled: registry + pool + batchers + HTTP."""
+
+    def __init__(
+        self,
+        registry: ServeRegistry | None = None,
+        *,
+        scale: str = "fast",
+        fork_workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 8421,
+        warm: bool = True,
+        pool: EnginePool | None = None,
+    ):
+        self.registry = registry or default_registry()
+        self.scale = scale
+        self.host = host
+        self.port = port
+        self.metrics = MetricsRegistry()
+        self.pool = pool or EnginePool(
+            self.registry, scale=scale, fork_workers=fork_workers, warm=warm
+        )
+        self.batchers: dict[str, DynamicBatcher] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._stopped = False
+
+    # -- endpoint assembly -------------------------------------------------
+    def _build_endpoints(self) -> None:
+        """Warm every registered endpoint and start its batcher."""
+        for name in self.registry.names():
+            if name in self.batchers:
+                continue
+            spec = self.registry.get(name)
+            endpoint_metrics = self.metrics.endpoint(
+                name, batch_capacity=spec.max_batch
+            )
+            runner = self.pool.runner_for(name, metrics=endpoint_metrics)
+            self.batchers[name] = DynamicBatcher(
+                runner,
+                max_batch=spec.max_batch,
+                max_wait=spec.max_wait_ms / 1000.0,
+                on_batch=endpoint_metrics.record_batch,
+                # One assembly thread per replica keeps every forked worker
+                # busy; a single in-process replica gets a single thread.
+                workers=self.pool.replica_count(name),
+                name=f"batch-{name}",
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Warm the endpoints and start listening (sets :attr:`port`)."""
+        self._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # Endpoint warm-up trains/calibrates on first use; keep it off the
+        # event loop thread so health checks stay responsive once up.
+        await loop.run_in_executor(None, self._build_endpoints)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain batchers, close pool."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+
+        def drain_and_close():
+            for batcher in self.batchers.values():
+                batcher.close(drain=True)
+            self.pool.close()
+
+        await loop.run_in_executor(None, drain_and_close)
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def serve_forever(self) -> None:
+        """Start, install signal handlers, and run until stopped."""
+        await self.start()
+        self.install_signal_handlers()
+        print(
+            f"repro.serve: listening on http://{self.host}:{self.port} "
+            f"(endpoints: {', '.join(sorted(self.batchers)) or 'none'})",
+            flush=True,
+        )
+        await self._stop_event.wait()
+
+    # -- HTTP plumbing -----------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer, exc.status, {"error": exc.message}, False
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                try:
+                    status, payload = await self._route(method, path, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except Exception as exc:  # noqa: BLE001 - reported as 500
+                    status, payload = 500, {"error": repr(exc)}
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _version = request_line.decode("ascii").split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip().lower()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length header") from None
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            return 200, {"status": "ok", "endpoints": sorted(self.batchers)}
+        if path == "/v1/models":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, {"models": self.registry.describe()}
+        if path == "/v1/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, self.metrics.snapshot()
+        if path.startswith("/v1/models/") and path.endswith(":predict"):
+            if method != "POST":
+                raise _HttpError(405, "use POST")
+            name = path[len("/v1/models/") : -len(":predict")]
+            return await self._predict(name, body)
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _predict(self, name: str, body: bytes):
+        if self._stopped:
+            raise _HttpError(503, "server is shutting down")
+        try:
+            spec = self.registry.get(name)
+        except KeyError as exc:
+            raise _HttpError(404, str(exc)) from None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            inputs = np.asarray(payload["inputs"], dtype=np.float32)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _HttpError(400, f"bad request body: {exc!r}") from None
+        if inputs.ndim == 3:
+            inputs = inputs[np.newaxis]
+        if inputs.ndim != 4 or inputs.shape[0] == 0:
+            raise _HttpError(
+                400, f"inputs must be (C,H,W) or (B,C,H,W); got {inputs.shape}"
+            )
+        # Validate the per-image shape up front: a mismatched request must
+        # fail alone with a 400, never poison the batch it would have been
+        # coalesced into.
+        expected = self.pool.input_shape(name)
+        if tuple(inputs.shape[1:]) != expected:
+            raise _HttpError(
+                400,
+                f"endpoint {name!r} expects images of shape {expected}; "
+                f"got {tuple(inputs.shape[1:])}",
+            )
+        images = int(inputs.shape[0])
+        endpoint_metrics = self.metrics.endpoint(name)
+        admission = self.registry.admission(name)
+        if not admission.try_admit(images):
+            endpoint_metrics.record_rejection(images)
+            raise _HttpError(
+                429,
+                f"endpoint {name!r} is saturated "
+                f"({admission.in_flight}/{admission.capacity} images in flight)",
+            )
+        started = time.monotonic()
+        try:
+            future = self.batchers[name].submit(inputs, size=images)
+            logits = await asyncio.wrap_future(future)
+        except QueueFull as exc:
+            endpoint_metrics.record_rejection(images)
+            raise _HttpError(429, str(exc)) from None
+        except Exception:
+            endpoint_metrics.record_failure()
+            raise
+        finally:
+            admission.release(images)
+        latency = time.monotonic() - started
+        endpoint_metrics.record_request(latency, images)
+        return 200, {
+            "model": spec.zoo_model,
+            "endpoint": name,
+            "batch": images,
+            "argmax": np.argmax(logits, axis=1).tolist(),
+            "outputs": np.asarray(logits).tolist(),
+            "latency_ms": latency * 1000.0,
+        }
+
+
+def run_server(**kwargs) -> None:
+    """Blocking entry point used by ``repro.cli serve``."""
+    server = NBSMTServer(**kwargs)
+    asyncio.run(server.serve_forever())

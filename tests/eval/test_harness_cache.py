@@ -1,0 +1,105 @@
+"""Refcounted harness LRU: eviction/clear defer close under live leases."""
+
+import pytest
+
+from repro.eval.experiments import common
+
+
+class FakeHarness:
+    """Stands in for a SysmtHarness in the cache (only close() is touched)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.closed = 0
+
+    def close(self) -> None:
+        self.closed += 1
+
+
+@pytest.fixture
+def pristine_cache():
+    """Run against an empty cache; restore whatever was there afterwards."""
+    with common._CACHE_LOCK:
+        saved_harnesses = dict(common._HARNESS_CACHE)
+        saved_models = dict(common._MODEL_CACHE)
+        saved_leases = dict(common._HARNESS_LEASES)
+        saved_deferred = set(common._DEFERRED_CLOSE)
+        common._HARNESS_CACHE.clear()
+        common._MODEL_CACHE.clear()
+        common._HARNESS_LEASES.clear()
+        common._DEFERRED_CLOSE.clear()
+    yield
+    with common._CACHE_LOCK:
+        common._HARNESS_CACHE.clear()
+        common._HARNESS_CACHE.update(saved_harnesses)
+        common._MODEL_CACHE.clear()
+        common._MODEL_CACHE.update(saved_models)
+        common._HARNESS_LEASES.clear()
+        common._HARNESS_LEASES.update(saved_leases)
+        common._DEFERRED_CLOSE.clear()
+        common._DEFERRED_CLOSE.update(saved_deferred)
+
+
+def seed_cache(*names: str) -> dict[str, FakeHarness]:
+    harnesses = {}
+    for name in names:
+        harness = FakeHarness(name)
+        common._HARNESS_CACHE[(name, "fast")] = harness
+        harnesses[name] = harness
+    return harnesses
+
+
+def test_clear_defers_close_for_leased_harness(pristine_cache):
+    harnesses = seed_cache("a", "b")
+    leased = common.acquire_harness("a", "fast")  # cache hit, no build
+    assert leased is harnesses["a"]
+    common.clear_harness_cache()
+    # The un-leased harness closes immediately; the leased one is deferred.
+    assert harnesses["b"].closed == 1
+    assert harnesses["a"].closed == 0
+    common.release_harness(leased)
+    assert harnesses["a"].closed == 1
+
+
+def test_eviction_defers_close_until_release(pristine_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_HARNESS_CACHE_LIMIT", "1")
+    harnesses = seed_cache("a")
+    leased = common.acquire_harness("a", "fast")
+    seed_cache("b")
+    # Touching "b" trims the LRU to one entry, evicting the leased "a".
+    assert common.acquire_harness("b", "fast") is not leased
+    assert ("a", "fast") not in common._HARNESS_CACHE
+    assert harnesses["a"].closed == 0  # still leased: close deferred
+    common.release_harness(leased)
+    assert harnesses["a"].closed == 1
+    common.release_harness(common._HARNESS_CACHE[("b", "fast")])
+
+
+def test_nested_leases_close_only_after_last_release(pristine_cache):
+    harnesses = seed_cache("a")
+    first = common.acquire_harness("a", "fast")
+    second = common.acquire_harness("a", "fast")
+    assert first is second
+    common.clear_harness_cache()
+    common.release_harness(first)
+    assert harnesses["a"].closed == 0  # one lease still out
+    common.release_harness(second)
+    assert harnesses["a"].closed == 1
+
+
+def test_release_of_cached_harness_does_not_close(pristine_cache):
+    harnesses = seed_cache("a")
+    leased = common.acquire_harness("a", "fast")
+    common.release_harness(leased)
+    # Still cached: nothing was deferred, so nothing closes.
+    assert harnesses["a"].closed == 0
+    assert ("a", "fast") in common._HARNESS_CACHE
+
+
+def test_discard_inherited_state_drops_leases_without_closing(pristine_cache):
+    harnesses = seed_cache("a")
+    common.acquire_harness("a", "fast")
+    common.discard_inherited_state()
+    assert harnesses["a"].closed == 0
+    assert not common._HARNESS_LEASES
+    assert not common._DEFERRED_CLOSE

@@ -82,3 +82,33 @@ def test_empty_evaluation_set(tiny_harness):
         workers=4,
     )
     assert accuracy == 0.0
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+def test_worklist_worker_drains_on_sigterm(tmp_path):
+    """A signaled worker finishes its in-flight thunk, skips the rest, and
+    still runs the finalizer (graceful shutdown, no orphaned state)."""
+    import os
+    import signal
+
+    from repro.eval.parallel import run_worklists
+
+    def first_thunk():
+        (tmp_path / "first.done").write_text("ok")
+        os.kill(os.getpid(), signal.SIGTERM)  # arrives mid-worklist
+        (tmp_path / "first.after-signal").write_text("ok")
+
+    def second_thunk():
+        (tmp_path / "second.done").write_text("ok")
+
+    def finalizer():
+        (tmp_path / "finalized").write_text("ok")
+
+    ok = run_worklists([[first_thunk, second_thunk]], finalizer=finalizer)
+    assert ok == [True]
+    # The in-flight thunk completed past the signal (drain, not abort)...
+    assert (tmp_path / "first.done").exists()
+    assert (tmp_path / "first.after-signal").exists()
+    # ...the remaining thunk was skipped, and cleanup still ran.
+    assert not (tmp_path / "second.done").exists()
+    assert (tmp_path / "finalized").exists()

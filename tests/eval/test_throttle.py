@@ -1,0 +1,96 @@
+"""Layer throttling: MSE ranking, assignments, and the operating-point walk."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.smt import SMTStatistics
+from repro.eval.throttle import (
+    plan_speedup,
+    rank_layers_by_mse,
+    throttle_assignment,
+    throttle_to_accuracy,
+)
+
+
+def stats_with_mse(relative_mse: float) -> SMTStatistics:
+    return SMTStatistics(sum_sq_error=relative_mse, sum_sq_exact=1.0)
+
+
+def test_rank_layers_by_mse_orders_descending_with_position_ties():
+    order = ["a", "b", "c", "d"]
+    layer_stats = {
+        "a": stats_with_mse(0.10),
+        "b": stats_with_mse(0.30),
+        "c": stats_with_mse(0.10),  # ties with "a": earlier layer first
+        "d": stats_with_mse(0.20),
+    }
+    assert rank_layers_by_mse(layer_stats, order) == ["b", "d", "a", "c"]
+
+
+def test_rank_layers_ignores_layers_missing_from_the_order():
+    layer_stats = {"a": stats_with_mse(0.5), "ghost": stats_with_mse(0.9)}
+    assert rank_layers_by_mse(layer_stats, ["a"]) == ["a"]
+
+
+def fake_qmodel(groups_by_layer: dict[str, int], depthwise_single=True):
+    layers = {
+        name: SimpleNamespace(module=SimpleNamespace(groups=groups))
+        for name, groups in groups_by_layer.items()
+    }
+    config = SimpleNamespace(depthwise_single_thread=depthwise_single)
+    return SimpleNamespace(layers=layers, config=config)
+
+
+def test_throttle_assignment_slows_selected_layers_only():
+    qmodel = fake_qmodel({"c1": 1, "c2": 1, "c3": 1})
+    assignment = throttle_assignment(qmodel, 4, ["c2"], 2)
+    assert assignment == {"c1": 4, "c2": 2, "c3": 4}
+
+
+def test_throttle_assignment_pins_depthwise_layers():
+    qmodel = fake_qmodel({"c1": 1, "dw": 8})
+    assignment = throttle_assignment(qmodel, 4, [], 2)
+    assert assignment == {"c1": 4, "dw": 1}
+    # An explicitly slowed depthwise layer follows the request.
+    assert throttle_assignment(qmodel, 4, ["dw"], 2)["dw"] == 2
+    # Without the config pin, depthwise layers run at base threads.
+    loose = fake_qmodel({"dw": 8}, depthwise_single=False)
+    assert throttle_assignment(loose, 4, [], 2) == {"dw": 4}
+
+
+def test_plan_speedup_matches_harness_model(tiny_harness):
+    assignment = {name: 2 for name in tiny_harness.qmodel.layer_names()}
+    assert plan_speedup(tiny_harness, assignment) == pytest.approx(
+        tiny_harness.speedup_for(assignment)
+    )
+
+
+def test_throttle_to_accuracy_walks_highest_mse_layers(tiny_harness):
+    plans = throttle_to_accuracy(
+        tiny_harness,
+        target_accuracy=1.01,  # unreachable: walk to max_slowed
+        base_threads=4,
+        slow_threads=2,
+        max_slowed=1,
+    )
+    assert len(plans) == 2
+    baseline, slowed = plans
+    assert baseline.num_slowed == 0
+    assert baseline.speedup == pytest.approx(4.0, abs=0.05)
+    assert slowed.num_slowed == 1
+    # The slowed layer is the highest-MSE layer of the baseline run.
+    baseline_result = tiny_harness.evaluate_nbsmt(threads=4, collect_stats=True)
+    ranked = rank_layers_by_mse(
+        baseline_result.layer_stats, tiny_harness.qmodel.layer_names()
+    )
+    assert slowed.slowed_layers == ranked[:1]
+    assert slowed.threads[ranked[0]] == 2
+    assert slowed.speedup < baseline.speedup
+
+
+def test_throttle_to_accuracy_stops_at_reached_target(tiny_harness):
+    plans = throttle_to_accuracy(tiny_harness, target_accuracy=0.0,
+                                 base_threads=4)
+    assert len(plans) == 1
+    assert plans[0].num_slowed == 0

@@ -1,0 +1,196 @@
+"""Dynamic batcher: saturation, max-wait flush, idle behavior, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import BatcherClosed, DynamicBatcher, QueueFull
+
+
+class RecordingRunner:
+    """Doubles each payload; records the batch splits it was handed."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches: list[list] = []
+        self.delay = delay
+
+    def __call__(self, payloads):
+        self.batches.append(list(payloads))
+        if self.delay:
+            time.sleep(self.delay)
+        return [payload * 2 for payload in payloads]
+
+
+def test_saturated_queue_fills_batches_to_max_batch():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(runner, max_batch=4, max_wait=0.05, autostart=False)
+    futures = [batcher.submit(i) for i in range(10)]
+    batcher.start()
+    assert [future.result(timeout=5) for future in futures] == [
+        2 * i for i in range(10)
+    ]
+    batcher.close()
+    assert [len(batch) for batch in runner.batches] == [4, 4, 2]
+    # FIFO order is preserved across batches.
+    assert [payload for batch in runner.batches for payload in batch] == list(
+        range(10)
+    )
+
+
+def test_max_wait_flushes_partial_batch():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(runner, max_batch=64, max_wait=0.02)
+    started = time.monotonic()
+    future = batcher.submit(21)
+    assert future.result(timeout=5) == 42
+    elapsed = time.monotonic() - started
+    batcher.close()
+    assert runner.batches == [[21]]
+    assert elapsed < 2.0  # flushed by the wait budget, not by batch fill
+
+
+def test_empty_queue_idles_without_runner_calls():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(runner, max_batch=4, max_wait=0.001)
+    batcher.submit(1).result(timeout=5)
+    calls_after_first = len(runner.batches)
+    time.sleep(0.1)  # idle: the worker blocks on the queue, no polling
+    assert len(runner.batches) == calls_after_first
+    assert batcher.pending_images == 0
+    batcher.close()
+
+
+def test_micro_batch_requests_are_atomic_and_carry_over():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(runner, max_batch=4, max_wait=0.05, autostart=False)
+    sizes = [3, 2, 2, 1]
+    futures = [batcher.submit(size, size=size) for size in sizes]
+    batcher.start()
+    for future, size in zip(futures, sizes):
+        assert future.result(timeout=5) == 2 * size
+    batcher.close()
+    # 3 doesn't fit with 2 -> carry; 2+2 fits; 1 follows alone.
+    assert runner.batches == [[3], [2, 2], [1]]
+
+
+def test_oversized_request_runs_alone():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(runner, max_batch=4, max_wait=0.01)
+    assert batcher.submit(9, size=9).result(timeout=5) == 18
+    batcher.close()
+    assert runner.batches == [[9]]
+
+
+def test_runner_error_propagates_to_every_request_of_the_batch():
+    def failing(payloads):
+        raise ValueError("engine exploded")
+
+    batcher = DynamicBatcher(failing, max_batch=4, max_wait=0.05, autostart=False)
+    futures = [batcher.submit(i) for i in range(3)]
+    batcher.start()
+    for future in futures:
+        with pytest.raises(ValueError, match="engine exploded"):
+            future.result(timeout=5)
+    batcher.close()
+
+
+def test_close_drain_executes_queued_requests():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(runner, max_batch=2, max_wait=10.0, autostart=False)
+    futures = [batcher.submit(i) for i in range(5)]
+    batcher.start()
+    batcher.close(drain=True)
+    assert [future.result(timeout=5) for future in futures] == [
+        0, 2, 4, 6, 8,
+    ]
+    assert batcher.pending_images == 0
+    with pytest.raises(BatcherClosed):
+        batcher.submit(1)
+
+
+def test_close_without_drain_cancels_queued_requests():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(runner, max_batch=2, max_wait=10.0, autostart=False)
+    futures = [batcher.submit(i) for i in range(4)]
+    batcher.close(drain=False)
+    assert all(future.cancelled() for future in futures)
+    assert batcher.pending_images == 0
+
+
+def test_max_queue_rejects_when_full():
+    release = threading.Event()
+    entered = threading.Event()
+
+    def slow(payloads):
+        entered.set()
+        release.wait(5)
+        return list(payloads)
+
+    batcher = DynamicBatcher(slow, max_batch=1, max_wait=0.0, max_queue=2)
+    first = batcher.submit(0)
+    assert entered.wait(5)  # worker is busy with the first request...
+    batcher.submit(1)  # ...so these two fill the queue budget
+    batcher.submit(2)
+    with pytest.raises(QueueFull):
+        batcher.submit(3)
+    release.set()
+    first.result(timeout=5)
+    batcher.close()
+
+
+def test_start_after_close_refuses():
+    batcher = DynamicBatcher(RecordingRunner(), max_batch=2, autostart=False)
+    batcher.close()
+    with pytest.raises(BatcherClosed):
+        batcher.start()
+
+
+def test_multiple_workers_execute_batches_concurrently():
+    barrier = threading.Barrier(2, timeout=5)
+
+    def runner(payloads):
+        barrier.wait()  # requires two batches in flight at once
+        return list(payloads)
+
+    batcher = DynamicBatcher(runner, max_batch=1, max_wait=0.0, workers=2)
+    futures = [batcher.submit(index) for index in range(2)]
+    assert [future.result(timeout=5) for future in futures] == [0, 1]
+    batcher.close()
+
+
+def test_multi_worker_close_drains_everything():
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(
+        runner, max_batch=2, max_wait=10.0, workers=3, autostart=False
+    )
+    futures = [batcher.submit(index) for index in range(7)]
+    batcher.start()
+    batcher.close(drain=True)
+    assert sorted(future.result(timeout=5) for future in futures) == [
+        0, 2, 4, 6, 8, 10, 12,
+    ]
+    assert batcher.pending_images == 0
+
+
+def test_on_batch_reports_sizes_and_waits():
+    reports = []
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(
+        runner,
+        max_batch=4,
+        max_wait=0.05,
+        on_batch=reports.append,
+        autostart=False,
+    )
+    futures = [batcher.submit(i, size=2) for i in range(3)]
+    batcher.start()
+    for future in futures:
+        future.result(timeout=5)
+    batcher.close()
+    assert [report.num_images for report in reports] == [4, 2]
+    assert [report.num_requests for report in reports] == [2, 1]
+    for report in reports:
+        assert len(report.queue_waits) == report.num_requests
+        assert all(wait >= 0.0 for wait in report.queue_waits)
+        assert report.service_seconds >= 0.0

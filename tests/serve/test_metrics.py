@@ -1,0 +1,82 @@
+"""Endpoint metrics: quantile estimation, batch fill, stats aggregation."""
+
+import pytest
+
+from repro.core.smt import SMTStatistics
+from repro.serve.batcher import BatchReport
+from repro.serve.metrics import EndpointMetrics, LatencyHistogram, MetricsRegistry
+
+
+def test_latency_histogram_quantiles_bracket_true_values():
+    histogram = LatencyHistogram()
+    samples = [0.001 * i for i in range(1, 1001)]  # 1ms .. 1s uniform
+    for sample in samples:
+        histogram.record(sample)
+    assert histogram.count == 1000
+    assert histogram.min == pytest.approx(0.001)
+    assert histogram.max == pytest.approx(1.0)
+    # Geometric buckets grow ~9.6% per step: estimates are within one step.
+    assert histogram.quantile(0.50) == pytest.approx(0.5, rel=0.12)
+    assert histogram.quantile(0.99) == pytest.approx(0.99, rel=0.12)
+    assert histogram.quantile(0.50) <= histogram.quantile(0.99)
+    assert histogram.mean == pytest.approx(sum(samples) / len(samples))
+
+
+def test_latency_histogram_empty_and_extremes():
+    histogram = LatencyHistogram()
+    assert histogram.quantile(0.99) == 0.0
+    histogram.record(0.0)  # below range -> first bucket
+    histogram.record(1e9)  # above range -> overflow bucket, max exact
+    assert histogram.count == 2
+    assert histogram.max == 1e9
+    assert histogram.quantile(0.25) <= histogram.quantile(0.99)
+
+
+def test_endpoint_batch_fill_and_counts():
+    metrics = EndpointMetrics("resnet18", batch_capacity=8)
+    metrics.record_batch(BatchReport(2, 8, 0.1, [0.0, 0.01]))
+    metrics.record_batch(BatchReport(1, 4, 0.1, [0.02]))
+    metrics.record_request(0.05, images=8)
+    metrics.record_request(0.07, images=4)
+    metrics.record_rejection(images=2)
+    assert metrics.batches == 2
+    assert metrics.batched_images == 12
+    assert metrics.batch_fill == pytest.approx(12 / 16)
+    assert metrics.mean_batch_size == pytest.approx(6.0)
+    assert metrics.requests == 2
+    assert metrics.images == 12
+    assert metrics.rejected_requests == 1
+    snapshot = metrics.snapshot()
+    assert snapshot["batch_fill"] == pytest.approx(12 / 16)
+    assert snapshot["latency"]["count"] == 2
+    assert snapshot["queue_wait"]["count"] == 3
+    assert snapshot["rejected_images"] == 2
+    assert snapshot["throughput_images_per_s"] >= 0.0
+
+
+def test_endpoint_merges_layer_stats_exactly():
+    metrics = EndpointMetrics("m", batch_capacity=4)
+    first = SMTStatistics(mac_total=10, mac_active=6, sum_sq_error=1.5)
+    second = SMTStatistics(mac_total=5, mac_active=2, sum_sq_error=0.25)
+    metrics.merge_layer_stats({"conv1": first})
+    metrics.merge_layer_stats({"conv1": second, "conv2": first})
+    merged = metrics.merged_smt_stats()
+    assert merged["conv1"].mac_total == 15
+    assert merged["conv1"].mac_active == 8
+    assert merged["conv1"].sum_sq_error == pytest.approx(1.75)
+    assert merged["conv2"].mac_total == 10
+    # merged_smt_stats returns copies: mutating them leaves the endpoint alone.
+    merged["conv1"].mac_total = 0
+    assert metrics.merged_smt_stats()["conv1"].mac_total == 15
+    snapshot = metrics.snapshot()
+    assert snapshot["smt_layer_stats"]["conv1"]["mac_total"] == 15
+
+
+def test_registry_reuses_endpoint_entries():
+    registry = MetricsRegistry()
+    entry = registry.endpoint("a", batch_capacity=4)
+    assert registry.endpoint("a") is entry
+    registry.endpoint("b").record_request(0.01)
+    snapshot = registry.snapshot()
+    assert set(snapshot["endpoints"]) == {"a", "b"}
+    assert snapshot["endpoints"]["b"]["requests"] == 1

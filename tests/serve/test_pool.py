@@ -1,0 +1,140 @@
+"""Warm engine pool: replica execution, throttled specs, lease lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.eval.parallel import fork_available
+from repro.eval.throttle import throttle_assignment
+from repro.serve.pool import EnginePool, ForkedReplica, InlineReplica
+from repro.serve.registry import ModelSpec, ServeRegistry
+
+
+def tiny_spec(**overrides) -> ModelSpec:
+    params = {
+        "name": "tinynet",
+        "model": "resnet18",  # registry-valid zoo alias; provider ignores it
+        "threads": 2,
+        "policy": "S+A",
+        "max_batch": 16,
+    }
+    params.update(overrides)
+    return ModelSpec(**params)
+
+
+def test_inline_replica_matches_direct_engine(
+    tiny_harness, tiny_provider, direct_reference
+):
+    replica = InlineReplica(tiny_spec(), tiny_provider, warm=True)
+    images = tiny_harness.eval_images[:8]
+    logits, layer_stats = replica.infer(images)
+    replica.close()
+    expected_logits, expected_stats = direct_reference(tiny_harness, images)
+    assert np.array_equal(logits, expected_logits)
+    assert set(layer_stats) == set(expected_stats)
+    for name, stats in expected_stats.items():
+        assert layer_stats[name].as_dict() == stats.as_dict()
+
+
+def test_inline_replica_stats_are_per_call(tiny_harness, tiny_provider):
+    replica = InlineReplica(tiny_spec(), tiny_provider, warm=True)
+    images = tiny_harness.eval_images[:4]
+    _, first = replica.infer(images)
+    _, second = replica.infer(images)
+    replica.close()
+    for name in first:
+        assert first[name].as_dict() == second[name].as_dict()
+
+
+def test_throttled_spec_uses_throttle_assignment(tiny_harness, tiny_provider):
+    layer_names = tiny_harness.qmodel.layer_names()
+    slowed = layer_names[0]
+    spec = tiny_spec(threads=4, slow_layers=(slowed,), slow_threads=2)
+    replica = InlineReplica(spec, tiny_provider, warm=False)
+    assignment = replica.thread_assignment()
+    expected = throttle_assignment(tiny_harness.qmodel, 4, [slowed], 2)
+    replica.close()
+    assert assignment == expected
+    assert assignment[slowed] == 2
+    assert all(
+        assignment[name] == 4 for name in layer_names if name != slowed
+    )
+
+
+def test_replica_reasserts_config_after_harness_drift(
+    tiny_harness, tiny_provider, direct_reference
+):
+    """A shared harness reconfigured between requests is re-asserted."""
+    replica = InlineReplica(tiny_spec(), tiny_provider, warm=True)
+    images = tiny_harness.eval_images[:8]
+    expected_logits, _ = replica.infer(images)
+    # Experiment code reconfigures the same harness behind the replica's
+    # back: different engine, threads and reordering permutations.
+    tiny_harness.evaluate_nbsmt(threads=4, policy="min", reorder=True)
+    logits, _ = replica.infer(images)
+    replica.close()
+    assert np.array_equal(logits, expected_logits)
+
+
+def test_replica_releases_lease_on_close(tiny_harness, tiny_provider):
+    replica = InlineReplica(tiny_spec(), tiny_provider, warm=False)
+    assert tiny_provider.acquired == 1
+    assert tiny_provider.released == 0
+    replica.close()
+    replica.close()  # idempotent
+    assert tiny_provider.released == 1
+    with pytest.raises(RuntimeError, match="closed"):
+        replica.infer(tiny_harness.eval_images[:1])
+
+
+def test_pool_runner_splits_batches_per_request(
+    tiny_harness, tiny_provider, direct_reference
+):
+    registry = ServeRegistry()
+    spec = registry.register(tiny_spec())
+    pool = EnginePool(registry, provider=tiny_provider, warm=False)
+    runner = pool.runner_for(spec.name)
+    images = tiny_harness.eval_images[:6]
+    payloads = [images[0:1], images[1:4], images[4:6]]
+    results = runner(payloads)
+    pool.close()
+    assert [result.shape[0] for result in results] == [1, 3, 2]
+    expected_logits, _ = direct_reference(tiny_harness, images)
+    assert np.array_equal(np.vstack(results), expected_logits)
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+def test_replica_set_respawns_dead_forked_worker(tiny_harness, tiny_provider):
+    from repro.serve.pool import ReplicaSet
+
+    replica = ForkedReplica(tiny_spec(), tiny_provider, warm=False)
+    replica_set = ReplicaSet([replica])
+    images = tiny_harness.eval_images[:2]
+    expected, _ = replica_set.infer(images)
+    replica._process.kill()  # simulate an OOM-killed worker
+    replica._process.join(timeout=10)
+    with pytest.raises(RuntimeError, match="died"):
+        replica_set.infer(images)
+    # The slot was respawned: the next request succeeds and matches.
+    try:
+        logits, _ = replica_set.infer(images)
+        assert np.array_equal(logits, expected)
+    finally:
+        replica_set.close()
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+def test_forked_replica_matches_inline(tiny_harness, tiny_provider):
+    spec = tiny_spec()
+    images = tiny_harness.eval_images[:6]
+    inline = InlineReplica(spec, tiny_provider, warm=True)
+    expected_logits, expected_stats = inline.infer(images)
+    inline.close()
+    forked = ForkedReplica(spec, tiny_provider, warm=True)
+    try:
+        logits, layer_stats = forked.infer(images)
+    finally:
+        forked.close()
+    assert np.array_equal(logits, expected_logits)
+    assert set(layer_stats) == set(expected_stats)
+    for name, stats in expected_stats.items():
+        assert layer_stats[name].as_dict() == pytest.approx(stats.as_dict())

@@ -1,0 +1,66 @@
+"""Model specs, registry resolution, and admission control (backpressure)."""
+
+import pytest
+
+from repro.serve.registry import (
+    AdmissionController,
+    ModelSpec,
+    ServeRegistry,
+    default_registry,
+)
+
+
+def test_spec_defaults_resolve_model_and_policy():
+    spec = ModelSpec(name="resnet18")
+    assert spec.zoo_model == "resnet18"
+    from repro.core.policies import default_policy_for
+
+    assert spec.resolved_policy() == default_policy_for("resnet18").name
+    aliased = ModelSpec(name="resnet18-turbo", model="resnet18", policy="S+A")
+    assert aliased.zoo_model == "resnet18"
+    assert aliased.resolved_policy() == "S+A"
+    description = aliased.describe()
+    assert description["model"] == "resnet18"
+    assert description["policy"] == "S+A"
+
+
+def test_registry_rejects_unknown_zoo_model():
+    registry = ServeRegistry()
+    with pytest.raises(KeyError, match="unknown zoo model"):
+        registry.register(ModelSpec(name="not-a-model"))
+
+
+def test_registry_get_and_describe():
+    registry = ServeRegistry()
+    registry.register(ModelSpec(name="resnet18", max_pending=4))
+    assert registry.get("resnet18").name == "resnet18"
+    with pytest.raises(KeyError, match="unknown endpoint"):
+        registry.get("alexnet")
+    entries = registry.describe()
+    assert len(entries) == 1
+    assert entries[0]["in_flight"] == 0
+    assert entries[0]["pressure"] == 0.0
+
+
+def test_default_registry_applies_overrides():
+    registry = default_registry(models=("resnet18", "alexnet"), threads=2,
+                                max_batch=16)
+    assert set(registry.names()) == {"resnet18", "alexnet"}
+    for name in registry.names():
+        assert registry.get(name).threads == 2
+        assert registry.get(name).max_batch == 16
+
+
+def test_admission_controller_sheds_beyond_capacity():
+    admission = AdmissionController(capacity=4)
+    assert admission.try_admit(3)
+    assert admission.pressure == pytest.approx(0.75)
+    assert not admission.try_admit(2)  # 3 + 2 > 4: backpressure
+    assert admission.try_admit(1)
+    assert admission.pressure == pytest.approx(1.0)
+    assert not admission.try_admit(1)
+    admission.release(4)
+    assert admission.in_flight == 0
+    assert admission.try_admit(2)
+    admission.release(10)  # over-release clamps at zero
+    assert admission.in_flight == 0
