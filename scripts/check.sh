@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 repo check: byte-compile the package and run the fast test profile.
 #
-# Usage: scripts/check.sh [extra pytest args...]
+# Usage: scripts/check.sh [--serve] [extra pytest args...]
 # Examples:
-#   scripts/check.sh                 # compileall + fast tests
-#   scripts/check.sh -m serve        # compileall + the opt-in serving lane
+#   scripts/check.sh                 # compileall + fast tier-1 tests
+#   scripts/check.sh --serve         # compileall + the opt-in serve lane
+#                                    # (HTTP e2e, sharding, adaptive QoS)
+#   scripts/check.sh -m slow         # compileall + the slow lane
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,4 +16,11 @@ echo "== compileall =="
 python -m compileall -q src
 
 echo "== pytest =="
-python -m pytest -x -q "$@"
+# (No intermediate array: expanding an empty array under `set -u` breaks
+# on bash < 4.4, e.g. macOS's default bash 3.2.)
+if [[ "${1:-}" == "--serve" ]]; then
+    shift
+    python -m pytest -x -q -m serve "$@"
+else
+    python -m pytest -x -q "$@"
+fi

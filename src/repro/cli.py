@@ -87,10 +87,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "max_wait_ms": args.max_wait_ms,
         "max_pending": args.max_pending,
         "collect_stats": not args.no_stats,
+        "ladder_rungs": args.ladder_rungs,
+        "slow_threads": args.slow_threads,
+        "latency_budget_ms": args.latency_budget_ms,
+        "pace_sysmt": args.pace,
     }
     if args.policy is not None:
         overrides["policy"] = args.policy
     registry = default_registry(models=args.models or ["resnet18"], **overrides)
+    if args.shards > 1:
+        from repro.serve.sharding import run_sharded
+
+        run_sharded(
+            registry,
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            scale=args.scale,
+            fork_workers=args.fork_workers,
+        )
+        return 0
     run_server(
         registry=registry,
         scale=args.scale,
@@ -117,6 +133,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
         requests=args.requests,
         concurrency=args.concurrency,
         batch_size=args.batch_size,
+        mode=args.mode,
+        rate=args.rate,
+        latency_budget_ms=args.latency_budget_ms,
     )
     summary = report.summary()
     rows = [(key, f"{value:.4g}" if isinstance(value, float) else str(value))
@@ -217,6 +236,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip NB-SMT statistics collection on the serving path",
     )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="front-end server processes sharing the port via SO_REUSEPORT "
+        "(1 = single process)",
+    )
+    serve_parser.add_argument(
+        "--ladder-rungs",
+        type=int,
+        default=0,
+        help="operating-point ladder size per endpoint (>1 enables the "
+        "adaptive QoS controller; rung 0 slows the N-1 highest-MSE layers)",
+    )
+    serve_parser.add_argument(
+        "--slow-threads",
+        type=int,
+        default=2,
+        help="thread count of throttled (slowed) layers on the ladder",
+    )
+    serve_parser.add_argument(
+        "--latency-budget-ms",
+        type=float,
+        default=0.0,
+        help="per-request service objective the QoS controller defends "
+        "(0 = no latency term in the overload signal)",
+    )
+    serve_parser.add_argument(
+        "--pace",
+        action="store_true",
+        help="pace batches to the modeled SySMT service time of the active "
+        "operating point (the host functional simulation is cost-inverted)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     client_parser = subparsers.add_parser(
@@ -234,6 +286,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="validation images cycled through by the generator",
+    )
+    client_parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed loop (back-to-back) or open loop (fixed arrival rate; "
+        "the only way to generate sustained overload)",
+    )
+    client_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in requests/second",
+    )
+    client_parser.add_argument(
+        "--latency-budget-ms",
+        type=float,
+        default=None,
+        help="count responses within this budget (reports goodput)",
     )
     client_parser.add_argument(
         "--show-metrics",

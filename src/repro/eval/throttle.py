@@ -10,6 +10,7 @@ quality targets, Table V and Fig. 10).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.smt import SMTStatistics
@@ -85,6 +86,201 @@ def throttle_layers(
         threads=assignment, policy=policy, reorder=reorder
     )
     return result, assignment
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One rung of a throttle ladder: an assignment plus its expectations.
+
+    ``level`` is the rung index inside its ladder (0 = most throttled /
+    highest quality).  ``expected_speedup`` is the MAC-reduction proxy from
+    the harness performance model (Section V-B); ``expected_mse`` is the
+    noise proxy: the summed baseline relative MSE of the layers *not*
+    slowed at this rung (a slowed layer contributes its residual noise,
+    which the proxy rounds down to zero).  ``expected_accuracy`` is only
+    set when the ladder was built with measurement enabled.
+    """
+
+    level: int
+    slowed_layers: tuple[str, ...]
+    threads: dict[str, int]
+    expected_speedup: float
+    expected_mse: float
+    expected_accuracy: float | None = None
+
+    def describe(self) -> dict:
+        """JSON-able summary (what the serving layer reports)."""
+        return {
+            "level": self.level,
+            "slowed_layers": list(self.slowed_layers),
+            "num_slowed": len(self.slowed_layers),
+            "expected_speedup": self.expected_speedup,
+            "expected_mse": self.expected_mse,
+            "expected_accuracy": self.expected_accuracy,
+        }
+
+
+@dataclass(frozen=True)
+class OperatingLadder:
+    """An ordered sequence of operating points, quality-first.
+
+    Rung 0 is the *top* rung: the most throttled, most accurate point.
+    Walking towards the last rung un-throttles layers one by one, trading
+    accuracy (expected MSE non-decreasing) for modeled throughput
+    (expected speedup non-decreasing).  The serving QoS controller degrades
+    down the ladder under sustained load and recovers back to rung 0.
+    """
+
+    points: tuple[OperatingPoint, ...]
+
+    def __post_init__(self):
+        if not self.points:
+            raise ValueError("an operating ladder needs at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, level: int) -> OperatingPoint:
+        return self.points[level]
+
+    @property
+    def top(self) -> OperatingPoint:
+        """The highest-quality rung (level 0)."""
+        return self.points[0]
+
+    @property
+    def fastest(self) -> OperatingPoint:
+        """The least-throttled rung (highest modeled speedup)."""
+        return self.points[-1]
+
+    def describe(self) -> list[dict]:
+        return [point.describe() for point in self.points]
+
+
+def ladder_from_ranking(
+    slowed_ranking: Sequence[str],
+    layer_mse: dict[str, float],
+    qmodel,
+    base_threads: int,
+    slow_threads: int,
+    speedup_for: Callable[[dict[str, int]], float],
+) -> OperatingLadder:
+    """Build an operating ladder from an MSE-ranked list of slowable layers.
+
+    Rung 0 slows every layer of ``slowed_ranking``; each subsequent rung
+    un-throttles the lowest-ranked slowed layer, down to the last rung
+    which slows nothing.  Layers whose default thread count is already at
+    or below ``slow_threads`` (e.g. depthwise layers pinned to a single
+    thread) are dropped from the ranking -- "slowing" them would speed them
+    up and break the ladder's monotonicity.
+
+    The resulting ladder is monotone by construction: walking from rung 0
+    to the last rung, ``expected_speedup`` and ``expected_mse`` are both
+    non-decreasing (equivalently, as throttling increases both the MAC
+    reduction and the expected noise shrink).
+    """
+    defaults = throttle_assignment(qmodel, base_threads, [], slow_threads)
+    slowable = [
+        name
+        for name in slowed_ranking
+        if defaults.get(name, base_threads) > slow_threads
+    ]
+    points = []
+    rungs = len(slowable) + 1
+    for level in range(rungs):
+        slowed = list(slowable[: rungs - 1 - level])
+        assignment = throttle_assignment(
+            qmodel, base_threads, slowed, slow_threads
+        )
+        expected_mse = float(
+            sum(
+                max(0.0, layer_mse.get(name, 0.0))
+                for name in assignment
+                if name not in slowed
+            )
+        )
+        points.append(
+            OperatingPoint(
+                level=level,
+                slowed_layers=tuple(slowed),
+                threads=assignment,
+                expected_speedup=float(speedup_for(assignment)),
+                expected_mse=expected_mse,
+            )
+        )
+    return OperatingLadder(tuple(points))
+
+
+def operating_ladder(
+    harness: SysmtHarness,
+    base_threads: int = 4,
+    slow_threads: int = 2,
+    rungs: int = 3,
+    policy: str | None = None,
+    reorder: bool = False,
+    slow_layers: Sequence[str] | None = None,
+    baseline: NBSMTRunResult | None = None,
+    measure_accuracy: bool = False,
+) -> OperatingLadder:
+    """The serving ladder of one model: quality-first operating points.
+
+    One baseline evaluation at ``base_threads`` ranks the layers by
+    recorded MSE (exactly the paper's throttling order); the top
+    ``rungs - 1`` layers (or an explicit ``slow_layers`` list, best-first)
+    become the progressively un-throttled set.  ``rungs`` is an upper
+    bound either way -- an explicit list longer than ``rungs - 1`` is
+    truncated (best-first), so a configured ladder size and the built
+    ladder never silently disagree; the ladder only comes out *shorter*
+    when fewer slowable layers exist (pinned depthwise layers are
+    excluded).  ``measure_accuracy=True`` additionally evaluates every
+    rung and records its measured accuracy (one extra evaluation per rung
+    -- used by fixtures and benchmarks, not by serving warm-up).
+    """
+    if rungs < 1:
+        raise ValueError("an operating ladder needs at least one rung")
+    if baseline is None:
+        baseline = harness.evaluate_nbsmt(
+            threads=base_threads, policy=policy, reorder=reorder,
+            collect_stats=True,
+        )
+    layer_mse = {
+        name: max(0.0, stats.relative_mse)
+        for name, stats in baseline.layer_stats.items()
+    }
+    if slow_layers is None:
+        ranked = rank_layers_by_mse(
+            baseline.layer_stats, harness.qmodel.layer_names()
+        )
+        slow_layers = ranked[: max(0, rungs - 1)]
+    else:
+        slow_layers = list(slow_layers)[: max(0, rungs - 1)]
+    ladder = ladder_from_ranking(
+        list(slow_layers),
+        layer_mse,
+        harness.qmodel,
+        base_threads,
+        slow_threads,
+        harness.speedup_for,
+    )
+    if measure_accuracy:
+        measured = []
+        for point in ladder.points:
+            result = harness.evaluate_nbsmt(
+                threads=dict(point.threads), policy=policy, reorder=reorder,
+                collect_stats=False,
+            )
+            measured.append(
+                OperatingPoint(
+                    level=point.level,
+                    slowed_layers=point.slowed_layers,
+                    threads=point.threads,
+                    expected_speedup=point.expected_speedup,
+                    expected_mse=point.expected_mse,
+                    expected_accuracy=result.accuracy,
+                )
+            )
+        ladder = OperatingLadder(tuple(measured))
+    return ladder
 
 
 def throttle_to_accuracy(

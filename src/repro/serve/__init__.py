@@ -19,17 +19,35 @@ The subsystem is assembled from five pieces:
   requests are coalesced into engine-sized batches under a latency budget.
 * :mod:`repro.serve.metrics` -- per-endpoint latency quantiles, throughput,
   batch fill and aggregated :class:`~repro.core.smt.SMTStatistics`.
+* :mod:`repro.serve.qos` -- the load-adaptive QoS layer: endpoints declare
+  an ordered :class:`~repro.eval.throttle.OperatingLadder` of throttled
+  operating points and a hysteretic controller walks it under load
+  (degrade to faster rungs under sustained admission pressure, recover to
+  the top rung when load subsides).
+* :mod:`repro.serve.sharding` -- ``SO_REUSEPORT`` multi-process front-end
+  sharding with whole-service metrics merging.
+* :mod:`repro.serve.conformance` -- the golden-trace conformance suite:
+  deterministic reference stack + committed per-rung logits digests and
+  SMT statistics, diffed by a tier-1 test.
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` -- a stdlib
-  ``asyncio`` HTTP front-end and a closed-loop load generator
+  ``asyncio`` HTTP front-end and a closed/open-loop load generator
   (``repro.cli serve`` / ``repro.cli client``).
 
 Batched execution is bit-identical to running the same inputs through the
-harness directly (same engines, same statistics); the test suite pins this.
+harness directly (same engines, same statistics); the test suite pins this
+-- per throttle-ladder rung -- via the golden-trace conformance suite.
 """
 
 from repro.serve.batcher import BatcherClosed, BatchReport, DynamicBatcher, QueueFull
 from repro.serve.metrics import EndpointMetrics, LatencyHistogram, MetricsRegistry
 from repro.serve.pool import EnginePool, ForkedReplica, InlineReplica
+from repro.serve.qos import (
+    EndpointGovernor,
+    LoadSignal,
+    QoSConfig,
+    QoSController,
+    Transition,
+)
 from repro.serve.registry import AdmissionController, ModelSpec, ServeRegistry
 from repro.serve.server import NBSMTServer
 
@@ -38,14 +56,19 @@ __all__ = [
     "BatchReport",
     "BatcherClosed",
     "DynamicBatcher",
+    "EndpointGovernor",
     "EndpointMetrics",
     "EnginePool",
     "ForkedReplica",
     "InlineReplica",
     "LatencyHistogram",
+    "LoadSignal",
     "MetricsRegistry",
     "ModelSpec",
     "NBSMTServer",
+    "QoSConfig",
+    "QoSController",
     "QueueFull",
     "ServeRegistry",
+    "Transition",
 ]

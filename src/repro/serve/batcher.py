@@ -172,6 +172,21 @@ class DynamicBatcher:
         with self._lock:
             return self._pending_images
 
+    def oldest_pending_age(self) -> float:
+        """Seconds the oldest *queued* request has been waiting.
+
+        A backlog-age probe for the QoS controller: it inspects the queue
+        head only (a request already being assembled into a batch no longer
+        counts), so it underestimates slightly but needs no extra
+        bookkeeping on the hot path.
+        """
+        now = time.monotonic()
+        with self._queue.mutex:
+            for item in self._queue.queue:
+                if item is not _STOP:
+                    return now - item.enqueued_at
+        return 0.0
+
     # -- submission --------------------------------------------------------
     def submit(self, payload, size: int = 1) -> Future:
         """Queue one request; resolves to ``runner``'s result for it."""

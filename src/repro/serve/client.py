@@ -1,12 +1,25 @@
-"""Closed-loop HTTP load generator for the NB-SMT inference server.
+"""HTTP load generator for the NB-SMT inference server.
 
-``repro.cli client`` drives a running server with synthetic zoo images:
-``concurrency`` worker threads each keep one keep-alive connection open
-and issue requests back to back (closed loop), so offered load scales with
-concurrency until the server's admission controller starts shedding.
+``repro.cli client`` drives a running server with synthetic zoo images in
+one of two arrival modes:
+
+* **closed loop** (the default): ``concurrency`` worker threads each keep
+  one keep-alive connection open and issue requests back to back, so
+  offered load scales with concurrency until the server's admission
+  controller starts shedding.  A closed loop self-throttles -- slow
+  responses slow the clients -- which is great for measuring capacity but
+  cannot overload the server.
+* **open loop** (``mode="open"``): requests are issued on a fixed arrival
+  schedule (``rate`` requests/second) regardless of completions, which is
+  how real traffic behaves and the only way to generate sustained
+  overload.  Arrivals that find every worker busy are sent late and
+  counted (``late_arrivals``); with ``latency_budget_ms`` set, the report
+  additionally tracks *goodput* -- responses completed within the budget
+  per second -- the figure of merit of the adaptive QoS controller.
+
 Latencies are measured end-to-end per request; the summary reports p50/p99,
-throughput, the rejection rate and (when labels are supplied) top-1
-accuracy of the served predictions.
+throughput, goodput, the rejection rate and (when labels are supplied)
+top-1 accuracy of the served predictions.
 """
 
 from __future__ import annotations
@@ -33,12 +46,29 @@ class LoadReport:
     latencies_seconds: list[float] = field(default_factory=list)
     correct: int = 0
     labeled: int = 0
+    mode: str = "closed"
+    offered_rate: float | None = None
+    latency_budget_s: float | None = None
+    within_budget: int = 0
+    late_arrivals: int = 0
 
     @property
     def throughput_images_per_s(self) -> float:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.images / self.elapsed_seconds
+
+    @property
+    def goodput_per_s(self) -> float:
+        """Responses completed within the latency budget, per second.
+
+        Falls back to plain request throughput when no budget was set.
+        """
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        if self.latency_budget_s is None:
+            return self.requests / self.elapsed_seconds
+        return self.within_budget / self.elapsed_seconds
 
     def latency_quantile(self, q: float) -> float:
         if not self.latencies_seconds:
@@ -52,7 +82,8 @@ class LoadReport:
         return self.correct / self.labeled if self.labeled else None
 
     def summary(self) -> dict:
-        return {
+        summary = {
+            "mode": self.mode,
             "requests": self.requests,
             "images": self.images,
             "rejected": self.rejected,
@@ -63,6 +94,14 @@ class LoadReport:
             "latency_p99_ms": self.latency_quantile(0.99) * 1000.0,
             "accuracy": self.accuracy,
         }
+        if self.mode == "open":
+            summary["offered_rate_per_s"] = self.offered_rate
+            summary["late_arrivals"] = self.late_arrivals
+        if self.latency_budget_s is not None:
+            summary["latency_budget_ms"] = self.latency_budget_s * 1000.0
+            summary["within_budget"] = self.within_budget
+            summary["goodput_per_s"] = self.goodput_per_s
+        return summary
 
 
 def predict_once(
@@ -107,21 +146,38 @@ def run_load(
     concurrency: int = 8,
     batch_size: int = 1,
     timeout: float = 120.0,
+    mode: str = "closed",
+    rate: float | None = None,
+    latency_budget_ms: float | None = None,
 ) -> LoadReport:
-    """Drive ``requests`` closed-loop predictions and report latencies.
+    """Drive ``requests`` predictions and report latencies.
 
     Each request carries ``batch_size`` images drawn round-robin from
     ``images``; workers reuse one connection each.  A 429 response is
     counted as a rejection and consumes its slot of the request budget
     (shed requests are not re-sent), so ``report.requests + rejected +
     errors == requests``.
+
+    ``mode="closed"`` (default) issues back to back; ``mode="open"``
+    issues on the fixed arrival schedule ``rate`` requests/second -- a
+    worker that picks its arrival up late (all workers were busy: the
+    open-loop backlog) sends immediately and the lateness is counted.
+    ``latency_budget_ms`` tracks within-budget completions (goodput).
     """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', not {mode!r}")
+    if mode == "open" and (rate is None or rate <= 0):
+        raise ValueError("open-loop mode needs a positive arrival rate")
     parts = urlsplit(url)
     host, port = parts.hostname, parts.port or 80
     counter = {"issued": 0}
+    budget_s = latency_budget_ms / 1000.0 if latency_budget_ms else None
     report = LoadReport(requests=0, images=0, rejected=0, errors=0,
-                        elapsed_seconds=0.0)
+                        elapsed_seconds=0.0, mode=mode, offered_rate=rate,
+                        latency_budget_s=budget_s)
     lock = threading.Lock()
+    start_barrier = threading.Barrier(max(1, concurrency) + 1)
+    base_time = {"at": 0.0}
 
     def next_request_index() -> int | None:
         with lock:
@@ -132,11 +188,20 @@ def run_load(
 
     def worker() -> None:
         connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        start_barrier.wait()
         try:
             while True:
                 index = next_request_index()
                 if index is None:
                     return
+                if mode == "open":
+                    arrival = base_time["at"] + index / rate
+                    delay = arrival - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    elif delay < -0.001:
+                        with lock:
+                            report.late_arrivals += 1
                 start = (index * batch_size) % images.shape[0]
                 stop = start + batch_size
                 batch = images[start:stop]
@@ -161,6 +226,8 @@ def run_load(
                         report.requests += 1
                         report.images += batch.shape[0]
                         report.latencies_seconds.append(latency)
+                        if budget_s is not None and latency <= budget_s:
+                            report.within_budget += 1
                         if labels is not None:
                             expected = [
                                 int(labels[(start + offset) % images.shape[0]])
@@ -182,9 +249,11 @@ def run_load(
         threading.Thread(target=worker, name=f"load-{index}", daemon=True)
         for index in range(max(1, concurrency))
     ]
-    started = time.monotonic()
     for thread in threads:
         thread.start()
+    started = time.monotonic()
+    base_time["at"] = started
+    start_barrier.wait()
     for thread in threads:
         thread.join()
     report.elapsed_seconds = time.monotonic() - started

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 import threading
 import time
+from collections import deque
 
 from repro.core.smt import SMTStatistics
 
@@ -91,6 +92,39 @@ class LatencyHistogram:
             "p99_s": self.quantile(0.99),
         }
 
+    # -- cross-process merging (front-end sharding) -------------------------
+    def to_payload(self) -> dict:
+        """Exact, mergeable state (bucket counts, not quantile estimates)."""
+        return {
+            "low": self.low,
+            "ratio": self.ratio,
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    def merge_payload(self, payload: dict) -> None:
+        """Fold another histogram's payload in (same bucket geometry)."""
+        if len(payload["counts"]) != len(self.counts) or not math.isclose(
+            payload["ratio"], self.ratio
+        ):
+            raise ValueError("histogram payloads have different geometries")
+        for index, bucket_count in enumerate(payload["counts"]):
+            self.counts[index] += bucket_count
+        self.count += payload["count"]
+        self.sum += payload["sum"]
+        if payload["count"]:
+            self.min = min(self.min, payload["min"])
+            self.max = max(self.max, payload["max"])
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LatencyHistogram":
+        histogram = cls()
+        histogram.merge_payload(payload)
+        return histogram
+
 
 class EndpointMetrics:
     """Counters and histograms of one served model endpoint.
@@ -100,9 +134,16 @@ class EndpointMetrics:
     batches -- the figure of merit of the dynamic batcher.
     """
 
-    def __init__(self, name: str, batch_capacity: int = 1):
+    def __init__(
+        self,
+        name: str,
+        batch_capacity: int = 1,
+        latency_budget_ms: float = 0.0,
+        recent_window: int = 256,
+    ):
         self.name = name
         self.batch_capacity = max(1, int(batch_capacity))
+        self.latency_budget_ms = float(latency_budget_ms)
         self._lock = threading.Lock()
         self.started_at = time.monotonic()
         self.requests = 0
@@ -116,6 +157,20 @@ class EndpointMetrics:
         self.queue_wait = LatencyHistogram()
         self.batch_service = LatencyHistogram()
         self.layer_stats: dict[str, SMTStatistics] = {}
+        #: Sliding window of (recorded_at, latency): the QoS controller's
+        #: overload/recovery signal must reflect *recent* traffic, not the
+        #: whole (cumulative) histogram -- and entries age out by time too,
+        #: or an idle endpoint would stare at its overload-era p99 forever
+        #: and never recover.
+        self.recent_latencies: deque[tuple[float, float]] = deque(
+            maxlen=max(8, recent_window)
+        )
+        #: Images served per ladder rung, plus the current rung gauge.
+        self.points_served: dict[int, int] = {}
+        self.operating_point_level = 0
+        self.operating_point: dict | None = None
+        self.transitions = 0
+        self.recent_transitions: deque[dict] = deque(maxlen=64)
 
     # -- recording ---------------------------------------------------------
     def record_request(self, latency_seconds: float, images: int = 1) -> None:
@@ -124,6 +179,9 @@ class EndpointMetrics:
             self.requests += 1
             self.images += int(images)
             self.latency.record(latency_seconds)
+            self.recent_latencies.append(
+                (time.monotonic(), float(latency_seconds))
+            )
 
     def record_rejection(self, images: int = 1) -> None:
         """One request turned away by admission control (backpressure)."""
@@ -149,6 +207,44 @@ class EndpointMetrics:
         with self._lock:
             for layer_name, stats in layer_stats.items():
                 self.layer_stats.setdefault(layer_name, SMTStatistics()).merge(stats)
+
+    def record_served_level(self, level: int, images: int) -> None:
+        """Count images served at one ladder rung (per-rung breakdown)."""
+        with self._lock:
+            self.points_served[int(level)] = (
+                self.points_served.get(int(level), 0) + int(images)
+            )
+
+    def set_operating_point(self, level: int, description: dict | None) -> None:
+        """Gauge: the rung this endpoint currently serves at."""
+        with self._lock:
+            self.operating_point_level = int(level)
+            self.operating_point = description
+
+    def record_transition(self, transition) -> None:
+        """One QoS ladder transition (a :class:`repro.serve.qos.Transition`)."""
+        with self._lock:
+            self.transitions += 1
+            self.recent_transitions.append(transition.describe())
+
+    def recent_p99(self, max_age_s: float = 10.0) -> float:
+        """The p99 of the sliding latency window (the QoS signal).
+
+        Entries older than ``max_age_s`` are ignored: the signal must go
+        quiet when traffic does, or recovery would wait forever on a p99
+        frozen at its overload-era value.
+        """
+        horizon = time.monotonic() - max_age_s
+        with self._lock:
+            ordered = sorted(
+                latency
+                for recorded_at, latency in self.recent_latencies
+                if recorded_at >= horizon
+            )
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, int(math.ceil(0.99 * len(ordered))) - 1)
+        return ordered[max(0, index)]
 
     # -- derived -----------------------------------------------------------
     @property
@@ -198,7 +294,108 @@ class EndpointMetrics:
                 "queue_wait": self.queue_wait.snapshot(),
                 "batch_service": self.batch_service.snapshot(),
                 "smt_layer_stats": smt,
+                "operating_point": {
+                    "level": self.operating_point_level,
+                    "point": self.operating_point,
+                    "transitions": self.transitions,
+                    "recent_transitions": list(self.recent_transitions),
+                },
+                "points_served_images": {
+                    str(level): images
+                    for level, images in sorted(self.points_served.items())
+                },
             }
+
+    # -- cross-process merging (front-end sharding) -------------------------
+    def to_payload(self) -> dict:
+        """Exact, mergeable state of this endpoint (one shard's share)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "batch_capacity": self.batch_capacity,
+                "elapsed_s": time.monotonic() - self.started_at,
+                "requests": self.requests,
+                "images": self.images,
+                "rejected_requests": self.rejected_requests,
+                "rejected_images": self.rejected_images,
+                "failed_requests": self.failed_requests,
+                "batches": self.batches,
+                "batched_images": self.batched_images,
+                "latency": self.latency.to_payload(),
+                "queue_wait": self.queue_wait.to_payload(),
+                "batch_service": self.batch_service.to_payload(),
+                "smt_layer_stats": {
+                    layer_name: stats.to_payload()
+                    for layer_name, stats in self.layer_stats.items()
+                },
+                "operating_point_level": self.operating_point_level,
+                "operating_point": self.operating_point,
+                "transitions": self.transitions,
+                "points_served_images": {
+                    str(level): images
+                    for level, images in self.points_served.items()
+                },
+            }
+
+
+def merge_endpoint_payloads(payloads: list[dict]) -> dict:
+    """One endpoint's merged snapshot across front-end shards.
+
+    Counters and bucket counts are summed exactly; throughput uses the
+    longest shard uptime (shards start together); the operating-point gauge
+    reports the *worst* (highest, most degraded) rung any shard serves at,
+    plus the per-shard levels -- each shard runs its own QoS controller.
+    """
+    if not payloads:
+        raise ValueError("nothing to merge")
+    merged = EndpointMetrics(
+        payloads[0]["name"], batch_capacity=payloads[0]["batch_capacity"]
+    )
+    elapsed = 0.0
+    levels = []
+    transitions = 0
+    for payload in payloads:
+        elapsed = max(elapsed, payload["elapsed_s"])
+        merged.requests += payload["requests"]
+        merged.images += payload["images"]
+        merged.rejected_requests += payload["rejected_requests"]
+        merged.rejected_images += payload["rejected_images"]
+        merged.failed_requests += payload["failed_requests"]
+        merged.batches += payload["batches"]
+        merged.batched_images += payload["batched_images"]
+        merged.latency.merge_payload(payload["latency"])
+        merged.queue_wait.merge_payload(payload["queue_wait"])
+        merged.batch_service.merge_payload(payload["batch_service"])
+        for layer_name, stats_payload in payload["smt_layer_stats"].items():
+            merged.layer_stats.setdefault(layer_name, SMTStatistics()).merge(
+                SMTStatistics.from_payload(stats_payload)
+            )
+        for level, images in payload["points_served_images"].items():
+            merged.points_served[int(level)] = (
+                merged.points_served.get(int(level), 0) + images
+            )
+        levels.append(payload["operating_point_level"])
+        transitions += payload["transitions"]
+    merged.started_at = time.monotonic() - elapsed
+    merged.operating_point_level = max(levels)
+    merged.transitions = transitions
+    snapshot = merged.snapshot()
+    snapshot["operating_point"]["shard_levels"] = levels
+    return snapshot
+
+
+def merge_registry_payloads(payloads: list[dict]) -> dict:
+    """Merged ``/v1/metrics`` body across shard payload documents."""
+    by_endpoint: dict[str, list[dict]] = {}
+    for payload in payloads:
+        for name, endpoint_payload in payload.get("endpoints", {}).items():
+            by_endpoint.setdefault(name, []).append(endpoint_payload)
+    return {
+        "endpoints": {
+            name: merge_endpoint_payloads(entries)
+            for name, entries in sorted(by_endpoint.items())
+        }
+    }
 
 
 class MetricsRegistry:
@@ -208,11 +405,20 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._endpoints: dict[str, EndpointMetrics] = {}
 
-    def endpoint(self, name: str, batch_capacity: int = 1) -> EndpointMetrics:
+    def endpoint(
+        self,
+        name: str,
+        batch_capacity: int = 1,
+        latency_budget_ms: float = 0.0,
+    ) -> EndpointMetrics:
         with self._lock:
             entry = self._endpoints.get(name)
             if entry is None:
-                entry = EndpointMetrics(name, batch_capacity=batch_capacity)
+                entry = EndpointMetrics(
+                    name,
+                    batch_capacity=batch_capacity,
+                    latency_budget_ms=latency_budget_ms,
+                )
                 self._endpoints[name] = entry
             return entry
 
@@ -221,4 +427,12 @@ class MetricsRegistry:
             endpoints = list(self._endpoints.values())
         return {
             "endpoints": {entry.name: entry.snapshot() for entry in endpoints}
+        }
+
+    def to_payload(self) -> dict:
+        """This process's mergeable share of the metrics (one shard)."""
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        return {
+            "endpoints": {entry.name: entry.to_payload() for entry in endpoints}
         }

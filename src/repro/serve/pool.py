@@ -35,6 +35,7 @@ from __future__ import annotations
 import queue as queue_module
 import signal
 import threading
+import time
 import weakref
 
 import numpy as np
@@ -42,7 +43,12 @@ import numpy as np
 from repro.core.engine import NBSMTEngine
 from repro.core.smt import SMTStatistics
 from repro.eval import parallel
-from repro.eval.throttle import throttle_assignment
+from repro.eval.throttle import (
+    OperatingLadder,
+    OperatingPoint,
+    operating_ladder,
+    throttle_assignment,
+)
 from repro.serve.registry import ModelSpec
 
 
@@ -93,6 +99,9 @@ class InlineReplica:
             prune_blocks=spec.prune_blocks,
         )
         self._closed = False
+        self._point: OperatingPoint | None = None
+        self._pace_unit: float | None = None
+        self._model_speedup: float | None = None
         self._lock = _execution_lock(self.harness.qmodel)
         with self._lock:
             self._install()
@@ -102,7 +111,9 @@ class InlineReplica:
     def _install(self) -> None:
         qmodel = self.harness.qmodel
         qmodel.ensure_installed()
-        if self.spec.slow_layers:
+        if self._point is not None:
+            qmodel.set_threads(dict(self._point.threads))
+        elif self.spec.slow_layers:
             qmodel.set_threads(
                 throttle_assignment(
                     qmodel,
@@ -122,6 +133,7 @@ class InlineReplica:
         qmodel.set_engine(self.engine)
         qmodel.clear_stats()
         self._assignment = qmodel.thread_assignment()
+        self._model_speedup = None
         self._permutations = {
             name: layer.context.permutation
             for name, layer in qmodel.layers.items()
@@ -129,6 +141,41 @@ class InlineReplica:
 
     def thread_assignment(self) -> dict[str, int]:
         return self.harness.qmodel.thread_assignment()
+
+    # -- operating point ---------------------------------------------------
+    @property
+    def level(self) -> int:
+        """The ladder rung this replica currently serves (0 when static)."""
+        return self._point.level if self._point is not None else 0
+
+    def set_operating_point(self, point: OperatingPoint) -> None:
+        """Swap to another rung's thread assignment.
+
+        Taking the execution lock makes the swap atomic with respect to
+        in-flight micro-batches: a batch that already started finishes at
+        the point that admitted it, the next batch runs at ``point``.
+        """
+        with self._lock:
+            self._point = point
+            self._install()
+
+    def set_pacing(self, unit_seconds_per_image: float | None) -> None:
+        """Pace batches to the modeled SySMT service time.
+
+        ``unit`` is the modeled seconds one image takes at speedup 1.0; a
+        batch of ``B`` images at a point with modeled speedup ``S`` then
+        takes at least ``B * unit / S`` of wall clock (topped up by
+        sleeping after the host computation).  ``None`` disables pacing.
+        """
+        self._pace_unit = unit_seconds_per_image
+
+    def _current_speedup(self) -> float:
+        """Modeled speedup of the active assignment (pacing denominator)."""
+        if self._point is not None:
+            return max(1e-9, self._point.expected_speedup)
+        if self._model_speedup is None:
+            self._model_speedup = self.harness.speedup_for(self._assignment)
+        return max(1e-9, self._model_speedup)
 
     def warm(self) -> None:
         """Prime engine executors and quantization caches before traffic."""
@@ -161,20 +208,39 @@ class InlineReplica:
     def infer(
         self, images: np.ndarray
     ) -> tuple[np.ndarray, dict[str, SMTStatistics]]:
-        """Run one batch; returns logits and the batch's per-layer stats.
+        """Run one batch; returns logits and the batch's per-layer stats."""
+        logits, layer_stats, _level = self.infer_ex(images)
+        return logits, layer_stats
+
+    def infer_ex(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, dict[str, SMTStatistics], int]:
+        """Like :meth:`infer`, also reporting the rung that served the batch.
 
         Execution holds the shared model's lock, so endpoints aliased to
-        the same zoo model serialize instead of corrupting each other.
+        the same zoo model serialize instead of corrupting each other, and
+        operating-point swaps wait for the in-flight batch.  With pacing
+        enabled, the batch is padded (by sleeping, outside the lock) up to
+        the modeled SySMT service time of the active operating point.
         """
         if self._closed:
             raise RuntimeError(f"replica for {self.spec.name!r} is closed")
         with self._lock:
             self._reassert()
+            pace = self._pace_unit
+            speedup = self._current_speedup() if pace is not None else 1.0
             self.engine.reset_stats()
+            started = time.monotonic()
             logits = self.harness.qmodel.forward(images)
             layer_stats = self.engine.layer_stats
             self.engine.reset_stats()
-        return logits, layer_stats
+            level = self.level
+        if pace is not None:
+            target = float(images.shape[0]) * pace / speedup
+            remaining = target - (time.monotonic() - started)
+            if remaining > 0:
+                time.sleep(remaining)
+        return logits, layer_stats, level
 
     def close(self) -> None:
         if self._closed:
@@ -216,16 +282,26 @@ def _forked_replica_main(spec: ModelSpec, provider, conn) -> None:
                 break
             if message is None:
                 break
-            images = message
+            command, payload = message
             try:
-                logits, layer_stats = replica.infer(images)
+                if command == "infer":
+                    logits, layer_stats, level = replica.infer_ex(payload)
+                    stats_payloads = {
+                        name: stats.to_payload()
+                        for name, stats in layer_stats.items()
+                    }
+                    reply = ("ok", logits, stats_payloads, level)
+                elif command == "point":
+                    replica.set_operating_point(payload)
+                    reply = ("ok",)
+                elif command == "pace":
+                    replica.set_pacing(payload)
+                    reply = ("ok",)
+                else:
+                    reply = ("error", f"unknown command {command!r}")
             except Exception as exc:  # noqa: BLE001 - reported to parent
-                conn.send(("error", repr(exc)))
-                continue
-            payloads = {
-                name: stats.to_payload() for name, stats in layer_stats.items()
-            }
-            conn.send(("ok", logits, payloads))
+                reply = ("error", repr(exc))
+            conn.send(reply)
     finally:
         replica.close()
         conn.close()
@@ -258,6 +334,8 @@ class ForkedReplica:
         child_conn.close()
         self._lock = threading.Lock()
         self._closed = False
+        self._point: OperatingPoint | None = None
+        self._pace_unit: float | None = None
         if warm:
             self.warm()
 
@@ -265,12 +343,64 @@ class ForkedReplica:
         """One throwaway request primes the child's engine caches."""
         # The child replica is constructed unwarmed; any inference warms it.
 
+    @property
+    def level(self) -> int:
+        return self._point.level if self._point is not None else 0
+
+    def _command(self, command: str, payload) -> tuple:
+        """One request/reply round trip on the worker pipe (under lock)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"replica for {self.spec.name!r} is closed")
+            try:
+                self._conn.send((command, payload))
+                reply = self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                # The worker process died; poison this replica so the
+                # replica set respawns it instead of reusing a dead pipe.
+                self._closed = True
+                raise RuntimeError(
+                    f"forked replica for {self.spec.name!r} died: {exc!r}"
+                ) from exc
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"forked replica for {self.spec.name!r} failed: {reply[1]}"
+            )
+        return reply
+
+    def set_operating_point(self, point: OperatingPoint) -> None:
+        """Swap the worker's rung; waits for its in-flight batch (atomic).
+
+        The target is recorded *before* the pipe round trip: if the worker
+        turns out to be dead, the respawned replacement still comes up at
+        the intended rung (respawn re-applies the stored target).
+        """
+        self._point = point
+        self._command("point", point)
+
+    def set_pacing(self, unit_seconds_per_image: float | None) -> None:
+        self._pace_unit = unit_seconds_per_image
+        self._command("pace", unit_seconds_per_image)
+
     def respawn(self) -> "ForkedReplica":
         """A fresh replica replacing this (dead) one; reaps the remains."""
         with self._lock:
             self._closed = True
             self._reap(timeout=1.0)
-        return ForkedReplica(self.spec, self.provider, warm=self._warm)
+        fresh = ForkedReplica(self.spec, self.provider, warm=self._warm)
+        # The replacement worker must serve at the same rung (and pacing)
+        # as the one it replaces, not at the spec's static configuration.
+        # If re-applying fails (the new child died too), reap it instead of
+        # leaking an orphaned worker process per respawn attempt.
+        try:
+            if self._point is not None:
+                fresh.set_operating_point(self._point)
+            if self._pace_unit is not None:
+                fresh.set_pacing(self._pace_unit)
+        except BaseException:
+            fresh.close()
+            raise
+        return fresh
 
     def _reap(self, timeout: float) -> None:
         """Join (escalating to kill) the worker and close the pipe."""
@@ -289,29 +419,18 @@ class ForkedReplica:
     def infer(
         self, images: np.ndarray
     ) -> tuple[np.ndarray, dict[str, SMTStatistics]]:
-        with self._lock:
-            if self._closed:
-                raise RuntimeError(f"replica for {self.spec.name!r} is closed")
-            try:
-                self._conn.send(images)
-                reply = self._conn.recv()
-            except (EOFError, BrokenPipeError, OSError) as exc:
-                # The worker process died; poison this replica so the
-                # replica set respawns it instead of reusing a dead pipe.
-                self._closed = True
-                raise RuntimeError(
-                    f"forked replica for {self.spec.name!r} died: {exc!r}"
-                ) from exc
-        if reply[0] == "error":
-            raise RuntimeError(
-                f"forked replica for {self.spec.name!r} failed: {reply[1]}"
-            )
-        _, logits, payloads = reply
+        logits, layer_stats, _level = self.infer_ex(images)
+        return logits, layer_stats
+
+    def infer_ex(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, dict[str, SMTStatistics], int]:
+        _, logits, payloads, level = self._command("infer", images)
         layer_stats = {
             name: SMTStatistics.from_payload(payload)
             for name, payload in payloads.items()
         }
-        return logits, layer_stats
+        return logits, layer_stats, level
 
     def close(self, timeout: float = 10.0) -> None:
         with self._lock:
@@ -332,11 +451,16 @@ class ReplicaSet:
         if not replicas:
             raise ValueError("a replica set needs at least one replica")
         self.replicas = replicas
+        self._replicas_lock = threading.Lock()
         self._free: queue_module.Queue = queue_module.Queue()
         for replica in replicas:
             self._free.put(replica)
 
     def infer(self, images: np.ndarray):
+        logits, layer_stats, _level = self.infer_ex(images)
+        return logits, layer_stats
+
+    def infer_ex(self, images: np.ndarray):
         """Run on the next free replica (blocks while all are busy).
 
         A replica whose worker process died is replaced by a fresh respawn
@@ -345,25 +469,65 @@ class ReplicaSet:
         """
         replica = self._free.get()
         try:
-            result = replica.infer(images)
+            result = replica.infer_ex(images)
         except BaseException:
             self._free.put(self._replace_if_dead(replica))
             raise
         self._free.put(replica)
         return result
 
+    def set_operating_point(self, point) -> None:
+        """Swap every replica to ``point``.
+
+        Each swap takes that replica's execution lock, so in-flight batches
+        finish at the rung that admitted them and later batches run at the
+        new rung; no batch observes a half-applied assignment.  A dead
+        forked worker does not fail the swap: its target point is already
+        recorded on the replica, so the respawn (through the infer path)
+        brings the replacement up at the new rung.
+
+        The walk holds the replica-list lock, which serializes it with
+        respawns: either the respawn finishes first (the fresh replica is
+        in the list and receives the swap) or the swap records the new
+        target on the dead object first and the respawn re-applies it --
+        never a fresh worker left on the old rung.
+        """
+        with self._replicas_lock:
+            for replica in list(self.replicas):
+                try:
+                    replica.set_operating_point(point)
+                except RuntimeError:
+                    if not getattr(replica, "_closed", False):
+                        raise
+
+    def set_pacing(self, unit_seconds_per_image: float | None) -> None:
+        with self._replicas_lock:
+            for replica in list(self.replicas):
+                try:
+                    replica.set_pacing(unit_seconds_per_image)
+                except RuntimeError:
+                    if not getattr(replica, "_closed", False):
+                        raise
+
     def _replace_if_dead(self, replica):
         if getattr(replica, "_closed", False) and hasattr(replica, "respawn"):
-            try:
-                fresh = replica.respawn()
-            except Exception:  # pragma: no cover - respawn is best-effort
-                return replica
-            self.replicas[self.replicas.index(replica)] = fresh
+            # Respawn under the replica-list lock too (see
+            # set_operating_point): a concurrent endpoint-wide swap either
+            # already stamped the dead replica's target (respawn re-applies
+            # it) or will find the fresh replica in the list.
+            with self._replicas_lock:
+                try:
+                    fresh = replica.respawn()
+                except Exception:  # pragma: no cover - respawn best-effort
+                    return replica
+                self.replicas[self.replicas.index(replica)] = fresh
             return fresh
         return replica
 
     def close(self) -> None:
-        for replica in self.replicas:
+        with self._replicas_lock:
+            replicas = list(self.replicas)
+        for replica in replicas:
             replica.close()
 
 
@@ -393,6 +557,13 @@ class EnginePool:
         self.warm = warm
         self._sets: dict[str, ReplicaSet] = {}
         self._input_shapes: dict[str, tuple[int, ...]] = {}
+        self._ladders: dict[str, OperatingLadder] = {}
+        self._levels: dict[str, int] = {}
+        self._pace_units: dict[str, float | None] = {}
+        #: Serializes point swaps per endpoint (QoS ticks and operator
+        #: overrides may race): the recorded level always matches the last
+        #: swap actually applied to the replicas.
+        self._point_locks: dict[str, threading.Lock] = {}
         self._lock = threading.Lock()
 
     def replica_set(self, endpoint: str) -> ReplicaSet:
@@ -402,33 +573,159 @@ class EnginePool:
             if replica_set is None:
                 spec = self.registry.get(endpoint)
                 replica_set = ReplicaSet(self._build_replicas(spec))
+                # Every replica starts at the top (highest-quality) rung.
+                replica_set.set_operating_point(self._ladders[spec.name].top)
+                if self._pace_units[spec.name] is not None:
+                    replica_set.set_pacing(self._pace_units[spec.name])
                 self._sets[endpoint] = replica_set
             return replica_set
 
     def _build_replicas(self, spec: ModelSpec) -> list:
+        # The primary inline replica warms the harness in the parent; with
+        # fork workers every forked child then inherits the calibrated
+        # model copy-on-write instead of re-calibrating it.
+        primary = InlineReplica(spec, self.provider, warm=self.warm)
+        self._input_shapes[spec.name] = tuple(
+            primary.harness.eval_images.shape[1:]
+        )
+        ladder = self._build_ladder(spec, primary)
+        self._ladders[spec.name] = ladder
+        self._levels[spec.name] = 0
+        self._point_locks[spec.name] = threading.Lock()
+        self._pace_units[spec.name] = (
+            self._calibrate_pacing(spec, primary, ladder)
+            if spec.pace_sysmt
+            else None
+        )
         replicas: list = []
         if self.fork_workers > 0 and parallel.fork_available():
-            # Warm the harness in the parent first so every forked child
-            # inherits the calibrated model copy-on-write instead of
-            # re-calibrating it.
-            parent = InlineReplica(spec, self.provider, warm=self.warm)
-            self._input_shapes[spec.name] = tuple(
-                parent.harness.eval_images.shape[1:]
-            )
             workers = max(self.fork_workers, spec.replicas)
             for _ in range(workers):
                 replicas.append(ForkedReplica(spec, self.provider, warm=self.warm))
-            parent.close()
+            primary.close()
         else:
             # Inline replicas of one endpoint would all wrap the same
             # cached QuantizedModel and serialize on its execution lock, so
             # more than one buys nothing: build exactly one.
-            replica = InlineReplica(spec, self.provider, warm=self.warm)
-            self._input_shapes[spec.name] = tuple(
-                replica.harness.eval_images.shape[1:]
-            )
-            replicas.append(replica)
+            replicas.append(primary)
         return replicas
+
+    def _build_ladder(self, spec: ModelSpec, primary: InlineReplica):
+        """The endpoint's operating ladder (single-point when static).
+
+        Adaptive specs run one baseline evaluation here (under the
+        replica's execution lock) to rank the layers by recorded MSE --
+        this is warm-up work, before the endpoint takes traffic.
+        """
+        harness = primary.harness
+        with primary._lock:
+            if spec.adaptive:
+                ladder = operating_ladder(
+                    harness,
+                    base_threads=spec.threads,
+                    slow_threads=spec.slow_threads,
+                    rungs=spec.ladder_rungs,
+                    policy=spec.resolved_policy(),
+                    reorder=spec.reorder,
+                    slow_layers=(
+                        list(spec.slow_layers) if spec.slow_layers else None
+                    ),
+                )
+                if len(ladder) < 2:
+                    # e.g. threads=2 with the default slow_threads=2: no
+                    # layer is slowable, so the endpoint would silently
+                    # serve statically while claiming to be adaptive.
+                    raise ValueError(
+                        f"endpoint {spec.name!r} asked for "
+                        f"{spec.ladder_rungs} ladder rungs but no layer is "
+                        f"slowable below threads={spec.threads} at "
+                        f"slow_threads={spec.slow_threads}; lower "
+                        f"slow_threads (e.g. 1) or raise threads"
+                    )
+                return ladder
+            assignment = dict(primary._assignment)
+            point = OperatingPoint(
+                level=0,
+                slowed_layers=tuple(spec.slow_layers),
+                threads=assignment,
+                expected_speedup=harness.speedup_for(assignment),
+                expected_mse=0.0,
+            )
+            return OperatingLadder((point,))
+
+    def _calibrate_pacing(
+        self, spec: ModelSpec, primary: InlineReplica, ladder
+    ) -> float:
+        """Modeled seconds-per-image at speedup 1.0 (the pacing unit).
+
+        Calibrated so the *fastest* rung's pacing floor equals its host
+        cost (pacing there is a no-op) and every slower rung's wall clock
+        is topped up to the modeled ratio -- wall-clock throughput across
+        rungs then tracks the paper's MAC model instead of the host
+        simulator's inverted cost profile.
+        """
+        fastest = ladder.fastest
+        primary.set_operating_point(fastest)
+        images = primary.harness.eval_images
+        batch = images[: max(1, min(spec.max_batch, images.shape[0]))]
+        primary.infer(batch)  # warm BLAS/LUT caches at this batch shape
+        best = float("inf")
+        for _ in range(2):
+            started = time.monotonic()
+            primary.infer(batch)
+            best = min(best, time.monotonic() - started)
+        return (best / batch.shape[0]) * max(1.0, fastest.expected_speedup)
+
+    # -- operating points --------------------------------------------------
+    def ladder(self, endpoint: str) -> OperatingLadder:
+        """The endpoint's operating ladder (builds the replicas if needed)."""
+        self.replica_set(endpoint)
+        return self._ladders[endpoint]
+
+    def current_level(self, endpoint: str) -> int:
+        self.replica_set(endpoint)
+        with self._lock:
+            return self._levels[endpoint]
+
+    def current_point(self, endpoint: str) -> OperatingPoint:
+        return self.ladder(endpoint)[self.current_level(endpoint)]
+
+    def pacing_unit(self, endpoint: str) -> float | None:
+        """Seconds-per-image pacing unit (None when pacing is off)."""
+        self.replica_set(endpoint)
+        return self._pace_units[endpoint]
+
+    def set_pacing_unit(self, endpoint: str, unit: float | None) -> None:
+        """Override the calibrated pacing unit on every replica.
+
+        Benchmarks comparing pools use this to drive both with one
+        measured unit, so their paced capacities are identical by
+        construction instead of within calibration noise.
+        """
+        self.replica_set(endpoint).set_pacing(unit)
+        with self._lock:
+            self._pace_units[endpoint] = unit
+
+    def set_operating_point(self, endpoint: str, level: int) -> OperatingPoint:
+        """Move every replica of ``endpoint`` to the given ladder rung.
+
+        Safe under traffic: each replica swaps under its execution lock,
+        so in-flight batches finish at the rung that admitted them and the
+        response of every request reports the rung that actually served it.
+        """
+        replica_set = self.replica_set(endpoint)
+        ladder = self._ladders[endpoint]
+        if not 0 <= level < len(ladder):
+            raise ValueError(
+                f"endpoint {endpoint!r} has no ladder rung {level} "
+                f"(ladder has {len(ladder)} rungs)"
+            )
+        point = ladder[level]
+        with self._point_locks[endpoint]:
+            replica_set.set_operating_point(point)
+            with self._lock:
+                self._levels[endpoint] = level
+        return point
 
     def replica_count(self, endpoint: str) -> int:
         """Replicas backing one endpoint (= useful batcher concurrency)."""
@@ -439,29 +736,35 @@ class EnginePool:
         self.replica_set(endpoint)
         return self._input_shapes[endpoint]
 
-    def runner_for(self, endpoint: str, metrics=None):
+    def runner_for(self, endpoint: str, metrics=None, with_point: bool = False):
         """The batch runner closure handed to this endpoint's batcher.
 
         Payloads are image arrays of shape ``(B_i, C, H, W)``; the runner
         concatenates them, executes once, splits the logits back per
         request and merges the batch's NB-SMT statistics into ``metrics``
         (an :class:`repro.serve.metrics.EndpointMetrics`) when given.
+        ``with_point=True`` returns ``(logits, level)`` pairs instead of
+        bare logits, so the front-end can report the operating point that
+        served each request.
         """
         replica_set = self.replica_set(endpoint)
 
-        def run_batch(payloads: list[np.ndarray]) -> list[np.ndarray]:
+        def run_batch(payloads: list[np.ndarray]) -> list:
             sizes = [int(payload.shape[0]) for payload in payloads]
             if len(payloads) == 1:
                 images = payloads[0]
             else:
                 images = np.concatenate(payloads, axis=0)
-            logits, layer_stats = replica_set.infer(images)
-            if metrics is not None and layer_stats:
-                metrics.merge_layer_stats(layer_stats)
+            logits, layer_stats, level = replica_set.infer_ex(images)
+            if metrics is not None:
+                if layer_stats:
+                    metrics.merge_layer_stats(layer_stats)
+                metrics.record_served_level(level, sum(sizes))
             results = []
             offset = 0
             for size in sizes:
-                results.append(logits[offset : offset + size])
+                block = logits[offset : offset + size]
+                results.append((block, level) if with_point else block)
                 offset += size
             return results
 

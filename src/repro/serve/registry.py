@@ -34,6 +34,20 @@ class ModelSpec:
     throttled operating point: the named layers run with ``slow_threads``
     instead of ``threads`` (depthwise layers keep their pinned single
     thread), matching :func:`repro.eval.throttle.throttle_assignment`.
+
+    ``ladder_rungs > 1`` makes the endpoint *adaptive*: the engine pool
+    pre-computes an :class:`~repro.eval.throttle.OperatingLadder` at warm-up
+    (rung 0 slows the ``ladder_rungs - 1`` highest-MSE layers -- or the
+    explicit ``slow_layers``, best-first -- down to the last rung which
+    slows nothing) and the QoS controller walks it under load, degrading
+    to faster rungs under sustained admission pressure and recovering
+    hysteretically.  ``latency_budget_ms`` is the per-request service
+    objective the controller defends (recent p99 above it counts as
+    overload).  ``pace_sysmt`` paces each replica's batch wall-clock to the
+    modeled SySMT service time of the *active* operating point (the host
+    functional simulation is cost-inverted -- fewer threads are host
+    cheaper -- so without pacing an operating-point change would not have
+    the modeled throughput effect).
     """
 
     name: str
@@ -50,6 +64,14 @@ class ModelSpec:
     max_wait_ms: float = 5.0
     max_pending: int = 512
     replicas: int = 1
+    ladder_rungs: int = 0
+    latency_budget_ms: float = 0.0
+    pace_sysmt: bool = False
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether this endpoint serves a multi-rung operating ladder."""
+        return self.ladder_rungs > 1
 
     @property
     def zoo_model(self) -> str:
@@ -80,6 +102,10 @@ class ModelSpec:
             "max_wait_ms": self.max_wait_ms,
             "max_pending": self.max_pending,
             "replicas": self.replicas,
+            "ladder_rungs": self.ladder_rungs,
+            "adaptive": self.adaptive,
+            "latency_budget_ms": self.latency_budget_ms,
+            "pace_sysmt": self.pace_sysmt,
         }
 
 

@@ -12,12 +12,28 @@ Routes
 * ``GET /v1/models`` -- registered endpoints, their engine configuration
   and current admission pressure.
 * ``GET /v1/metrics`` -- per-endpoint latency/throughput/batch-fill plus
-  aggregated NB-SMT statistics.
+  aggregated NB-SMT statistics.  When the server runs as one shard of a
+  ``SO_REUSEPORT`` group (see :mod:`repro.serve.sharding`), the answering
+  shard merges every peer's published payload with its own live state, so
+  any shard reports whole-service metrics.
+* ``GET /v1/models/<name>/operating_point`` -- the endpoint's throttle
+  ladder, the rung it currently serves at, and the QoS controller state
+  (recent transitions included).
+* ``POST /v1/models/<name>/operating_point`` -- operator override: body
+  ``{"level": L}`` forces the rung (``"hold": true`` additionally freezes
+  the controller; ``{"hold": false}`` alone resumes automatic walking).
 * ``POST /v1/models/<name>:predict`` -- body ``{"inputs": [...]}`` where
   ``inputs`` is one image ``(C, H, W)`` or a micro-batch ``(B, C, H, W)``
-  as nested JSON lists.  Responds with logits and top-1 classes.  When the
-  endpoint's admission budget is exhausted, responds ``429`` immediately
-  (backpressure) instead of queueing without bound.
+  as nested JSON lists.  Responds with logits, top-1 classes and the
+  operating point that served the request.  When the endpoint's admission
+  budget is exhausted, responds ``429`` immediately (backpressure) instead
+  of queueing without bound.
+
+Adaptive endpoints (``ModelSpec.ladder_rungs > 1``) are watched by a
+periodic QoS tick: each endpoint's :class:`~repro.serve.qos.EndpointGovernor`
+reads the load signal and walks the throttle ladder (degrade under
+sustained pressure, hysteretic recovery), applying transitions through the
+engine pool off the event loop.
 
 Shutdown is graceful: SIGINT/SIGTERM stop accepting connections, drain
 every batcher (queued requests still execute and respond), close the
@@ -35,8 +51,9 @@ import time
 import numpy as np
 
 from repro.serve.batcher import DynamicBatcher, QueueFull
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import MetricsRegistry, merge_registry_payloads
 from repro.serve.pool import EnginePool
+from repro.serve.qos import EndpointGovernor, QoSConfig, QoSController
 from repro.serve.registry import ServeRegistry, default_registry
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -74,6 +91,13 @@ class NBSMTServer:
         port: int = 8421,
         warm: bool = True,
         pool: EnginePool | None = None,
+        sock=None,
+        reuse_port: bool = False,
+        qos: QoSConfig | None = None,
+        qos_tick_s: float = 0.2,
+        shard_exchange=None,
+        shard_index: int = 0,
+        shard_publish_s: float = 0.5,
     ):
         self.registry = registry or default_registry()
         self.scale = scale
@@ -84,8 +108,17 @@ class NBSMTServer:
             self.registry, scale=scale, fork_workers=fork_workers, warm=warm
         )
         self.batchers: dict[str, DynamicBatcher] = {}
+        self.governors: dict[str, EndpointGovernor] = {}
+        self.qos_config = qos or QoSConfig()
+        self.qos_tick_s = float(qos_tick_s)
+        self.shard_exchange = shard_exchange
+        self.shard_index = int(shard_index)
+        self.shard_publish_s = float(shard_publish_s)
+        self._sock = sock
+        self._reuse_port = bool(reuse_port)
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
+        self._background_tasks: list[asyncio.Task] = []
         self._stopped = False
 
     # -- endpoint assembly -------------------------------------------------
@@ -96,10 +129,14 @@ class NBSMTServer:
                 continue
             spec = self.registry.get(name)
             endpoint_metrics = self.metrics.endpoint(
-                name, batch_capacity=spec.max_batch
+                name,
+                batch_capacity=spec.max_batch,
+                latency_budget_ms=spec.latency_budget_ms,
             )
-            runner = self.pool.runner_for(name, metrics=endpoint_metrics)
-            self.batchers[name] = DynamicBatcher(
+            runner = self.pool.runner_for(
+                name, metrics=endpoint_metrics, with_point=True
+            )
+            batcher = DynamicBatcher(
                 runner,
                 max_batch=spec.max_batch,
                 max_wait=spec.max_wait_ms / 1000.0,
@@ -108,6 +145,25 @@ class NBSMTServer:
                 # busy; a single in-process replica gets a single thread.
                 workers=self.pool.replica_count(name),
                 name=f"batch-{name}",
+            )
+            self.batchers[name] = batcher
+            ladder = self.pool.ladder(name)
+            controller = (
+                QoSController(len(ladder), config=self.qos_config)
+                if len(ladder) > 1
+                else None
+            )
+            self.governors[name] = EndpointGovernor(
+                endpoint=name,
+                pool=self.pool,
+                admission=self.registry.admission(name),
+                batcher=batcher,
+                metrics=endpoint_metrics,
+                controller=controller,
+            )
+            endpoint_metrics.set_operating_point(
+                self.pool.current_level(name),
+                self.pool.current_point(name).describe(),
             )
 
     # -- lifecycle ---------------------------------------------------------
@@ -118,18 +174,102 @@ class NBSMTServer:
         # Endpoint warm-up trains/calibrates on first use; keep it off the
         # event loop thread so health checks stay responsive once up.
         await loop.run_in_executor(None, self._build_endpoints)
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self.port
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                reuse_port=self._reuse_port or None,
+            )
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        if any(
+            governor.controller is not None
+            for governor in self.governors.values()
+        ):
+            self._background_tasks.append(
+                asyncio.create_task(self._qos_loop())
+            )
+        if self.shard_exchange is not None:
+            self._background_tasks.append(
+                asyncio.create_task(self._publish_loop())
+            )
+
+    async def _qos_loop(self) -> None:
+        """Periodic QoS tick: walk every adaptive endpoint's ladder.
+
+        Applying a transition waits on replica execution locks (up to one
+        in-flight batch), so ticks run on the executor, never on the event
+        loop thread.
+        """
+        loop = asyncio.get_running_loop()
+
+        tick_errors: dict[str, str] = {}
+
+        def tick_all():
+            for governor in self.governors.values():
+                try:
+                    transition = governor.tick()
+                except Exception as exc:  # noqa: BLE001 - loop must survive
+                    # One endpoint's failed transition (e.g. a dead forked
+                    # replica mid-swap) must not kill adaptivity for every
+                    # endpoint; the governor already resynced its
+                    # controller.  Log once per distinct error.
+                    if self._stopped:
+                        return
+                    message = repr(exc)
+                    if tick_errors.get(governor.endpoint) != message:
+                        tick_errors[governor.endpoint] = message
+                        print(
+                            f"repro.serve: qos tick for {governor.endpoint} "
+                            f"failed: {message}",
+                            flush=True,
+                        )
+                    continue
+                tick_errors.pop(governor.endpoint, None)
+                if transition is not None:
+                    print(
+                        f"repro.serve: {governor.endpoint} "
+                        f"{transition.direction} rung "
+                        f"{transition.from_level}->{transition.to_level} "
+                        f"({transition.reason})",
+                        flush=True,
+                    )
+
+        while not self._stopped:
+            await loop.run_in_executor(None, tick_all)
+            await asyncio.sleep(self.qos_tick_s)
+
+    async def _publish_loop(self) -> None:
+        """Periodically publish this shard's mergeable metrics payload."""
+        loop = asyncio.get_running_loop()
+        while not self._stopped:
+            await loop.run_in_executor(None, self._publish_metrics)
+            await asyncio.sleep(self.shard_publish_s)
+
+    def _publish_metrics(self) -> None:
+        try:
+            self.shard_exchange.publish(self.metrics.to_payload())
+        except OSError:  # pragma: no cover - spool dir torn down
+            pass
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain batchers, close pool."""
         if self._stopped:
             return
         self._stopped = True
+        for task in self._background_tasks:
+            task.cancel()
+        for task in self._background_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -248,13 +388,91 @@ class NBSMTServer:
         if path == "/v1/metrics":
             if method != "GET":
                 raise _HttpError(405, "use GET")
+            if self.shard_exchange is not None:
+                loop = asyncio.get_running_loop()
+                return 200, await loop.run_in_executor(
+                    None, self._merged_metrics
+                )
             return 200, self.metrics.snapshot()
+        if path.startswith("/v1/models/") and path.endswith("/operating_point"):
+            name = path[len("/v1/models/") : -len("/operating_point")]
+            return await self._operating_point(method, name, body)
         if path.startswith("/v1/models/") and path.endswith(":predict"):
             if method != "POST":
                 raise _HttpError(405, "use POST")
             name = path[len("/v1/models/") : -len(":predict")]
             return await self._predict(name, body)
         raise _HttpError(404, f"no route for {method} {path}")
+
+    def _merged_metrics(self) -> dict:
+        """Whole-service metrics: this shard's live state + published peers."""
+        self._publish_metrics()  # peers merging *us* see fresh numbers too
+        peers, sources = self.shard_exchange.gather_peers()
+        merged = merge_registry_payloads([self.metrics.to_payload(), *peers])
+        merged["shards"] = {
+            "index": self.shard_index,
+            "count": self.shard_exchange.shard_count,
+            "merged": 1 + len(peers),
+            "peers": sources,
+        }
+        return merged
+
+    async def _operating_point(self, method: str, name: str, body: bytes):
+        """Inspect (GET) or override (POST) one endpoint's ladder rung."""
+        try:
+            self.registry.get(name)
+        except KeyError as exc:
+            raise _HttpError(404, str(exc)) from None
+        governor = self.governors.get(name)
+        if governor is None:
+            raise _HttpError(503, f"endpoint {name!r} is still warming up")
+        if method == "GET":
+            pass
+        elif method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+                if not isinstance(payload, dict):
+                    raise ValueError(f"expected a JSON object, got {payload!r}")
+                level = payload.get("level")
+                if level is not None:
+                    level = int(level)
+                hold = payload.get("hold")
+                if hold is not None:
+                    hold = bool(hold)
+            except (ValueError, TypeError) as exc:
+                raise _HttpError(400, f"bad request body: {exc!r}") from None
+            if level is None and hold is None:
+                raise _HttpError(400, 'body must set "level" and/or "hold"')
+            loop = asyncio.get_running_loop()
+            try:
+                if level is None and hold is False:
+                    # {"hold": false} alone resumes automatic walking.
+                    if governor.controller is not None:
+                        governor.controller.release()
+                else:
+                    # {"hold": true} alone pins the *current* rung; a
+                    # level-only body moves the rung without touching any
+                    # existing hold.
+                    if level is None:
+                        level = self.pool.current_level(name)
+                    await loop.run_in_executor(
+                        None, governor.force, level, hold
+                    )
+            except ValueError as exc:
+                raise _HttpError(400, str(exc)) from None
+        else:
+            raise _HttpError(405, "use GET or POST")
+        ladder = self.pool.ladder(name)
+        level = self.pool.current_level(name)
+        return 200, {
+            "endpoint": name,
+            "level": level,
+            "num_rungs": len(ladder),
+            "point": ladder[level].describe(),
+            "ladder": ladder.describe(),
+            "controller": governor.snapshot(),
+            "pacing_unit_s_per_image": self.pool.pacing_unit(name),
+        }
 
     async def _predict(self, name: str, body: bytes):
         if self._stopped:
@@ -297,7 +515,7 @@ class NBSMTServer:
         started = time.monotonic()
         try:
             future = self.batchers[name].submit(inputs, size=images)
-            logits = await asyncio.wrap_future(future)
+            logits, level = await asyncio.wrap_future(future)
         except QueueFull as exc:
             endpoint_metrics.record_rejection(images)
             raise _HttpError(429, str(exc)) from None
@@ -315,6 +533,9 @@ class NBSMTServer:
             "argmax": np.argmax(logits, axis=1).tolist(),
             "outputs": np.asarray(logits).tolist(),
             "latency_ms": latency * 1000.0,
+            # The rung that actually served this request -- under the QoS
+            # controller it may differ from the rung that admitted it.
+            "operating_point": level,
         }
 
 

@@ -1,0 +1,249 @@
+"""Multi-process front-end sharding over ``SO_REUSEPORT``.
+
+One asyncio process parses HTTP and batches requests well past what the
+NB-SMT engines can serve, but on multicore machines a single front-end
+process still serializes JSON encode/decode and numpy conversion on one
+GIL.  ``repro.cli serve --shards N`` forks ``N`` full server processes
+that all listen on the *same* address via ``SO_REUSEPORT``; the kernel
+load-balances incoming connections across them.  Each shard owns its own
+engine pool, batchers, admission budget and QoS controller (so
+``max_pending`` is a per-shard budget and operating points may transiently
+diverge between shards under skewed load).
+
+The sockets are created in the parent *before* forking -- every child
+inherits its already-bound socket, so there is no bind race and ``--port
+0`` works (the parent binds the first socket, learns the port, and binds
+the remaining shards to it).
+
+Metrics stay whole-service: every shard periodically publishes its exact
+mergeable metrics payload (bucket counts, not quantile estimates) into a
+shared spool directory, and any shard answering ``GET /v1/metrics`` merges
+the freshest payload of every peer with its own live state
+(:func:`repro.serve.metrics.merge_registry_payloads`), so the merged
+histograms and SMT statistics are exactly what one process serving all the
+traffic would have recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import time
+
+from repro.eval import parallel
+
+#: A peer payload older than this is reported but flagged stale (a shard
+#: that crashed stops publishing; its last counters remain valid history).
+STALE_AFTER_S = 10.0
+
+
+def reuseport_supported() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _bind_reuseport(host: str, port: int) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    sock.listen(128)
+    sock.setblocking(False)
+    return sock
+
+
+def create_shard_sockets(
+    host: str, port: int, count: int
+) -> list[socket.socket]:
+    """``count`` listening sockets sharing one address (``SO_REUSEPORT``).
+
+    With ``port == 0`` the first bind picks the port and the rest join it.
+    """
+    if not reuseport_supported():  # pragma: no cover - platform
+        raise RuntimeError("SO_REUSEPORT is not available on this platform")
+    sockets = [_bind_reuseport(host, port)]
+    actual_port = sockets[0].getsockname()[1]
+    try:
+        for _ in range(count - 1):
+            sockets.append(_bind_reuseport(host, actual_port))
+    except BaseException:
+        for sock in sockets:
+            sock.close()
+        raise
+    return sockets
+
+
+class ShardMetricsExchange:
+    """Crash-tolerant metrics spool shared by the shards of one service.
+
+    Each shard atomically publishes ``shard-<i>.json`` (write to a
+    temporary name, then ``rename``) and merges whatever peers have
+    published.  Readers never block on writers and a torn file is
+    impossible; a peer that stopped publishing is surfaced with its age.
+    """
+
+    def __init__(self, directory: str, shard_index: int, shard_count: int):
+        self.directory = directory
+        self.shard_index = int(shard_index)
+        self.shard_count = int(shard_count)
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, index: int) -> str:
+        return os.path.join(self.directory, f"shard-{index}.json")
+
+    def publish(self, payload: dict) -> None:
+        """Atomically replace this shard's payload document."""
+        document = {
+            "shard": self.shard_index,
+            "published_at": time.time(),
+            "payload": payload,
+        }
+        final = self._path(self.shard_index)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=self.directory,
+            prefix=f".shard-{self.shard_index}.",
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            json.dump(document, handle)
+            handle.close()
+            os.replace(handle.name, final)
+        except BaseException:  # pragma: no cover - spool dir torn down
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def gather_peers(self) -> tuple[list[dict], list[dict]]:
+        """Peer payloads plus per-source metadata (index, age, staleness)."""
+        payloads: list[dict] = []
+        sources: list[dict] = []
+        now = time.time()
+        for index in range(self.shard_count):
+            if index == self.shard_index:
+                continue
+            try:
+                with open(self._path(index), encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            age = now - document.get("published_at", 0.0)
+            payloads.append(document["payload"])
+            sources.append(
+                {
+                    "shard": index,
+                    "age_s": age,
+                    "stale": age > STALE_AFTER_S,
+                }
+            )
+        return payloads, sources
+
+
+def _shard_main(
+    index: int,
+    sock: socket.socket,
+    registry,
+    shard_count: int,
+    exchange_dir: str,
+    server_kwargs: dict,
+) -> None:
+    """One shard process: a full server on an inherited bound socket."""
+    import asyncio
+
+    from repro.serve.server import NBSMTServer
+
+    parallel.IN_POOL_WORKER = False
+    exchange = ShardMetricsExchange(exchange_dir, index, shard_count)
+    server = NBSMTServer(
+        registry,
+        sock=sock,
+        shard_exchange=exchange,
+        shard_index=index,
+        **server_kwargs,
+    )
+    asyncio.run(server.serve_forever())
+
+
+def run_sharded(
+    registry,
+    shards: int,
+    host: str = "127.0.0.1",
+    port: int = 8421,
+    exchange_dir: str | None = None,
+    **server_kwargs,
+) -> None:
+    """Fork ``shards`` server processes sharing one listening address.
+
+    Blocks until every shard exits; SIGINT/SIGTERM are forwarded so each
+    shard drains gracefully.  The metrics spool directory is created (and
+    cleaned up) here unless an explicit ``exchange_dir`` is supplied.
+    """
+    if shards < 2:
+        raise ValueError("sharding needs at least 2 shards")
+    if not parallel.fork_available():  # pragma: no cover - platform
+        raise RuntimeError("front-end sharding requires the fork start method")
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    sockets = create_shard_sockets(host, port, shards)
+    actual_port = sockets[0].getsockname()[1]
+    owns_dir = exchange_dir is None
+    if owns_dir:
+        exchange_dir = tempfile.mkdtemp(prefix="repro-serve-shards-")
+    print(
+        f"repro.serve: sharding {shards} front-end processes on "
+        f"http://{host}:{actual_port} (SO_REUSEPORT)",
+        flush=True,
+    )
+    processes = []
+    try:
+        for index, sock in enumerate(sockets):
+            process = context.Process(
+                target=_shard_main,
+                args=(index, sock, registry, shards, exchange_dir,
+                      dict(server_kwargs)),
+                name=f"serve-shard-{index}",
+            )
+            process.start()
+            processes.append(process)
+        for sock in sockets:
+            sock.close()  # the children own the inherited copies now
+
+        forwarded = {"signum": None}
+
+        def forward(signum, frame):
+            forwarded["signum"] = signum
+            for process in processes:
+                if process.is_alive():
+                    try:
+                        os.kill(process.pid, signum)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+
+        previous = {
+            signum: signal.signal(signum, forward)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+        try:
+            for process in processes:
+                while process.is_alive():
+                    process.join(timeout=0.5)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+        if owns_dir:
+            shutil.rmtree(exchange_dir, ignore_errors=True)

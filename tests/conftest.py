@@ -3,6 +3,11 @@
 Heavyweight artifacts (the fast-trained zoo model and its harness) are
 session-scoped and cached on disk under ``artifacts/`` so repeated test runs
 do not re-train.
+
+The tiny reference stack (dataset, trained CNN, harness) is built by
+:mod:`repro.serve.conformance` -- the same deterministic recipe that
+produced the committed golden serving traces -- so the fixtures and the
+conformance suite are guaranteed to exercise the identical model.
 """
 
 from __future__ import annotations
@@ -10,17 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn import (
-    GlobalAvgPool2d,
-    Linear,
-    MaxPool2d,
-    Sequential,
-    SyntheticImageDataset,
-    TrainConfig,
-    Trainer,
-)
-from repro.nn.data import DatasetConfig
-from repro.nn.layers.combine import conv_bn_relu
+from repro.serve import conformance
 from repro.utils.rng import new_rng
 
 
@@ -51,33 +46,15 @@ def quantized_pair(rng) -> tuple[np.ndarray, np.ndarray]:
 
 
 @pytest.fixture(scope="session")
-def tiny_dataset() -> SyntheticImageDataset:
+def tiny_dataset():
     """A very small dataset for fast end-to-end tests."""
-    return SyntheticImageDataset(
-        DatasetConfig(train_size=256, val_size=96, image_size=16, num_classes=6, seed=7)
-    )
+    return conformance.reference_dataset()
 
 
 @pytest.fixture(scope="session")
 def tiny_trained_model(tiny_dataset):
     """A tiny CNN trained for a couple of epochs on the tiny dataset."""
-    model = Sequential(
-        conv_bn_relu(3, 8, 3, seed=11),
-        MaxPool2d(2),
-        conv_bn_relu(8, 16, 3, seed=12),
-        conv_bn_relu(16, 16, 3, seed=13),
-        MaxPool2d(2),
-        GlobalAvgPool2d(),
-        Linear(16, tiny_dataset.num_classes, seed=14),
-    )
-    trainer = Trainer(model, TrainConfig(epochs=3, batch_size=64, lr=0.1, seed=3))
-    trainer.fit(
-        tiny_dataset.train_images,
-        tiny_dataset.train_labels,
-        tiny_dataset.val_images,
-        tiny_dataset.val_labels,
-    )
-    return model
+    return conformance.reference_model(tiny_dataset)
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.smt import SMTStatistics
 from repro.eval.throttle import (
+    operating_ladder,
     plan_speedup,
     rank_layers_by_mse,
     throttle_assignment,
@@ -94,3 +95,72 @@ def test_throttle_to_accuracy_stops_at_reached_target(tiny_harness):
                                  base_threads=4)
     assert len(plans) == 1
     assert plans[0].num_slowed == 0
+
+
+def test_operating_ladder_is_ordered_and_deterministic(tiny_harness):
+    ladder = operating_ladder(
+        tiny_harness, base_threads=4, slow_threads=2, rungs=3, policy="S+A"
+    )
+    assert len(ladder) == 3
+    assert ladder.top.level == 0
+    # Rung 0 slows the two highest-MSE layers, the last rung slows none.
+    baseline = tiny_harness.evaluate_nbsmt(
+        threads=4, policy="S+A", collect_stats=True
+    )
+    ranked = rank_layers_by_mse(
+        baseline.layer_stats, tiny_harness.qmodel.layer_names()
+    )
+    assert list(ladder.top.slowed_layers) == ranked[:2]
+    assert ladder.fastest.slowed_layers == ()
+    for earlier, later in zip(ladder.points, ladder.points[1:]):
+        assert later.expected_speedup >= earlier.expected_speedup
+        assert later.expected_mse >= earlier.expected_mse
+    # Each rung's assignment is exactly the throttle_assignment of its set.
+    for point in ladder.points:
+        assert point.threads == throttle_assignment(
+            tiny_harness.qmodel, 4, list(point.slowed_layers), 2
+        )
+        assert point.expected_speedup == pytest.approx(
+            tiny_harness.speedup_for(point.threads)
+        )
+    # Deterministic across repeated builds (same baseline, same ladder).
+    again = operating_ladder(
+        tiny_harness, base_threads=4, slow_threads=2, rungs=3, policy="S+A"
+    )
+    assert again == ladder
+
+
+def test_operating_ladder_measured_accuracy_matches_harness(tiny_harness):
+    ladder = operating_ladder(
+        tiny_harness, base_threads=4, slow_threads=2, rungs=2, policy="S+A",
+        measure_accuracy=True,
+    )
+    for point in ladder.points:
+        result = tiny_harness.evaluate_nbsmt(
+            threads=dict(point.threads), policy="S+A", collect_stats=False
+        )
+        assert point.expected_accuracy == result.accuracy
+
+
+def test_operating_ladder_respects_explicit_slow_layers(tiny_harness):
+    names = tiny_harness.qmodel.layer_names()
+    ladder = operating_ladder(
+        tiny_harness, base_threads=4, slow_threads=2, policy="S+A",
+        slow_layers=[names[1], names[0]],
+    )
+    assert len(ladder) == 3
+    assert list(ladder.top.slowed_layers) == [names[1], names[0]]
+    assert list(ladder[1].slowed_layers) == [names[1]]
+    assert ladder.fastest.slowed_layers == ()
+
+
+def test_operating_ladder_rungs_bounds_explicit_slow_layers(tiny_harness):
+    """A configured rung count and the built ladder never disagree."""
+    names = tiny_harness.qmodel.layer_names()
+    ladder = operating_ladder(
+        tiny_harness, base_threads=4, slow_threads=2, rungs=2, policy="S+A",
+        slow_layers=[names[1], names[0]],
+    )
+    assert len(ladder) == 2
+    # Best-first truncation: the highest-ranked explicit layer survives.
+    assert list(ladder.top.slowed_layers) == [names[1]]

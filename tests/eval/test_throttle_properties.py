@@ -1,0 +1,159 @@
+"""Property tests: operating-ladder monotonicity and assignment determinism.
+
+The serving QoS controller assumes the ladder is *ordered*: walking from
+the top (most throttled) rung towards the fastest rung must never decrease
+the modeled speedup and never decrease the expected noise -- otherwise a
+"degrade" transition could lose throughput or a "recover" transition could
+lose accuracy.  These properties must hold for arbitrary models (including
+depthwise layers pinned to a single thread, where naive "slowing" to two
+threads would *speed the layer up* and break the ordering), so they are
+checked over generated layer tables rather than one fixture model.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.throttle import ladder_from_ranking, throttle_assignment
+from tests.property_profiles import QUICK_SETTINGS
+
+LAYER_NAMES = [f"layer{i}" for i in range(8)]
+
+
+@st.composite
+def layer_tables(draw):
+    """A fake model: per-layer MACs, MSE, and grouping (depthwise) flags."""
+    count = draw(st.integers(min_value=1, max_value=len(LAYER_NAMES)))
+    names = LAYER_NAMES[:count]
+    layers = {}
+    for name in names:
+        layers[name] = {
+            "macs": draw(st.integers(min_value=1, max_value=10**6)),
+            "mse": draw(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+            ),
+            "groups": draw(st.sampled_from([1, 1, 1, 8])),
+        }
+    depthwise_single = draw(st.booleans())
+    return layers, depthwise_single
+
+
+def fake_qmodel(layers: dict, depthwise_single: bool):
+    return SimpleNamespace(
+        layers={
+            name: SimpleNamespace(module=SimpleNamespace(groups=spec["groups"]))
+            for name, spec in layers.items()
+        },
+        config=SimpleNamespace(depthwise_single_thread=depthwise_single),
+    )
+
+
+def mac_model_speedup(layers: dict):
+    """The harness performance model over the fake layer table."""
+
+    def speedup_for(assignment: dict) -> float:
+        baseline = sum(spec["macs"] for spec in layers.values())
+        smt = sum(
+            spec["macs"] / max(1, assignment.get(name, 1))
+            for name, spec in layers.items()
+        )
+        return baseline / smt if smt else 1.0
+
+    return speedup_for
+
+
+def ranking_by_mse(layers: dict) -> list[str]:
+    return sorted(layers, key=lambda name: -layers[name]["mse"])
+
+
+@QUICK_SETTINGS
+@given(
+    table=layer_tables(),
+    base_threads=st.sampled_from([2, 4, 8]),
+    slow_threads=st.sampled_from([1, 2]),
+)
+def test_ladder_walk_is_monotone(table, base_threads, slow_threads):
+    """Un-throttling rung by rung: speedup and expected MSE non-decreasing.
+
+    Equivalently (read from the fast end towards the top): as throttling
+    increases, the MAC reduction and the expected noise both shrink.
+    """
+    layers, depthwise_single = table
+    if slow_threads >= base_threads:
+        slow_threads = base_threads // 2
+    qmodel = fake_qmodel(layers, depthwise_single)
+    ladder = ladder_from_ranking(
+        ranking_by_mse(layers),
+        {name: spec["mse"] for name, spec in layers.items()},
+        qmodel,
+        base_threads,
+        slow_threads,
+        mac_model_speedup(layers),
+    )
+    assert [point.level for point in ladder.points] == list(range(len(ladder)))
+    assert ladder.fastest.slowed_layers == ()
+    for earlier, later in zip(ladder.points, ladder.points[1:]):
+        assert later.expected_speedup >= earlier.expected_speedup
+        assert later.expected_mse >= earlier.expected_mse
+        # Slowed sets are nested: each rung un-throttles, never re-shuffles.
+        assert set(later.slowed_layers) <= set(earlier.slowed_layers)
+
+
+@QUICK_SETTINGS
+@given(
+    table=layer_tables(),
+    base_threads=st.sampled_from([2, 4, 8]),
+    slow_threads=st.sampled_from([1, 2]),
+)
+def test_ladder_never_speeds_up_a_pinned_layer(table, base_threads, slow_threads):
+    """"Slowing" never raises any layer's thread count above its default.
+
+    Depthwise layers pinned to one thread must be excluded from the
+    slowable ranking -- assigning them ``slow_threads`` would increase
+    their threads and invert the rung ordering.
+    """
+    layers, depthwise_single = table
+    if slow_threads >= base_threads:
+        slow_threads = base_threads // 2
+    qmodel = fake_qmodel(layers, depthwise_single)
+    defaults = throttle_assignment(qmodel, base_threads, [], slow_threads)
+    ladder = ladder_from_ranking(
+        ranking_by_mse(layers),
+        {name: spec["mse"] for name, spec in layers.items()},
+        qmodel,
+        base_threads,
+        slow_threads,
+        mac_model_speedup(layers),
+    )
+    for point in ladder.points:
+        for name, threads in point.threads.items():
+            assert threads <= defaults[name]
+            if name in point.slowed_layers:
+                assert threads == slow_threads
+
+
+@QUICK_SETTINGS
+@given(
+    table=layer_tables(),
+    base_threads=st.sampled_from([2, 4, 8]),
+    slowed_count=st.integers(min_value=0, max_value=len(LAYER_NAMES)),
+)
+def test_throttle_assignment_is_deterministic(table, base_threads, slowed_count):
+    """Repeated calls with the same inputs produce identical assignments."""
+    layers, depthwise_single = table
+    qmodel = fake_qmodel(layers, depthwise_single)
+    slowed = ranking_by_mse(layers)[:slowed_count]
+    first = throttle_assignment(qmodel, base_threads, slowed, 2)
+    second = throttle_assignment(qmodel, base_threads, slowed, 2)
+    assert first == second
+    assert list(first) == list(qmodel.layers)  # every layer, model order
+    ladder_args = (
+        ranking_by_mse(layers),
+        {name: spec["mse"] for name, spec in layers.items()},
+        qmodel,
+        base_threads,
+        2 if base_threads > 2 else 1,
+        mac_model_speedup(layers),
+    )
+    assert ladder_from_ranking(*ladder_args) == ladder_from_ranking(*ladder_args)

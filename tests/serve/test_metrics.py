@@ -80,3 +80,90 @@ def test_registry_reuses_endpoint_entries():
     snapshot = registry.snapshot()
     assert set(snapshot["endpoints"]) == {"a", "b"}
     assert snapshot["endpoints"]["b"]["requests"] == 1
+
+
+def test_histogram_payload_merge_is_exact():
+    from repro.serve.metrics import LatencyHistogram
+
+    left, right, reference = (
+        LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    )
+    for index in range(1, 200):
+        sample = 0.0005 * index
+        (left if index % 2 else right).record(sample)
+        reference.record(sample)
+    merged = LatencyHistogram.from_payload(left.to_payload())
+    merged.merge_payload(right.to_payload())
+    merged_snapshot = merged.snapshot()
+    reference_snapshot = reference.snapshot()
+    # The sum is accumulated in a different order across shards: the mean
+    # is float-equal only up to rounding, everything else is exact.
+    assert merged_snapshot.pop("mean_s") == pytest.approx(
+        reference_snapshot.pop("mean_s")
+    )
+    assert merged_snapshot == reference_snapshot
+
+
+def test_endpoint_payload_merge_across_shards():
+    from repro.serve.metrics import (
+        EndpointMetrics,
+        merge_endpoint_payloads,
+        merge_registry_payloads,
+    )
+
+    shards = []
+    for shard in range(3):
+        metrics = EndpointMetrics("m", batch_capacity=8)
+        for index in range(10 * (shard + 1)):
+            metrics.record_request(0.01 * (index + 1), images=2)
+        metrics.record_batch(BatchReport(2, 8, 0.05, [0.0, 0.01]))
+        metrics.record_rejection(images=shard)
+        metrics.merge_layer_stats(
+            {"conv": SMTStatistics(mac_total=100, mac_active=60 + shard)}
+        )
+        metrics.record_served_level(shard % 2, 10)
+        metrics.set_operating_point(shard % 2, {"level": shard % 2})
+        shards.append(metrics)
+
+    merged = merge_endpoint_payloads([m.to_payload() for m in shards])
+    assert merged["requests"] == 60
+    assert merged["images"] == 120
+    assert merged["rejected_images"] == 3
+    assert merged["batches"] == 3
+    assert merged["latency"]["count"] == 60
+    # Exact SMT statistics counters, summed across shards.
+    assert merged["smt_layer_stats"]["conv"]["mac_total"] == 300
+    assert merged["smt_layer_stats"]["conv"]["mac_active"] == 60 + 61 + 62
+    assert merged["points_served_images"] == {"0": 20, "1": 10}
+    # The gauge reports the most-degraded shard, plus the per-shard levels.
+    assert merged["operating_point"]["level"] == 1
+    assert sorted(merged["operating_point"]["shard_levels"]) == [0, 0, 1]
+
+    registry_merge = merge_registry_payloads(
+        [{"endpoints": {"m": m.to_payload()}} for m in shards]
+    )
+    assert registry_merge["endpoints"]["m"]["requests"] == 60
+
+
+def test_recent_p99_tracks_the_sliding_window():
+    metrics = EndpointMetrics("m", recent_window=16)
+    for _ in range(16):
+        metrics.record_request(1.0)
+    assert metrics.recent_p99() == pytest.approx(1.0)
+    # The slow epoch ages out of the window; the signal recovers.
+    for _ in range(16):
+        metrics.record_request(0.01)
+    assert metrics.recent_p99() == pytest.approx(0.01)
+    # The cumulative histogram still remembers the slow epoch.
+    assert metrics.latency.quantile(0.99) > 0.5
+
+
+def test_recent_p99_expires_stale_entries():
+    metrics = EndpointMetrics("m")
+    metrics.record_request(2.0)
+    assert metrics.recent_p99() == pytest.approx(2.0)
+    # An idle endpoint must not stare at its overload-era p99 forever:
+    # backdate the entry past the freshness horizon.
+    recorded_at, latency = metrics.recent_latencies[0]
+    metrics.recent_latencies[0] = (recorded_at - 60.0, latency)
+    assert metrics.recent_p99() == 0.0

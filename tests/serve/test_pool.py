@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.engine import NBSMTEngine
 from repro.eval.parallel import fork_available
 from repro.eval.throttle import throttle_assignment
 from repro.serve.pool import EnginePool, ForkedReplica, InlineReplica
@@ -138,3 +139,183 @@ def test_forked_replica_matches_inline(tiny_harness, tiny_provider):
     assert set(layer_stats) == set(expected_stats)
     for name, stats in expected_stats.items():
         assert layer_stats[name].as_dict() == pytest.approx(stats.as_dict())
+
+
+def test_pool_builds_ladder_and_swaps_operating_points(
+    tiny_harness, tiny_provider, direct_reference
+):
+    """Each rung's serving output is bit-identical to a direct engine run."""
+    from repro.eval.throttle import operating_ladder
+
+    registry = ServeRegistry()
+    spec = registry.register(
+        tiny_spec(threads=4, ladder_rungs=3, slow_threads=2)
+    )
+    pool = EnginePool(registry, provider=tiny_provider, warm=False)
+    ladder = pool.ladder(spec.name)
+    assert len(ladder) == 3
+    expected_ladder = operating_ladder(
+        tiny_harness, base_threads=4, slow_threads=2, rungs=3, policy="S+A"
+    )
+    assert ladder == expected_ladder
+    assert pool.current_level(spec.name) == 0
+
+    images = tiny_harness.eval_images[:8]
+    replica_set = pool.replica_set(spec.name)
+    for level in (0, 2, 1):
+        point = pool.set_operating_point(spec.name, level)
+        assert pool.current_level(spec.name) == level
+        logits, layer_stats, served_level = replica_set.infer_ex(images)
+        assert served_level == level
+        # Bit-identical to a direct engine run at this rung's assignment.
+        engine = NBSMTEngine("S+A", collect_stats=True)
+        qmodel = tiny_harness.qmodel
+        qmodel.ensure_installed()
+        qmodel.set_threads(dict(point.threads))
+        tiny_harness.clear_permutations()
+        qmodel.set_engine(engine)
+        qmodel.clear_stats()
+        expected_logits = qmodel.forward(images)
+        assert np.array_equal(logits, expected_logits)
+        for name, stats in engine.layer_stats.items():
+            assert layer_stats[name].as_dict() == stats.as_dict()
+    with pytest.raises(ValueError, match="no ladder rung"):
+        pool.set_operating_point(spec.name, 3)
+    pool.close()
+
+
+def test_static_endpoint_has_single_point_ladder(tiny_harness, tiny_provider):
+    registry = ServeRegistry()
+    spec = registry.register(tiny_spec(threads=2))
+    pool = EnginePool(registry, provider=tiny_provider, warm=False)
+    ladder = pool.ladder(spec.name)
+    assert len(ladder) == 1
+    assert ladder.top.threads == {
+        name: 2 for name in tiny_harness.qmodel.layer_names()
+    }
+    assert pool.pacing_unit(spec.name) is None
+    pool.close()
+
+
+def test_operating_point_swap_is_atomic_per_batch(tiny_harness, tiny_provider):
+    """A swap concurrent with traffic: every batch serves at exactly one rung.
+
+    The swap takes the replica execution lock, so an in-flight micro-batch
+    finishes at the rung that admitted it and only later batches move.
+    """
+    import threading
+
+    registry = ServeRegistry()
+    spec = registry.register(
+        tiny_spec(threads=4, ladder_rungs=3, slow_threads=2)
+    )
+    pool = EnginePool(registry, provider=tiny_provider, warm=True)
+    replica_set = pool.replica_set(spec.name)
+    images = tiny_harness.eval_images[:4]
+    levels_seen = []
+    stop = threading.Event()
+
+    def traffic():
+        while not stop.is_set():
+            _, _, level = replica_set.infer_ex(images)
+            levels_seen.append(level)
+
+    thread = threading.Thread(target=traffic, daemon=True)
+    thread.start()
+    try:
+        for level in (1, 2, 1, 0):
+            pool.set_operating_point(spec.name, level)
+    finally:
+        stop.set()
+        thread.join(timeout=60)
+    pool.close()
+    # Every batch reported a valid rung, and once the dust settled the
+    # last batches ran at the final rung.
+    assert levels_seen
+    assert set(levels_seen) <= {0, 1, 2}
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+def test_forked_replica_swaps_points_and_respawn_keeps_them(
+    tiny_harness, tiny_provider
+):
+    from repro.serve.pool import ReplicaSet
+
+    registry = ServeRegistry()
+    spec = registry.register(
+        tiny_spec(threads=4, ladder_rungs=2, slow_threads=2)
+    )
+    pool = EnginePool(registry, provider=tiny_provider, warm=False)
+    ladder = pool.ladder(spec.name)
+    images = tiny_harness.eval_images[:3]
+
+    replica = ForkedReplica(spec, tiny_provider, warm=False)
+    replica_set = ReplicaSet([replica])
+    replica.set_operating_point(ladder[1])
+    logits_fast, _, level = replica_set.infer_ex(images)
+    assert level == 1
+    # Kill the worker: the respawned replacement must still serve rung 1.
+    replica._process.kill()
+    replica._process.join(timeout=10)
+    with pytest.raises(RuntimeError, match="died"):
+        replica_set.infer_ex(images)
+    logits_again, _, level = replica_set.infer_ex(images)
+    assert level == 1
+    assert np.array_equal(logits_again, logits_fast)
+    replica_set.close()
+    pool.close()
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+def test_point_swap_survives_a_dead_forked_worker(tiny_harness, tiny_provider):
+    """A dead worker must not fail the endpoint-wide rung swap.
+
+    The swap records the target on the replica, skips the dead pipe, and
+    the respawn (through the infer path) brings the replacement up at the
+    *new* rung -- so the QoS controller's view stays consistent.
+    """
+    from repro.serve.pool import ReplicaSet
+
+    registry = ServeRegistry()
+    spec = registry.register(
+        tiny_spec(threads=4, ladder_rungs=2, slow_threads=2)
+    )
+    pool = EnginePool(registry, provider=tiny_provider, warm=False)
+    ladder = pool.ladder(spec.name)
+    images = tiny_harness.eval_images[:2]
+
+    replica = ForkedReplica(spec, tiny_provider, warm=False)
+    replica_set = ReplicaSet([replica])
+    replica._process.kill()
+    replica._process.join(timeout=10)
+    # The endpoint-wide swap must not raise on the dead worker.
+    replica_set.set_operating_point(ladder[1])
+    assert replica._point == ladder[1]  # intent recorded for the respawn
+    # First infer discovers the death and poisons the slot...
+    with pytest.raises(RuntimeError):
+        replica_set.infer_ex(images)
+    # ...and the respawned replacement serves at the swapped-to rung.
+    logits, _, level = replica_set.infer_ex(images)
+    assert level == 1
+    expected = InlineReplica(spec, tiny_provider, warm=False)
+    expected.set_operating_point(ladder[1])
+    expected_logits, _ = expected.infer(images)
+    expected.close()
+    assert np.array_equal(logits, expected_logits)
+    replica_set.close()
+    pool.close()
+
+
+def test_adaptive_spec_with_no_slowable_layers_fails_loudly(
+    tiny_harness, tiny_provider
+):
+    """threads == slow_threads: every layer is unslowable -- refuse to
+    build a silently-static 'adaptive' endpoint."""
+    registry = ServeRegistry()
+    spec = registry.register(
+        tiny_spec(threads=2, ladder_rungs=3, slow_threads=2)
+    )
+    pool = EnginePool(registry, provider=tiny_provider, warm=False)
+    with pytest.raises(ValueError, match="no layer is slowable"):
+        pool.replica_set(spec.name)
+    pool.close()

@@ -1,0 +1,327 @@
+"""QoS controller: hysteresis, cooldown, recovery, and governor wiring.
+
+All controller tests drive a fake clock and synthetic load signals, so the
+degrade/recover timing is deterministic -- no sleeping, no real traffic.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.eval.throttle import OperatingLadder, OperatingPoint
+from repro.serve.qos import (
+    EndpointGovernor,
+    LoadSignal,
+    QoSConfig,
+    QoSController,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+CONFIG = QoSConfig(
+    degrade_pressure=0.75,
+    recover_pressure=0.35,
+    degrade_after_s=0.5,
+    recover_after_s=2.0,
+    cooldown_s=1.0,
+)
+
+
+def controller(num_levels=3, clock=None, config=CONFIG):
+    return QoSController(num_levels, config=config, clock=clock or FakeClock())
+
+
+def pressure(value: float, **overrides) -> LoadSignal:
+    return LoadSignal(pressure=value, **overrides)
+
+
+def test_sustained_pressure_degrades_one_rung():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    assert qos.observe(pressure(0.9)) is None  # streak starts
+    clock.advance(0.4)
+    assert qos.observe(pressure(0.9)) is None  # not sustained yet
+    clock.advance(0.2)
+    transition = qos.observe(pressure(0.9))
+    assert transition is not None
+    assert (transition.from_level, transition.to_level) == (0, 1)
+    assert transition.direction == "degrade"
+    assert qos.level == 1
+
+
+def test_momentary_spike_does_not_degrade():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    qos.observe(pressure(0.9))
+    clock.advance(0.3)
+    # Pressure falls into the dead band: the overload streak resets.
+    assert qos.observe(pressure(0.5)) is None
+    clock.advance(0.4)
+    # Overloaded again, but the 0.5s must accumulate afresh.
+    assert qos.observe(pressure(0.9)) is None
+    clock.advance(0.4)
+    assert qos.observe(pressure(0.9)) is None
+    clock.advance(0.2)
+    assert qos.observe(pressure(0.9)) is not None
+
+
+def test_cooldown_spaces_consecutive_degrades():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    qos.observe(pressure(0.95))
+    clock.advance(0.6)
+    assert qos.observe(pressure(0.95)).to_level == 1
+    # Still overloaded, sustained -- but inside the cooldown window.
+    clock.advance(0.6)
+    assert qos.observe(pressure(0.95)) is None
+    clock.advance(0.5)  # cooldown (1.0s) over, streak (>=0.5s) sustained
+    assert qos.observe(pressure(0.95)).to_level == 2
+    # Bottom of the ladder: stays put under any further pressure.
+    clock.advance(5.0)
+    assert qos.observe(pressure(1.0)) is None
+    assert qos.level == 2
+
+
+def test_sustained_calm_recovers_to_the_top_rung():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    qos.force(2)
+    clock.advance(CONFIG.cooldown_s)
+    assert qos.observe(pressure(0.1)) is None  # calm streak starts
+    clock.advance(1.9)
+    assert qos.observe(pressure(0.1)) is None  # recovery is deliberate
+    clock.advance(0.2)
+    transition = qos.observe(pressure(0.1))
+    assert transition is not None and transition.direction == "recover"
+    assert qos.level == 1
+    clock.advance(2.5)  # past the cooldown
+    qos.observe(pressure(0.1))  # a fresh calm streak after the transition
+    clock.advance(2.1)
+    assert qos.observe(pressure(0.1)) is not None
+    assert qos.level == 0
+    clock.advance(5.0)
+    qos.observe(pressure(0.1))
+    clock.advance(5.0)
+    assert qos.observe(pressure(0.1)) is None  # already at the top
+
+
+def test_dead_band_prevents_flapping():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    qos.force(1)
+    # Mid pressure (between recover 0.35 and degrade 0.75) forever: no
+    # transition in either direction.
+    for _ in range(100):
+        clock.advance(0.5)
+        assert qos.observe(pressure(0.55)) is None
+    assert qos.level == 1
+
+
+def test_rejections_and_latency_budget_count_as_overload():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    signal = LoadSignal(pressure=0.1, rejected_delta=3)
+    qos.observe(signal)
+    clock.advance(0.6)
+    transition = qos.observe(signal)
+    assert transition is not None and "rejected" in transition.reason
+
+    slow = controller(clock=clock)
+    lagging = LoadSignal(
+        pressure=0.1, p99_latency_s=0.5, latency_budget_s=0.2
+    )
+    slow.observe(lagging)
+    clock.advance(0.6)
+    transition = slow.observe(lagging)
+    assert transition is not None and "budget" in transition.reason
+
+
+def test_recovery_requires_latency_back_under_budget():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    qos.force(1)
+    clock.advance(CONFIG.cooldown_s)
+    # Pressure is calm but p99 still hugs the budget: no recovery (and no
+    # degrade either -- it is not *over* budget).
+    lagging = LoadSignal(
+        pressure=0.1, p99_latency_s=0.19, latency_budget_s=0.2
+    )
+    for _ in range(10):
+        clock.advance(1.0)
+        assert qos.observe(lagging) is None
+    healthy = LoadSignal(
+        pressure=0.1, p99_latency_s=0.05, latency_budget_s=0.2
+    )
+    qos.observe(healthy)
+    clock.advance(2.1)
+    assert qos.observe(healthy) is not None
+    assert qos.level == 0
+
+
+def test_force_and_hold_pin_the_level():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    transition = qos.force(2, hold=True)
+    assert transition.to_level == 2
+    assert qos.held
+    clock.advance(10.0)
+    assert qos.observe(pressure(0.0)) is None  # held: no auto-recovery
+    qos.release()
+    qos.observe(pressure(0.0))
+    clock.advance(2.1)
+    assert qos.observe(pressure(0.0)) is not None
+    with pytest.raises(ValueError, match="outside ladder"):
+        qos.force(7)
+
+
+def test_snapshot_reports_transitions():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    qos.observe(pressure(0.9))
+    clock.advance(0.6)
+    qos.observe(pressure(0.9))
+    snapshot = qos.snapshot()
+    assert snapshot["level"] == 1
+    assert snapshot["num_levels"] == 3
+    assert snapshot["transitions"] == 1
+    assert snapshot["recent_transitions"][0]["direction"] == "degrade"
+
+
+# ---------------------------------------------------------------------------
+# Governor wiring (stub pool/admission/batcher/metrics)
+# ---------------------------------------------------------------------------
+
+
+class StubMetrics:
+    def __init__(self, budget_ms=0.0):
+        self.rejected_requests = 0
+        self.latency_budget_ms = budget_ms
+        self.levels = []
+        self.transitions = []
+        self._p99 = 0.0
+
+    def recent_p99(self):
+        return self._p99
+
+    def set_operating_point(self, level, description):
+        self.levels.append((level, description))
+
+    def record_transition(self, transition):
+        self.transitions.append(transition)
+
+
+class StubPool:
+    def __init__(self, ladder):
+        self._ladder = ladder
+        self.applied = []
+
+    def set_operating_point(self, endpoint, level):
+        self.applied.append((endpoint, level))
+        return self._ladder[level]
+
+
+def stub_ladder(levels=3):
+    return OperatingLadder(
+        tuple(
+            OperatingPoint(
+                level=level,
+                slowed_layers=tuple(f"l{i}" for i in range(levels - 1 - level)),
+                threads={"l0": 4},
+                expected_speedup=2.0 + level,
+                expected_mse=float(level),
+            )
+            for level in range(levels)
+        )
+    )
+
+
+def test_governor_reads_signals_and_applies_transitions():
+    clock = FakeClock()
+    ladder = stub_ladder()
+    pool = StubPool(ladder)
+    metrics = StubMetrics(budget_ms=100.0)
+    admission = SimpleNamespace(pressure=0.9)
+    batcher = SimpleNamespace(pending_images=7, max_batch=4,
+                              oldest_pending_age=lambda: 0.0)
+    governor = EndpointGovernor(
+        endpoint="m",
+        pool=pool,
+        admission=admission,
+        batcher=batcher,
+        metrics=metrics,
+        controller=QoSController(len(ladder), config=CONFIG, clock=clock),
+    )
+    signal = governor.signal()
+    assert signal.pressure == 0.9
+    assert signal.queue_images == 7
+    assert signal.queue_capacity == 4
+    assert signal.latency_budget_s == pytest.approx(0.1)
+
+    assert governor.tick() is None
+    clock.advance(0.6)
+    transition = governor.tick()
+    assert transition is not None
+    assert pool.applied == [("m", 1)]
+    assert metrics.levels[-1][0] == 1
+    assert metrics.transitions == [transition]
+
+
+def test_governor_rejection_delta_is_per_tick():
+    clock = FakeClock()
+    metrics = StubMetrics()
+    governor = EndpointGovernor(
+        endpoint="m",
+        pool=StubPool(stub_ladder()),
+        admission=SimpleNamespace(pressure=0.0),
+        batcher=SimpleNamespace(pending_images=0, max_batch=4,
+                                oldest_pending_age=lambda: 0.0),
+        metrics=metrics,
+        controller=QoSController(3, config=CONFIG, clock=clock),
+    )
+    metrics.rejected_requests = 5
+    assert governor.signal().rejected_delta == 5
+    assert governor.signal().rejected_delta == 0  # delta, not cumulative
+    metrics.rejected_requests = 7
+    assert governor.signal().rejected_delta == 2
+
+
+def test_static_governor_is_a_noop():
+    governor = EndpointGovernor(
+        endpoint="m",
+        pool=StubPool(stub_ladder(1)),
+        admission=SimpleNamespace(pressure=1.0),
+        batcher=SimpleNamespace(pending_images=99, max_batch=1,
+                                oldest_pending_age=lambda: 0.0),
+        metrics=StubMetrics(),
+        controller=None,
+    )
+    assert governor.tick() is None
+    assert governor.force(0) is None
+    with pytest.raises(ValueError, match="single operating point"):
+        governor.force(1)
+    assert governor.snapshot()["num_levels"] == 1
+
+
+def test_level_only_force_keeps_an_existing_hold():
+    clock = FakeClock()
+    qos = controller(clock=clock)
+    qos.force(2, hold=True)
+    # Moving the pin without mentioning hold must not un-pin.
+    transition = qos.force(1, hold=None)
+    assert transition.to_level == 1
+    assert qos.held
+    clock.advance(30.0)
+    assert qos.observe(pressure(0.0)) is None  # still held
+    qos.force(1, hold=False)  # explicit un-hold
+    assert not qos.held

@@ -222,3 +222,95 @@ def test_http_server_end_to_end(tiny_harness, tiny_provider):
         loop.call_soon_threadsafe(loop.stop)
         thread.join(timeout=30)
         loop.close()
+
+
+@pytest.mark.serve
+def test_http_adaptive_endpoint_degrades_and_recovers(
+    tiny_harness, tiny_provider
+):
+    """Open-loop overload over HTTP: the QoS controller walks the ladder.
+
+    Shedding (429s under a tiny admission budget) drives the degrade; once
+    the load generator stops, sustained calm recovers the endpoint to the
+    top rung.  The predict responses and the ``operating_point`` route
+    report the walk.
+    """
+    import time
+
+    from repro.serve.client import fetch_json, run_load
+    from repro.serve.qos import QoSConfig
+    from repro.serve.server import NBSMTServer
+
+    registry = ServeRegistry()
+    registry.register(
+        ModelSpec(
+            name="tinynet",
+            model="resnet18",
+            threads=4,
+            policy="S+A",
+            ladder_rungs=3,
+            slow_threads=2,
+            max_batch=4,
+            max_wait_ms=1.0,
+            max_pending=2,  # tiny admission budget: overload sheds fast
+        )
+    )
+    pool = EnginePool(registry, provider=tiny_provider, warm=True)
+    server = NBSMTServer(
+        registry,
+        pool=pool,
+        port=0,
+        qos=QoSConfig(
+            degrade_after_s=0.1,
+            recover_after_s=0.3,
+            cooldown_s=0.15,
+        ),
+        qos_tick_s=0.05,
+    )
+
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    def on_loop(coroutine, timeout=300):
+        return asyncio.run_coroutine_threadsafe(coroutine, loop).result(timeout)
+
+    try:
+        on_loop(server.start())
+        url = f"http://127.0.0.1:{server.port}"
+        point = fetch_json(url, "/v1/models/tinynet/operating_point")
+        assert point["level"] == 0 and point["num_rungs"] == 3
+
+        report = run_load(
+            url, "tinynet", tiny_harness.eval_images,
+            requests=400, concurrency=8, batch_size=1,
+            mode="open", rate=400.0, latency_budget_ms=250.0,
+        )
+        assert report.rejected > 0  # the overload actually happened
+        assert report.latency_budget_s == pytest.approx(0.25)
+        assert report.within_budget <= report.requests
+        point = fetch_json(url, "/v1/models/tinynet/operating_point")
+        assert point["controller"]["transitions"] >= 1
+        degrades = [
+            t for t in point["controller"]["recent_transitions"]
+            if t["direction"] == "degrade"
+        ]
+        assert degrades, "sustained shedding must degrade the endpoint"
+
+        # Load is gone: the controller must climb back to the top rung.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            point = fetch_json(url, "/v1/models/tinynet/operating_point")
+            if point["level"] == 0:
+                break
+            time.sleep(0.1)
+        assert point["level"] == 0, "endpoint never recovered to the top rung"
+
+        metrics = fetch_json(url, "/v1/metrics")["endpoints"]["tinynet"]
+        assert metrics["operating_point"]["transitions"] >= 2
+        assert sum(metrics["points_served_images"].values()) == metrics["images"]
+    finally:
+        on_loop(server.stop())
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        loop.close()

@@ -1,0 +1,142 @@
+"""Front-end sharding: SO_REUSEPORT sockets, metrics spool, sharded e2e."""
+
+import http.client
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.parallel import fork_available
+from repro.serve import sharding
+
+needs_reuseport = pytest.mark.skipif(
+    not sharding.reuseport_supported(), reason="SO_REUSEPORT unavailable"
+)
+
+
+@needs_reuseport
+def test_create_shard_sockets_share_one_port():
+    sockets = sharding.create_shard_sockets("127.0.0.1", 0, 3)
+    try:
+        ports = {sock.getsockname()[1] for sock in sockets}
+        assert len(sockets) == 3
+        assert len(ports) == 1  # all shards joined the first bind's port
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def test_metrics_exchange_publish_and_gather(tmp_path):
+    exchanges = [
+        sharding.ShardMetricsExchange(str(tmp_path), index, 3)
+        for index in range(3)
+    ]
+    for index, exchange in enumerate(exchanges):
+        exchange.publish({"endpoints": {"m": {"requests": index + 1}}})
+    payloads, sources = exchanges[0].gather_peers()
+    assert [payload["endpoints"]["m"]["requests"] for payload in payloads] == [2, 3]
+    assert [source["shard"] for source in sources] == [1, 2]
+    assert not any(source["stale"] for source in sources)
+    # Republishing replaces atomically; a missing peer is simply skipped.
+    exchanges[1].publish({"endpoints": {"m": {"requests": 10}}})
+    os.unlink(tmp_path / "shard-2.json")
+    payloads, sources = exchanges[0].gather_peers()
+    assert len(payloads) == 1
+    assert payloads[0]["endpoints"]["m"]["requests"] == 10
+
+
+@pytest.mark.serve
+@needs_reuseport
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+def test_sharded_front_end_serves_and_merges_metrics(tmp_path):
+    """Two shards on one port: traffic balances, /v1/metrics merges exactly."""
+    from repro.serve.client import predict_once
+    from repro.serve.registry import default_registry
+
+    registry = default_registry(
+        models=["resnet18"], threads=2, max_batch=8, max_wait_ms=2.0
+    )
+    shards = 2
+    sockets = sharding.create_shard_sockets("127.0.0.1", 0, shards)
+    port = sockets[0].getsockname()[1]
+    context = multiprocessing.get_context("fork")
+    processes = [
+        context.Process(
+            target=sharding._shard_main,
+            args=(index, sock, registry, shards, str(tmp_path),
+                  {"scale": "fast", "shard_publish_s": 0.2}),
+            daemon=True,
+        )
+        for index, sock in enumerate(sockets)
+    ]
+    for process in processes:
+        process.start()
+    for sock in sockets:
+        sock.close()
+
+    def fetch(path):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read().decode())
+        finally:
+            connection.close()
+
+    try:
+        # Both shards inherit listening sockets, so even warm-up-time
+        # connections are served once the loops come up.
+        deadline = time.monotonic() + 300
+        while True:
+            try:
+                status, _payload = fetch("/healthz")
+                if status == 200:
+                    break
+            except OSError:
+                pass
+            assert time.monotonic() < deadline, "shards never became healthy"
+            time.sleep(0.5)
+
+        from repro.models.zoo import load_dataset
+
+        images = load_dataset(fast=True).val_images[:4]
+        total = 12
+        statuses = []
+        for index in range(total):
+            # Fresh connections: SO_REUSEPORT balances per connection.
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=300
+            )
+            try:
+                status, payload = predict_once(
+                    connection, "resnet18",
+                    images[index % images.shape[0]],
+                )
+            finally:
+                connection.close()
+            statuses.append(status)
+            assert status == 200
+            assert payload["operating_point"] == 0
+
+        time.sleep(1.0)  # let both shards publish their final counters
+        status, merged = fetch("/v1/metrics")
+        assert status == 200
+        endpoint = merged["endpoints"]["resnet18"]
+        assert endpoint["requests"] == total
+        assert endpoint["images"] == total
+        assert merged["shards"]["count"] == shards
+        assert merged["shards"]["merged"] == shards
+    finally:
+        for process in processes:
+            if process.is_alive():
+                os.kill(process.pid, signal.SIGTERM)
+        for process in processes:
+            process.join(timeout=60)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - stuck shard
+                process.kill()
+                process.join()
