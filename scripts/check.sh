@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 repo check: byte-compile the package and run the fast test profile.
 #
-# Usage: scripts/check.sh [--serve] [extra pytest args...]
+# Usage: scripts/check.sh [--serve|--telemetry] [extra pytest args...]
 # Examples:
 #   scripts/check.sh                 # compileall + fast tier-1 tests
 #   scripts/check.sh --serve         # compileall + the opt-in serve lane
 #                                    # (HTTP e2e, sharding, adaptive QoS)
+#   scripts/check.sh --telemetry     # compileall + every telemetry test
+#                                    # (bus/timeline/coordinator tier-1
+#                                    # plus the SSE/dashboard e2e)
 #   scripts/check.sh -m slow         # compileall + the slow lane
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,6 +24,12 @@ echo "== pytest =="
 if [[ "${1:-}" == "--serve" ]]; then
     shift
     python -m pytest -x -q -m serve "$@"
+elif [[ "${1:-}" == "--telemetry" ]]; then
+    shift
+    # The whole telemetry suite, serve-marked SSE/dashboard e2e included,
+    # plus the serving-side telemetry integration tests.
+    python -m pytest -x -q -m "" tests/telemetry \
+        tests/serve/test_telemetry_serve.py "$@"
 else
     python -m pytest -x -q "$@"
 fi

@@ -9,6 +9,12 @@
 * ``serve`` -- start the dynamically-batched NB-SMT inference server
   (:mod:`repro.serve`) for selected zoo models.
 * ``client`` -- closed-loop load generator against a running server.
+* ``dash`` -- standalone telemetry dashboard over an event-spool
+  directory (a live sweep's ``--telemetry-dir`` or a sharded service's).
+
+``run`` shows a live one-line progress ticker (points done/total, reuse
+hits, ETA) sourced from the telemetry event bus; ``--no-progress``
+silences it (e.g. when piping output).
 
 The CLI is a thin layer over :mod:`repro.eval.experiments` and
 :mod:`repro.serve` so that results are identical to the benchmark harness.
@@ -32,8 +38,91 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+class _ProgressTicker:
+    """Live one-line sweep progress sourced from the telemetry spool.
+
+    The parent and every forked sweep worker publish point events into one
+    spool directory; the ticker follows it, folds the events through the
+    :class:`~repro.telemetry.timeseries.TelemetryAggregator` (the same
+    consumer the dashboard uses) and redraws one ``\\r`` status line on
+    stderr twice a second.
+    """
+
+    def __init__(self, spool_dir: str):
+        import threading
+
+        from repro.telemetry.bus import SpoolFollower
+        from repro.telemetry.timeseries import TelemetryAggregator
+
+        self.follower = SpoolFollower(spool_dir)
+        self.aggregator = TelemetryAggregator()
+        self._stop = threading.Event()
+        self._pause = threading.Event()
+        self._drawn = False
+        self._thread = threading.Thread(
+            target=self._loop, name="sweep-ticker", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _line(self) -> str:
+        sweep = self.aggregator.snapshot()["sweep"]
+        label = f"[{sweep['experiment']}] " if sweep["experiment"] else ""
+        eta = ""
+        if not sweep["finished"] and sweep["eta_s"] is not None:
+            eta = f" ETA {sweep['eta_s']:.0f}s"
+        rate = (
+            f" {sweep['points_per_s']:.2f}/s" if sweep["points_per_s"] else ""
+        )
+        workers = sum(
+            1 for entry in sweep["workers"].values() if entry.get("alive")
+        )
+        workers_note = f" workers {workers}" if workers else ""
+        return (
+            f"{label}{sweep['done']}/{sweep['total']} points "
+            f"({sweep['reused']} reused{rate}{eta}{workers_note})"
+        )
+
+    def _loop(self) -> None:
+        while not self._stop.wait(0.5):
+            self.aggregator.consume_all(self.follower.poll())
+            if self._pause.is_set():
+                continue
+            print(f"\r\x1b[K{self._line()}", end="", file=sys.stderr,
+                  flush=True)
+            self._drawn = True
+
+    def _clear(self) -> None:
+        if self._drawn:
+            print("\r\x1b[K", end="", file=sys.stderr, flush=True)
+            self._drawn = False
+
+    def pause(self) -> None:
+        """Blank the status line while tables print (no interleaving)."""
+        self._pause.set()
+        self._clear()
+
+    def resume(self) -> None:
+        self._pause.clear()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        # One final catch-up so the summary reflects every event.
+        self.aggregator.consume_all(self.follower.poll())
+        self._clear()
+
+    def summary(self) -> str:
+        return self._line()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
     from repro.eval.sweep import SweepSession
+    from repro.telemetry import bus as telemetry_bus
 
     names = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -47,13 +136,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     session = SweepSession(
         scale=args.scale, workers=args.workers, resume=args.resume
     )
-    for name in names:
-        module = EXPERIMENTS[name]
-        start = time.time()
-        print(f"\n=== {name} ===")
-        result = module.run(scale=args.scale, session=session)
-        print(module.format_result(result))
-        print(f"[{name} finished in {time.time() - start:.1f}s]")
+    # Telemetry: parent and forked workers spool their events into one
+    # directory; the progress ticker (and any `repro.cli dash --dir`)
+    # follows it.  An explicit --telemetry-dir survives the run.  With
+    # --no-progress and no explicit directory there is no possible
+    # consumer, so nothing is attached and the hot path stays event-free.
+    spool_dir = args.telemetry_dir
+    owns_spool = spool_dir is None and not args.no_progress
+    bus = telemetry_bus.get_bus()
+    ticker = None
+    if spool_dir is not None or not args.no_progress:
+        if owns_spool:
+            spool_dir = tempfile.mkdtemp(prefix="repro-telemetry-")
+        bus.configure_source(role="sweep")
+        bus.attach_spool(spool_dir, role="sweep")
+    if not args.no_progress:
+        ticker = _ProgressTicker(spool_dir)
+        ticker.start()
+    try:
+        for name in names:
+            module = EXPERIMENTS[name]
+            start = time.time()
+            print(f"\n=== {name} ===")
+            telemetry_bus.publish("experiment_started", name=name)
+            result = module.run(scale=args.scale, session=session)
+            if ticker is not None:
+                ticker.pause()
+            print(module.format_result(result))
+            print(f"[{name} finished in {time.time() - start:.1f}s]")
+            if ticker is not None:
+                ticker.resume()
+    finally:
+        if ticker is not None:
+            ticker.stop()
+            print(f"sweep: {ticker.summary()}", file=sys.stderr)
+        if spool_dir is not None:
+            bus.detach_spool()
+        if owns_spool:
+            shutil.rmtree(spool_dir, ignore_errors=True)
+        elif args.telemetry_dir is not None:
+            print(f"telemetry spool kept at {spool_dir}", file=sys.stderr)
     return 0
 
 
@@ -105,6 +227,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             scale=args.scale,
             fork_workers=args.fork_workers,
+            exchange_dir=args.telemetry_dir,
+            coordinate=not args.no_coordinate,
         )
         return 0
     run_server(
@@ -113,7 +237,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fork_workers=args.fork_workers,
         host=args.host,
         port=args.port,
+        telemetry_dir=args.telemetry_dir,
     )
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry.dashboard import run_dashboard
+
+    # A sharded server keeps its event spool under `<exchange>/telemetry`
+    # (the exchange root holds only shard-*.json documents): pointing
+    # `dash` at the exchange dir must find the events, not show an empty
+    # dashboard.
+    directory = args.dir
+    nested = os.path.join(directory, "telemetry")
+    try:
+        has_spools = any(
+            name.endswith((".jsonl", ".jsonl.old"))
+            for name in os.listdir(directory)
+        )
+    except OSError:
+        has_spools = False
+    if not has_spools and os.path.isdir(nested):
+        print(f"repro.telemetry: following {nested}", flush=True)
+        directory = nested
+    run_dashboard(spool_dir=directory, host=args.host, port=args.port)
     return 0
 
 
@@ -185,6 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse sweep points persisted by earlier runs instead of "
         "recomputing them (continue an interrupted suite)",
+    )
+    run_parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="disable the live one-line sweep progress ticker",
+    )
+    run_parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="spool sweep telemetry events into this directory (kept after "
+        "the run; watch it live with `repro.cli dash --dir DIR`)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -269,7 +430,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="pace batches to the modeled SySMT service time of the active "
         "operating point (the host functional simulation is cost-inverted)",
     )
+    serve_parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="spool telemetry events (and, with --shards, the metrics/QoS "
+        "exchange) into this directory; the live dashboard at /dashboard "
+        "works with or without it",
+    )
+    serve_parser.add_argument(
+        "--no-coordinate",
+        action="store_true",
+        help="with --shards: let every shard walk its QoS ladder "
+        "independently instead of following the service-wide coordinator",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    dash_parser = subparsers.add_parser(
+        "dash",
+        help="standalone telemetry dashboard over an event-spool directory",
+    )
+    dash_parser.add_argument(
+        "--dir",
+        required=True,
+        help="telemetry spool directory to follow (a run's --telemetry-dir, "
+        "or `<exchange>/telemetry` of a sharded server)",
+    )
+    dash_parser.add_argument("--host", default="127.0.0.1")
+    dash_parser.add_argument("--port", type=int, default=8471)
+    dash_parser.set_defaults(func=_cmd_dash)
 
     client_parser = subparsers.add_parser(
         "client", help="closed-loop load generator against a running server"

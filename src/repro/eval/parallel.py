@@ -93,6 +93,13 @@ def partition_worklists(weights: list[float], bins: int) -> list[list[int]]:
 def _worklist_main(thunks, initializer, finalizer) -> None:
     global IN_POOL_WORKER
     IN_POOL_WORKER = True
+    # Forked workers inherit the parent's telemetry bus: drop its
+    # subscribers (ticker/dashboard callbacks belong to the parent) but
+    # keep the spool sink, which lazily reopens a per-pid file -- worker
+    # events land in the same spool directory as the parent's.
+    from repro.telemetry import bus as telemetry_bus
+
+    telemetry_bus.get_bus().reset_after_fork(role="sweep-worker")
     # Graceful shutdown: SIGINT/SIGTERM ask the worker to *drain* -- the
     # thunk in flight completes (and persists its point), the remaining
     # thunks are skipped, and the finalizer still runs so engines/harnesses
@@ -111,6 +118,7 @@ def _worklist_main(thunks, initializer, finalizer) -> None:
     try:
         if initializer is not None:
             initializer()
+        telemetry_bus.publish("worker_started", tasks=len(thunks))
         for thunk in thunks:
             if stop_requested:
                 break
@@ -118,6 +126,7 @@ def _worklist_main(thunks, initializer, finalizer) -> None:
     finally:
         if finalizer is not None:
             finalizer()
+        telemetry_bus.publish("worker_exited", drained=stop_requested)
 
 
 def run_worklists(

@@ -48,6 +48,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.eval import parallel
+from repro.telemetry import bus as telemetry_bus
 from repro.utils.cache import _stable_hash, default_cache_dir
 
 # ---------------------------------------------------------------------------
@@ -306,6 +307,10 @@ class SweepContext:
             return payload
         return None
 
+    def memoized(self, point: SweepPoint) -> bool:
+        """Whether this context already holds the point (no store read)."""
+        return point in self._memo
+
     def cached(self, point: SweepPoint) -> dict | None:
         """The point's payload if already computed (memo or store), else None."""
         payload = self._memo.get(point)
@@ -313,15 +318,48 @@ class SweepContext:
             payload = self._stored(point)
             if payload is not None:
                 self._memo[point] = payload
+                # A store hit new to this process is a *reuse*: consumers
+                # (the progress ticker, the dashboard) dedup by point key,
+                # so the worker that actually computed a point and the
+                # parent later collecting it never double-count.
+                telemetry_bus.publish(
+                    "point_finished",
+                    kind=point.kind,
+                    model=point.model,
+                    key=point.key,
+                    reused=True,
+                )
         return payload
 
     def evaluate(self, point: SweepPoint) -> dict:
         """Compute (or fetch) one point's normalized payload."""
         payload = self.cached(point)
         if payload is None:
-            result = get_runner(point.kind)(self, point)
+            telemetry_bus.publish(
+                "point_started",
+                kind=point.kind,
+                model=point.model,
+                key=point.key,
+            )
+            try:
+                result = get_runner(point.kind)(self, point)
+            except Exception:
+                telemetry_bus.publish(
+                    "point_failed",
+                    kind=point.kind,
+                    model=point.model,
+                    key=point.key,
+                )
+                raise
             payload = self.session.store.save(point, result, self.session.id)
             self._memo[point] = payload
+            telemetry_bus.publish(
+                "point_finished",
+                kind=point.kind,
+                model=point.model,
+                key=point.key,
+                reused=False,
+            )
         return payload
 
 
@@ -393,6 +431,12 @@ def run_sweep(
 
     seen: set[SweepPoint] = set()
     unique = [p for p in points if not (p in seen or seen.add(p))]
+    # Telemetry: announce how much *new* work this sweep represents (points
+    # already memoized by an earlier sweep of the same session are done).
+    telemetry_bus.publish(
+        "sweep_started",
+        points=sum(1 for p in unique if not context.memoized(p)),
+    )
     # The pool hands results back through the store, so orchestrated mode
     # requires store reuse; reuse=False stays serial by construction.
     if session.workers > 1 and session.reuse and parallel.fork_available():
@@ -426,4 +470,6 @@ def run_sweep(
             # Workers only persist to the store; pick their results up (and
             # compute whatever a crashed worker left behind) in the parent.
 
-    return [context.evaluate(point) for point in points]
+    payloads = [context.evaluate(point) for point in points]
+    telemetry_bus.publish("sweep_finished", points=len(unique))
+    return payloads

@@ -157,12 +157,12 @@ class EndpointMetrics:
         self.queue_wait = LatencyHistogram()
         self.batch_service = LatencyHistogram()
         self.layer_stats: dict[str, SMTStatistics] = {}
-        #: Sliding window of (recorded_at, latency): the QoS controller's
-        #: overload/recovery signal must reflect *recent* traffic, not the
-        #: whole (cumulative) histogram -- and entries age out by time too,
-        #: or an idle endpoint would stare at its overload-era p99 forever
-        #: and never recover.
-        self.recent_latencies: deque[tuple[float, float]] = deque(
+        #: Sliding window of (recorded_at, latency, images): the QoS
+        #: controller's overload/recovery signal must reflect *recent*
+        #: traffic, not the whole (cumulative) histogram -- and entries age
+        #: out by time too, or an idle endpoint would stare at its
+        #: overload-era p99 forever and never recover.
+        self.recent_latencies: deque[tuple[float, float, int]] = deque(
             maxlen=max(8, recent_window)
         )
         #: Images served per ladder rung, plus the current rung gauge.
@@ -180,7 +180,7 @@ class EndpointMetrics:
             self.images += int(images)
             self.latency.record(latency_seconds)
             self.recent_latencies.append(
-                (time.monotonic(), float(latency_seconds))
+                (time.monotonic(), float(latency_seconds), int(images))
             )
 
     def record_rejection(self, images: int = 1) -> None:
@@ -237,14 +237,53 @@ class EndpointMetrics:
         horizon = time.monotonic() - max_age_s
         with self._lock:
             ordered = sorted(
-                latency
-                for recorded_at, latency in self.recent_latencies
-                if recorded_at >= horizon
+                entry[1]
+                for entry in self.recent_latencies
+                if entry[0] >= horizon
             )
         if not ordered:
             return 0.0
         index = min(len(ordered) - 1, int(math.ceil(0.99 * len(ordered))) - 1)
         return ordered[max(0, index)]
+
+    def recent_rates(self, window_s: float = 10.0) -> dict:
+        """Request and goodput rates over the sliding latency window.
+
+        Goodput counts requests whose latency fit the endpoint's budget;
+        with no budget configured every completed request is good.  Used
+        by the telemetry health tick -- the dashboard shows *recent*
+        behaviour, not lifetime averages.
+
+        The sliding window holds at most ``recent_window`` samples; when
+        it is full the effective window shrinks to the span the retained
+        samples actually cover, so high-traffic endpoints report their
+        true rate instead of a ``recent_window / window_s`` plateau.
+        """
+        now = time.monotonic()
+        horizon = now - window_s
+        budget_s = (
+            self.latency_budget_ms / 1000.0 if self.latency_budget_ms else None
+        )
+        with self._lock:
+            full = len(self.recent_latencies) == self.recent_latencies.maxlen
+            if full and self.recent_latencies:
+                horizon = max(horizon, self.recent_latencies[0][0])
+            recent = [
+                entry[1:] for entry in self.recent_latencies
+                if entry[0] >= horizon
+            ]
+        window = max(1e-9, now - horizon)
+        within_images = sum(
+            images
+            for latency, images in recent
+            if budget_s is None or latency <= budget_s
+        )
+        return {
+            "requests_per_s": len(recent) / window,
+            # Goodput is in *images* (matching the throughput gauge): a
+            # request contributes its whole batch when it fit the budget.
+            "goodput_images_per_s": within_images / window,
+        }
 
     # -- derived -----------------------------------------------------------
     @property

@@ -50,6 +50,7 @@ from repro.eval.throttle import (
     throttle_assignment,
 )
 from repro.serve.registry import ModelSpec
+from repro.telemetry import bus as telemetry_bus
 
 
 #: One execution lock per live QuantizedModel: endpoints aliased to the same
@@ -256,6 +257,8 @@ def _forked_replica_main(spec: ModelSpec, provider, conn) -> None:
     response is sent before the engine is closed and the process exits.
     """
     parallel.IN_POOL_WORKER = True
+    # Inherited telemetry subscribers belong to the parent server process.
+    telemetry_bus.get_bus().reset_after_fork(role="serve-replica")
     stop = {"requested": False}
 
     def _request_stop(signum, frame):
@@ -521,6 +524,11 @@ class ReplicaSet:
                 except Exception:  # pragma: no cover - respawn best-effort
                     return replica
                 self.replicas[self.replicas.index(replica)] = fresh
+            telemetry_bus.publish(
+                "replica_respawn",
+                endpoint=replica.spec.name,
+                level=getattr(fresh, "level", 0),
+            )
             return fresh
         return replica
 

@@ -37,6 +37,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.telemetry import bus as telemetry_bus
+
 
 @dataclass(frozen=True)
 class QoSConfig:
@@ -323,6 +325,12 @@ class EndpointGovernor:
     batcher: object
     metrics: object
     controller: QoSController | None = None
+    #: Optional :class:`repro.telemetry.coordinator.QoSCoordinator`: when
+    #: set, the local controller only expresses a *desire* and the rung
+    #: actually applied is the service-wide recommendation (the max desire
+    #: over live, non-held shards) -- unless an operator force/hold pins
+    #: this shard.
+    coordinator: object | None = None
     _last_rejected: int = field(default=0, repr=False)
     #: Serializes a decision (observe/force) with its application to the
     #: pool: without it, a tick that decided a transition could apply it
@@ -348,14 +356,61 @@ class EndpointGovernor:
         )
 
     def tick(self) -> Transition | None:
-        """One control-loop step; applies and records any transition."""
+        """One control-loop step; applies and records any transition.
+
+        Standalone (no coordinator) the local controller's decision is
+        applied directly.  Under a coordinator the local decision only
+        updates this shard's published *desire*; what gets applied is the
+        coordinator's service-wide recommendation, so every shard serves
+        the same rung (no independent flapping).  A held controller
+        (operator force/hold) publishes its pin but neither follows nor
+        drags the quorum.
+        """
         if self.controller is None:
             return None
         signal = self.signal()
         with self._decide_lock:
-            transition = self.controller.observe(signal)
-            if transition is not None:
-                self._apply(transition)
+            local = self.controller.observe(signal)
+            if self.coordinator is None:
+                if local is not None:
+                    self._apply(local)
+                return local
+            return self._coordinate(signal, local)
+
+    def _coordinate(self, signal: LoadSignal, local) -> Transition | None:
+        """Publish local desire, then follow the quorum recommendation."""
+        applied = self.pool.current_level(self.endpoint)
+        held = self.controller.held
+        self.coordinator.update(
+            self.endpoint,
+            desired=self.controller.level,
+            applied=applied,
+            pressure=signal.pressure,
+            held=held,
+        )
+        self.coordinator.flush()
+        if held:
+            return None
+        recommended = self.coordinator.recommendation(
+            self.endpoint, self.controller.num_levels
+        )
+        if recommended is None:
+            # No quorum (no live peer state yet): act on our own decision.
+            if local is not None:
+                self._apply(local)
+            return local
+        if recommended == applied:
+            return None
+        transition = Transition(
+            at=time.monotonic(),
+            from_level=applied,
+            to_level=recommended,
+            reason=(
+                f"coordinator quorum (local desire {self.controller.level})"
+            ),
+            pressure=signal.pressure,
+        )
+        self._apply(transition)
         return transition
 
     def force(self, level: int, hold: bool | None = False) -> Transition | None:
@@ -372,6 +427,31 @@ class EndpointGovernor:
                 self._apply(transition)
         return transition
 
+    def release(self) -> None:
+        """Resume automatic walking after a held :meth:`force`.
+
+        Under a coordinator the un-pinned shard must not re-join the
+        quorum voting its stale forced rung (a pin at a degraded rung
+        would drag every peer down); its desire resyncs to the current
+        recommendation of the *other* shards -- our own channel document
+        still says ``held`` until the next tick, so it has no vote in
+        this gather.
+        """
+        if self.controller is None:
+            return
+        with self._decide_lock:
+            self.controller.release()
+            if self.coordinator is not None:
+                recommended = self.coordinator.recommendation(
+                    self.endpoint, self.controller.num_levels
+                )
+                if recommended is not None:
+                    self.controller.resync(recommended)
+            else:
+                self.controller.resync(
+                    self.pool.current_level(self.endpoint)
+                )
+
     def _apply(self, transition: Transition) -> None:
         try:
             point = self.pool.set_operating_point(
@@ -384,9 +464,45 @@ class EndpointGovernor:
             raise
         self.metrics.set_operating_point(transition.to_level, point.describe())
         self.metrics.record_transition(transition)
+        self._reprice(point)
+        telemetry_bus.publish(
+            "rung_transition",
+            endpoint=self.endpoint,
+            from_level=transition.from_level,
+            to_level=transition.to_level,
+            direction=transition.direction,
+            reason=transition.reason,
+            pressure=transition.pressure,
+        )
+
+    def _reprice(self, point) -> None:
+        """Rung-aware admission: price in-flight images by the serving rung.
+
+        A degraded (faster) rung serves images sooner, so the same pending
+        budget represents less queueing delay; scaling the admission price
+        by the rung's expected speedup keeps the budget *time*-constant
+        instead of image-constant across the ladder.
+        """
+        set_price = getattr(self.admission, "set_price", None)
+        if set_price is None:
+            return
+        try:
+            ladder = self.pool.ladder(self.endpoint)
+        except Exception:  # noqa: BLE001 - pricing is best-effort
+            return
+        top_speedup = max(1e-9, ladder.top.expected_speedup)
+        set_price(top_speedup / max(1e-9, point.expected_speedup))
+
+    def expected_rung(self) -> int:
+        """The rung a request admitted now should expect to be served at."""
+        return self.pool.current_level(self.endpoint)
 
     def snapshot(self) -> dict:
         if self.controller is None:
-            return {"level": 0, "num_levels": 1, "held": False,
-                    "transitions": 0, "recent_transitions": []}
-        return self.controller.snapshot()
+            snapshot = {"level": 0, "num_levels": 1, "held": False,
+                        "transitions": 0, "recent_transitions": []}
+        else:
+            snapshot = self.controller.snapshot()
+        if self.coordinator is not None:
+            snapshot["coordinator"] = self.coordinator.snapshot()
+        return snapshot

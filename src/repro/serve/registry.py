@@ -110,17 +110,45 @@ class ModelSpec:
 
 
 class AdmissionController:
-    """Bounded in-flight image budget of one endpoint (backpressure)."""
+    """Bounded in-flight image budget of one endpoint (backpressure).
+
+    The budget is *rung-aware*: ``price`` is the relative per-image cost
+    of the operating point currently serving the endpoint (1.0 at the top
+    rung; a degraded rung with 2x the expected speedup prices each image
+    at 0.5).  In-flight counts stay in images -- the price only rescales
+    the effective capacity -- so admit/release pairs remain balanced even
+    when the rung changes while a request is in flight.  Keeping the
+    *time* the admitted backlog represents roughly constant across the
+    ladder is the ROADMAP's "price a request by the rung that will serve
+    it".
+    """
 
     def __init__(self, capacity: int):
         self.capacity = max(1, int(capacity))
         self._lock = threading.Lock()
         self._in_flight = 0
+        self._price = 1.0
+
+    def set_price(self, price: float) -> None:
+        """Per-image admission cost of the rung now serving the endpoint."""
+        with self._lock:
+            self._price = max(1e-6, float(price))
+
+    @property
+    def price(self) -> float:
+        with self._lock:
+            return self._price
+
+    @property
+    def effective_capacity(self) -> float:
+        """Images admittable at the current price (capacity / price)."""
+        with self._lock:
+            return self.capacity / self._price
 
     def try_admit(self, images: int = 1) -> bool:
         """Reserve queue room for ``images``; False means shed the request."""
         with self._lock:
-            if self._in_flight + images > self.capacity:
+            if (self._in_flight + images) * self._price > self.capacity:
                 return False
             self._in_flight += images
             return True
@@ -136,9 +164,9 @@ class AdmissionController:
 
     @property
     def pressure(self) -> float:
-        """In-flight images over capacity (1.0 = saturated, shedding load)."""
+        """Priced in-flight load over capacity (1.0 = saturated, shedding)."""
         with self._lock:
-            return self._in_flight / self.capacity
+            return (self._in_flight * self._price) / self.capacity
 
 
 @dataclass
@@ -179,6 +207,8 @@ class ServeRegistry:
             admission = self.admissions[name]
             entry["in_flight"] = admission.in_flight
             entry["pressure"] = admission.pressure
+            entry["admission_price"] = admission.price
+            entry["effective_capacity"] = admission.effective_capacity
             entries.append(entry)
         return entries
 

@@ -55,15 +55,31 @@ from repro.serve.metrics import MetricsRegistry, merge_registry_payloads
 from repro.serve.pool import EnginePool
 from repro.serve.qos import EndpointGovernor, QoSConfig, QoSController
 from repro.serve.registry import ServeRegistry, default_registry
+from repro.telemetry import bus as telemetry_bus
+from repro.telemetry.dashboard import DASHBOARD_HTML, EventRelay, stream_sse
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, extra: dict | None = None,
+                 headers: dict | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.extra = extra or {}
+        self.headers = headers or {}
+
+    def body(self) -> dict:
+        return {"error": self.message, **self.extra}
+
+
+class _RawBody:
+    """A non-JSON response body (the dashboard page)."""
+
+    def __init__(self, body: bytes, content_type: str):
+        self.body = body
+        self.content_type = content_type
 
 
 _STATUS_TEXT = {
@@ -98,6 +114,9 @@ class NBSMTServer:
         shard_exchange=None,
         shard_index: int = 0,
         shard_publish_s: float = 0.5,
+        telemetry_dir: str | None = None,
+        coordinator=None,
+        telemetry_tick_s: float = 1.0,
     ):
         self.registry = registry or default_registry()
         self.scale = scale
@@ -114,6 +133,19 @@ class NBSMTServer:
         self.shard_exchange = shard_exchange
         self.shard_index = int(shard_index)
         self.shard_publish_s = float(shard_publish_s)
+        self.coordinator = coordinator
+        self.telemetry_tick_s = float(telemetry_tick_s)
+        # Telemetry: events publish on the process bus; with a spool dir
+        # (sharded mode) they also spill to disk so any shard's relay can
+        # stream the whole service's events from `/v1/events`.
+        bus = telemetry_bus.get_bus()
+        bus.configure_source(role="serve", shard=self.shard_index)
+        self._owns_spool = False
+        if telemetry_dir is not None and bus.spool_dir != str(telemetry_dir):
+            bus.attach_spool(telemetry_dir, role="serve")
+            self._owns_spool = True
+        self.relay = EventRelay(local_bus=bus, spool_dir=telemetry_dir)
+        self._last_shed: dict[str, int] = {}
         self._sock = sock
         self._reuse_port = bool(reuse_port)
         self._server: asyncio.AbstractServer | None = None
@@ -136,11 +168,22 @@ class NBSMTServer:
             runner = self.pool.runner_for(
                 name, metrics=endpoint_metrics, with_point=True
             )
+
+            def on_batch(report, _record=endpoint_metrics.record_batch,
+                         _name=name):
+                _record(report)
+                telemetry_bus.publish(
+                    "batch_served",
+                    endpoint=_name,
+                    images=report.num_images,
+                    service_s=report.service_seconds,
+                )
+
             batcher = DynamicBatcher(
                 runner,
                 max_batch=spec.max_batch,
                 max_wait=spec.max_wait_ms / 1000.0,
-                on_batch=endpoint_metrics.record_batch,
+                on_batch=on_batch,
                 # One assembly thread per replica keeps every forked worker
                 # busy; a single in-process replica gets a single thread.
                 workers=self.pool.replica_count(name),
@@ -160,6 +203,9 @@ class NBSMTServer:
                 batcher=batcher,
                 metrics=endpoint_metrics,
                 controller=controller,
+                coordinator=(
+                    self.coordinator if controller is not None else None
+                ),
             )
             endpoint_metrics.set_operating_point(
                 self.pool.current_level(name),
@@ -199,6 +245,19 @@ class NBSMTServer:
             self._background_tasks.append(
                 asyncio.create_task(self._publish_loop())
             )
+        self._background_tasks.append(
+            asyncio.create_task(self._telemetry_loop())
+        )
+        if self.relay.follower is not None:
+            self._background_tasks.append(
+                asyncio.create_task(self._follow_loop())
+            )
+        telemetry_bus.publish(
+            "server_started",
+            endpoints=sorted(self.batchers),
+            host=self.host,
+            port=self.port,
+        )
 
     async def _qos_loop(self) -> None:
         """Periodic QoS tick: walk every adaptive endpoint's ladder.
@@ -258,6 +317,51 @@ class NBSMTServer:
         except OSError:  # pragma: no cover - spool dir torn down
             pass
 
+    async def _telemetry_loop(self) -> None:
+        """Periodic ``endpoint_health`` events (the dashboard's heartbeat)."""
+        loop = asyncio.get_running_loop()
+        while not self._stopped:
+            await loop.run_in_executor(None, self.publish_health)
+            await asyncio.sleep(self.telemetry_tick_s)
+
+    async def _follow_loop(self) -> None:
+        """Relay peer shards' spool events into this shard's SSE streams."""
+        loop = asyncio.get_running_loop()
+        while not self._stopped:
+            await loop.run_in_executor(None, self.relay.poll)
+            await asyncio.sleep(0.25)
+
+    def publish_health(self) -> None:
+        """One health event per endpoint, plus aggregated shed deltas."""
+        bus = telemetry_bus.get_bus()
+        if not bus.active:
+            return
+        for name in list(self.batchers):
+            metrics = self.metrics.endpoint(name)
+            admission = self.registry.admission(name)
+            rates = metrics.recent_rates()
+            rejected = metrics.rejected_images
+            shed_delta = rejected - self._last_shed.get(name, 0)
+            self._last_shed[name] = rejected
+            if shed_delta > 0:
+                bus.publish("shed", endpoint=name, images=shed_delta)
+            bus.publish(
+                "endpoint_health",
+                endpoint=name,
+                requests=metrics.requests,
+                images=metrics.images,
+                rejected_images=rejected,
+                throughput_images_per_s=metrics.throughput(),
+                goodput_images_per_s=rates["goodput_images_per_s"],
+                recent_requests_per_s=rates["requests_per_s"],
+                recent_p99_ms=metrics.recent_p99() * 1000.0,
+                pressure=admission.pressure,
+                admission_price=admission.price,
+                level=self.pool.current_level(name),
+                latency=metrics.latency.to_payload(),
+                latency_budget_ms=metrics.latency_budget_ms,
+            )
+
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain batchers, close pool."""
         if self._stopped:
@@ -281,6 +385,10 @@ class NBSMTServer:
             self.pool.close()
 
         await loop.run_in_executor(None, drain_and_close)
+        telemetry_bus.publish("server_stopped", endpoints=sorted(self.batchers))
+        self.relay.close()
+        if self._owns_spool:
+            telemetry_bus.get_bus().detach_spool()
         if self._stop_event is not None:
             self._stop_event.set()
 
@@ -319,14 +427,29 @@ class NBSMTServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                if path.split("?", 1)[0] == "/v1/events":
+                    # SSE takes over the connection (no framing, no reuse).
+                    if method != "GET":
+                        await self._write_response(
+                            writer, 405, {"error": "use GET"}, False
+                        )
+                        break
+                    await stream_sse(
+                        writer, self.relay, stopped=lambda: self._stopped
+                    )
+                    break
+                extra_headers: dict[str, str] = {}
                 try:
                     status, payload = await self._route(method, path, body)
                 except _HttpError as exc:
-                    status, payload = exc.status, {"error": exc.message}
+                    status, payload = exc.status, exc.body()
+                    extra_headers = exc.headers
                 except Exception as exc:  # noqa: BLE001 - reported as 500
                     status, payload = 500, {"error": repr(exc)}
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                await self._write_response(writer, status, payload, keep_alive)
+                await self._write_response(
+                    writer, status, payload, keep_alive, extra_headers
+                )
                 if not keep_alive:
                     break
         except (ConnectionResetError, asyncio.IncompleteReadError):
@@ -363,14 +486,25 @@ class NBSMTServer:
         return method.upper(), path, headers, body
 
     async def _write_response(
-        self, writer, status: int, payload: dict, keep_alive: bool
+        self, writer, status: int, payload, keep_alive: bool,
+        extra_headers: dict | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _RawBody):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        headers = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{headers}"
             "\r\n"
         ).encode("ascii")
         writer.write(head + body)
@@ -385,6 +519,16 @@ class NBSMTServer:
             if method != "GET":
                 raise _HttpError(405, "use GET")
             return 200, {"models": self.registry.describe()}
+        if path in ("/dashboard", "/dashboard/"):
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, _RawBody(
+                DASHBOARD_HTML.encode("utf-8"), "text/html; charset=utf-8"
+            )
+        if path == "/v1/telemetry":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, self.relay.snapshot()
         if path == "/v1/metrics":
             if method != "GET":
                 raise _HttpError(405, "use GET")
@@ -447,8 +591,7 @@ class NBSMTServer:
             try:
                 if level is None and hold is False:
                     # {"hold": false} alone resumes automatic walking.
-                    if governor.controller is not None:
-                        governor.controller.release()
+                    governor.release()
                 else:
                     # {"hold": true} alone pins the *current* rung; a
                     # level-only body moves the rung without touching any
@@ -473,6 +616,34 @@ class NBSMTServer:
             "controller": governor.snapshot(),
             "pacing_unit_s_per_image": self.pool.pacing_unit(name),
         }
+
+    def _shed_error(self, name: str, spec, message: str) -> _HttpError:
+        """A 429 priced at the rung the retried request should expect.
+
+        ``expected_rung`` is the rung the endpoint currently serves at --
+        under the coordinator, the service-wide recommendation every shard
+        follows -- so a client library can decide whether a retry is worth
+        it (a degraded rung answers faster but noisier).  ``Retry-After``
+        advises one batching window.
+        """
+        retry_after_ms = max(spec.max_wait_ms, 50.0)
+        try:
+            expected = self.pool.current_level(name)
+            point = self.pool.current_point(name).describe()
+        except Exception:  # noqa: BLE001 - endpoint still warming up
+            expected, point = 0, None
+        return _HttpError(
+            429,
+            message,
+            extra={
+                "expected_rung": expected,
+                "expected_point": point,
+                "retry_after_ms": retry_after_ms,
+            },
+            headers={
+                "Retry-After": str(max(1, int(round(retry_after_ms / 1000.0))))
+            },
+        )
 
     async def _predict(self, name: str, body: bytes):
         if self._stopped:
@@ -507,8 +678,9 @@ class NBSMTServer:
         admission = self.registry.admission(name)
         if not admission.try_admit(images):
             endpoint_metrics.record_rejection(images)
-            raise _HttpError(
-                429,
+            raise self._shed_error(
+                name,
+                spec,
                 f"endpoint {name!r} is saturated "
                 f"({admission.in_flight}/{admission.capacity} images in flight)",
             )
@@ -518,7 +690,7 @@ class NBSMTServer:
             logits, level = await asyncio.wrap_future(future)
         except QueueFull as exc:
             endpoint_metrics.record_rejection(images)
-            raise _HttpError(429, str(exc)) from None
+            raise self._shed_error(name, spec, str(exc)) from None
         except Exception:
             endpoint_metrics.record_failure()
             raise

@@ -96,52 +96,68 @@ class ShardMetricsExchange:
 
     def publish(self, payload: dict) -> None:
         """Atomically replace this shard's payload document."""
-        document = {
-            "shard": self.shard_index,
-            "published_at": time.time(),
-            "payload": payload,
-        }
-        final = self._path(self.shard_index)
-        handle = tempfile.NamedTemporaryFile(
-            "w",
-            dir=self.directory,
-            prefix=f".shard-{self.shard_index}.",
-            suffix=".tmp",
-            delete=False,
-            encoding="utf-8",
+        from repro.telemetry.bus import atomic_write_json
+
+        atomic_write_json(
+            self.directory,
+            f"shard-{self.shard_index}.json",
+            {
+                "shard": self.shard_index,
+                "pid": os.getpid(),
+                "published_at": time.time(),
+                "payload": payload,
+            },
         )
-        try:
-            json.dump(document, handle)
-            handle.close()
-            os.replace(handle.name, final)
-        except BaseException:  # pragma: no cover - spool dir torn down
-            handle.close()
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
 
     def gather_peers(self) -> tuple[list[dict], list[dict]]:
-        """Peer payloads plus per-source metadata (index, age, staleness)."""
+        """Peer payloads plus per-source metadata (index, age, staleness).
+
+        A *stale* payload (older than :data:`STALE_AFTER_S`) whose
+        publishing process is gone is **reaped**: the spool file is
+        deleted and the payload excluded from the merge.  Without this, a
+        crashed shard's last counters would be folded into every
+        whole-service ``/v1/metrics`` answer forever -- and once the
+        service restarts into the same exchange directory (or respawns the
+        shard index), those dead counters double-count against the live
+        shard's.  A stale file whose pid is still alive is kept (the shard
+        may just be wedged mid-GC) but flagged.
+        """
+        from repro.telemetry.bus import pid_alive
+
         payloads: list[dict] = []
         sources: list[dict] = []
         now = time.time()
         for index in range(self.shard_count):
             if index == self.shard_index:
                 continue
+            path = self._path(index)
             try:
-                with open(self._path(index), encoding="utf-8") as handle:
+                with open(path, encoding="utf-8") as handle:
                     document = json.load(handle)
             except (OSError, ValueError):
                 continue
             age = now - document.get("published_at", 0.0)
+            stale = age > STALE_AFTER_S
+            pid = int(document.get("pid", 0) or 0)
+            # Documents published before pids were recorded reap on
+            # staleness alone (pid 0 is never alive).
+            if stale and not pid_alive(pid):
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                sources.append(
+                    {"shard": index, "age_s": age, "stale": True,
+                     "reaped": True}
+                )
+                continue
             payloads.append(document["payload"])
             sources.append(
                 {
                     "shard": index,
                     "age_s": age,
-                    "stale": age > STALE_AFTER_S,
+                    "stale": stale,
+                    "reaped": False,
                 }
             )
         return payloads, sources
@@ -154,19 +170,35 @@ def _shard_main(
     shard_count: int,
     exchange_dir: str,
     server_kwargs: dict,
+    coordinate: bool,
 ) -> None:
     """One shard process: a full server on an inherited bound socket."""
     import asyncio
 
     from repro.serve.server import NBSMTServer
+    from repro.telemetry import bus as telemetry_bus
+    from repro.telemetry.coordinator import QoSCoordinator, ShardStateChannel
 
     parallel.IN_POOL_WORKER = False
+    telemetry_bus.get_bus().reset_after_fork(role="serve", shard=index)
     exchange = ShardMetricsExchange(exchange_dir, index, shard_count)
+    coordinator = None
+    if coordinate:
+        # Throttle channel I/O: unchanged desires republish at 1s (well
+        # inside the 5s staleness horizon) and the endpoints of one QoS
+        # tick share a single gathered snapshot.
+        coordinator = QoSCoordinator(
+            ShardStateChannel(exchange_dir, index, shard_count),
+            min_publish_s=1.0,
+            gather_cache_s=0.1,
+        )
     server = NBSMTServer(
         registry,
         sock=sock,
         shard_exchange=exchange,
         shard_index=index,
+        coordinator=coordinator,
+        telemetry_dir=os.path.join(exchange_dir, "telemetry"),
         **server_kwargs,
     )
     asyncio.run(server.serve_forever())
@@ -178,13 +210,19 @@ def run_sharded(
     host: str = "127.0.0.1",
     port: int = 8421,
     exchange_dir: str | None = None,
+    coordinate: bool = True,
     **server_kwargs,
 ) -> None:
     """Fork ``shards`` server processes sharing one listening address.
 
     Blocks until every shard exits; SIGINT/SIGTERM are forwarded so each
     shard drains gracefully.  The metrics spool directory is created (and
-    cleaned up) here unless an explicit ``exchange_dir`` is supplied.
+    cleaned up) here unless an explicit ``exchange_dir`` is supplied; the
+    shards' telemetry event spool lives under ``<exchange_dir>/telemetry``
+    so any shard's ``/v1/events`` (and ``/dashboard``) streams the whole
+    service.  ``coordinate=True`` (the default) runs the cross-shard QoS
+    coordinator: adaptive endpoints converge to one service-wide rung
+    instead of every shard walking its ladder blind to the others.
     """
     if shards < 2:
         raise ValueError("sharding needs at least 2 shards")
@@ -209,7 +247,7 @@ def run_sharded(
             process = context.Process(
                 target=_shard_main,
                 args=(index, sock, registry, shards, exchange_dir,
-                      dict(server_kwargs)),
+                      dict(server_kwargs), coordinate),
                 name=f"serve-shard-{index}",
             )
             process.start()

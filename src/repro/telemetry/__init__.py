@@ -1,0 +1,24 @@
+"""Live observability for the reproduction's sweep and serving stacks.
+
+The subsystem has four layers:
+
+* :mod:`repro.telemetry.bus` -- a process-local pub/sub event bus with
+  typed events and an append-only JSONL *spool* transport, so forked
+  sweep workers and ``SO_REUSEPORT`` front-end shards publish into one
+  merged stream.
+* :mod:`repro.telemetry.timeseries` -- bounded ring-buffer series with
+  windowed aggregation plus per-endpoint operating-point *timelines*
+  (rung versus wall clock, annotated with the pressure that drove each
+  transition), and the :class:`~repro.telemetry.timeseries.TelemetryAggregator`
+  folding a raw event stream into a dashboard-ready snapshot.
+* :mod:`repro.telemetry.dashboard` -- an SSE ``/v1/events`` stream and a
+  zero-dependency single-file HTML dashboard (``/dashboard``), plus the
+  standalone ``repro.cli dash`` server that follows a spool directory.
+* :mod:`repro.telemetry.coordinator` -- cross-shard QoS coordination:
+  every shard publishes its locally-desired ladder rung and all shards
+  follow one deterministic service-wide recommendation.
+"""
+
+from repro.telemetry.bus import Event, TelemetryBus, get_bus, publish
+
+__all__ = ["Event", "TelemetryBus", "get_bus", "publish"]

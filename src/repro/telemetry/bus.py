@@ -1,0 +1,575 @@
+"""Process-local pub/sub event bus with a cross-process JSONL spool.
+
+The bus is the single publication point for everything observable in the
+repo: sweep points starting/finishing, worker lifecycle, served batches,
+QoS rung transitions, shed requests, replica respawns.  Publishers call
+:func:`publish` (or ``get_bus().publish``) with a type string and JSON-able
+fields; the hot path is a single attribute check when nothing listens, so
+instrumented code costs nothing in the common un-observed case.
+
+In-process consumers subscribe either a callback or a bounded
+:class:`Subscription` queue (oldest events are evicted when a slow consumer
+falls behind -- telemetry must never apply backpressure to the serving or
+sweep hot paths).
+
+Cross-process transport reuses the sharding metrics-spool pattern: each
+process appends events to its own ``<role>-<pid>.jsonl`` file in a shared
+spool directory (append-only, one JSON document per line, atomic size-based
+rotation to a single ``.old`` generation), and a :class:`SpoolFollower`
+tails every file in the directory -- so forked sweep workers and
+``SO_REUSEPORT`` shards publish into one merged stream without locks or
+pipes.  Writers are fork-safe: the spool sink lazily reopens a fresh
+per-pid file when it notices it crossed a ``fork()``, and
+:meth:`TelemetryBus.reset_after_fork` drops subscribers inherited from the
+parent (a worker must not run the parent's dashboard callbacks).
+"""
+
+from __future__ import annotations
+
+import collections
+import io
+import json
+import os
+import threading
+import time
+
+#: Rotate a spool file once it grows past this many bytes (one rotated
+#: ``.old`` generation is kept so followers can finish reading it).
+DEFAULT_ROTATE_BYTES = 4 * 1024 * 1024
+
+
+class Event:
+    """One typed telemetry event.
+
+    ``type`` names the event (``point_finished``, ``rung_transition``,
+    ...); ``at`` is a ``time.time()`` wall-clock stamp (events cross
+    processes, so monotonic clocks would not compare); ``source``
+    identifies the publishing process (pid, role, optional shard index);
+    ``seq`` orders events of one publisher; ``data`` carries the JSON-able
+    payload.
+    """
+
+    __slots__ = ("type", "at", "source", "seq", "data")
+
+    def __init__(self, type: str, at: float, source: dict, seq: int, data: dict):
+        self.type = type
+        self.at = at
+        self.source = source
+        self.seq = seq
+        self.data = data
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "type": self.type,
+                "at": self.at,
+                "source": self.source,
+                "seq": self.seq,
+                "data": self.data,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "Event":
+        doc = json.loads(line)
+        return cls(
+            type=doc["type"],
+            at=float(doc["at"]),
+            source=doc.get("source", {}),
+            seq=int(doc.get("seq", 0)),
+            data=doc.get("data", {}),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "type": self.type,
+            "at": self.at,
+            "source": self.source,
+            "seq": self.seq,
+            "data": self.data,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.type!r}, seq={self.seq}, data={self.data!r})"
+
+
+class Subscription:
+    """Bounded, thread-safe event queue handed to one in-process consumer.
+
+    When the buffer is full the *oldest* event is evicted: a stalled
+    dashboard connection loses history, never slows a publisher.
+    """
+
+    def __init__(self, bus: "TelemetryBus", types=None, maxlen: int = 256):
+        self._bus = bus
+        self.types = frozenset(types) if types else None
+        self._buffer: collections.deque[Event] = collections.deque(
+            maxlen=max(1, int(maxlen))
+        )
+        self._condition = threading.Condition()
+        self.dropped = 0
+        self.closed = False
+
+    def _offer(self, event: Event) -> None:
+        if self.types is not None and event.type not in self.types:
+            return
+        with self._condition:
+            if len(self._buffer) == self._buffer.maxlen:
+                self.dropped += 1
+            self._buffer.append(event)
+            self._condition.notify()
+
+    def get(self, timeout: float | None = None) -> Event | None:
+        """Next event, or ``None`` on timeout / after :meth:`close`."""
+        with self._condition:
+            if not self._buffer and not self.closed:
+                self._condition.wait(timeout)
+            if self._buffer:
+                return self._buffer.popleft()
+            return None
+
+    def drain(self) -> list[Event]:
+        """Every buffered event, without blocking."""
+        with self._condition:
+            events = list(self._buffer)
+            self._buffer.clear()
+            return events
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+        with self._condition:
+            self.closed = True
+            self._condition.notify_all()
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EventSpool:
+    """Append-only JSONL writer for one process's share of a spool dir.
+
+    The file is named ``<role>-<pid>.jsonl`` so concurrent writers never
+    contend; a write is one line + flush (readers only parse complete
+    lines).  Once the file passes ``rotate_bytes`` it is atomically
+    renamed to ``.old`` (replacing the previous generation) and a fresh
+    file is started.  The writer is fork-safe: a pid change is detected on
+    the next append and a new per-pid file is opened.
+    """
+
+    #: Inherited parent file objects abandoned after a fork.  Kept alive
+    #: forever (one small object per fork) so their destructors never run:
+    #: close()/GC-flush in the child would write the child's copy of any
+    #: partially-buffered parent line into the parent's shared fd, tearing
+    #: the parent's next event line.
+    _ABANDONED_HANDLES: list = []
+
+    def __init__(
+        self, directory: str, role: str = "events",
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+    ):
+        self.directory = str(directory)
+        self.role = role
+        self.rotate_bytes = int(rotate_bytes)
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._pid: int | None = None
+        self._handle: io.TextIOWrapper | None = None
+        self._written = 0
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, f"{self.role}-{os.getpid()}.jsonl")
+
+    def _ensure_open(self) -> None:
+        pid = os.getpid()
+        if self._handle is not None and self._pid == pid:
+            if self._handle.closed:  # pragma: no cover - failed rotation
+                self._handle = None
+            else:
+                return
+        if self._handle is not None:
+            # Crossed a fork: the handle belongs to the parent's file.
+            # Never close it here (see _ABANDONED_HANDLES).
+            EventSpool._ABANDONED_HANDLES.append(self._handle)
+        self._pid = pid
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._written = self._handle.tell()
+
+    def rearm_after_fork(self) -> None:
+        """Make this (inherited) spool usable in a freshly forked child.
+
+        The inherited lock may be held by a parent thread that was inside
+        :meth:`append` at fork time -- that thread does not exist in the
+        child, so the lock would never be released.  The child is
+        single-threaded at this point, so replacing the lock (and
+        abandoning the inherited handle) is race-free.
+        """
+        self._lock = threading.Lock()
+        if self._handle is not None:
+            EventSpool._ABANDONED_HANDLES.append(self._handle)
+            self._handle = None
+        self._pid = None
+
+    def append(self, event: Event) -> None:
+        line = event.to_json() + "\n"
+        with self._lock:
+            self._ensure_open()
+            self._handle.write(line)
+            self._handle.flush()
+            self._written += len(line)
+            if self._written >= self.rotate_bytes:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        # Drop the handle reference first: if the rename or reopen fails
+        # (spool directory torn down mid-shutdown), the next append must
+        # find no handle and retry the open -- never write to the closed
+        # object, which would raise ValueError past publish()'s OSError
+        # guard and crash the publishing thread.
+        handle, self._handle = self._handle, None
+        handle.close()
+        try:
+            os.replace(self.path, self.path + ".old")
+        except OSError:  # pragma: no cover - spool dir torn down
+            pass
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._written = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and self._pid == os.getpid():
+                try:
+                    self._handle.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._handle = None
+            self._pid = None
+
+
+class SpoolFollower:
+    """Tails every spool file of a directory, yielding new events.
+
+    Per-file read offsets persist across :meth:`poll` calls; only complete
+    lines are parsed (a writer mid-line is picked up next poll).  Rotation
+    is handled by watching the ``.old`` generation too and by detecting
+    truncation (offset past the new, smaller file).  Events of one poll are
+    merged across files in wall-clock order.
+    """
+
+    def __init__(self, directory: str, skip_basenames: set[str] | None = None):
+        self.directory = str(directory)
+        self.skip_basenames = set(skip_basenames or ())
+        self._offsets: dict[str, int] = {}
+        self._inodes: dict[str, int] = {}
+
+    def _spool_names(self) -> list[str]:
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        return [
+            name
+            for name in names
+            if name.endswith((".jsonl", ".jsonl.old"))
+            and name not in self.skip_basenames
+            and name.removesuffix(".old") not in self.skip_basenames
+        ]
+
+    def _read_new(self, path: str, events: list[Event]) -> None:
+        """Append the complete new lines of ``path`` since the last poll."""
+        offset = self._offsets.get(path, 0)
+        try:
+            if os.path.getsize(path) == offset:
+                return
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            return
+        # Only complete lines: a torn tail is re-read next poll.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return
+        self._offsets[path] = offset + end + 1
+        for line in chunk[: end + 1].splitlines():
+            if not line.strip():
+                continue
+            try:
+                events.append(Event.from_json(line.decode("utf-8")))
+            except (ValueError, KeyError):
+                continue
+
+    def poll(self) -> list[Event]:
+        events: list[Event] = []
+        names = self._spool_names()
+        mains = [name for name in names if name.endswith(".jsonl")]
+        olds = {name for name in names if name.endswith(".jsonl.old")}
+        for name in mains:
+            main = os.path.join(self.directory, name)
+            old = main + ".old"
+            try:
+                stat = os.stat(main)
+                main_size, main_inode = stat.st_size, stat.st_ino
+            except OSError:
+                main_size, main_inode = 0, None
+            known_inode = self._inodes.get(main)
+            rotated = (
+                # The inode changed: the file we were reading is now the
+                # ``.old`` generation, even if the fresh main has already
+                # grown past our stored offset (a size-only check misses
+                # that and would resume mid-line in the wrong file).
+                (known_inode is not None and main_inode != known_inode)
+                or main_size < self._offsets.get(main, 0)
+            )
+            if main_inode is not None:
+                self._inodes[main] = main_inode
+            if rotated and main in self._offsets:
+                # Everything we had consumed of the old main is now the
+                # head of the fresh ``.old`` generation (an unread tail of
+                # the *previous* ``.old`` is gone -- rotation keeps
+                # exactly one generation).
+                self._offsets[old] = self._offsets.pop(main)
+            if os.path.basename(old) in olds:
+                self._read_new(old, events)
+                olds.discard(os.path.basename(old))
+            self._read_new(main, events)
+        for name in olds:  # orphaned .old (writer gone mid-rotation)
+            self._read_new(os.path.join(self.directory, name), events)
+        events.sort(key=lambda event: (event.at, event.source.get("pid", 0),
+                                       event.seq))
+        return events
+
+
+def atomic_write_json(directory: str, filename: str, document: dict) -> None:
+    """Atomically replace ``directory/filename`` with one JSON document.
+
+    Write-to-temp + ``os.replace``: readers never see a torn file.  The
+    shared primitive behind the sharding metrics exchange and the QoS
+    coordination channel.
+    """
+    import tempfile
+
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=directory,
+        prefix=f".{filename}.",
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        json.dump(document, handle)
+        handle.close()
+        os.replace(handle.name, os.path.join(directory, filename))
+    except BaseException:  # pragma: no cover - directory torn down
+        handle.close()
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on this machine."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's pid
+        return True
+    except OSError:  # pragma: no cover - non-POSIX
+        return False
+    return True
+
+
+class TelemetryBus:
+    """The process-local event bus: subscribers + an optional spool sink.
+
+    ``publish`` is the single hot-path entry: with no subscriber and no
+    spool attached it returns after one boolean check, so permanently
+    instrumented code (the serving batch path, sweep point evaluation) is
+    free unless something actually listens.
+    """
+
+    def __init__(self, role: str = "proc"):
+        self._lock = threading.Lock()
+        self._subscribers: list = []  # Subscriptions and bare callables
+        self._spool: EventSpool | None = None
+        self._source = {"pid": os.getpid(), "role": role}
+        self._seq = 0
+        self._active = False
+
+    # -- identity ----------------------------------------------------------
+    def configure_source(self, role: str | None = None, **fields) -> None:
+        """Set the identity stamped on every published event."""
+        with self._lock:
+            source = dict(self._source)
+            if role is not None:
+                source["role"] = role
+            source.update(
+                {key: value for key, value in fields.items() if value is not None}
+            )
+            source["pid"] = os.getpid()
+            self._source = source
+
+    @property
+    def source(self) -> dict:
+        return dict(self._source)
+
+    # -- wiring ------------------------------------------------------------
+    def subscribe(self, callback=None, *, types=None, maxlen: int = 256):
+        """Register a consumer.
+
+        With ``callback`` the callable runs inline on the publisher's
+        thread (keep it cheap and never raise); without one, a bounded
+        :class:`Subscription` queue is returned.
+        """
+        with self._lock:
+            if callback is not None:
+                self._subscribers.append(callback)
+                self._active = True
+                return callback
+            subscription = Subscription(self, types=types, maxlen=maxlen)
+            self._subscribers.append(subscription)
+            self._active = True
+            return subscription
+
+    def unsubscribe(self, consumer) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(consumer)
+            except ValueError:
+                pass
+            self._active = bool(self._subscribers or self._spool)
+
+    def attach_spool(
+        self, directory: str, role: str | None = None,
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+    ) -> EventSpool:
+        """Mirror every published event into ``directory`` (cross-process)."""
+        with self._lock:
+            if self._spool is not None:
+                self._spool.close()
+            self._spool = EventSpool(
+                directory,
+                role=role or self._source.get("role", "events"),
+                rotate_bytes=rotate_bytes,
+            )
+            self._active = True
+            return self._spool
+
+    def detach_spool(self) -> None:
+        with self._lock:
+            if self._spool is not None:
+                self._spool.close()
+                self._spool = None
+            self._active = bool(self._subscribers)
+
+    @property
+    def spool_dir(self) -> str | None:
+        spool = self._spool
+        return spool.directory if spool is not None else None
+
+    @property
+    def spool_path(self) -> str | None:
+        """This process's own spool file (relays skip it when following)."""
+        spool = self._spool
+        return spool.path if spool is not None else None
+
+    def reset_after_fork(self, role: str | None = None, **fields) -> None:
+        """Drop inherited subscribers; keep (and re-home) the spool sink.
+
+        A forked worker inherits the parent's subscriber list -- callbacks
+        that belong to the parent's dashboard/ticker threads and must not
+        run in the child.  The spool sink stays attached: its per-pid file
+        is lazily reopened on the first append after the fork.
+
+        The inherited bus/spool locks may be held by parent threads that
+        were mid-publish at fork time and do not exist in the child; the
+        child is single-threaded here, so both locks are replaced rather
+        than acquired.
+        """
+        self._lock = threading.Lock()
+        with self._lock:
+            self._subscribers = []
+            self._seq = 0
+            if self._spool is not None:
+                self._spool.rearm_after_fork()
+            self._active = self._spool is not None
+        self.configure_source(role=role, **fields)
+
+    # -- publishing --------------------------------------------------------
+    def publish(self, type: str, **data) -> Event | None:
+        """Publish one event; returns it (or ``None`` when nobody listens)."""
+        if not self._active:
+            return None
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                type=type,
+                at=time.time(),
+                source=self._source,
+                seq=self._seq,
+                data=data,
+            )
+            subscribers = list(self._subscribers)
+            spool = self._spool
+        for subscriber in subscribers:
+            try:
+                if isinstance(subscriber, Subscription):
+                    subscriber._offer(event)
+                else:
+                    subscriber(event)
+            except Exception:  # noqa: BLE001 - consumers never break publishers
+                pass
+        if spool is not None:
+            try:
+                spool.append(event)
+            except (OSError, ValueError):
+                # Spool dir torn down (or its handle invalidated mid-
+                # shutdown); telemetry is best-effort, never fatal.
+                pass
+        return event
+
+    def forward(self, event: Event) -> None:
+        """Deliver an *existing* event to subscribers (no restamp, no spool).
+
+        Relays (the dashboard servers) use this to fan followed spool
+        events out to their SSE subscriptions without re-publishing them
+        as their own.
+        """
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            try:
+                if isinstance(subscriber, Subscription):
+                    subscriber._offer(event)
+                else:
+                    subscriber(event)
+            except Exception:  # noqa: BLE001
+                pass
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+
+#: The default process bus (like the root logger: deep layers publish here
+#: without threading a handle through every constructor).
+_DEFAULT_BUS = TelemetryBus()
+
+
+def get_bus() -> TelemetryBus:
+    return _DEFAULT_BUS
+
+
+def publish(type: str, **data) -> Event | None:
+    """Publish on the default bus (the usual instrumentation entry point)."""
+    return _DEFAULT_BUS.publish(type, **data)

@@ -1,0 +1,568 @@
+"""SSE event streaming and the zero-dependency HTML dashboard.
+
+Two surfaces share the machinery here:
+
+* The serving front-end (:mod:`repro.serve.server`) mounts ``/v1/events``
+  (``text/event-stream``) and ``/dashboard`` on its existing asyncio HTTP
+  server, relaying the process-local telemetry bus plus -- when sharded --
+  every peer shard's event spool.
+* ``repro.cli dash`` runs the standalone :class:`DashboardServer` against
+  a spool *directory* (a live sweep's or a sharded service's), so sweeps
+  get a dashboard without any serving stack at all.
+
+An :class:`EventRelay` is the common core: it merges the local bus with a
+:class:`~repro.telemetry.bus.SpoolFollower` (skipping the process's own
+spool file to avoid double-delivery), feeds every event through a
+:class:`~repro.telemetry.timeseries.TelemetryAggregator`, and fans out to
+per-connection SSE subscriptions.  An SSE stream opens with one
+``snapshot`` frame (the aggregator's full current state) followed by live
+events, so a dashboard reconnecting mid-run renders instantly instead of
+replaying history.
+
+The dashboard page itself is a single self-contained HTML document --
+inline CSS and JS, no external assets -- rendering sweep progress (points
+done/total, reuse hits, ETA, per-model table), per-endpoint serving
+health (recent p99 against the latency budget, goodput, shed counts) and
+the per-shard operating-point timelines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.telemetry.bus import SpoolFollower, TelemetryBus, get_bus
+from repro.telemetry.timeseries import TelemetryAggregator
+
+
+def format_sse(event_type: str, payload: dict) -> bytes:
+    """One Server-Sent-Events frame (``event:`` + ``data:`` lines)."""
+    data = json.dumps(payload, separators=(",", ":"))
+    return f"event: {event_type}\ndata: {data}\n\n".encode("utf-8")
+
+
+class EventRelay:
+    """Local bus + peer spools, merged, aggregated, and fanned out."""
+
+    def __init__(
+        self,
+        local_bus: TelemetryBus | None = None,
+        spool_dir: str | None = None,
+        aggregator: TelemetryAggregator | None = None,
+    ):
+        self.aggregator = aggregator or TelemetryAggregator()
+        self._fanout = TelemetryBus(role="relay")
+        self._local_bus = local_bus
+        self._callback = None
+        skip: set[str] = set()
+        if (
+            local_bus is not None
+            and spool_dir is not None
+            and local_bus.spool_path is not None
+            and os.path.abspath(os.path.dirname(local_bus.spool_path))
+            == os.path.abspath(str(spool_dir))
+        ):
+            # Our own events arrive via the bus callback; following our own
+            # spool file too would deliver every one of them twice.
+            skip.add(os.path.basename(local_bus.spool_path))
+        self.follower = (
+            SpoolFollower(spool_dir, skip_basenames=skip)
+            if spool_dir is not None
+            else None
+        )
+        if local_bus is not None:
+            self._callback = local_bus.subscribe(callback=self.ingest)
+
+    def ingest(self, event) -> None:
+        self.aggregator.consume(event)
+        self._fanout.forward(event)
+
+    def poll(self) -> int:
+        """Pull new spool events in; returns how many were ingested."""
+        if self.follower is None:
+            return 0
+        events = self.follower.poll()
+        for event in events:
+            self.ingest(event)
+        return len(events)
+
+    def subscribe(self, **kwargs):
+        return self._fanout.subscribe(**kwargs)
+
+    def snapshot(self) -> dict:
+        return self.aggregator.snapshot()
+
+    def close(self) -> None:
+        if self._callback is not None and self._local_bus is not None:
+            self._local_bus.unsubscribe(self._callback)
+            self._callback = None
+
+
+_SSE_HEAD = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/event-stream\r\n"
+    b"Cache-Control: no-cache\r\n"
+    b"Connection: close\r\n"
+    b"\r\n"
+)
+
+
+async def stream_sse(
+    writer: asyncio.StreamWriter,
+    relay: EventRelay,
+    *,
+    stopped=lambda: False,
+    keepalive_s: float = 10.0,
+    max_events: int | None = None,
+) -> None:
+    """Serve one ``/v1/events`` connection until the client goes away.
+
+    Opens with a ``snapshot`` frame, then streams every relayed event as
+    an SSE frame named by its type; quiet periods emit comment keepalives
+    so proxies and clients can tell a silent stream from a dead one.
+    ``max_events`` bounds the stream (tests); ``stopped`` lets the owning
+    server end streams on shutdown.
+    """
+    subscription = relay.subscribe(maxlen=1024)
+    loop = asyncio.get_running_loop()
+    sent = 0
+    try:
+        writer.write(_SSE_HEAD)
+        writer.write(format_sse("snapshot", relay.snapshot()))
+        await writer.drain()
+        last_write = time.monotonic()
+        while not stopped():
+            # Wake at most every 0.5s so `stopped()` is honored promptly,
+            # but only emit the keepalive comment after `keepalive_s` of
+            # actual silence.
+            event = await loop.run_in_executor(
+                None, subscription.get, min(keepalive_s, 0.5)
+            )
+            if event is None:
+                if time.monotonic() - last_write >= keepalive_s:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    last_write = time.monotonic()
+                continue
+            writer.write(format_sse(event.type, event.describe()))
+            await writer.drain()
+            last_write = time.monotonic()
+            sent += 1
+            if max_events is not None and sent >= max_events:
+                break
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+    finally:
+        subscription.close()
+
+
+# The palette below is the validated default data-viz palette (ordinal
+# blue ramp for ladder rungs, reserved status colors for budget state);
+# rung segments additionally carry their number as text, so rung identity
+# is never color-alone.
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro telemetry</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+  --good: #0ca30c; --critical: #d03b3b;
+  --rung-0: #86b6ef; --rung-1: #5598e7; --rung-2: #2a78d6;
+  --rung-3: #1c5cab; --rung-4: #104281;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    --rung-0: #86b6ef; --rung-1: #5598e7; --rung-2: #3987e5;
+    --rung-3: #256abf; --rung-4: #184f95;
+  }
+}
+* { box-sizing: border-box; }
+body { margin: 0; padding: 16px; background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 16px; margin: 0 0 4px; }
+h2 { font-size: 13px; margin: 0 0 8px; color: var(--text-secondary);
+  font-weight: 600; text-transform: uppercase; letter-spacing: .04em; }
+.sub { color: var(--muted); font-size: 12px; margin-bottom: 16px; }
+.cards { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 16px; }
+.card { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px; min-width: 220px; flex: 1; }
+.tiles { display: flex; gap: 18px; flex-wrap: wrap; }
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .l { font-size: 11px; color: var(--muted); }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th { text-align: left; color: var(--muted); font-weight: 500;
+  border-bottom: 1px solid var(--grid); padding: 2px 8px 2px 0; }
+td { padding: 3px 8px 3px 0; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+.meter { position: relative; height: 10px; background: var(--grid);
+  border-radius: 4px; overflow: hidden; margin-top: 4px; }
+.meter .fill { position: absolute; inset: 0 auto 0 0; border-radius: 4px; }
+.status { font-size: 12px; font-weight: 600; }
+.timeline { position: relative; height: 18px; background: var(--grid);
+  border-radius: 4px; overflow: hidden; margin: 3px 0; }
+.timeline .seg { position: absolute; top: 0; bottom: 0; color: #fff;
+  font-size: 10px; text-align: center; overflow: hidden;
+  border-right: 2px solid var(--surface-1); }
+.tl-label { font-size: 11px; color: var(--muted); }
+#log { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 8px 12px; max-height: 260px; overflow: auto;
+  font: 11px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+  color: var(--text-secondary); }
+#log .t { color: var(--muted); }
+.dot { display: inline-block; width: 8px; height: 8px; border-radius: 2px;
+  margin-right: 6px; vertical-align: baseline; }
+</style>
+</head>
+<body>
+<h1>repro telemetry</h1>
+<div class="sub" id="status">connecting&hellip;</div>
+
+<div class="cards">
+  <div class="card" id="sweep-card">
+    <h2>Sweep</h2>
+    <div class="tiles">
+      <div class="tile"><div class="v" id="sw-done">&ndash;</div>
+        <div class="l">points done / total</div></div>
+      <div class="tile"><div class="v" id="sw-reuse">&ndash;</div>
+        <div class="l">reuse hits</div></div>
+      <div class="tile"><div class="v" id="sw-rate">&ndash;</div>
+        <div class="l">points / s (30s)</div></div>
+      <div class="tile"><div class="v" id="sw-eta">&ndash;</div>
+        <div class="l">ETA</div></div>
+    </div>
+    <div id="sw-models" style="margin-top:10px"></div>
+  </div>
+</div>
+
+<div class="cards" id="endpoints"></div>
+
+<div class="card" style="margin-bottom:16px">
+  <h2>Event log</h2>
+  <div id="log"></div>
+</div>
+
+<script>
+"use strict";
+const RUNGS = ["--rung-0","--rung-1","--rung-2","--rung-3","--rung-4"];
+const css = (name) =>
+  getComputedStyle(document.documentElement).getPropertyValue(name).trim();
+const rungColor = (level) => css(RUNGS[Math.min(level, RUNGS.length - 1)]);
+// Event data (endpoint/model names, transition reasons) is untrusted
+// input to this page: escape everything interpolated into markup.
+const esc = (value) => String(value).replace(/[&<>"']/g, (c) => ({
+  "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;", "'": "&#39;",
+}[c]));
+let state = null;
+
+function fmt(x, digits) {
+  if (x === null || x === undefined) return "\\u2013";
+  return Number(x).toFixed(digits === undefined ? 1 : digits);
+}
+function fmtEta(s) {
+  if (s === null || s === undefined) return "\\u2013";
+  if (s < 90) return Math.round(s) + "s";
+  return Math.round(s / 60) + "m";
+}
+
+function renderSweep(sw) {
+  document.getElementById("sw-done").textContent =
+    sw.total ? sw.done + " / " + sw.total : String(sw.done);
+  document.getElementById("sw-reuse").textContent = sw.reused;
+  document.getElementById("sw-rate").textContent = fmt(sw.points_per_s, 2);
+  document.getElementById("sw-eta").textContent =
+    sw.finished ? "done" : fmtEta(sw.eta_s);
+  const models = Object.keys(sw.per_model || {}).sort();
+  if (!models.length) {
+    document.getElementById("sw-models").innerHTML = "";
+    return;
+  }
+  let html = "<table><tr><th>model</th><th>done</th><th>reused</th>" +
+    "<th>in flight</th></tr>";
+  for (const m of models) {
+    const e = sw.per_model[m];
+    html += "<tr><td>" + esc(m) + "</td><td>" + e.done + "</td><td>" +
+      e.reused + "</td><td>" + (e.in_flight || 0) + "</td></tr>";
+  }
+  document.getElementById("sw-models").innerHTML = html + "</table>";
+}
+
+function timelineHtml(segments, now) {
+  const SPAN = 120;  // seconds of history shown
+  const t0 = now - SPAN;
+  let html = '<div class="timeline">';
+  for (const seg of segments) {
+    const until = seg.until === null ? now : seg.until;
+    if (until < t0) continue;
+    const left = Math.max(0, (seg.since - t0) / SPAN * 100);
+    const width = Math.max(0.5, (until - Math.max(seg.since, t0)) / SPAN * 100);
+    const title = "rung " + seg.level +
+      (seg.reason ? " \\u2014 " + esc(seg.reason) : "");
+    html += '<div class="seg" style="left:' + left + "%;width:" + width +
+      "%;background:" + rungColor(seg.level) + '" title="' + title + '">' +
+      seg.level + "</div>";
+  }
+  return html + "</div>";
+}
+
+function renderEndpoints(endpoints, coordinator, now) {
+  const container = document.getElementById("endpoints");
+  const names = Object.keys(endpoints || {}).sort();
+  if (!names.length) { container.innerHTML = ""; return; }
+  let html = "";
+  for (const name of names) {
+    const ep = endpoints[name];
+    const budget = ep.latency_budget_ms || 0;
+    const p99 = ep.recent_p99_ms || 0;
+    const over = budget > 0 && p99 > budget;
+    const frac = budget > 0 ? Math.min(1, p99 / budget) : 0;
+    const statusColor = over ? css("--critical") : css("--good");
+    const statusText = budget > 0
+      ? (over ? "\\u2715 over budget" : "\\u2713 within budget")
+      : "no budget set";
+    const rec = (coordinator || {})[name];
+    html += '<div class="card"><h2>' + esc(name) + "</h2>" +
+      '<div class="tiles">' +
+      '<div class="tile"><div class="v">' + fmt(ep.throughput_images_per_s) +
+      '</div><div class="l">images / s</div></div>' +
+      '<div class="tile"><div class="v">' + fmt(ep.goodput_images_per_s) +
+      '</div><div class="l">goodput / s</div></div>' +
+      '<div class="tile"><div class="v">' + (ep.rejected_images || 0) +
+      '</div><div class="l">shed images</div></div>' +
+      '<div class="tile"><div class="v">' + (ep.respawns || 0) +
+      '</div><div class="l">respawns</div></div>' +
+      "</div>" +
+      '<div style="margin-top:8px"><span class="tl-label">p99 ' +
+      fmt(p99) + " ms" + (budget ? " / budget " + fmt(budget) + " ms" : "") +
+      '</span> <span class="status" style="color:' + statusColor + '">' +
+      statusText + "</span>" +
+      '<div class="meter"><div class="fill" style="width:' +
+      (frac * 100) + "%;background:" + statusColor + '"></div></div></div>';
+    const timelines = ep.timelines || {};
+    const shards = Object.keys(timelines).sort();
+    if (shards.length) {
+      html += '<div style="margin-top:8px" class="tl-label">rung timeline ' +
+        "(last 120s)" +
+        (rec ? " \\u2014 coordinator recommends rung " + rec.level : "") +
+        "</div>";
+      for (const shard of shards) {
+        html += '<div class="tl-label">shard ' + esc(shard) + "</div>" +
+          timelineHtml(timelines[shard], now);
+      }
+    }
+    html += "</div>";
+  }
+  container.innerHTML = html;
+}
+
+function render() {
+  if (!state) return;
+  renderSweep(state.sweep || {});
+  renderEndpoints(state.endpoints, state.coordinator, state.at);
+  document.getElementById("status").textContent =
+    "live \\u2014 " + state.events_seen + " events seen";
+}
+
+function logEvent(ev) {
+  const log = document.getElementById("log");
+  const line = document.createElement("div");
+  const when = new Date(ev.at * 1000).toLocaleTimeString();
+  line.innerHTML = '<span class="t">' + esc(when) + "</span> " +
+    '<span class="dot" style="background:' + rungColor(0) + '"></span>' +
+    esc(ev.type) + " " + esc(JSON.stringify(ev.data));
+  log.prepend(line);
+  while (log.childNodes.length > 50) log.removeChild(log.lastChild);
+}
+
+const source = new EventSource("/v1/events");
+source.addEventListener("snapshot", (message) => {
+  state = JSON.parse(message.data);
+  render();
+});
+source.onmessage = () => {};
+for (const type of ["sweep_started", "sweep_finished", "point_started",
+                    "point_finished", "point_failed", "worker_started",
+                    "worker_exited", "endpoint_health", "rung_transition",
+                    "shed", "replica_respawn",
+                    "coordinator_recommendation"]) {
+  source.addEventListener(type, (message) => {
+    logEvent(JSON.parse(message.data));
+  });
+}
+source.onerror = () => {
+  document.getElementById("status").textContent =
+    "disconnected \\u2014 retrying\\u2026";
+};
+async function refresh() {
+  try {
+    const response = await fetch("/v1/telemetry");
+    if (response.ok) { state = await response.json(); render(); }
+  } catch (error) { /* server away; EventSource drives the status line */ }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+class DashboardServer:
+    """Standalone dashboard over a telemetry spool directory.
+
+    ``repro.cli dash --dir <spool>`` serves ``/dashboard`` (the HTML page),
+    ``/v1/events`` (SSE) and ``/v1/telemetry`` (the aggregator snapshot)
+    from whatever events appear in the directory -- a running sweep's
+    spool, a sharded service's, or both if they share one directory.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8471,
+        poll_s: float = 0.25,
+        local_bus: TelemetryBus | None = None,
+    ):
+        self.relay = EventRelay(local_bus=local_bus, spool_dir=spool_dir)
+        self.host = host
+        self.port = port
+        self.poll_s = float(poll_s)
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = False
+        self._tasks: list[asyncio.Task] = []
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        if self.relay.follower is not None:
+            self._tasks.append(asyncio.create_task(self._poll_loop()))
+
+    async def _poll_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopped:
+            await loop.run_in_executor(None, self.relay.poll)
+            await asyncio.sleep(self.poll_s)
+
+    async def stop(self) -> None:
+        self._stopped = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.relay.close()
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, path, _ = request_line.decode("ascii").split(None, 2)
+            except ValueError:
+                return
+            while True:  # drain headers
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            path = path.split("?", 1)[0]
+            if method.upper() != "GET":
+                await self._respond(writer, 405, b"use GET", "text/plain")
+            elif path == "/v1/events":
+                await stream_sse(
+                    writer, self.relay, stopped=lambda: self._stopped
+                )
+            elif path in ("/", "/dashboard"):
+                await self._respond(
+                    writer, 200, DASHBOARD_HTML.encode("utf-8"),
+                    "text/html; charset=utf-8",
+                )
+            elif path == "/v1/telemetry":
+                body = json.dumps(self.relay.snapshot()).encode("utf-8")
+                await self._respond(writer, 200, body, "application/json")
+            elif path == "/healthz":
+                await self._respond(
+                    writer, 200, b'{"status":"ok"}', "application/json"
+                )
+            else:
+                await self._respond(writer, 404, b"not found", "text/plain")
+        except (ConnectionResetError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(
+        self, writer, status: int, body: bytes, content_type: str
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "OK"
+        )
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+        )
+        writer.write(body)
+        await writer.drain()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        print(
+            f"repro.telemetry: dashboard on http://{self.host}:{self.port}"
+            f"/dashboard"
+            + (
+                f" (following {self.relay.follower.directory})"
+                if self.relay.follower is not None
+                else ""
+            ),
+            flush=True,
+        )
+        try:
+            while not self._stopped:
+                await asyncio.sleep(0.5)
+        finally:
+            await self.stop()
+
+
+def run_dashboard(
+    spool_dir: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8471,
+) -> None:
+    """Blocking entry point used by ``repro.cli dash``."""
+    server = DashboardServer(
+        spool_dir=spool_dir or get_bus().spool_dir, host=host, port=port
+    )
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass

@@ -1,0 +1,497 @@
+"""Bounded time series, operating-point timelines, and the aggregator.
+
+The dashboard (and the ``repro.cli dash`` server backing it) must answer
+"what happened recently" questions from an unbounded event stream with
+bounded memory:
+
+* :class:`RingSeries` -- a fixed-capacity ring of ``(at, value)`` samples
+  with windowed aggregation (mean/last/sum-rate over the trailing
+  ``window_s`` seconds).
+* :class:`OperatingTimeline` -- one endpoint's (or one shard's) rung
+  versus wall clock: an ordered, monotone, non-overlapping list of
+  segments, each annotated with the reason/pressure that drove the
+  transition into it.  Bounded: the oldest segments are folded away.
+* :func:`merge_latency_payloads` -- exact percentile merges over the
+  mergeable geometric-histogram payloads the serving metrics publish
+  (bucket counts, not quantile estimates -- the same machinery
+  ``/v1/metrics`` uses across shards).
+* :class:`TelemetryAggregator` -- folds raw :class:`~repro.telemetry.bus.Event`
+  streams into one JSON snapshot: sweep progress (points done/total,
+  reuse hits, per-model throughput, ETA) plus per-endpoint serving health
+  (throughput, recent p99 vs budget, shed rate, rung timeline per shard).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+
+class RingSeries:
+    """Fixed-capacity ``(at, value)`` samples with windowed aggregation."""
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = max(1, int(capacity))
+        self._at = [0.0] * self.capacity
+        self._values = [0.0] * self.capacity
+        self._next = 0
+        self._count = 0
+
+    def append(self, value: float, at: float | None = None) -> None:
+        self._at[self._next] = time.time() if at is None else float(at)
+        self._values[self._next] = float(value)
+        self._next = (self._next + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def samples(self) -> list[tuple[float, float]]:
+        """Samples oldest-first (at most ``capacity`` of them)."""
+        if self._count < self.capacity:
+            indices = range(self._count)
+        else:
+            indices = (
+                (self._next + offset) % self.capacity
+                for offset in range(self.capacity)
+            )
+        return [(self._at[index], self._values[index]) for index in indices]
+
+    def _window(self, window_s: float, now: float | None) -> list[float]:
+        horizon = (time.time() if now is None else now) - window_s
+        return [value for at, value in self.samples() if at >= horizon]
+
+    def window_mean(self, window_s: float, now: float | None = None) -> float:
+        values = self._window(window_s, now)
+        return sum(values) / len(values) if values else 0.0
+
+    def window_sum(self, window_s: float, now: float | None = None) -> float:
+        return sum(self._window(window_s, now))
+
+    def window_rate(self, window_s: float, now: float | None = None) -> float:
+        """Sum over the window divided by the window length (per-second)."""
+        if window_s <= 0:
+            return 0.0
+        return self.window_sum(window_s, now) / window_s
+
+    def last(self) -> float:
+        if not self._count:
+            return 0.0
+        return self._values[(self._next - 1) % self.capacity]
+
+
+class OperatingTimeline:
+    """Rung-vs-wall-clock history of one adaptive endpoint (or shard).
+
+    Segments are half-open ``[since, until)`` intervals; the last segment
+    is open (``until is None``).  The timeline is monotone by construction:
+    segments never overlap and their start times never decrease --
+    out-of-order transitions (a delayed spool read) are clamped to the
+    current segment boundary rather than rewriting history.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(2, int(capacity))
+        self._segments: list[dict] = []
+        self.transitions = 0
+
+    @property
+    def level(self) -> int | None:
+        """The current rung (None before the first observation)."""
+        return self._segments[-1]["level"] if self._segments else None
+
+    def observe(
+        self,
+        level: int,
+        at: float | None = None,
+        reason: str | None = None,
+        pressure: float | None = None,
+    ) -> bool:
+        """Fold one rung observation in; True when a new segment started."""
+        at = time.time() if at is None else float(at)
+        if self._segments:
+            current = self._segments[-1]
+            if current["level"] == int(level):
+                return False
+            # Monotone: a transition may never predate the open segment.
+            at = max(at, current["since"])
+            current["until"] = at
+        self._segments.append(
+            {
+                "level": int(level),
+                "since": at,
+                "until": None,
+                "reason": reason,
+                "pressure": pressure,
+            }
+        )
+        self.transitions += 1
+        if len(self._segments) > self.capacity:
+            # Fold the two oldest segments into one (keep total coverage).
+            oldest = self._segments.pop(0)
+            self._segments[0]["since"] = oldest["since"]
+        return True
+
+    def segments(self) -> list[dict]:
+        return [dict(segment) for segment in self._segments]
+
+    def level_at(self, at: float) -> int | None:
+        """The rung in effect at wall-clock ``at`` (None if before history)."""
+        for segment in reversed(self._segments):
+            if at >= segment["since"]:
+                return segment["level"]
+        return None
+
+    def describe(self, horizon_s: float | None = None) -> list[dict]:
+        """JSON-able segments, optionally only those overlapping the horizon."""
+        segments = self.segments()
+        if horizon_s is not None:
+            cutoff = time.time() - horizon_s
+            segments = [
+                segment
+                for segment in segments
+                if segment["until"] is None or segment["until"] >= cutoff
+            ]
+        return segments
+
+
+def merge_latency_payloads(payloads: list[dict]) -> dict:
+    """Exact merged quantiles over mergeable histogram payloads.
+
+    The payloads are :meth:`repro.serve.metrics.LatencyHistogram.to_payload`
+    documents (bucket counts); merging sums buckets, so the p50/p90/p99 of
+    the merged histogram are exactly what one process observing all the
+    samples would estimate -- never an average of per-shard percentiles.
+    """
+    # Imported lazily: repro.serve's package __init__ pulls in the server,
+    # which imports the dashboard, which imports this module.
+    from repro.serve.metrics import LatencyHistogram
+
+    merged = None
+    for payload in payloads:
+        if merged is None:
+            merged = LatencyHistogram.from_payload(payload)
+        else:
+            merged.merge_payload(payload)
+    if merged is None:
+        merged = LatencyHistogram()
+    return merged.snapshot()
+
+
+class _SweepState:
+    """Progress of one sweep session as seen through its events."""
+
+    def __init__(self):
+        self.total = 0
+        self.done = 0
+        self.reused = 0
+        self.failed = 0
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.per_model: dict[str, dict] = {}
+        self.workers: dict[int, dict] = {}
+        self.experiment: str | None = None
+        self.finish_times = RingSeries(capacity=512)
+        #: Point keys already counted: the worker that computed a point and
+        #: the parent later collecting it from the store both publish a
+        #: ``point_finished``; first event wins (spool merge is
+        #: wall-clock-ordered, so the compute event precedes the reuse).
+        #: Bounded (insertion-ordered, oldest evicted): duplicates arrive
+        #: within one sweep, not a hundred-thousand points later.
+        self.seen_keys: "OrderedDict[str, None]" = OrderedDict()
+        self.max_seen_keys = 65536
+
+    def snapshot(self, now: float | None = None) -> dict:
+        now = time.time() if now is None else now
+        elapsed = (now - self.started_at) if self.started_at else 0.0
+        computed = max(0, self.done - self.reused)
+        rate = self.finish_times.window_rate(30.0, now)
+        remaining = max(0, self.total - self.done)
+        eta_s = remaining / rate if rate > 0 else None
+        return {
+            "experiment": self.experiment,
+            "total": self.total,
+            "done": self.done,
+            "reused": self.reused,
+            "computed": computed,
+            "failed": self.failed,
+            "elapsed_s": elapsed,
+            "points_per_s": rate,
+            "eta_s": eta_s,
+            "finished": self.finished_at is not None,
+            "per_model": {
+                model: dict(entry) for model, entry in self.per_model.items()
+            },
+            "workers": {
+                str(pid): dict(entry) for pid, entry in self.workers.items()
+            },
+        }
+
+
+#: A shard whose last ``endpoint_health`` event is older than this is
+#: excluded from the live tiles (sums/maxima): a crashed shard must not
+#: pin the dashboard's throughput or p99 at its dying values forever --
+#: the same double-count class the metrics spool reaps.  Its timeline
+#: stays: that is history, not a gauge.
+HEALTH_STALE_S = 10.0
+
+
+class _EndpointState:
+    """Serving health of one endpoint, possibly across several shards."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.latency_budget_ms = 0.0
+        self.shards: dict[int, dict] = {}
+        self.timelines: dict[int, OperatingTimeline] = {}
+        self.shed_images = 0
+        self.respawns = 0
+
+    def shard_timeline(self, shard: int) -> OperatingTimeline:
+        timeline = self.timelines.get(shard)
+        if timeline is None:
+            timeline = OperatingTimeline()
+            self.timelines[shard] = timeline
+        return timeline
+
+    def _live_shards(self) -> dict[int, dict]:
+        horizon = time.time() - HEALTH_STALE_S
+        return {
+            index: shard
+            for index, shard in self.shards.items()
+            if shard.get("at", 0.0) >= horizon
+        }
+
+    def snapshot(self) -> dict:
+        live = self._live_shards()
+        latency_payloads = [
+            shard["latency"]
+            for shard in live.values()
+            if shard.get("latency")
+        ]
+        shard_levels = {
+            str(shard): timeline.level
+            for shard, timeline in sorted(self.timelines.items())
+        }
+        return {
+            "name": self.name,
+            "latency_budget_ms": self.latency_budget_ms,
+            "live_shards": sorted(live),
+            "throughput_images_per_s": sum(
+                shard.get("throughput", 0.0) for shard in live.values()
+            ),
+            "recent_p99_ms": max(
+                (shard.get("recent_p99_ms", 0.0) for shard in live.values()),
+                default=0.0,
+            ),
+            "pressure": max(
+                (shard.get("pressure", 0.0) for shard in live.values()),
+                default=0.0,
+            ),
+            "requests": sum(
+                shard.get("requests", 0) for shard in live.values()
+            ),
+            "images": sum(
+                shard.get("images", 0) for shard in live.values()
+            ),
+            "rejected_images": sum(
+                shard.get("rejected_images", 0) for shard in live.values()
+            ),
+            "goodput_images_per_s": sum(
+                shard.get("goodput", 0.0) for shard in live.values()
+            ),
+            "latency_merged": (
+                merge_latency_payloads(latency_payloads)
+                if latency_payloads
+                else None
+            ),
+            "shard_levels": shard_levels,
+            # Cumulative images shed, folded from the aggregated `shed`
+            # events (the health gauge's rejected_images is per-shard and
+            # ages out with a dead shard; this one is event-sourced).
+            "shed_images": self.shed_images,
+            "respawns": self.respawns,
+            "timelines": {
+                str(shard): timeline.describe(horizon_s=300.0)
+                for shard, timeline in sorted(self.timelines.items())
+            },
+        }
+
+
+class TelemetryAggregator:
+    """Folds raw telemetry events into one dashboard-ready snapshot.
+
+    Feed it events (from an in-process subscription or a spool follower)
+    through :meth:`consume`; read the current state with :meth:`snapshot`.
+    Thread-safe: the dash server consumes on its follower thread while SSE
+    handlers snapshot concurrently.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.sweep = _SweepState()
+        self.endpoints: dict[str, _EndpointState] = {}
+        self.coordinator: dict[str, dict] = {}
+        self.events_seen = 0
+
+    def endpoint(self, name: str) -> _EndpointState:
+        state = self.endpoints.get(name)
+        if state is None:
+            state = _EndpointState(name)
+            self.endpoints[name] = state
+        return state
+
+    # -- event folding -----------------------------------------------------
+    def consume(self, event) -> None:
+        handler = getattr(self, f"_on_{event.type}", None)
+        with self._lock:
+            self.events_seen += 1
+            if handler is not None:
+                handler(event)
+
+    def consume_all(self, events) -> None:
+        for event in events:
+            self.consume(event)
+
+    # sweep lifecycle
+    def _on_experiment_started(self, event) -> None:
+        self.sweep.experiment = event.data.get("name", self.sweep.experiment)
+
+    def _on_sweep_started(self, event) -> None:
+        sweep = self.sweep
+        if sweep.started_at is None:
+            sweep.started_at = event.at
+        # A new sweep re-opens the run: without this, experiment 2..N of a
+        # multi-experiment session would report "finished" mid-compute.
+        sweep.finished_at = None
+        sweep.total += int(event.data.get("points", 0))
+        sweep.experiment = event.data.get("experiment", sweep.experiment)
+
+    def _on_sweep_finished(self, event) -> None:
+        self.sweep.finished_at = event.at
+
+    def _on_point_started(self, event) -> None:
+        model = event.data.get("model") or "-"
+        entry = self.sweep.per_model.setdefault(
+            model, {"done": 0, "reused": 0, "in_flight": 0}
+        )
+        entry["in_flight"] = entry.get("in_flight", 0) + 1
+
+    def _on_point_finished(self, event) -> None:
+        sweep = self.sweep
+        key = event.data.get("key")
+        if key is not None:
+            if key in sweep.seen_keys:
+                return
+            sweep.seen_keys[key] = None
+            while len(sweep.seen_keys) > sweep.max_seen_keys:
+                sweep.seen_keys.popitem(last=False)
+        sweep.done += 1
+        reused = bool(event.data.get("reused", False))
+        if reused:
+            sweep.reused += 1
+        else:
+            sweep.finish_times.append(1.0, at=event.at)
+        model = event.data.get("model") or "-"
+        entry = sweep.per_model.setdefault(
+            model, {"done": 0, "reused": 0, "in_flight": 0}
+        )
+        entry["done"] += 1
+        if reused:
+            entry["reused"] += 1
+        entry["in_flight"] = max(0, entry.get("in_flight", 0) - 1)
+
+    def _on_point_failed(self, event) -> None:
+        self.sweep.failed += 1
+        model = event.data.get("model") or "-"
+        entry = self.sweep.per_model.get(model)
+        if entry is not None:
+            entry["in_flight"] = max(0, entry.get("in_flight", 0) - 1)
+
+    def _on_worker_started(self, event) -> None:
+        pid = event.source.get("pid", 0)
+        self.sweep.workers[pid] = {"started_at": event.at, "alive": True}
+
+    def _on_worker_exited(self, event) -> None:
+        workers = self.sweep.workers
+        pid = event.source.get("pid", 0)
+        entry = workers.setdefault(pid, {"started_at": event.at})
+        entry["alive"] = False
+        entry["exited_at"] = event.at
+        entry["drained"] = bool(event.data.get("drained", False))
+        if len(workers) > 256:
+            # Bounded: drop the oldest exited workers (live ones stay).
+            exited = sorted(
+                (pid for pid, e in workers.items() if not e.get("alive")),
+                key=lambda pid: workers[pid].get("exited_at", 0.0),
+            )
+            for stale_pid in exited[: len(workers) - 256]:
+                workers.pop(stale_pid, None)
+
+    # serving health
+    def _on_endpoint_health(self, event) -> None:
+        name = event.data.get("endpoint", "?")
+        shard = int(event.source.get("shard", 0))
+        state = self.endpoint(name)
+        state.latency_budget_ms = float(
+            event.data.get("latency_budget_ms", state.latency_budget_ms)
+        )
+        state.shards[shard] = {
+            "at": event.at,
+            "requests": event.data.get("requests", 0),
+            "images": event.data.get("images", 0),
+            "rejected_images": event.data.get("rejected_images", 0),
+            "throughput": event.data.get("throughput_images_per_s", 0.0),
+            "goodput": event.data.get("goodput_images_per_s", 0.0),
+            "recent_p99_ms": event.data.get("recent_p99_ms", 0.0),
+            "pressure": event.data.get("pressure", 0.0),
+            "latency": event.data.get("latency"),
+        }
+        level = event.data.get("level")
+        if level is not None:
+            state.shard_timeline(shard).observe(int(level), at=event.at)
+
+    def _on_rung_transition(self, event) -> None:
+        name = event.data.get("endpoint", "?")
+        shard = int(event.source.get("shard", 0))
+        self.endpoint(name).shard_timeline(shard).observe(
+            int(event.data.get("to_level", 0)),
+            at=event.at,
+            reason=event.data.get("reason"),
+            pressure=event.data.get("pressure"),
+        )
+
+    def _on_shed(self, event) -> None:
+        name = event.data.get("endpoint", "?")
+        self.endpoint(name).shed_images += int(event.data.get("images", 0))
+
+    def _on_replica_respawn(self, event) -> None:
+        name = event.data.get("endpoint", "?")
+        self.endpoint(name).respawns += 1
+
+    def _on_coordinator_recommendation(self, event) -> None:
+        name = event.data.get("endpoint", "?")
+        self.coordinator[name] = {
+            "at": event.at,
+            "level": event.data.get("level"),
+            "shard_levels": event.data.get("shard_levels"),
+            "reason": event.data.get("reason"),
+        }
+
+    # -- reading -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "at": time.time(),
+                "events_seen": self.events_seen,
+                "sweep": self.sweep.snapshot(),
+                "endpoints": {
+                    name: state.snapshot()
+                    for name, state in sorted(self.endpoints.items())
+                },
+                "coordinator": {
+                    name: dict(entry)
+                    for name, entry in sorted(self.coordinator.items())
+                },
+            }

@@ -164,6 +164,28 @@ def test_recent_p99_expires_stale_entries():
     assert metrics.recent_p99() == pytest.approx(2.0)
     # An idle endpoint must not stare at its overload-era p99 forever:
     # backdate the entry past the freshness horizon.
-    recorded_at, latency = metrics.recent_latencies[0]
-    metrics.recent_latencies[0] = (recorded_at - 60.0, latency)
+    recorded_at, latency, images = metrics.recent_latencies[0]
+    metrics.recent_latencies[0] = (recorded_at - 60.0, latency, images)
     assert metrics.recent_p99() == 0.0
+
+
+def test_recent_rates_not_capped_by_window_size():
+    """A full sample buffer shrinks the effective window, not the rate."""
+    import time
+
+    metrics = EndpointMetrics("m", latency_budget_ms=500.0, recent_window=16)
+    now = time.monotonic()
+    # 16 retained samples spanning only 0.1s -- a ~160 req/s endpoint.
+    # A fixed 10s denominator would report 1.6/s.
+    for index in range(16):
+        metrics.recent_latencies.append((now - 0.1 + index * 0.0066, 0.1, 1))
+    rates = metrics.recent_rates(window_s=10.0)
+    assert rates["requests_per_s"] > 100.0
+    assert rates["goodput_images_per_s"] == rates["requests_per_s"]  # 1 image each
+    # A sparse buffer (not full) keeps the honest wide window.
+    sparse = EndpointMetrics("m", recent_window=16)
+    sparse.recent_latencies.append((now - 1.0, 0.1, 4))
+    sparse_rates = sparse.recent_rates(window_s=10.0)
+    assert sparse_rates["requests_per_s"] == pytest.approx(0.1, rel=0.1)
+    # Goodput is image-weighted: one 4-image request = 4 good images.
+    assert sparse_rates["goodput_images_per_s"] == pytest.approx(0.4, rel=0.1)

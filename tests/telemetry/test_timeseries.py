@@ -1,0 +1,264 @@
+"""Ring series, timeline monotonicity, histogram merges, aggregation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.metrics import LatencyHistogram
+from repro.telemetry.bus import Event
+from repro.telemetry.timeseries import (
+    OperatingTimeline,
+    RingSeries,
+    TelemetryAggregator,
+    merge_latency_payloads,
+)
+from tests.property_profiles import QUICK_SETTINGS
+
+
+def event(type, at=0.0, source=None, seq=0, **data):
+    return Event(type, at=at, source=source or {"pid": 1}, seq=seq, data=data)
+
+
+# ---------------------------------------------------------------------------
+# RingSeries
+# ---------------------------------------------------------------------------
+
+
+def test_ring_series_bounded_and_ordered():
+    series = RingSeries(capacity=4)
+    for index in range(7):
+        series.append(float(index), at=float(index))
+    assert len(series) == 4
+    assert series.samples() == [(3.0, 3.0), (4.0, 4.0), (5.0, 5.0), (6.0, 6.0)]
+    assert series.last() == 6.0
+
+
+def test_ring_series_windowed_aggregation():
+    series = RingSeries(capacity=16)
+    for at in range(10):
+        series.append(2.0, at=float(at))
+    # Window [5, 10): five samples of 2.0.
+    assert series.window_sum(5.0, now=10.0) == 10.0
+    assert series.window_mean(5.0, now=10.0) == 2.0
+    assert series.window_rate(5.0, now=10.0) == 2.0
+    assert series.window_sum(0.5, now=100.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# OperatingTimeline
+# ---------------------------------------------------------------------------
+
+
+def test_timeline_segments_and_level_at():
+    timeline = OperatingTimeline()
+    assert timeline.level is None
+    assert timeline.observe(0, at=10.0)
+    assert not timeline.observe(0, at=11.0)  # same rung: no new segment
+    assert timeline.observe(2, at=12.0, reason="pressure 0.9", pressure=0.9)
+    segments = timeline.segments()
+    assert [s["level"] for s in segments] == [0, 2]
+    assert segments[0]["until"] == segments[1]["since"] == 12.0
+    assert segments[1]["until"] is None
+    assert segments[1]["reason"] == "pressure 0.9"
+    assert timeline.level_at(11.5) == 0
+    assert timeline.level_at(50.0) == 2
+    assert timeline.level_at(5.0) is None
+    assert timeline.transitions == 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.floats(
+                min_value=0.0, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        max_size=60,
+    ),
+    st.integers(min_value=2, max_value=8),
+)
+@QUICK_SETTINGS
+def test_timeline_monotone_nonoverlapping_bounded(observations, capacity):
+    """Arbitrary (even out-of-order) observations keep the invariants."""
+    timeline = OperatingTimeline(capacity=capacity)
+    for level, at in observations:
+        timeline.observe(level, at=at)
+    segments = timeline.segments()
+    assert len(segments) <= capacity
+    for first, second in zip(segments, segments[1:]):
+        assert first["until"] == second["since"]  # contiguous
+        assert first["since"] <= first["until"]  # monotone
+        assert first["level"] != second["level"]  # real transitions only
+    if segments:
+        assert segments[-1]["until"] is None  # the present is open-ended
+        starts = [segment["since"] for segment in segments]
+        assert starts == sorted(starts)
+
+
+# ---------------------------------------------------------------------------
+# Histogram payload merging
+# ---------------------------------------------------------------------------
+
+
+def test_merge_latency_payloads_equals_single_histogram():
+    samples_a = [0.010, 0.012, 0.5, 0.020]
+    samples_b = [0.001, 0.9, 0.015]
+    one, two, union = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    for sample in samples_a:
+        one.record(sample)
+        union.record(sample)
+    for sample in samples_b:
+        two.record(sample)
+        union.record(sample)
+    merged = merge_latency_payloads([one.to_payload(), two.to_payload()])
+    expected = union.snapshot()
+    assert merged["count"] == expected["count"]
+    for key in ("min_s", "max_s", "p50_s", "p90_s", "p99_s"):
+        assert merged[key] == expected[key]  # bucket-exact
+    # The mean sums per-shard subtotals: equal up to summation order.
+    assert merged["mean_s"] == pytest.approx(expected["mean_s"])
+    assert merge_latency_payloads([])["count"] == 0
+
+
+# ---------------------------------------------------------------------------
+# TelemetryAggregator
+# ---------------------------------------------------------------------------
+
+
+def test_aggregator_sweep_progress_and_reuse():
+    aggregator = TelemetryAggregator()
+    aggregator.consume(event("sweep_started", at=0.0, points=3))
+    aggregator.consume(
+        event("point_started", at=1.0, kind="k", model="resnet18", key="p1")
+    )
+    aggregator.consume(
+        event("point_finished", at=2.0, kind="k", model="resnet18",
+              key="p1", reused=False)
+    )
+    aggregator.consume(
+        event("point_finished", at=3.0, kind="k", model="googlenet",
+              key="p2", reused=True)
+    )
+    sweep = aggregator.snapshot()["sweep"]
+    assert (sweep["total"], sweep["done"], sweep["reused"]) == (3, 2, 1)
+    assert sweep["per_model"]["resnet18"] == {
+        "done": 1, "reused": 0, "in_flight": 0,
+    }
+    assert sweep["per_model"]["googlenet"]["reused"] == 1
+
+
+def test_aggregator_dedups_points_by_key():
+    """Worker-computed + parent-collected events count once (compute wins)."""
+    aggregator = TelemetryAggregator()
+    worker = {"pid": 100, "role": "sweep-worker"}
+    parent = {"pid": 1, "role": "sweep"}
+    aggregator.consume(
+        event("point_finished", at=1.0, source=worker, key="p", reused=False)
+    )
+    aggregator.consume(
+        event("point_finished", at=5.0, source=parent, key="p", reused=True)
+    )
+    sweep = aggregator.snapshot()["sweep"]
+    assert (sweep["done"], sweep["reused"]) == (1, 0)
+
+
+def test_aggregator_point_failure_clears_in_flight():
+    aggregator = TelemetryAggregator()
+    aggregator.consume(
+        event("point_started", at=1.0, kind="k", model="resnet18", key="p1")
+    )
+    assert (
+        aggregator.snapshot()["sweep"]["per_model"]["resnet18"]["in_flight"]
+        == 1
+    )
+    aggregator.consume(
+        event("point_failed", at=2.0, kind="k", model="resnet18", key="p1")
+    )
+    sweep = aggregator.snapshot()["sweep"]
+    assert sweep["failed"] == 1
+    assert sweep["per_model"]["resnet18"]["in_flight"] == 0
+
+
+def test_aggregator_worker_lifecycle():
+    aggregator = TelemetryAggregator()
+    aggregator.consume(event("worker_started", at=1.0,
+                             source={"pid": 42}, tasks=3))
+    assert aggregator.snapshot()["sweep"]["workers"]["42"]["alive"]
+    aggregator.consume(event("worker_exited", at=2.0,
+                             source={"pid": 42}, drained=False))
+    worker = aggregator.snapshot()["sweep"]["workers"]["42"]
+    assert not worker["alive"] and not worker["drained"]
+
+
+def test_aggregator_endpoint_health_and_timelines():
+    import time
+
+    # Wall-clock-ish timestamps: timeline describe() windows on real time.
+    base = time.time()
+    aggregator = TelemetryAggregator()
+    histogram = LatencyHistogram()
+    histogram.record(0.05)
+    for shard, p99 in ((0, 80.0), (1, 120.0)):
+        aggregator.consume(
+            event(
+                "endpoint_health",
+                at=base - 2.0,
+                source={"pid": shard + 1, "shard": shard},
+                endpoint="resnet18",
+                requests=10 * (shard + 1),
+                images=20 * (shard + 1),
+                rejected_images=shard,
+                throughput_images_per_s=5.0,
+                goodput_images_per_s=4.0,
+                recent_p99_ms=p99,
+                pressure=0.5 + 0.2 * shard,
+                level=shard,  # shard 1 currently degraded
+                latency=histogram.to_payload(),
+                latency_budget_ms=100.0,
+            )
+        )
+    aggregator.consume(
+        event(
+            "rung_transition",
+            at=base - 1.0,
+            source={"pid": 2, "shard": 1},
+            endpoint="resnet18",
+            from_level=1,
+            to_level=0,
+            reason="calm",
+            pressure=0.1,
+        )
+    )
+    aggregator.consume(event("shed", at=base - 0.5, endpoint="resnet18", images=4))
+    aggregator.consume(event("replica_respawn", at=base, endpoint="resnet18"))
+    snapshot = aggregator.snapshot()["endpoints"]["resnet18"]
+    assert snapshot["requests"] == 30
+    assert snapshot["images"] == 60
+    assert snapshot["recent_p99_ms"] == 120.0  # worst shard
+    assert snapshot["throughput_images_per_s"] == 10.0  # summed
+    assert snapshot["latency_budget_ms"] == 100.0
+    assert snapshot["latency_merged"]["count"] == 2
+    assert snapshot["respawns"] == 1
+    # Shard 1's timeline: health gauge said rung 1, then a transition to 0.
+    levels = [s["level"] for s in snapshot["timelines"]["1"]]
+    assert levels == [1, 0]
+    assert snapshot["shard_levels"] == {"0": 0, "1": 0}
+
+
+def test_aggregator_coordinator_recommendation():
+    aggregator = TelemetryAggregator()
+    aggregator.consume(
+        event(
+            "coordinator_recommendation",
+            at=1.0,
+            endpoint="resnet18",
+            level=2,
+            shard_levels={"0": 2, "1": 0},
+            reason="max desired rung over 2 shard(s)",
+        )
+    )
+    entry = aggregator.snapshot()["coordinator"]["resnet18"]
+    assert entry["level"] == 2
+    assert entry["shard_levels"] == {"0": 2, "1": 0}
