@@ -31,14 +31,19 @@ Measures, on this machine:
   -- reporting goodput (completed-within-budget responses/sec) and the
   controller's recovery to the top rung after the surge.
 
-Results are written as JSON (default ``BENCH_pr4.json`` at the repo root) so
+* a chaos arm: the same open-loop drive with and without a seeded process
+  reaper SIGKILLing forked replicas mid-traffic, reporting the fraction of
+  no-fault goodput retained under churn (and that the response ledger
+  stayed exact -- no lost, no double-counted responses).
+
+Results are written as JSON (default ``BENCH_pr6.json`` at the repo root) so
 the performance trajectory of the project is recorded per PR; when the
-previous PR's ``BENCH_pr3.json`` is present its headline timings are
+previous PR's ``BENCH_pr5.json`` is present its headline timings are
 embedded for comparison.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr4.json]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr6.json]
         [--scale fast|full]
 """
 
@@ -901,6 +906,119 @@ def bench_adaptive_serving(scale: str) -> dict:
     }
 
 
+def bench_chaos(scale: str) -> dict:
+    """Goodput retained under replica churn versus a no-fault baseline.
+
+    Both arms run the identical in-process serving stack (forked replica
+    workers -> dynamic batcher -> admission) at the same offered rate; the
+    churn arm adds a seeded process reaper SIGKILLing one replica worker
+    on a fixed timeline.  The headline is the retained goodput fraction --
+    and the response ledger's verdict that churn lost or double-counted
+    nothing (the chaos lane's exactly-once contract, measured rather than
+    unit-tested).
+    """
+    import random
+
+    from repro.chaos.actors import ProcessReaper
+    from repro.chaos.drive import ServingStack, drive_open_loop
+    from repro.chaos.invariants import ResponseLedger
+    from repro.chaos.schedule import ChaosSchedule
+    from repro.eval.parallel import fork_available
+
+    if not fork_available():
+        return {
+            "serving_chaos": {"skipped": "fork start method unavailable"}
+        }
+
+    seed = 610
+    duration = 8.0 if scale == "fast" else 20.0
+    budget_s = 2.0
+    fork_workers = 2
+
+    def build():
+        return ServingStack(
+            model="resnet18",
+            scale=scale,
+            fork_workers=fork_workers,
+            threads=2,
+            max_batch=8,
+            max_wait_ms=2.0,
+            max_pending=64,
+        )
+
+    # Probe sustainable throughput on the no-fault stack, then offer both
+    # arms the same sub-saturation rate so the baseline's goodput is a
+    # clean reference (shedding would muddy the retained fraction).
+    stack = build()
+    try:
+        probe = drive_open_loop(
+            stack, rate=200.0, duration=2.0, budget_s=budget_s
+        )
+        rate = max(4.0, 0.7 * probe["throughput_images_per_s"])
+        baseline_ledger = ResponseLedger()
+        baseline = drive_open_loop(
+            stack, rate=rate, duration=duration, budget_s=budget_s,
+            ledger=baseline_ledger,
+        )
+    finally:
+        stack.close()
+
+    stack = build()
+    reaper = ProcessReaper(random.Random(seed))
+    kill_period_s = max(1.0, duration / 6.0)
+    schedule = ChaosSchedule(seed=seed)
+    schedule.every(
+        kill_period_s,
+        "reap-replica",
+        lambda: reaper.reap(stack.replica_pids()),
+        until_s=duration,
+        jitter_s=0.2,
+    )
+    churn_ledger = ResponseLedger()
+    try:
+        chaos_thread = schedule.run_in_thread()
+        churn = drive_open_loop(
+            stack, rate=rate, duration=duration, budget_s=budget_s,
+            ledger=churn_ledger,
+        )
+        schedule.stop()
+        chaos_thread.join(timeout=30)
+        health = stack.replica_health()
+    finally:
+        stack.close()
+
+    retained = churn["goodput_images_per_s"] / max(
+        baseline["goodput_images_per_s"], 1e-9
+    )
+    return {
+        "serving_chaos": {
+            "scale": scale,
+            "seed": seed,
+            "endpoint": "resnet18",
+            "fork_workers": fork_workers,
+            "offered_rate_per_s": rate,
+            "duration_s": duration,
+            "latency_budget_ms": budget_s * 1000.0,
+            "kill_period_s": kill_period_s,
+            "kills": len(reaper.killed),
+            "baseline": baseline,
+            "churn": churn,
+            "replica_health_after_churn": health,
+            "ledger_baseline": baseline_ledger.counts(),
+            "ledger_churn": churn_ledger.counts(),
+            "ledger_exact_under_churn": not churn_ledger.violations(),
+            "goodput_retained_under_churn": retained,
+            "note": (
+                "identical stacks and offered rate; the churn arm SIGKILLs "
+                "one forked replica worker per kill period (seeded "
+                "timeline); goodput = responses within the latency budget "
+                "per second; ledger_exact_under_churn certifies no lost "
+                "and no double-counted responses across the kills"
+            ),
+        }
+    }
+
+
 def bench_telemetry(scale: str) -> dict:
     """Telemetry bus overhead + coordinated-vs-independent shard QoS.
 
@@ -1281,7 +1399,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr5.json"),
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr6.json"),
     )
     parser.add_argument("--scale", choices=("fast", "full"), default="fast")
     parser.add_argument(
@@ -1303,7 +1421,7 @@ def main(argv=None) -> int:
         "--only",
         default=None,
         choices=("matmul", "explicit", "e2e", "serving", "adaptive",
-                 "telemetry", "suite"),
+                 "chaos", "telemetry", "suite"),
         help="run a single arm by name",
     )
     parser.add_argument(
@@ -1350,6 +1468,10 @@ def main(argv=None) -> int:
             print("running adaptive-serving (QoS ladder) benchmarks...",
                   flush=True)
             results["benchmarks"].update(bench_adaptive_serving(args.scale))
+        if wanted("chaos"):
+            print("running chaos (goodput under replica churn) benchmarks...",
+                  flush=True)
+            results["benchmarks"].update(bench_chaos(args.scale))
     if not args.skip_telemetry and wanted("telemetry"):
         print("running telemetry (bus overhead + coordination) benchmarks...",
               flush=True)
@@ -1358,27 +1480,28 @@ def main(argv=None) -> int:
         print("running experiment-suite benchmarks...", flush=True)
         results["benchmarks"].update(bench_suite(args.scale, args.workers))
 
-    pr4_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr4.json")
-    comparison = _compare_to_previous(results["benchmarks"], pr4_path, "pr4")
+    pr5_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr5.json")
+    comparison = _compare_to_previous(results["benchmarks"], pr5_path, "pr5")
     if comparison:
-        results["comparison_to_pr4"] = comparison
-    # The coordination arm's goodput must hold parity with PR 4's
-    # single-stack adaptive arm (same overload recipe, same budget rule).
+        results["comparison_to_pr5"] = comparison
+    # The chaos arm's no-fault baseline must hold parity with PR 5's
+    # adaptive-serving arm (same stack recipe, same budget rule).
     try:
-        coordination = results["benchmarks"].get(
-            "telemetry_shard_coordination"
-        )
-        if coordination is not None:
-            with open(pr4_path) as handle:
-                pr4_arm = json.load(handle)["benchmarks"]["serving_adaptive"]
-            pr4_adaptive = pr4_arm["adaptive"]["goodput_per_s"]
-            pr4_fraction = pr4_adaptive / pr4_arm["offered_rate_per_s"]
-            coordination["bench_pr4_adaptive_goodput_per_s"] = pr4_adaptive
-            coordination["bench_pr4_adaptive_good_fraction"] = pr4_fraction
-            # Rate-normalized parity: the arms offer different absolute
-            # rates, so compare good responses per offered request.
-            coordination["coordinated_vs_pr4_adaptive_good_fraction"] = (
-                coordination["coordinated"]["good_fraction"] / pr4_fraction
+        chaos_arm = results["benchmarks"].get("serving_chaos")
+        if chaos_arm is not None and "baseline" in chaos_arm:
+            with open(pr5_path) as handle:
+                pr5_arm = json.load(handle)["benchmarks"]["serving_adaptive"]
+            pr5_adaptive = pr5_arm["adaptive"]["goodput_per_s"]
+            pr5_fraction = pr5_adaptive / pr5_arm["offered_rate_per_s"]
+            chaos_arm["bench_pr5_adaptive_goodput_per_s"] = pr5_adaptive
+            chaos_arm["bench_pr5_adaptive_good_fraction"] = pr5_fraction
+            # Rate-normalized: the arms offer different absolute rates,
+            # so compare good responses per offered request.
+            baseline_fraction = chaos_arm["baseline"]["within_budget"] / max(
+                chaos_arm["baseline"]["offered"], 1
+            )
+            chaos_arm["baseline_vs_pr5_adaptive_good_fraction"] = (
+                baseline_fraction / pr5_fraction
             )
     except (OSError, ValueError, KeyError):
         pass

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 repo check: byte-compile the package and run the fast test profile.
 #
-# Usage: scripts/check.sh [--serve|--telemetry] [extra pytest args...]
+# Usage: scripts/check.sh [--serve|--telemetry|--chaos|--soak] [extra args...]
 # Examples:
 #   scripts/check.sh                 # compileall + fast tier-1 tests
 #   scripts/check.sh --serve         # compileall + the opt-in serve lane
@@ -9,6 +9,12 @@
 #   scripts/check.sh --telemetry     # compileall + every telemetry test
 #                                    # (bus/timeline/coordinator tier-1
 #                                    # plus the SSE/dashboard e2e)
+#   scripts/check.sh --chaos         # compileall + the fault-injection
+#                                    # conformance suite (kills, corruption,
+#                                    # frozen peers; deterministic seeds)
+#   scripts/check.sh --soak          # timed soak: full stack under churn
+#                                    # (extra args go to repro.chaos.soak,
+#                                    # e.g. --soak --duration 300)
 #   scripts/check.sh -m slow         # compileall + the slow lane
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +36,12 @@ elif [[ "${1:-}" == "--telemetry" ]]; then
     # plus the serving-side telemetry integration tests.
     python -m pytest -x -q -m "" tests/telemetry \
         tests/serve/test_telemetry_serve.py "$@"
+elif [[ "${1:-}" == "--chaos" ]]; then
+    shift
+    python -m pytest -x -q -m chaos "$@"
+elif [[ "${1:-}" == "--soak" ]]; then
+    shift
+    python -m repro.chaos.soak "$@"
 else
     python -m pytest -x -q "$@"
 fi

@@ -1,0 +1,37 @@
+"""Seeded fault injection for the NB-SMT serving stack.
+
+The chaos lane promotes the conformance story from steady state to
+failure state: :mod:`~repro.chaos.actors` provides deterministic fault
+primitives (process reaping, spool corruption, peer freezing, clock
+perturbation), :mod:`~repro.chaos.schedule` composes them into a seeded
+timeline, :mod:`~repro.chaos.invariants` checks the contracts the stack
+claims under fire, :mod:`~repro.chaos.drive` assembles the real serving
+data path for in-process injection, and :mod:`~repro.chaos.soak` is the
+minutes-scale soak CLI.  See ``docs/chaos.md``.
+"""
+
+from repro.chaos.actors import (
+    CORRUPTION_MODES,
+    ClockPerturber,
+    PeerFreezer,
+    ProcessReaper,
+    SpoolCorruptor,
+)
+from repro.chaos.invariants import (
+    InvariantChecker,
+    LedgerViolation,
+    ResponseLedger,
+)
+from repro.chaos.schedule import ChaosSchedule
+
+__all__ = [
+    "CORRUPTION_MODES",
+    "ChaosSchedule",
+    "ClockPerturber",
+    "InvariantChecker",
+    "LedgerViolation",
+    "PeerFreezer",
+    "ProcessReaper",
+    "ResponseLedger",
+    "SpoolCorruptor",
+]

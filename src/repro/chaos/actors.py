@@ -1,0 +1,231 @@
+"""Seeded fault actors: the reusable injection primitives of the chaos lane.
+
+Each actor wraps one class of real-world failure the serving stack claims
+to survive, driven by an injected :class:`random.Random` so a chaos run is
+reproducible from its seed:
+
+* :class:`ProcessReaper` -- SIGKILLs victim processes (forked engine
+  replicas, whole ``SO_REUSEPORT`` shards) picked from a candidate list.
+* :class:`SpoolCorruptor` -- truncates, tears, and garbage-appends the
+  JSONL telemetry/metrics spools and atomically-published JSON documents
+  that the cross-process machinery reads, simulating writers that crashed
+  mid-write and disks that lied.
+* :class:`PeerFreezer` -- SIGSTOP/SIGCONT suspends a coordinator peer so
+  its published state goes stale while its pid stays alive (the wedged-
+  but-not-dead failure mode the staleness horizon exists for).
+* :class:`ClockPerturber` -- a forward-skewing clock plus a latency
+  wrapper for batch runners, perturbing QoS ticks and batch timing.
+
+Actors only *inject*; they never assert.  The invariant checks live in
+:mod:`repro.chaos.invariants` and the composition (what fires when) in
+:mod:`repro.chaos.schedule`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+
+from repro.telemetry.bus import pid_alive
+
+#: The corruption modes :meth:`SpoolCorruptor.corrupt_file` draws from.
+CORRUPTION_MODES = ("truncate", "tear", "garbage", "non_event")
+
+
+class ProcessReaper:
+    """SIGKILLs victims chosen by a seeded RNG; remembers every kill."""
+
+    def __init__(self, rng: random.Random | None = None):
+        self.rng = rng or random.Random(0)
+        self.killed: list[int] = []
+
+    def kill(self, pid: int) -> bool:
+        """SIGKILL one pid; False when it was already gone."""
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            return False
+        self.killed.append(pid)
+        return True
+
+    def reap(self, pids) -> int | None:
+        """SIGKILL one live pid from ``pids`` (seeded choice), or None.
+
+        Candidates are sorted first so the victim depends only on the RNG
+        state and the candidate *set*, not on iteration order.
+        """
+        candidates = sorted(pid for pid in pids if pid_alive(pid))
+        while candidates:
+            victim = candidates.pop(self.rng.randrange(len(candidates)))
+            if self.kill(victim):
+                return victim
+        return None
+
+
+class PeerFreezer:
+    """Suspends (SIGSTOP) and resumes (SIGCONT) peer processes.
+
+    A frozen peer keeps its pid alive -- exactly the failure the staleness
+    horizon (not pid liveness) must catch.  :meth:`thaw_all` makes cleanup
+    safe to call from ``finally`` blocks regardless of how far a test got.
+    """
+
+    def __init__(self):
+        self._frozen: set[int] = set()
+
+    @property
+    def frozen(self) -> set[int]:
+        return set(self._frozen)
+
+    def freeze(self, pid: int) -> bool:
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except (ProcessLookupError, PermissionError, OSError):
+            return False
+        self._frozen.add(pid)
+        return True
+
+    def thaw(self, pid: int) -> bool:
+        self._frozen.discard(pid)
+        try:
+            os.kill(pid, signal.SIGCONT)
+        except (ProcessLookupError, PermissionError, OSError):
+            return False
+        return True
+
+    def thaw_all(self) -> None:
+        for pid in list(self._frozen):
+            self.thaw(pid)
+
+
+class SpoolCorruptor:
+    """Damages spool files the way crashed writers and bad disks do.
+
+    Modes (see :data:`CORRUPTION_MODES`):
+
+    * ``truncate`` -- cut the file at a random byte offset (mid-line).
+    * ``tear`` -- append the head of a JSON document with no newline (a
+      writer that died mid-``write``); a later writer appending a full
+      line turns the tear into one corrupt complete line.
+    * ``garbage`` -- append a complete line of binary junk.
+    * ``non_event`` -- append a complete line of *valid* JSON of the wrong
+      shape (readers must reject structure, not just syntax).
+    """
+
+    def __init__(self, rng: random.Random | None = None):
+        self.rng = rng or random.Random(0)
+        self.corrupted: list[tuple[str, str]] = []
+
+    def corrupt_file(self, path: str, mode: str | None = None) -> str | None:
+        """Apply one corruption to ``path``; returns the mode used."""
+        mode = mode or self.rng.choice(CORRUPTION_MODES)
+        try:
+            # Stat first: corrupting damages existing files, the append
+            # modes must never conjure a spool that was not there.
+            size = os.path.getsize(path)
+            if mode == "truncate":
+                if size == 0:
+                    return None
+                os.truncate(path, self.rng.randrange(size))
+            else:
+                with open(path, "ab") as handle:
+                    if mode == "tear":
+                        handle.write(b'{"type":"torn","at":17')
+                    elif mode == "garbage":
+                        junk = bytes(
+                            self.rng.randrange(256) for _ in range(24)
+                        )
+                        handle.write(junk.replace(b"\n", b"\x00") + b"\n")
+                    else:  # non_event
+                        handle.write(b'[1,2,{"not":"an event"}]\n')
+        except OSError:
+            return None
+        self.corrupted.append((path, mode))
+        return mode
+
+    def corrupt_spool(
+        self, directory: str, mode: str | None = None,
+        suffixes: tuple[str, ...] = (".jsonl", ".jsonl.old"),
+    ) -> tuple[str, str] | None:
+        """Corrupt one random spool file under ``directory``."""
+        try:
+            names = sorted(
+                name for name in os.listdir(directory)
+                if name.endswith(suffixes)
+            )
+        except OSError:
+            return None
+        while names:
+            name = names.pop(self.rng.randrange(len(names)))
+            path = os.path.join(directory, name)
+            used = self.corrupt_file(path, mode)
+            if used is not None:
+                return path, used
+        return None
+
+    def corrupt_document(self, path: str) -> bool:
+        """Clobber an atomically-published JSON document in place.
+
+        The atomic-rename protocol makes a torn *publish* impossible, but
+        not a corrupted file (disk fault, a foreign writer): readers must
+        drop the document, not crash or merge garbage.
+        """
+        try:
+            with open(path, "rb") as handle:
+                content = handle.read()
+            with open(path, "wb") as handle:
+                handle.write(content[: max(1, len(content) // 2)])
+        except OSError:
+            return False
+        self.corrupted.append((path, "document"))
+        return True
+
+
+class ClockPerturber:
+    """Forward-skewing clock plus a seeded latency tax for batch runners.
+
+    :meth:`clock` stays monotone (skew only jumps forward), so it is safe
+    to hand to :class:`repro.serve.qos.QoSController` -- perturbation
+    compresses the controller's perceived sustain/cooldown windows without
+    ever running time backwards.  :meth:`wrap_runner` adds a seeded delay
+    to each executed batch, the injection point for service-time jitter.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random | None = None,
+        base_clock=time.monotonic,
+        max_skew_s: float = 0.05,
+        max_delay_s: float = 0.005,
+    ):
+        self.rng = rng or random.Random(0)
+        self.base_clock = base_clock
+        self.max_skew_s = float(max_skew_s)
+        self.max_delay_s = float(max_delay_s)
+        self._offset = 0.0
+        self._lock = threading.Lock()
+
+    def clock(self) -> float:
+        with self._lock:
+            return self.base_clock() + self._offset
+
+    def perturb(self) -> float:
+        """Jump the clock forward by a seeded skew; returns the jump."""
+        jump = self.rng.uniform(0.0, self.max_skew_s)
+        with self._lock:
+            self._offset += jump
+        return jump
+
+    def wrap_runner(self, runner):
+        """``runner`` plus a seeded pre-execution delay per batch."""
+
+        def perturbed(payloads):
+            delay = self.rng.uniform(0.0, self.max_delay_s)
+            if delay > 0:
+                time.sleep(delay)
+            return runner(payloads)
+
+        return perturbed

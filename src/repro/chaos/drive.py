@@ -1,0 +1,203 @@
+"""A driveable in-process serving stack plus a ledgered open-loop driver.
+
+The chaos suite, the soak lane, and the benchmark chaos arm all need the
+same thing: the real serving data path (warm replica pool -> dynamic
+batcher -> admission controller -> endpoint metrics) assembled in-process
+where fault actors can reach its moving parts, and an open-loop arrival
+driver whose per-request accounting feeds a
+:class:`~repro.chaos.invariants.ResponseLedger`.  This module is that
+shared harness -- the HTTP front-end is deliberately absent (the sharded
+chaos tests cover it end-to-end); everything below the route layer is the
+identical production code.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chaos.invariants import ResponseLedger
+
+
+class ServingStack:
+    """One endpoint's in-process serving stack, built for fault injection.
+
+    ``fork_workers > 0`` backs the endpoint with forked worker processes
+    (the :class:`~repro.chaos.actors.ProcessReaper`'s victims);
+    ``runner_wrap`` interposes on the batch runner (the
+    :class:`~repro.chaos.actors.ClockPerturber`'s injection point).
+    """
+
+    def __init__(
+        self,
+        model: str = "resnet18",
+        scale: str = "fast",
+        fork_workers: int = 0,
+        threads: int = 2,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 64,
+        provider=None,
+        warm: bool = True,
+        runner_wrap=None,
+        images=None,
+        **spec_overrides,
+    ):
+        from repro.serve.batcher import DynamicBatcher
+        from repro.serve.metrics import EndpointMetrics
+        from repro.serve.pool import EnginePool
+        from repro.serve.registry import default_registry
+
+        self.registry = default_registry(
+            models=[model],
+            threads=threads,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+            **spec_overrides,
+        )
+        self.spec = self.registry.get(model)
+        self.pool = EnginePool(
+            self.registry,
+            scale=scale,
+            fork_workers=fork_workers,
+            provider=provider,
+            warm=warm,
+        )
+        self.metrics = EndpointMetrics(
+            self.spec.name, batch_capacity=self.spec.max_batch
+        )
+        self.admission = self.registry.admission(self.spec.name)
+        runner = self.pool.runner_for(self.spec.name, metrics=self.metrics)
+        if runner_wrap is not None:
+            runner = runner_wrap(runner)
+        self.batcher = DynamicBatcher(
+            runner,
+            max_batch=self.spec.max_batch,
+            max_wait=self.spec.max_wait_ms / 1000.0,
+            on_batch=self.metrics.record_batch,
+            workers=max(1, self.pool.replica_count(self.spec.name)),
+            name=f"chaos-{self.spec.name}",
+        )
+        # Drive images come from the zoo (or the caller), not a replica's
+        # harness: with fork workers the parent keeps no harness, and a
+        # reaped replica must not take the driver's input data with it.
+        if images is None:
+            from repro.models.zoo import load_dataset
+
+            images = load_dataset(fast=(scale == "fast")).val_images
+        self.images = images
+
+    def replica_pids(self) -> list[int]:
+        """Live forked-worker pids (the reaper's candidate list)."""
+        return self.pool.replica_set(self.spec.name).worker_pids()
+
+    def replica_health(self) -> dict:
+        return self.pool.replica_set(self.spec.name).health()
+
+    def close(self) -> None:
+        self.batcher.close()
+        self.pool.close()
+
+
+def drive_open_loop(
+    stack: ServingStack,
+    *,
+    rate: float,
+    duration: float,
+    budget_s: float = 1.0,
+    ledger: ResponseLedger | None = None,
+    settle_timeout_s: float = 120.0,
+) -> dict:
+    """Open-loop single-image arrivals, every outcome ledgered.
+
+    Mirrors the server's ``:predict`` path: admission check, batcher
+    submit, future callback.  Faults make submits raise and futures carry
+    exceptions -- both are *explicit errors* (the request was admitted and
+    resolved), which is what the ledger verifies.  Returns the drive
+    summary including within-budget goodput.
+    """
+    ledger = ledger if ledger is not None else ResponseLedger()
+    state = {
+        "offered": 0,
+        "admitted": 0,
+        "shed": 0,
+        "errored": 0,
+        "completed": [],  # (latency,) tuples appended by callbacks
+    }
+    images = stack.images
+    admission = stack.admission
+    pending = []
+    # Request ids must be unique across drives sharing one ledger (the
+    # soak lane drives the same stack in phases): offset by what the
+    # ledger has already seen.
+    counts_before = ledger.counts()
+    id_base = counts_before["offered"]
+    resolved_before = counts_before["resolved"]
+    started = time.perf_counter()
+    index = 0
+    while True:
+        arrival = started + index / rate
+        if arrival - started >= duration:
+            break
+        delay = arrival - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        image = images[index % images.shape[0] : index % images.shape[0] + 1]
+        request_id = id_base + index
+        index += 1
+        state["offered"] += 1
+        ledger.offer()
+        if not admission.try_admit(1):
+            stack.metrics.record_rejection(1)
+            state["shed"] += 1
+            ledger.shed_one()
+            continue
+        ledger.admit(request_id)
+        issued = time.perf_counter()
+        try:
+            future = stack.batcher.submit(image, size=1)
+        except Exception:
+            # An explicit, immediate error (e.g. batcher closed by a
+            # fault): the admitted request is resolved as errored.
+            admission.release(1)
+            state["errored"] += 1
+            ledger.resolve(request_id, "error")
+            continue
+        state["admitted"] += 1
+        ledger.attach(request_id, future, admission=admission)
+
+        def on_done(done, issued=issued):
+            if done.cancelled() or done.exception() is not None:
+                return
+            state["completed"].append(time.perf_counter() - issued)
+
+        future.add_done_callback(on_done)
+        pending.append(future)
+    for future in pending:
+        try:
+            future.result(timeout=settle_timeout_s)
+        except Exception:  # noqa: BLE001 - errors are ledgered outcomes
+            pass
+    # result() can return before the done-callbacks ran: the ledger (and
+    # completion list) settle on the callback, so wait for them.
+    admitted_total = state["admitted"] + state["errored"]
+    deadline = time.perf_counter() + 30.0
+    while time.perf_counter() < deadline:
+        if ledger.counts()["resolved"] - resolved_before >= admitted_total:
+            break
+        time.sleep(0.01)
+    elapsed = time.perf_counter() - started
+    latencies = sorted(state["completed"])
+    within = sum(1 for latency in latencies if latency <= budget_s)
+    return {
+        "offered": state["offered"],
+        "shed": state["shed"],
+        "admitted": state["admitted"] + state["errored"],
+        "completed": len(latencies),
+        "errored": state["offered"] - state["shed"] - len(latencies),
+        "within_budget": within,
+        "elapsed_s": elapsed,
+        "goodput_images_per_s": within / max(elapsed, 1e-9),
+        "throughput_images_per_s": len(latencies) / max(elapsed, 1e-9),
+        "p99_s": latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0.0,
+    }

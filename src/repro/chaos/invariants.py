@@ -1,0 +1,212 @@
+"""The contracts a chaos run must prove, as checkable objects.
+
+:class:`ResponseLedger` is the core bookkeeping: every request the driver
+offers is recorded, and the terminal outcome (ok / explicit error / shed)
+must be recorded **exactly once** -- a lost response (admitted, never
+resolved) and a double response (resolved twice) are both violations, which
+is precisely the "every admitted request gets exactly one response or one
+explicit error" contract the serving stack claims.
+
+:class:`InvariantChecker` accumulates named pass/fail results (ledger
+exactness, merged-metrics exactness, coordinator convergence, stale-spool
+reaping, recovery bounds) into one summary that tests assert on and the
+soak lane prints as its verdict.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Terminal outcomes a ledger accepts for an admitted request.
+OUTCOMES = ("ok", "error")
+
+
+class LedgerViolation(AssertionError):
+    """A response-accounting contract was broken during a chaos run."""
+
+
+class ResponseLedger:
+    """Exactly-once response accounting for one chaos drive.
+
+    Thread-safe: the open-loop driver admits from one thread while future
+    callbacks resolve from batcher worker threads.  ``attach`` wires a
+    future's terminal state into the ledger (and releases admission) so
+    drivers do not hand-roll callbacks.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._admitted: dict[object, int] = {}
+        self._outcomes: dict[object, list[str]] = {}
+        self.offered = 0
+        self.shed = 0
+
+    def offer(self) -> None:
+        with self._lock:
+            self.offered += 1
+
+    def shed_one(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def admit(self, request_id) -> None:
+        with self._lock:
+            self._admitted[request_id] = self._admitted.get(request_id, 0) + 1
+
+    def resolve(self, request_id, outcome: str) -> None:
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        with self._lock:
+            self._outcomes.setdefault(request_id, []).append(outcome)
+
+    def attach(self, request_id, future, admission=None, images: int = 1):
+        """Resolve ``request_id`` from ``future``'s terminal state.
+
+        A cancelled future or one carrying an exception is an *explicit
+        error* (the client observed a failure); a result is ``ok``.
+        ``admission`` (an :class:`~repro.serve.registry.AdmissionController`)
+        is released exactly once, whatever the outcome.
+        """
+
+        def on_done(done):
+            if admission is not None:
+                admission.release(images)
+            failed = done.cancelled() or done.exception() is not None
+            self.resolve(request_id, "error" if failed else "ok")
+
+        future.add_done_callback(on_done)
+
+    # -- accounting --------------------------------------------------------
+    def counts(self) -> dict:
+        with self._lock:
+            outcomes = [
+                outcome
+                for results in self._outcomes.values()
+                for outcome in results
+            ]
+            return {
+                "offered": self.offered,
+                "shed": self.shed,
+                "admitted": len(self._admitted),
+                "resolved": len(self._outcomes),
+                "ok": outcomes.count("ok"),
+                "error": outcomes.count("error"),
+            }
+
+    def violations(self) -> list[str]:
+        """Every way the exactly-once contract was broken (empty = clean)."""
+        problems: list[str] = []
+        with self._lock:
+            for request_id, times in self._admitted.items():
+                if times > 1:
+                    problems.append(
+                        f"request {request_id!r} admitted {times} times"
+                    )
+                results = self._outcomes.get(request_id)
+                if results is None:
+                    problems.append(
+                        f"request {request_id!r} admitted but never resolved"
+                        " (lost response)"
+                    )
+                elif len(results) > 1:
+                    problems.append(
+                        f"request {request_id!r} resolved {len(results)} "
+                        f"times: {results} (double-counted response)"
+                    )
+            for request_id in self._outcomes:
+                if request_id not in self._admitted:
+                    problems.append(
+                        f"request {request_id!r} resolved without admission"
+                    )
+        return problems
+
+    def assert_exact(self) -> None:
+        problems = self.violations()
+        if problems:
+            raise LedgerViolation(
+                "response ledger violated:\n  " + "\n  ".join(problems)
+            )
+
+
+class InvariantChecker:
+    """Named pass/fail results of one chaos run, with helpers per contract."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.results: list[dict] = []
+
+    def check(self, name: str, ok: bool, detail: str = "") -> bool:
+        with self._lock:
+            self.results.append(
+                {"name": name, "ok": bool(ok), "detail": detail}
+            )
+        return bool(ok)
+
+    # -- the serving stack's contracts -------------------------------------
+    def check_ledger(self, ledger: ResponseLedger, name: str = "ledger_exact"):
+        problems = ledger.violations()
+        return self.check(name, not problems, "; ".join(problems[:5]))
+
+    def check_metrics_exact(
+        self, observed: int, expected: int, name: str = "metrics_exact"
+    ):
+        return self.check(
+            name,
+            observed == expected,
+            f"observed {observed}, expected {expected}",
+        )
+
+    def check_single_rung(self, levels, name: str = "rung_converged"):
+        """All live shards/replicas serve the same rung after release."""
+        distinct = sorted(set(levels))
+        return self.check(
+            name, len(distinct) == 1, f"levels observed: {distinct}"
+        )
+
+    def check_reaped(self, paths, name: str = "stale_spools_reaped"):
+        import os
+
+        leftovers = [path for path in paths if os.path.exists(path)]
+        return self.check(name, not leftovers, f"still on disk: {leftovers}")
+
+    def check_recovered(
+        self, ok: int, attempted: int, bound_s: float, elapsed_s: float,
+        name: str = "recovery",
+    ):
+        """Alert-free recovery: post-fault probes all succeed in bound."""
+        return self.check(
+            name,
+            ok == attempted and elapsed_s <= bound_s,
+            f"{ok}/{attempted} probes ok in {elapsed_s:.2f}s "
+            f"(bound {bound_s:.2f}s)",
+        )
+
+    # -- verdict -----------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        with self._lock:
+            return all(result["ok"] for result in self.results)
+
+    def failures(self) -> list[dict]:
+        with self._lock:
+            return [result for result in self.results if not result["ok"]]
+
+    def summary(self) -> dict:
+        with self._lock:
+            results = [dict(result) for result in self.results]
+        return {
+            "ok": all(result["ok"] for result in results),
+            "checked": len(results),
+            "failed": sum(1 for result in results if not result["ok"]),
+            "results": results,
+        }
+
+    def assert_all(self) -> None:
+        failed = self.failures()
+        if failed:
+            lines = [
+                f"{result['name']}: {result['detail']}" for result in failed
+            ]
+            raise AssertionError(
+                "chaos invariants violated:\n  " + "\n  ".join(lines)
+            )

@@ -1,0 +1,127 @@
+"""Deterministic timed composition of fault injections.
+
+A :class:`ChaosSchedule` is a list of ``(at_s, label, fn)`` entries fired
+against wall clock relative to :meth:`run`'s start.  Entries come from
+:meth:`at` (one shot) or :meth:`every` (periodic with seeded jitter,
+expanded eagerly so the full timeline is fixed before anything runs --
+reproducibility comes from expanding with the seeded RNG, not from racing
+timers).  ``run`` executes in the calling thread; :meth:`run_in_thread`
+drives the same timeline behind live traffic.
+
+Actor exceptions are recorded per firing, never raised: a fault injector
+that itself crashes must not abort the run mid-experiment (the log shows
+what happened, and invariant checks decide pass/fail).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+
+class ChaosSchedule:
+    """Seeded timeline of fault injections against a running stack."""
+
+    def __init__(self, seed: int = 0, clock=time.monotonic, sleep=time.sleep):
+        self.seed = int(seed)
+        self.rng = random.Random(seed)
+        self._clock = clock
+        self._sleep = sleep
+        self._entries: list[tuple[float, int, str, object]] = []
+        self._seq = 0
+        self.fired: list[dict] = []
+        self._stop = threading.Event()
+
+    def at(self, at_s: float, label: str, fn) -> "ChaosSchedule":
+        """Fire ``fn()`` once, ``at_s`` seconds after the run starts."""
+        self._entries.append((float(at_s), self._seq, label, fn))
+        self._seq += 1
+        return self
+
+    def every(
+        self,
+        period_s: float,
+        label: str,
+        fn,
+        *,
+        until_s: float,
+        start_s: float | None = None,
+        jitter_s: float = 0.0,
+    ) -> "ChaosSchedule":
+        """Fire ``fn()`` every ``period_s`` (plus seeded jitter) until
+        ``until_s``.  Expanded now, so the timeline is deterministic."""
+        at = period_s if start_s is None else float(start_s)
+        while at < until_s:
+            jitter = self.rng.uniform(0.0, jitter_s) if jitter_s > 0 else 0.0
+            self.at(at + jitter, label, fn)
+            at += period_s
+        return self
+
+    @property
+    def timeline(self) -> list[tuple[float, str]]:
+        """The planned ``(at_s, label)`` firings, in firing order."""
+        return [
+            (at, label)
+            for at, _seq, label, _fn in sorted(self._entries)
+        ]
+
+    def stop(self) -> None:
+        """Abort the remaining timeline (the run returns promptly)."""
+        self._stop.set()
+
+    def run(self, until_s: float | None = None) -> list[dict]:
+        """Fire the timeline; returns the per-firing log.
+
+        Each log entry records the planned and actual offset, the label,
+        the return value (repr) or the exception (repr) -- enough to
+        replay and diff two runs of the same seed.
+        """
+        self._stop.clear()
+        started = self._clock()
+        for at_s, _seq, label, fn in sorted(self._entries):
+            if until_s is not None and at_s > until_s:
+                break
+            if self._stop.is_set():
+                break
+            delay = at_s - (self._clock() - started)
+            while delay > 0 and not self._stop.is_set():
+                self._sleep(min(delay, 0.05))
+                delay = at_s - (self._clock() - started)
+            if self._stop.is_set():
+                break
+            record = {
+                "label": label,
+                "planned_at_s": at_s,
+                "fired_at_s": self._clock() - started,
+                "result": None,
+                "error": None,
+            }
+            try:
+                record["result"] = repr(fn())
+            except Exception as exc:  # noqa: BLE001 - logged, never fatal
+                record["error"] = repr(exc)
+            self.fired.append(record)
+        return self.fired
+
+    def run_in_thread(self, until_s: float | None = None) -> threading.Thread:
+        """Drive the timeline from a daemon thread (traffic runs in front)."""
+        thread = threading.Thread(
+            target=self.run,
+            kwargs={"until_s": until_s},
+            name=f"chaos-schedule-{self.seed}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed,
+            "planned": len(self._entries),
+            "fired": len(self.fired),
+            "errors": sum(
+                1 for record in self.fired if record["error"] is not None
+            ),
+            "timeline": self.timeline,
+        }

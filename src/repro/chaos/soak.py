@@ -1,0 +1,222 @@
+"""Timed soak lane: minutes of overload, churn, and corruption.
+
+``python -m repro.chaos.soak --duration 120 --seed 7`` drives the
+in-process serving stack (forked worker replicas, real engines, real
+admission and metrics) with open-loop overload for the requested wall
+time while a seeded :class:`~repro.chaos.schedule.ChaosSchedule`
+continuously SIGKILLs replicas, corrupts the telemetry spool, and skews
+the perturber clock.  After the storm, a fault-free recovery probe must
+succeed within its bound.
+
+The verdict is the invariant summary: exactly-once response accounting
+across the whole run, a follower that survived every corrupt line (and
+counted them), replicas that respawned (or degraded explicitly within
+budget), and post-fault recovery.  Exit status 0 iff every invariant
+held; the JSON summary goes to stdout (and ``--out`` when given).
+
+Everything is derived from ``--seed``, so a red soak reproduces by
+re-running with the seed it printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.chaos.actors import ClockPerturber, ProcessReaper, SpoolCorruptor
+from repro.chaos.drive import ServingStack, drive_open_loop
+from repro.chaos.invariants import InvariantChecker, ResponseLedger
+from repro.chaos.schedule import ChaosSchedule
+from repro.telemetry import bus as telemetry_bus
+from repro.telemetry.bus import SpoolFollower
+
+
+def run_soak(
+    duration_s: float = 60.0,
+    seed: int = 0,
+    model: str = "resnet18",
+    scale: str = "fast",
+    fork_workers: int = 2,
+    rate: float | None = None,
+    kill_period_s: float = 5.0,
+    corrupt_period_s: float = 2.0,
+    budget_s: float = 2.0,
+    recovery_bound_s: float = 30.0,
+) -> dict:
+    """One seeded soak run; returns the JSON-able summary."""
+    rng = random.Random(seed)
+    reaper = ProcessReaper(random.Random(rng.randrange(2**31)))
+    corruptor = SpoolCorruptor(random.Random(rng.randrange(2**31)))
+    perturber = ClockPerturber(random.Random(rng.randrange(2**31)))
+
+    spool_dir = tempfile.mkdtemp(prefix="repro-chaos-soak-")
+    bus = telemetry_bus.get_bus()
+    bus.attach_spool(spool_dir, role="soak")
+    follower = SpoolFollower(spool_dir)
+    ledger = ResponseLedger()
+    checker = InvariantChecker()
+    started = time.monotonic()
+
+    stack = ServingStack(
+        model=model,
+        scale=scale,
+        fork_workers=fork_workers,
+        runner_wrap=perturber.wrap_runner,
+    )
+    try:
+        # Overload: twice the rough measured capacity unless given.
+        if rate is None:
+            probe = drive_open_loop(
+                stack, rate=50.0, duration=1.0, budget_s=budget_s,
+                ledger=ledger,
+            )
+            rate = max(10.0, 2.0 * probe["throughput_images_per_s"])
+
+        schedule = ChaosSchedule(seed=seed)
+        schedule.every(
+            kill_period_s, "reap-replica",
+            lambda: reaper.reap(stack.replica_pids()),
+            until_s=duration_s, jitter_s=kill_period_s / 2,
+        )
+        schedule.every(
+            corrupt_period_s, "corrupt-spool",
+            lambda: corruptor.corrupt_spool(spool_dir),
+            until_s=duration_s, jitter_s=corrupt_period_s / 2,
+        )
+        schedule.every(
+            max(0.5, corrupt_period_s), "perturb-clock",
+            perturber.perturb,
+            until_s=duration_s, jitter_s=0.25,
+        )
+        chaos_thread = schedule.run_in_thread(until_s=duration_s)
+
+        drive = drive_open_loop(
+            stack, rate=rate, duration=duration_s, budget_s=budget_s,
+            ledger=ledger,
+        )
+        schedule.stop()
+        chaos_thread.join(timeout=30.0)
+
+        # The follower must still be consuming events -- and accounting
+        # for every corrupt line the schedule injected.
+        follower.poll()
+        follower_stats = follower.stats()
+
+        # Fault-free recovery probes: the stack must serve again.
+        recovery_started = time.monotonic()
+        recovery = drive_open_loop(
+            stack, rate=min(rate, 20.0), duration=2.0, budget_s=budget_s,
+            ledger=ledger,
+        )
+        recovery_elapsed = time.monotonic() - recovery_started
+
+        health = stack.replica_health()
+        checker.check_ledger(ledger)
+        checker.check(
+            "served_under_churn",
+            drive["completed"] > 0,
+            f"completed {drive['completed']} of {drive['offered']} offered",
+        )
+        checker.check(
+            "follower_survived_corruption",
+            len(corruptor.corrupted) == 0
+            or follower_stats["corrupt_lines"] > 0
+            or all(mode == "tear" for _p, mode in corruptor.corrupted),
+            f"{len(corruptor.corrupted)} corruptions injected, "
+            f"follower counted {follower_stats['corrupt_lines']}",
+        )
+        checker.check(
+            "replicas_respawned_or_failed_explicitly",
+            health["live_replicas"] > 0 or health["failed_replicas"] > 0,
+            repr(health),
+        )
+        checker.check_recovered(
+            recovery["completed"],
+            recovery["admitted"],
+            recovery_bound_s,
+            recovery_elapsed,
+        )
+    finally:
+        stack.close()
+        bus.detach_spool()
+        shutil.rmtree(spool_dir, ignore_errors=True)
+        from repro.eval.experiments.common import clear_harness_cache
+
+        clear_harness_cache()
+
+    return {
+        "soak": {
+            "seed": seed,
+            "duration_s": duration_s,
+            "rate_images_per_s": rate,
+            "elapsed_s": time.monotonic() - started,
+            "drive": drive,
+            "recovery": recovery,
+            "ledger": ledger.counts(),
+            "replica_health": health,
+            "spool": follower_stats,
+            "faults": {
+                "killed_pids": reaper.killed,
+                "corruptions": [
+                    {"path": path, "mode": mode}
+                    for path, mode in corruptor.corrupted
+                ],
+                "schedule": schedule.describe(),
+            },
+            "invariants": checker.summary(),
+        }
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="soak the NB-SMT serving stack under seeded chaos"
+    )
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="soak wall time in seconds (default 60)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--model", default="resnet18")
+    parser.add_argument("--scale", default="fast", choices=["fast", "paper"])
+    parser.add_argument("--fork-workers", type=int, default=2)
+    parser.add_argument("--rate", type=float, default=None,
+                        help="offered images/s (default: 2x measured)")
+    parser.add_argument("--kill-period", type=float, default=5.0)
+    parser.add_argument("--corrupt-period", type=float, default=2.0)
+    parser.add_argument("--budget", type=float, default=2.0,
+                        help="per-request latency budget in seconds")
+    parser.add_argument("--out", default=None,
+                        help="also write the JSON summary to this path")
+    args = parser.parse_args(argv)
+
+    summary = run_soak(
+        duration_s=args.duration,
+        seed=args.seed,
+        model=args.model,
+        scale=args.scale,
+        fork_workers=args.fork_workers,
+        rate=args.rate,
+        kill_period_s=args.kill_period,
+        corrupt_period_s=args.corrupt_period,
+        budget_s=args.budget,
+    )
+    print(json.dumps(summary, indent=2, default=str))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, default=str)
+    verdict = summary["soak"]["invariants"]
+    print(
+        f"soak[seed={args.seed}]: "
+        + ("PASS" if verdict["ok"] else "FAIL")
+        + f" ({verdict['checked']} invariants, {verdict['failed']} failed)",
+        file=sys.stderr,
+    )
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

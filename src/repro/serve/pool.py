@@ -447,14 +447,44 @@ class ForkedReplica:
             self._reap(timeout=timeout)
 
 
+#: Respawn-storm bounds: a crashing worker gets this many consecutive
+#: respawns (with exponential backoff between attempts) before its slot is
+#: declared failed -- hot-looping forks against a model that dies on every
+#: batch would otherwise burn the host while the endpoint stays broken.
+RESPAWN_BUDGET = 5
+RESPAWN_BACKOFF_S = 0.5
+RESPAWN_BACKOFF_MAX_S = 30.0
+#: A slot quiet for this long earns its budget back (the crash was
+#: transient, not a crash loop).
+RESPAWN_RESET_S = 60.0
+
+
 class ReplicaSet:
     """Replicas of one endpoint plus a blocking free-list dispatcher."""
 
-    def __init__(self, replicas: list):
+    def __init__(
+        self,
+        replicas: list,
+        respawn_budget: int = RESPAWN_BUDGET,
+        respawn_backoff_s: float = RESPAWN_BACKOFF_S,
+        respawn_backoff_max_s: float = RESPAWN_BACKOFF_MAX_S,
+        respawn_reset_s: float = RESPAWN_RESET_S,
+        clock=time.monotonic,
+    ):
         if not replicas:
             raise ValueError("a replica set needs at least one replica")
         self.replicas = replicas
+        self.respawn_budget = int(respawn_budget)
+        self.respawn_backoff_s = float(respawn_backoff_s)
+        self.respawn_backoff_max_s = float(respawn_backoff_max_s)
+        self.respawn_reset_s = float(respawn_reset_s)
+        self._clock = clock
         self._replicas_lock = threading.Lock()
+        self._respawn_counts = [0] * len(replicas)
+        self._respawn_not_before = [float("-inf")] * len(replicas)
+        self._last_respawn_at = [float("-inf")] * len(replicas)
+        self._failed_slots: set[int] = set()
+        self.total_respawns = 0
         self._free: queue_module.Queue = queue_module.Queue()
         for replica in replicas:
             self._free.put(replica)
@@ -513,24 +543,99 @@ class ReplicaSet:
                         raise
 
     def _replace_if_dead(self, replica):
-        if getattr(replica, "_closed", False) and hasattr(replica, "respawn"):
-            # Respawn under the replica-list lock too (see
-            # set_operating_point): a concurrent endpoint-wide swap either
-            # already stamped the dead replica's target (respawn re-applies
-            # it) or will find the fresh replica in the list.
-            with self._replicas_lock:
+        if not (
+            getattr(replica, "_closed", False) and hasattr(replica, "respawn")
+        ):
+            return replica
+        # Respawn under the replica-list lock too (see set_operating_point):
+        # a concurrent endpoint-wide swap either already stamped the dead
+        # replica's target (respawn re-applies it) or will find the fresh
+        # replica in the list.
+        fresh = None
+        newly_failed = False
+        with self._replicas_lock:
+            try:
+                slot = self.replicas.index(replica)
+            except ValueError:  # pragma: no cover - already replaced
+                return replica
+            if slot in self._failed_slots:
+                return replica
+            now = self._clock()
+            if now - self._last_respawn_at[slot] > self.respawn_reset_s:
+                self._respawn_counts[slot] = 0
+            if now < self._respawn_not_before[slot]:
+                # Inside the backoff window: hand the dead replica back so
+                # its requests fail fast instead of forking in a hot loop.
+                return replica
+            attempt = self._respawn_counts[slot] + 1
+            self._respawn_counts[slot] = attempt
+            self._last_respawn_at[slot] = now
+            if attempt > self.respawn_budget:
+                self._failed_slots.add(slot)
+                failed_count = len(self._failed_slots)
+                newly_failed = True
+            else:
+                self._respawn_not_before[slot] = now + min(
+                    self.respawn_backoff_max_s,
+                    self.respawn_backoff_s * 2 ** (attempt - 1),
+                )
                 try:
                     fresh = replica.respawn()
-                except Exception:  # pragma: no cover - respawn best-effort
+                except Exception:
+                    # The replacement died during spawn too; the failed
+                    # attempt is already counted, retry after backoff.
                     return replica
-                self.replicas[self.replicas.index(replica)] = fresh
+                self.replicas[slot] = fresh
+                self.total_respawns += 1
+        if newly_failed:
             telemetry_bus.publish(
-                "replica_respawn",
+                "replica_failed",
                 endpoint=replica.spec.name,
-                level=getattr(fresh, "level", 0),
+                slot=slot,
+                respawn_budget=self.respawn_budget,
+                replicas=len(self.replicas),
+                failed_replicas=failed_count,
             )
-            return fresh
-        return replica
+            return replica
+        telemetry_bus.publish(
+            "replica_respawn",
+            endpoint=replica.spec.name,
+            level=getattr(fresh, "level", 0),
+            attempt=attempt,
+        )
+        return fresh
+
+    def worker_pids(self) -> list[int]:
+        """Live forked-worker pids (empty for inline replicas).
+
+        The chaos lane's process reaper draws its victims from here; it is
+        also handy for operators attaching debuggers to a wedged worker.
+        """
+        with self._replicas_lock:
+            replicas = list(self.replicas)
+        pids = []
+        for replica in replicas:
+            process = getattr(replica, "_process", None)
+            if process is not None and process.is_alive():
+                pids.append(process.pid)
+        return pids
+
+    def health(self) -> dict:
+        """Degradation summary: failed slots, respawn totals, live count."""
+        with self._replicas_lock:
+            failed = len(self._failed_slots)
+            return {
+                "replicas": len(self.replicas),
+                "failed_replicas": failed,
+                "live_replicas": len(self.replicas) - failed,
+                "total_respawns": self.total_respawns,
+                "degraded": failed > 0,
+            }
+
+    @property
+    def degraded(self) -> bool:
+        with self._replicas_lock:
+            return bool(self._failed_slots)
 
     def close(self) -> None:
         with self._replicas_lock:
@@ -738,6 +843,18 @@ class EnginePool:
     def replica_count(self, endpoint: str) -> int:
         """Replicas backing one endpoint (= useful batcher concurrency)."""
         return len(self.replica_set(endpoint).replicas)
+
+    def replica_health(self) -> dict[str, dict]:
+        """Per-endpoint replica degradation (built endpoints only).
+
+        Never builds replicas: an endpoint that has not taken traffic yet
+        is simply absent (health checks must not trigger warm-up).
+        """
+        with self._lock:
+            sets = dict(self._sets)
+        return {
+            name: replica_set.health() for name, replica_set in sets.items()
+        }
 
     def input_shape(self, endpoint: str) -> tuple[int, ...]:
         """Per-image input shape ``(C, H, W)`` the endpoint's model expects."""

@@ -336,6 +336,7 @@ class NBSMTServer:
         bus = telemetry_bus.get_bus()
         if not bus.active:
             return
+        replica_health = self.pool.replica_health()
         for name in list(self.batchers):
             metrics = self.metrics.endpoint(name)
             admission = self.registry.admission(name)
@@ -360,6 +361,7 @@ class NBSMTServer:
                 level=self.pool.current_level(name),
                 latency=metrics.latency.to_payload(),
                 latency_budget_ms=metrics.latency_budget_ms,
+                replicas=replica_health.get(name),
             )
 
     async def stop(self) -> None:
@@ -514,7 +516,20 @@ class NBSMTServer:
     async def _route(self, method: str, path: str, body: bytes):
         path = path.split("?", 1)[0]
         if path == "/healthz":
-            return 200, {"status": "ok", "endpoints": sorted(self.batchers)}
+            replica_health = self.pool.replica_health()
+            degraded = sorted(
+                name
+                for name, health in replica_health.items()
+                if health.get("degraded")
+            )
+            return 200, {
+                # "degraded" (not an error status) -- the endpoint still
+                # serves on its surviving replicas; load balancers may
+                # prefer an undamaged shard.
+                "status": "degraded" if degraded else "ok",
+                "endpoints": sorted(self.batchers),
+                "degraded_endpoints": degraded,
+            }
         if path == "/v1/models":
             if method != "GET":
                 raise _HttpError(405, "use GET")

@@ -89,6 +89,10 @@ class ShardMetricsExchange:
         self.directory = directory
         self.shard_index = int(shard_index)
         self.shard_count = int(shard_count)
+        #: Peer documents that parsed but were structurally invalid (torn
+        #: or corrupted outside the atomic-rename path, e.g. by a crashed
+        #: writer with a different spool implementation or disk fault).
+        self.corrupt_documents = 0
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, index: int) -> str:
@@ -134,11 +138,24 @@ class ShardMetricsExchange:
             try:
                 with open(path, encoding="utf-8") as handle:
                     document = json.load(handle)
-            except (OSError, ValueError):
+            except OSError:
                 continue
-            age = now - document.get("published_at", 0.0)
+            except ValueError:
+                self.corrupt_documents += 1
+                continue
+            if not isinstance(document, dict) or not isinstance(
+                document.get("payload"), dict
+            ):
+                # Parsed but not a shard document: never merge garbage.
+                self.corrupt_documents += 1
+                continue
+            try:
+                age = now - float(document.get("published_at", 0.0))
+                pid = int(document.get("pid", 0) or 0)
+            except (TypeError, ValueError):
+                self.corrupt_documents += 1
+                continue
             stale = age > STALE_AFTER_S
-            pid = int(document.get("pid", 0) or 0)
             # Documents published before pids were recorded reap on
             # staleness alone (pid 0 is never alive).
             if stale and not pid_alive(pid):
@@ -165,19 +182,36 @@ class ShardMetricsExchange:
 
 def _shard_main(
     index: int,
-    sock: socket.socket,
+    sockets: list[socket.socket],
     registry,
     shard_count: int,
     exchange_dir: str,
     server_kwargs: dict,
     coordinate: bool,
 ) -> None:
-    """One shard process: a full server on an inherited bound socket."""
+    """One shard process: a full server on an inherited bound socket.
+
+    Every shard is forked *after* all the listeners are bound, so each
+    child inherits the whole socket list.  It must close its peers'
+    copies immediately: a listening socket stays in the kernel's
+    ``SO_REUSEPORT`` group as long as *any* process holds its fd, so a
+    leaked peer fd would keep a SIGKILLed shard's listener in the group
+    -- connections hashed to it would sit in an accept queue nobody
+    drains instead of failing over to the survivors.  The same applies
+    to this shard's own listener leaking into processes *it* forks
+    (engine pool workers): the at-fork hook closes it in every child.
+    """
     import asyncio
 
     from repro.serve.server import NBSMTServer
     from repro.telemetry import bus as telemetry_bus
     from repro.telemetry.coordinator import QoSCoordinator, ShardStateChannel
+
+    sock = sockets[index]
+    for peer_index, peer_sock in enumerate(sockets):
+        if peer_index != index:
+            peer_sock.close()
+    os.register_at_fork(after_in_child=sock.close)
 
     parallel.IN_POOL_WORKER = False
     telemetry_bus.get_bus().reset_after_fork(role="serve", shard=index)
@@ -243,10 +277,10 @@ def run_sharded(
     )
     processes = []
     try:
-        for index, sock in enumerate(sockets):
+        for index in range(len(sockets)):
             process = context.Process(
                 target=_shard_main,
-                args=(index, sock, registry, shards, exchange_dir,
+                args=(index, sockets, registry, shards, exchange_dir,
                       dict(server_kwargs), coordinate),
                 name=f"serve-shard-{index}",
             )

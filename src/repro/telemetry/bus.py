@@ -73,6 +73,8 @@ class Event:
     @classmethod
     def from_json(cls, line: str) -> "Event":
         doc = json.loads(line)
+        if not isinstance(doc, dict):
+            raise ValueError(f"event line is not a JSON object: {line!r}")
         return cls(
             type=doc["type"],
             at=float(doc["at"]),
@@ -258,6 +260,13 @@ class SpoolFollower:
     is handled by watching the ``.old`` generation too and by detecting
     truncation (offset past the new, smaller file).  Events of one poll are
     merged across files in wall-clock order.
+
+    The follower is torn-write tolerant: a corrupt *complete* line (a
+    crashed writer's garbage, a torn mid-file write, a non-event JSON
+    document) is skipped and counted in :attr:`corrupt_lines` -- reading
+    resumes at the next newline, so one bad line never kills a follower
+    thread or hides the valid events behind it.  :meth:`stats` reports the
+    damage per file.
     """
 
     def __init__(self, directory: str, skip_basenames: set[str] | None = None):
@@ -265,6 +274,9 @@ class SpoolFollower:
         self.skip_basenames = set(skip_basenames or ())
         self._offsets: dict[str, int] = {}
         self._inodes: dict[str, int] = {}
+        #: Complete-but-unparseable lines skipped so far (all files).
+        self.corrupt_lines = 0
+        self._corrupt_by_file: dict[str, int] = {}
 
     def _spool_names(self) -> list[str]:
         try:
@@ -300,8 +312,20 @@ class SpoolFollower:
                 continue
             try:
                 events.append(Event.from_json(line.decode("utf-8")))
-            except (ValueError, KeyError):
+            except (ValueError, KeyError, TypeError):
+                # Torn/garbage line: count it, keep tailing from the next
+                # newline.  UnicodeDecodeError is a ValueError.
+                self.corrupt_lines += 1
+                name = os.path.basename(path)
+                self._corrupt_by_file[name] = self._corrupt_by_file.get(name, 0) + 1
                 continue
+
+    def stats(self) -> dict:
+        """Corruption tally: total skipped lines and a per-file breakdown."""
+        return {
+            "corrupt_lines": self.corrupt_lines,
+            "corrupt_by_file": dict(self._corrupt_by_file),
+        }
 
     def poll(self) -> list[Event]:
         events: list[Event] = []

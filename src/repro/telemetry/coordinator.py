@@ -49,6 +49,9 @@ class ShardStateChannel:
         self.directory = str(directory)
         self.shard_index = int(shard_index)
         self.shard_count = int(shard_count)
+        #: Documents that parsed but were structurally invalid -- a corrupt
+        #: peer file must drop out of the quorum, never crash the QoS tick.
+        self.corrupt_documents = 0
         os.makedirs(self.directory, exist_ok=True)
 
     def _path(self, index: int) -> str:
@@ -75,11 +78,24 @@ class ShardStateChannel:
             try:
                 with open(self._path(index), encoding="utf-8") as handle:
                     document = json.load(handle)
-            except (OSError, ValueError):
+            except OSError:
                 continue
-            if now - document.get("published_at", 0.0) > stale_after_s:
+            except ValueError:
+                self.corrupt_documents += 1
                 continue
-            pid = int(document.get("pid", 0))
+            if not isinstance(document, dict) or not isinstance(
+                document.get("endpoints"), dict
+            ):
+                self.corrupt_documents += 1
+                continue
+            try:
+                published_at = float(document.get("published_at", 0.0))
+                pid = int(document.get("pid", 0) or 0)
+            except (TypeError, ValueError):
+                self.corrupt_documents += 1
+                continue
+            if now - published_at > stale_after_s:
+                continue
             if (
                 index != self.shard_index
                 and pid
@@ -104,9 +120,12 @@ def recommend_level(
     quorum: list[int] = []
     for index, document in sorted(shard_states.items()):
         entry = document.get("endpoints", {}).get(endpoint)
-        if entry is None:
+        if not isinstance(entry, dict):
             continue
-        desired = int(entry.get("desired", 0))
+        try:
+            desired = int(entry.get("desired", 0))
+        except (TypeError, ValueError):
+            continue
         desired_by_shard[index] = desired
         if not entry.get("held", False):
             quorum.append(desired)

@@ -92,7 +92,10 @@ class EventRelay:
         return self._fanout.subscribe(**kwargs)
 
     def snapshot(self) -> dict:
-        return self.aggregator.snapshot()
+        snapshot = self.aggregator.snapshot()
+        if self.follower is not None:
+            snapshot["spool"] = self.follower.stats()
+        return snapshot
 
     def close(self) -> None:
         if self._callback is not None and self._local_bus is not None:

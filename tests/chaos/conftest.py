@@ -1,0 +1,12 @@
+"""Fixtures for the chaos lane: the serving provider around the tiny harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.serve.conftest import TinyHarnessProvider
+
+
+@pytest.fixture
+def tiny_provider(tiny_harness) -> TinyHarnessProvider:
+    return TinyHarnessProvider(tiny_harness)

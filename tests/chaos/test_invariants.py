@@ -1,0 +1,136 @@
+"""Response ledger and invariant checker: the chaos lane's bookkeeping."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro.chaos.invariants import (
+    InvariantChecker,
+    LedgerViolation,
+    ResponseLedger,
+)
+
+
+def test_clean_ledger_is_exact():
+    ledger = ResponseLedger()
+    for request_id in range(4):
+        ledger.offer()
+        ledger.admit(request_id)
+        ledger.resolve(request_id, "ok" if request_id % 2 else "error")
+    ledger.offer()
+    ledger.shed_one()
+    ledger.assert_exact()
+    counts = ledger.counts()
+    assert counts == {
+        "offered": 5, "shed": 1, "admitted": 4, "resolved": 4,
+        "ok": 2, "error": 2,
+    }
+
+
+def test_lost_response_is_a_violation():
+    ledger = ResponseLedger()
+    ledger.offer()
+    ledger.admit("r1")
+    with pytest.raises(LedgerViolation, match="never resolved"):
+        ledger.assert_exact()
+
+
+def test_double_response_is_a_violation():
+    ledger = ResponseLedger()
+    ledger.offer()
+    ledger.admit("r1")
+    ledger.resolve("r1", "ok")
+    ledger.resolve("r1", "error")
+    with pytest.raises(LedgerViolation, match="double-counted"):
+        ledger.assert_exact()
+
+
+def test_double_admission_and_orphan_resolution_are_violations():
+    ledger = ResponseLedger()
+    ledger.admit("r1")
+    ledger.admit("r1")
+    ledger.resolve("r1", "ok")
+    ledger.resolve("ghost", "ok")
+    problems = "\n".join(ledger.violations())
+    assert "admitted 2 times" in problems
+    assert "without admission" in problems
+
+
+def test_unknown_outcome_rejected():
+    with pytest.raises(ValueError, match="unknown outcome"):
+        ResponseLedger().resolve("r1", "maybe")
+
+
+class _CountingAdmission:
+    def __init__(self):
+        self.released = 0
+
+    def release(self, images):
+        self.released += images
+
+
+def test_attach_resolves_from_future_and_releases_admission():
+    ledger = ResponseLedger()
+    admission = _CountingAdmission()
+
+    ok = Future()
+    ledger.admit("ok")
+    ledger.attach("ok", ok, admission=admission, images=2)
+    ok.set_result("fine")
+
+    failed = Future()
+    ledger.admit("failed")
+    ledger.attach("failed", failed, admission=admission)
+    failed.set_exception(RuntimeError("replica died"))
+
+    cancelled = Future()
+    ledger.admit("cancelled")
+    ledger.attach("cancelled", cancelled, admission=admission)
+    cancelled.cancel()
+
+    ledger.assert_exact()
+    counts = ledger.counts()
+    assert counts["ok"] == 1
+    assert counts["error"] == 2
+    assert admission.released == 4  # 2 + 1 + 1, exactly once each
+
+
+def test_checker_accumulates_and_asserts():
+    checker = InvariantChecker()
+    assert checker.check("first", True)
+    assert checker.check_metrics_exact(10, 10)
+    assert checker.check_single_rung([2, 2, 2])
+    assert checker.ok
+    checker.check_metrics_exact(9, 10, name="merged")
+    assert not checker.ok
+    summary = checker.summary()
+    assert summary["checked"] == 4
+    assert summary["failed"] == 1
+    assert [result["name"] for result in checker.failures()] == ["merged"]
+    with pytest.raises(AssertionError, match="merged"):
+        checker.assert_all()
+
+
+def test_checker_ledger_and_recovery_helpers():
+    checker = InvariantChecker()
+    ledger = ResponseLedger()
+    ledger.admit("r1")  # lost
+    assert not checker.check_ledger(ledger)
+    assert checker.check_recovered(5, 5, bound_s=10.0, elapsed_s=1.0)
+    assert not checker.check_recovered(
+        4, 5, bound_s=10.0, elapsed_s=1.0, name="partial"
+    )
+    assert not checker.check_recovered(
+        5, 5, bound_s=1.0, elapsed_s=2.0, name="late"
+    )
+
+
+def test_checker_reaped_checks_disk(tmp_path):
+    checker = InvariantChecker()
+    gone = tmp_path / "qos-shard-1.json"
+    assert checker.check_reaped([str(gone)])
+    gone.write_text("{}")
+    assert not checker.check_reaped([str(gone)], name="leftover")
+    assert "qos-shard-1.json" in checker.failures()[0]["detail"]

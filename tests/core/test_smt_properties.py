@@ -21,7 +21,7 @@ from hypothesis import given, strategies as st
 from repro.core.policies import POLICY_NAMES
 from repro.core.smt import NBSMTMatmul, SMTStatistics
 from repro.systolic.sysmt import SySMTArray
-from tests.property_profiles import SLOW_SETTINGS, STANDARD_SETTINGS
+from tests.strategies import SLOW_SETTINGS, STANDARD_SETTINGS
 
 #: Values that exercise every branch of the collision logic: zeros
 #: (sparsity), 4-bit fits, multiples of 16 (zero reduction delta), rounding

@@ -16,7 +16,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.eval.throttle import ladder_from_ranking, throttle_assignment
-from tests.property_profiles import QUICK_SETTINGS
+from tests.strategies import QUICK_SETTINGS
 
 LAYER_NAMES = [f"layer{i}" for i in range(8)]
 

@@ -319,3 +319,112 @@ def test_adaptive_spec_with_no_slowable_layers_fails_loudly(
     with pytest.raises(ValueError, match="no layer is slowable"):
         pool.replica_set(spec.name)
     pool.close()
+
+
+# -- respawn budget ---------------------------------------------------------
+
+
+class _DeadStub:
+    """A replica whose worker is dead; respawn yields another dead one.
+
+    Driving `_replace_if_dead` with an always-dead lineage walks the whole
+    respawn ladder (backoff windows, budget exhaustion) without forking a
+    single process.
+    """
+
+    def __init__(self, name="stub"):
+        from types import SimpleNamespace
+
+        self.spec = SimpleNamespace(name=name)
+        self._closed = True
+        self.level = 0
+
+    def respawn(self):
+        return _DeadStub(self.spec.name)
+
+    def close(self):
+        pass
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _budget_set(clock, **overrides):
+    from repro.serve.pool import ReplicaSet
+
+    params = dict(
+        respawn_budget=3,
+        respawn_backoff_s=0.5,
+        respawn_backoff_max_s=30.0,
+        respawn_reset_s=60.0,
+        clock=clock,
+    )
+    params.update(overrides)
+    return ReplicaSet([_DeadStub()], **params)
+
+
+def test_respawn_backoff_gates_the_fork_loop():
+    clock = _FakeClock()
+    replica_set = _budget_set(clock)
+    dead = replica_set.replicas[0]
+    fresh = replica_set._replace_if_dead(dead)
+    assert fresh is not dead  # first attempt respawns immediately
+    assert replica_set.total_respawns == 1
+    # Still inside the 0.5s backoff window: no second fork, the dead
+    # replica itself comes back so requests fail fast.
+    again = replica_set._replace_if_dead(fresh)
+    assert again is fresh
+    assert replica_set.total_respawns == 1
+    clock.now = 0.6  # window over: the next attempt respawns (backoff 1.0s)
+    assert replica_set._replace_if_dead(fresh) is not fresh
+    assert replica_set.total_respawns == 2
+
+
+def test_respawn_budget_exhaustion_is_terminal_and_published():
+    from repro.telemetry import bus as telemetry_bus
+
+    clock = _FakeClock()
+    replica_set = _budget_set(clock)
+    subscription = telemetry_bus.get_bus().subscribe(
+        types={"replica_respawn", "replica_failed"}
+    )
+    try:
+        replica = replica_set.replicas[0]
+        for attempt in range(3):  # budget=3 respawns succeed
+            clock.now = attempt * 10.0  # past backoff, inside reset window
+            replica = replica_set._replace_if_dead(replica)
+        clock.now = 31.0
+        final = replica_set._replace_if_dead(replica)
+        assert final is replica  # over budget: no replacement
+        health = replica_set.health()
+        assert health["failed_replicas"] == 1
+        assert health["live_replicas"] == 0
+        assert health["degraded"] is True
+        assert replica_set.degraded
+        # The terminal slot stays terminal: no further attempts counted.
+        respawns_before = replica_set.total_respawns
+        clock.now = 200.0
+        assert replica_set._replace_if_dead(replica) is replica
+        assert replica_set.total_respawns == respawns_before
+        events = [event.type for event in subscription.drain()]
+        assert events.count("replica_respawn") == 3
+        assert events.count("replica_failed") == 1
+    finally:
+        telemetry_bus.get_bus().unsubscribe(subscription)
+
+
+def test_respawn_count_resets_after_quiet_period():
+    clock = _FakeClock()
+    replica_set = _budget_set(clock, respawn_budget=1)
+    replica = replica_set._replace_if_dead(replica_set.replicas[0])
+    assert replica_set.total_respawns == 1
+    # A long quiet stretch forgives the earlier crash: the budget refills.
+    clock.now = 100.0
+    replica = replica_set._replace_if_dead(replica)
+    assert replica_set.total_respawns == 2
+    assert not replica_set.degraded

@@ -1,0 +1,162 @@
+"""Stateful property test: no QoSController transition breaks hysteresis.
+
+A ``RuleBasedStateMachine`` drives one controller with a fake clock
+through arbitrary interleavings of clock advances, load observations,
+operator forces/holds and releases, and checks after every step that the
+hysteresis contract held:
+
+* the level stays inside the ladder and automatic transitions move
+  exactly one rung;
+* no automatic transition fires inside ``cooldown_s`` of the previous
+  transition (forced ones excluded -- operators preempt cooldown);
+* a degrade only fires when overload has held continuously for
+  ``degrade_after_s`` (tracked as: no non-overloaded observation more
+  recently than that), and symmetrically for recovery;
+* a held controller never transitions on its own.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
+
+from repro.serve.qos import LoadSignal, QoSConfig, QoSController
+from tests.strategies import STATE_MACHINE_SETTINGS, load_signals, rung_counts
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+CONFIG = QoSConfig(
+    degrade_pressure=0.75,
+    recover_pressure=0.35,
+    degrade_after_s=0.5,
+    recover_after_s=2.0,
+    cooldown_s=1.0,
+)
+
+
+class QoSMachine(RuleBasedStateMachine):
+    @initialize(num_levels=rung_counts())
+    def setup(self, num_levels):
+        self.clock = FakeClock()
+        self.controller = QoSController(
+            num_levels, config=CONFIG, clock=self.clock
+        )
+        self.num_levels = num_levels
+        # Shadow bookkeeping the invariants are phrased against.  The
+        # streak trackers are *lower bounds* on when the controller's own
+        # streak can have started, so the sustain checks are sound (the
+        # controller may be stricter, never laxer).
+        self.last_transition_at = float("-inf")
+        self.last_not_overloaded_at = self.clock.now
+        self.last_not_calm_at = self.clock.now
+
+    # -- the controller's own predicates, restated for the shadow model ----
+    def _overloaded(self, signal: LoadSignal) -> bool:
+        return (
+            signal.rejected_delta > 0
+            or signal.pressure >= CONFIG.degrade_pressure
+            or signal.queue_images
+            >= CONFIG.degrade_queue_batches * max(1, signal.queue_capacity)
+            or bool(
+                signal.latency_budget_s
+                and signal.queue_age_s > signal.latency_budget_s
+            )
+            or bool(
+                signal.latency_budget_s
+                and signal.p99_latency_s > signal.latency_budget_s
+            )
+        )
+
+    def _calm(self, signal: LoadSignal) -> bool:
+        return (
+            signal.rejected_delta == 0
+            and signal.pressure <= CONFIG.recover_pressure
+            and signal.queue_images < max(1, signal.queue_capacity)
+            and not (
+                signal.latency_budget_s
+                and signal.p99_latency_s
+                > CONFIG.recover_latency_fraction * signal.latency_budget_s
+            )
+        )
+
+    # -- rules -------------------------------------------------------------
+    @rule(dt=st.floats(min_value=0.01, max_value=1.5))
+    def advance(self, dt):
+        self.clock.now += dt
+
+    @rule(signal=load_signals())
+    def observe(self, signal):
+        was_held = self.controller.held
+        level_before = self.controller.level
+        now = self.clock.now
+        transition = self.controller.observe(signal)
+
+        if not self._overloaded(signal):
+            self.last_not_overloaded_at = now
+        if not self._calm(signal):
+            self.last_not_calm_at = now
+
+        if was_held:
+            assert transition is None, "held controller transitioned"
+        if transition is None:
+            assert self.controller.level == level_before
+            return
+
+        assert 0 <= transition.to_level < self.num_levels
+        assert abs(transition.to_level - transition.from_level) == 1, (
+            "automatic transitions move exactly one rung"
+        )
+        assert transition.from_level == level_before
+        assert self.controller.level == transition.to_level
+        # Cooldown counts from *any* prior transition, forced included
+        # (only forcing itself may preempt the cooldown).
+        assert now - self.last_transition_at >= CONFIG.cooldown_s, (
+            f"transition at {now} inside cooldown of "
+            f"{self.last_transition_at}"
+        )
+        self.last_transition_at = now
+        if transition.direction == "degrade":
+            assert self._overloaded(signal), (
+                "degraded on a signal that is not overloaded"
+            )
+            assert now - self.last_not_overloaded_at >= CONFIG.degrade_after_s, (
+                "degrade without a sustained overload streak"
+            )
+        else:
+            assert self._calm(signal), "recovered on a signal that is not calm"
+            assert now - self.last_not_calm_at >= CONFIG.recover_after_s, (
+                "recovery without a sustained calm streak"
+            )
+
+    @rule(hold=st.booleans(), data=st.data())
+    def force(self, hold, data):
+        level = data.draw(
+            st.integers(min_value=0, max_value=self.num_levels - 1)
+        )
+        transition = self.controller.force(level, hold=hold)
+        assert self.controller.level == level
+        if transition is not None:
+            assert transition.to_level == level
+            self.last_transition_at = self.clock.now
+        assert self.controller.held == hold
+        # A force resets the streaks inside the controller; mirror it.
+        self.last_not_overloaded_at = self.clock.now
+        self.last_not_calm_at = self.clock.now
+
+    @rule()
+    def release(self):
+        self.controller.release()
+        assert not self.controller.held
+        self.last_not_overloaded_at = self.clock.now
+        self.last_not_calm_at = self.clock.now
+
+
+TestQoSMachine = QoSMachine.TestCase
+TestQoSMachine.settings = STATE_MACHINE_SETTINGS

@@ -101,11 +101,11 @@ def test_sharded_front_end_serves_and_merges_metrics(tmp_path):
     processes = [
         context.Process(
             target=sharding._shard_main,
-            args=(index, sock, registry, shards, str(tmp_path),
+            args=(index, sockets, registry, shards, str(tmp_path),
                   {"scale": "fast", "shard_publish_s": 0.2}, False),
             daemon=True,
         )
-        for index, sock in enumerate(sockets)
+        for index in range(shards)
     ]
     for process in processes:
         process.start()
@@ -195,12 +195,12 @@ def test_coordinated_shards_converge_and_stream_events(tmp_path):
     processes = [
         context.Process(
             target=sharding._shard_main,
-            args=(index, sock, registry, shards, str(tmp_path),
+            args=(index, sockets, registry, shards, str(tmp_path),
                   {"scale": "fast", "shard_publish_s": 0.2,
                    "qos_tick_s": 0.1}, True),
             daemon=True,
         )
-        for index, sock in enumerate(sockets)
+        for index in range(shards)
     ]
     for process in processes:
         process.start()

@@ -1,0 +1,35 @@
+"""Shared Hypothesis strategies and tiered settings for the test suite.
+
+One import point for every property test::
+
+    from tests.strategies import QUICK_SETTINGS, load_signals
+
+Settings tiers live in :mod:`tests.strategies.settings` (pick the tier
+matching the cost of one example; ``REPRO_PROPERTY_SCALE`` multiplies all
+example budgets).  Domain strategies for the serving stack live in
+:mod:`tests.strategies.serving`.
+"""
+
+from tests.strategies.serving import (
+    load_signals,
+    qos_configs,
+    request_sizes,
+    rung_counts,
+)
+from tests.strategies.settings import (
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+    STATE_MACHINE_SETTINGS,
+)
+
+__all__ = [
+    "QUICK_SETTINGS",
+    "SLOW_SETTINGS",
+    "STANDARD_SETTINGS",
+    "STATE_MACHINE_SETTINGS",
+    "load_signals",
+    "qos_configs",
+    "request_sizes",
+    "rung_counts",
+]

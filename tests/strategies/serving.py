@@ -1,0 +1,59 @@
+"""Domain strategies for the serving-stack property tests.
+
+These generate the *inputs* the serving control plane consumes -- load
+signals, QoS configurations, request micro-batch sizes, ladder shapes --
+so the stateful machines and property tests all draw from one vocabulary
+instead of re-inventing ad-hoc ranges per file.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+
+def rung_counts(min_rungs: int = 2, max_rungs: int = 5):
+    """Ladder sizes worth testing (1 rung means a static endpoint)."""
+    return st.integers(min_value=min_rungs, max_value=max_rungs)
+
+
+def request_sizes(max_size: int = 8):
+    """Micro-batch sizes a client may submit in one request."""
+    return st.integers(min_value=1, max_value=max_size)
+
+
+@st.composite
+def qos_configs(draw):
+    """Well-formed hysteresis configurations (thresholds ordered)."""
+    from repro.serve.qos import QoSConfig
+
+    recover = draw(st.floats(min_value=0.1, max_value=0.5))
+    degrade = draw(st.floats(min_value=recover + 0.1, max_value=1.0))
+    degrade_after = draw(st.floats(min_value=0.1, max_value=1.0))
+    return QoSConfig(
+        degrade_pressure=degrade,
+        recover_pressure=recover,
+        degrade_after_s=degrade_after,
+        recover_after_s=draw(
+            st.floats(min_value=degrade_after, max_value=3.0)
+        ),
+        cooldown_s=draw(st.floats(min_value=0.0, max_value=1.0)),
+    )
+
+
+@st.composite
+def load_signals(draw, queue_capacity: int = 8):
+    """Arbitrary (but type-correct) load snapshots, calm through overload."""
+    from repro.serve.qos import LoadSignal
+
+    budget = draw(
+        st.one_of(st.none(), st.floats(min_value=0.05, max_value=2.0))
+    )
+    return LoadSignal(
+        pressure=draw(st.floats(min_value=0.0, max_value=1.5)),
+        queue_images=draw(st.integers(min_value=0, max_value=64)),
+        queue_capacity=queue_capacity,
+        queue_age_s=draw(st.floats(min_value=0.0, max_value=1.0)),
+        rejected_delta=draw(st.sampled_from([0, 0, 0, 1, 5])),
+        p99_latency_s=draw(st.floats(min_value=0.0, max_value=3.0)),
+        latency_budget_s=budget,
+    )

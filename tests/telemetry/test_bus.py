@@ -13,7 +13,7 @@ from repro.telemetry.bus import (
     TelemetryBus,
     pid_alive,
 )
-from tests.property_profiles import QUICK_SETTINGS
+from tests.strategies import QUICK_SETTINGS
 
 
 def test_publish_is_inert_without_consumers():
@@ -212,3 +212,49 @@ def test_spool_document_is_one_json_per_line(tmp_path):
     assert len(lines) == 2
     assert [json.loads(line)["type"] for line in lines] == ["a", "b"]
     bus.detach_spool()
+
+
+def test_spool_corrupt_lines_are_counted_not_fatal(tmp_path):
+    spool = EventSpool(str(tmp_path), role="w")
+    spool.append(Event("a", 1.0, {"pid": 1}, 1, {}))
+    follower = SpoolFollower(str(tmp_path))
+    assert len(follower.poll()) == 1
+    assert follower.stats() == {"corrupt_lines": 0, "corrupt_by_file": {}}
+    with open(spool.path, "ab") as handle:
+        handle.write(b"\xff\xfebinary junk\n")  # undecodable
+        handle.write(b"[1, 2, 3]\n")  # valid JSON, not an object
+        handle.write(b'{"no":"type field"}\n')  # object, wrong shape
+        handle.write(b'{"type":"c","at":3.0,"source":{},"seq":3,"data":{}}\n')
+    events = follower.poll()
+    # The good line after the damage is still delivered...
+    assert [event.type for event in events] == ["c"]
+    # ...and every skipped line is on the books, attributed to its file.
+    stats = follower.stats()
+    assert stats["corrupt_lines"] == 3
+    assert stats["corrupt_by_file"] == {os.path.basename(spool.path): 3}
+    # Counters are cumulative across polls, not reset by them.
+    spool.append(Event("d", 4.0, {"pid": 1}, 4, {}))
+    assert [event.type for event in follower.poll()] == ["d"]
+    assert follower.stats()["corrupt_lines"] == 3
+    spool.close()
+
+
+def test_spool_truncated_mid_line_resumes_at_next_newline(tmp_path):
+    spool = EventSpool(str(tmp_path), role="w")
+    for index in range(3):
+        spool.append(Event("tick", float(index), {"pid": 1}, index, {"i": index}))
+    follower = SpoolFollower(str(tmp_path))
+    assert len(follower.poll()) == 3
+    # A fault truncates the file mid-line below the follower's offset and
+    # the writer appends again before the next poll, so the size grows
+    # *past* the stored offset and the shrink is invisible.  The follower
+    # seeks into the middle of the new line: that damaged window is lost
+    # (counted corrupt), but the follower resyncs at its newline and
+    # everything appended afterwards flows again.
+    os.truncate(spool.path, os.path.getsize(spool.path) - 7)
+    spool.append(Event("during", 9.0, {"pid": 1}, 9, {}))
+    assert follower.poll() == []
+    assert follower.stats()["corrupt_lines"] >= 1
+    spool.append(Event("after", 10.0, {"pid": 1}, 10, {}))
+    assert [event.type for event in follower.poll()] == ["after"]
+    spool.close()

@@ -12,7 +12,7 @@ from repro.telemetry.timeseries import (
     TelemetryAggregator,
     merge_latency_payloads,
 )
-from tests.property_profiles import QUICK_SETTINGS
+from tests.strategies import QUICK_SETTINGS
 
 
 def event(type, at=0.0, source=None, seq=0, **data):
