@@ -34,16 +34,23 @@ Measures, on this machine:
 * a chaos arm: the same open-loop drive with and without a seeded process
   reaper SIGKILLing forked replicas mid-traffic, reporting the fraction of
   no-fault goodput retained under churn (and that the response ledger
-  stayed exact -- no lost, no double-counted responses).
+  stayed exact -- no lost, no double-counted responses);
+* a lifelines arm: mixed-deadline overload with expiry-cancel on versus
+  off (within-deadline goodput when dead requests are cancelled before
+  compute versus burning engine time on them), a slow-loris storm against
+  the hardened front-end (probe success and latency while hostile
+  connections park against the connection cap), and a disk-full arm (the
+  telemetry spool squeezed to nothing: count-and-drop overhead versus the
+  unlimited writer).
 
-Results are written as JSON (default ``BENCH_pr6.json`` at the repo root) so
+Results are written as JSON (default ``BENCH_pr7.json`` at the repo root) so
 the performance trajectory of the project is recorded per PR; when the
-previous PR's ``BENCH_pr5.json`` is present its headline timings are
+previous PR's ``BENCH_pr6.json`` is present its headline timings are
 embedded for comparison.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr6.json]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr7.json]
         [--scale fast|full]
 """
 
@@ -1019,6 +1026,206 @@ def bench_chaos(scale: str) -> dict:
     }
 
 
+def bench_lifelines(scale: str) -> dict:
+    """Request lifelines: what expiry-cancel, socket hardening and disk
+    budgets buy under hostile conditions.
+
+    Three sub-arms:
+
+    * ``deadline`` -- identical stacks under identical mixed-deadline
+      overload (every second request carries a tight deadline), once with
+      the deadlines attached (the batcher cancels expired requests before
+      compute) and once without (the engine burns time on work nobody is
+      waiting for).  The headline is the within-deadline goodput gain.
+    * ``slow_loris`` -- a real HTTP front-end with a small connection cap
+      under a parked slow-loris herd: well-behaved probe success rate and
+      latency during the storm, and the reclaim counters that prove the
+      cap held.
+    * ``disk_full`` -- the telemetry spool writer at full speed versus
+      squeezed to a zero quota: count-and-drop must be at least as cheap
+      as writing, with every drop counted.
+    """
+    import random
+
+    from repro.chaos.actors import DiskFiller, NetworkMangler
+    from repro.chaos.drive import HttpStack, ServingStack, drive_open_loop
+    from repro.chaos.invariants import ResponseLedger
+
+    seed = 710
+    duration = 6.0 if scale == "fast" else 15.0
+    deadline_ms = 250.0
+    budget_s = deadline_ms / 1000.0
+
+    def build():
+        return ServingStack(
+            model="resnet18",
+            scale=scale,
+            fork_workers=0,
+            threads=2,
+            max_batch=8,
+            max_wait_ms=2.0,
+            max_pending=256,
+        )
+
+    def mixed(index):
+        # Every second arrival carries the tight deadline; the rest are
+        # deadline-free (the traffic the cancellation is buying room for).
+        return deadline_ms if index % 2 else None
+
+    # -- deadline arm: expiry-cancel off (baseline) ------------------------
+    stack = build()
+    try:
+        probe = drive_open_loop(
+            stack, rate=200.0, duration=2.0, budget_s=budget_s
+        )
+        rate = max(8.0, 2.0 * probe["throughput_images_per_s"])
+        off_ledger = ResponseLedger()
+        expiry_off = drive_open_loop(
+            stack, rate=rate, duration=duration, budget_s=budget_s,
+            ledger=off_ledger,
+        )
+    finally:
+        stack.close()
+
+    # -- deadline arm: expiry-cancel on ------------------------------------
+    stack = build()
+    try:
+        drive_open_loop(stack, rate=200.0, duration=2.0, budget_s=budget_s)
+        on_ledger = ResponseLedger()
+        expiry_on = drive_open_loop(
+            stack, rate=rate, duration=duration, budget_s=budget_s,
+            ledger=on_ledger, deadline_ms=mixed,
+        )
+        expired_in_batcher = stack.batcher.expired_requests
+    finally:
+        stack.close()
+
+    goodput_gain = expiry_on["goodput_images_per_s"] / max(
+        expiry_off["goodput_images_per_s"], 1e-9
+    )
+
+    # -- slow-loris arm ----------------------------------------------------
+    http = HttpStack(
+        model="resnet18",
+        scale=scale,
+        max_connections=8,
+        read_timeout_s=1.0,
+    )
+    loris = {}
+    try:
+        replica = http.server.pool.replica_set("resnet18").replicas[0]
+        image = replica.harness.eval_images[0:1]
+        probes = 8 if scale == "fast" else 24
+
+        def probe_round():
+            latencies, ok = [], 0
+            for _ in range(probes):
+                start = time.perf_counter()
+                try:
+                    status, _payload = http.probe(
+                        "resnet18", image, timeout_s=30.0
+                    )
+                except OSError:
+                    status = 0
+                latencies.append(time.perf_counter() - start)
+                ok += int(status == 200)
+            latencies.sort()
+            return {
+                "probes": probes,
+                "ok": ok,
+                "p50_ms": latencies[len(latencies) // 2] * 1000.0,
+                "max_ms": latencies[-1] * 1000.0,
+            }
+
+        calm = probe_round()
+        mangler = NetworkMangler(http.host, http.port,
+                                 rng=random.Random(seed))
+        parked = sum(int(mangler.slow_loris()) for _ in range(16))
+        storm = probe_round()
+        released = mangler.release_all()
+        stats = http.connection_stats()
+        loris = {
+            "max_connections": 8,
+            "parked_attackers": parked,
+            "released": released,
+            "calm": calm,
+            "storm": storm,
+            "probe_success_under_storm": storm["ok"] / max(storm["probes"], 1),
+            "connection_stats": stats,
+            "cap_held": stats["open"] <= stats["max"],
+        }
+    finally:
+        http.close()
+
+    # -- disk-full arm -----------------------------------------------------
+    from repro.telemetry.bus import TelemetryBus
+    from repro.utils.diskbudget import DiskBudget
+
+    spool_dir = tempfile.mkdtemp(prefix="bench-lifelines-spool-")
+    bus = TelemetryBus(role="bench")
+    events = 2000 if scale == "fast" else 10000
+    try:
+        budget = DiskBudget(spool_dir, 256 * 1024 * 1024, name="bench-spool")
+        bus.attach_spool(spool_dir, role="bench", budget=budget)
+
+        def publish_round():
+            start = time.perf_counter()
+            for index in range(events):
+                bus.publish("bench_event", index=index, payload="x" * 64)
+            return time.perf_counter() - start
+
+        writing = publish_round()
+        filler = DiskFiller(random.Random(seed))
+        filler.squeeze(budget, to_bytes=1)
+        dropping = publish_round()
+        filler.restore()
+        spool_stats = bus.spool_stats() or {}
+        disk_full = {
+            "events_per_round": events,
+            "writing_events_per_s": events / max(writing, 1e-9),
+            "dropping_events_per_s": events / max(dropping, 1e-9),
+            "drop_speedup_vs_write": writing / max(dropping, 1e-9),
+            "dropped_events": spool_stats.get("dropped_events", 0),
+            "all_drops_counted": (
+                spool_stats.get("dropped_events", 0) >= events
+            ),
+        }
+    finally:
+        bus.detach_spool()
+        shutil.rmtree(spool_dir, ignore_errors=True)
+
+    return {
+        "serving_lifelines": {
+            "scale": scale,
+            "seed": seed,
+            "endpoint": "resnet18",
+            "offered_rate_per_s": rate,
+            "duration_s": duration,
+            "deadline_ms": deadline_ms,
+            "expiry_cancel_off": expiry_off,
+            "expiry_cancel_on": expiry_on,
+            "expired_before_compute": expired_in_batcher,
+            "ledger_off": off_ledger.counts(),
+            "ledger_on": on_ledger.counts(),
+            "ledger_exact": not (
+                off_ledger.violations() or on_ledger.violations()
+            ),
+            "goodput_gain_from_expiry_cancel": goodput_gain,
+            "slow_loris": loris,
+            "disk_full": disk_full,
+            "note": (
+                "deadline arm: identical stacks at the same 2x-overload "
+                "rate; the on arm attaches a 250ms deadline to every "
+                "second request so the batcher cancels expired work "
+                "before compute; goodput = within-deadline responses per "
+                "second. slow_loris: probe traffic while 16 attackers "
+                "park against an 8-connection cap. disk_full: spool "
+                "publish throughput, unlimited vs zero quota."
+            ),
+        }
+    }
+
+
 def bench_telemetry(scale: str) -> dict:
     """Telemetry bus overhead + coordinated-vs-independent shard QoS.
 
@@ -1399,7 +1606,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr6.json"),
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr7.json"),
     )
     parser.add_argument("--scale", choices=("fast", "full"), default="fast")
     parser.add_argument(
@@ -1421,7 +1628,7 @@ def main(argv=None) -> int:
         "--only",
         default=None,
         choices=("matmul", "explicit", "e2e", "serving", "adaptive",
-                 "chaos", "telemetry", "suite"),
+                 "chaos", "lifelines", "telemetry", "suite"),
         help="run a single arm by name",
     )
     parser.add_argument(
@@ -1472,6 +1679,10 @@ def main(argv=None) -> int:
             print("running chaos (goodput under replica churn) benchmarks...",
                   flush=True)
             results["benchmarks"].update(bench_chaos(args.scale))
+        if wanted("lifelines"):
+            print("running lifelines (deadline/loris/disk) benchmarks...",
+                  flush=True)
+            results["benchmarks"].update(bench_lifelines(args.scale))
     if not args.skip_telemetry and wanted("telemetry"):
         print("running telemetry (bus overhead + coordination) benchmarks...",
               flush=True)
@@ -1480,28 +1691,30 @@ def main(argv=None) -> int:
         print("running experiment-suite benchmarks...", flush=True)
         results["benchmarks"].update(bench_suite(args.scale, args.workers))
 
-    pr5_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr5.json")
-    comparison = _compare_to_previous(results["benchmarks"], pr5_path, "pr5")
+    pr6_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr6.json")
+    comparison = _compare_to_previous(results["benchmarks"], pr6_path, "pr6")
     if comparison:
-        results["comparison_to_pr5"] = comparison
-    # The chaos arm's no-fault baseline must hold parity with PR 5's
-    # adaptive-serving arm (same stack recipe, same budget rule).
+        results["comparison_to_pr6"] = comparison
+    # The lifelines arm's expiry-off baseline must hold parity with PR 6's
+    # chaos arm no-fault baseline (same stack recipe, open-loop drive).
     try:
-        chaos_arm = results["benchmarks"].get("serving_chaos")
-        if chaos_arm is not None and "baseline" in chaos_arm:
-            with open(pr5_path) as handle:
-                pr5_arm = json.load(handle)["benchmarks"]["serving_adaptive"]
-            pr5_adaptive = pr5_arm["adaptive"]["goodput_per_s"]
-            pr5_fraction = pr5_adaptive / pr5_arm["offered_rate_per_s"]
-            chaos_arm["bench_pr5_adaptive_goodput_per_s"] = pr5_adaptive
-            chaos_arm["bench_pr5_adaptive_good_fraction"] = pr5_fraction
-            # Rate-normalized: the arms offer different absolute rates,
-            # so compare good responses per offered request.
-            baseline_fraction = chaos_arm["baseline"]["within_budget"] / max(
-                chaos_arm["baseline"]["offered"], 1
+        lifelines_arm = results["benchmarks"].get("serving_lifelines")
+        if lifelines_arm is not None and "expiry_cancel_off" in lifelines_arm:
+            with open(pr6_path) as handle:
+                pr6_arm = json.load(handle)["benchmarks"]["serving_chaos"]
+            pr6_baseline = pr6_arm["baseline"]
+            pr6_fraction = pr6_baseline["within_budget"] / max(
+                pr6_baseline["offered"], 1
             )
-            chaos_arm["baseline_vs_pr5_adaptive_good_fraction"] = (
-                baseline_fraction / pr5_fraction
+            lifelines_arm["bench_pr6_chaos_baseline_good_fraction"] = (
+                pr6_fraction
+            )
+            # Rate-normalized: the arms offer different absolute rates
+            # (and budgets), so compare good responses per offered request.
+            off = lifelines_arm["expiry_cancel_off"]
+            off_fraction = off["within_budget"] / max(off["offered"], 1)
+            lifelines_arm["expiry_off_vs_pr6_chaos_good_fraction"] = (
+                off_fraction / max(pr6_fraction, 1e-9)
             )
     except (OSError, ValueError, KeyError):
         pass

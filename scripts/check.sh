@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 repo check: byte-compile the package and run the fast test profile.
 #
-# Usage: scripts/check.sh [--serve|--telemetry|--chaos|--soak] [extra args...]
+# Usage: scripts/check.sh [--serve|--telemetry|--chaos|--soak|--soak-long]
+#                         [extra args...]
 # Examples:
 #   scripts/check.sh                 # compileall + fast tier-1 tests
 #   scripts/check.sh --serve         # compileall + the opt-in serve lane
@@ -15,6 +16,9 @@
 #   scripts/check.sh --soak          # timed soak: full stack under churn
 #                                    # (extra args go to repro.chaos.soak,
 #                                    # e.g. --soak --duration 300)
+#   scripts/check.sh --soak-long     # soak with the trend profile: RSS and
+#                                    # spool growth sampled and asserted
+#                                    # bounded, network+disk faults on
 #   scripts/check.sh -m slow         # compileall + the slow lane
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,6 +46,9 @@ elif [[ "${1:-}" == "--chaos" ]]; then
 elif [[ "${1:-}" == "--soak" ]]; then
     shift
     python -m repro.chaos.soak "$@"
+elif [[ "${1:-}" == "--soak-long" ]]; then
+    shift
+    python -m repro.chaos.soak --long "$@"
 else
     python -m pytest -x -q "$@"
 fi

@@ -15,6 +15,13 @@ reproducible from its seed:
   but-not-dead failure mode the staleness horizon exists for).
 * :class:`ClockPerturber` -- a forward-skewing clock plus a latency
   wrapper for batch runners, perturbing QoS ticks and batch timing.
+* :class:`NetworkMangler` -- the HTTP-client-path fault class: slow-loris
+  header drips, byte-drip response readers, half-open connections
+  (connect, then silence), and mid-body disconnects (RST after a partial
+  request body).
+* :class:`DiskFiller` -- squeezes :class:`repro.utils.diskbudget.DiskBudget`
+  quotas down (and restores them), the disk-exhaustion fault class for
+  spools, exchanges and stores.
 
 Actors only *inject*; they never assert.  The invariant checks live in
 :mod:`repro.chaos.invariants` and the composition (what fires when) in
@@ -26,6 +33,8 @@ from __future__ import annotations
 import os
 import random
 import signal
+import socket
+import struct
 import threading
 import time
 
@@ -182,6 +191,222 @@ class SpoolCorruptor:
             return False
         self.corrupted.append((path, "document"))
         return True
+
+
+class NetworkMangler:
+    """Misbehaving HTTP clients, as injectable faults against a front-end.
+
+    Every method opens a *real* TCP connection to ``(host, port)`` and
+    abuses it the way broken or malicious clients do.  The front-end's
+    hardening (read/write timeouts, header caps, connection cap with
+    idle eviction) must reclaim every connection these methods park; the
+    conformance tests assert the cap never leaks and well-behaved traffic
+    keeps flowing alongside.
+
+    All methods are best-effort and never raise (a refused or reset
+    connection just means the server already defended itself); each
+    records what it did in :attr:`mangled`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        rng: random.Random | None = None,
+        connect_timeout_s: float = 5.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.rng = rng or random.Random(0)
+        self.connect_timeout_s = float(connect_timeout_s)
+        #: ``(mode, detail)`` per injection, in order.
+        self.mangled: list[tuple[str, str]] = []
+        self._lock = threading.Lock()
+        self._held: list[socket.socket] = []
+
+    def _connect(self) -> socket.socket | None:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError:
+            return None
+        return sock
+
+    def _record(self, mode: str, detail: str = "") -> None:
+        with self._lock:
+            self.mangled.append((mode, detail))
+
+    def _hold(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._held.append(sock)
+
+    # -- the fault modes ---------------------------------------------------
+    def slow_loris(self, header_bytes: int = 24) -> bool:
+        """Drip a partial request header, then park the connection open.
+
+        The classic connection-exhaustion attack: the request never
+        completes, so a front-end without read timeouts / idle eviction
+        holds the connection forever.
+        """
+        sock = self._connect()
+        if sock is None:
+            return False
+        try:
+            drip = (
+                b"POST /v1/models/x:predict HTTP/1.1\r\n"
+                b"X-Drip: " + b"a" * max(1, header_bytes)
+            )
+            sock.sendall(drip)  # no terminating CRLFCRLF, ever
+        except OSError:
+            sock.close()
+            return False
+        self._hold(sock)
+        self._record("slow_loris", f"{header_bytes} header bytes, parked")
+        return True
+
+    def half_open(self) -> bool:
+        """Connect and go silent: not one byte, no FIN, no RST.
+
+        Models a peer whose network vanished (pulled cable, dead NAT
+        mapping).  Only the server's header-read timeout can reclaim it.
+        """
+        sock = self._connect()
+        if sock is None:
+            return False
+        self._hold(sock)
+        self._record("half_open", "connected, silent")
+        return True
+
+    def mid_body_disconnect(self, declared_bytes: int = 4096) -> bool:
+        """Send headers declaring a body, half the body, then RST.
+
+        ``SO_LINGER`` zero makes the close a hard RST, not a graceful
+        FIN: the server's ``readexactly`` sees a reset mid-request and
+        must account the connection without a response.
+        """
+        sock = self._connect()
+        if sock is None:
+            return False
+        try:
+            head = (
+                b"POST /v1/models/x:predict HTTP/1.1\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(declared_bytes).encode() + b"\r\n"
+                b"\r\n"
+            )
+            sock.sendall(head + b"{" + b" " * (declared_bytes // 2))
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:
+            sock.close()
+            return False
+        sock.close()
+        self._record("mid_body_disconnect", f"declared {declared_bytes}")
+        return True
+
+    def byte_drip_reader(self, path: str = "/v1/metrics") -> bool:
+        """Issue a full request, then stop reading the response.
+
+        With a tiny receive buffer the server's response write stalls in
+        its send buffer; the write timeout must reclaim the connection
+        instead of blocking the handler forever.
+        """
+        sock = self._connect()
+        if sock is None:
+            return False
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1)
+            request = (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {self.host}\r\n"
+                f"Connection: keep-alive\r\n\r\n"
+            ).encode()
+            sock.sendall(request)
+        except OSError:
+            sock.close()
+            return False
+        self._hold(sock)  # never read: the response wedges in flight
+        self._record("byte_drip_reader", path)
+        return True
+
+    def inject(self) -> str | None:
+        """Fire one seeded-choice fault mode (the schedule's entry point)."""
+        modes = (
+            self.slow_loris,
+            self.half_open,
+            self.mid_body_disconnect,
+            self.byte_drip_reader,
+        )
+        mode = modes[self.rng.randrange(len(modes))]
+        return mode.__name__ if mode() else None
+
+    def release_all(self) -> int:
+        """Close every parked connection (the faults lift)."""
+        with self._lock:
+            held, self._held = self._held, []
+        for sock in held:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return len(held)
+
+
+class DiskFiller:
+    """Quota squeeze against the :class:`~repro.utils.diskbudget.DiskBudget`
+    layer: the injectable form of a disk filling up.
+
+    Rather than actually exhausting the filesystem (slow, dangerous,
+    unkillable in CI), the filler shrinks budgets to (at or below) their
+    current usage -- every subsequent write is over quota, exactly the
+    degrade path real ENOSPC exercises through ``note_enospc``.
+    :meth:`restore` lifts the fault, and recovery must follow.
+    """
+
+    def __init__(self, rng: random.Random | None = None):
+        self.rng = rng or random.Random(0)
+        self._originals: dict[int, tuple[object, int]] = {}
+        self._lock = threading.Lock()
+        #: ``(budget name, squeezed-to bytes)`` per squeeze, in order.
+        self.squeezed: list[tuple[str, int]] = []
+
+    def squeeze(self, budget, to_bytes: int | None = None) -> int:
+        """Shrink ``budget`` so current usage (or ``to_bytes``) is the cap.
+
+        Remembers the original quota (first squeeze wins) for
+        :meth:`restore`.
+        """
+        with self._lock:
+            key = id(budget)
+            if key not in self._originals:
+                self._originals[key] = (budget, budget.max_bytes)
+        if to_bytes is None:
+            # At-or-below current usage: the very next write is denied.
+            to_bytes = max(1, budget.usage_bytes(refresh=True) // 2)
+        budget.set_max_bytes(int(to_bytes))
+        self.squeezed.append((budget.name, int(to_bytes)))
+        return int(to_bytes)
+
+    def squeeze_one(self, budgets) -> str | None:
+        """Squeeze one seeded-choice budget from ``budgets``."""
+        budgets = sorted(budgets, key=lambda budget: budget.name)
+        if not budgets:
+            return None
+        victim = budgets[self.rng.randrange(len(budgets))]
+        self.squeeze(victim)
+        return victim.name
+
+    def restore(self) -> int:
+        """Put every squeezed budget back to its original quota."""
+        with self._lock:
+            originals, self._originals = self._originals, {}
+        for budget, max_bytes in originals.values():
+            budget.set_max_bytes(max_bytes)
+        return len(originals)
 
 
 class ClockPerturber:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 
 from repro.chaos.invariants import ResponseLedger
+from repro.serve.deadline import Deadline, DeadlineExceeded
 
 
 class ServingStack:
@@ -107,6 +108,7 @@ def drive_open_loop(
     budget_s: float = 1.0,
     ledger: ResponseLedger | None = None,
     settle_timeout_s: float = 120.0,
+    deadline_ms=None,
 ) -> dict:
     """Open-loop single-image arrivals, every outcome ledgered.
 
@@ -115,6 +117,12 @@ def drive_open_loop(
     exceptions -- both are *explicit errors* (the request was admitted and
     resolved), which is what the ledger verifies.  Returns the drive
     summary including within-budget goodput.
+
+    ``deadline_ms`` attaches a deadline to each submitted request: a
+    number applies uniformly, a callable is invoked with the request index
+    (for mixed-deadline traffic) and may return ``None`` for no deadline.
+    Requests the batcher cancels at expiry resolve as the ledger's
+    ``expired`` outcome and are reported separately from errors.
     """
     ledger = ledger if ledger is not None else ResponseLedger()
     state = {
@@ -123,6 +131,7 @@ def drive_open_loop(
         "shed": 0,
         "errored": 0,
         "completed": [],  # (latency,) tuples appended by callbacks
+        "expired": [],  # one entry per deadline-expired request
     }
     images = stack.images
     admission = stack.admission
@@ -153,9 +162,15 @@ def drive_open_loop(
             ledger.shed_one()
             continue
         ledger.admit(request_id)
+        budget_ms = deadline_ms(index - 1) if callable(deadline_ms) else (
+            deadline_ms
+        )
+        deadline = (
+            Deadline.after_ms(budget_ms) if budget_ms is not None else None
+        )
         issued = time.perf_counter()
         try:
-            future = stack.batcher.submit(image, size=1)
+            future = stack.batcher.submit(image, size=1, deadline=deadline)
         except Exception:
             # An explicit, immediate error (e.g. batcher closed by a
             # fault): the admitted request is resolved as errored.
@@ -167,7 +182,14 @@ def drive_open_loop(
         ledger.attach(request_id, future, admission=admission)
 
         def on_done(done, issued=issued):
-            if done.cancelled() or done.exception() is not None:
+            # list.append is atomic; callbacks fire from batcher threads.
+            if done.cancelled():
+                return
+            exc = done.exception()
+            if isinstance(exc, DeadlineExceeded):
+                state["expired"].append(1)
+                return
+            if exc is not None:
                 return
             state["completed"].append(time.perf_counter() - issued)
 
@@ -188,16 +210,114 @@ def drive_open_loop(
         time.sleep(0.01)
     elapsed = time.perf_counter() - started
     latencies = sorted(state["completed"])
+    expired = len(state["expired"])
     within = sum(1 for latency in latencies if latency <= budget_s)
     return {
         "offered": state["offered"],
         "shed": state["shed"],
         "admitted": state["admitted"] + state["errored"],
         "completed": len(latencies),
-        "errored": state["offered"] - state["shed"] - len(latencies),
+        "expired": expired,
+        "errored": (
+            state["offered"] - state["shed"] - len(latencies) - expired
+        ),
         "within_budget": within,
         "elapsed_s": elapsed,
         "goodput_images_per_s": within / max(elapsed, 1e-9),
         "throughput_images_per_s": len(latencies) / max(elapsed, 1e-9),
         "p99_s": latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0.0,
     }
+
+
+class HttpStack:
+    """A real :class:`~repro.serve.server.NBSMTServer` on a background
+    event-loop thread, for faults that need actual TCP sockets.
+
+    :class:`~repro.chaos.actors.NetworkMangler` abuses live connections
+    (slow-loris, half-open, byte-drip), so the in-process
+    :class:`ServingStack` cannot host it -- this helper runs the full HTTP
+    front-end (socket hardening included) and exposes the address, the
+    server object (for connection/eviction counters), and a blocking
+    :meth:`probe` that well-behaved traffic uses to prove the server kept
+    serving alongside the mangled connections.
+    """
+
+    def __init__(
+        self,
+        model: str = "resnet18",
+        scale: str = "fast",
+        threads: int = 2,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 64,
+        provider=None,
+        warm: bool = True,
+        start_timeout_s: float = 600.0,
+        **server_kwargs,
+    ):
+        import asyncio
+        import threading
+
+        from repro.serve.registry import default_registry
+        from repro.serve.server import NBSMTServer
+
+        self.registry = default_registry(
+            models=[model],
+            threads=threads,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+        )
+        from repro.serve.pool import EnginePool
+
+        pool = EnginePool(
+            self.registry, scale=scale, provider=provider, warm=warm
+        )
+        self.server = NBSMTServer(
+            self.registry, pool=pool, port=0, **server_kwargs
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True, name="chaos-http"
+        )
+        self._thread.start()
+        self._on_loop(self.server.start(), timeout=start_timeout_s)
+        self.host = self.server.host
+        self.port = self.server.port
+
+    def _on_loop(self, coroutine, timeout: float = 300.0):
+        import asyncio
+
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop
+        ).result(timeout)
+
+    def probe(
+        self, name: str, image, deadline_ms: float | None = None,
+        timeout_s: float = 60.0,
+    ) -> tuple[int, dict]:
+        """One well-behaved ``:predict`` over a fresh connection."""
+        import http.client
+
+        from repro.serve.client import predict_once
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout_s
+        )
+        try:
+            return predict_once(
+                connection, name, image, deadline_ms=deadline_ms
+            )
+        finally:
+            connection.close()
+
+    def connection_stats(self) -> dict:
+        return self.server.connection_stats()
+
+    def close(self) -> None:
+        try:
+            self._on_loop(self.server.stop(), timeout=60.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30.0)
+            self._loop.close()

@@ -17,8 +17,11 @@ from __future__ import annotations
 
 import threading
 
-#: Terminal outcomes a ledger accepts for an admitted request.
-OUTCOMES = ("ok", "error")
+#: Terminal outcomes a ledger accepts for an admitted request.  ``expired``
+#: is an *explicit* answer too: the batcher cancelled the request before
+#: compute because its deadline passed, and the client was told so -- shed
+#: accounting, never a silent drop.
+OUTCOMES = ("ok", "error", "expired")
 
 
 class LedgerViolation(AssertionError):
@@ -63,16 +66,28 @@ class ResponseLedger:
         """Resolve ``request_id`` from ``future``'s terminal state.
 
         A cancelled future or one carrying an exception is an *explicit
-        error* (the client observed a failure); a result is ``ok``.
-        ``admission`` (an :class:`~repro.serve.registry.AdmissionController`)
-        is released exactly once, whatever the outcome.
+        error* (the client observed a failure) -- except
+        :class:`~repro.serve.deadline.DeadlineExceeded`, which maps to the
+        ``expired`` outcome (the batcher shed the dead request before
+        compute and said so).  A result is ``ok``.  ``admission`` (an
+        :class:`~repro.serve.registry.AdmissionController`) is released
+        exactly once, whatever the outcome.
         """
+        from repro.serve.deadline import DeadlineExceeded
 
         def on_done(done):
             if admission is not None:
                 admission.release(images)
-            failed = done.cancelled() or done.exception() is not None
-            self.resolve(request_id, "error" if failed else "ok")
+            if done.cancelled():
+                self.resolve(request_id, "error")
+                return
+            exc = done.exception()
+            if exc is None:
+                self.resolve(request_id, "ok")
+            elif isinstance(exc, DeadlineExceeded):
+                self.resolve(request_id, "expired")
+            else:
+                self.resolve(request_id, "error")
 
         future.add_done_callback(on_done)
 
@@ -91,6 +106,7 @@ class ResponseLedger:
                 "resolved": len(self._outcomes),
                 "ok": outcomes.count("ok"),
                 "error": outcomes.count("error"),
+                "expired": outcomes.count("expired"),
             }
 
     def violations(self) -> list[str]:

@@ -217,6 +217,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.policy is not None:
         overrides["policy"] = args.policy
     registry = default_registry(models=args.models or ["resnet18"], **overrides)
+    spool_budget_bytes = int(args.spool_budget_mb * 1024 * 1024)
     if args.shards > 1:
         from repro.serve.sharding import run_sharded
 
@@ -229,6 +230,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fork_workers=args.fork_workers,
             exchange_dir=args.telemetry_dir,
             coordinate=not args.no_coordinate,
+            exchange_budget_bytes=spool_budget_bytes,
+            max_connections=args.max_connections,
         )
         return 0
     run_server(
@@ -238,6 +241,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         telemetry_dir=args.telemetry_dir,
+        max_connections=args.max_connections,
+        spool_budget_bytes=spool_budget_bytes,
     )
     return 0
 
@@ -275,6 +280,11 @@ def _cmd_client(args: argparse.Namespace) -> int:
     dataset = load_dataset(fast=(args.scale == "fast"))
     images = dataset.val_images[: args.pool_images]
     labels = dataset.val_labels[: args.pool_images]
+    retry = None
+    if args.retries > 0:
+        from repro.serve.client import RetryPolicy
+
+        retry = RetryPolicy(max_retries=args.retries)
     report = run_load(
         args.url,
         args.model,
@@ -286,6 +296,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
         mode=args.mode,
         rate=args.rate,
         latency_budget_ms=args.latency_budget_ms,
+        deadline_ms=args.deadline_ms,
+        retry=retry,
     )
     summary = report.summary()
     rows = [(key, f"{value:.4g}" if isinstance(value, float) else str(value))
@@ -443,6 +455,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --shards: let every shard walk its QoS ladder "
         "independently instead of following the service-wide coordinator",
     )
+    serve_parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=256,
+        help="open-connection cap per front-end process; beyond it the "
+        "idlest parked connection is evicted (slow-loris defense)",
+    )
+    serve_parser.add_argument(
+        "--spool-budget-mb",
+        type=float,
+        default=0.0,
+        help="disk budget for the telemetry spool (and, with --shards, the "
+        "metrics exchange); over budget the writer degrades to "
+        "count-and-drop instead of filling the disk (0 = unlimited)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     dash_parser = subparsers.add_parser(
@@ -498,6 +525,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-metrics",
         action="store_true",
         help="also fetch and summarize the server-side /v1/metrics",
+    )
+    client_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="attach a per-request deadline (X-Deadline-Ms); each retry "
+        "carries the remaining budget, 504s count as expired",
+    )
+    client_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry budget per request for sheds (429, honoring "
+        "Retry-After) and transport errors, on capped exponential "
+        "backoff with jitter and a stable idempotency key",
     )
     client_parser.set_defaults(func=_cmd_client)
     return parser

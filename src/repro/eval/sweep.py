@@ -174,11 +174,24 @@ def _normalize(payload: dict) -> dict:
 
 
 class PointStore:
-    """Content-addressed JSON store of computed sweep points (per scale)."""
+    """Content-addressed JSON store of computed sweep points (per scale).
 
-    def __init__(self, scale: str, root: Path | str | None = None):
+    The store may carry a :class:`repro.utils.diskbudget.DiskBudget`: a
+    save that would bust the quota (or hits real ENOSPC) is *refused and
+    counted* (``refused_writes``) while reads keep serving -- disk
+    exhaustion degrades persistence (the point is recomputed next
+    session), never correctness (the normalized payload is still
+    returned, so the in-flight sweep proceeds with the exact values a
+    store round-trip would have produced).
+    """
+
+    def __init__(
+        self, scale: str, root: Path | str | None = None, budget=None
+    ):
         base = Path(root) if root is not None else default_cache_dir()
         self.dir = base / "results" / "points" / scale
+        self.budget = budget
+        self.refused_writes = 0
 
     def path(self, point: SweepPoint) -> Path:
         return self.dir / f"{point.key}.json"
@@ -194,7 +207,11 @@ class PointStore:
             return None
 
     def save(self, point: SweepPoint, payload: dict, session_id: str) -> dict:
-        """Atomically persist one point; returns the normalized payload."""
+        """Atomically persist one point; returns the normalized payload.
+
+        Under a full disk (quota or ENOSPC) the write is refused with a
+        counter and the normalized payload is returned un-persisted.
+        """
         normalized = _normalize(payload)
         self.dir.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -203,13 +220,33 @@ class PointStore:
             "result": normalized,
         }
         path = self.path(point)
+        if self.budget is not None:
+            document = json.dumps(entry, indent=1)
+            if not self.budget.admit(len(document)):
+                self.refused_writes += 1
+                return normalized
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            # No sort_keys: loaded payloads must preserve the exact key
-            # order of the normalized in-memory payload, or store-served
-            # runs would reduce dicts in a different order than serial ones.
-            json.dump(entry, handle, indent=1)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                # No sort_keys: loaded payloads must preserve the exact key
+                # order of the normalized in-memory payload, or store-served
+                # runs would reduce dicts in a different order than serial
+                # ones.
+                json.dump(entry, handle, indent=1)
+            os.replace(tmp, path)
+        except OSError as exc:
+            from repro.utils.diskbudget import is_enospc
+
+            if is_enospc(exc):
+                self.refused_writes += 1
+                if self.budget is not None:
+                    self.budget.note_enospc()
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return normalized
+            raise
         return normalized
 
     def discard(self, point: SweepPoint) -> None:

@@ -20,6 +20,15 @@ Requests may carry micro-batches (``size > 1``).  Requests are atomic --
 one is never split across engine calls; a request that would overflow the
 current batch is carried over to start the next one.
 
+Requests may also carry a :class:`~repro.serve.deadline.Deadline`.  An
+expired request is cancelled at batch-assembly time -- *before* engine
+compute -- by resolving its future with
+:class:`~repro.serve.deadline.DeadlineExceeded` and counting it
+(``expired_requests`` / ``expired_images``, plus the ``on_expire`` hook).
+Under overload this is the difference between goodput and busywork: the
+engine's scarce capacity goes to requests whose clients are still
+waiting, never to the dead.
+
 The batcher is synchronous at its core (``submit`` returns a
 ``concurrent.futures.Future``); the asyncio front-end bridges with
 ``asyncio.wrap_future``, and tests/benchmarks drive it directly.
@@ -32,6 +41,8 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+
+from repro.serve.deadline import Deadline, DeadlineExceeded
 
 
 class BatcherClosed(RuntimeError):
@@ -50,6 +61,7 @@ class BatchRequest:
     size: int = 1
     enqueued_at: float = 0.0
     future: Future = field(default_factory=Future)
+    deadline: Deadline | None = None
 
 
 @dataclass
@@ -85,6 +97,13 @@ class DynamicBatcher:
     on_batch:
         Optional hook called with a :class:`BatchReport` after each batch
         executes (before request futures resolve).
+    on_expire:
+        Optional hook called with each expired :class:`BatchRequest` as it
+        is cancelled (after its future resolves with
+        :class:`~repro.serve.deadline.DeadlineExceeded`).
+    clock:
+        Monotonic clock used for every expiry decision; injectable so
+        chaos tests drive deadlines deterministically.
     workers:
         Batch-assembly worker threads.  One (the default) is right for a
         single in-process replica; with several replicas behind the runner
@@ -104,9 +123,11 @@ class DynamicBatcher:
         max_wait: float = 0.005,
         max_queue: int = 0,
         on_batch=None,
+        on_expire=None,
         workers: int = 1,
         autostart: bool = True,
         name: str = "batcher",
+        clock=time.monotonic,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -117,11 +138,15 @@ class DynamicBatcher:
         self.max_wait = float(max_wait)
         self.max_queue = int(max_queue)
         self.on_batch = on_batch
+        self.on_expire = on_expire
         self.workers = int(workers)
         self.name = name
+        self.clock = clock
         self._queue: queue_module.Queue = queue_module.Queue()
         self._lock = threading.Lock()
         self._pending_images = 0
+        self.expired_requests = 0
+        self.expired_images = 0
         self._closed = False
         self._drain = True
         self._threads: list[threading.Thread] = []
@@ -180,7 +205,7 @@ class DynamicBatcher:
         counts), so it underestimates slightly but needs no extra
         bookkeeping on the hot path.
         """
-        now = time.monotonic()
+        now = self.clock()
         with self._queue.mutex:
             for item in self._queue.queue:
                 if item is not _STOP:
@@ -188,11 +213,20 @@ class DynamicBatcher:
         return 0.0
 
     # -- submission --------------------------------------------------------
-    def submit(self, payload, size: int = 1) -> Future:
-        """Queue one request; resolves to ``runner``'s result for it."""
+    def submit(
+        self, payload, size: int = 1, deadline: Deadline | None = None
+    ) -> Future:
+        """Queue one request; resolves to ``runner``'s result for it.
+
+        A request carrying a ``deadline`` that expires while queued is
+        cancelled before compute: its future resolves with
+        :class:`~repro.serve.deadline.DeadlineExceeded` instead.
+        """
         if size < 1:
             raise ValueError("size must be >= 1")
-        request = BatchRequest(payload, int(size), enqueued_at=time.monotonic())
+        request = BatchRequest(
+            payload, int(size), enqueued_at=self.clock(), deadline=deadline
+        )
         with self._lock:
             if self._closed:
                 raise BatcherClosed(f"{self.name} is closed")
@@ -205,6 +239,33 @@ class DynamicBatcher:
             self._queue.put(request)
         return request.future
 
+    # -- expiry ------------------------------------------------------------
+    def _expired(self, request: BatchRequest) -> bool:
+        return request.deadline is not None and request.deadline.expired(
+            self.clock
+        )
+
+    def _expire(self, request: BatchRequest) -> None:
+        """Cancel one expired request: counted, resolved, never computed."""
+        with self._lock:
+            self._pending_images -= request.size
+            self.expired_requests += 1
+            self.expired_images += request.size
+        if not request.future.cancelled():
+            late_by = -request.deadline.remaining_s(self.clock)
+            request.future.set_exception(
+                DeadlineExceeded(
+                    f"{self.name}: deadline expired "
+                    f"{late_by * 1000.0:.1f}ms before compute",
+                    late_by_s=late_by,
+                )
+            )
+        if self.on_expire is not None:
+            try:
+                self.on_expire(request)
+            except Exception:  # noqa: BLE001 - hooks never break the worker
+                pass
+
     # -- worker ------------------------------------------------------------
     def _worker(self) -> None:
         carry: BatchRequest | None = None
@@ -216,8 +277,16 @@ class DynamicBatcher:
                 if item is _STOP:
                     return
                 first = item
+            # The head request may have died waiting (carry-over included:
+            # it waited out a whole previous batch).  Expire it here, ahead
+            # of assembly, so a dead head never anchors a batch's wait
+            # budget.
+            if self._expired(first):
+                self._expire(first)
+                continue
             batch, images, carry = self._collect(first)
-            self._run_batch(batch, images)
+            if batch:
+                self._run_batch(batch, images)
 
     def _collect(
         self, first: BatchRequest
@@ -226,9 +295,9 @@ class DynamicBatcher:
         batch = [first]
         images = first.size
         carry: BatchRequest | None = None
-        deadline = first.enqueued_at + self.max_wait
+        flush_at = first.enqueued_at + self.max_wait
         while images < self.max_batch:
-            timeout = deadline - time.monotonic()
+            timeout = flush_at - self.clock()
             try:
                 if timeout > 0:
                     item = self._queue.get(timeout=timeout)
@@ -243,6 +312,10 @@ class DynamicBatcher:
                 # so re-queueing keeps it for this worker's exit.
                 self._queue.put(_STOP)
                 break
+            if self._expired(item):
+                # Dead on arrival at assembly: cancel instead of computing.
+                self._expire(item)
+                continue
             if images + item.size > self.max_batch:
                 carry = item
                 break
@@ -253,7 +326,7 @@ class DynamicBatcher:
     def _run_batch(self, batch: list[BatchRequest], images: int) -> None:
         with self._lock:
             self._pending_images -= images
-        started = time.monotonic()
+        started = self.clock()
         try:
             results = self.runner([request.payload for request in batch])
             if len(results) != len(batch):
@@ -266,7 +339,7 @@ class DynamicBatcher:
                 if not request.future.cancelled():
                     request.future.set_exception(exc)
             return
-        finished = time.monotonic()
+        finished = self.clock()
         if self.on_batch is not None:
             self.on_batch(
                 BatchReport(
@@ -298,9 +371,14 @@ class DynamicBatcher:
                     not chunk or images + leftovers[0].size <= self.max_batch
                 ):
                     request = leftovers.pop(0)
+                    if self._expired(request):
+                        # Draining serves the waiting, not the dead.
+                        self._expire(request)
+                        continue
                     chunk.append(request)
                     images += request.size
-                self._run_batch(chunk, images)
+                if chunk:
+                    self._run_batch(chunk, images)
         else:
             for request in leftovers:
                 with self._lock:

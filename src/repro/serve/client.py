@@ -20,18 +20,111 @@ one of two arrival modes:
 Latencies are measured end-to-end per request; the summary reports p50/p99,
 throughput, goodput, the rejection rate and (when labels are supplied)
 top-1 accuracy of the served predictions.
+
+Request lifelines (PR 7): requests may carry a deadline
+(``X-Deadline-Ms``) and retries ride a :class:`RetryPolicy` --
+capped-exponential backoff with seeded jitter, honoring the server's
+``Retry-After``/``retry_after_ms`` shed advice, budgeted by the deadline
+(no retry is ever sent after the deadline would already have passed), and
+keyed by a stable idempotency key so a retried request never
+double-resolves server-side.  Terminal sheds (429) and expiries (504)
+are counted separately from errors in the goodput summary.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from urllib.parse import urlsplit
 
 import numpy as np
+
+from repro.serve.deadline import DEADLINE_HEADER, IDEMPOTENCY_HEADER
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter, deadline-budgeted.
+
+    ``base_delay_ms(attempt)`` is the *monotone* capped-exponential
+    schedule (attempt 0 = first retry); :meth:`delay_ms` layers the
+    server's ``Retry-After`` advice (never retry sooner than asked) and
+    seeded jitter (de-synchronizing a thundering herd) on top.
+    """
+
+    max_retries: int = 0
+    base_backoff_ms: float = 25.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 2000.0
+    jitter: float = 0.1
+
+    def base_delay_ms(self, attempt: int) -> float:
+        """The un-jittered backoff of retry ``attempt`` (monotone, capped)."""
+        exponent = max(0, int(attempt))
+        return float(
+            min(
+                self.max_backoff_ms,
+                self.base_backoff_ms * (self.multiplier**exponent),
+            )
+        )
+
+    def delay_ms(
+        self,
+        attempt: int,
+        rng: random.Random | None = None,
+        retry_after_ms: float | None = None,
+    ) -> float:
+        """The actual sleep before retry ``attempt``.
+
+        The server's advice is a *floor* (it knows its batching window);
+        jitter spreads the base backoff by ``±jitter``.
+        """
+        delay = self.base_delay_ms(attempt)
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        if retry_after_ms is not None:
+            delay = max(delay, float(retry_after_ms))
+        return max(0.0, delay)
+
+    def should_retry(
+        self,
+        attempt: int,
+        delay_ms: float,
+        deadline_remaining_ms: float | None,
+    ) -> bool:
+        """Whether retry ``attempt`` fits the budget.
+
+        A retry is pointless (and forbidden) once the request's deadline
+        would already have passed when the retry lands.
+        """
+        if attempt >= self.max_retries:
+            return False
+        if deadline_remaining_ms is not None:
+            return delay_ms < deadline_remaining_ms
+        return True
+
+
+def _retry_after_ms(payload: dict, headers) -> float | None:
+    """The server's shed advice: ``retry_after_ms`` body field wins over
+    the coarser (whole-seconds) ``Retry-After`` header."""
+    value = payload.get("retry_after_ms") if isinstance(payload, dict) else None
+    if value is not None:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            pass
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is not None:
+        try:
+            return float(raw) * 1000.0
+        except (TypeError, ValueError):
+            pass
+    return None
 
 
 @dataclass
@@ -51,6 +144,13 @@ class LoadReport:
     latency_budget_s: float | None = None
     within_budget: int = 0
     late_arrivals: int = 0
+    #: Requests the server answered ``deadline_exceeded`` (504) for --
+    #: shed work, distinct from transport/server *errors*.
+    expired: int = 0
+    #: Retry attempts sent on top of the first attempts (backoff-paced).
+    retries_sent: int = 0
+    #: Requests whose retry budget ran out on sheds (terminal 429s).
+    retry_exhausted: int = 0
 
     @property
     def throughput_images_per_s(self) -> float:
@@ -86,8 +186,15 @@ class LoadReport:
             "mode": self.mode,
             "requests": self.requests,
             "images": self.images,
+            # Sheds (429 backpressure) and expiries (504 deadline) are the
+            # server working as designed under overload; "errors" is
+            # reserved for transport failures and 5xx surprises.
             "rejected": self.rejected,
+            "sheds": self.rejected,
+            "expired": self.expired,
             "errors": self.errors,
+            "retries_sent": self.retries_sent,
+            "retry_exhausted": self.retry_exhausted,
             "elapsed_s": self.elapsed_seconds,
             "throughput_images_per_s": self.throughput_images_per_s,
             "latency_p50_ms": self.latency_quantile(0.50) * 1000.0,
@@ -104,22 +211,49 @@ class LoadReport:
         return summary
 
 
-def predict_once(
+def predict_detailed(
     connection: http.client.HTTPConnection,
     endpoint: str,
     images: np.ndarray,
-) -> tuple[int, dict]:
-    """Issue one ``:predict`` call on an open keep-alive connection."""
+    *,
+    deadline_ms: float | None = None,
+    idempotency_key: str | None = None,
+):
+    """One ``:predict`` call; returns ``(status, payload, headers)``."""
     body = json.dumps({"inputs": images.tolist()})
+    headers = {"Content-Type": "application/json"}
+    if deadline_ms is not None:
+        headers[DEADLINE_HEADER] = f"{float(deadline_ms):g}"
+    if idempotency_key is not None:
+        headers[IDEMPOTENCY_HEADER] = idempotency_key
     connection.request(
         "POST",
         f"/v1/models/{endpoint}:predict",
         body=body,
-        headers={"Content-Type": "application/json"},
+        headers=headers,
     )
     response = connection.getresponse()
     payload = json.loads(response.read().decode("utf-8"))
-    return response.status, payload
+    return response.status, payload, response.headers
+
+
+def predict_once(
+    connection: http.client.HTTPConnection,
+    endpoint: str,
+    images: np.ndarray,
+    *,
+    deadline_ms: float | None = None,
+    idempotency_key: str | None = None,
+) -> tuple[int, dict]:
+    """Issue one ``:predict`` call on an open keep-alive connection."""
+    status, payload, _headers = predict_detailed(
+        connection,
+        endpoint,
+        images,
+        deadline_ms=deadline_ms,
+        idempotency_key=idempotency_key,
+    )
+    return status, payload
 
 
 def fetch_json(url: str, path: str) -> dict:
@@ -149,14 +283,25 @@ def run_load(
     mode: str = "closed",
     rate: float | None = None,
     latency_budget_ms: float | None = None,
+    deadline_ms: float | None = None,
+    retry: RetryPolicy | None = None,
+    seed: int = 0,
 ) -> LoadReport:
     """Drive ``requests`` predictions and report latencies.
 
     Each request carries ``batch_size`` images drawn round-robin from
-    ``images``; workers reuse one connection each.  A 429 response is
-    counted as a rejection and consumes its slot of the request budget
-    (shed requests are not re-sent), so ``report.requests + rejected +
-    errors == requests``.
+    ``images``; workers reuse one connection each.  Without a ``retry``
+    policy a 429 response is terminal: counted as a rejection, consuming
+    its slot of the request budget, so ``report.requests + rejected +
+    expired + errors == requests``.  With one, sheds and transport errors
+    are retried on the policy's backoff schedule (honoring the server's
+    ``Retry-After`` advice), each logical request keeps one idempotency
+    key across its attempts, and no retry is sent once the request's
+    deadline would already have passed.
+
+    ``deadline_ms`` attaches a per-request deadline; each attempt carries
+    the *remaining* budget, and a ``504 deadline_exceeded`` answer is
+    counted in ``expired`` (shed accounting, separate from errors).
 
     ``mode="closed"`` (default) issues back to back; ``mode="open"``
     issues on the fixed arrival schedule ``rate`` requests/second -- a
@@ -186,8 +331,9 @@ def run_load(
             counter["issued"] += 1
             return counter["issued"] - 1
 
-    def worker() -> None:
+    def worker(worker_index: int) -> None:
         connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        rng = random.Random((seed * 1_000_003) ^ worker_index)
         start_barrier.wait()
         try:
             while True:
@@ -210,43 +356,113 @@ def run_load(
                         [batch, images[: batch_size - batch.shape[0]]], axis=0
                     )
                 issued = time.monotonic()
-                try:
-                    status, payload = predict_once(connection, endpoint, batch)
-                except (OSError, http.client.HTTPException):
-                    connection.close()
-                    connection = http.client.HTTPConnection(
-                        host, port, timeout=timeout
-                    )
-                    with lock:
-                        report.errors += 1
-                    continue
-                latency = time.monotonic() - issued
-                with lock:
-                    if status == 200:
-                        report.requests += 1
-                        report.images += batch.shape[0]
-                        report.latencies_seconds.append(latency)
-                        if budget_s is not None and latency <= budget_s:
-                            report.within_budget += 1
-                        if labels is not None:
-                            expected = [
-                                int(labels[(start + offset) % images.shape[0]])
-                                for offset in range(batch.shape[0])
-                            ]
-                            report.labeled += len(expected)
-                            report.correct += sum(
-                                int(a == b)
-                                for a, b in zip(payload["argmax"], expected)
+                deadline_at = (
+                    issued + deadline_ms / 1000.0 if deadline_ms else None
+                )
+                # One idempotency key per *logical* request, stable across
+                # every retry attempt (the server dedupes on it).
+                key = (
+                    uuid.uuid4().hex
+                    if retry is not None and retry.max_retries > 0
+                    else None
+                )
+                attempt = 0
+                while True:
+                    remaining_ms = None
+                    if deadline_at is not None:
+                        remaining_ms = (deadline_at - time.monotonic()) * 1000.0
+                        if remaining_ms <= 0:
+                            # Dead before sending: the client gives up
+                            # without spending server capacity.
+                            with lock:
+                                report.expired += 1
+                            break
+                    try:
+                        status, payload, response_headers = predict_detailed(
+                            connection,
+                            endpoint,
+                            batch,
+                            deadline_ms=remaining_ms,
+                            idempotency_key=key,
+                        )
+                    except (OSError, http.client.HTTPException):
+                        connection.close()
+                        connection = http.client.HTTPConnection(
+                            host, port, timeout=timeout
+                        )
+                        if retry is not None:
+                            delay_ms = retry.delay_ms(attempt, rng)
+                            budget_left = (
+                                (deadline_at - time.monotonic()) * 1000.0
+                                if deadline_at is not None
+                                else None
                             )
-                    elif status == 429:
-                        report.rejected += 1
-                    else:
-                        report.errors += 1
+                            if retry.should_retry(attempt, delay_ms, budget_left):
+                                with lock:
+                                    report.retries_sent += 1
+                                time.sleep(delay_ms / 1000.0)
+                                attempt += 1
+                                continue
+                        with lock:
+                            report.errors += 1
+                        break
+                    latency = time.monotonic() - issued
+                    if status == 429 and retry is not None:
+                        delay_ms = retry.delay_ms(
+                            attempt,
+                            rng,
+                            _retry_after_ms(payload, response_headers),
+                        )
+                        budget_left = (
+                            (deadline_at - time.monotonic()) * 1000.0
+                            if deadline_at is not None
+                            else None
+                        )
+                        if retry.should_retry(attempt, delay_ms, budget_left):
+                            with lock:
+                                report.retries_sent += 1
+                            time.sleep(delay_ms / 1000.0)
+                            attempt += 1
+                            continue
+                        with lock:
+                            report.rejected += 1
+                            report.retry_exhausted += 1
+                        break
+                    with lock:
+                        if status == 200:
+                            report.requests += 1
+                            report.images += batch.shape[0]
+                            report.latencies_seconds.append(latency)
+                            if budget_s is not None and latency <= budget_s:
+                                report.within_budget += 1
+                            if labels is not None:
+                                expected = [
+                                    int(
+                                        labels[
+                                            (start + offset) % images.shape[0]
+                                        ]
+                                    )
+                                    for offset in range(batch.shape[0])
+                                ]
+                                report.labeled += len(expected)
+                                report.correct += sum(
+                                    int(a == b)
+                                    for a, b in zip(payload["argmax"], expected)
+                                )
+                        elif status == 429:
+                            report.rejected += 1
+                        elif status == 504:
+                            report.expired += 1
+                        else:
+                            report.errors += 1
+                    break
         finally:
             connection.close()
 
     threads = [
-        threading.Thread(target=worker, name=f"load-{index}", daemon=True)
+        threading.Thread(
+            target=worker, args=(index,), name=f"load-{index}", daemon=True
+        )
         for index in range(max(1, concurrency))
     ]
     for thread in threads:

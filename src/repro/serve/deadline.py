@@ -1,0 +1,99 @@
+"""Request deadlines: the lifeline every layer of the stack honors.
+
+A :class:`Deadline` is an *absolute* point on the monotonic clock by which
+a request must have been answered.  Clients attach one as a relative
+budget (``deadline_ms``, either an ``X-Deadline-Ms`` header or a
+``deadline_ms`` body field); the front-end pins it to the arrival instant
+and threads the same object through admission
+(:class:`~repro.serve.registry.AdmissionController` refuses already-dead
+arrivals), into the batcher
+(:class:`~repro.serve.batcher.DynamicBatcher` cancels expired requests
+*before* engine compute -- serving the dead wastes exactly the capacity an
+overloaded endpoint is short of), and back out as an explicit
+``deadline_exceeded`` response -- never a silent drop.
+
+Everything takes an injectable ``clock`` so chaos tests can drive expiry
+deterministically (see :class:`repro.chaos.actors.ClockPerturber`).
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Header carrying the client's relative deadline budget in milliseconds.
+DEADLINE_HEADER = "x-deadline-ms"
+
+#: Header carrying the client's idempotency key (stable across retries).
+IDEMPOTENCY_HEADER = "x-idempotency-key"
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before (or while) it was served.
+
+    Raised into a request's future by the batcher when it cancels an
+    expired request ahead of engine compute; mapped by the front-end to a
+    ``504 deadline_exceeded`` response and by the chaos ledger to the
+    ``expired`` outcome.
+    """
+
+    def __init__(self, message: str = "deadline exceeded",
+                 late_by_s: float = 0.0):
+        super().__init__(message)
+        self.late_by_s = float(late_by_s)
+
+
+class Deadline:
+    """An absolute monotonic-clock deadline.
+
+    Comparisons are against an injectable ``clock`` (defaulting to
+    ``time.monotonic``) so perturbed clocks and fake test clocks thread
+    through every expiry decision identically.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float):
+        self.at = float(at)
+
+    @classmethod
+    def after_ms(cls, budget_ms: float, clock=time.monotonic) -> "Deadline":
+        """A deadline ``budget_ms`` from now on ``clock``."""
+        return cls(clock() + float(budget_ms) / 1000.0)
+
+    def remaining_s(self, clock=time.monotonic) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at - clock()
+
+    def remaining_ms(self, clock=time.monotonic) -> float:
+        return self.remaining_s(clock) * 1000.0
+
+    def expired(self, clock=time.monotonic) -> bool:
+        return clock() >= self.at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(at={self.at:.6f})"
+
+
+def parse_deadline_ms(headers: dict | None, payload: dict | None) -> float | None:
+    """The relative deadline budget of one request, if it carries one.
+
+    The ``X-Deadline-Ms`` header wins over a ``deadline_ms`` body field
+    (proxies can inject/clamp headers without parsing bodies).  Returns
+    the budget in milliseconds, or ``None``; malformed or non-positive
+    values raise ``ValueError`` (the front-end answers 400 -- a garbled
+    lifeline must fail loudly, not silently serve without one).
+    """
+    raw = None
+    if headers:
+        raw = headers.get(DEADLINE_HEADER)
+    if raw is None and payload and "deadline_ms" in payload:
+        raw = payload["deadline_ms"]
+    if raw is None:
+        return None
+    try:
+        budget = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"malformed deadline_ms: {raw!r}") from None
+    if budget <= 0:
+        raise ValueError(f"deadline_ms must be positive, got {budget!r}")
+    return budget

@@ -151,6 +151,8 @@ class EndpointMetrics:
         self.rejected_requests = 0
         self.rejected_images = 0
         self.failed_requests = 0
+        self.expired_requests = 0
+        self.expired_images = 0
         self.batches = 0
         self.batched_images = 0
         self.latency = LatencyHistogram()
@@ -192,6 +194,14 @@ class EndpointMetrics:
     def record_failure(self) -> None:
         with self._lock:
             self.failed_requests += 1
+
+    def record_expiry(self, images: int = 1) -> None:
+        """One request cancelled because its deadline passed (shed, not
+        failed: the client was told ``deadline_exceeded``, and the engine
+        never spent capacity on it)."""
+        with self._lock:
+            self.expired_requests += 1
+            self.expired_images += int(images)
 
     def record_batch(self, report) -> None:
         """One executed batch (a :class:`repro.serve.batcher.BatchReport`)."""
@@ -325,6 +335,8 @@ class EndpointMetrics:
                 "rejected_requests": self.rejected_requests,
                 "rejected_images": self.rejected_images,
                 "failed_requests": self.failed_requests,
+                "expired_requests": self.expired_requests,
+                "expired_images": self.expired_images,
                 "throughput_images_per_s": self.throughput(),
                 "batches": self.batches,
                 "mean_batch_size": self.mean_batch_size,
@@ -358,6 +370,8 @@ class EndpointMetrics:
                 "rejected_requests": self.rejected_requests,
                 "rejected_images": self.rejected_images,
                 "failed_requests": self.failed_requests,
+                "expired_requests": self.expired_requests,
+                "expired_images": self.expired_images,
                 "batches": self.batches,
                 "batched_images": self.batched_images,
                 "latency": self.latency.to_payload(),
@@ -400,6 +414,9 @@ def merge_endpoint_payloads(payloads: list[dict]) -> dict:
         merged.rejected_requests += payload["rejected_requests"]
         merged.rejected_images += payload["rejected_images"]
         merged.failed_requests += payload["failed_requests"]
+        # Older shard documents predate expiry accounting; treat as zero.
+        merged.expired_requests += payload.get("expired_requests", 0)
+        merged.expired_images += payload.get("expired_images", 0)
         merged.batches += payload["batches"]
         merged.batched_images += payload["batched_images"]
         merged.latency.merge_payload(payload["latency"])

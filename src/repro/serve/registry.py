@@ -67,6 +67,9 @@ class ModelSpec:
     ladder_rungs: int = 0
     latency_budget_ms: float = 0.0
     pace_sysmt: bool = False
+    #: Deadline attached to requests that carry none (0 = no default; the
+    #: request then has no lifeline and is always served to completion).
+    default_deadline_ms: float = 0.0
 
     @property
     def adaptive(self) -> bool:
@@ -106,6 +109,7 @@ class ModelSpec:
             "adaptive": self.adaptive,
             "latency_budget_ms": self.latency_budget_ms,
             "pace_sysmt": self.pace_sysmt,
+            "default_deadline_ms": self.default_deadline_ms,
         }
 
 
@@ -128,6 +132,15 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._in_flight = 0
         self._price = 1.0
+        #: Requests refused at the door because their deadline had already
+        #: passed on arrival (no admission slot is ever reserved for the
+        #: dead; the front-end answers ``deadline_exceeded``).
+        self.expired_arrivals = 0
+
+    def note_expired_arrival(self, images: int = 1) -> None:
+        """Count a request that arrived with its deadline already passed."""
+        with self._lock:
+            self.expired_arrivals += int(images)
 
     def set_price(self, price: float) -> None:
         """Per-image admission cost of the rung now serving the endpoint."""
@@ -209,6 +222,7 @@ class ServeRegistry:
             entry["pressure"] = admission.pressure
             entry["admission_price"] = admission.price
             entry["effective_capacity"] = admission.effective_capacity
+            entry["expired_arrivals"] = admission.expired_arrivals
             entries.append(entry)
         return entries
 

@@ -35,7 +35,25 @@ reads the load signal and walks the throttle ladder (degrade under
 sustained pressure, hysteretic recovery), applying transitions through the
 engine pool off the event loop.
 
-Shutdown is graceful: SIGINT/SIGTERM stop accepting connections, drain
+Request lifelines (PR 7)
+------------------------
+Every request may carry a deadline (``X-Deadline-Ms`` header or a
+``deadline_ms`` body field, pinned to the arrival instant); the front-end
+refuses dead-on-arrival requests before admission, threads the deadline
+into the batcher (which cancels expired requests *before* engine
+compute), and answers ``504 deadline_exceeded`` -- never a silent drop.
+``X-Idempotency-Key`` headers dedupe retries: a concurrent duplicate
+shares the in-flight future, a later duplicate replays the recorded
+response, so a retried request never double-resolves.  The socket layer
+is hardened against misbehaving clients: header/body read timeouts
+(408), header size caps (431), body size caps (413), write timeouts
+(byte-drip readers are aborted), and a connection cap that evicts the
+idlest connection (slow-loris) rather than refusing service.
+
+Shutdown is graceful *and drain-aware*: SIGINT/SIGTERM flip ``/healthz``
+to ``draining`` (503) and stop accepting new connections first -- so
+load balancers rolling a sharded front-end can take one shard out of
+rotation at a time -- then wait (bounded) for in-flight requests, drain
 every batcher (queued requests still execute and respond), close the
 engine pool (releasing harness leases / terminating forked workers), and
 then return from :meth:`NBSMTServer.serve_forever`.
@@ -47,10 +65,18 @@ import asyncio
 import json
 import signal
 import time
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.serve.batcher import DynamicBatcher, QueueFull
+from repro.serve.deadline import (
+    DEADLINE_HEADER,
+    IDEMPOTENCY_HEADER,
+    Deadline,
+    DeadlineExceeded,
+    parse_deadline_ms,
+)
 from repro.serve.metrics import MetricsRegistry, merge_registry_payloads
 from repro.serve.pool import EnginePool
 from repro.serve.qos import EndpointGovernor, QoSConfig, QoSController
@@ -59,6 +85,7 @@ from repro.telemetry import bus as telemetry_bus
 from repro.telemetry.dashboard import DASHBOARD_HTML, EventRelay, stream_sse
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+_MAX_HEADER_BYTES = 32 * 1024
 
 
 class _HttpError(Exception):
@@ -87,11 +114,28 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+
+class _ConnState:
+    """Liveness bookkeeping of one open connection (slow-loris eviction)."""
+
+    __slots__ = ("writer", "last_activity", "busy")
+
+    def __init__(self, writer, now: float):
+        self.writer = writer
+        self.last_activity = now
+        #: A busy connection is awaiting an admitted request's result --
+        #: evicting it would lose a ledgered response, so eviction only
+        #: ever targets idle (reading/parked) connections.
+        self.busy = False
 
 
 class NBSMTServer:
@@ -117,6 +161,16 @@ class NBSMTServer:
         telemetry_dir: str | None = None,
         coordinator=None,
         telemetry_tick_s: float = 1.0,
+        max_connections: int = 256,
+        read_timeout_s: float = 10.0,
+        body_timeout_s: float = 30.0,
+        write_timeout_s: float = 30.0,
+        drain_timeout_s: float = 5.0,
+        max_header_bytes: int = _MAX_HEADER_BYTES,
+        max_body_bytes: int = _MAX_BODY_BYTES,
+        idempotency_cache: int = 1024,
+        spool_budget_bytes: int = 0,
+        clock=time.monotonic,
     ):
         self.registry = registry or default_registry()
         self.scale = scale
@@ -141,17 +195,47 @@ class NBSMTServer:
         bus = telemetry_bus.get_bus()
         bus.configure_source(role="serve", shard=self.shard_index)
         self._owns_spool = False
+        self.spool_budget = None
         if telemetry_dir is not None and bus.spool_dir != str(telemetry_dir):
-            bus.attach_spool(telemetry_dir, role="serve")
+            if spool_budget_bytes > 0:
+                from repro.utils.diskbudget import DiskBudget
+
+                self.spool_budget = DiskBudget(
+                    str(telemetry_dir),
+                    spool_budget_bytes,
+                    name="telemetry-spool",
+                )
+            bus.attach_spool(telemetry_dir, role="serve",
+                             budget=self.spool_budget)
             self._owns_spool = True
         self.relay = EventRelay(local_bus=bus, spool_dir=telemetry_dir)
         self._last_shed: dict[str, int] = {}
+        self._last_expired: dict[str, int] = {}
         self._sock = sock
         self._reuse_port = bool(reuse_port)
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
         self._background_tasks: list[asyncio.Task] = []
         self._stopped = False
+        self._draining = False
+        # -- socket hardening (request lifelines) --------------------------
+        self.clock = clock
+        self.max_connections = max(1, int(max_connections))
+        self.read_timeout_s = float(read_timeout_s)
+        self.body_timeout_s = float(body_timeout_s)
+        self.write_timeout_s = float(write_timeout_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.max_header_bytes = int(max_header_bytes)
+        self.max_body_bytes = int(max_body_bytes)
+        self._connections: set[_ConnState] = set()
+        self._active_requests = 0
+        self.evicted_connections = 0
+        self.refused_connections = 0
+        self.timed_out_reads = 0
+        self.timed_out_writes = 0
+        self.idempotent_replays = 0
+        self._idempotency_cache = max(0, int(idempotency_cache))
+        self._idempotency: OrderedDict[str, object] = OrderedDict()
 
     # -- endpoint assembly -------------------------------------------------
     def _build_endpoints(self) -> None:
@@ -188,6 +272,7 @@ class NBSMTServer:
                 # busy; a single in-process replica gets a single thread.
                 workers=self.pool.replica_count(name),
                 name=f"batch-{name}",
+                clock=self.clock,
             )
             self.batchers[name] = batcher
             ladder = self.pool.ladder(name)
@@ -346,12 +431,18 @@ class NBSMTServer:
             self._last_shed[name] = rejected
             if shed_delta > 0:
                 bus.publish("shed", endpoint=name, images=shed_delta)
+            expired = metrics.expired_images
+            expired_delta = expired - self._last_expired.get(name, 0)
+            self._last_expired[name] = expired
+            if expired_delta > 0:
+                bus.publish("expired", endpoint=name, images=expired_delta)
             bus.publish(
                 "endpoint_health",
                 endpoint=name,
                 requests=metrics.requests,
                 images=metrics.images,
                 rejected_images=rejected,
+                expired_images=expired,
                 throughput_images_per_s=metrics.throughput(),
                 goodput_images_per_s=rates["goodput_images_per_s"],
                 recent_requests_per_s=rates["requests_per_s"],
@@ -365,10 +456,34 @@ class NBSMTServer:
             )
 
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain batchers, close pool."""
-        if self._stopped:
+        """Graceful, drain-aware shutdown.
+
+        Ordering matters for rolling restarts of a sharded front-end:
+        first ``/healthz`` flips to ``draining`` (503) and the listener
+        closes -- the load balancer and the kernel's ``SO_REUSEPORT``
+        group both stop routing *new* work here -- then in-flight
+        requests get a bounded grace period to finish (keep-alive
+        connections close after their current response), lingering
+        connections are aborted, and only then do the batchers drain and
+        the engine pool close.
+        """
+        if self._stopped or self._draining:
             return
+        self._draining = True
+        telemetry_bus.publish(
+            "server_draining", endpoints=sorted(self.batchers)
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drain_until = self.clock() + self.drain_timeout_s
+        while self._active_requests > 0 and self.clock() < drain_until:
+            await asyncio.sleep(0.02)
         self._stopped = True
+        for state in list(self._connections):
+            transport = state.writer.transport
+            if transport is not None:
+                transport.abort()
         for task in self._background_tasks:
             task.cancel()
         for task in self._background_tasks:
@@ -376,9 +491,6 @@ class NBSMTServer:
                 await task
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
         loop = asyncio.get_running_loop()
 
         def drain_and_close():
@@ -416,7 +528,46 @@ class NBSMTServer:
         await self._stop_event.wait()
 
     # -- HTTP plumbing -----------------------------------------------------
+    def _evict_idlest(self) -> bool:
+        """Abort the longest-idle non-busy connection (slow-loris victim).
+
+        Only idle connections are candidates -- a busy one is awaiting an
+        admitted request's result, and evicting it would turn a ledgered
+        in-flight request into a lost response.
+        """
+        candidates = [s for s in self._connections if not s.busy]
+        if not candidates:
+            return False
+        victim = min(candidates, key=lambda s: s.last_activity)
+        self.evicted_connections += 1
+        transport = victim.writer.transport
+        if transport is not None:
+            transport.abort()
+        # The victim's handler wakes with a reset and unregisters itself;
+        # drop it from the set now so the accounting never over-counts.
+        self._connections.discard(victim)
+        return True
+
     async def _handle_connection(self, reader, writer) -> None:
+        state = _ConnState(writer, self.clock())
+        if self._draining:
+            # The listener is closed, but a connection may have been
+            # accepted into the kernel backlog before that.
+            self.refused_connections += 1
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return
+        if len(self._connections) >= self.max_connections:
+            if not self._evict_idlest():
+                # Every slot is busy computing: refuse the newcomer rather
+                # than kill an in-flight response.
+                self.refused_connections += 1
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                return
+        self._connections.add(state)
         try:
             while True:
                 try:
@@ -428,6 +579,7 @@ class NBSMTServer:
                     break
                 if request is None:
                     break
+                state.last_activity = self.clock()
                 method, path, headers, body = request
                 if path.split("?", 1)[0] == "/v1/events":
                     # SSE takes over the connection (no framing, no reuse).
@@ -437,43 +589,80 @@ class NBSMTServer:
                         )
                         break
                     await stream_sse(
-                        writer, self.relay, stopped=lambda: self._stopped
+                        writer,
+                        self.relay,
+                        stopped=lambda: self._stopped or self._draining,
                     )
                     break
                 extra_headers: dict[str, str] = {}
+                state.busy = True
+                self._active_requests += 1
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload = await self._route(
+                        method, path, body, headers
+                    )
                 except _HttpError as exc:
                     status, payload = exc.status, exc.body()
                     extra_headers = exc.headers
                 except Exception as exc:  # noqa: BLE001 - reported as 500
                     status, payload = 500, {"error": repr(exc)}
-                keep_alive = headers.get("connection", "keep-alive") != "close"
+                finally:
+                    state.busy = False
+                    self._active_requests -= 1
+                    state.last_activity = self.clock()
+                keep_alive = (
+                    headers.get("connection", "keep-alive") != "close"
+                    and not self._draining
+                )
                 await self._write_response(
                     writer, status, payload, keep_alive, extra_headers
                 )
+                state.last_activity = self.clock()
                 if not keep_alive:
                     break
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(state)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, OSError):  # pragma: no cover
                 pass
 
+    async def _read_line(self, reader) -> bytes:
+        """One header line within the read timeout (slow-loris defense).
+
+        The timeout bounds *each line*, not the whole header block -- but
+        with the header byte cap a dripping client can stretch the read
+        phase to at most ``read_timeout_s`` per line over a bounded number
+        of lines before 431/408 reclaims the connection.
+        """
+        try:
+            return await asyncio.wait_for(
+                reader.readline(), timeout=self.read_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.timed_out_reads += 1
+            raise _HttpError(408, "timed out reading request") from None
+
     async def _read_request(self, reader):
-        request_line = await reader.readline()
+        request_line = await self._read_line(reader)
         if not request_line:
             return None
+        header_bytes = len(request_line)
+        if header_bytes > self.max_header_bytes:
+            raise _HttpError(431, "request line too large")
         try:
             method, path, _version = request_line.decode("ascii").split(None, 2)
         except ValueError:
             raise _HttpError(400, "malformed request line") from None
         headers: dict[str, str] = {}
         while True:
-            line = await reader.readline()
+            line = await self._read_line(reader)
+            header_bytes += len(line)
+            if header_bytes > self.max_header_bytes:
+                raise _HttpError(431, "request headers too large")
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
@@ -482,9 +671,20 @@ class NBSMTServer:
             length = int(headers.get("content-length", "0") or "0")
         except ValueError:
             raise _HttpError(400, "malformed Content-Length header") from None
-        if length > _MAX_BODY_BYTES:
+        if length > self.max_body_bytes:
             raise _HttpError(413, "request body too large")
-        body = await reader.readexactly(length) if length else b""
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=self.body_timeout_s
+                )
+            except asyncio.TimeoutError:
+                # Mid-body disconnect or byte-drip: the declared body never
+                # arrived inside the budget.
+                self.timed_out_reads += 1
+                raise _HttpError(408, "timed out reading request body") from None
+        else:
+            body = b""
         return method.upper(), path, headers, body
 
     async def _write_response(
@@ -510,12 +710,29 @@ class NBSMTServer:
             "\r\n"
         ).encode("ascii")
         writer.write(head + body)
-        await writer.drain()
+        try:
+            await asyncio.wait_for(writer.drain(), timeout=self.write_timeout_s)
+        except asyncio.TimeoutError:
+            # A client that stopped reading (byte-drip / half-open) is
+            # holding our buffers hostage; abort rather than wait forever.
+            self.timed_out_writes += 1
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            raise ConnectionResetError("response write timed out") from None
 
     # -- routing -----------------------------------------------------------
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(self, method: str, path: str, body: bytes, headers=None):
         path = path.split("?", 1)[0]
         if path == "/healthz":
+            if self._draining or self._stopped:
+                # 503 takes a draining shard out of LB rotation while its
+                # in-flight requests finish.
+                return 503, {
+                    "status": "draining",
+                    "endpoints": sorted(self.batchers),
+                    "active_requests": self._active_requests,
+                }
             replica_health = self.pool.replica_health()
             degraded = sorted(
                 name
@@ -529,6 +746,7 @@ class NBSMTServer:
                 "status": "degraded" if degraded else "ok",
                 "endpoints": sorted(self.batchers),
                 "degraded_endpoints": degraded,
+                "connections": self.connection_stats(),
             }
         if path == "/v1/models":
             if method != "GET":
@@ -560,8 +778,21 @@ class NBSMTServer:
             if method != "POST":
                 raise _HttpError(405, "use POST")
             name = path[len("/v1/models/") : -len(":predict")]
-            return await self._predict(name, body)
+            return await self._predict(name, body, headers)
         raise _HttpError(404, f"no route for {method} {path}")
+
+    def connection_stats(self) -> dict:
+        """Socket-hardening counters (surfaced by ``/healthz``)."""
+        return {
+            "open": len(self._connections),
+            "max": self.max_connections,
+            "active_requests": self._active_requests,
+            "evicted": self.evicted_connections,
+            "refused": self.refused_connections,
+            "timed_out_reads": self.timed_out_reads,
+            "timed_out_writes": self.timed_out_writes,
+            "idempotent_replays": self.idempotent_replays,
+        }
 
     def _merged_metrics(self) -> dict:
         """Whole-service metrics: this shard's live state + published peers."""
@@ -660,9 +891,68 @@ class NBSMTServer:
             },
         )
 
-    async def _predict(self, name: str, body: bytes):
-        if self._stopped:
-            raise _HttpError(503, "server is shutting down")
+    async def _predict(self, name: str, body: bytes, headers=None):
+        """Predict with idempotency-key dedup in front of the data path.
+
+        A request carrying ``X-Idempotency-Key`` never double-resolves: a
+        concurrent duplicate awaits the original's in-flight future, and a
+        later duplicate replays the recorded response (marked
+        ``idempotent_replay``).  Terminal outcomes (200, 504) are cached;
+        sheds and errors are not -- a retry after a 429 must re-run.
+        """
+        key = (headers or {}).get(IDEMPOTENCY_HEADER)
+        if not key or not self._idempotency_cache:
+            return await self._predict_once(name, body, headers)
+        entry = self._idempotency.get(key)
+        if entry is not None:
+            if isinstance(entry, asyncio.Future):
+                # Shield: the duplicate's connection dying must not cancel
+                # the original request's bookkeeping.
+                status, payload = await asyncio.shield(entry)
+            else:
+                self._idempotency.move_to_end(key)
+                status, payload = entry
+            self.idempotent_replays += 1
+            payload = dict(payload)
+            payload["idempotent_replay"] = True
+            return status, payload
+        future = asyncio.get_running_loop().create_future()
+        self._idempotency[key] = future
+        error: _HttpError | None = None
+        try:
+            status, payload = await self._predict_once(name, body, headers)
+        except _HttpError as exc:
+            error = exc
+            status, payload = exc.status, exc.body()
+        except BaseException:
+            # Unexpected failure: nothing to replay; let duplicates re-run.
+            self._idempotency.pop(key, None)
+            if not future.done():
+                future.set_result((500, {"error": "original attempt died"}))
+            raise
+        if not future.done():
+            future.set_result((status, payload))
+        if status in (200, 504):
+            self._idempotency[key] = (status, payload)
+            while len(self._idempotency) > self._idempotency_cache:
+                self._idempotency.popitem(last=False)
+        else:
+            self._idempotency.pop(key, None)
+        if error is not None:
+            raise error
+        return status, payload
+
+    def _deadline_error(self, deadline: Deadline) -> _HttpError:
+        late_ms = max(0.0, -deadline.remaining_ms(self.clock))
+        return _HttpError(
+            504,
+            "deadline_exceeded",
+            extra={"late_by_ms": late_ms},
+        )
+
+    async def _predict_once(self, name: str, body: bytes, headers=None):
+        if self._stopped or self._draining:
+            raise _HttpError(503, "server is draining")
         try:
             spec = self.registry.get(name)
         except KeyError as exc:
@@ -672,6 +962,17 @@ class NBSMTServer:
             inputs = np.asarray(payload["inputs"], dtype=np.float32)
         except (ValueError, KeyError, TypeError) as exc:
             raise _HttpError(400, f"bad request body: {exc!r}") from None
+        try:
+            budget_ms = parse_deadline_ms(headers, payload)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+        if budget_ms is None and spec.default_deadline_ms > 0:
+            budget_ms = spec.default_deadline_ms
+        deadline = (
+            Deadline.after_ms(budget_ms, clock=self.clock)
+            if budget_ms is not None
+            else None
+        )
         if inputs.ndim == 3:
             inputs = inputs[np.newaxis]
         if inputs.ndim != 4 or inputs.shape[0] == 0:
@@ -691,6 +992,12 @@ class NBSMTServer:
         images = int(inputs.shape[0])
         endpoint_metrics = self.metrics.endpoint(name)
         admission = self.registry.admission(name)
+        if deadline is not None and deadline.expired(self.clock):
+            # Dead on arrival: refuse at the door, never reserve an
+            # admission slot or queue work the client stopped waiting for.
+            admission.note_expired_arrival(images)
+            endpoint_metrics.record_expiry(images)
+            raise self._deadline_error(deadline)
         if not admission.try_admit(images):
             endpoint_metrics.record_rejection(images)
             raise self._shed_error(
@@ -699,19 +1006,26 @@ class NBSMTServer:
                 f"endpoint {name!r} is saturated "
                 f"({admission.in_flight}/{admission.capacity} images in flight)",
             )
-        started = time.monotonic()
+        started = self.clock()
         try:
-            future = self.batchers[name].submit(inputs, size=images)
+            future = self.batchers[name].submit(
+                inputs, size=images, deadline=deadline
+            )
             logits, level = await asyncio.wrap_future(future)
         except QueueFull as exc:
             endpoint_metrics.record_rejection(images)
             raise self._shed_error(name, spec, str(exc)) from None
+        except DeadlineExceeded:
+            # The batcher cancelled this request before compute: a shed,
+            # not a failure -- counted as an expiry, answered explicitly.
+            endpoint_metrics.record_expiry(images)
+            raise self._deadline_error(deadline) from None
         except Exception:
             endpoint_metrics.record_failure()
             raise
         finally:
             admission.release(images)
-        latency = time.monotonic() - started
+        latency = self.clock() - started
         endpoint_metrics.record_request(latency, images)
         return 200, {
             "model": spec.zoo_model,

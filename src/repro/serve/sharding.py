@@ -85,7 +85,10 @@ class ShardMetricsExchange:
     impossible; a peer that stopped publishing is surfaced with its age.
     """
 
-    def __init__(self, directory: str, shard_index: int, shard_count: int):
+    def __init__(
+        self, directory: str, shard_index: int, shard_count: int,
+        budget=None,
+    ):
         self.directory = directory
         self.shard_index = int(shard_index)
         self.shard_count = int(shard_count)
@@ -93,25 +96,52 @@ class ShardMetricsExchange:
         #: or corrupted outside the atomic-rename path, e.g. by a crashed
         #: writer with a different spool implementation or disk fault).
         self.corrupt_documents = 0
+        #: Optional :class:`repro.utils.diskbudget.DiskBudget` over the
+        #: exchange directory.  A publish that would bust the quota (or
+        #: hits real ENOSPC) is skipped and counted: peers keep merging
+        #: this shard's *previous* document until it goes stale -- exactly
+        #: the degradation already defined for a crashed publisher.
+        self.budget = budget
+        self.dropped_publishes = 0
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, index: int) -> str:
         return os.path.join(self.directory, f"shard-{index}.json")
 
     def publish(self, payload: dict) -> None:
-        """Atomically replace this shard's payload document."""
+        """Atomically replace this shard's payload document (budgeted)."""
         from repro.telemetry.bus import atomic_write_json
 
-        atomic_write_json(
-            self.directory,
-            f"shard-{self.shard_index}.json",
-            {
-                "shard": self.shard_index,
-                "pid": os.getpid(),
-                "published_at": time.time(),
-                "payload": payload,
-            },
-        )
+        document = {
+            "shard": self.shard_index,
+            "pid": os.getpid(),
+            "published_at": time.time(),
+            "payload": payload,
+        }
+        if self.budget is not None:
+            size = len(json.dumps(document, separators=(",", ":")))
+            try:
+                old_size = os.path.getsize(self._path(self.shard_index))
+            except OSError:
+                old_size = 0
+            # The rename replaces our previous document, so only the net
+            # growth charges against the quota.
+            if not self.budget.admit(max(0, size - old_size)):
+                self.dropped_publishes += 1
+                return
+        try:
+            atomic_write_json(
+                self.directory, f"shard-{self.shard_index}.json", document
+            )
+        except OSError as exc:
+            from repro.utils.diskbudget import is_enospc
+
+            if is_enospc(exc):
+                self.dropped_publishes += 1
+                if self.budget is not None:
+                    self.budget.note_enospc()
+                return
+            raise
 
     def gather_peers(self) -> tuple[list[dict], list[dict]]:
         """Peer payloads plus per-source metadata (index, age, staleness).
@@ -188,6 +218,7 @@ def _shard_main(
     exchange_dir: str,
     server_kwargs: dict,
     coordinate: bool,
+    exchange_budget_bytes: int = 0,
 ) -> None:
     """One shard process: a full server on an inherited bound socket.
 
@@ -215,7 +246,17 @@ def _shard_main(
 
     parallel.IN_POOL_WORKER = False
     telemetry_bus.get_bus().reset_after_fork(role="serve", shard=index)
-    exchange = ShardMetricsExchange(exchange_dir, index, shard_count)
+    exchange_budget = None
+    if exchange_budget_bytes > 0:
+        from repro.utils.diskbudget import DiskBudget
+
+        exchange_budget = DiskBudget(
+            exchange_dir, exchange_budget_bytes,
+            name=f"shard-exchange-{index}",
+        )
+    exchange = ShardMetricsExchange(
+        exchange_dir, index, shard_count, budget=exchange_budget
+    )
     coordinator = None
     if coordinate:
         # Throttle channel I/O: unchanged desires republish at 1s (well
@@ -245,6 +286,7 @@ def run_sharded(
     port: int = 8421,
     exchange_dir: str | None = None,
     coordinate: bool = True,
+    exchange_budget_bytes: int = 0,
     **server_kwargs,
 ) -> None:
     """Fork ``shards`` server processes sharing one listening address.
@@ -281,7 +323,7 @@ def run_sharded(
             process = context.Process(
                 target=_shard_main,
                 args=(index, sockets, registry, shards, exchange_dir,
-                      dict(server_kwargs), coordinate),
+                      dict(server_kwargs), coordinate, exchange_budget_bytes),
                 name=f"serve-shard-{index}",
             )
             process.start()

@@ -172,10 +172,18 @@ class EventSpool:
     def __init__(
         self, directory: str, role: str = "events",
         rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        budget=None,
     ):
         self.directory = str(directory)
         self.role = role
         self.rotate_bytes = int(rotate_bytes)
+        #: Optional :class:`repro.utils.diskbudget.DiskBudget` over the
+        #: spool directory.  Telemetry is auxiliary: an event that would
+        #: bust the quota (or hits real ENOSPC) is *dropped and counted*,
+        #: never raised into the publishing hot path.
+        self.budget = budget
+        self.dropped_events = 0
+        self.enospc_drops = 0
         os.makedirs(self.directory, exist_ok=True)
         self._lock = threading.Lock()
         self._pid: int | None = None
@@ -218,13 +226,39 @@ class EventSpool:
 
     def append(self, event: Event) -> None:
         line = event.to_json() + "\n"
+        if self.budget is not None and not self.budget.admit(len(line)):
+            self.dropped_events += 1
+            return
         with self._lock:
             self._ensure_open()
-            self._handle.write(line)
-            self._handle.flush()
+            try:
+                self._handle.write(line)
+                self._handle.flush()
+            except OSError as exc:
+                from repro.utils.diskbudget import is_enospc
+
+                if is_enospc(exc):
+                    # The disk itself is full (quota or not): drop with a
+                    # counter -- the degrade contract for spools.
+                    self.dropped_events += 1
+                    self.enospc_drops += 1
+                    if self.budget is not None:
+                        self.budget.note_enospc()
+                    return
+                raise
             self._written += len(line)
             if self._written >= self.rotate_bytes:
                 self._rotate()
+
+    def stats(self) -> dict:
+        """Degrade counters (and the budget's view, when one is attached)."""
+        stats = {
+            "dropped_events": self.dropped_events,
+            "enospc_drops": self.enospc_drops,
+        }
+        if self.budget is not None:
+            stats["budget"] = self.budget.snapshot()
+        return stats
 
     def _rotate(self) -> None:
         # Drop the handle reference first: if the rename or reopen fails
@@ -240,6 +274,10 @@ class EventSpool:
             pass
         self._handle = open(self.path, "a", encoding="utf-8")
         self._written = 0
+        if self.budget is not None:
+            # Rotation just deleted the previous ``.old`` generation;
+            # re-ground the quota so writes resume as soon as space does.
+            self.budget.usage_bytes(refresh=True)
 
     def close(self) -> None:
         with self._lock:
@@ -476,8 +514,13 @@ class TelemetryBus:
     def attach_spool(
         self, directory: str, role: str | None = None,
         rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        budget=None,
     ) -> EventSpool:
-        """Mirror every published event into ``directory`` (cross-process)."""
+        """Mirror every published event into ``directory`` (cross-process).
+
+        ``budget`` (a :class:`repro.utils.diskbudget.DiskBudget`) bounds
+        the spool directory: over-quota events drop with a counter.
+        """
         with self._lock:
             if self._spool is not None:
                 self._spool.close()
@@ -485,6 +528,7 @@ class TelemetryBus:
                 directory,
                 role=role or self._source.get("role", "events"),
                 rotate_bytes=rotate_bytes,
+                budget=budget,
             )
             self._active = True
             return self._spool
@@ -506,6 +550,11 @@ class TelemetryBus:
         """This process's own spool file (relays skip it when following)."""
         spool = self._spool
         return spool.path if spool is not None else None
+
+    def spool_stats(self) -> dict | None:
+        """The attached spool's degrade counters (``None`` without one)."""
+        spool = self._spool
+        return spool.stats() if spool is not None else None
 
     def reset_after_fork(self, role: str | None = None, **fields) -> None:
         """Drop inherited subscribers; keep (and re-home) the spool sink.

@@ -1,0 +1,165 @@
+"""Per-directory disk budgets: quota, count-and-degrade, never raise.
+
+Three subsystems write unbounded-ish streams to disk -- the telemetry
+event spools (:mod:`repro.telemetry.bus`), the shard metrics/QoS exchange
+(:mod:`repro.serve.sharding`) and the content-addressed sweep results
+store (:mod:`repro.eval.sweep`).  All of them are *auxiliary* to the
+serving and evaluation hot paths: running a disk out of space must degrade
+them (drop an event, skip a publish, refuse to persist an artifact) with a
+counter, never raise ``ENOSPC`` into the path that computes answers.
+
+:class:`DiskBudget` is the shared mechanism: a byte quota over one
+directory, tracked incrementally (``admit`` charges, ``release`` credits)
+and re-grounded by periodic rescans of the real directory usage -- so
+rotation, external deletion and foreign writers (a
+:class:`~repro.chaos.actors.DiskFiller` squeezing the quota, a crashed
+peer's leftover files) are all observed within one rescan interval.
+Writers consult ``admit`` before writing and report write-time ``ENOSPC``
+via ``note_enospc``; both degrade paths count into the budget's snapshot
+so dashboards and chaos verdicts can see exactly what was shed.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+import time
+
+
+def directory_bytes(directory: str) -> int:
+    """Total size of the regular files directly under ``directory``.
+
+    Spool/exchange/store directories are flat by construction; a vanished
+    directory (torn down mid-shutdown) counts as empty.
+    """
+    total = 0
+    try:
+        with os.scandir(directory) as entries:
+            for entry in entries:
+                try:
+                    if entry.is_file(follow_symlinks=False):
+                        total += entry.stat(follow_symlinks=False).st_size
+                except OSError:
+                    continue
+    except OSError:
+        return 0
+    return total
+
+
+def is_enospc(exc: OSError) -> bool:
+    """Whether an ``OSError`` is the disk-full family (ENOSPC/EDQUOT)."""
+    return exc.errno in (errno.ENOSPC, getattr(errno, "EDQUOT", errno.ENOSPC))
+
+
+class DiskBudget:
+    """A byte quota over one directory, with degrade accounting.
+
+    ``admit(nbytes)`` answers whether a write of ``nbytes`` fits the quota
+    and charges it; a refused write is counted (``denied_writes`` /
+    ``denied_bytes``).  ``max_bytes <= 0`` means unlimited (every write
+    admitted) -- the accounting still runs, so an unlimited budget is a
+    free usage probe.  The incremental estimate is re-grounded against the
+    real directory every ``rescan_interval_s`` (files deleted by rotation
+    or reaping, foreign files appearing) so the charge never drifts far
+    from the truth.
+
+    Thread-safe: spool writers append from batcher worker threads while
+    the chaos :class:`~repro.chaos.actors.DiskFiller` squeezes the quota
+    from the schedule thread.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        max_bytes: int = 0,
+        *,
+        name: str = "disk",
+        rescan_interval_s: float = 2.0,
+        clock=time.monotonic,
+    ):
+        self.directory = str(directory)
+        self.name = name
+        self.rescan_interval_s = float(rescan_interval_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._max_bytes = int(max_bytes)
+        self._used = directory_bytes(self.directory)
+        self._scanned_at = self._clock()
+        self.denied_writes = 0
+        self.denied_bytes = 0
+        self.enospc_errors = 0
+
+    # -- quota -------------------------------------------------------------
+    @property
+    def max_bytes(self) -> int:
+        with self._lock:
+            return self._max_bytes
+
+    def set_max_bytes(self, max_bytes: int) -> None:
+        """Re-size the quota (the :class:`DiskFiller`'s squeeze point)."""
+        with self._lock:
+            self._max_bytes = int(max_bytes)
+
+    @property
+    def limited(self) -> bool:
+        with self._lock:
+            return self._max_bytes > 0
+
+    # -- usage tracking ----------------------------------------------------
+    def _maybe_rescan(self) -> None:
+        now = self._clock()
+        if now - self._scanned_at >= self.rescan_interval_s:
+            self._used = directory_bytes(self.directory)
+            self._scanned_at = now
+
+    def usage_bytes(self, refresh: bool = False) -> int:
+        with self._lock:
+            if refresh:
+                self._used = directory_bytes(self.directory)
+                self._scanned_at = self._clock()
+            else:
+                self._maybe_rescan()
+            return self._used
+
+    def release(self, nbytes: int) -> None:
+        """Credit bytes reclaimed by the caller (a deleted generation)."""
+        with self._lock:
+            self._used = max(0, self._used - int(nbytes))
+
+    # -- the degrade contract ---------------------------------------------
+    def admit(self, nbytes: int) -> bool:
+        """Charge a write of ``nbytes`` if it fits; count the denial if not."""
+        nbytes = max(0, int(nbytes))
+        with self._lock:
+            self._maybe_rescan()
+            if self._max_bytes > 0 and self._used + nbytes > self._max_bytes:
+                self.denied_writes += 1
+                self.denied_bytes += nbytes
+                return False
+            self._used += nbytes
+            return True
+
+    def note_enospc(self) -> None:
+        """Record a write that failed with ``ENOSPC`` despite admission."""
+        with self._lock:
+            self.enospc_errors += 1
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this budget has ever had to shed a write."""
+        with self._lock:
+            return bool(self.denied_writes or self.enospc_errors)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "directory": self.directory,
+                "max_bytes": self._max_bytes,
+                "used_bytes": self._used,
+                "denied_writes": self.denied_writes,
+                "denied_bytes": self.denied_bytes,
+                "enospc_errors": self.enospc_errors,
+                "degraded": bool(self.denied_writes or self.enospc_errors),
+            }

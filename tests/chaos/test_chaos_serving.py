@@ -159,6 +159,67 @@ def test_killing_every_worker_at_once_is_survivable(
         stack.close()
 
 
+def test_deadline_expiry_under_overload_keeps_the_ledger_exact(
+    tiny_harness, tiny_provider
+):
+    """Mixed-deadline overload: requests whose deadline passes in the
+    queue are cancelled *before* compute with an explicit
+    ``deadline_exceeded`` answer -- the ledger's ``expired`` outcome --
+    never silently dropped, and deadline-free traffic still completes."""
+    stack = _make_stack(
+        tiny_harness, tiny_provider, fork_workers=0, max_pending=64
+    )
+    ledger = ResponseLedger()
+    checker = InvariantChecker()
+    try:
+        summary = drive_open_loop(
+            stack,
+            rate=200.0,
+            duration=1.5,
+            budget_s=30.0,
+            ledger=ledger,
+            # Every other request carries a deadline far too tight for an
+            # overloaded queue; the rest are deadline-free.
+            deadline_ms=lambda index: 1.0 if index % 2 else None,
+        )
+        checker.check_ledger(ledger)
+        counts = ledger.counts()
+        checker.check(
+            "expiries_ledgered",
+            counts["expired"] > 0 and counts["expired"] == summary["expired"],
+            f"ledger {counts}, drive {summary}",
+        )
+        checker.check(
+            "every_offer_accounted",
+            counts["offered"] == counts["shed"] + counts["resolved"],
+            f"counts {counts}",
+        )
+        checker.check(
+            "expired_before_compute",
+            stack.batcher.expired_requests == counts["expired"],
+            f"batcher expired {stack.batcher.expired_requests}, "
+            f"ledger {counts['expired']}",
+        )
+        checker.check(
+            "deadline_free_traffic_completed",
+            summary["completed"] > 0,
+            f"drive summary {summary}",
+        )
+        # Fault-free recovery: without deadlines everything admitted
+        # completes again.
+        recovery = drive_open_loop(
+            stack, rate=20.0, duration=1.0, budget_s=30.0, ledger=ledger
+        )
+        checker.check_recovered(
+            recovery["completed"], recovery["admitted"], 30.0,
+            recovery["elapsed_s"],
+        )
+        checker.check_ledger(ledger, name="ledger_exact_after_recovery")
+        checker.assert_all()
+    finally:
+        stack.close()
+
+
 def test_spool_corruption_between_polls_does_not_break_the_follower(
     tmp_path
 ):

@@ -21,11 +21,14 @@ def test_clean_ledger_is_exact():
         ledger.resolve(request_id, "ok" if request_id % 2 else "error")
     ledger.offer()
     ledger.shed_one()
+    ledger.offer()
+    ledger.admit("late")
+    ledger.resolve("late", "expired")
     ledger.assert_exact()
     counts = ledger.counts()
     assert counts == {
-        "offered": 5, "shed": 1, "admitted": 4, "resolved": 4,
-        "ok": 2, "error": 2,
+        "offered": 6, "shed": 1, "admitted": 5, "resolved": 5,
+        "ok": 2, "error": 2, "expired": 1,
     }
 
 
@@ -90,11 +93,20 @@ def test_attach_resolves_from_future_and_releases_admission():
     ledger.attach("cancelled", cancelled, admission=admission)
     cancelled.cancel()
 
+    # A deadline expiry is its own terminal outcome, not an error.
+    from repro.serve.deadline import DeadlineExceeded
+
+    expired = Future()
+    ledger.admit("expired")
+    ledger.attach("expired", expired, admission=admission)
+    expired.set_exception(DeadlineExceeded("late", late_by_s=0.01))
+
     ledger.assert_exact()
     counts = ledger.counts()
     assert counts["ok"] == 1
     assert counts["error"] == 2
-    assert admission.released == 4  # 2 + 1 + 1, exactly once each
+    assert counts["expired"] == 1
+    assert admission.released == 5  # 2 + 1 + 1 + 1, exactly once each
 
 
 def test_checker_accumulates_and_asserts():

@@ -1,0 +1,118 @@
+"""RetryPolicy budget arithmetic (tier-1, pure python).
+
+The retrying client's whole contract lives in three small functions --
+``base_delay_ms`` (monotone capped exponential), ``delay_ms`` (jitter plus
+the server's ``Retry-After`` floor), ``should_retry`` (attempt and
+deadline budgets) -- plus the shed-advice parser.  Property-test them
+directly; the stateful lifecycle machine composes them in
+``test_retry_stateful.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.client import RetryPolicy, _retry_after_ms
+from tests.strategies.lifelines import (
+    attempt_indices,
+    retry_after_advice_ms,
+    retry_policies,
+)
+from tests.strategies.settings import QUICK_SETTINGS
+
+
+@QUICK_SETTINGS
+@given(policy=retry_policies(), attempt=attempt_indices())
+def test_base_delay_is_monotone_and_capped(policy, attempt):
+    here = policy.base_delay_ms(attempt)
+    after = policy.base_delay_ms(attempt + 1)
+    assert here <= after  # backoff never shrinks between attempts
+    assert policy.base_backoff_ms * 0.999 <= here or here == policy.max_backoff_ms
+    assert here <= policy.max_backoff_ms
+
+
+@QUICK_SETTINGS
+@given(
+    policy=retry_policies(),
+    attempt=attempt_indices(),
+    advice=retry_after_advice_ms(),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_delay_honors_the_retry_after_floor_and_jitter_band(
+    policy, attempt, advice, seed
+):
+    rng = random.Random(seed)
+    delay = policy.delay_ms(attempt, rng, advice)
+    assert delay >= 0.0
+    if advice is not None:
+        assert delay >= advice  # the server's advice is a floor
+    base = policy.base_delay_ms(attempt)
+    ceiling = base * (1.0 + policy.jitter)
+    assert delay <= max(ceiling, advice or 0.0) + 1e-9
+
+
+@QUICK_SETTINGS
+@given(policy=retry_policies(), attempt=attempt_indices(), seed=st.integers(0, 99))
+def test_no_retry_lands_past_the_deadline(policy, attempt, seed):
+    delay = policy.delay_ms(attempt, random.Random(seed))
+    # A retry that would land exactly at (or past) expiry is refused.
+    assert not policy.should_retry(attempt, delay, delay)
+    assert not policy.should_retry(attempt, delay, delay * 0.5)
+    if attempt < policy.max_retries:
+        assert policy.should_retry(attempt, delay, delay + 1.0)
+        assert policy.should_retry(attempt, delay, None)
+
+
+@QUICK_SETTINGS
+@given(policy=retry_policies(), attempt=attempt_indices())
+def test_attempt_budget_is_exhausted_at_max_retries(policy, attempt):
+    allowed = policy.should_retry(attempt, 0.0, None)
+    assert allowed == (attempt < policy.max_retries)
+
+
+def test_jitter_spreads_a_thundering_herd():
+    policy = RetryPolicy(max_retries=3, base_backoff_ms=100.0, jitter=0.2)
+    delays = {
+        round(policy.delay_ms(0, random.Random(seed)), 6)
+        for seed in range(32)
+    }
+    assert len(delays) > 1  # seeded jitter de-synchronizes clients
+    assert all(80.0 <= delay <= 120.0 for delay in delays)
+    calm = RetryPolicy(max_retries=3, base_backoff_ms=100.0, jitter=0.0)
+    assert calm.delay_ms(0, random.Random(7)) == 100.0
+
+
+def test_retry_after_parsing_prefers_the_body_field():
+    class Headers(dict):
+        pass
+
+    assert _retry_after_ms({"retry_after_ms": 75.0}, Headers()) == 75.0
+    assert (
+        _retry_after_ms(
+            {"retry_after_ms": 75.0}, Headers({"Retry-After": "2"})
+        )
+        == 75.0
+    )
+    # Header fallback is whole seconds.
+    assert _retry_after_ms({}, Headers({"Retry-After": "2"})) == 2000.0
+    assert _retry_after_ms({}, Headers()) is None
+    assert _retry_after_ms({"retry_after_ms": "junk"}, Headers()) is None
+    assert _retry_after_ms(None, None) is None
+
+
+def test_zero_retry_policy_never_retries():
+    policy = RetryPolicy()
+    assert policy.max_retries == 0
+    assert not policy.should_retry(0, 0.0, None)
+
+
+@pytest.mark.parametrize(
+    ("attempt", "expected"),
+    [(0, 25.0), (1, 50.0), (2, 100.0), (5, 800.0), (10, 2000.0)],
+)
+def test_default_schedule_doubles_until_the_cap(attempt, expected):
+    assert RetryPolicy().base_delay_ms(attempt) == expected

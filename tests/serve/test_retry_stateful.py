@@ -1,0 +1,143 @@
+"""Stateful model of one logical request's retry lifecycle.
+
+A Hypothesis state machine walks a single request through an arbitrary
+interleaving of sheds (429 with optional ``Retry-After`` advice),
+transport errors, and eventual success, on a virtual clock that advances
+exactly by the computed backoff.  The invariants are the request-lifeline
+contract from the client's side:
+
+* **no retry after the deadline** -- every retry the policy approves
+  lands strictly before the request's deadline would pass;
+* **backoff is monotone** -- the un-jittered schedule never shrinks
+  between attempts, and never exceeds the cap;
+* **the idempotency key is stable** -- every attempt of one logical
+  request carries the same key;
+* **the attempt budget holds** -- at most ``max_retries`` retries are
+  ever sent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from tests.strategies.lifelines import (
+    deadline_budgets_ms,
+    retry_after_advice_ms,
+    retry_policies,
+)
+from tests.strategies.settings import STATE_MACHINE_SETTINGS
+
+
+class RetryLifecycleMachine(RuleBasedStateMachine):
+    """One logical request, modelled the way ``run_load``'s worker loop
+    plays it: compute the delay, ask ``should_retry``, sleep, resend."""
+
+    @initialize(
+        policy=retry_policies(),
+        budget_ms=deadline_budgets_ms(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def start_request(self, policy, budget_ms, seed):
+        self.policy = policy
+        self.rng = random.Random(seed)
+        self.now_ms = 0.0
+        self.deadline_at_ms = budget_ms  # virtual clock starts at zero
+        self.attempt = 0
+        self.retries_sent = 0
+        self.prev_base_ms = None
+        self.key = f"idem-{seed:x}"  # chosen once, before the first send
+        self.keys_sent = [self._send()]
+        self.terminal = False
+
+    def _send(self) -> str:
+        """The attempt goes on the wire carrying the request's key."""
+        return self.key
+
+    def _remaining_ms(self) -> float | None:
+        if self.deadline_at_ms is None:
+            return None
+        return self.deadline_at_ms - self.now_ms
+
+    def _handle_failure(self, advice_ms=None) -> None:
+        base = self.policy.base_delay_ms(self.attempt)
+        if self.prev_base_ms is not None:
+            assert base >= self.prev_base_ms  # backoff never shrinks
+        assert base <= self.policy.max_backoff_ms
+        self.prev_base_ms = base
+
+        delay = self.policy.delay_ms(self.attempt, self.rng, advice_ms)
+        if advice_ms is not None:
+            assert delay >= advice_ms  # never retry sooner than asked
+        remaining = self._remaining_ms()
+        if self.policy.should_retry(self.attempt, delay, remaining):
+            assert self.attempt < self.policy.max_retries
+            if self.deadline_at_ms is not None:
+                # The retry lands strictly before the deadline passes.
+                assert self.now_ms + delay < self.deadline_at_ms
+            self.now_ms += delay  # time.sleep(delay)
+            self.attempt += 1
+            self.retries_sent += 1
+            self.keys_sent.append(self._send())
+        else:
+            self.terminal = True  # counted as shed/error, never resent
+
+    @precondition(lambda self: not self.terminal)
+    @rule(advice_ms=retry_after_advice_ms())
+    def server_sheds(self, advice_ms):
+        self._handle_failure(advice_ms)
+
+    @precondition(lambda self: not self.terminal)
+    @rule()
+    def transport_error(self):
+        # Connection reset: no response, so no Retry-After advice.
+        self._handle_failure(None)
+
+    @precondition(lambda self: not self.terminal)
+    @rule()
+    def server_succeeds(self):
+        self.terminal = True
+
+    @rule(elapsed_ms=st.floats(min_value=0.0, max_value=500.0))
+    def time_passes(self, elapsed_ms):
+        # Network and queueing time burn the deadline budget too.
+        self.now_ms += elapsed_ms
+
+    @precondition(lambda self: self.terminal)
+    @rule(
+        budget_ms=deadline_budgets_ms(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def next_logical_request(self, budget_ms, seed):
+        # A fresh request gets a fresh key and a fresh budget; the
+        # per-request invariants start over.
+        self.deadline_at_ms = (
+            self.now_ms + budget_ms if budget_ms is not None else None
+        )
+        self.attempt = 0
+        self.retries_sent = 0
+        self.prev_base_ms = None
+        self.key = f"idem-{seed:x}-{len(self.keys_sent)}"
+        self.keys_sent = [self._send()]
+        self.terminal = False
+
+    @invariant()
+    def idempotency_key_is_stable(self):
+        assert len(set(self.keys_sent)) == 1
+
+    @invariant()
+    def attempt_budget_holds(self):
+        assert self.retries_sent <= self.policy.max_retries
+        assert len(self.keys_sent) == 1 + self.retries_sent
+
+
+TestRetryLifecycle = RetryLifecycleMachine.TestCase
+TestRetryLifecycle.settings = STATE_MACHINE_SETTINGS

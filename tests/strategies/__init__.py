@@ -7,9 +7,17 @@ One import point for every property test::
 Settings tiers live in :mod:`tests.strategies.settings` (pick the tier
 matching the cost of one example; ``REPRO_PROPERTY_SCALE`` multiplies all
 example budgets).  Domain strategies for the serving stack live in
-:mod:`tests.strategies.serving`.
+:mod:`tests.strategies.serving`; the request-lifeline vocabulary (retry
+policies, deadline budgets, shed advice) in
+:mod:`tests.strategies.lifelines`.
 """
 
+from tests.strategies.lifelines import (
+    attempt_indices,
+    deadline_budgets_ms,
+    retry_after_advice_ms,
+    retry_policies,
+)
 from tests.strategies.serving import (
     load_signals,
     qos_configs,
@@ -28,8 +36,12 @@ __all__ = [
     "SLOW_SETTINGS",
     "STANDARD_SETTINGS",
     "STATE_MACHINE_SETTINGS",
+    "attempt_indices",
+    "deadline_budgets_ms",
     "load_signals",
     "qos_configs",
     "request_sizes",
+    "retry_after_advice_ms",
+    "retry_policies",
     "rung_counts",
 ]

@@ -1,0 +1,44 @@
+"""Domain strategies for the request-lifeline property tests.
+
+Retry policies, deadline budgets, and server shed advice -- the inputs the
+retrying client's budget arithmetic consumes.  Shared by the unit
+properties (``tests/serve/test_client_retry.py``) and the stateful
+lifecycle machine (``tests/serve/test_retry_stateful.py``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+
+@st.composite
+def retry_policies(draw):
+    """Well-formed retry policies (cap at or above the base backoff)."""
+    from repro.serve.client import RetryPolicy
+
+    base = draw(st.floats(min_value=1.0, max_value=200.0))
+    return RetryPolicy(
+        max_retries=draw(st.integers(min_value=0, max_value=6)),
+        base_backoff_ms=base,
+        multiplier=draw(st.floats(min_value=1.0, max_value=4.0)),
+        max_backoff_ms=draw(st.floats(min_value=base, max_value=5000.0)),
+        jitter=draw(st.floats(min_value=0.0, max_value=0.5)),
+    )
+
+
+def deadline_budgets_ms(min_ms: float = 1.0, max_ms: float = 10_000.0):
+    """Relative deadline budgets a client might attach (or none)."""
+    return st.one_of(
+        st.none(), st.floats(min_value=min_ms, max_value=max_ms)
+    )
+
+
+def retry_after_advice_ms():
+    """Server shed advice: absent, or a positive retry-after in ms."""
+    return st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=2000.0)
+    )
+
+
+def attempt_indices(max_attempt: int = 8):
+    return st.integers(min_value=0, max_value=max_attempt)

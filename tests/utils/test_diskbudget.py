@@ -1,0 +1,99 @@
+"""DiskBudget: per-directory quotas with count-and-degrade accounting."""
+
+from __future__ import annotations
+
+import errno
+
+from repro.utils.diskbudget import DiskBudget, directory_bytes, is_enospc
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_directory_bytes_sums_flat_files_and_tolerates_absence(tmp_path):
+    assert directory_bytes(str(tmp_path / "missing")) == 0
+    (tmp_path / "a.bin").write_bytes(b"x" * 10)
+    (tmp_path / "b.bin").write_bytes(b"y" * 5)
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "nested.bin").write_bytes(b"z" * 100)
+    # Flat by contract: nested files are not this directory's spool.
+    assert directory_bytes(str(tmp_path)) == 15
+
+
+def test_is_enospc_matches_the_disk_full_family():
+    assert is_enospc(OSError(errno.ENOSPC, "no space"))
+    if hasattr(errno, "EDQUOT"):
+        assert is_enospc(OSError(errno.EDQUOT, "quota"))
+    assert not is_enospc(OSError(errno.EACCES, "denied"))
+
+
+def test_unlimited_budget_admits_everything_but_tracks_usage(tmp_path):
+    budget = DiskBudget(str(tmp_path), 0, name="free")
+    assert not budget.limited
+    assert budget.admit(10**9)
+    assert budget.denied_writes == 0
+    assert budget.usage_bytes() >= 10**9
+
+
+def test_quota_denies_with_counters(tmp_path):
+    budget = DiskBudget(str(tmp_path), 100, name="tight")
+    assert budget.admit(60)
+    assert budget.admit(40)
+    assert not budget.admit(1)
+    assert not budget.admit(50)
+    snapshot = budget.snapshot()
+    assert snapshot["denied_writes"] == 2
+    assert snapshot["denied_bytes"] == 51
+    assert snapshot["degraded"] is True
+    assert budget.degraded
+
+
+def test_release_credits_reclaimed_bytes(tmp_path):
+    budget = DiskBudget(str(tmp_path), 100, name="rotating")
+    assert budget.admit(100)
+    assert not budget.admit(1)
+    budget.release(50)  # a rotated generation was deleted
+    assert budget.admit(50)
+    budget.release(10**9)  # over-credit clamps at zero, never negative
+    assert budget.usage_bytes() == 0
+    assert budget.admit(100)
+
+
+def test_rescan_regrounds_against_the_real_directory(tmp_path):
+    clock = FakeClock()
+    budget = DiskBudget(
+        str(tmp_path), 100, name="scan", rescan_interval_s=5.0, clock=clock
+    )
+    assert budget.admit(90)  # incremental estimate: 90 used, nothing on disk
+    assert not budget.admit(20)
+    clock.advance(4.0)
+    assert not budget.admit(20)  # within the interval: estimate stands
+    clock.advance(2.0)
+    # Past the interval: the rescan sees the empty directory and the
+    # phantom charge evaporates.
+    assert budget.admit(20)
+    (tmp_path / "foreign.bin").write_bytes(b"x" * 95)
+    assert budget.usage_bytes(refresh=True) == 95
+    assert not budget.admit(20)
+
+
+def test_squeeze_and_enospc_accounting(tmp_path):
+    budget = DiskBudget(str(tmp_path), 1000, name="squeezable")
+    assert budget.admit(10)
+    budget.set_max_bytes(1)  # the DiskFiller's injection point
+    assert budget.max_bytes == 1
+    assert not budget.admit(1)
+    budget.note_enospc()
+    snapshot = budget.snapshot()
+    assert snapshot["enospc_errors"] == 1
+    assert snapshot["degraded"] is True
+    budget.set_max_bytes(1000)
+    assert budget.admit(1)
