@@ -43,14 +43,21 @@ Measures, on this machine:
   telemetry spool squeezed to nothing: count-and-drop overhead versus the
   unlimited writer).
 
-Results are written as JSON (default ``BENCH_pr7.json`` at the repo root) so
+* a cluster arm: the same sweep executed serially in-process versus
+  leased to real ``repro.cli worker`` child processes over localhost
+  sockets (one worker: the wire overhead; two workers: the cross-machine
+  fan-out win), with a bit-identical reduction check, plus federation
+  microbenchmarks (document round trips and telemetry spool throughput
+  through the cluster agent, and the cross-machine QoS quorum cycle).
+
+Results are written as JSON (default ``BENCH_pr8.json`` at the repo root) so
 the performance trajectory of the project is recorded per PR; when the
-previous PR's ``BENCH_pr6.json`` is present its headline timings are
+previous PR's ``BENCH_pr7.json`` is present its headline timings are
 embedded for comparison.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr7.json]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr8.json]
         [--scale fast|full]
 """
 
@@ -1575,6 +1582,301 @@ def bench_telemetry(scale: str) -> dict:
     }
 
 
+#: Affinity groups of the cluster sweep arm: points of distinct "models"
+#: land in distinct ledger groups, so two remote workers can lease and
+#: compute them concurrently.
+CLUSTER_GROUPS = 4
+
+#: The sweep kind the cluster arm computes, written to a temp module so
+#: the CLI worker child processes can ``--import`` it: a deterministic,
+#: compute-bound integer matmul chain (no model zoo, no calibration --
+#: the arm measures the substrate, not the engines).
+CLUSTER_RUNNER_MODULE = '''\
+"""Deterministic compute-bound sweep kind for the cluster benchmark arm."""
+
+import numpy as np
+
+from repro.eval.sweep import point_runner
+
+
+@point_runner("bench-cluster-mm")
+def bench_cluster_mm(ctx, point):
+    side = point.param("side")
+    rng = np.random.default_rng(point.param("seed"))
+    x = rng.integers(0, 128, size=(side, side), dtype=np.int64)
+    w = rng.integers(-64, 64, size=(side, side), dtype=np.int64)
+    product = x @ w
+    for _ in range(point.param("repeats")):
+        product = (product % 251) @ w
+    return {
+        "seed": point.param("seed"),
+        "checksum": int(product.sum()),
+        "corner": int(product[0, 0]),
+    }
+'''
+
+
+def bench_cluster(scale: str) -> dict:
+    """Remote sweep executors and serving federation over localhost sockets.
+
+    Sweep sub-arm: one batch of compute-bound points (four affinity
+    groups) executed (a) serially in-process -- the reference -- (b)
+    through a :class:`~repro.cluster.worker.SweepHub` with one real
+    ``repro.cli worker`` child process leasing over a localhost socket
+    (the wire + leasing overhead on a single executor), and (c) with two
+    worker processes (the fan-out win the substrate exists for; on real
+    deployments the workers are other machines).  All three reductions
+    must be bit-identical.
+
+    Federation sub-arm: the primitives ``serve --federate`` runs on --
+    document put+get round trips through the cluster agent versus the
+    local directory transport, telemetry events streamed through a
+    :class:`~repro.cluster.transport.RemoteSpoolWriter`, and the full
+    publish+gather+recommend QoS quorum cycle across two socket-backed
+    shard channels.
+    """
+    import subprocess
+
+    from repro.cluster.agent import ClusterAgent
+    from repro.cluster.documents import DocumentStore
+    from repro.cluster.spool import SpoolFollower
+    from repro.cluster.transport import RemoteSpoolWriter, SocketTransport
+    from repro.cluster.worker import SweepHub
+    from repro.eval.sweep import SweepPoint, SweepSession, run_sweep
+    from repro.telemetry.bus import TelemetryBus
+    from repro.telemetry.coordinator import ShardStateChannel, recommend_level
+
+    # Sized so each point is a few hundred ms of real compute: the wire
+    # and leasing overhead (idle polls, frame round trips) must be small
+    # against the work, or the fan-out arm measures the protocol instead.
+    side, repeats = (192, 30) if scale == "fast" else (288, 60)
+    points = [
+        SweepPoint.make(
+            "bench-cluster-mm",
+            f"bench-node-{index % CLUSTER_GROUPS}",
+            cost=1.0,
+            seed=index,
+            side=side,
+            repeats=repeats,
+        )
+        for index in range(2 * CLUSTER_GROUPS)
+    ]
+
+    module_dir = tempfile.mkdtemp(prefix="repro-bench-cluster-mod-")
+    with open(
+        os.path.join(module_dir, "bench_cluster_kinds.py"), "w"
+    ) as handle:
+        handle.write(CLUSTER_RUNNER_MODULE)
+    sys.path.insert(0, module_dir)
+    try:
+        import bench_cluster_kinds  # noqa: F401 - registers the runner
+    finally:
+        sys.path.remove(module_dir)
+
+    src_dir = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir, module_dir]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    work_dir = tempfile.mkdtemp(prefix="repro-bench-cluster-")
+
+    def run_serial(tag):
+        session = SweepSession(
+            scale=scale, workers=1, store_root=os.path.join(work_dir, tag)
+        )
+        start = time.perf_counter()
+        payloads = run_sweep(points, session=session)
+        return time.perf_counter() - start, payloads
+
+    def run_remote(worker_count, tag):
+        session = SweepSession(
+            scale=scale, workers=1, store_root=os.path.join(work_dir, tag)
+        )
+        hub = SweepHub.create(
+            session, listen="127.0.0.1:0", connect_grace_s=60.0
+        )
+        session.hub = hub
+        host, port = hub.address
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "worker",
+                    "--connect", f"{host}:{port}",
+                    "--import", "bench_cluster_kinds",
+                    "--max-idle-s", "2.0",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.STDOUT,
+            )
+            for _ in range(worker_count)
+        ]
+        try:
+            # Worker interpreter start-up is not what this arm measures:
+            # wait until every worker is live in the roster before timing.
+            deadline = time.perf_counter() + 60.0
+            while (
+                len(hub.agent.roster.live()) < worker_count
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.02)
+            start = time.perf_counter()
+            payloads = run_sweep(points, session=session)
+            elapsed = time.perf_counter() - start
+            summary = dict(hub.agent.ledger.snapshot())
+        finally:
+            hub.close()
+            for worker in workers:
+                try:
+                    worker.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+        return elapsed, payloads, summary
+
+    serial_seconds, serial_payloads = run_serial("serial")
+    remote1_seconds, remote1_payloads, remote1 = run_remote(1, "remote1")
+    remote2_seconds, remote2_payloads, remote2 = run_remote(2, "remote2")
+    bit_identical = (
+        remote1_payloads == serial_payloads
+        and remote2_payloads == serial_payloads
+    )
+    print(
+        f"  cluster/sweep: serial {serial_seconds:.2f}s, "
+        f"1 worker {remote1_seconds:.2f}s, "
+        f"2 workers {remote2_seconds:.2f}s "
+        f"({serial_seconds / remote2_seconds:.2f}x, "
+        f"bit-identical {bit_identical})",
+        flush=True,
+    )
+
+    fed_dir = tempfile.mkdtemp(prefix="repro-bench-federate-")
+    agent = ClusterAgent(
+        {
+            "exchange": os.path.join(fed_dir, "exchange"),
+            "qos": os.path.join(fed_dir, "qos"),
+            "telemetry": os.path.join(fed_dir, "telemetry"),
+        },
+        node="bench-hub",
+    )
+    agent.start_in_thread()
+    transport = SocketTransport(
+        agent.address, node="bench-serve-a", role="serve"
+    )
+    peer_transport = SocketTransport(
+        agent.address, node="bench-serve-b", role="serve"
+    )
+    doc_rounds = 200 if scale == "fast" else 600
+    spool_events = 2000 if scale == "fast" else 6000
+    quorum_cycles = 100 if scale == "fast" else 300
+    try:
+        payload = {"requests": 1000, "histogram": list(range(32))}
+        socket_store = DocumentStore(transport, "exchange")
+        start = time.perf_counter()
+        for index in range(doc_rounds):
+            socket_store.put("bench-shard-a.json", {**payload, "i": index})
+            socket_store.get("bench-shard-a.json")
+        socket_doc_seconds = time.perf_counter() - start
+
+        local_store = DocumentStore.for_directory(
+            os.path.join(fed_dir, "local")
+        )
+        start = time.perf_counter()
+        for index in range(doc_rounds):
+            local_store.put("bench-shard-a.json", {**payload, "i": index})
+            local_store.get("bench-shard-a.json")
+        local_doc_seconds = time.perf_counter() - start
+
+        bus = TelemetryBus(role="bench-cluster")
+        writer = RemoteSpoolWriter(transport, "telemetry", role="bench")
+        bus.attach_spool_sink(writer)
+        start = time.perf_counter()
+        for index in range(spool_events):
+            bus.publish("bench_event", index=index, payload="x" * 64)
+        spool_seconds = time.perf_counter() - start
+        bus.detach_spool()
+        arrived = len(
+            SpoolFollower(os.path.join(fed_dir, "telemetry")).poll()
+        )
+
+        channel_a = ShardStateChannel(
+            None, 0, 2, store=DocumentStore(transport, "qos")
+        )
+        channel_b = ShardStateChannel(
+            None, 1, 2, store=DocumentStore(peer_transport, "qos")
+        )
+        channel_b.publish({"model": {"desired": 3, "held": False}})
+        level = 0
+        start = time.perf_counter()
+        for _ in range(quorum_cycles):
+            channel_a.publish({"model": {"desired": 1, "held": False}})
+            level, _desired = recommend_level(
+                channel_a.gather(stale_after_s=5.0), "model", num_levels=4
+            )
+        quorum_seconds = time.perf_counter() - start
+    finally:
+        transport.close()
+        peer_transport.close()
+        agent.stop()
+        shutil.rmtree(fed_dir, ignore_errors=True)
+        shutil.rmtree(work_dir, ignore_errors=True)
+        shutil.rmtree(module_dir, ignore_errors=True)
+    print(
+        f"  cluster/federation: docs {doc_rounds / socket_doc_seconds:.0f}"
+        f" rt/s over socket ({doc_rounds / local_doc_seconds:.0f} local), "
+        f"spool {spool_events / spool_seconds:.0f} ev/s, "
+        f"quorum {quorum_cycles / quorum_seconds:.0f} cycles/s "
+        f"(level {level})",
+        flush=True,
+    )
+    return {
+        "cluster": {
+            "scale": scale,
+            "points": len(points),
+            "affinity_groups": CLUSTER_GROUPS,
+            "point_shape": [side, side],
+            "cpus_available": os.cpu_count(),
+            "timings": {
+                "serial_local": {"seconds": serial_seconds},
+                "remote_1worker": {"seconds": remote1_seconds},
+                "remote_2workers": {"seconds": remote2_seconds},
+            },
+            "ledger_remote_1worker": remote1,
+            "ledger_remote_2workers": remote2,
+            "bit_identical_remote_vs_serial": bit_identical,
+            "overhead_remote1_vs_serial": remote1_seconds / serial_seconds,
+            "speedup_remote2_vs_serial": serial_seconds / remote2_seconds,
+            "federation": {
+                "doc_roundtrips": doc_rounds,
+                "socket_doc_roundtrips_per_s": doc_rounds / socket_doc_seconds,
+                "local_doc_roundtrips_per_s": doc_rounds / local_doc_seconds,
+                "socket_vs_local_doc_cost": (
+                    socket_doc_seconds / local_doc_seconds
+                ),
+                "spool_events": spool_events,
+                "socket_spool_events_per_s": spool_events / spool_seconds,
+                "spool_events_arrived": arrived,
+                "spool_events_dropped": writer.dropped_events,
+                "qos_quorum_cycles_per_s": quorum_cycles / quorum_seconds,
+                "qos_quorum_level": level,
+            },
+            "note": (
+                "sweep: identical points reduced serially vs leased to "
+                "real `repro.cli worker` child processes over localhost "
+                "sockets (workers connected before the timer starts); on "
+                "a single-CPU host localhost workers time-share the core, "
+                "so the honest headline there is the wire overhead of the "
+                "1-worker arm, not fan-out speedup. federation: document "
+                "round trips / telemetry spool throughput through the "
+                "cluster agent, and the full publish+gather+recommend "
+                "quorum cycle of two socket-backed shard channels"
+            ),
+        }
+    }
+
+
 def _compare_to_previous(results: dict, previous_path: str, tag: str) -> dict | None:
     """Headline timing ratios against the previous PR's benchmark file."""
     try:
@@ -1606,7 +1908,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr7.json"),
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr8.json"),
     )
     parser.add_argument("--scale", choices=("fast", "full"), default="fast")
     parser.add_argument(
@@ -1628,7 +1930,7 @@ def main(argv=None) -> int:
         "--only",
         default=None,
         choices=("matmul", "explicit", "e2e", "serving", "adaptive",
-                 "chaos", "lifelines", "telemetry", "suite"),
+                 "chaos", "lifelines", "telemetry", "cluster", "suite"),
         help="run a single arm by name",
     )
     parser.add_argument(
@@ -1687,34 +1989,36 @@ def main(argv=None) -> int:
         print("running telemetry (bus overhead + coordination) benchmarks...",
               flush=True)
         results["benchmarks"].update(bench_telemetry(args.scale))
+    if wanted("cluster"):
+        print("running cluster (remote sweep + federation) benchmarks...",
+              flush=True)
+        results["benchmarks"].update(bench_cluster(args.scale))
     if not args.skip_suite and wanted("suite"):
         print("running experiment-suite benchmarks...", flush=True)
         results["benchmarks"].update(bench_suite(args.scale, args.workers))
 
-    pr6_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr6.json")
-    comparison = _compare_to_previous(results["benchmarks"], pr6_path, "pr6")
+    pr7_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr7.json")
+    comparison = _compare_to_previous(results["benchmarks"], pr7_path, "pr7")
     if comparison:
-        results["comparison_to_pr6"] = comparison
-    # The lifelines arm's expiry-off baseline must hold parity with PR 6's
-    # chaos arm no-fault baseline (same stack recipe, open-loop drive).
+        results["comparison_to_pr7"] = comparison
+    # The lifelines arm's expiry-off baseline must hold parity with PR 7's
+    # (identical stack recipe and open-loop drive).
     try:
         lifelines_arm = results["benchmarks"].get("serving_lifelines")
         if lifelines_arm is not None and "expiry_cancel_off" in lifelines_arm:
-            with open(pr6_path) as handle:
-                pr6_arm = json.load(handle)["benchmarks"]["serving_chaos"]
-            pr6_baseline = pr6_arm["baseline"]
-            pr6_fraction = pr6_baseline["within_budget"] / max(
-                pr6_baseline["offered"], 1
+            with open(pr7_path) as handle:
+                pr7_arm = json.load(handle)["benchmarks"]["serving_lifelines"]
+            pr7_off = pr7_arm["expiry_cancel_off"]
+            pr7_fraction = pr7_off["within_budget"] / max(
+                pr7_off["offered"], 1
             )
-            lifelines_arm["bench_pr6_chaos_baseline_good_fraction"] = (
-                pr6_fraction
-            )
-            # Rate-normalized: the arms offer different absolute rates
-            # (and budgets), so compare good responses per offered request.
+            lifelines_arm["bench_pr7_expiry_off_good_fraction"] = pr7_fraction
+            # Rate-normalized: the arms may offer different absolute rates,
+            # so compare good responses per offered request.
             off = lifelines_arm["expiry_cancel_off"]
             off_fraction = off["within_budget"] / max(off["offered"], 1)
-            lifelines_arm["expiry_off_vs_pr6_chaos_good_fraction"] = (
-                off_fraction / max(pr6_fraction, 1e-9)
+            lifelines_arm["expiry_off_vs_pr7_good_fraction"] = (
+                off_fraction / max(pr7_fraction, 1e-9)
             )
     except (OSError, ValueError, KeyError):
         pass

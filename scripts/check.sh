@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 repo check: byte-compile the package and run the fast test profile.
 #
-# Usage: scripts/check.sh [--serve|--telemetry|--chaos|--soak|--soak-long]
+# Usage: scripts/check.sh [--serve|--telemetry|--cluster|--chaos|--soak|--soak-long]
 #                         [extra args...]
 # Examples:
 #   scripts/check.sh                 # compileall + fast tier-1 tests
@@ -10,6 +10,10 @@
 #   scripts/check.sh --telemetry     # compileall + every telemetry test
 #                                    # (bus/timeline/coordinator tier-1
 #                                    # plus the SSE/dashboard e2e)
+#   scripts/check.sh --cluster       # compileall + every cluster test
+#                                    # (documents/membership/ledger/socket
+#                                    # tier-1 plus the two-process CLI
+#                                    # worker demo over localhost sockets)
 #   scripts/check.sh --chaos         # compileall + the fault-injection
 #                                    # conformance suite (kills, corruption,
 #                                    # frozen peers; deterministic seeds)
@@ -40,6 +44,12 @@ elif [[ "${1:-}" == "--telemetry" ]]; then
     # plus the serving-side telemetry integration tests.
     python -m pytest -x -q -m "" tests/telemetry \
         tests/serve/test_telemetry_serve.py "$@"
+elif [[ "${1:-}" == "--cluster" ]]; then
+    shift
+    # The whole cluster suite: the socket-free tier-1 tests plus the
+    # cluster-marked two-process demo (a real `repro.cli worker` child
+    # leasing sweep points over localhost sockets).
+    python -m pytest -x -q -m "" tests/cluster "$@"
 elif [[ "${1:-}" == "--chaos" ]]; then
     shift
     python -m pytest -x -q -m chaos "$@"

@@ -153,6 +153,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not args.no_progress:
         ticker = _ProgressTicker(spool_dir)
         ticker.start()
+    hub = None
+    if args.listen is not None:
+        from repro.cluster.worker import SweepHub
+
+        listen = (
+            args.listen if ":" in args.listen else f"127.0.0.1:{args.listen}"
+        )
+        hub = SweepHub.create(session, listen=listen, telemetry_dir=spool_dir)
+        session.hub = hub
+        host, port = hub.address
+        print(
+            f"sweep hub: listening on {host}:{port} (connect executors "
+            f"with `repro.cli worker --connect {host}:{port}`)",
+            file=sys.stderr,
+        )
     try:
         for name in names:
             module = EXPERIMENTS[name]
@@ -167,6 +182,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if ticker is not None:
                 ticker.resume()
     finally:
+        if hub is not None:
+            hub.close()
         if ticker is not None:
             ticker.stop()
             print(f"sweep: {ticker.summary()}", file=sys.stderr)
@@ -218,6 +235,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overrides["policy"] = args.policy
     registry = default_registry(models=args.models or ["resnet18"], **overrides)
     spool_budget_bytes = int(args.spool_budget_mb * 1024 * 1024)
+    if args.federate is not None:
+        # Cross-machine federation: this process's metrics exchange, QoS
+        # quorum and telemetry spool all flow through the cluster agent at
+        # --federate, so servers on different hosts form one service.
+        if args.shards > 1:
+            print(
+                "--federate federates whole processes; run one `serve "
+                "--federate` per machine instead of combining it with "
+                "--shards",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.cluster.documents import DocumentStore
+        from repro.cluster.transport import RemoteSpoolWriter, SocketTransport
+        from repro.serve.sharding import ShardMetricsExchange
+        from repro.telemetry import bus as telemetry_bus
+        from repro.telemetry.coordinator import (
+            QoSCoordinator,
+            ShardStateChannel,
+        )
+
+        index, count = args.fed_index, args.fed_count
+        if not 0 <= index < count:
+            print("--fed-index must be in [0, --fed-count)", file=sys.stderr)
+            return 2
+        transport = SocketTransport(
+            args.federate, node=f"serve-{index}", role="serve"
+        )
+        exchange = ShardMetricsExchange(
+            None, index, count, store=DocumentStore(transport, "exchange")
+        )
+        coordinator = None
+        if not args.no_coordinate:
+            coordinator = QoSCoordinator(
+                ShardStateChannel(
+                    None, index, count, store=DocumentStore(transport, "qos")
+                ),
+                min_publish_s=1.0,
+                gather_cache_s=0.1,
+            )
+        telemetry_bus.get_bus().attach_spool_sink(
+            RemoteSpoolWriter(transport, "telemetry", role="serve")
+        )
+        run_server(
+            registry=registry,
+            scale=args.scale,
+            fork_workers=args.fork_workers,
+            host=args.host,
+            port=args.port,
+            shard_exchange=exchange,
+            shard_index=index,
+            coordinator=coordinator,
+            max_connections=args.max_connections,
+            spool_budget_bytes=spool_budget_bytes,
+        )
+        return 0
     if args.shards > 1:
         from repro.serve.sharding import run_sharded
 
@@ -269,6 +342,61 @@ def _cmd_dash(args: argparse.Namespace) -> int:
         print(f"repro.telemetry: following {nested}", flush=True)
         directory = nested
     run_dashboard(spool_dir=directory, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.cluster.worker import RemoteWorker
+
+    # Point runners register on import; the built-in experiment registry
+    # is imported by RemoteWorker.run itself, --import adds extra kinds
+    # (e.g. a test harness's cheap runners).
+    for module in args.imports or []:
+        importlib.import_module(module)
+    worker = RemoteWorker(
+        args.connect, node=args.node, max_idle_s=args.max_idle_s
+    )
+    summary = worker.run()
+    print(
+        f"worker: completed {summary['completed_points']} point(s) in "
+        f"{summary['completed_groups']} group(s), "
+        f"{summary['failed_groups']} group(s) failed",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.cluster.agent import ClusterAgent
+    from repro.cluster.transport import parse_address
+
+    listen = args.listen if ":" in args.listen else f"127.0.0.1:{args.listen}"
+    host, port = parse_address(listen)
+    spaces = {
+        name: os.path.join(args.dir, name)
+        for name in ("exchange", "qos", "telemetry", "points")
+    }
+    agent = ClusterAgent(spaces, host=host, port=port, node=args.node)
+
+    async def serve() -> None:
+        bound_host, bound_port = await agent.start()
+        print(
+            f"repro.cluster: agent {agent.node!r} on "
+            f"{bound_host}:{bound_port} serving {sorted(spaces)} under "
+            f"{args.dir}",
+            flush=True,
+        )
+        await agent.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -358,6 +486,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="spool sweep telemetry events into this directory (kept after "
         "the run; watch it live with `repro.cli dash --dir DIR`)",
+    )
+    run_parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve a sweep hub on this address: remote `repro.cli worker "
+        "--connect` processes lease pending points and stream results "
+        "(and telemetry) into this run's store (port 0 picks a free port)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -470,6 +606,28 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics exchange); over budget the writer degrades to "
         "count-and-drop instead of filling the disk (0 = unlimited)",
     )
+    serve_parser.add_argument(
+        "--federate",
+        default=None,
+        metavar="HOST:PORT",
+        help="join the cross-machine serving federation whose cluster agent "
+        "(`repro.cli agent`) listens at this address: metrics exchange, "
+        "QoS quorum and telemetry all flow through the agent's shared "
+        "spaces, so servers on different hosts answer /v1/metrics and "
+        "walk the QoS ladder as one service",
+    )
+    serve_parser.add_argument(
+        "--fed-index",
+        type=int,
+        default=0,
+        help="this process's shard index within the federation",
+    )
+    serve_parser.add_argument(
+        "--fed-count",
+        type=int,
+        default=1,
+        help="total server processes in the federation",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     dash_parser = subparsers.add_parser(
@@ -485,6 +643,54 @@ def build_parser() -> argparse.ArgumentParser:
     dash_parser.add_argument("--host", default="127.0.0.1")
     dash_parser.add_argument("--port", type=int, default=8471)
     dash_parser.set_defaults(func=_cmd_dash)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="remote sweep executor: lease points from a `run --listen` hub",
+    )
+    worker_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the sweep hub (printed by `repro.cli run --listen`)",
+    )
+    worker_parser.add_argument(
+        "--node",
+        default=None,
+        help="node identity in the hub's roster (default: host-role-pid)",
+    )
+    worker_parser.add_argument(
+        "--max-idle-s",
+        type=float,
+        default=None,
+        help="exit after this long without leased work (default: stay "
+        "resident until the hub goes away)",
+    )
+    worker_parser.add_argument(
+        "--import",
+        dest="imports",
+        action="append",
+        metavar="MODULE",
+        help="import MODULE before serving (registers extra point runners)",
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
+
+    agent_parser = subparsers.add_parser(
+        "agent",
+        help="standalone cluster agent serving shared spaces over TCP",
+    )
+    agent_parser.add_argument(
+        "--dir",
+        required=True,
+        help="root directory of the served spaces (exchange/, qos/, "
+        "telemetry/, points/ are created under it; follow telemetry/ "
+        "with `repro.cli dash --dir`)",
+    )
+    agent_parser.add_argument(
+        "--listen", default="127.0.0.1:9431", metavar="[HOST:]PORT"
+    )
+    agent_parser.add_argument("--node", default="agent")
+    agent_parser.set_defaults(func=_cmd_agent)
 
     client_parser = subparsers.add_parser(
         "client", help="closed-loop load generator against a running server"

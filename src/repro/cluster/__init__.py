@@ -1,0 +1,67 @@
+"""`repro.cluster`: the multi-machine substrate.
+
+Three subsystems independently reinvented the same two primitives --
+atomic-rename JSON documents (QoS coordinator, shard metrics exchange)
+and per-pid append-only JSONL spools with a merging follower (telemetry
+bus, sharded metrics).  This package owns them once:
+
+* :mod:`repro.cluster.documents` -- ``atomic_write_json``/``pid_alive``,
+  the staleness horizons, a generalized publisher-liveness rule that
+  works for *remote* publishers (where a pid means nothing), and a
+  :class:`DocumentStore` with corrupt-document count-and-drop over a
+  pluggable transport.
+* :mod:`repro.cluster.spool` -- :class:`SpoolWriter` (per-writer
+  monotonic sequence numbers) and :class:`SpoolFollower` (merging tail
+  whose cross-file order survives cross-machine clock skew).
+* :mod:`repro.cluster.membership` -- :class:`ClusterMember` identity and
+  a heartbeat :class:`MembershipRoster`.
+* :mod:`repro.cluster.transport` -- :class:`LocalDirTransport` (today's
+  shared directory, bit-compatible with existing spools) and
+  :class:`SocketTransport` (length-prefixed JSON frames over TCP with
+  the deadline/retry/backoff client vocabulary).
+* :mod:`repro.cluster.agent` -- the node-local asyncio TCP agent serving
+  document GET/PUT, spool append and work leases.
+* :mod:`repro.cluster.worker` -- the remote sweep executor pair:
+  :class:`SweepHub` (parent side) and :class:`RemoteWorker` (leases
+  :class:`~repro.eval.sweep.SweepPoint` groups and streams results back
+  into the parent's content-addressed store).
+
+``transport``/``agent``/``worker`` import serving vocabulary and are
+deliberately *not* imported here -- the light, stdlib-only layers below
+stay importable from anywhere without cycles.
+"""
+
+from repro.cluster.documents import (
+    METRICS_STALE_AFTER_S,
+    QOS_STALE_AFTER_S,
+    DocumentCorrupt,
+    DocumentStore,
+    atomic_write_json,
+    local_host,
+    pid_alive,
+    publisher_alive,
+)
+from repro.cluster.membership import ClusterMember, MembershipRoster
+from repro.cluster.spool import (
+    DEFAULT_ROTATE_BYTES,
+    Event,
+    SpoolFollower,
+    SpoolWriter,
+)
+
+__all__ = [
+    "METRICS_STALE_AFTER_S",
+    "QOS_STALE_AFTER_S",
+    "DocumentCorrupt",
+    "DocumentStore",
+    "atomic_write_json",
+    "local_host",
+    "pid_alive",
+    "publisher_alive",
+    "ClusterMember",
+    "MembershipRoster",
+    "DEFAULT_ROTATE_BYTES",
+    "Event",
+    "SpoolFollower",
+    "SpoolWriter",
+]

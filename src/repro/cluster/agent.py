@@ -1,0 +1,417 @@
+"""The node-local cluster agent: one TCP endpoint per shared-state hub.
+
+A :class:`ClusterAgent` is a stdlib-asyncio TCP server that exposes a
+set of named *spaces* (each mapped to a host directory) to remote
+processes over length-prefixed JSON frames: document GET/PUT/LIST/DELETE
+(the :class:`~repro.cluster.documents.DocumentStore` wire backend),
+spool append (remote telemetry writers), membership (hello/heartbeat/
+members against a :class:`~repro.cluster.membership.MembershipRoster`),
+and work leases (a :class:`WorkLedger` of
+:class:`~repro.eval.sweep.SweepPoint` groups for remote sweep
+executors).
+
+Because a space is just a directory, everything an agent serves is
+bit-compatible with the local substrate: a remote ``doc_put`` lands as
+the same atomic-rename JSON file a local publisher would have written,
+and a remote spool append extends the same JSONL files a local
+:class:`~repro.cluster.spool.SpoolFollower` merges.  The parent process
+embeds an agent (:meth:`ClusterAgent.start_in_thread`) to become a hub;
+``repro.cli agent`` runs one standalone.
+
+Every request carrying a node identity beats the roster, so a worker
+that is busy computing still proves liveness with its heartbeat thread
+-- and a worker that dies (or is partitioned) goes stale within one
+horizon, at which point its leases are recycled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.cluster.documents import (
+    QOS_STALE_AFTER_S,
+    DocumentCorrupt,
+    atomic_write_json,
+)
+from repro.cluster.membership import MembershipRoster
+from repro.cluster.transport import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    safe_name,
+)
+
+
+class WorkLedger:
+    """A lease queue of work groups (lists of JSON-able items).
+
+    ``offer`` enqueues a group; ``lease`` hands the next group to a
+    node; ``complete`` retires a lease (only by its owner);
+    ``requeue_dead`` returns the leases of dead nodes to the queue so a
+    live worker -- or, ultimately, the parent's serial recompute -- picks
+    them up.  ``fail`` abandons a lease terminally (a runner that raised
+    deterministically must not ping-pong between workers; the parent
+    recomputes it).
+    """
+
+    def __init__(self, clock=time.time):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._queue: list[tuple[int, list]] = []
+        self._leases: dict[int, dict] = {}
+        self._next_group = 0
+        self._next_lease = 0
+        self.completed_groups = 0
+        self.failed_groups = 0
+        self.recycled_leases = 0
+
+    def offer(self, items: list) -> int:
+        with self._lock:
+            self._next_group += 1
+            group = self._next_group
+            self._queue.append((group, list(items)))
+            return group
+
+    def lease(self, node: str) -> dict | None:
+        with self._lock:
+            if not self._queue:
+                return None
+            group, items = self._queue.pop(0)
+            self._next_lease += 1
+            lease = {
+                "lease": self._next_lease,
+                "group": group,
+                "items": items,
+                "node": str(node),
+                "leased_at": self.clock(),
+            }
+            self._leases[lease["lease"]] = lease
+            return {"lease": lease["lease"], "group": group, "items": items}
+
+    def complete(self, lease_id: int, node: str) -> bool:
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease["node"] != str(node):
+                # A recycled lease completed late by a returned node: the
+                # results are content-addressed, so the store is still
+                # consistent -- only the lease bookkeeping refuses.
+                return False
+            del self._leases[lease_id]
+            self.completed_groups += 1
+            return True
+
+    def fail(self, lease_id: int, node: str) -> bool:
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease["node"] != str(node):
+                return False
+            del self._leases[lease_id]
+            self.failed_groups += 1
+            return True
+
+    def requeue_dead(self, is_live) -> int:
+        """Return the leases of dead nodes to the queue head."""
+        with self._lock:
+            recycled = 0
+            for lease_id in list(self._leases):
+                lease = self._leases[lease_id]
+                if not is_live(lease["node"]):
+                    del self._leases[lease_id]
+                    self._queue.insert(0, (lease["group"], lease["items"]))
+                    recycled += 1
+            self.recycled_leases += recycled
+            return recycled
+
+    def outstanding(self) -> bool:
+        with self._lock:
+            return bool(self._queue or self._leases)
+
+    def queued(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def leased(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "queued": len(self._queue),
+                "leased": len(self._leases),
+                "completed": self.completed_groups,
+                "failed": self.failed_groups,
+                "recycled": self.recycled_leases,
+            }
+
+
+class ClusterAgent:
+    """One node's shared-state endpoint (see module docstring)."""
+
+    def __init__(
+        self,
+        spaces: dict,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        node: str = "hub",
+        stale_after_s: float = QOS_STALE_AFTER_S,
+        clock=time.time,
+    ):
+        self.spaces = {name: str(path) for name, path in spaces.items()}
+        for directory in self.spaces.values():
+            os.makedirs(directory, exist_ok=True)
+        self.host = host
+        self.port = int(port)
+        self.node = node
+        self.clock = clock
+        self.roster = MembershipRoster(stale_after_s=stale_after_s, clock=clock)
+        self.ledger = WorkLedger(clock=clock)
+        #: Handed to every ``hello`` (the sweep hub puts its session id,
+        #: scale and resume policy here so workers evaluate into the same
+        #: store identity).
+        self.meta: dict = {}
+        self.address: tuple[str, int] | None = None
+        self.frames = 0
+        self.errors = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._spool_lock = threading.Lock()
+
+    # -- request handling --------------------------------------------------
+    def _space_dir(self, request: dict) -> str:
+        space = str(request.get("space", ""))
+        try:
+            return self.spaces[space]
+        except KeyError:
+            raise ValueError(f"unknown space: {space!r}") from None
+
+    def _beat(self, request: dict) -> None:
+        node = request.get("node")
+        if node:
+            self.roster.beat(
+                str(node),
+                host=request.get("host"),
+                pid=request.get("pid"),
+                role=request.get("role"),
+                info=request.get("info"),
+            )
+
+    def handle(self, request: dict) -> dict:
+        """Dispatch one request document to its op (errors become
+        ``ok: false`` responses -- a bad request must not kill the
+        connection, let alone the agent)."""
+        try:
+            return self._dispatch(request)
+        except Exception as exc:  # noqa: BLE001 - refused, not fatal
+            self.errors += 1
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        self._beat(request)
+        if op == "ping":
+            return {"ok": True, "node": self.node, "at": self.clock()}
+        if op == "hello":
+            return {
+                "ok": True,
+                "node": self.node,
+                "spaces": sorted(self.spaces),
+                "meta": dict(self.meta),
+            }
+        if op == "heartbeat":
+            return {"ok": True}
+        if op == "members":
+            return {"ok": True, "members": [
+                member.document() for member in self.roster.members()
+            ]}
+        if op == "doc_put":
+            directory = self._space_dir(request)
+            name = safe_name(str(request.get("name", "")))
+            document = request.get("document")
+            if not isinstance(document, dict):
+                raise ValueError("document must be a JSON object")
+            atomic_write_json(directory, name, document)
+            return {"ok": True}
+        if op == "doc_get":
+            directory = self._space_dir(request)
+            name = safe_name(str(request.get("name", "")))
+            try:
+                with open(
+                    os.path.join(directory, name), encoding="utf-8"
+                ) as handle:
+                    document = json.load(handle)
+                if not isinstance(document, dict):
+                    raise DocumentCorrupt(name)
+            except OSError:
+                return {"ok": True, "document": None}
+            except (ValueError, DocumentCorrupt):
+                return {"ok": True, "document": None, "corrupt": True}
+            return {"ok": True, "document": document}
+        if op == "doc_list":
+            directory = self._space_dir(request)
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                names = []
+            return {"ok": True, "names": sorted(
+                name for name in names
+                if name.endswith(".json") and not name.startswith(".")
+            )}
+        if op == "doc_delete":
+            directory = self._space_dir(request)
+            name = safe_name(str(request.get("name", "")))
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
+            return {"ok": True}
+        if op == "doc_size":
+            directory = self._space_dir(request)
+            name = safe_name(str(request.get("name", "")))
+            try:
+                size = os.path.getsize(os.path.join(directory, name))
+            except OSError:
+                size = 0
+            return {"ok": True, "size": size}
+        if op == "spool_append":
+            directory = self._space_dir(request)
+            writer = safe_name(str(request.get("writer", "")), suffix=".jsonl")
+            lines = request.get("lines")
+            if not isinstance(lines, list):
+                raise ValueError("lines must be a list")
+            for line in lines:
+                if not isinstance(line, str) or "\n" in line:
+                    raise ValueError("spool lines must be newline-free strings")
+                json.loads(line)  # refuse garbage before it hits the spool
+            with self._spool_lock:
+                with open(
+                    os.path.join(directory, writer), "a", encoding="utf-8"
+                ) as handle:
+                    for line in lines:
+                        handle.write(line + "\n")
+                    handle.flush()
+            return {"ok": True, "appended": len(lines)}
+        if op == "lease_next":
+            self.ledger.requeue_dead(self.roster.is_live)
+            lease = self.ledger.lease(str(request.get("node", "")))
+            return {"ok": True, "lease": lease}
+        if op == "lease_done":
+            accepted = self.ledger.complete(
+                int(request.get("lease", 0)), str(request.get("node", ""))
+            )
+            return {"ok": True, "accepted": accepted}
+        if op == "lease_fail":
+            accepted = self.ledger.fail(
+                int(request.get("lease", 0)), str(request.get("node", ""))
+            )
+            return {"ok": True, "accepted": accepted}
+        raise ValueError(f"unknown op: {op!r}")
+
+    # -- the asyncio server ------------------------------------------------
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                length = int.from_bytes(header, "big")
+                if length > MAX_FRAME_BYTES:
+                    break  # hostile length prefix: drop the connection
+                try:
+                    body = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    request = json.loads(body.decode("utf-8"))
+                    if not isinstance(request, dict):
+                        raise ValueError("request is not a JSON object")
+                except ValueError:
+                    self.errors += 1
+                    break  # unframeable garbage: the peer is broken
+                self.frames += 1
+                response = self.handle(request)
+                try:
+                    writer.write(encode_frame(response))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+        except asyncio.CancelledError:
+            pass  # stop() cancels live connection handlers
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already torn down
+                pass
+
+    async def start(self) -> tuple[str, int]:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._started.set()
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- embedding ---------------------------------------------------------
+    def start_in_thread(self) -> tuple[str, int]:
+        """Run the agent on a daemon thread; returns the bound address.
+
+        How a parent process becomes a hub without owning an event loop:
+        the sweep orchestrator and tests embed the agent this way.
+        """
+        def run():
+            try:
+                asyncio.run(self.serve_forever())
+            except asyncio.CancelledError:
+                pass  # stop() cancels serve_forever to unwind the loop
+
+        self._thread = threading.Thread(
+            target=run, name=f"cluster-agent-{self.node}", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("cluster agent failed to start")
+        return self.address
+
+    def stop(self) -> None:
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None:
+            def shutdown():
+                server.close()
+                # Cancel serve_forever so asyncio.run unwinds the thread.
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            try:
+                loop.call_soon_threadsafe(shutdown)
+            except RuntimeError:  # pragma: no cover - loop already dead
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def snapshot(self) -> dict:
+        return {
+            "node": self.node,
+            "address": list(self.address) if self.address else None,
+            "spaces": sorted(self.spaces),
+            "frames": self.frames,
+            "errors": self.errors,
+            "members": self.roster.snapshot()["members"],
+            "ledger": self.ledger.snapshot(),
+        }

@@ -1,0 +1,235 @@
+"""Replicated JSON documents: the cluster's shared-state primitive.
+
+Every piece of cross-process shared state in the repo -- QoS shard
+documents, metrics exchange payloads, membership heartbeats, sweep work
+leases -- is one small JSON document replaced atomically as a whole.
+This module owns the primitive once:
+
+* :func:`atomic_write_json` -- write-to-temp + ``os.replace``; readers
+  never see a torn file (previously cloned in ``telemetry/bus.py``,
+  ``telemetry/coordinator.py`` and ``serve/sharding.py``).
+* :data:`QOS_STALE_AFTER_S` / :data:`METRICS_STALE_AFTER_S` -- the two
+  staleness horizons those subsystems had each hardcoded.
+* :func:`publisher_alive` -- the liveness rule generalized to remote
+  publishers: a document is live while its heartbeat is fresh, and a
+  *local* publisher is additionally required to have a live pid (fast
+  eviction on crash).  A remote publisher's pid means nothing here, so
+  staleness is its only death certificate.
+* :class:`DocumentStore` -- get/put/list/delete over a pluggable
+  transport (:class:`~repro.cluster.transport.LocalDirTransport` today,
+  :class:`~repro.cluster.transport.SocketTransport` across machines)
+  with the corrupt-document count-and-drop contract: a document that
+  fails to parse is counted and excluded, never raised into a QoS tick
+  or a metrics merge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket as socket_module
+import time
+
+#: A QoS shard document older than this is excluded from the quorum (a
+#: shard that stopped ticking must not pin the service to its last
+#: desire).
+QOS_STALE_AFTER_S = 5.0
+
+#: A metrics payload older than this is reported but flagged stale (a
+#: shard that crashed stops publishing; its last counters remain valid
+#: history until reaped).
+METRICS_STALE_AFTER_S = 10.0
+
+_LOCAL_HOST: str | None = None
+
+
+def local_host() -> str:
+    """This machine's name, as stamped into published documents."""
+    global _LOCAL_HOST
+    if _LOCAL_HOST is None:
+        try:
+            _LOCAL_HOST = socket_module.gethostname() or "localhost"
+        except OSError:  # pragma: no cover - no hostname configured
+            _LOCAL_HOST = "localhost"
+    return _LOCAL_HOST
+
+
+class DocumentCorrupt(ValueError):
+    """A stored document exists but does not parse to a JSON object."""
+
+
+def atomic_write_json(directory: str, filename: str, document: dict) -> None:
+    """Atomically replace ``directory/filename`` with one JSON document.
+
+    Write-to-temp + ``os.replace``: readers never see a torn file.  The
+    shared primitive behind the sharding metrics exchange, the QoS
+    coordination channel and the cluster document store.
+    """
+    import tempfile
+
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=directory,
+        prefix=f".{filename}.",
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        json.dump(document, handle)
+        handle.close()
+        os.replace(handle.name, os.path.join(directory, filename))
+    except BaseException:  # pragma: no cover - directory torn down
+        handle.close()
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on this machine."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's pid
+        return True
+    except OSError:  # pragma: no cover - non-POSIX
+        return False
+    return True
+
+
+def publisher_process_alive(document: dict, host: str | None = None):
+    """Whether the document's publishing process is alive.
+
+    Returns ``True``/``False`` for a publisher on *this* machine (pid
+    probe), and ``None`` for a remote publisher -- its process liveness
+    is unknowable here, so callers must fall back to heartbeat
+    staleness.  Documents without a ``host`` field predate the cluster
+    substrate and are treated as local.
+    """
+    doc_host = document.get("host")
+    if doc_host is not None and doc_host != (host or local_host()):
+        return None
+    try:
+        pid = int(document.get("pid", 0) or 0)
+    except (TypeError, ValueError):
+        return False
+    if not pid:
+        # Published before pids were recorded: nothing to probe.
+        return None
+    return pid_alive(pid)
+
+
+def publisher_alive(
+    document: dict,
+    stale_after_s: float,
+    now: float | None = None,
+    host: str | None = None,
+) -> bool:
+    """The generalized liveness rule for one published document.
+
+    Live means: the heartbeat (``published_at``) is within
+    ``stale_after_s``, *and* -- when the publisher runs on this machine
+    -- its pid still names a live process.  A remote publisher is judged
+    on freshness alone: the pid/staleness eviction the QoS coordinator
+    used for local shards, extended to nodes whose pids we cannot probe.
+    """
+    if now is None:
+        now = time.time()
+    try:
+        published_at = float(document.get("published_at", 0.0))
+    except (TypeError, ValueError):
+        return False
+    if now - published_at > stale_after_s:
+        return False
+    return publisher_process_alive(document, host=host) is not False
+
+
+class DocumentStore:
+    """Named JSON documents in one *space*, over a pluggable transport.
+
+    A space is a flat namespace of small documents (``shard-0.json``,
+    ``member-a.json``, ...) mapped by the transport onto a directory --
+    local (:class:`~repro.cluster.transport.LocalDirTransport`,
+    bit-compatible with the pre-cluster spool directories) or behind a
+    node agent (:class:`~repro.cluster.transport.SocketTransport`).
+
+    The store owns the corrupt-document contract shared by every
+    consumer: :meth:`get` returns ``None`` for a document that exists
+    but does not parse, counting it in :attr:`corrupt_documents`;
+    callers that reject *structurally* invalid documents count them into
+    the same tally via :meth:`note_corrupt`.  An optional
+    :class:`~repro.utils.diskbudget.DiskBudget` bounds :meth:`put` with
+    the count-and-drop degrade (only net growth is charged: a put
+    replaces the previous version of the same document).
+    """
+
+    def __init__(self, transport, space: str = "", budget=None):
+        self.transport = transport
+        self.space = str(space)
+        self.budget = budget
+        self.corrupt_documents = 0
+        self.dropped_puts = 0
+
+    @classmethod
+    def for_directory(cls, directory: str, budget=None) -> "DocumentStore":
+        """A store over a plain local directory (the pre-cluster layout)."""
+        from repro.cluster.transport import LocalDirTransport
+
+        return cls(LocalDirTransport(directory), "", budget=budget)
+
+    def put(self, name: str, document: dict) -> bool:
+        """Atomically replace one document; False when dropped (budget)."""
+        if self.budget is not None:
+            size = len(json.dumps(document, separators=(",", ":")))
+            old_size = self.transport.doc_size(self.space, name)
+            if not self.budget.admit(max(0, size - old_size)):
+                self.dropped_puts += 1
+                return False
+        try:
+            self.transport.doc_put(self.space, name, document)
+        except OSError as exc:
+            from repro.utils.diskbudget import is_enospc
+
+            if is_enospc(exc):
+                self.dropped_puts += 1
+                if self.budget is not None:
+                    self.budget.note_enospc()
+                return False
+            raise
+        return True
+
+    def get(self, name: str) -> dict | None:
+        """One document, or ``None`` when absent or corrupt (counted)."""
+        try:
+            return self.transport.doc_get(self.space, name)
+        except DocumentCorrupt:
+            self.corrupt_documents += 1
+            return None
+
+    def note_corrupt(self) -> None:
+        """Count a document the caller parsed but found structurally bad."""
+        self.corrupt_documents += 1
+
+    def list(self) -> list[str]:
+        return self.transport.doc_list(self.space)
+
+    def delete(self, name: str) -> None:
+        self.transport.doc_delete(self.space, name)
+
+    def size(self, name: str) -> int:
+        return self.transport.doc_size(self.space, name)
+
+    def get_all(self) -> dict[str, dict]:
+        """Every parseable document by name (corrupt ones counted out)."""
+        documents: dict[str, dict] = {}
+        for name in self.list():
+            document = self.get(name)
+            if document is not None:
+                documents[name] = document
+        return documents

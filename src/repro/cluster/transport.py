@@ -1,0 +1,443 @@
+"""Cluster transports: how documents and spool records travel.
+
+Two implementations of one duck-typed interface (``doc_put``,
+``doc_get``, ``doc_list``, ``doc_delete``, ``doc_size``,
+``spool_append``), selected by whoever builds a
+:class:`~repro.cluster.documents.DocumentStore`:
+
+* :class:`LocalDirTransport` -- named *spaces* mapped onto local
+  directories.  Bit-compatible with the pre-cluster layout: a document
+  is exactly the atomic-rename JSON file the metrics exchange and QoS
+  channel always wrote, a spool append is exactly the JSONL line the
+  telemetry spools always appended, so existing followers and stores
+  read it unchanged.
+* :class:`SocketTransport` -- a blocking TCP client speaking
+  **length-prefixed JSON frames** (4-byte big-endian length, then one
+  UTF-8 JSON object) to a :class:`~repro.cluster.agent.ClusterAgent`.
+  Wire calls reuse the request-lifeline vocabulary from PR 7: every
+  call may carry a :class:`~repro.serve.deadline.Deadline`, and failed
+  calls retry on a :class:`~repro.serve.client.RetryPolicy`
+  (capped-exponential backoff with seeded jitter, never retrying past
+  the deadline), reconnecting between attempts.
+
+:class:`RemoteSpoolWriter` adapts either transport to the
+:class:`~repro.cluster.spool.SpoolWriter` sink interface the telemetry
+bus expects, so a process on another machine can stream its events into
+the hub's spool directory (per-writer ``wseq`` stamped client-side: the
+ordering guarantee crosses the wire intact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import socket
+import struct
+import threading
+import time
+
+from repro.cluster.documents import DocumentCorrupt, atomic_write_json, local_host
+
+#: Refuse frames larger than this (a garbage length prefix must not make
+#: either side allocate gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class TransportError(RuntimeError):
+    """The transport could not complete a call (after retries)."""
+
+
+class CallFailed(TransportError):
+    """The agent answered, but refused the call (``ok: false``)."""
+
+
+def encode_frame(document: dict) -> bytes:
+    data = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {len(data)} bytes")
+    return _LENGTH.pack(len(data)) + data
+
+
+def decode_frame_length(header: bytes) -> int:
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {length} bytes")
+    return length
+
+
+def parse_address(address) -> tuple[str, int]:
+    """``(host, port)`` from a tuple or a ``host:port`` string."""
+    if isinstance(address, (tuple, list)):
+        return str(address[0]), int(address[1])
+    host, _, port = str(address).rpartition(":")
+    if not host:
+        raise ValueError(f"address {address!r} is not host:port")
+    return host, int(port)
+
+
+def safe_name(name: str, suffix: str | None = None) -> str:
+    """Validate a client-supplied file name (no traversal, no hidden files)."""
+    if (
+        not name
+        or name != os.path.basename(name)
+        or name.startswith(".")
+        or "/" in name
+        or "\\" in name
+        or ".." in name
+    ):
+        raise ValueError(f"unsafe name: {name!r}")
+    if suffix is not None and not name.endswith(suffix):
+        raise ValueError(f"name {name!r} must end with {suffix!r}")
+    return name
+
+
+class LocalDirTransport:
+    """Spaces as local directories; documents as atomic-rename files."""
+
+    def __init__(self, root: str | None = None, spaces: dict | None = None):
+        if root is None and not spaces:
+            raise ValueError("LocalDirTransport needs a root or a space map")
+        self.root = str(root) if root is not None else None
+        self.spaces = {
+            name: str(path) for name, path in (spaces or {}).items()
+        }
+
+    def space_dir(self, space: str) -> str:
+        if space in self.spaces:
+            return self.spaces[space]
+        if self.root is None:
+            raise KeyError(f"unknown space: {space!r}")
+        return os.path.join(self.root, space) if space else self.root
+
+    def _ensure_dir(self, space: str) -> str:
+        directory = self.space_dir(space)
+        os.makedirs(directory, exist_ok=True)
+        return directory
+
+    def doc_put(self, space: str, name: str, document: dict) -> None:
+        atomic_write_json(self._ensure_dir(space), safe_name(name), document)
+
+    def doc_get(self, space: str, name: str) -> dict | None:
+        path = os.path.join(self.space_dir(space), safe_name(name))
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError:
+            return None
+        except ValueError as exc:
+            raise DocumentCorrupt(str(exc)) from None
+        if not isinstance(document, dict):
+            raise DocumentCorrupt(f"{name}: not a JSON object")
+        return document
+
+    def doc_list(self, space: str) -> list[str]:
+        try:
+            names = os.listdir(self.space_dir(space))
+        except (OSError, KeyError):
+            return []
+        return sorted(
+            name
+            for name in names
+            if name.endswith(".json") and not name.startswith(".")
+        )
+
+    def doc_delete(self, space: str, name: str) -> None:
+        try:
+            os.unlink(os.path.join(self.space_dir(space), safe_name(name)))
+        except OSError:
+            pass
+
+    def doc_size(self, space: str, name: str) -> int:
+        try:
+            return os.path.getsize(
+                os.path.join(self.space_dir(space), safe_name(name))
+            )
+        except OSError:
+            return 0
+
+    def spool_append(self, space: str, writer: str, lines: list[str]) -> None:
+        """Append complete JSONL lines to one writer file of a space."""
+        directory = self._ensure_dir(space)
+        path = os.path.join(directory, safe_name(writer, suffix=".jsonl"))
+        with open(path, "a", encoding="utf-8") as handle:
+            for line in lines:
+                if "\n" in line:
+                    raise ValueError("spool lines must not contain newlines")
+                handle.write(line + "\n")
+            handle.flush()
+
+    def close(self) -> None:
+        pass
+
+
+class SocketTransport:
+    """Blocking framed-JSON client for one :class:`ClusterAgent`.
+
+    Thread-safe (calls serialize on one connection; a heartbeat thread
+    and the work loop may share a transport).  Fork-aware: a pid change
+    abandons the inherited connection -- the parent still owns that
+    socket -- and reconnects.
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        node: str | None = None,
+        role: str = "client",
+        retry=None,
+        timeout_s: float = 10.0,
+        connect_timeout_s: float = 5.0,
+        rng: random.Random | None = None,
+        clock=time.monotonic,
+    ):
+        from repro.serve.client import RetryPolicy
+
+        self.address = parse_address(address)
+        self.role = role
+        self.node = node or f"{local_host()}-{role}-{os.getpid()}"
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_retries=4, base_backoff_ms=25.0, max_backoff_ms=500.0
+        )
+        self.timeout_s = float(timeout_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.rng = rng if rng is not None else random.Random(0xC1B5)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._pid = os.getpid()
+        self.calls = 0
+        self.retries = 0
+        self.reconnects = 0
+
+    # -- connection --------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            self.address, timeout=self.connect_timeout_s
+        )
+        sock.settimeout(self.timeout_s)
+        self.reconnects += 1
+        return sock
+
+    def _ensure(self) -> socket.socket:
+        if self._pid != os.getpid():
+            # Crossed a fork: the inherited socket is the parent's.
+            # Dropping our fd copy is safe; never speak on it.
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+            self._pid = os.getpid()
+        if self._sock is None:
+            self._sock = self._connect()
+        return self._sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    def rearm_after_fork(self) -> None:
+        """Replace the (possibly held) lock in a freshly forked child."""
+        self._lock = threading.Lock()
+        self._pid = 0  # force _ensure to abandon the inherited socket
+
+    # -- framing -----------------------------------------------------------
+    def _recv_exact(self, sock: socket.socket, count: int) -> bytes:
+        chunks = []
+        while count:
+            chunk = sock.recv(min(count, 1 << 20))
+            if not chunk:
+                raise TransportError("connection closed mid-frame")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip(self, request: dict) -> dict:
+        sock = self._ensure()
+        sock.sendall(encode_frame(request))
+        length = decode_frame_length(self._recv_exact(sock, 4))
+        response = json.loads(self._recv_exact(sock, length).decode("utf-8"))
+        if not isinstance(response, dict):
+            raise TransportError(f"malformed response: {response!r}")
+        return response
+
+    # -- calls -------------------------------------------------------------
+    def call(self, op: str, deadline=None, **fields) -> dict:
+        """One request/response, with reconnect + capped-backoff retries.
+
+        ``deadline`` is a :class:`~repro.serve.deadline.Deadline`: no
+        retry is ever scheduled past it (the no-retry-past-the-deadline
+        budget from the PR 7 client).
+        """
+        request = {"op": op, "node": self.node, **fields}
+        attempt = 0
+        while True:
+            self.calls += 1
+            with self._lock:
+                try:
+                    response = self._roundtrip(request)
+                except (OSError, ValueError, TransportError) as exc:
+                    self._drop()
+                    error = exc
+                else:
+                    error = None
+            if error is None:
+                if not response.get("ok", False):
+                    raise CallFailed(
+                        str(response.get("error", "call refused"))
+                    )
+                return response
+            delay_ms = self.retry.delay_ms(attempt, rng=self.rng)
+            remaining_ms = (
+                deadline.remaining_ms(self.clock)
+                if deadline is not None
+                else None
+            )
+            if not self.retry.should_retry(attempt, delay_ms, remaining_ms):
+                raise TransportError(
+                    f"{op} to {self.address[0]}:{self.address[1]} failed "
+                    f"after {attempt + 1} attempt(s): {error}"
+                ) from error
+            self.retries += 1
+            attempt += 1
+            time.sleep(delay_ms / 1000.0)
+
+    # -- membership --------------------------------------------------------
+    def hello(self, pid: int | None = None, info: dict | None = None) -> dict:
+        return self.call(
+            "hello",
+            host=local_host(),
+            pid=pid if pid is not None else os.getpid(),
+            role=self.role,
+            info=info or {},
+        )
+
+    def heartbeat(self) -> dict:
+        return self.call(
+            "heartbeat", host=local_host(), pid=os.getpid(), role=self.role
+        )
+
+    def members(self) -> list[dict]:
+        return self.call("members").get("members", [])
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    # -- document interface ------------------------------------------------
+    def doc_put(self, space: str, name: str, document: dict) -> None:
+        self.call("doc_put", space=space, name=name, document=document)
+
+    def doc_get(self, space: str, name: str) -> dict | None:
+        response = self.call("doc_get", space=space, name=name)
+        if response.get("corrupt"):
+            raise DocumentCorrupt(f"{space}/{name}: corrupt at the agent")
+        return response.get("document")
+
+    def doc_list(self, space: str) -> list[str]:
+        return list(self.call("doc_list", space=space).get("names", []))
+
+    def doc_delete(self, space: str, name: str) -> None:
+        self.call("doc_delete", space=space, name=name)
+
+    def doc_size(self, space: str, name: str) -> int:
+        return int(self.call("doc_size", space=space, name=name).get("size", 0))
+
+    def spool_append(self, space: str, writer: str, lines: list[str]) -> None:
+        self.call("spool_append", space=space, writer=writer, lines=list(lines))
+
+    # -- work leases -------------------------------------------------------
+    def lease_next(self) -> dict:
+        return self.call("lease_next", host=local_host(), pid=os.getpid(),
+                         role=self.role)
+
+    def lease_done(self, lease: int, completed: list[str]) -> dict:
+        return self.call("lease_done", lease=int(lease), completed=completed)
+
+    def lease_fail(self, lease: int, error: str = "") -> dict:
+        return self.call("lease_fail", lease=int(lease), error=error)
+
+
+def _sanitize(part: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "._-" else "-" for ch in str(part)
+    ) or "node"
+
+
+class RemoteSpoolWriter:
+    """A telemetry-bus spool sink that appends through a transport.
+
+    Drop-in for :class:`~repro.cluster.spool.SpoolWriter` where the bus
+    is concerned (``append``/``close``/``stats``/``rearm_after_fork``,
+    ``path``/``directory``): events are stamped with this writer's
+    monotonic ``wseq`` and shipped as complete JSONL lines to the
+    agent's spool space.  Telemetry stays best-effort across the wire:
+    a failed append (after the transport's own retries) is dropped and
+    counted, never raised into the publishing hot path.
+    """
+
+    def __init__(self, transport, space: str, role: str = "events"):
+        self.transport = transport
+        self.space = space
+        self.role = role
+        self.dropped_events = 0
+        self.enospc_drops = 0
+        self._lock = threading.Lock()
+        self._wseq = 0
+        self._pid = os.getpid()
+
+    @property
+    def writer_name(self) -> str:
+        return (
+            f"{_sanitize(self.role)}-{_sanitize(local_host())}"
+            f"-{os.getpid()}.jsonl"
+        )
+
+    @property
+    def path(self) -> str:
+        return f"{self.space}/{self.writer_name}"
+
+    @property
+    def directory(self) -> str:
+        host, port = self.transport.address
+        return f"cluster://{host}:{port}/{self.space}"
+
+    def append(self, event) -> None:
+        with self._lock:
+            if self._pid != os.getpid():
+                self._pid = os.getpid()
+                self._wseq = 0  # new pid -> new writer file at the agent
+            self._wseq += 1
+            event.wseq = self._wseq
+            line = event.to_json()
+        try:
+            self.transport.spool_append(self.space, self.writer_name, [line])
+        except (TransportError, OSError, ValueError):
+            with self._lock:
+                self.dropped_events += 1
+
+    def rearm_after_fork(self) -> None:
+        self._lock = threading.Lock()
+        self._pid = 0
+        self.transport.rearm_after_fork()
+
+    def stats(self) -> dict:
+        return {
+            "dropped_events": self.dropped_events,
+            "enospc_drops": self.enospc_drops,
+        }
+
+    def close(self) -> None:
+        pass

@@ -133,6 +133,7 @@ def run_worklists(
     worklists: list[list],
     initializer=None,
     finalizer=None,
+    remote_nodes=None,
 ) -> list[bool]:
     """Run each worklist of thunks serially inside one forked worker process.
 
@@ -144,6 +145,13 @@ def run_worklists(
     Returns one success flag per worklist; a worker that crashed or raised
     reports ``False``, and the caller is expected to degrade to running its
     missing work serially.
+
+    ``remote_nodes`` is the multi-machine seam: anything with a ``drain()``
+    method (a :class:`repro.cluster.worker.SweepHub`) holding work leased
+    to processes on *other* machines.  After the local forks are joined,
+    the remote work is drained under the same contract -- a dead remote
+    node abandons its leases and the caller recomputes what is missing,
+    exactly as for a crashed fork worker.
 
     Shutdown is graceful at both levels: a worker receiving SIGINT/SIGTERM
     finishes its in-flight thunk, skips the rest, runs the finalizer and
@@ -162,6 +170,8 @@ def run_worklists(
     try:
         for process in processes:
             process.join()
+        if remote_nodes is not None:
+            remote_nodes.drain()
     except BaseException:
         _drain_processes(processes)
         raise

@@ -121,6 +121,19 @@ class SweepPoint:
         return self.model if self.model is not None else f"@{self.kind}"
 
 
+def point_from_spec(spec: dict) -> SweepPoint:
+    """Rebuild a point from its :meth:`SweepPoint.spec` document.
+
+    The round trip is exact: ``point_from_spec(p.spec()).key == p.key``,
+    which is what lets a remote executor lease specs off the wire and
+    persist results under the identity the parent expects.  ``cost`` is
+    not part of the identity and is not carried.
+    """
+    return SweepPoint.make(
+        spec["kind"], spec.get("model"), **(spec.get("params") or {})
+    )
+
+
 _POINT_RUNNERS: dict[str, Callable] = {}
 
 
@@ -290,6 +303,9 @@ class SweepSession:
     cpu_count: int | None = None
     store_root: Path | str | None = None
     id: str = field(default_factory=lambda: uuid.uuid4().hex)
+    #: Optional :class:`repro.cluster.worker.SweepHub`: when set, pending
+    #: points are offered to remote executors instead of a local fork pool.
+    hub: object | None = None
 
     def __post_init__(self):
         self.scale = getattr(self.scale, "name", self.scale)
@@ -474,38 +490,53 @@ def run_sweep(
         "sweep_started",
         points=sum(1 for p in unique if not context.memoized(p)),
     )
-    # The pool hands results back through the store, so orchestrated mode
-    # requires store reuse; reuse=False stays serial by construction.
-    if session.workers > 1 and session.reuse and parallel.fork_available():
+    # The pool (and the hub) hand results back through the store, so
+    # orchestrated mode requires store reuse; reuse=False stays serial by
+    # construction.
+    hub = getattr(session, "hub", None)
+    use_pool = session.workers > 1 and parallel.fork_available()
+    if session.reuse and (hub is not None or use_pool):
         pending = [p for p in unique if context.cached(p) is None]
         groups = group_points(pending)
-        pool, inner = parallel.plan_worker_allocation(
-            session.workers, len(groups), session.cpu_count
-        )
-        # With a single point worker (one affinity group, or no spare CPUs
-        # for a pool) the whole shard budget goes to the in-point image
-        # sharding instead, so --workers still buys two-level parallelism.
-        context.inner_workers = inner if pool == 1 else 1
-        if pool > 1:
-            weights = [sum(p.cost for p in group) for group in groups]
-            worklists = [
-                [_make_group_thunk(groups[index]) for index in indices]
-                for indices in parallel.partition_worklists(weights, pool)
-            ]
-            ok = parallel.run_worklists(
-                worklists,
-                initializer=_worker_initializer(session, inner),
-                finalizer=_worker_finalizer,
+        if hub is not None:
+            # Every pending group goes on the wire: remote executors lease
+            # them and persist into this session's store.  The collection
+            # loop below recomputes whatever a dead or partitioned node
+            # left behind -- losing every worker degrades the sweep back
+            # to the serial path, never fails it.
+            if groups:
+                hub.offer(groups)
+                parallel.run_worklists([], remote_nodes=hub)
+        else:
+            pool, inner = parallel.plan_worker_allocation(
+                session.workers, len(groups), session.cpu_count
             )
-            if not all(ok):
-                failed = sum(1 for flag in ok if not flag)
-                print(
-                    f"sweep: {failed} worker(s) exited abnormally; "
-                    "recomputing their unfinished points serially",
-                    file=sys.stderr,
+            # With a single point worker (one affinity group, or no spare
+            # CPUs for a pool) the whole shard budget goes to the in-point
+            # image sharding instead, so --workers still buys two-level
+            # parallelism.
+            context.inner_workers = inner if pool == 1 else 1
+            if pool > 1:
+                weights = [sum(p.cost for p in group) for group in groups]
+                worklists = [
+                    [_make_group_thunk(groups[index]) for index in indices]
+                    for indices in parallel.partition_worklists(weights, pool)
+                ]
+                ok = parallel.run_worklists(
+                    worklists,
+                    initializer=_worker_initializer(session, inner),
+                    finalizer=_worker_finalizer,
                 )
-            # Workers only persist to the store; pick their results up (and
-            # compute whatever a crashed worker left behind) in the parent.
+                if not all(ok):
+                    failed = sum(1 for flag in ok if not flag)
+                    print(
+                        f"sweep: {failed} worker(s) exited abnormally; "
+                        "recomputing their unfinished points serially",
+                        file=sys.stderr,
+                    )
+                # Workers only persist to the store; pick their results up
+                # (and compute whatever a crashed worker left behind) in
+                # the parent.
 
     payloads = [context.evaluate(point) for point in points]
     telemetry_bus.publish("sweep_finished", points=len(unique))

@@ -101,6 +101,16 @@ class DynamicBatcher:
         Optional hook called with each expired :class:`BatchRequest` as it
         is cancelled (after its future resolves with
         :class:`~repro.serve.deadline.DeadlineExceeded`).
+    edf:
+        Earliest-deadline-first packing (the default).  When the gathered
+        candidates exceed one batch, the ones with the least deadline
+        slack are packed first and the rest are carried to the next batch
+        -- under overload the engine's capacity goes to the requests
+        closest to dying, which would otherwise expire while younger,
+        roomier requests computed.  Requests without deadlines sort last
+        (infinite slack); a workload with no deadlines at all packs in
+        arrival order, bit-identically to ``edf=False`` (the sort is
+        stable and every key ties).
     clock:
         Monotonic clock used for every expiry decision; injectable so
         chaos tests drive deadlines deterministically.
@@ -127,6 +137,7 @@ class DynamicBatcher:
         workers: int = 1,
         autostart: bool = True,
         name: str = "batcher",
+        edf: bool = True,
         clock=time.monotonic,
     ):
         if max_batch < 1:
@@ -139,6 +150,7 @@ class DynamicBatcher:
         self.max_queue = int(max_queue)
         self.on_batch = on_batch
         self.on_expire = on_expire
+        self.edf = bool(edf)
         self.workers = int(workers)
         self.name = name
         self.clock = clock
@@ -268,60 +280,98 @@ class DynamicBatcher:
 
     # -- worker ------------------------------------------------------------
     def _worker(self) -> None:
-        carry: BatchRequest | None = None
+        carry: list[BatchRequest] = []
         while True:
-            if carry is not None:
-                first, carry = carry, None
+            if carry:
+                first = carry.pop(0)
+                pending = carry
             else:
                 item = self._queue.get()
                 if item is _STOP:
                     return
                 first = item
+                pending = []
             # The head request may have died waiting (carry-over included:
             # it waited out a whole previous batch).  Expire it here, ahead
             # of assembly, so a dead head never anchors a batch's wait
             # budget.
             if self._expired(first):
                 self._expire(first)
+                carry = pending
                 continue
-            batch, images, carry = self._collect(first)
+            batch, images, carry = self._collect(first, pending)
             if batch:
                 self._run_batch(batch, images)
 
     def _collect(
-        self, first: BatchRequest
-    ) -> tuple[list[BatchRequest], int, BatchRequest | None]:
-        """Assemble one batch starting from ``first``; returns any carry."""
-        batch = [first]
+        self, first: BatchRequest, pending: list[BatchRequest] | None = None
+    ) -> tuple[list[BatchRequest], int, list[BatchRequest]]:
+        """Assemble one batch starting from ``first``; returns any carry.
+
+        Gathering is greedy exactly as before: ``pending`` (requests
+        carried over from the previous batch) is consumed first without
+        waiting, then the queue is drained against ``first``'s wait
+        budget until the image budget is met.  Packing then chooses which
+        gathered candidates actually ride: earliest-deadline-first when
+        ``edf`` is set, arrival order otherwise; either way packing stops
+        at the first candidate that does not fit, and it plus everything
+        after it carries to the next batch in order.
+        """
+        candidates = [first]
         images = first.size
-        carry: BatchRequest | None = None
+        pending = list(pending or ())
         flush_at = first.enqueued_at + self.max_wait
         while images < self.max_batch:
-            timeout = flush_at - self.clock()
-            try:
-                if timeout > 0:
-                    item = self._queue.get(timeout=timeout)
-                else:
-                    # Budget spent: greedily take whatever is already queued
-                    # (batching queued work costs no extra latency).
-                    item = self._queue.get_nowait()
-            except queue_module.Empty:
-                break
-            if item is _STOP:
-                # Nothing follows a sentinel (submit refuses once closed),
-                # so re-queueing keeps it for this worker's exit.
-                self._queue.put(_STOP)
-                break
+            if pending:
+                item = pending.pop(0)
+            else:
+                timeout = flush_at - self.clock()
+                try:
+                    if timeout > 0:
+                        item = self._queue.get(timeout=timeout)
+                    else:
+                        # Budget spent: greedily take whatever is already
+                        # queued (batching queued work costs no extra
+                        # latency).
+                        item = self._queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                if item is _STOP:
+                    # Nothing follows a sentinel (submit refuses once
+                    # closed), so re-queueing keeps it for this worker's
+                    # exit.
+                    self._queue.put(_STOP)
+                    break
             if self._expired(item):
                 # Dead on arrival at assembly: cancel instead of computing.
                 self._expire(item)
                 continue
-            if images + item.size > self.max_batch:
-                carry = item
-                break
-            batch.append(item)
+            candidates.append(item)
             images += item.size
-        return batch, images, carry
+        order = candidates
+        if self.edf:
+            now = self.clock()
+            order = sorted(
+                candidates,
+                key=lambda request: (
+                    request.deadline.at - now
+                    if request.deadline is not None
+                    else float("inf")
+                ),
+            )
+        batch: list[BatchRequest] = []
+        packed = 0
+        carry: list[BatchRequest] = []
+        for request in order:
+            if not carry and (
+                not batch or packed + request.size <= self.max_batch
+            ):
+                batch.append(request)
+                packed += request.size
+            else:
+                carry.append(request)
+        carry.extend(pending)
+        return batch, packed, carry
 
     def _run_batch(self, batch: list[BatchRequest], images: int) -> None:
         with self._lock:

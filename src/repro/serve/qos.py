@@ -260,7 +260,10 @@ class QoSController:
         ``hold=True`` additionally freezes automatic walking until
         :meth:`release`; ``hold=None`` leaves any existing hold untouched
         (moving a pinned rung must not silently un-pin it).  Returns the
-        transition when the level changed.
+        transition when the level changed.  Any force restarts the
+        sustain streaks, even at the current level: the operator just
+        asserted this rung, so automatic walking must re-earn a full
+        ``degrade_after_s``/``recover_after_s`` streak before moving.
         """
         if not 0 <= level < self.num_levels:
             raise ValueError(
@@ -271,6 +274,8 @@ class QoSController:
             if hold is not None:
                 self._held = bool(hold)
             if level == self._level:
+                self._overload_since = None
+                self._calm_since = None
                 return None
             return self._transition(now, level, "forced by operator", 0.0)
 

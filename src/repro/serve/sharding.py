@@ -34,11 +34,19 @@ import socket
 import tempfile
 import time
 
+from repro.cluster.documents import (
+    METRICS_STALE_AFTER_S,
+    DocumentStore,
+    local_host,
+    publisher_process_alive,
+)
 from repro.eval import parallel
 
-#: A peer payload older than this is reported but flagged stale (a shard
-#: that crashed stops publishing; its last counters remain valid history).
-STALE_AFTER_S = 10.0
+#: Compatibility alias: the staleness horizon moved to the cluster
+#: substrate (:mod:`repro.cluster.documents`).  A peer payload older than
+#: this is reported but flagged stale (a shard that crashed stops
+#: publishing; its last counters remain valid history).
+STALE_AFTER_S = METRICS_STALE_AFTER_S
 
 
 def reuseport_supported() -> bool:
@@ -86,113 +94,97 @@ class ShardMetricsExchange:
     """
 
     def __init__(
-        self, directory: str, shard_index: int, shard_count: int,
-        budget=None,
+        self, directory: str | None, shard_index: int, shard_count: int,
+        budget=None, store: DocumentStore | None = None,
     ):
-        self.directory = directory
+        if store is None:
+            if directory is None:
+                raise ValueError(
+                    "ShardMetricsExchange needs a directory or store"
+                )
+            os.makedirs(directory, exist_ok=True)
+            #: Optional :class:`repro.utils.diskbudget.DiskBudget` over
+            #: the exchange directory.  A publish that would bust the
+            #: quota (or hits real ENOSPC) is skipped and counted: peers
+            #: keep merging this shard's *previous* document until it
+            #: goes stale -- exactly the degradation already defined for
+            #: a crashed publisher.  Only the net growth over the
+            #: previous document charges against the quota.
+            store = DocumentStore.for_directory(directory, budget=budget)
+        self.store = store
+        self.directory = str(directory) if directory is not None else None
         self.shard_index = int(shard_index)
         self.shard_count = int(shard_count)
-        #: Peer documents that parsed but were structurally invalid (torn
-        #: or corrupted outside the atomic-rename path, e.g. by a crashed
-        #: writer with a different spool implementation or disk fault).
-        self.corrupt_documents = 0
-        #: Optional :class:`repro.utils.diskbudget.DiskBudget` over the
-        #: exchange directory.  A publish that would bust the quota (or
-        #: hits real ENOSPC) is skipped and counted: peers keep merging
-        #: this shard's *previous* document until it goes stale -- exactly
-        #: the degradation already defined for a crashed publisher.
-        self.budget = budget
-        self.dropped_publishes = 0
-        os.makedirs(directory, exist_ok=True)
+        self.budget = store.budget
 
-    def _path(self, index: int) -> str:
-        return os.path.join(self.directory, f"shard-{index}.json")
+    @property
+    def corrupt_documents(self) -> int:
+        """Peer documents that failed to parse or were structurally
+        invalid (torn or corrupted outside the atomic-rename path, e.g.
+        by a crashed writer with a different spool implementation or a
+        disk fault)."""
+        return self.store.corrupt_documents
+
+    @property
+    def dropped_publishes(self) -> int:
+        return self.store.dropped_puts
+
+    def _name(self, index: int) -> str:
+        return f"shard-{index}.json"
 
     def publish(self, payload: dict) -> None:
         """Atomically replace this shard's payload document (budgeted)."""
-        from repro.telemetry.bus import atomic_write_json
-
-        document = {
-            "shard": self.shard_index,
-            "pid": os.getpid(),
-            "published_at": time.time(),
-            "payload": payload,
-        }
-        if self.budget is not None:
-            size = len(json.dumps(document, separators=(",", ":")))
-            try:
-                old_size = os.path.getsize(self._path(self.shard_index))
-            except OSError:
-                old_size = 0
-            # The rename replaces our previous document, so only the net
-            # growth charges against the quota.
-            if not self.budget.admit(max(0, size - old_size)):
-                self.dropped_publishes += 1
-                return
-        try:
-            atomic_write_json(
-                self.directory, f"shard-{self.shard_index}.json", document
-            )
-        except OSError as exc:
-            from repro.utils.diskbudget import is_enospc
-
-            if is_enospc(exc):
-                self.dropped_publishes += 1
-                if self.budget is not None:
-                    self.budget.note_enospc()
-                return
-            raise
+        self.store.put(
+            self._name(self.shard_index),
+            {
+                "shard": self.shard_index,
+                "pid": os.getpid(),
+                "host": local_host(),
+                "published_at": time.time(),
+                "payload": payload,
+            },
+        )
 
     def gather_peers(self) -> tuple[list[dict], list[dict]]:
         """Peer payloads plus per-source metadata (index, age, staleness).
 
         A *stale* payload (older than :data:`STALE_AFTER_S`) whose
-        publishing process is gone is **reaped**: the spool file is
+        publishing process is gone is **reaped**: the document is
         deleted and the payload excluded from the merge.  Without this, a
         crashed shard's last counters would be folded into every
         whole-service ``/v1/metrics`` answer forever -- and once the
         service restarts into the same exchange directory (or respawns the
         shard index), those dead counters double-count against the live
-        shard's.  A stale file whose pid is still alive is kept (the shard
-        may just be wedged mid-GC) but flagged.
+        shard's.  A stale document whose local pid is still alive is kept
+        (the shard may just be wedged mid-GC) but flagged; a *remote*
+        publisher's pid is unprobeable, so staleness alone reaps it --
+        which is exactly how a federated peer machine drops out.
         """
-        from repro.telemetry.bus import pid_alive
-
         payloads: list[dict] = []
         sources: list[dict] = []
         now = time.time()
         for index in range(self.shard_count):
             if index == self.shard_index:
                 continue
-            path = self._path(index)
-            try:
-                with open(path, encoding="utf-8") as handle:
-                    document = json.load(handle)
-            except OSError:
+            document = self.store.get(self._name(index))
+            if document is None:
                 continue
-            except ValueError:
-                self.corrupt_documents += 1
-                continue
-            if not isinstance(document, dict) or not isinstance(
-                document.get("payload"), dict
-            ):
+            if not isinstance(document.get("payload"), dict):
                 # Parsed but not a shard document: never merge garbage.
-                self.corrupt_documents += 1
+                self.store.note_corrupt()
                 continue
             try:
                 age = now - float(document.get("published_at", 0.0))
-                pid = int(document.get("pid", 0) or 0)
+                int(document.get("pid", 0) or 0)
             except (TypeError, ValueError):
-                self.corrupt_documents += 1
+                self.store.note_corrupt()
                 continue
             stale = age > STALE_AFTER_S
-            # Documents published before pids were recorded reap on
-            # staleness alone (pid 0 is never alive).
-            if stale and not pid_alive(pid):
-                try:
-                    os.unlink(path)
-                except OSError:  # pragma: no cover - already gone
-                    pass
+            # Local documents published before pids were recorded (and
+            # remote ones, whose pids mean nothing here) reap on
+            # staleness alone.
+            if stale and publisher_process_alive(document) is not True:
+                self.store.delete(self._name(index))
                 sources.append(
                     {"shard": index, "age_s": age, "stale": True,
                      "reaped": True}

@@ -12,88 +12,44 @@ In-process consumers subscribe either a callback or a bounded
 falls behind -- telemetry must never apply backpressure to the serving or
 sweep hot paths).
 
-Cross-process transport reuses the sharding metrics-spool pattern: each
-process appends events to its own ``<role>-<pid>.jsonl`` file in a shared
-spool directory (append-only, one JSON document per line, atomic size-based
-rotation to a single ``.old`` generation), and a :class:`SpoolFollower`
-tails every file in the directory -- so forked sweep workers and
-``SO_REUSEPORT`` shards publish into one merged stream without locks or
-pipes.  Writers are fork-safe: the spool sink lazily reopens a fresh
-per-pid file when it notices it crossed a ``fork()``, and
-:meth:`TelemetryBus.reset_after_fork` drops subscribers inherited from the
-parent (a worker must not run the parent's dashboard callbacks).
+Cross-process transport lives in the cluster substrate
+(:mod:`repro.cluster.spool`): each process appends events to its own
+``<role>-<pid>.jsonl`` file in a shared spool directory via a
+:class:`~repro.cluster.spool.SpoolWriter` (append-only, one JSON document
+per line, atomic size-based rotation, per-writer monotonic sequence
+numbers), and a :class:`~repro.cluster.spool.SpoolFollower` tails every
+file in the directory -- so forked sweep workers, ``SO_REUSEPORT``
+shards, and processes on *other machines* (appending through a
+:class:`~repro.cluster.transport.RemoteSpoolWriter`) publish into one
+merged stream without locks or pipes.  Writers are fork-safe: the spool
+sink lazily reopens a fresh per-pid file when it notices it crossed a
+``fork()``, and :meth:`TelemetryBus.reset_after_fork` drops subscribers
+inherited from the parent (a worker must not run the parent's dashboard
+callbacks).
+
+``Event``, ``EventSpool`` (now :class:`~repro.cluster.spool.SpoolWriter`),
+``SpoolFollower``, ``atomic_write_json`` and ``pid_alive`` are re-exported
+here for compatibility: this module is where every pre-cluster caller
+imported them from.
 """
 
 from __future__ import annotations
 
 import collections
-import io
-import json
 import os
 import threading
 import time
 
-#: Rotate a spool file once it grows past this many bytes (one rotated
-#: ``.old`` generation is kept so followers can finish reading it).
-DEFAULT_ROTATE_BYTES = 4 * 1024 * 1024
+from repro.cluster.documents import atomic_write_json, pid_alive  # noqa: F401
+from repro.cluster.spool import (  # noqa: F401
+    DEFAULT_ROTATE_BYTES,
+    Event,
+    SpoolFollower,
+    SpoolWriter,
+)
 
-
-class Event:
-    """One typed telemetry event.
-
-    ``type`` names the event (``point_finished``, ``rung_transition``,
-    ...); ``at`` is a ``time.time()`` wall-clock stamp (events cross
-    processes, so monotonic clocks would not compare); ``source``
-    identifies the publishing process (pid, role, optional shard index);
-    ``seq`` orders events of one publisher; ``data`` carries the JSON-able
-    payload.
-    """
-
-    __slots__ = ("type", "at", "source", "seq", "data")
-
-    def __init__(self, type: str, at: float, source: dict, seq: int, data: dict):
-        self.type = type
-        self.at = at
-        self.source = source
-        self.seq = seq
-        self.data = data
-
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "type": self.type,
-                "at": self.at,
-                "source": self.source,
-                "seq": self.seq,
-                "data": self.data,
-            },
-            separators=(",", ":"),
-        )
-
-    @classmethod
-    def from_json(cls, line: str) -> "Event":
-        doc = json.loads(line)
-        if not isinstance(doc, dict):
-            raise ValueError(f"event line is not a JSON object: {line!r}")
-        return cls(
-            type=doc["type"],
-            at=float(doc["at"]),
-            source=doc.get("source", {}),
-            seq=int(doc.get("seq", 0)),
-            data=doc.get("data", {}),
-        )
-
-    def describe(self) -> dict:
-        return {
-            "type": self.type,
-            "at": self.at,
-            "source": self.source,
-            "seq": self.seq,
-            "data": self.data,
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Event({self.type!r}, seq={self.seq}, data={self.data!r})"
+#: Compatibility alias: the writer moved under the cluster substrate.
+EventSpool = SpoolWriter
 
 
 class Subscription:
@@ -151,306 +107,6 @@ class Subscription:
         self.close()
 
 
-class EventSpool:
-    """Append-only JSONL writer for one process's share of a spool dir.
-
-    The file is named ``<role>-<pid>.jsonl`` so concurrent writers never
-    contend; a write is one line + flush (readers only parse complete
-    lines).  Once the file passes ``rotate_bytes`` it is atomically
-    renamed to ``.old`` (replacing the previous generation) and a fresh
-    file is started.  The writer is fork-safe: a pid change is detected on
-    the next append and a new per-pid file is opened.
-    """
-
-    #: Inherited parent file objects abandoned after a fork.  Kept alive
-    #: forever (one small object per fork) so their destructors never run:
-    #: close()/GC-flush in the child would write the child's copy of any
-    #: partially-buffered parent line into the parent's shared fd, tearing
-    #: the parent's next event line.
-    _ABANDONED_HANDLES: list = []
-
-    def __init__(
-        self, directory: str, role: str = "events",
-        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
-        budget=None,
-    ):
-        self.directory = str(directory)
-        self.role = role
-        self.rotate_bytes = int(rotate_bytes)
-        #: Optional :class:`repro.utils.diskbudget.DiskBudget` over the
-        #: spool directory.  Telemetry is auxiliary: an event that would
-        #: bust the quota (or hits real ENOSPC) is *dropped and counted*,
-        #: never raised into the publishing hot path.
-        self.budget = budget
-        self.dropped_events = 0
-        self.enospc_drops = 0
-        os.makedirs(self.directory, exist_ok=True)
-        self._lock = threading.Lock()
-        self._pid: int | None = None
-        self._handle: io.TextIOWrapper | None = None
-        self._written = 0
-
-    @property
-    def path(self) -> str:
-        return os.path.join(self.directory, f"{self.role}-{os.getpid()}.jsonl")
-
-    def _ensure_open(self) -> None:
-        pid = os.getpid()
-        if self._handle is not None and self._pid == pid:
-            if self._handle.closed:  # pragma: no cover - failed rotation
-                self._handle = None
-            else:
-                return
-        if self._handle is not None:
-            # Crossed a fork: the handle belongs to the parent's file.
-            # Never close it here (see _ABANDONED_HANDLES).
-            EventSpool._ABANDONED_HANDLES.append(self._handle)
-        self._pid = pid
-        self._handle = open(self.path, "a", encoding="utf-8")
-        self._written = self._handle.tell()
-
-    def rearm_after_fork(self) -> None:
-        """Make this (inherited) spool usable in a freshly forked child.
-
-        The inherited lock may be held by a parent thread that was inside
-        :meth:`append` at fork time -- that thread does not exist in the
-        child, so the lock would never be released.  The child is
-        single-threaded at this point, so replacing the lock (and
-        abandoning the inherited handle) is race-free.
-        """
-        self._lock = threading.Lock()
-        if self._handle is not None:
-            EventSpool._ABANDONED_HANDLES.append(self._handle)
-            self._handle = None
-        self._pid = None
-
-    def append(self, event: Event) -> None:
-        line = event.to_json() + "\n"
-        if self.budget is not None and not self.budget.admit(len(line)):
-            self.dropped_events += 1
-            return
-        with self._lock:
-            self._ensure_open()
-            try:
-                self._handle.write(line)
-                self._handle.flush()
-            except OSError as exc:
-                from repro.utils.diskbudget import is_enospc
-
-                if is_enospc(exc):
-                    # The disk itself is full (quota or not): drop with a
-                    # counter -- the degrade contract for spools.
-                    self.dropped_events += 1
-                    self.enospc_drops += 1
-                    if self.budget is not None:
-                        self.budget.note_enospc()
-                    return
-                raise
-            self._written += len(line)
-            if self._written >= self.rotate_bytes:
-                self._rotate()
-
-    def stats(self) -> dict:
-        """Degrade counters (and the budget's view, when one is attached)."""
-        stats = {
-            "dropped_events": self.dropped_events,
-            "enospc_drops": self.enospc_drops,
-        }
-        if self.budget is not None:
-            stats["budget"] = self.budget.snapshot()
-        return stats
-
-    def _rotate(self) -> None:
-        # Drop the handle reference first: if the rename or reopen fails
-        # (spool directory torn down mid-shutdown), the next append must
-        # find no handle and retry the open -- never write to the closed
-        # object, which would raise ValueError past publish()'s OSError
-        # guard and crash the publishing thread.
-        handle, self._handle = self._handle, None
-        handle.close()
-        try:
-            os.replace(self.path, self.path + ".old")
-        except OSError:  # pragma: no cover - spool dir torn down
-            pass
-        self._handle = open(self.path, "a", encoding="utf-8")
-        self._written = 0
-        if self.budget is not None:
-            # Rotation just deleted the previous ``.old`` generation;
-            # re-ground the quota so writes resume as soon as space does.
-            self.budget.usage_bytes(refresh=True)
-
-    def close(self) -> None:
-        with self._lock:
-            if self._handle is not None and self._pid == os.getpid():
-                try:
-                    self._handle.close()
-                except OSError:  # pragma: no cover
-                    pass
-            self._handle = None
-            self._pid = None
-
-
-class SpoolFollower:
-    """Tails every spool file of a directory, yielding new events.
-
-    Per-file read offsets persist across :meth:`poll` calls; only complete
-    lines are parsed (a writer mid-line is picked up next poll).  Rotation
-    is handled by watching the ``.old`` generation too and by detecting
-    truncation (offset past the new, smaller file).  Events of one poll are
-    merged across files in wall-clock order.
-
-    The follower is torn-write tolerant: a corrupt *complete* line (a
-    crashed writer's garbage, a torn mid-file write, a non-event JSON
-    document) is skipped and counted in :attr:`corrupt_lines` -- reading
-    resumes at the next newline, so one bad line never kills a follower
-    thread or hides the valid events behind it.  :meth:`stats` reports the
-    damage per file.
-    """
-
-    def __init__(self, directory: str, skip_basenames: set[str] | None = None):
-        self.directory = str(directory)
-        self.skip_basenames = set(skip_basenames or ())
-        self._offsets: dict[str, int] = {}
-        self._inodes: dict[str, int] = {}
-        #: Complete-but-unparseable lines skipped so far (all files).
-        self.corrupt_lines = 0
-        self._corrupt_by_file: dict[str, int] = {}
-
-    def _spool_names(self) -> list[str]:
-        try:
-            names = sorted(os.listdir(self.directory))
-        except OSError:
-            return []
-        return [
-            name
-            for name in names
-            if name.endswith((".jsonl", ".jsonl.old"))
-            and name not in self.skip_basenames
-            and name.removesuffix(".old") not in self.skip_basenames
-        ]
-
-    def _read_new(self, path: str, events: list[Event]) -> None:
-        """Append the complete new lines of ``path`` since the last poll."""
-        offset = self._offsets.get(path, 0)
-        try:
-            if os.path.getsize(path) == offset:
-                return
-            with open(path, "rb") as handle:
-                handle.seek(offset)
-                chunk = handle.read()
-        except OSError:
-            return
-        # Only complete lines: a torn tail is re-read next poll.
-        end = chunk.rfind(b"\n")
-        if end < 0:
-            return
-        self._offsets[path] = offset + end + 1
-        for line in chunk[: end + 1].splitlines():
-            if not line.strip():
-                continue
-            try:
-                events.append(Event.from_json(line.decode("utf-8")))
-            except (ValueError, KeyError, TypeError):
-                # Torn/garbage line: count it, keep tailing from the next
-                # newline.  UnicodeDecodeError is a ValueError.
-                self.corrupt_lines += 1
-                name = os.path.basename(path)
-                self._corrupt_by_file[name] = self._corrupt_by_file.get(name, 0) + 1
-                continue
-
-    def stats(self) -> dict:
-        """Corruption tally: total skipped lines and a per-file breakdown."""
-        return {
-            "corrupt_lines": self.corrupt_lines,
-            "corrupt_by_file": dict(self._corrupt_by_file),
-        }
-
-    def poll(self) -> list[Event]:
-        events: list[Event] = []
-        names = self._spool_names()
-        mains = [name for name in names if name.endswith(".jsonl")]
-        olds = {name for name in names if name.endswith(".jsonl.old")}
-        for name in mains:
-            main = os.path.join(self.directory, name)
-            old = main + ".old"
-            try:
-                stat = os.stat(main)
-                main_size, main_inode = stat.st_size, stat.st_ino
-            except OSError:
-                main_size, main_inode = 0, None
-            known_inode = self._inodes.get(main)
-            rotated = (
-                # The inode changed: the file we were reading is now the
-                # ``.old`` generation, even if the fresh main has already
-                # grown past our stored offset (a size-only check misses
-                # that and would resume mid-line in the wrong file).
-                (known_inode is not None and main_inode != known_inode)
-                or main_size < self._offsets.get(main, 0)
-            )
-            if main_inode is not None:
-                self._inodes[main] = main_inode
-            if rotated and main in self._offsets:
-                # Everything we had consumed of the old main is now the
-                # head of the fresh ``.old`` generation (an unread tail of
-                # the *previous* ``.old`` is gone -- rotation keeps
-                # exactly one generation).
-                self._offsets[old] = self._offsets.pop(main)
-            if os.path.basename(old) in olds:
-                self._read_new(old, events)
-                olds.discard(os.path.basename(old))
-            self._read_new(main, events)
-        for name in olds:  # orphaned .old (writer gone mid-rotation)
-            self._read_new(os.path.join(self.directory, name), events)
-        events.sort(key=lambda event: (event.at, event.source.get("pid", 0),
-                                       event.seq))
-        return events
-
-
-def atomic_write_json(directory: str, filename: str, document: dict) -> None:
-    """Atomically replace ``directory/filename`` with one JSON document.
-
-    Write-to-temp + ``os.replace``: readers never see a torn file.  The
-    shared primitive behind the sharding metrics exchange and the QoS
-    coordination channel.
-    """
-    import tempfile
-
-    handle = tempfile.NamedTemporaryFile(
-        "w",
-        dir=directory,
-        prefix=f".{filename}.",
-        suffix=".tmp",
-        delete=False,
-        encoding="utf-8",
-    )
-    try:
-        json.dump(document, handle)
-        handle.close()
-        os.replace(handle.name, os.path.join(directory, filename))
-    except BaseException:  # pragma: no cover - directory torn down
-        handle.close()
-        try:
-            os.unlink(handle.name)
-        except OSError:
-            pass
-        raise
-
-
-def pid_alive(pid: int) -> bool:
-    """Whether ``pid`` names a live process on this machine."""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:  # pragma: no cover - other user's pid
-        return True
-    except OSError:  # pragma: no cover - non-POSIX
-        return False
-    return True
-
-
 class TelemetryBus:
     """The process-local event bus: subscribers + an optional spool sink.
 
@@ -463,7 +119,7 @@ class TelemetryBus:
     def __init__(self, role: str = "proc"):
         self._lock = threading.Lock()
         self._subscribers: list = []  # Subscriptions and bare callables
-        self._spool: EventSpool | None = None
+        self._spool: SpoolWriter | None = None
         self._source = {"pid": os.getpid(), "role": role}
         self._seq = 0
         self._active = False
@@ -515,21 +171,34 @@ class TelemetryBus:
         self, directory: str, role: str | None = None,
         rotate_bytes: int = DEFAULT_ROTATE_BYTES,
         budget=None,
-    ) -> EventSpool:
+    ) -> SpoolWriter:
         """Mirror every published event into ``directory`` (cross-process).
 
         ``budget`` (a :class:`repro.utils.diskbudget.DiskBudget`) bounds
         the spool directory: over-quota events drop with a counter.
         """
-        with self._lock:
-            if self._spool is not None:
-                self._spool.close()
-            self._spool = EventSpool(
+        return self.attach_spool_sink(
+            SpoolWriter(
                 directory,
                 role=role or self._source.get("role", "events"),
                 rotate_bytes=rotate_bytes,
                 budget=budget,
             )
+        )
+
+    def attach_spool_sink(self, sink):
+        """Attach an already-built spool sink (cross-*machine* included).
+
+        Anything satisfying the :class:`~repro.cluster.spool.SpoolWriter`
+        sink interface works -- notably a
+        :class:`~repro.cluster.transport.RemoteSpoolWriter`, which is how
+        a remote sweep executor or federated shard streams its events
+        into the hub's spool directory.
+        """
+        with self._lock:
+            if self._spool is not None:
+                self._spool.close()
+            self._spool = sink
             self._active = True
             return self._spool
 

@@ -30,41 +30,71 @@ and resumes following on release.
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
 
+from repro.cluster.documents import (
+    QOS_STALE_AFTER_S,
+    DocumentStore,
+    local_host,
+    publisher_alive,
+)
 from repro.telemetry import bus as telemetry_bus
 
-#: A shard document older than this is excluded from the quorum (a shard
-#: that stopped ticking must not pin the service to its last desire).
-STALE_AFTER_S = 5.0
+#: Compatibility alias: the staleness horizon moved to the cluster
+#: substrate (:mod:`repro.cluster.documents`).
+STALE_AFTER_S = QOS_STALE_AFTER_S
 
 
 class ShardStateChannel:
-    """Atomic-rename publish/gather of per-shard QoS state documents."""
+    """Atomic-rename publish/gather of per-shard QoS state documents.
 
-    def __init__(self, directory: str, shard_index: int, shard_count: int):
-        self.directory = str(directory)
+    The channel is a thin client of the cluster substrate: documents live
+    in a :class:`~repro.cluster.documents.DocumentStore`, which defaults
+    to the shared local directory (bit-compatible with the pre-cluster
+    layout) but may be a socket-backed store -- shards on *different
+    machines* then join one QoS quorum through a hub agent.  Liveness is
+    the generalized rule: a fresh heartbeat, plus a live pid when the
+    publisher runs on this host (a remote publisher's pid is unprobeable;
+    staleness alone evicts it).
+    """
+
+    def __init__(
+        self,
+        directory: str | None,
+        shard_index: int,
+        shard_count: int,
+        store: DocumentStore | None = None,
+    ):
+        if store is None:
+            if directory is None:
+                raise ValueError("ShardStateChannel needs a directory or store")
+            os.makedirs(str(directory), exist_ok=True)
+            store = DocumentStore.for_directory(str(directory))
+        self.store = store
+        self.directory = str(directory) if directory is not None else None
         self.shard_index = int(shard_index)
         self.shard_count = int(shard_count)
-        #: Documents that parsed but were structurally invalid -- a corrupt
-        #: peer file must drop out of the quorum, never crash the QoS tick.
-        self.corrupt_documents = 0
-        os.makedirs(self.directory, exist_ok=True)
 
-    def _path(self, index: int) -> str:
-        return os.path.join(self.directory, f"qos-shard-{index}.json")
+    @property
+    def corrupt_documents(self) -> int:
+        """Documents that failed to parse or were structurally invalid --
+        a corrupt peer file must drop out of the quorum, never crash the
+        QoS tick."""
+        return self.store.corrupt_documents
+
+    def _name(self, index: int) -> str:
+        return f"qos-shard-{index}.json"
 
     def publish(self, endpoints: dict) -> None:
         """Atomically replace this shard's state document."""
-        telemetry_bus.atomic_write_json(
-            self.directory,
-            f"qos-shard-{self.shard_index}.json",
+        self.store.put(
+            self._name(self.shard_index),
             {
                 "shard": self.shard_index,
                 "pid": os.getpid(),
+                "host": local_host(),
                 "published_at": time.time(),
                 "endpoints": endpoints,
             },
@@ -75,32 +105,24 @@ class ShardStateChannel:
         states: dict[int, dict] = {}
         now = time.time()
         for index in range(self.shard_count):
-            try:
-                with open(self._path(index), encoding="utf-8") as handle:
-                    document = json.load(handle)
-            except OSError:
+            document = self.store.get(self._name(index))
+            if document is None:
                 continue
-            except ValueError:
-                self.corrupt_documents += 1
-                continue
-            if not isinstance(document, dict) or not isinstance(
-                document.get("endpoints"), dict
-            ):
-                self.corrupt_documents += 1
+            if not isinstance(document.get("endpoints"), dict):
+                self.store.note_corrupt()
                 continue
             try:
-                published_at = float(document.get("published_at", 0.0))
-                pid = int(document.get("pid", 0) or 0)
+                float(document.get("published_at", 0.0))
+                int(document.get("pid", 0) or 0)
             except (TypeError, ValueError):
-                self.corrupt_documents += 1
+                self.store.note_corrupt()
                 continue
-            if now - published_at > stale_after_s:
-                continue
-            if (
-                index != self.shard_index
-                and pid
-                and not telemetry_bus.pid_alive(pid)
-            ):
+            if index == self.shard_index:
+                # Our own document never fails its own pid probe; only
+                # freshness applies (a wedged tick must not self-evict).
+                if now - float(document.get("published_at", 0.0)) > stale_after_s:
+                    continue
+            elif not publisher_alive(document, stale_after_s, now=now):
                 continue
             states[index] = document
         return states

@@ -1,0 +1,106 @@
+"""Document substrate: atomic writes, liveness rules, the store contract."""
+
+import json
+import os
+
+from repro.cluster.documents import (
+    DocumentStore,
+    atomic_write_json,
+    local_host,
+    pid_alive,
+    publisher_alive,
+    publisher_process_alive,
+)
+
+
+def test_atomic_write_json_roundtrip_and_no_temp_litter(tmp_path):
+    atomic_write_json(str(tmp_path), "doc.json", {"a": 1})
+    atomic_write_json(str(tmp_path), "doc.json", {"a": 2})
+    with open(tmp_path / "doc.json", encoding="utf-8") as handle:
+        assert json.load(handle) == {"a": 2}
+    assert sorted(os.listdir(tmp_path)) == ["doc.json"]
+
+
+def test_pid_alive_self_and_nonsense():
+    assert pid_alive(os.getpid())
+    assert not pid_alive(0)
+    assert not pid_alive(-1)
+
+
+def _doc(**fields) -> dict:
+    document = {"pid": os.getpid(), "host": local_host(), "published_at": 0.0}
+    document.update(fields)
+    return document
+
+
+def test_publisher_process_alive_local_remote_and_unknown():
+    # Local publisher: the pid probe answers definitively.
+    assert publisher_process_alive(_doc()) is True
+    assert publisher_process_alive(_doc(pid=2**22 + 12345)) is False
+    # Remote publisher: unknowable here.
+    assert publisher_process_alive(_doc(host="some-other-machine")) is None
+    # Pre-cluster documents (no host) are local; pid 0 predates pids.
+    assert publisher_process_alive({"pid": os.getpid()}) is True
+    assert publisher_process_alive({"pid": 0}) is None
+
+
+def test_publisher_alive_generalized_rule():
+    now = 1000.0
+    # Fresh + local live pid.
+    assert publisher_alive(_doc(published_at=999.0), 5.0, now=now)
+    # Fresh but the local process is gone: evicted immediately.
+    assert not publisher_alive(
+        _doc(published_at=999.0, pid=2**22 + 12345), 5.0, now=now
+    )
+    # Stale always evicts, live pid or not.
+    assert not publisher_alive(_doc(published_at=100.0), 5.0, now=now)
+    # Remote: freshness is the only signal, either way.
+    remote = _doc(host="some-other-machine", published_at=999.0)
+    assert publisher_alive(remote, 5.0, now=now)
+    remote["published_at"] = 100.0
+    assert not publisher_alive(remote, 5.0, now=now)
+
+
+def test_document_store_roundtrip_list_delete(tmp_path):
+    store = DocumentStore.for_directory(str(tmp_path))
+    assert store.put("a.json", {"x": 1})
+    assert store.put("b.json", {"x": 2})
+    assert store.get("a.json") == {"x": 1}
+    assert store.get("missing.json") is None
+    assert store.list() == ["a.json", "b.json"]
+    assert store.get_all() == {"a.json": {"x": 1}, "b.json": {"x": 2}}
+    store.delete("a.json")
+    assert store.list() == ["b.json"]
+    assert store.size("b.json") > 0
+
+
+def test_document_store_counts_corrupt_and_drops(tmp_path):
+    store = DocumentStore.for_directory(str(tmp_path))
+    (tmp_path / "torn.json").write_text('{"half": ')
+    (tmp_path / "notdict.json").write_text("[1, 2, 3]")
+    assert store.get("torn.json") is None
+    assert store.get("notdict.json") is None
+    assert store.corrupt_documents == 2
+    store.note_corrupt()
+    assert store.corrupt_documents == 3
+    # A corrupt document never hides healthy siblings.
+    store.put("ok.json", {"x": 1})
+    assert store.get_all() == {"ok.json": {"x": 1}}
+
+
+def test_document_store_budget_refuses_and_counts(tmp_path):
+    from repro.utils.diskbudget import DiskBudget
+
+    budget = DiskBudget(str(tmp_path), 64, name="docs")
+    store = DocumentStore.for_directory(str(tmp_path), budget=budget)
+    assert store.put("small.json", {"a": 1})
+    big = {"payload": "x" * 256}
+    assert not store.put("big.json", big)
+    assert store.dropped_puts == 1
+    # A refused put never creates (or tears) the document.
+    assert store.get("big.json") is None
+    assert not (tmp_path / "big.json").exists()
+    # Replacing an existing document charges only the net growth, so a
+    # same-size overwrite is always admitted.
+    assert store.put("small.json", {"a": 2})
+    assert store.get("small.json") == {"a": 2}

@@ -1,0 +1,75 @@
+"""WorkLedger lifecycle: lease ownership, terminal failure, dead recycling."""
+
+from repro.cluster.agent import WorkLedger
+
+
+def test_offer_lease_complete_lifecycle():
+    ledger = WorkLedger()
+    ledger.offer([{"spec": 1}])
+    ledger.offer([{"spec": 2}])
+    assert ledger.queued() == 2
+
+    first = ledger.lease("w1")
+    assert first["items"] == [{"spec": 1}]
+    assert ledger.queued() == 1 and ledger.leased() == 1
+
+    assert ledger.complete(first["lease"], "w1")
+    assert ledger.completed_groups == 1
+    assert ledger.leased() == 0
+
+    second = ledger.lease("w1")
+    assert second["items"] == [{"spec": 2}]
+    assert ledger.lease("w1") is None  # queue drained
+
+
+def test_complete_is_owner_only():
+    ledger = WorkLedger()
+    ledger.offer([{"spec": 1}])
+    lease = ledger.lease("w1")
+    assert not ledger.complete(lease["lease"], "imposter")
+    assert ledger.leased() == 1  # still outstanding
+    assert ledger.complete(lease["lease"], "w1")
+    # Double-complete (late ack after recycling) is refused, not fatal.
+    assert not ledger.complete(lease["lease"], "w1")
+
+
+def test_fail_is_terminal_not_requeued():
+    ledger = WorkLedger()
+    ledger.offer([{"spec": 1}])
+    lease = ledger.lease("w1")
+    assert ledger.fail(lease["lease"], "w1")
+    assert ledger.failed_groups == 1
+    assert ledger.queued() == 0 and ledger.leased() == 0
+    assert not ledger.outstanding()  # parent recomputes; no ping-pong
+
+
+def test_requeue_dead_reinserts_at_queue_head():
+    ledger = WorkLedger()
+    ledger.offer([{"spec": 1}])
+    ledger.offer([{"spec": 2}])
+    dead = ledger.lease("dead-node")
+    assert dead["items"] == [{"spec": 1}]
+
+    recycled = ledger.requeue_dead(lambda node: node != "dead-node")
+    assert recycled == 1
+    assert ledger.recycled_leases == 1
+    # The orphaned group comes back at the head, ahead of later offers.
+    retry = ledger.lease("w2")
+    assert retry["items"] == [{"spec": 1}]
+    # The dead node's stale lease id no longer completes anything.
+    assert not ledger.complete(dead["lease"], "dead-node")
+    assert ledger.complete(retry["lease"], "w2")
+
+
+def test_snapshot_counts():
+    ledger = WorkLedger()
+    ledger.offer([{"spec": 1}])
+    lease = ledger.lease("w1")
+    ledger.complete(lease["lease"], "w1")
+    assert ledger.snapshot() == {
+        "queued": 0,
+        "leased": 0,
+        "completed": 1,
+        "failed": 0,
+        "recycled": 0,
+    }

@@ -1,0 +1,79 @@
+"""Membership roster: heartbeat upserts and the generalized liveness rule."""
+
+import os
+
+from repro.cluster.membership import ClusterMember, MembershipRoster, node_id
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_node_id_is_unique_per_process():
+    assert str(os.getpid()) in node_id("worker")
+
+
+def test_beat_upserts_and_member_documents_roundtrip():
+    clock = FakeClock()
+    roster = MembershipRoster(stale_after_s=5.0, clock=clock, host="here")
+    member = roster.beat("n1", host="here", pid=os.getpid(), role="worker",
+                         info={"slots": 2})
+    assert member.beat_at == 1000.0
+    clock.now = 1001.0
+    roster.beat("n1", info={"busy": True})
+    member = roster.get("n1")
+    assert member.beat_at == 1001.0
+    assert member.info == {"slots": 2, "busy": True}
+    restored = ClusterMember.from_document(member.document())
+    assert restored.node == "n1" and restored.pid == os.getpid()
+
+
+def test_local_member_dies_with_its_pid_immediately():
+    clock = FakeClock()
+    roster = MembershipRoster(stale_after_s=5.0, clock=clock, host="here")
+    roster.beat("live", host="here", pid=os.getpid())
+    roster.beat("dead", host="here", pid=2**22 + 12345)
+    # Both heartbeats are fresh, but a dead local pid evicts instantly --
+    # no need to wait out the staleness horizon.
+    assert roster.is_live("live")
+    assert not roster.is_live("dead")
+
+
+def test_remote_member_lives_on_freshness_alone():
+    clock = FakeClock()
+    roster = MembershipRoster(stale_after_s=5.0, clock=clock, host="here")
+    # The pid is meaningless on this machine: a remote member with a
+    # locally-dead pid number is still live while its heartbeat is fresh.
+    roster.beat("far", host="elsewhere", pid=2**22 + 12345)
+    assert roster.is_live("far")
+    clock.now += 6.0
+    assert not roster.is_live("far")
+
+
+def test_evict_removes_and_returns_the_dead():
+    clock = FakeClock()
+    roster = MembershipRoster(stale_after_s=5.0, clock=clock, host="here")
+    roster.beat("a", host="here", pid=os.getpid())
+    roster.beat("b", host="elsewhere", pid=1)
+    clock.now += 6.0
+    roster.beat("a", host="here", pid=os.getpid())  # refresh a only
+    evicted = roster.evict()
+    assert [member.node for member in evicted] == ["b"]
+    assert [member.node for member in roster.members()] == ["a"]
+    assert [member.node for member in roster.live()] == ["a"]
+
+
+def test_snapshot_reports_liveness_and_age():
+    clock = FakeClock()
+    roster = MembershipRoster(stale_after_s=5.0, clock=clock, host="here")
+    roster.beat("a", host="here", pid=os.getpid())
+    clock.now += 2.0
+    snapshot = roster.snapshot()
+    (entry,) = snapshot["members"]
+    assert entry["node"] == "a"
+    assert entry["live"] is True
+    assert entry["age_s"] == 2.0

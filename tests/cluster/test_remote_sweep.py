@@ -1,0 +1,148 @@
+"""The two-process demo: a real `repro.cli worker` over localhost sockets.
+
+The parent runs a sweep with a hub attached; the worker is a genuine
+child process connecting through the CLI, leasing points, evaluating
+them and streaming results + telemetry back.  The reduction must be
+bit-identical to a serial run.
+"""
+
+import importlib
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cluster.spool import SpoolFollower
+from repro.cluster.worker import SweepHub
+from repro.eval.sweep import SweepPoint, SweepSession, run_sweep
+
+pytestmark = pytest.mark.cluster
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+CHEAP_MODULE = """\
+from repro.eval.sweep import point_runner
+
+
+@point_runner("cheap-square")
+def cheap_square(ctx, point):
+    x = point.param("x")
+    return {"x": x, "square": x * x, "halves": [x / 2.0, x / 4.0]}
+"""
+
+
+def _install_cheap_kinds(tmp_path):
+    (tmp_path / "cheap_kinds_pr8.py").write_text(CHEAP_MODULE)
+    sys.path.insert(0, str(tmp_path))
+    try:
+        importlib.import_module("cheap_kinds_pr8")
+    finally:
+        sys.path.remove(str(tmp_path))
+
+
+def _points():
+    return [
+        SweepPoint.make("cheap-square", None, x=n, cost=1.0) for n in range(6)
+    ]
+
+
+def test_remote_worker_computes_bit_identical_sweep(tmp_path):
+    _install_cheap_kinds(tmp_path)
+    telemetry_dir = tmp_path / "telemetry"
+    telemetry_dir.mkdir()
+    session = SweepSession(
+        scale="fast", workers=1, store_root=str(tmp_path / "store")
+    )
+    hub = SweepHub.create(
+        session,
+        listen="127.0.0.1:0",
+        telemetry_dir=str(telemetry_dir),
+        connect_grace_s=60.0,
+    )
+    session.hub = hub
+    host, port = hub.address
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + str(tmp_path)
+    worker = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--connect", f"{host}:{port}",
+            "--import", "cheap_kinds_pr8",
+            "--max-idle-s", "1.0",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        payloads = run_sweep(_points(), session=session)
+    finally:
+        hub.close()
+        try:
+            output = worker.communicate(timeout=30.0)[0]
+        except subprocess.TimeoutExpired:
+            worker.kill()
+            output = worker.communicate()[0]
+            pytest.fail(f"worker did not exit:\n{output}")
+
+    # The remote worker did the work: every group completed over the
+    # wire, nothing abandoned for the parent to recompute.
+    assert hub.agent.ledger.completed_groups >= 1, output
+    assert hub.agent.ledger.snapshot()["queued"] == 0
+
+    # Bit-identical reduction versus a plain serial session.
+    serial = SweepSession(
+        scale="fast", workers=1, store_root=str(tmp_path / "serial-store")
+    )
+    assert payloads == run_sweep(_points(), session=serial)
+
+    # The store entries are ordinary content-addressed files stamped with
+    # the parent's session id.
+    entries = sorted(session.store.dir.glob("*.json"))
+    assert len(entries) == 6
+    reloaded = [session.store.load(point) for point in _points()]
+    assert [payload for payload, _ in reloaded] == payloads
+    assert {session_id for _, session_id in reloaded} == {session.id}
+
+    # The worker's telemetry streamed into the parent's spool.
+    events = SpoolFollower(str(telemetry_dir)).poll()
+    remote = [
+        event for event in events
+        if event.source.get("role") == "remote-worker"
+    ]
+    assert sum(
+        1 for event in remote
+        if event.type == "point_finished" and not event.data.get("reused")
+    ) == 6
+    # Remote events carry client-side wseq: ordering survived the wire.
+    assert [event.wseq for event in remote] == sorted(
+        event.wseq for event in remote
+    )
+
+
+def test_parent_recomputes_when_no_worker_ever_connects(tmp_path):
+    _install_cheap_kinds(tmp_path)
+    session = SweepSession(
+        scale="fast", workers=1, store_root=str(tmp_path / "store")
+    )
+    hub = SweepHub.create(
+        session, listen="127.0.0.1:0", connect_grace_s=0.2
+    )
+    session.hub = hub
+    started = time.monotonic()
+    try:
+        payloads = run_sweep(_points(), session=session)
+    finally:
+        hub.close()
+    assert time.monotonic() - started < 30.0
+    serial = SweepSession(
+        scale="fast", workers=1, store_root=str(tmp_path / "serial-store")
+    )
+    assert payloads == run_sweep(_points(), session=serial)
+    assert hub.agent.ledger.snapshot()["completed"] == 0

@@ -1,0 +1,104 @@
+"""LocalDirTransport: space mapping, name hygiene, pre-cluster bit-compat."""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.documents import DocumentStore
+from repro.cluster.spool import Event, SpoolFollower
+from repro.cluster.transport import LocalDirTransport, safe_name
+
+
+def test_requires_root_or_spaces():
+    with pytest.raises(ValueError):
+        LocalDirTransport()
+
+
+def test_space_mapping_root_and_named(tmp_path):
+    named = tmp_path / "elsewhere"
+    transport = LocalDirTransport(
+        root=str(tmp_path), spaces={"qos": str(named)}
+    )
+    assert transport.space_dir("") == str(tmp_path)
+    assert transport.space_dir("exchange") == str(tmp_path / "exchange")
+    assert transport.space_dir("qos") == str(named)  # explicit map wins
+
+
+def test_spaces_only_rejects_unknown(tmp_path):
+    transport = LocalDirTransport(spaces={"qos": str(tmp_path)})
+    with pytest.raises(KeyError):
+        transport.space_dir("exchange")
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["", "../escape.json", "a/b.json", "a\\b.json", ".hidden.json", "a..json"],
+)
+def test_safe_name_rejects_traversal_and_hidden(name):
+    with pytest.raises(ValueError):
+        safe_name(name)
+
+
+def test_safe_name_enforces_suffix():
+    assert safe_name("events.jsonl", suffix=".jsonl") == "events.jsonl"
+    with pytest.raises(ValueError):
+        safe_name("events.json", suffix=".jsonl")
+
+
+def test_documents_are_plain_json_files(tmp_path):
+    """Bit-compat: the store's documents ARE the pre-cluster file layout."""
+    transport = LocalDirTransport(root=str(tmp_path))
+    transport.doc_put("exchange", "shard-0.json", {"shard": 0})
+    path = tmp_path / "exchange" / "shard-0.json"
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == {"shard": 0}
+    # And the reverse: a file written by any pre-cluster producer reads
+    # back through the transport unchanged.
+    (tmp_path / "exchange" / "shard-1.json").write_text('{"shard": 1}')
+    assert transport.doc_get("exchange", "shard-1.json") == {"shard": 1}
+    assert transport.doc_list("exchange") == ["shard-0.json", "shard-1.json"]
+    assert transport.doc_size("exchange", "shard-0.json") == os.path.getsize(
+        path
+    )
+    transport.doc_delete("exchange", "shard-0.json")
+    assert transport.doc_list("exchange") == ["shard-1.json"]
+    transport.doc_delete("exchange", "shard-0.json")  # idempotent
+
+
+def test_doc_list_skips_non_json_and_missing_space(tmp_path):
+    transport = LocalDirTransport(root=str(tmp_path))
+    transport.doc_put("s", "a.json", {})
+    (tmp_path / "s" / "spool.jsonl").write_text("")
+    (tmp_path / "s" / ".tmp-a.json").write_text("")
+    assert transport.doc_list("s") == ["a.json"]
+    assert transport.doc_list("never-created") == []
+
+
+def test_spool_append_feeds_an_ordinary_follower(tmp_path):
+    """Bit-compat: transported lines are exactly SpoolWriter's format."""
+    transport = LocalDirTransport(root=str(tmp_path))
+    events = [
+        Event(type="tick", at=100.0 + n, source={"pid": 1}, seq=n,
+              data={"n": n}, wseq=n + 1)
+        for n in range(3)
+    ]
+    transport.spool_append(
+        "telemetry", "worker-far-1.jsonl", [event.to_json() for event in events]
+    )
+    seen = SpoolFollower(str(tmp_path / "telemetry")).poll()
+    assert [event.data["n"] for event in seen] == [0, 1, 2]
+    assert [event.wseq for event in seen] == [1, 2, 3]
+
+
+def test_spool_append_rejects_embedded_newlines(tmp_path):
+    transport = LocalDirTransport(root=str(tmp_path))
+    with pytest.raises(ValueError):
+        transport.spool_append("telemetry", "w.jsonl", ['{"a": 1}\n{"b": 2}'])
+
+
+def test_document_store_for_directory_uses_local_transport(tmp_path):
+    store = DocumentStore.for_directory(str(tmp_path / "exchange"))
+    assert store.put("shard-0.json", {"shard": 0})
+    assert isinstance(store.transport, LocalDirTransport)
+    assert (tmp_path / "exchange" / "shard-0.json").exists()

@@ -194,3 +194,51 @@ def test_on_batch_reports_sizes_and_waits():
         assert len(report.queue_waits) == report.num_requests
         assert all(wait >= 0.0 for wait in report.queue_waits)
         assert report.service_seconds >= 0.0
+
+
+def test_edf_packs_least_slack_first_under_overflow():
+    from repro.serve.deadline import Deadline
+
+    runner = RecordingRunner()
+    batcher = DynamicBatcher(
+        runner, max_batch=4, max_wait=0.05, autostart=False
+    )
+    now = time.monotonic()
+    # Arrival order: roomy deadline, mid deadline, none, nearest (a
+    # micro-batch).  Together they gather past max_batch, so packing must
+    # choose -- and EDF must choose the request closest to dying.
+    batcher.submit("a", size=1, deadline=Deadline(now + 100.0))
+    batcher.submit("b", size=1, deadline=Deadline(now + 10.0))
+    batcher.submit("c", size=1)
+    futures = batcher.submit("d", size=2, deadline=Deadline(now + 1.0))
+    batcher.start()
+    assert futures.result(timeout=5) == "dd"
+    batcher.close()
+    # Least slack packs first: d (1s), b (10s), a (100s) fill the image
+    # budget; the deadline-less c carries to the next batch.
+    assert runner.batches == [["d", "b", "a"], ["c"]]
+
+
+def test_no_deadline_traffic_is_bit_identical_with_edf_off():
+    sizes = [3, 2, 2, 1, 4, 1, 1, 2]
+    splits = {}
+    for edf in (True, False):
+        runner = RecordingRunner()
+        batcher = DynamicBatcher(
+            runner, max_batch=4, max_wait=0.05, autostart=False, edf=edf
+        )
+        futures = [
+            batcher.submit(index, size=size)
+            for index, size in enumerate(sizes)
+        ]
+        batcher.start()
+        for future, _ in zip(futures, sizes):
+            future.result(timeout=5)
+        batcher.close()
+        splits[edf] = runner.batches
+    # EDF's sort is stable and every key ties at infinity: arrival-order
+    # packing, batch for batch.
+    assert splits[True] == splits[False]
+    assert [payload for batch in splits[True] for payload in batch] == list(
+        range(len(sizes))
+    )
