@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 repo check: byte-compile the package and run the fast test profile.
 #
-# Usage: scripts/check.sh [--serve|--telemetry|--cluster|--chaos|--soak|--soak-long]
+# Usage: scripts/check.sh [--serve|--telemetry|--alerts|--cluster|--chaos|--soak|--soak-long]
 #                         [extra args...]
 # Examples:
 #   scripts/check.sh                 # compileall + fast tier-1 tests
@@ -10,6 +10,9 @@
 #   scripts/check.sh --telemetry     # compileall + every telemetry test
 #                                    # (bus/timeline/coordinator tier-1
 #                                    # plus the SSE/dashboard e2e)
+#   scripts/check.sh --alerts        # compileall + the alert suite (unit,
+#                                    # stateful lifecycle properties, and
+#                                    # the chaos degradation contract)
 #   scripts/check.sh --cluster       # compileall + every cluster test
 #                                    # (documents/membership/ledger/socket
 #                                    # tier-1 plus the two-process CLI
@@ -44,6 +47,15 @@ elif [[ "${1:-}" == "--telemetry" ]]; then
     # plus the serving-side telemetry integration tests.
     python -m pytest -x -q -m "" tests/telemetry \
         tests/serve/test_telemetry_serve.py "$@"
+elif [[ "${1:-}" == "--alerts" ]]; then
+    shift
+    # Alert engine end to end: rule/sink/history unit tests, the stateful
+    # lifecycle machine, and the chaos-lane degradation contract (alert
+    # fires during an injected replica kill, resolves after recovery).
+    python -m pytest -x -q -m "" \
+        tests/telemetry/test_alerts.py \
+        tests/telemetry/test_alerts_stateful.py \
+        tests/chaos/test_chaos_alerts.py "$@"
 elif [[ "${1:-}" == "--cluster" ]]; then
     shift
     # The whole cluster suite: the socket-free tier-1 tests plus the

@@ -216,10 +216,31 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_alert_rules(path: str | None):
+    """Parse a ``--alert-rules`` JSON file (a list of rule objects)."""
+    if path is None:
+        return None
+    import json
+
+    from repro.telemetry.alerts import AlertRule
+
+    with open(path, encoding="utf-8") as handle:
+        documents = json.load(handle)
+    if not isinstance(documents, list):
+        raise ValueError("--alert-rules file must hold a JSON list of rules")
+    return [AlertRule.from_dict(document) for document in documents]
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.registry import default_registry
     from repro.serve.server import run_server
 
+    alert_kwargs = {
+        "alerts": not args.no_alerts,
+        "alert_rules": _load_alert_rules(args.alert_rules),
+        "alert_webhook": args.alert_webhook,
+        "probe_interval_s": args.probe_interval_s,
+    }
     overrides = {
         "threads": args.threads,
         "max_batch": args.max_batch,
@@ -289,6 +310,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coordinator=coordinator,
             max_connections=args.max_connections,
             spool_budget_bytes=spool_budget_bytes,
+            **alert_kwargs,
         )
         return 0
     if args.shards > 1:
@@ -305,6 +327,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coordinate=not args.no_coordinate,
             exchange_budget_bytes=spool_budget_bytes,
             max_connections=args.max_connections,
+            **alert_kwargs,
         )
         return 0
     run_server(
@@ -316,6 +339,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         telemetry_dir=args.telemetry_dir,
         max_connections=args.max_connections,
         spool_budget_bytes=spool_budget_bytes,
+        **alert_kwargs,
     )
     return 0
 
@@ -342,6 +366,63 @@ def _cmd_dash(args: argparse.Namespace) -> int:
         print(f"repro.telemetry: following {nested}", flush=True)
         directory = nested
     run_dashboard(spool_dir=directory, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """Follow a spool directory; print the alert lifecycle as it happens."""
+    import json
+    import time as _time
+
+    from repro.telemetry.alerts import (
+        ALERT_EVENT_TYPES,
+        AlertEngine,
+        AlertRule,
+        default_rules,
+    )
+    from repro.telemetry.bus import SpoolFollower
+
+    def show(alert: dict, derived: bool = False) -> None:
+        status = str(alert.get("status", "?")).upper()
+        stamp = _time.strftime(
+            "%H:%M:%S", _time.localtime(float(alert.get("at") or _time.time()))
+        )
+        message = alert.get("message") or (
+            f"{alert.get('rule')}[{alert.get('key')}]"
+        )
+        origin = "local" if derived else "bus"
+        print(f"[{stamp}] {status:<8} {message} ({origin})", flush=True)
+
+    engine = None
+    if args.evaluate or args.rules:
+        rules = default_rules()
+        if args.rules:
+            with open(args.rules, encoding="utf-8") as handle:
+                rules = [AlertRule.from_dict(doc) for doc in json.load(handle)]
+        engine = AlertEngine(
+            rules, publish=None,
+            sinks=[lambda alert: show(alert, derived=True)],
+        )
+    follower = SpoolFollower(args.dir)
+    try:
+        while True:
+            for event in follower.poll():
+                if event.type in ALERT_EVENT_TYPES:
+                    # Server-published lifecycle events replay verbatim.
+                    show(event.data)
+                elif engine is not None:
+                    engine.consume(event)
+            if args.once:
+                break
+            _time.sleep(args.poll_s)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    stats = follower.stats()
+    if stats.get("corrupt_lines"):
+        print(
+            f"alerts: skipped {stats['corrupt_lines']} corrupt spool line(s)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -628,7 +709,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="total server processes in the federation",
     )
+    serve_parser.add_argument(
+        "--no-alerts",
+        action="store_true",
+        help="disable the alert engine (rules over the telemetry bus, "
+        "lifecycle events, history ring)",
+    )
+    serve_parser.add_argument(
+        "--alert-rules",
+        default=None,
+        metavar="FILE",
+        help="JSON list of alert-rule objects replacing the default rules "
+        "(see docs/telemetry.md for the schema)",
+    )
+    serve_parser.add_argument(
+        "--alert-webhook",
+        default=None,
+        metavar="URL",
+        help="POST every alert fire/resolve to this URL (retrying backoff, "
+        "delivered off the serving path)",
+    )
+    serve_parser.add_argument(
+        "--probe-interval-s",
+        type=float,
+        default=0.0,
+        help="send one synthetic probe request per endpoint every N seconds "
+        "through the real batcher/engine path; probe_result events feed "
+        "the probe_failure rule (0 = no probes)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    alerts_parser = subparsers.add_parser(
+        "alerts",
+        help="follow a telemetry spool directory and print the alert "
+        "lifecycle (fire/resolve) as it streams",
+    )
+    alerts_parser.add_argument(
+        "--dir",
+        required=True,
+        help="telemetry spool directory to follow (a server's "
+        "--telemetry-dir)",
+    )
+    alerts_parser.add_argument(
+        "--evaluate",
+        action="store_true",
+        help="additionally run the default rules locally over the followed "
+        "events (derives alerts here even if the server runs --no-alerts)",
+    )
+    alerts_parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="FILE",
+        help="JSON list of alert-rule objects for --evaluate (implies it)",
+    )
+    alerts_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="drain what the spool holds now, print, and exit (scripting)",
+    )
+    alerts_parser.add_argument(
+        "--poll-s", type=float, default=0.5, help="spool poll interval"
+    )
+    alerts_parser.set_defaults(func=_cmd_alerts)
 
     dash_parser = subparsers.add_parser(
         "dash",

@@ -50,6 +50,20 @@ is hardened against misbehaving clients: header/body read timeouts
 (byte-drip readers are aborted), and a connection cap that evicts the
 idlest connection (slow-loris) rather than refusing service.
 
+Alerts + health history (PR 9)
+------------------------------
+Every server runs an :class:`~repro.telemetry.alerts.AlertEngine` over
+its event relay (rules with hysteresis/min-duration/cooldown; lifecycle
+events published back onto the bus, so ``/v1/events`` SSE streams and
+spools carry them for free), persists ``endpoint_health`` /
+``rung_transition`` / alert events into a size-rotated history ring
+(``<telemetry_dir>/history`` by default) replayed on restart, publishes
+a ``spool_health`` corruption heartbeat, and -- with
+``probe_interval_s > 0`` -- sends synthetic per-endpoint probe requests
+through the real batcher/engine path (``probe_result`` events feed the
+``probe_failure`` rule).  ``alert_webhook`` POSTs every lifecycle event
+with retrying backoff.  ``alerts=False`` turns the whole subsystem off.
+
 Shutdown is graceful *and drain-aware*: SIGINT/SIGTERM flip ``/healthz``
 to ``draining`` (503) and stop accepting new connections first -- so
 load balancers rolling a sharded front-end can take one shard out of
@@ -63,6 +77,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import os
 import signal
 import time
 from collections import OrderedDict
@@ -86,6 +102,20 @@ from repro.telemetry.dashboard import DASHBOARD_HTML, EventRelay, stream_sse
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 _MAX_HEADER_BYTES = 32 * 1024
+
+
+def retry_after_header(retry_after_ms: float) -> str:
+    """``Retry-After`` seconds that never under-advise the ms advice.
+
+    The header carries integer seconds; rounding (``int(round(...))``)
+    floors sub-second advice -- 1400 ms became ``1`` and anything under
+    500 ms became ``0``-clamped-to-``1`` by accident rather than by
+    contract.  A client honouring the header as its backoff floor would
+    then retry *before* the millisecond advice in the body, defeating
+    the advice-as-floor contract.  Ceiling keeps the header a
+    conservative upper bound of ``retry_after_ms``.
+    """
+    return str(max(1, math.ceil(float(retry_after_ms) / 1000.0)))
 
 
 class _HttpError(Exception):
@@ -170,6 +200,11 @@ class NBSMTServer:
         max_body_bytes: int = _MAX_BODY_BYTES,
         idempotency_cache: int = 1024,
         spool_budget_bytes: int = 0,
+        alerts: bool = True,
+        alert_rules=None,
+        alert_webhook: str | None = None,
+        probe_interval_s: float = 0.0,
+        history_dir: str | None = None,
         clock=time.monotonic,
     ):
         self.registry = registry or default_registry()
@@ -208,7 +243,70 @@ class NBSMTServer:
             bus.attach_spool(telemetry_dir, role="serve",
                              budget=self.spool_budget)
             self._owns_spool = True
-        self.relay = EventRelay(local_bus=bus, spool_dir=telemetry_dir)
+        self.relay = EventRelay(
+            local_bus=bus,
+            spool_dir=telemetry_dir,
+            stats_name=(
+                f"shard{self.shard_index}" if telemetry_dir is not None
+                else None
+            ),
+        )
+        # -- alert engine + health history (see repro.telemetry.alerts) ----
+        self.alert_engine = None
+        self.history = None
+        self._webhook = None
+        self._history_callback = None
+        self.probe_interval_s = float(probe_interval_s)
+        self._probe_arrays: dict[str, np.ndarray] = {}
+        self._last_corrupt_lines = 0
+        history_path = history_dir
+        if history_path is None and telemetry_dir is not None:
+            # A subdirectory keeps the history ring out of the relay
+            # follower's glob (its events would otherwise re-ingest).
+            history_path = os.path.join(str(telemetry_dir), "history")
+        if alerts:
+            from repro.telemetry import alerts as telemetry_alerts
+
+            if history_path is not None:
+                self.history = telemetry_alerts.AlertHistoryStore(history_path)
+            rules = (
+                list(alert_rules) if alert_rules is not None
+                else telemetry_alerts.default_rules()
+            )
+            if self.probe_interval_s > 0:
+                rules.append(telemetry_alerts.probe_rule(self.probe_interval_s))
+            sinks = []
+            if alert_webhook:
+                self._webhook = telemetry_alerts.WebhookSink(alert_webhook)
+                sinks.append(self._webhook)
+            self.alert_engine = telemetry_alerts.AlertEngine(
+                rules,
+                publish=telemetry_bus.publish,
+                sinks=sinks,
+                store=self.history,
+            )
+            # The engine sees everything the relay sees: the local bus
+            # plus (when sharded) every peer's followed spool.
+            self.relay.add_consumer(self.alert_engine.consume)
+            if self.history is not None:
+                # Replay the surviving ring window so timelines and the
+                # alert timeline pick up where the last process stopped;
+                # then record this process's own events (each shard
+                # records its own -- peers' rings live in the same
+                # directory, merged on the next load).
+                try:
+                    replayed = self.history.load()
+                except (OSError, ValueError):
+                    replayed = []
+                imported = []
+                for event in replayed:
+                    self.relay.aggregator.consume(event)
+                    if event.type in telemetry_alerts.ALERT_EVENT_TYPES:
+                        imported.append(dict(event.data))
+                self.alert_engine.import_history(imported)
+                self._history_callback = bus.subscribe(
+                    callback=self.history.record
+                )
         self._last_shed: dict[str, int] = {}
         self._last_expired: dict[str, int] = {}
         self._sock = sock
@@ -333,6 +431,10 @@ class NBSMTServer:
         self._background_tasks.append(
             asyncio.create_task(self._telemetry_loop())
         )
+        if self.probe_interval_s > 0 and self.alert_engine is not None:
+            self._background_tasks.append(
+                asyncio.create_task(self._probe_loop())
+            )
         if self.relay.follower is not None:
             self._background_tasks.append(
                 asyncio.create_task(self._follow_loop())
@@ -416,6 +518,54 @@ class NBSMTServer:
             await loop.run_in_executor(None, self.relay.poll)
             await asyncio.sleep(0.25)
 
+    async def _probe_loop(self) -> None:
+        """Synthetic self-test requests per endpoint (``probe_result``)."""
+        loop = asyncio.get_running_loop()
+        while not self._stopped:
+            await loop.run_in_executor(None, self._run_probes)
+            await asyncio.sleep(self.probe_interval_s)
+
+    def _run_probes(self) -> None:
+        """One probe request through each endpoint's real data path.
+
+        Probes submit straight into the batcher -- deliberately past
+        admission control, so a load-shedding endpoint still proves its
+        compute path works -- and publish ``probe_result`` events that
+        feed the ``probe_failure`` rule.  A saturated batcher queue
+        (QueueFull) or an engine error both count as a failed probe.
+        """
+        bus = telemetry_bus.get_bus()
+        for name in list(self.batchers):
+            if self._stopped or self._draining:
+                return
+            started = self.clock()
+            level = None
+            try:
+                image = self._probe_arrays.get(name)
+                if image is None:
+                    image = np.zeros(
+                        (1, *self.pool.input_shape(name)), dtype=np.float32
+                    )
+                    self._probe_arrays[name] = image
+                future = self.batchers[name].submit(image, size=1)
+                logits, level = future.result(
+                    timeout=max(1.0, self.probe_interval_s)
+                )
+                ok = bool(np.isfinite(np.asarray(logits)).all())
+                reason = None if ok else "non-finite logits"
+            except Exception as exc:  # noqa: BLE001 - a failed probe is data
+                ok = False
+                reason = repr(exc)
+            bus.publish(
+                "probe_result",
+                endpoint=name,
+                ok=ok,
+                failed=not ok,
+                latency_ms=(self.clock() - started) * 1000.0,
+                level=level,
+                reason=reason,
+            )
+
     def publish_health(self) -> None:
         """One health event per endpoint, plus aggregated shed deltas."""
         bus = telemetry_bus.get_bus()
@@ -454,6 +604,17 @@ class NBSMTServer:
                 latency_budget_ms=metrics.latency_budget_ms,
                 replicas=replica_health.get(name),
             )
+        # Spool-corruption heartbeat: cumulative across follower restarts
+        # (the relay persists a baseline), delta per tick.  Published
+        # every tick -- the `spool_corruption` rule needs clean events to
+        # sustain its clear streak and resolve.
+        stats = self.relay.corruption_stats()
+        corrupt = int(stats["corrupt_lines"])
+        delta = max(0, corrupt - self._last_corrupt_lines)
+        self._last_corrupt_lines = corrupt
+        bus.publish(
+            "spool_health", corrupt_lines=corrupt, corrupt_delta=delta
+        )
 
     async def stop(self) -> None:
         """Graceful, drain-aware shutdown.
@@ -501,6 +662,13 @@ class NBSMTServer:
         await loop.run_in_executor(None, drain_and_close)
         telemetry_bus.publish("server_stopped", endpoints=sorted(self.batchers))
         self.relay.close()
+        if self._history_callback is not None:
+            telemetry_bus.get_bus().unsubscribe(self._history_callback)
+            self._history_callback = None
+        if self._webhook is not None:
+            self._webhook.close(timeout=1.0)
+        if self.history is not None:
+            self.history.close()
         if self._owns_spool:
             telemetry_bus.get_bus().detach_spool()
         if self._stop_event is not None:
@@ -739,7 +907,7 @@ class NBSMTServer:
                 for name, health in replica_health.items()
                 if health.get("degraded")
             )
-            return 200, {
+            payload = {
                 # "degraded" (not an error status) -- the endpoint still
                 # serves on its surviving replicas; load balancers may
                 # prefer an undamaged shard.
@@ -748,6 +916,9 @@ class NBSMTServer:
                 "degraded_endpoints": degraded,
                 "connections": self.connection_stats(),
             }
+            if self.alert_engine is not None:
+                payload["active_alerts"] = len(self.alert_engine.active())
+            return 200, payload
         if path == "/v1/models":
             if method != "GET":
                 raise _HttpError(405, "use GET")
@@ -761,7 +932,12 @@ class NBSMTServer:
         if path == "/v1/telemetry":
             if method != "GET":
                 raise _HttpError(405, "use GET")
-            return 200, self.relay.snapshot()
+            snapshot = self.relay.snapshot()
+            if self.alert_engine is not None:
+                # The aggregator's "alerts" key is the event-derived view
+                # (any relay has it); the engine view adds rules + state.
+                snapshot["alerts_engine"] = self.alert_engine.snapshot()
+            return 200, snapshot
         if path == "/v1/metrics":
             if method != "GET":
                 raise _HttpError(405, "use GET")
@@ -886,9 +1062,7 @@ class NBSMTServer:
                 "expected_point": point,
                 "retry_after_ms": retry_after_ms,
             },
-            headers={
-                "Retry-After": str(max(1, int(round(retry_after_ms / 1000.0))))
-            },
+            headers={"Retry-After": retry_after_header(retry_after_ms)},
         )
 
     async def _predict(self, name: str, body: bytes, headers=None):

@@ -33,6 +33,7 @@ import json
 import os
 import time
 
+from repro.cluster.documents import DocumentStore
 from repro.telemetry.bus import SpoolFollower, TelemetryBus, get_bus
 from repro.telemetry.timeseries import TelemetryAggregator
 
@@ -43,6 +44,11 @@ def format_sse(event_type: str, payload: dict) -> bytes:
     return f"event: {event_type}\ndata: {data}\n\n".encode("utf-8")
 
 
+def _normalize_spool_basename(basename: str) -> str:
+    """Fold a rotated generation (``*.jsonl.old``) onto its spool name."""
+    return basename.removesuffix(".old")
+
+
 class EventRelay:
     """Local bus + peer spools, merged, aggregated, and fanned out."""
 
@@ -51,11 +57,36 @@ class EventRelay:
         local_bus: TelemetryBus | None = None,
         spool_dir: str | None = None,
         aggregator: TelemetryAggregator | None = None,
+        stats_name: str | None = None,
     ):
         self.aggregator = aggregator or TelemetryAggregator()
         self._fanout = TelemetryBus(role="relay")
         self._local_bus = local_bus
         self._callback = None
+        self._consumers: list = []
+        # Cumulative corruption accounting (survives follower restarts).
+        # A fresh follower re-reads every file from byte 0, so its live
+        # counters restart at whatever corruption still *exists* on disk;
+        # per-file max() against the persisted baseline neither loses the
+        # pre-restart count nor double-counts re-read corrupt lines.
+        # Rotated generations fold onto their spool name first, so a
+        # post-rotation file's new corruption adds to (rather than hides
+        # behind) the old generation's count.
+        self._stats_documents: DocumentStore | None = None
+        self._stats_doc: str | None = None
+        self._corrupt_baseline: dict[str, int] = {}
+        self._last_persisted: dict | None = None
+        if spool_dir is not None and stats_name is not None:
+            self._stats_documents = DocumentStore.for_directory(str(spool_dir))
+            self._stats_doc = f"relay-stats-{stats_name}.json"
+            document = self._stats_documents.get(self._stats_doc)
+            baseline = (document or {}).get("corrupt_by_file")
+            if isinstance(baseline, dict):
+                self._corrupt_baseline = {
+                    str(name): int(count)
+                    for name, count in baseline.items()
+                    if isinstance(count, (int, float))
+                }
         skip: set[str] = set()
         if (
             local_bus is not None
@@ -75,8 +106,22 @@ class EventRelay:
         if local_bus is not None:
             self._callback = local_bus.subscribe(callback=self.ingest)
 
+    def add_consumer(self, consumer) -> None:
+        """Attach an extra per-event consumer (e.g. the alert engine).
+
+        Consumers see every ingested event -- local bus and followed
+        spools alike -- and may publish back onto the local bus (the
+        alert lifecycle); a consumer raising never breaks the relay.
+        """
+        self._consumers.append(consumer)
+
     def ingest(self, event) -> None:
         self.aggregator.consume(event)
+        for consumer in list(self._consumers):
+            try:
+                consumer(event)
+            except Exception:  # noqa: BLE001 - consumers never break relaying
+                pass
         self._fanout.forward(event)
 
     def poll(self) -> int:
@@ -91,10 +136,52 @@ class EventRelay:
     def subscribe(self, **kwargs):
         return self._fanout.subscribe(**kwargs)
 
+    def corruption_stats(self) -> dict:
+        """Cumulative corruption counters (survive follower restarts).
+
+        Per normalized file: rotated generations summed within this
+        follower's lifetime, then max()-merged against the persisted
+        baseline from previous runs (see ``__init__``).  Persists the
+        merged counters whenever they change, so the next restart's
+        relay starts from here.
+        """
+        merged = dict(self._corrupt_baseline)
+        if self.follower is not None:
+            live: dict[str, int] = {}
+            by_file = self.follower.stats().get("corrupt_by_file", {})
+            for name, count in by_file.items():
+                key = _normalize_spool_basename(name)
+                live[key] = live.get(key, 0) + int(count)
+            for key, count in live.items():
+                merged[key] = max(merged.get(key, 0), count)
+        cumulative = {
+            "corrupt_lines": sum(merged.values()),
+            "corrupt_by_file": merged,
+        }
+        if (
+            self._stats_documents is not None
+            and cumulative != self._last_persisted
+        ):
+            try:
+                self._stats_documents.put(self._stats_doc, cumulative)
+                self._last_persisted = {
+                    "corrupt_lines": cumulative["corrupt_lines"],
+                    "corrupt_by_file": dict(merged),
+                }
+            except OSError:  # pragma: no cover - spool dir torn down
+                pass
+        return cumulative
+
     def snapshot(self) -> dict:
         snapshot = self.aggregator.snapshot()
         if self.follower is not None:
-            snapshot["spool"] = self.follower.stats()
+            stats = dict(self.follower.stats())
+            # Keep `corrupt_lines` cumulative across restarts (the alert
+            # rules threshold on it); the follower's own session counter
+            # stays visible under its own key.
+            stats["session_corrupt_lines"] = stats.get("corrupt_lines", 0)
+            stats.update(self.corruption_stats())
+            snapshot["spool"] = stats
         return snapshot
 
     def close(self) -> None:
@@ -248,6 +335,18 @@ td { padding: 3px 8px 3px 0; border-bottom: 1px solid var(--grid);
     </div>
     <div id="sw-models" style="margin-top:10px"></div>
   </div>
+  <div class="card" id="alerts-card">
+    <h2>Alerts</h2>
+    <div class="tiles">
+      <div class="tile"><div class="v" id="al-active">&ndash;</div>
+        <div class="l">active</div></div>
+      <div class="tile"><div class="v" id="al-fired">&ndash;</div>
+        <div class="l">fired</div></div>
+      <div class="tile"><div class="v" id="al-resolved">&ndash;</div>
+        <div class="l">resolved</div></div>
+    </div>
+    <div id="al-list" style="margin-top:10px"></div>
+  </div>
 </div>
 
 <div class="cards" id="endpoints"></div>
@@ -370,9 +469,31 @@ function renderEndpoints(endpoints, coordinator, now) {
   container.innerHTML = html;
 }
 
+function renderAlerts(al) {
+  al = al || {};
+  const active = al.active || [];
+  document.getElementById("al-active").textContent = active.length;
+  document.getElementById("al-fired").textContent = al.fired || 0;
+  document.getElementById("al-resolved").textContent = al.resolved || 0;
+  if (!active.length) {
+    document.getElementById("al-list").innerHTML =
+      '<span class="tl-label">no active alerts</span>';
+    return;
+  }
+  let html = "<table><tr><th>rule</th><th>key</th><th>severity</th>" +
+    "<th>value</th></tr>";
+  for (const a of active) {
+    html += '<tr><td style="color:' + css("--critical") + '">' +
+      esc(a.rule) + "</td><td>" + esc(a.key) + "</td><td>" +
+      esc(a.severity) + "</td><td>" + fmt(a.value, 3) + "</td></tr>";
+  }
+  document.getElementById("al-list").innerHTML = html + "</table>";
+}
+
 function render() {
   if (!state) return;
   renderSweep(state.sweep || {});
+  renderAlerts(state.alerts);
   renderEndpoints(state.endpoints, state.coordinator, state.at);
   document.getElementById("status").textContent =
     "live \\u2014 " + state.events_seen + " events seen";
@@ -399,7 +520,8 @@ for (const type of ["sweep_started", "sweep_finished", "point_started",
                     "point_finished", "point_failed", "worker_started",
                     "worker_exited", "endpoint_health", "rung_transition",
                     "shed", "replica_respawn",
-                    "coordinator_recommendation"]) {
+                    "coordinator_recommendation", "alert_fired",
+                    "alert_resolved", "probe_result", "spool_health"]) {
   source.addEventListener(type, (message) => {
     logEvent(JSON.parse(message.data));
   });

@@ -25,11 +25,32 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
+
+#: Clock seams (monkeypatchable in tests).  Wall time stamps and renders;
+#: *every* staleness/window decision with a ``now`` of its own couples it
+#: to the monotonic clock so an NTP step can neither mask stale data
+#: (step backward) nor evict live publishers (step forward) -- the same
+#: clock-robustness contract the spool follower's ``wseq`` clamp gives
+#: cross-process merges.
+_wall = time.time
+_mono = time.monotonic
 
 
 class RingSeries:
-    """Fixed-capacity ``(at, value)`` samples with windowed aggregation."""
+    """Fixed-capacity ``(at, value)`` samples with windowed aggregation.
+
+    Sample stamps are wall-clock (they cross processes), but they are
+    clamped **monotone per series** on append -- a publisher whose clock
+    steps backward cannot interleave its samples out of order -- and the
+    implicit ``now`` of a windowed query is *data-anchored*: the newest
+    sample's stamp advanced by the local **monotonic** elapsed time since
+    it arrived.  A step of the local wall clock therefore never evicts a
+    live window (forward step) nor resurrects an expired one (backward
+    step); with no new samples the anchor still advances, so rates decay
+    to zero exactly as before.  Queries passing an explicit ``now``
+    (tests, event-time snapshots) are untouched.
+    """
 
     def __init__(self, capacity: int = 512):
         self.capacity = max(1, int(capacity))
@@ -37,12 +58,25 @@ class RingSeries:
         self._values = [0.0] * self.capacity
         self._next = 0
         self._count = 0
+        self._latest_at: float | None = None
+        self._latest_mono: float | None = None
 
     def append(self, value: float, at: float | None = None) -> None:
-        self._at[self._next] = time.time() if at is None else float(at)
+        at = _wall() if at is None else float(at)
+        if self._latest_at is not None and at < self._latest_at:
+            at = self._latest_at  # per-series monotone clamp
+        self._latest_at = at
+        self._latest_mono = _mono()
+        self._at[self._next] = at
         self._values[self._next] = float(value)
         self._next = (self._next + 1) % self.capacity
         self._count = min(self._count + 1, self.capacity)
+
+    def _effective_now(self) -> float:
+        """Wall-clock 'now' estimate immune to local wall-clock steps."""
+        if self._latest_at is None or self._latest_mono is None:
+            return _wall()
+        return self._latest_at + max(0.0, _mono() - self._latest_mono)
 
     def __len__(self) -> int:
         return self._count
@@ -59,7 +93,7 @@ class RingSeries:
         return [(self._at[index], self._values[index]) for index in indices]
 
     def _window(self, window_s: float, now: float | None) -> list[float]:
-        horizon = (time.time() if now is None else now) - window_s
+        horizon = (self._effective_now() if now is None else now) - window_s
         return [value for at, value in self.samples() if at >= horizon]
 
     def window_mean(self, window_s: float, now: float | None = None) -> float:
@@ -95,6 +129,8 @@ class OperatingTimeline:
         self.capacity = max(2, int(capacity))
         self._segments: list[dict] = []
         self.transitions = 0
+        self._latest_at: float | None = None
+        self._latest_mono: float | None = None
 
     @property
     def level(self) -> int | None:
@@ -109,7 +145,10 @@ class OperatingTimeline:
         pressure: float | None = None,
     ) -> bool:
         """Fold one rung observation in; True when a new segment started."""
-        at = time.time() if at is None else float(at)
+        at = _wall() if at is None else float(at)
+        if self._latest_at is None or at > self._latest_at:
+            self._latest_at = at
+        self._latest_mono = _mono()
         if self._segments:
             current = self._segments[-1]
             if current["level"] == int(level):
@@ -144,10 +183,21 @@ class OperatingTimeline:
         return None
 
     def describe(self, horizon_s: float | None = None) -> list[dict]:
-        """JSON-able segments, optionally only those overlapping the horizon."""
+        """JSON-able segments, optionally only those overlapping the horizon.
+
+        The horizon anchors to the newest observation advanced by the
+        monotonic elapsed time since it arrived (see :class:`RingSeries`):
+        a wall-clock step cannot truncate or resurrect the timeline, and
+        replayed post-restart history keeps its window relative to the
+        data rather than vanishing behind a fresh local clock.
+        """
         segments = self.segments()
         if horizon_s is not None:
-            cutoff = time.time() - horizon_s
+            if self._latest_at is None or self._latest_mono is None:
+                now = _wall()
+            else:
+                now = self._latest_at + max(0.0, _mono() - self._latest_mono)
+            cutoff = now - horizon_s
             segments = [
                 segment
                 for segment in segments
@@ -203,10 +253,12 @@ class _SweepState:
         self.max_seen_keys = 65536
 
     def snapshot(self, now: float | None = None) -> dict:
-        now = time.time() if now is None else now
+        # With no explicit ``now`` the rate window uses the ring's
+        # clock-step-robust data-anchored clock, not raw wall time.
+        rate = self.finish_times.window_rate(30.0, now)
+        now = _wall() if now is None else now
         elapsed = (now - self.started_at) if self.started_at else 0.0
         computed = max(0, self.done - self.reused)
-        rate = self.finish_times.window_rate(30.0, now)
         remaining = max(0, self.total - self.done)
         eta_s = remaining / rate if rate > 0 else None
         return {
@@ -233,7 +285,10 @@ class _SweepState:
 #: excluded from the live tiles (sums/maxima): a crashed shard must not
 #: pin the dashboard's throughput or p99 at its dying values forever --
 #: the same double-count class the metrics spool reaps.  Its timeline
-#: stays: that is history, not a gauge.
+#: stays: that is history, not a gauge.  Staleness is measured on the
+#: **monotonic** clock from the event's local arrival, never on wall
+#: stamps: an NTP step backward must not resurrect a dead shard, and a
+#: step forward must not evict every live one.
 HEALTH_STALE_S = 10.0
 
 
@@ -256,11 +311,11 @@ class _EndpointState:
         return timeline
 
     def _live_shards(self) -> dict[int, dict]:
-        horizon = time.time() - HEALTH_STALE_S
+        horizon = _mono() - HEALTH_STALE_S
         return {
             index: shard
             for index, shard in self.shards.items()
-            if shard.get("at", 0.0) >= horizon
+            if shard.get("seen_mono", float("-inf")) >= horizon
         }
 
     def snapshot(self) -> dict:
@@ -334,6 +389,12 @@ class TelemetryAggregator:
         self.endpoints: dict[str, _EndpointState] = {}
         self.coordinator: dict[str, dict] = {}
         self.events_seen = 0
+        #: Alert lifecycle folded from ``alert_fired`` / ``alert_resolved``
+        #: events -- live *and* replayed history render the same timeline.
+        self._alerts_active: "OrderedDict[str, dict]" = OrderedDict()
+        self._alerts_recent: deque[dict] = deque(maxlen=64)
+        self.alerts_fired = 0
+        self.alerts_resolved = 0
 
     def endpoint(self, name: str) -> _EndpointState:
         state = self.endpoints.get(name)
@@ -439,6 +500,9 @@ class TelemetryAggregator:
         )
         state.shards[shard] = {
             "at": event.at,
+            # Local monotonic arrival stamp: drives staleness reaping
+            # (the wall ``at`` is display/merge metadata only).
+            "seen_mono": _mono(),
             "requests": event.data.get("requests", 0),
             "images": event.data.get("images", 0),
             "rejected_images": event.data.get("rejected_images", 0),
@@ -470,6 +534,37 @@ class TelemetryAggregator:
         name = event.data.get("endpoint", "?")
         self.endpoint(name).respawns += 1
 
+    # alert lifecycle
+    @staticmethod
+    def _alert_entry(event) -> dict:
+        entry = {
+            key: event.data.get(key)
+            for key in (
+                "rule", "key", "status", "severity", "field",
+                "value", "threshold", "message", "duration_s",
+            )
+            if event.data.get(key) is not None
+        }
+        entry["at"] = event.at
+        return entry
+
+    def _on_alert_fired(self, event) -> None:
+        entry = self._alert_entry(event)
+        identity = f"{entry.get('rule', '?')}|{entry.get('key', '-')}"
+        self._alerts_active[identity] = entry
+        self._alerts_active.move_to_end(identity)
+        while len(self._alerts_active) > 256:  # bounded like every fold
+            self._alerts_active.popitem(last=False)
+        self._alerts_recent.append(entry)
+        self.alerts_fired += 1
+
+    def _on_alert_resolved(self, event) -> None:
+        entry = self._alert_entry(event)
+        identity = f"{entry.get('rule', '?')}|{entry.get('key', '-')}"
+        self._alerts_active.pop(identity, None)
+        self._alerts_recent.append(entry)
+        self.alerts_resolved += 1
+
     def _on_coordinator_recommendation(self, event) -> None:
         name = event.data.get("endpoint", "?")
         self.coordinator[name] = {
@@ -483,7 +578,7 @@ class TelemetryAggregator:
     def snapshot(self) -> dict:
         with self._lock:
             return {
-                "at": time.time(),
+                "at": _wall(),
                 "events_seen": self.events_seen,
                 "sweep": self.sweep.snapshot(),
                 "endpoints": {
@@ -493,5 +588,13 @@ class TelemetryAggregator:
                 "coordinator": {
                     name: dict(entry)
                     for name, entry in sorted(self.coordinator.items())
+                },
+                "alerts": {
+                    "active": [
+                        dict(entry) for entry in self._alerts_active.values()
+                    ],
+                    "recent": [dict(entry) for entry in self._alerts_recent],
+                    "fired": self.alerts_fired,
+                    "resolved": self.alerts_resolved,
                 },
             }

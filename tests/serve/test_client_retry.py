@@ -116,3 +116,34 @@ def test_zero_retry_policy_never_retries():
 )
 def test_default_schedule_doubles_until_the_cap(attempt, expected):
     assert RetryPolicy().base_delay_ms(attempt) == expected
+
+
+# ---------------------------------------------------------------------------
+# Retry-After header round trip (PR 9 bugfix)
+# ---------------------------------------------------------------------------
+#
+# The header carries whole seconds, so the server must round *up*: an
+# integer truncation of a sub-second advice (e.g. 250ms -> "0") would let
+# clients retry immediately, defeating advice-as-floor on the client side.
+
+
+@QUICK_SETTINGS
+@given(advice_ms=st.floats(min_value=0.001, max_value=120_000.0,
+                           allow_nan=False, allow_infinity=False))
+def test_retry_after_header_round_trip_never_shrinks_the_advice(advice_ms):
+    from repro.serve.server import retry_after_header
+
+    header = retry_after_header(advice_ms)
+    assert header.isdigit() and int(header) >= 1  # valid RFC header token
+    parsed = _retry_after_ms({}, {"Retry-After": header})
+    assert parsed is not None and parsed >= advice_ms
+
+
+def test_retry_after_header_sub_second_advice_rounds_up():
+    from repro.serve.server import retry_after_header
+
+    assert retry_after_header(250.0) == "1"
+    assert retry_after_header(499.0) == "1"  # int(round(...)) would say "0"
+    assert retry_after_header(1000.0) == "1"
+    assert retry_after_header(1001.0) == "2"
+    assert retry_after_header(0.0) == "1"  # never advertise "retry now"

@@ -226,3 +226,63 @@ def test_http_sse_streams_rung_transitions(tiny_provider, tiny_harness):
             await server.stop()
 
     asyncio.run(main())
+
+
+def test_alert_engine_wired_into_server_and_history_restart(
+    tiny_provider, tmp_path
+):
+    """The default server carries an alert engine fed by its relay; with a
+    ``history_dir`` the lifecycle survives a server restart."""
+    from repro.telemetry.alerts import AlertRule
+
+    rule = AlertRule(
+        name="hot", field="pressure", threshold=0.9, clear_threshold=0.5,
+        for_s=0.0, clear_for_s=0.0, cooldown_s=0.0,
+    )
+
+    def build():
+        registry = ServeRegistry()
+        registry.register(make_spec())
+        pool = EnginePool(registry, provider=tiny_provider, warm=False)
+        server = NBSMTServer(
+            registry, pool=pool, history_dir=str(tmp_path),
+            alert_rules=[rule],
+        )
+        server._build_endpoints()
+        return server, pool
+
+    def teardown(server, pool):
+        for batcher in server.batchers.values():
+            batcher.close(drain=False)
+        pool.close()
+        server.relay.close()
+        telemetry_bus.get_bus().unsubscribe(server._history_callback)
+        server.history.close()
+
+    server, pool = build()
+    try:
+        telemetry_bus.publish(
+            "endpoint_health", endpoint="tinynet", pressure=0.95
+        )
+        status, payload = route(server, "GET", "/healthz")
+        assert status == 200 and payload["active_alerts"] == 1
+        status, snapshot = route(server, "GET", "/v1/telemetry")
+        assert status == 200
+        engine_view = snapshot["alerts_engine"]
+        assert [a["rule"] for a in engine_view["active"]] == ["hot"]
+        assert engine_view["fired_total"] == 1
+        # The aggregator folded the lifecycle into the dashboard view too.
+        assert snapshot["alerts"]["fired"] == 1
+    finally:
+        teardown(server, pool)
+
+    # -- restart: a fresh server replays the ring-file history ----------
+    server2, pool2 = build()
+    try:
+        active = server2.alert_engine.active()
+        assert [(a["rule"], a["key"]) for a in active] == [("hot", "tinynet")]
+        assert server2.alert_engine.fired_total == 1
+        status, payload = route(server2, "GET", "/healthz")
+        assert payload["active_alerts"] == 1
+    finally:
+        teardown(server2, pool2)

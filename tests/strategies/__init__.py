@@ -12,6 +12,7 @@ policies, deadline budgets, shed advice) in
 :mod:`tests.strategies.lifelines`.
 """
 
+from tests.strategies.alerts import alert_rules, rule_values
 from tests.strategies.lifelines import (
     attempt_indices,
     deadline_budgets_ms,
@@ -36,6 +37,7 @@ __all__ = [
     "SLOW_SETTINGS",
     "STANDARD_SETTINGS",
     "STATE_MACHINE_SETTINGS",
+    "alert_rules",
     "attempt_indices",
     "deadline_budgets_ms",
     "load_signals",
@@ -43,5 +45,6 @@ __all__ = [
     "request_sizes",
     "retry_after_advice_ms",
     "retry_policies",
+    "rule_values",
     "rung_counts",
 ]

@@ -1,0 +1,58 @@
+"""Hypothesis strategies for the alert engine.
+
+``alert_rules()`` draws one well-formed :class:`AlertRule` (both
+directions, optional hysteresis dead band, sustain/cooldown durations on
+the scale the stateful machine advances its clock); ``rule_values()``
+draws observed values wide enough to land on either side of any drawn
+threshold -- and inside the dead band when there is one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.telemetry.alerts import AlertRule
+
+_durations = st.floats(
+    min_value=0.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def alert_rules(draw) -> AlertRule:
+    below = draw(st.booleans())
+    threshold = draw(
+        st.floats(
+            min_value=-10.0, max_value=10.0,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    clear_threshold = None
+    if draw(st.booleans()):
+        gap = draw(
+            st.floats(
+                min_value=0.0, max_value=5.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+        clear_threshold = threshold + gap if below else threshold - gap
+    return AlertRule(
+        name="machine-rule",
+        event_type="endpoint_health",
+        field="value",
+        threshold=threshold,
+        below=below,
+        clear_threshold=clear_threshold,
+        for_s=draw(_durations),
+        clear_for_s=draw(_durations),
+        cooldown_s=draw(_durations),
+        key_fields=("endpoint",),
+    )
+
+
+def rule_values():
+    """Observed values spanning past both sides of any drawn threshold."""
+    return st.floats(
+        min_value=-20.0, max_value=20.0,
+        allow_nan=False, allow_infinity=False,
+    )

@@ -1,0 +1,116 @@
+"""Stateful property test for the alert lifecycle.
+
+Mirrors the QoS controller machine: a Hypothesis-driven sequence of
+observed values and clock advances against one :class:`AlertEngine`,
+with shadow *lower bounds* on the breach/clear streaks.  Invariants:
+
+- no fire before the value has breached continuously for ``for_s``
+  (tracked via the last instant the value was *not* breached);
+- no resolve before the value has cleared continuously for
+  ``clear_for_s``;
+- no transition (either direction) within ``cooldown_s`` of the last;
+- a fire only happens while not firing, a resolve only while firing;
+- after a sustained definitely-clear signal, a firing alert resolves.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
+
+from repro.telemetry.alerts import AlertEngine
+from repro.telemetry.bus import Event
+from tests.strategies import STATE_MACHINE_SETTINGS, alert_rules, rule_values
+
+
+def _event(value: float) -> Event:
+    return Event(
+        "endpoint_health", at=0.0, source={"pid": 1}, seq=0,
+        data={"endpoint": "e", "value": value},
+    )
+
+
+class AlertMachine(RuleBasedStateMachine):
+    @initialize(alert=alert_rules())
+    def setup(self, alert):
+        self.now = 0.0
+        self.alert_rule = alert
+        self.engine = AlertEngine([alert], clock=lambda: self.now)
+        self.firing = False
+        self.last_transition_at: float | None = None
+        # Shadow lower bounds: the most recent instant at which the value
+        # was observed NOT breached / NOT cleared.  The true streaks can
+        # only have started after these, so they bound sustain from below.
+        self.last_not_breached_at: float | None = None
+        self.last_not_cleared_at: float | None = None
+        self.saw_any_value = False
+
+    @rule(delta=st.floats(min_value=0.0, max_value=2.0,
+                          allow_nan=False, allow_infinity=False))
+    def advance(self, delta):
+        self.now += delta
+
+    @rule(value=rule_values())
+    def observe(self, value):
+        emitted = self.engine.consume(_event(value))
+        breached = self.alert_rule.breached(value)
+        cleared = self.alert_rule.cleared(value)
+        if not self.saw_any_value:
+            # The streak clocks can only start at the first observation.
+            self.last_not_breached_at = self.now
+            self.last_not_cleared_at = self.now
+            self.saw_any_value = True
+
+        assert len(emitted) <= 1
+        for alert in emitted:
+            if self.last_transition_at is not None:
+                assert (self.now - self.last_transition_at
+                        >= self.alert_rule.cooldown_s)
+            if alert["status"] == "firing":
+                assert not self.firing
+                assert breached
+                assert (self.now - self.last_not_breached_at
+                        >= self.alert_rule.for_s)
+                self.firing = True
+            else:
+                assert alert["status"] == "resolved"
+                assert self.firing
+                assert cleared
+                assert (self.now - self.last_not_cleared_at
+                        >= self.alert_rule.clear_for_s)
+                self.firing = False
+            self.last_transition_at = self.now
+
+        # Update the shadow bounds *after* the asserts: the engine judged
+        # this observation against streaks that existed before it.
+        if not breached:
+            self.last_not_breached_at = self.now
+        if not cleared:
+            self.last_not_cleared_at = self.now
+
+    @rule()
+    def recovery_resolves(self):
+        """A sustained, definitely-clear signal always resolves."""
+        if not self.firing:
+            return
+        clear = (
+            self.alert_rule.threshold
+            if self.alert_rule.clear_threshold is None
+            else self.alert_rule.clear_threshold
+        )
+        clear_value = clear + 1.0 if self.alert_rule.below else clear - 1.0
+        self.observe(clear_value)
+        self.advance(0.0)
+        self.now += max(self.alert_rule.cooldown_s,
+                        self.alert_rule.clear_for_s) + 1.0
+        self.observe(clear_value)
+        assert not self.firing
+
+    @rule()
+    def active_matches_shadow(self):
+        active = self.engine.active()
+        assert len(active) == (1 if self.firing else 0)
+
+
+TestAlertMachine = AlertMachine.TestCase
+TestAlertMachine.settings = STATE_MACHINE_SETTINGS

@@ -172,3 +172,43 @@ def test_dashboard_server_sse_stream(tmp_path):
 
     _run_dash(str(tmp_path), actions)
     writer.detach_spool()
+
+
+def test_relay_corruption_counts_survive_restart(tmp_path):
+    """`corrupt_lines` is an operator-facing damage odometer (and an alert
+    input): a follower restart must not reset it to zero."""
+    from repro.telemetry.bus import Event
+
+    def spool_file(name, lines):
+        path = tmp_path / name
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    good = Event(
+        "point_finished", at=1.0, source={"pid": 999}, seq=0,
+        data={"key": "p", "reused": False},
+    ).to_json()
+    damaged = spool_file("peer-11.jsonl", [good, "{not json", "%% nope"])
+
+    relay = EventRelay(spool_dir=str(tmp_path), stats_name="shard0")
+    relay.poll()
+    assert relay.corruption_stats()["corrupt_lines"] == 2
+    relay.close()
+
+    damaged.unlink()  # even the damaged file itself disappearing...
+
+    relay2 = EventRelay(spool_dir=str(tmp_path), stats_name="shard0")
+    relay2.poll()
+    assert relay2.corruption_stats()["corrupt_lines"] == 2  # ...is remembered
+    spool_file("other-12.jsonl", ["garbage"])
+    relay2.poll()
+    stats = relay2.snapshot()["spool"]
+    assert stats["corrupt_lines"] == 3  # cumulative across the restart
+    assert stats["session_corrupt_lines"] == 1  # this follower saw only one
+    relay2.close()
+
+    # A third relay under a *different* name starts from its own baseline.
+    relay3 = EventRelay(spool_dir=str(tmp_path), stats_name="other")
+    relay3.poll()
+    assert relay3.corruption_stats()["corrupt_lines"] == 1
+    relay3.close()

@@ -262,3 +262,78 @@ def test_aggregator_coordinator_recommendation():
     entry = aggregator.snapshot()["coordinator"]["resnet18"]
     assert entry["level"] == 2
     assert entry["shard_levels"] == {"0": 2, "1": 0}
+
+
+# ---------------------------------------------------------------------------
+# Clock robustness (PR 9): wall steps must not distort windows or liveness
+# ---------------------------------------------------------------------------
+
+
+class SteppedClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_ring_series_clamps_backward_publisher_timestamps():
+    series = RingSeries(capacity=8)
+    series.append(1.0, at=100.0)
+    series.append(2.0, at=40.0)  # publisher's wall clock stepped backward
+    ats = [at for at, _ in series.samples()]
+    assert ats == [100.0, 100.0]
+    # The stepped sample stays in any window that includes its neighbour.
+    assert series.window_sum(5.0, now=100.0) == 3.0
+
+
+def test_ring_series_windows_survive_wall_clock_steps(monkeypatch):
+    from repro.telemetry import timeseries as ts
+
+    wall, mono = SteppedClock(1000.0), SteppedClock(50.0)
+    monkeypatch.setattr(ts, "_wall", wall)
+    monkeypatch.setattr(ts, "_mono", mono)
+    series = RingSeries(capacity=8)
+    series.append(1.0)  # at=1000.0 per the fake wall clock
+    # Wall clock steps an hour backward; only 1s of real time passes.
+    wall.now -= 3600.0
+    mono.now += 1.0
+    assert series.window_sum(10.0) == 1.0  # still inside the window
+    # Real time (monotonic) passing is what ages samples out.
+    mono.now += 30.0
+    assert series.window_sum(10.0) == 0.0
+
+
+def test_endpoint_liveness_ignores_wall_steps(monkeypatch):
+    from repro.telemetry import timeseries as ts
+
+    wall, mono = SteppedClock(1000.0), SteppedClock(50.0)
+    monkeypatch.setattr(ts, "_wall", wall)
+    monkeypatch.setattr(ts, "_mono", mono)
+    aggregator = TelemetryAggregator()
+
+    def health():
+        aggregator.consume(
+            event(
+                "endpoint_health",
+                at=wall.now,
+                source={"pid": 1, "shard": 0},
+                endpoint="resnet18",
+                requests=1,
+                images=1,
+                pressure=0.1,
+                level=0,
+            )
+        )
+
+    health()
+    # A forward wall step of a day must not mark the shard stale...
+    wall.now += 86400.0
+    assert aggregator.snapshot()["endpoints"]["resnet18"]["live_shards"] == [0]
+    # ...and a backward step must not resurrect it once real time passes.
+    wall.now -= 86400.0 * 2
+    mono.now += ts.HEALTH_STALE_S + 1.0
+    assert aggregator.snapshot()["endpoints"]["resnet18"]["live_shards"] == []
+    # A fresh heartbeat revives it regardless of the wall clock's opinion.
+    health()
+    assert aggregator.snapshot()["endpoints"]["resnet18"]["live_shards"] == [0]
