@@ -55,14 +55,20 @@ Measures, on this machine:
   plus the ring-file history recorder), isolating what alerting costs on
   top of telemetry (< 2% target).
 
-Results are written as JSON (default ``BENCH_pr9.json`` at the repo root) so
-the performance trajectory of the project is recorded per PR; when the
-previous PR's ``BENCH_pr8.json`` is present its headline timings are
+* a tracing arm: the same hot path with versus without the PR 10
+  distributed-tracing plumbing (per-request context minting, root span,
+  batcher span emission, exemplar ring) at head-sampling rates
+  0.0/0.1/1.0, isolating what tracing costs on top of telemetry
+  (< 2% target at the default 0.1 rate).
+
+Results are written as JSON (default ``BENCH_pr10.json`` at the repo root)
+so the performance trajectory of the project is recorded per PR; when the
+previous PR's ``BENCH_pr9.json`` is present its headline timings are
 embedded for comparison.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr9.json]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH_pr10.json]
         [--scale fast|full]
 """
 
@@ -1736,6 +1742,197 @@ def bench_alerts(scale: str) -> dict:
     }
 
 
+def _traced_closed_loop(
+    batcher, images, tracer, *, requests: int, concurrency: int
+):
+    """The `_closed_loop` drive plus the front door's per-request tracing.
+
+    Each client mints a trace context, opens the root ``request`` span,
+    threads the context through ``submit`` and applies the calm-path
+    exemplar policy (``discard``) after the response -- the same
+    per-request work ``NBSMTServer`` does, so the on/off delta is the
+    full tracing hot path, not just the batcher's span emission.
+    """
+    import threading
+
+    latencies: list[float] = []
+    lock = threading.Lock()
+    counter = {"next": 0}
+
+    def worker():
+        while True:
+            with lock:
+                index = counter["next"]
+                if index >= requests:
+                    return
+                counter["next"] += 1
+            start = index % images.shape[0]
+            issued = time.perf_counter()
+            context = tracer.trace()
+            root = tracer.start_span(
+                context, "request", root=True, endpoint="bench"
+            )
+            batcher.submit(
+                images[start : start + 1], size=1, trace=context
+            ).result(timeout=600)
+            root.finish()
+            if not context.sampled:
+                tracer.discard(context)
+            elapsed = time.perf_counter() - issued
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, concurrency))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, sorted(latencies)
+
+
+def bench_tracing(scale: str) -> dict:
+    """Distributed-tracing overhead on the telemetry-attached hot path.
+
+    The alert arm's saturating closed-loop drive with telemetry fully on
+    (spool sink, subscriber) in *both* arms; the "on" arm additionally
+    runs the PR 10 tracing hot path -- per-request context minting, the
+    root span, queue-wait/batch/engine span emission in the batcher, and
+    the exemplar ring bookkeeping -- at head-sampling rates 0.0, 0.1
+    (the default) and 1.0.  Overhead at each rate is the median of
+    per-round paired on/off ratios (the alert arm's drift-cancelling
+    protocol), with one refinement: the drive order alternates within
+    the pair each round.  The second drive of a pair systematically
+    benefits from warmth (caches, CPU clocks) -- the rate-0.0 control,
+    which does near-zero tracing work, measured that bias at ~3% on a
+    shared box when "on" always ran second -- so alternating splits the
+    advantage evenly between the arms and the median cancels it.  Rounds
+    are short and numerous rather than long and few: a paired ratio only
+    cancels drift slower than the pair, so many tightly-coupled pairs
+    beat a handful of long ones on a shared box whose available CPU
+    wanders by several percent at the tens-of-seconds scale.
+    Target: < 2% at the default rate.
+    """
+    from repro.serve.batcher import DynamicBatcher
+    from repro.serve.metrics import EndpointMetrics
+    from repro.serve.pool import EnginePool
+    from repro.serve.registry import ModelSpec, ServeRegistry
+    from repro.telemetry import bus as telemetry_bus
+    from repro.telemetry.tracing import Tracer
+
+    requests = 128 if scale == "fast" else 256
+    registry = ServeRegistry()
+    spec = registry.register(
+        ModelSpec(name="resnet18", threads=2, max_batch=8, max_wait_ms=2.0)
+    )
+    pool = EnginePool(registry, scale=scale, warm=True)
+    metrics = EndpointMetrics(spec.name, batch_capacity=spec.max_batch)
+    bus = telemetry_bus.get_bus()
+
+    batcher = DynamicBatcher(
+        pool.runner_for(spec.name, metrics=metrics),
+        max_batch=spec.max_batch,
+        max_wait=spec.max_wait_ms / 1000.0,
+        on_batch=metrics.record_batch,
+        name="tracing-bench",
+    )
+    images = pool.replica_set(spec.name).replicas[0].harness.eval_images
+    concurrency = 4 * spec.max_batch
+
+    def drive_off():
+        batcher.tracer = None
+        elapsed, _ = _closed_loop(
+            batcher, images, requests=requests, concurrency=concurrency
+        )
+        return requests / elapsed
+
+    def drive_on(tracer):
+        batcher.tracer = tracer
+        try:
+            elapsed, _ = _traced_closed_loop(
+                batcher, images, tracer,
+                requests=requests, concurrency=concurrency,
+            )
+        finally:
+            batcher.tracer = None
+        return requests / elapsed
+
+    drive_off()  # warm
+    spool_dir = tempfile.mkdtemp(prefix="repro-bench-tracing-")
+    bus.attach_spool(spool_dir, role="bench")
+    subscription = bus.subscribe(maxlen=4096)
+
+    rounds = 24 if scale == "fast" else 32  # even: both orders equally often
+    rates: dict[str, dict] = {}
+    for rate in (0.0, 0.1, 1.0):
+        tracer = Tracer(publish=telemetry_bus.publish, sample_rate=rate)
+        off_runs, on_runs = [], []
+        for index in range(rounds):
+            if index % 2 == 0:
+                off_runs.append(drive_off())
+                on_runs.append(drive_on(tracer))
+            else:
+                on_runs.append(drive_on(tracer))
+                off_runs.append(drive_off())
+        ratios = sorted(on / off for off, on in zip(off_runs, on_runs))
+        mid = len(ratios) // 2
+        median_ratio = (
+            ratios[mid] if len(ratios) % 2
+            else (ratios[mid - 1] + ratios[mid]) / 2.0
+        )
+        overhead_pct = 100.0 * (1.0 - median_ratio)
+        snap = tracer.snapshot()
+        print(
+            f"  tracing overhead @ rate {rate:g}: off {max(off_runs):.1f} "
+            f"img/s, on {max(on_runs):.1f} img/s, median paired ratio "
+            f"{median_ratio:.4f} = {overhead_pct:+.2f}% "
+            f"({snap['published_spans']} spans published)",
+            flush=True,
+        )
+        rates[f"{rate:g}"] = {
+            "throughput_off_per_s": max(off_runs),
+            "throughput_on_per_s": max(on_runs),
+            "paired_on_off_ratios": ratios,
+            "median_paired_ratio": median_ratio,
+            "overhead_pct": overhead_pct,
+            "published_spans": snap["published_spans"],
+        }
+    events_seen = len(subscription.drain())
+    subscription.close()
+    bus.detach_spool()
+    shutil.rmtree(spool_dir, ignore_errors=True)
+    batcher.close()
+    pool.close()
+
+    default_arm = rates["0.1"]
+    return {
+        "tracing_overhead": {
+            "scale": scale,
+            "endpoint": spec.name,
+            "requests": requests,
+            "rounds_per_rate": rounds,
+            "rates": rates,
+            "throughput_off_per_s": default_arm["throughput_off_per_s"],
+            "throughput_on_per_s": default_arm["throughput_on_per_s"],
+            "overhead_pct": default_arm["overhead_pct"],
+            "events_on_bus": events_seen,
+            "target_pct": 2.0,
+            "within_target": default_arm["overhead_pct"] < 2.0,
+            "note": (
+                "closed-loop saturating drive, telemetry fully on in both "
+                "arms; 'on' adds the full per-request tracing hot path "
+                "(context mint, root span, batcher span emission, exemplar "
+                "ring) at head-sampling 0.0/0.1/1.0; headline overhead_pct "
+                "is the default rate 0.1, computed as 1 - median(per-round "
+                "paired on/off ratio)"
+            ),
+        },
+    }
+
+
 #: Affinity groups of the cluster sweep arm: points of distinct "models"
 #: land in distinct ledger groups, so two remote workers can lease and
 #: compute them concurrently.
@@ -2062,7 +2259,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr9.json"),
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr10.json"),
     )
     parser.add_argument("--scale", choices=("fast", "full"), default="fast")
     parser.add_argument(
@@ -2084,8 +2281,8 @@ def main(argv=None) -> int:
         "--only",
         default=None,
         choices=("matmul", "explicit", "e2e", "serving", "adaptive",
-                 "chaos", "lifelines", "telemetry", "alerts", "cluster",
-                 "suite"),
+                 "chaos", "lifelines", "telemetry", "alerts", "tracing",
+                 "cluster", "suite"),
         help="run a single arm by name",
     )
     parser.add_argument(
@@ -2147,6 +2344,9 @@ def main(argv=None) -> int:
     if not args.skip_telemetry and wanted("alerts"):
         print("running alert-engine overhead benchmarks...", flush=True)
         results["benchmarks"].update(bench_alerts(args.scale))
+    if not args.skip_telemetry and wanted("tracing"):
+        print("running tracing overhead benchmarks...", flush=True)
+        results["benchmarks"].update(bench_tracing(args.scale))
     if wanted("cluster"):
         print("running cluster (remote sweep + federation) benchmarks...",
               flush=True)
@@ -2155,23 +2355,23 @@ def main(argv=None) -> int:
         print("running experiment-suite benchmarks...", flush=True)
         results["benchmarks"].update(bench_suite(args.scale, args.workers))
 
-    pr8_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr8.json")
-    comparison = _compare_to_previous(results["benchmarks"], pr8_path, "pr8")
+    pr9_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr9.json")
+    comparison = _compare_to_previous(results["benchmarks"], pr9_path, "pr9")
     if comparison:
-        results["comparison_to_pr8"] = comparison
-    # The alerts arm's engine-off baseline must hold parity with PR 8's
-    # telemetry-on throughput (identical stack recipe and drive).
+        results["comparison_to_pr9"] = comparison
+    # The tracing arm's tracer-off baseline must hold parity with PR 9's
+    # alert-arm baseline (identical telemetry-on stack recipe and drive).
     try:
-        alerts_arm = results["benchmarks"].get("alerts_overhead")
-        if alerts_arm is not None:
-            with open(pr8_path) as handle:
-                pr8_arm = json.load(handle)["benchmarks"]["telemetry_overhead"]
-            alerts_arm["bench_pr8_telemetry_on_per_s"] = (
-                pr8_arm["throughput_on_per_s"]
+        tracing_arm = results["benchmarks"].get("tracing_overhead")
+        if tracing_arm is not None:
+            with open(pr9_path) as handle:
+                pr9_arm = json.load(handle)["benchmarks"]["alerts_overhead"]
+            tracing_arm["bench_pr9_alerts_off_per_s"] = (
+                pr9_arm["throughput_off_per_s"]
             )
-            alerts_arm["baseline_vs_pr8_telemetry_on"] = (
-                alerts_arm["throughput_off_per_s"]
-                / max(pr8_arm["throughput_on_per_s"], 1e-9)
+            tracing_arm["baseline_vs_pr9_alerts_off"] = (
+                tracing_arm["throughput_off_per_s"]
+                / max(pr9_arm["throughput_off_per_s"], 1e-9)
             )
     except (OSError, ValueError, KeyError):
         pass

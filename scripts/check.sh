@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 repo check: byte-compile the package and run the fast test profile.
 #
-# Usage: scripts/check.sh [--serve|--telemetry|--alerts|--cluster|--chaos|--soak|--soak-long]
+# Usage: scripts/check.sh [--serve|--telemetry|--alerts|--trace|--cluster|--chaos|--soak|--soak-long]
 #                         [extra args...]
 # Examples:
 #   scripts/check.sh                 # compileall + fast tier-1 tests
@@ -13,6 +13,10 @@
 #   scripts/check.sh --alerts        # compileall + the alert suite (unit,
 #                                    # stateful lifecycle properties, and
 #                                    # the chaos degradation contract)
+#   scripts/check.sh --trace         # compileall + the tracing suite
+#                                    # (tracer units, span-tree properties,
+#                                    # HTTP/cluster propagation e2e, and
+#                                    # the chaos trace-survives-kill test)
 #   scripts/check.sh --cluster       # compileall + every cluster test
 #                                    # (documents/membership/ledger/socket
 #                                    # tier-1 plus the two-process CLI
@@ -56,6 +60,13 @@ elif [[ "${1:-}" == "--alerts" ]]; then
         tests/telemetry/test_alerts.py \
         tests/telemetry/test_alerts_stateful.py \
         tests/chaos/test_chaos_alerts.py "$@"
+elif [[ "${1:-}" == "--trace" ]]; then
+    shift
+    # Everything trace-marked: sampling/exemplar units, Hypothesis
+    # span-tree well-formedness under concurrent batching, the HTTP
+    # front-door waterfall, cluster trace propagation, and the chaos
+    # trace-survives-replica-kill contract.
+    python -m pytest -x -q -m trace "$@"
 elif [[ "${1:-}" == "--cluster" ]]; then
     shift
     # The whole cluster suite: the socket-free tier-1 tests plus the

@@ -165,7 +165,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         host, port = hub.address
         print(
             f"sweep hub: listening on {host}:{port} (connect executors "
-            f"with `repro.cli worker --connect {host}:{port}`)",
+            f"with `repro.cli worker --connect {host}:{port}`; "
+            f"trace {hub.trace_id})",
             file=sys.stderr,
         )
     try:
@@ -231,6 +232,21 @@ def _load_alert_rules(path: str | None):
     return [AlertRule.from_dict(document) for document in documents]
 
 
+def _load_alert_routes(path: str | None):
+    """Parse an ``--alert-routes`` JSON file (a list of route objects)."""
+    if path is None:
+        return None
+    import json
+
+    from repro.telemetry.alerts import SinkRoute
+
+    with open(path, encoding="utf-8") as handle:
+        documents = json.load(handle)
+    if not isinstance(documents, list):
+        raise ValueError("--alert-routes file must hold a JSON list of routes")
+    return [SinkRoute.from_dict(document) for document in documents]
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.registry import default_registry
     from repro.serve.server import run_server
@@ -239,7 +255,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "alerts": not args.no_alerts,
         "alert_rules": _load_alert_rules(args.alert_rules),
         "alert_webhook": args.alert_webhook,
+        "alert_routes": _load_alert_routes(args.alert_routes),
         "probe_interval_s": args.probe_interval_s,
+        "tracing": not args.no_trace,
+        "trace_sample": args.trace_sample,
     }
     overrides = {
         "threads": args.threads,
@@ -369,6 +388,45 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _silence_rule(args: argparse.Namespace) -> int:
+    """Write a silence window into the shared silence document.
+
+    Targets ``<dir>/history`` when it exists (a server's history ring
+    directory), else ``<dir>`` itself; every engine sharing the
+    directory picks the window up within its ~1s refresh.
+    """
+    import os
+    import time as _time
+
+    from repro.cluster.documents import DocumentStore
+    from repro.telemetry.alerts import SILENCE_DOCUMENT
+
+    directory = args.dir
+    nested = os.path.join(directory, "history")
+    if os.path.isdir(nested):
+        directory = nested
+    store = DocumentStore.for_directory(directory)
+    document = store.get(SILENCE_DOCUMENT) or {}
+    silences = document.get("silences")
+    if not isinstance(silences, dict):
+        silences = {}
+    deadline = _time.time() + max(0.0, args.for_s)
+    previous = silences.get(args.silence)
+    silences[args.silence] = max(
+        float(previous) if isinstance(previous, (int, float)) else 0.0,
+        deadline,
+    )
+    store.put(SILENCE_DOCUMENT, {"silences": silences})
+    until = _time.strftime(
+        "%H:%M:%S", _time.localtime(silences[args.silence])
+    )
+    print(
+        f"alerts: silenced rule {args.silence!r} for {args.for_s:g}s "
+        f"(until {until}, via {directory})"
+    )
+    return 0
+
+
 def _cmd_alerts(args: argparse.Namespace) -> int:
     """Follow a spool directory; print the alert lifecycle as it happens."""
     import json
@@ -381,6 +439,9 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         default_rules,
     )
     from repro.telemetry.bus import SpoolFollower
+
+    if args.silence is not None:
+        return _silence_rule(args)
 
     def show(alert: dict, derived: bool = False) -> None:
         status = str(alert.get("status", "?")).upper()
@@ -423,6 +484,75 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
             f"alerts: skipped {stats['corrupt_lines']} corrupt spool line(s)",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """List (or waterfall-render) persisted traces from a ring directory."""
+    import os
+
+    from repro.telemetry.tracing import (
+        TraceStore,
+        render_waterfall,
+        summarize_trace,
+    )
+    from repro.utils.tables import format_table
+
+    # A serving front-end keeps its trace ring under `<telemetry>/traces`;
+    # accept either the telemetry dir or the traces dir itself.
+    directory = args.dir
+    nested = os.path.join(directory, "traces")
+    if os.path.isdir(nested):
+        directory = nested
+    store = TraceStore(directory)
+    # compact=False: inspection must never rewrite a live server's ring.
+    traces = store.load_traces(compact=False)
+    if args.id:
+        wanted = args.id.strip().lower()
+        spans = traces.get(wanted)
+        if not spans:
+            print(
+                f"trace: no spans for id {args.id!r} in {directory}",
+                file=sys.stderr,
+            )
+            return 1
+        summary = summarize_trace(wanted, spans)
+        line = (
+            f"trace {wanted}: {summary['spans']} span(s), "
+            f"{summary['duration_ms']:.2f} ms, status {summary['status']}"
+        )
+        if summary["exemplar"]:
+            line += f", exemplar={summary['exemplar']}"
+        print(line)
+        for row in render_waterfall(spans):
+            print(row)
+        return 0
+    if not traces:
+        print(f"trace: no traces in {directory}", file=sys.stderr)
+        return 1
+    summaries = sorted(
+        (summarize_trace(tid, spans) for tid, spans in traces.items()),
+        key=lambda s: s["start"],
+        reverse=True,
+    )
+    rows = [
+        (
+            s["trace_id"],
+            s["root"],
+            s["endpoint"] or "-",
+            f"{s['duration_ms']:.2f}",
+            str(s["spans"]),
+            s["status"] + (f" [{s['exemplar']}]" if s["exemplar"] else ""),
+        )
+        for s in summaries
+    ]
+    print(
+        format_table(
+            ["Trace", "Root", "Endpoint", "ms", "Spans", "Status"],
+            rows,
+            title=f"Traces in {directory}",
+        )
+    )
     return 0
 
 
@@ -730,6 +860,28 @@ def build_parser() -> argparse.ArgumentParser:
         "delivered off the serving path)",
     )
     serve_parser.add_argument(
+        "--alert-routes",
+        default=None,
+        metavar="FILE",
+        help="JSON list of sink routes ({rule glob, severity, sinks}): "
+        "first match selects which named sinks (e.g. \"webhook\") receive "
+        "an alert; an empty sink list keeps it bus-only",
+    )
+    serve_parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable distributed request tracing (span events, exemplars, "
+        "the /v1/traces routes)",
+    )
+    serve_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.1,
+        help="head-sampling probability for request traces; budget "
+        "breaches, sheds, expiries and errors are always kept as "
+        "exemplars regardless (default 0.1)",
+    )
+    serve_parser.add_argument(
         "--probe-interval-s",
         type=float,
         default=0.0,
@@ -770,6 +922,23 @@ def build_parser() -> argparse.ArgumentParser:
     alerts_parser.add_argument(
         "--poll-s", type=float, default=0.5, help="spool poll interval"
     )
+    alerts_parser.add_argument(
+        "--silence",
+        default=None,
+        metavar="RULE",
+        help="instead of following: silence this alert rule (by name) for "
+        "--for seconds, then exit; engines sharing the directory pick "
+        "the window up within ~1s",
+    )
+    alerts_parser.add_argument(
+        "--for",
+        dest="for_s",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="silence window length in seconds (with --silence; "
+        "default 300)",
+    )
     alerts_parser.set_defaults(func=_cmd_alerts)
 
     dash_parser = subparsers.add_parser(
@@ -785,6 +954,26 @@ def build_parser() -> argparse.ArgumentParser:
     dash_parser.add_argument("--host", default="127.0.0.1")
     dash_parser.add_argument("--port", type=int, default=8471)
     dash_parser.set_defaults(func=_cmd_dash)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="list or inspect persisted request traces from a trace ring "
+        "directory (a server's `<telemetry>/traces`)",
+    )
+    trace_parser.add_argument(
+        "--dir",
+        required=True,
+        help="trace ring directory (a server's --telemetry-dir or its "
+        "`traces` subdirectory)",
+    )
+    trace_parser.add_argument(
+        "--id",
+        default=None,
+        metavar="TRACE",
+        help="render this trace id as an ASCII waterfall instead of "
+        "listing all traces",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     worker_parser = subparsers.add_parser(
         "worker",

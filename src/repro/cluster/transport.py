@@ -212,6 +212,12 @@ class SocketTransport:
         self.calls = 0
         self.retries = 0
         self.reconnects = 0
+        #: When set, every outgoing frame is stamped with this trace id
+        #: (the wire-level analog of the HTTP ``X-Trace-Id`` header), so
+        #: a remote sweep point or federated tick carries its parent
+        #: trace across the machine boundary.  Per-call ``trace_id=``
+        #: fields win over this default.
+        self.trace_id: str | None = None
 
     # -- connection --------------------------------------------------------
     def _connect(self) -> socket.socket:
@@ -283,6 +289,8 @@ class SocketTransport:
         budget from the PR 7 client).
         """
         request = {"op": op, "node": self.node, **fields}
+        if self.trace_id is not None:
+            request.setdefault("trace_id", self.trace_id)
         attempt = 0
         while True:
             self.calls += 1

@@ -104,12 +104,21 @@ class SweepHub:
         *,
         connect_grace_s: float = 10.0,
         poll_s: float = 0.05,
+        trace_id: str | None = None,
+        root_span_id: str | None = None,
     ):
         self.agent = agent
         self.connect_grace_s = float(connect_grace_s)
         self.poll_s = float(poll_s)
         self.offered_groups = 0
         self.offered_points = 0
+        #: The distributed trace this hub's sweep runs under.  Workers
+        #: adopt it from ``hello`` meta, so their lease spans land in the
+        #: parent's merged spool with the same trace id -- the sweep-side
+        #: analog of serving's ``X-Trace-Id`` propagation.
+        self.trace_id = trace_id
+        self.root_span_id = root_span_id
+        self._started_wall = time.time()
 
     @classmethod
     def create(
@@ -119,14 +128,18 @@ class SweepHub:
         telemetry_dir: str | None = None,
         stale_after_s: float = 5.0,
         connect_grace_s: float = 10.0,
+        trace_id: str | None = None,
     ) -> "SweepHub":
         """A hub for one :class:`~repro.eval.sweep.SweepSession`.
 
         The agent's ``points`` space is the session store's directory;
         ``telemetry_dir`` (when the caller attached a spool) lets remote
-        workers stream events into the same merged stream.
+        workers stream events into the same merged stream.  The hub runs
+        under one trace (``trace_id`` or a freshly minted one) that every
+        connecting worker inherits.
         """
         from repro.cluster.transport import parse_address
+        from repro.telemetry.tracing import new_span_id, new_trace_id
 
         host, port = parse_address(listen)
         session.store.dir.mkdir(parents=True, exist_ok=True)
@@ -140,15 +153,24 @@ class SweepHub:
             node="sweep-hub",
             stale_after_s=stale_after_s,
         )
+        trace_id = trace_id or new_trace_id()
+        root_span_id = new_span_id()
         agent.meta = {
             "kind": "sweep",
             "session": session.id,
             "scale": session.scale,
             "resume": bool(session.resume),
             "telemetry": TELEMETRY_SPACE in spaces,
+            "trace_id": trace_id,
+            "span_id": root_span_id,
         }
         agent.start_in_thread()
-        return cls(agent, connect_grace_s=connect_grace_s)
+        return cls(
+            agent,
+            connect_grace_s=connect_grace_s,
+            trace_id=trace_id,
+            root_span_id=root_span_id,
+        )
 
     @property
     def address(self) -> tuple[str, int]:
@@ -198,6 +220,23 @@ class SweepHub:
         return summary
 
     def close(self) -> None:
+        if self.trace_id is not None:
+            # The hub's root span closes when the hub does: every worker
+            # lease span published under this trace is its child.
+            from repro.telemetry import bus as telemetry_bus
+
+            telemetry_bus.publish(
+                "span",
+                trace_id=self.trace_id,
+                span_id=self.root_span_id,
+                parent_id=None,
+                name="sweep_hub",
+                start=self._started_wall,
+                duration_ms=(time.time() - self._started_wall) * 1000.0,
+                status="ok",
+                offered_groups=self.offered_groups,
+                offered_points=self.offered_points,
+            )
         self.agent.stop()
 
 
@@ -256,6 +295,40 @@ class RemoteWorker:
         session.store = RemotePointStore(self.transport)
         return SweepContext(session)
 
+    def _publish_lease_span(
+        self,
+        trace_id,
+        parent_span,
+        lease: dict,
+        points: int,
+        started_wall: float,
+        status: str = "ok",
+    ) -> None:
+        """One ``span`` event per evaluated lease group (hub trace child).
+
+        Published on the local bus *after* the spool sink is attached, so
+        it streams through the :class:`RemoteSpoolWriter` into the
+        parent's merged spool and folds into the hub's trace there.
+        """
+        if not trace_id:
+            return
+        from repro.telemetry import bus as telemetry_bus
+        from repro.telemetry.tracing import new_span_id
+
+        telemetry_bus.publish(
+            "span",
+            trace_id=str(trace_id),
+            span_id=new_span_id(),
+            parent_id=str(parent_span) if parent_span else None,
+            name="remote_lease",
+            start=started_wall,
+            duration_ms=(time.time() - started_wall) * 1000.0,
+            status=status,
+            lease=lease.get("lease"),
+            points=points,
+            node=self.transport.node,
+        )
+
     def run(self) -> dict:
         """Lease and evaluate until the hub goes away (or idle expiry)."""
         # Point runners register on import; without this the worker would
@@ -267,6 +340,13 @@ class RemoteWorker:
         hello = self.transport.hello()
         meta = hello.get("meta", {})
         context = self._build_context(meta)
+        # Adopt the hub's trace: every frame this worker sends is stamped
+        # with it, and each lease evaluation publishes a child span of the
+        # hub's root -- same trace id on both sides of the machine gap.
+        trace_id = meta.get("trace_id")
+        parent_span = meta.get("span_id")
+        if trace_id:
+            self.transport.trace_id = str(trace_id)
         if meta.get("telemetry"):
             telemetry_bus.get_bus().configure_source(
                 role="remote-worker", node=self.transport.node
@@ -300,11 +380,16 @@ class RemoteWorker:
                 points = [
                     point_from_spec(item["spec"]) for item in lease["items"]
                 ]
+                lease_started = time.time()
                 try:
                     for point in points:
                         context.evaluate(point)
                 except Exception:  # noqa: BLE001 - a bad point, not a bad worker
                     self.failed_groups += 1
+                    self._publish_lease_span(
+                        trace_id, parent_span, lease, len(points),
+                        lease_started, status="error",
+                    )
                     try:
                         self.transport.lease_fail(lease["lease"])
                     except TransportError:
@@ -312,6 +397,9 @@ class RemoteWorker:
                     continue
                 self.completed_points += len(points)
                 self.completed_groups += 1
+                self._publish_lease_span(
+                    trace_id, parent_span, lease, len(points), lease_started
+                )
                 try:
                     self.transport.lease_done(
                         lease["lease"], [point.key for point in points]

@@ -14,6 +14,8 @@ layer instead of once per batch.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.policies import PackingPolicy, get_policy
@@ -65,10 +67,15 @@ class NBSMTEngine:
         self.fast4t_impl = fast4t_impl
         self.prune_blocks = prune_blocks
         self.layer_stats: dict[str, SMTStatistics] = {}
+        #: Per-layer wall timing of the current forward pass: a list of
+        #: ``(layer_name, start_wall_s, duration_s)`` in execution order,
+        #: the raw material of a trace's engine-compute child spans.
+        self.layer_times: list[tuple[str, float, float]] = []
         self._executors: dict[tuple[str, int], NBSMTMatmul] = {}
 
     def reset_stats(self) -> None:
         self.layer_stats = {}
+        self.layer_times = []
 
     def stats_for(self, layer_name: str) -> SMTStatistics:
         return self.layer_stats.setdefault(layer_name, SMTStatistics())
@@ -90,6 +97,15 @@ class NBSMTEngine:
         return executor
 
     def matmul(
+        self, x_q: np.ndarray, w_q: np.ndarray, ctx: LayerContext
+    ) -> np.ndarray:
+        started = time.time()
+        out = self._matmul(x_q, w_q, ctx)
+        if len(self.layer_times) < 4096:  # bounded if stats never reset
+            self.layer_times.append((ctx.name, started, time.time() - started))
+        return out
+
+    def _matmul(
         self, x_q: np.ndarray, w_q: np.ndarray, ctx: LayerContext
     ) -> np.ndarray:
         threads = ctx.threads if ctx.threads else self.default_threads

@@ -36,6 +36,7 @@ The batcher is synchronous at its core (``submit`` returns a
 
 from __future__ import annotations
 
+import inspect
 import queue as queue_module
 import threading
 import time
@@ -43,6 +44,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.serve.deadline import Deadline, DeadlineExceeded
+from repro.telemetry.tracing import new_span_id
 
 
 class BatcherClosed(RuntimeError):
@@ -62,6 +64,10 @@ class BatchRequest:
     enqueued_at: float = 0.0
     future: Future = field(default_factory=Future)
     deadline: Deadline | None = None
+    #: The request's :class:`~repro.telemetry.tracing.TraceContext` (its
+    #: ``span_id`` is the front-end request span the batcher's spans nest
+    #: under); ``None`` for untraced requests.
+    trace: object | None = None
 
 
 @dataclass
@@ -114,6 +120,13 @@ class DynamicBatcher:
     clock:
         Monotonic clock used for every expiry decision; injectable so
         chaos tests drive deadlines deterministically.
+    tracer:
+        Optional :class:`~repro.telemetry.tracing.Tracer`.  Requests
+        submitted with a trace context then get queue-wait and batch
+        spans (the batch span links every request span it carried, and
+        nests the engine-compute span with its per-layer children when
+        the runner fills a trace carrier).  ``None`` (the default) keeps
+        the hot path span-free at the cost of one ``is None`` check.
     workers:
         Batch-assembly worker threads.  One (the default) is right for a
         single in-process replica; with several replicas behind the runner
@@ -139,12 +152,25 @@ class DynamicBatcher:
         name: str = "batcher",
         edf: bool = True,
         clock=time.monotonic,
+        tracer=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.runner = runner
+        self.tracer = tracer
+        # Does the runner accept a ``trace=`` carrier?  Decided once here
+        # so plain ``lambda payloads: ...`` runners (tests, benchmarks)
+        # keep working untouched.
+        try:
+            params = inspect.signature(runner).parameters
+            self._runner_takes_trace = "trace" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in params.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            self._runner_takes_trace = False
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
         self.max_queue = int(max_queue)
@@ -226,18 +252,25 @@ class DynamicBatcher:
 
     # -- submission --------------------------------------------------------
     def submit(
-        self, payload, size: int = 1, deadline: Deadline | None = None
+        self,
+        payload,
+        size: int = 1,
+        deadline: Deadline | None = None,
+        trace=None,
     ) -> Future:
         """Queue one request; resolves to ``runner``'s result for it.
 
         A request carrying a ``deadline`` that expires while queued is
         cancelled before compute: its future resolves with
-        :class:`~repro.serve.deadline.DeadlineExceeded` instead.
+        :class:`~repro.serve.deadline.DeadlineExceeded` instead.  A
+        ``trace`` context makes the batcher emit this request's
+        queue-wait/batch/engine spans (needs a ``tracer`` configured).
         """
         if size < 1:
             raise ValueError("size must be >= 1")
         request = BatchRequest(
-            payload, int(size), enqueued_at=self.clock(), deadline=deadline
+            payload, int(size), enqueued_at=self.clock(), deadline=deadline,
+            trace=trace if self.tracer is not None else None,
         )
         with self._lock:
             if self._closed:
@@ -271,6 +304,13 @@ class DynamicBatcher:
                     f"{late_by * 1000.0:.1f}ms before compute",
                     late_by_s=late_by,
                 )
+            )
+        if self.tracer is not None and request.trace is not None:
+            wait_s = max(0.0, self.clock() - request.enqueued_at)
+            self.tracer.emit(
+                request.trace, "queue_wait",
+                start=time.time() - wait_s, duration_s=wait_s,
+                status="expired", batcher=self.name, images=request.size,
             )
         if self.on_expire is not None:
             try:
@@ -377,14 +417,31 @@ class DynamicBatcher:
         with self._lock:
             self._pending_images -= images
         started = self.clock()
+        traced = (
+            [r for r in batch if r.trace is not None]
+            if self.tracer is not None
+            else []
+        )
+        wall_started = time.time()
+        carrier: dict | None = {} if traced else None
         try:
-            results = self.runner([request.payload for request in batch])
+            payloads = [request.payload for request in batch]
+            if carrier is not None and self._runner_takes_trace:
+                results = self.runner(payloads, trace=carrier)
+            else:
+                results = self.runner(payloads)
             if len(results) != len(batch):
                 raise RuntimeError(
                     f"{self.name}: runner returned {len(results)} results "
                     f"for {len(batch)} requests"
                 )
         except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            if traced:
+                self._emit_spans(
+                    traced, batch, images, started, wall_started,
+                    self.clock() - started, carrier,
+                    status="error", error=repr(exc),
+                )
             for request in batch:
                 if not request.future.cancelled():
                     request.future.set_exception(exc)
@@ -399,9 +456,85 @@ class DynamicBatcher:
                     queue_waits=[started - r.enqueued_at for r in batch],
                 )
             )
+        if traced:
+            # Spans publish before the futures resolve, so a client that
+            # saw its response never races its own trace.
+            self._emit_spans(
+                traced, batch, images, started, wall_started,
+                finished - started, carrier,
+            )
         for request, result in zip(batch, results):
             if not request.future.cancelled():
                 request.future.set_result(result)
+
+    def _emit_spans(
+        self, traced, batch, images, started_mono, wall_started,
+        duration_s, carrier, status: str = "ok", error: str | None = None,
+    ) -> None:
+        """One batch's spans, per traced request it carried.
+
+        Every traced request gets its *own complete subtree* -- queue-wait,
+        batch, engine-compute with per-layer children -- so each trace is
+        well-formed standalone; the shared physical batch shows up as the
+        common ``batch_id`` plus cross-trace ``links`` to the peer request
+        spans the batch carried.
+        """
+        tracer = self.tracer
+        batch_id = new_span_id()
+        links = [
+            {"trace_id": r.trace.trace_id, "span_id": r.trace.span_id}
+            for r in traced
+        ]
+        engine = (carrier or {}).get("engine")
+        respawn = (carrier or {}).get("respawn")
+        for request in traced:
+            context = request.trace
+            wait_s = max(0.0, started_mono - request.enqueued_at)
+            tracer.emit(
+                context, "queue_wait",
+                start=wall_started - wait_s, duration_s=wait_s,
+                batcher=self.name, images=request.size,
+            )
+            extra = {"error": error} if error is not None else {}
+            payload = tracer.emit(
+                context, "batch",
+                start=wall_started, duration_s=duration_s, status=status,
+                batch_id=batch_id, batcher=self.name,
+                requests=len(batch), images=images,
+                links=[
+                    link for link in links
+                    if link["span_id"] != context.span_id
+                ],
+                **extra,
+            )
+            batch_context = context.child(payload["span_id"])
+            if respawn is not None:
+                # The replica serving this batch died; the respawn gap is
+                # annotated inside the failed batch span so a retry's
+                # trace shows what it survived.
+                tracer.emit(
+                    batch_context, "replica_respawn",
+                    start=respawn.get("at", wall_started), duration_s=0.0,
+                    status="error", endpoint=respawn.get("endpoint"),
+                    pid=respawn.get("pid"),
+                )
+            if engine is not None:
+                engine_payload = tracer.emit(
+                    batch_context, "engine_compute",
+                    start=engine.get("start", wall_started),
+                    duration_s=engine.get("duration_s", 0.0),
+                    pid=engine.get("pid"), level=engine.get("level"),
+                )
+                engine_context = batch_context.child(
+                    engine_payload["span_id"]
+                )
+                for name, layer_start, layer_dur in engine.get(
+                    "layers", ()
+                )[:128]:
+                    tracer.emit(
+                        engine_context, f"layer:{name}",
+                        start=layer_start, duration_s=layer_dur,
+                    )
 
     def _finish(self) -> None:
         """Settle whatever remains queued after the workers exited."""

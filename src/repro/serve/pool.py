@@ -32,6 +32,7 @@ the same statistics, batched or not.
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import signal
 import threading
@@ -214,7 +215,7 @@ class InlineReplica:
         return logits, layer_stats
 
     def infer_ex(
-        self, images: np.ndarray
+        self, images: np.ndarray, trace: dict | None = None
     ) -> tuple[np.ndarray, dict[str, SMTStatistics], int]:
         """Like :meth:`infer`, also reporting the rung that served the batch.
 
@@ -223,6 +224,11 @@ class InlineReplica:
         operating-point swaps wait for the in-flight batch.  With pacing
         enabled, the batch is padded (by sleeping, outside the lock) up to
         the modeled SySMT service time of the active operating point.
+
+        ``trace`` is an optional mutable carrier: when given, the batch's
+        engine-compute timing (wall start/duration, executing pid, rung,
+        per-layer breakdown from the engine) is stored under
+        ``trace["engine"]`` for the caller to turn into trace spans.
         """
         if self._closed:
             raise RuntimeError(f"replica for {self.spec.name!r} is closed")
@@ -232,8 +238,17 @@ class InlineReplica:
             speedup = self._current_speedup() if pace is not None else 1.0
             self.engine.reset_stats()
             started = time.monotonic()
+            wall_started = time.time()
             logits = self.harness.qmodel.forward(images)
             layer_stats = self.engine.layer_stats
+            if trace is not None:
+                trace["engine"] = {
+                    "start": wall_started,
+                    "duration_s": time.time() - wall_started,
+                    "pid": os.getpid(),
+                    "level": self.level,
+                    "layers": list(self.engine.layer_times),
+                }
             self.engine.reset_stats()
             level = self.level
         if pace is not None:
@@ -288,12 +303,23 @@ def _forked_replica_main(spec: ModelSpec, provider, conn) -> None:
             command, payload = message
             try:
                 if command == "infer":
-                    logits, layer_stats, level = replica.infer_ex(payload)
+                    # The engine-compute timing is always measured and
+                    # serialized back with the result: the parent owns the
+                    # sampling decision, so the child cannot know whether
+                    # this batch's trace will be kept (exemplars are
+                    # retroactive).  The payload is a handful of floats.
+                    carrier: dict = {}
+                    logits, layer_stats, level = replica.infer_ex(
+                        payload, trace=carrier
+                    )
                     stats_payloads = {
                         name: stats.to_payload()
                         for name, stats in layer_stats.items()
                     }
-                    reply = ("ok", logits, stats_payloads, level)
+                    reply = (
+                        "ok", logits, stats_payloads, level,
+                        carrier.get("engine"),
+                    )
                 elif command == "point":
                     replica.set_operating_point(payload)
                     reply = ("ok",)
@@ -426,9 +452,12 @@ class ForkedReplica:
         return logits, layer_stats
 
     def infer_ex(
-        self, images: np.ndarray
+        self, images: np.ndarray, trace: dict | None = None
     ) -> tuple[np.ndarray, dict[str, SMTStatistics], int]:
-        _, logits, payloads, level = self._command("infer", images)
+        reply = self._command("infer", images)
+        _, logits, payloads, level = reply[:4]
+        if trace is not None and len(reply) > 4 and reply[4] is not None:
+            trace["engine"] = reply[4]
         layer_stats = {
             name: SMTStatistics.from_payload(payload)
             for name, payload in payloads.items()
@@ -493,17 +522,27 @@ class ReplicaSet:
         logits, layer_stats, _level = self.infer_ex(images)
         return logits, layer_stats
 
-    def infer_ex(self, images: np.ndarray):
+    def infer_ex(self, images: np.ndarray, trace: dict | None = None):
         """Run on the next free replica (blocks while all are busy).
 
         A replica whose worker process died is replaced by a fresh respawn
         before its slot returns to the free list, so one crash costs one
-        failed batch, not a permanently broken slot.
+        failed batch, not a permanently broken slot.  A ``trace`` carrier
+        (see :meth:`InlineReplica.infer_ex`) additionally records which
+        replica died under ``trace["respawn"]`` on the failure path, so a
+        retried request's trace can annotate the respawn gap it survived.
         """
         replica = self._free.get()
         try:
-            result = replica.infer_ex(images)
+            result = replica.infer_ex(images, trace=trace)
         except BaseException:
+            if trace is not None:
+                process = getattr(replica, "_process", None)
+                trace["respawn"] = {
+                    "endpoint": replica.spec.name,
+                    "pid": getattr(process, "pid", None),
+                    "at": time.time(),
+                }
             self._free.put(self._replace_if_dead(replica))
             raise
         self._free.put(replica)
@@ -874,13 +913,15 @@ class EnginePool:
         """
         replica_set = self.replica_set(endpoint)
 
-        def run_batch(payloads: list[np.ndarray]) -> list:
+        def run_batch(payloads: list[np.ndarray], trace: dict | None = None) -> list:
             sizes = [int(payload.shape[0]) for payload in payloads]
             if len(payloads) == 1:
                 images = payloads[0]
             else:
                 images = np.concatenate(payloads, axis=0)
-            logits, layer_stats, level = replica_set.infer_ex(images)
+            logits, layer_stats, level = replica_set.infer_ex(
+                images, trace=trace
+            )
             if metrics is not None:
                 if layer_stats:
                     metrics.merge_layer_stats(layer_stats)

@@ -99,6 +99,7 @@ from repro.serve.qos import EndpointGovernor, QoSConfig, QoSController
 from repro.serve.registry import ServeRegistry, default_registry
 from repro.telemetry import bus as telemetry_bus
 from repro.telemetry.dashboard import DASHBOARD_HTML, EventRelay, stream_sse
+from repro.telemetry.tracing import TRACE_HEADER, TraceStore, Tracer
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 _MAX_HEADER_BYTES = 32 * 1024
@@ -203,8 +204,12 @@ class NBSMTServer:
         alerts: bool = True,
         alert_rules=None,
         alert_webhook: str | None = None,
+        alert_routes=None,
         probe_interval_s: float = 0.0,
         history_dir: str | None = None,
+        tracing: bool = True,
+        trace_sample: float = 0.1,
+        trace_dir: str | None = None,
         clock=time.monotonic,
     ):
         self.registry = registry or default_registry()
@@ -275,15 +280,16 @@ class NBSMTServer:
             )
             if self.probe_interval_s > 0:
                 rules.append(telemetry_alerts.probe_rule(self.probe_interval_s))
-            sinks = []
+            sinks = {}
             if alert_webhook:
                 self._webhook = telemetry_alerts.WebhookSink(alert_webhook)
-                sinks.append(self._webhook)
+                sinks["webhook"] = self._webhook
             self.alert_engine = telemetry_alerts.AlertEngine(
                 rules,
                 publish=telemetry_bus.publish,
                 sinks=sinks,
                 store=self.history,
+                routes=alert_routes,
             )
             # The engine sees everything the relay sees: the local bus
             # plus (when sharded) every peer's followed spool.
@@ -306,6 +312,24 @@ class NBSMTServer:
                 self.alert_engine.import_history(imported)
                 self._history_callback = bus.subscribe(
                     callback=self.history.record
+                )
+        # -- distributed request tracing (see repro.telemetry.tracing) -----
+        self.tracer = None
+        self.trace_store = None
+        self._trace_callback = None
+        if tracing:
+            self.tracer = Tracer(
+                publish=telemetry_bus.publish, sample_rate=trace_sample
+            )
+            trace_path = trace_dir
+            if trace_path is None and telemetry_dir is not None:
+                # Same trick as the history ring: a subdirectory keeps the
+                # trace ring out of the relay follower's glob.
+                trace_path = os.path.join(str(telemetry_dir), "traces")
+            if trace_path is not None:
+                self.trace_store = TraceStore(trace_path)
+                self._trace_callback = bus.subscribe(
+                    callback=self.trace_store.record
                 )
         self._last_shed: dict[str, int] = {}
         self._last_expired: dict[str, int] = {}
@@ -371,6 +395,7 @@ class NBSMTServer:
                 workers=self.pool.replica_count(name),
                 name=f"batch-{name}",
                 clock=self.clock,
+                tracer=self.tracer,
             )
             self.batchers[name] = batcher
             ladder = self.pool.ladder(name)
@@ -665,6 +690,11 @@ class NBSMTServer:
         if self._history_callback is not None:
             telemetry_bus.get_bus().unsubscribe(self._history_callback)
             self._history_callback = None
+        if self._trace_callback is not None:
+            telemetry_bus.get_bus().unsubscribe(self._trace_callback)
+            self._trace_callback = None
+        if self.trace_store is not None:
+            self.trace_store.close()
         if self._webhook is not None:
             self._webhook.close(timeout=1.0)
         if self.history is not None:
@@ -763,21 +793,41 @@ class NBSMTServer:
                     )
                     break
                 extra_headers: dict[str, str] = {}
+                trace = root_span = None
+                if (
+                    self.tracer is not None
+                    and path.split("?", 1)[0].endswith(":predict")
+                ):
+                    # Front door of the trace: honor an inbound id, echo
+                    # it on the response, open the root request span.
+                    trace = self.tracer.trace(headers.get(TRACE_HEADER))
+                    extra_headers["X-Trace-Id"] = trace.trace_id
+                    root_span = self.tracer.start_span(
+                        trace, "request", root=True,
+                        method=method, path=path.split("?", 1)[0],
+                        shard=self.shard_index,
+                    )
                 state.busy = True
                 self._active_requests += 1
                 try:
                     status, payload = await self._route(
-                        method, path, body, headers
+                        method, path, body, headers, trace=trace
                     )
                 except _HttpError as exc:
                     status, payload = exc.status, exc.body()
-                    extra_headers = exc.headers
+                    extra_headers = {**extra_headers, **exc.headers}
                 except Exception as exc:  # noqa: BLE001 - reported as 500
                     status, payload = 500, {"error": repr(exc)}
                 finally:
                     state.busy = False
                     self._active_requests -= 1
                     state.last_activity = self.clock()
+                if root_span is not None:
+                    root_span.finish(
+                        status="ok" if status < 400 else f"http_{status}",
+                        http_status=status,
+                    )
+                    self._apply_exemplar_policy(trace, status)
                 keep_alive = (
                     headers.get("connection", "keep-alive") != "close"
                     and not self._draining
@@ -890,7 +940,8 @@ class NBSMTServer:
             raise ConnectionResetError("response write timed out") from None
 
     # -- routing -----------------------------------------------------------
-    async def _route(self, method: str, path: str, body: bytes, headers=None):
+    async def _route(self, method: str, path: str, body: bytes, headers=None,
+                     trace=None):
         path = path.split("?", 1)[0]
         if path == "/healthz":
             if self._draining or self._stopped:
@@ -937,7 +988,26 @@ class NBSMTServer:
                 # The aggregator's "alerts" key is the event-derived view
                 # (any relay has it); the engine view adds rules + state.
                 snapshot["alerts_engine"] = self.alert_engine.snapshot()
+            if self.tracer is not None:
+                snapshot["tracing"] = self.tracer.snapshot()
             return 200, snapshot
+        if path == "/v1/traces" or path.startswith("/v1/traces/"):
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            if path in ("/v1/traces", "/v1/traces/"):
+                return 200, {"traces": self.relay.trace_summaries()}
+            trace_id = path[len("/v1/traces/"):]
+            spans = self.relay.trace_spans(trace_id)
+            if not spans:
+                raise _HttpError(404, f"unknown trace {trace_id!r}")
+            return 200, {"trace_id": trace_id, "spans": spans}
+        if path == "/v1/history":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            if self.history is None:
+                return 200, {"events": []}
+            loop = asyncio.get_running_loop()
+            return 200, await loop.run_in_executor(None, self._history_strip)
         if path == "/v1/metrics":
             if method != "GET":
                 raise _HttpError(405, "use GET")
@@ -954,7 +1024,7 @@ class NBSMTServer:
             if method != "POST":
                 raise _HttpError(405, "use POST")
             name = path[len("/v1/models/") : -len(":predict")]
-            return await self._predict(name, body, headers)
+            return await self._predict(name, body, headers, trace=trace)
         raise _HttpError(404, f"no route for {method} {path}")
 
     def connection_stats(self) -> dict:
@@ -968,6 +1038,23 @@ class NBSMTServer:
             "timed_out_reads": self.timed_out_reads,
             "timed_out_writes": self.timed_out_writes,
             "idempotent_replays": self.idempotent_replays,
+        }
+
+    def _history_strip(self) -> dict:
+        """Persisted-history replay (the dashboard's timeline strip).
+
+        Served off the event loop (ring replay reads files); bounded to
+        the newest window so the response stays dashboard-sized.
+        """
+        try:
+            events = self.history.load(compact=False)
+        except (OSError, ValueError):
+            events = []
+        return {
+            "events": [
+                {"type": event.type, "at": event.at, "data": event.data}
+                for event in events[-400:]
+            ]
         }
 
     def _merged_metrics(self) -> dict:
@@ -1039,6 +1126,27 @@ class NBSMTServer:
             "pacing_unit_s_per_image": self.pool.pacing_unit(name),
         }
 
+    def _apply_exemplar_policy(self, trace, status: int) -> None:
+        """Tail-sampling verdict for one finished request trace.
+
+        Sampled traces already published.  For unsampled ones: anything
+        interesting -- shed (429), expired (504), any other error -- is
+        retroactively kept (the budget-breach keep happens inside
+        ``_predict_once``, where the latency budget is known); a clean
+        fast response is discarded so the exemplar ring holds recent
+        *candidates*, not served history.
+        """
+        if trace is None or trace.sampled:
+            return
+        if status == 429:
+            self.tracer.keep(trace, "shed")
+        elif status == 504:
+            self.tracer.keep(trace, "expired")
+        elif status >= 400:
+            self.tracer.keep(trace, "error")
+        else:
+            self.tracer.discard(trace)
+
     def _shed_error(self, name: str, spec, message: str) -> _HttpError:
         """A 429 priced at the rung the retried request should expect.
 
@@ -1065,7 +1173,7 @@ class NBSMTServer:
             headers={"Retry-After": retry_after_header(retry_after_ms)},
         )
 
-    async def _predict(self, name: str, body: bytes, headers=None):
+    async def _predict(self, name: str, body: bytes, headers=None, trace=None):
         """Predict with idempotency-key dedup in front of the data path.
 
         A request carrying ``X-Idempotency-Key`` never double-resolves: a
@@ -1076,7 +1184,7 @@ class NBSMTServer:
         """
         key = (headers or {}).get(IDEMPOTENCY_HEADER)
         if not key or not self._idempotency_cache:
-            return await self._predict_once(name, body, headers)
+            return await self._predict_once(name, body, headers, trace=trace)
         entry = self._idempotency.get(key)
         if entry is not None:
             if isinstance(entry, asyncio.Future):
@@ -1094,7 +1202,9 @@ class NBSMTServer:
         self._idempotency[key] = future
         error: _HttpError | None = None
         try:
-            status, payload = await self._predict_once(name, body, headers)
+            status, payload = await self._predict_once(
+                name, body, headers, trace=trace
+            )
         except _HttpError as exc:
             error = exc
             status, payload = exc.status, exc.body()
@@ -1124,7 +1234,8 @@ class NBSMTServer:
             extra={"late_by_ms": late_ms},
         )
 
-    async def _predict_once(self, name: str, body: bytes, headers=None):
+    async def _predict_once(self, name: str, body: bytes, headers=None,
+                            trace=None):
         if self._stopped or self._draining:
             raise _HttpError(503, "server is draining")
         try:
@@ -1172,7 +1283,17 @@ class NBSMTServer:
             admission.note_expired_arrival(images)
             endpoint_metrics.record_expiry(images)
             raise self._deadline_error(deadline)
+        admission_span = (
+            self.tracer.start_span(
+                trace, "admission", endpoint=name, images=images,
+                pressure=admission.pressure,
+            )
+            if trace is not None
+            else None
+        )
         if not admission.try_admit(images):
+            if admission_span is not None:
+                admission_span.finish(status="shed")
             endpoint_metrics.record_rejection(images)
             raise self._shed_error(
                 name,
@@ -1180,10 +1301,12 @@ class NBSMTServer:
                 f"endpoint {name!r} is saturated "
                 f"({admission.in_flight}/{admission.capacity} images in flight)",
             )
+        if admission_span is not None:
+            admission_span.finish()
         started = self.clock()
         try:
             future = self.batchers[name].submit(
-                inputs, size=images, deadline=deadline
+                inputs, size=images, deadline=deadline, trace=trace
             )
             logits, level = await asyncio.wrap_future(future)
         except QueueFull as exc:
@@ -1201,7 +1324,17 @@ class NBSMTServer:
             admission.release(images)
         latency = self.clock() - started
         endpoint_metrics.record_request(latency, images)
-        return 200, {
+        if (
+            trace is not None
+            and not trace.sampled
+            and (spec.latency_budget_ms or 0) > 0
+            and latency * 1000.0 > spec.latency_budget_ms
+        ):
+            # Always-sample exemplar: a budget-breaching request is kept
+            # no matter the head-sampling verdict, so the dashboard's p99
+            # meter has concrete slow traces behind it.
+            self.tracer.keep(trace, "budget_breach")
+        response = {
             "model": spec.zoo_model,
             "endpoint": name,
             "batch": images,
@@ -1212,6 +1345,9 @@ class NBSMTServer:
             # controller it may differ from the rung that admitted it.
             "operating_point": level,
         }
+        if trace is not None:
+            response["trace_id"] = trace.trace_id
+        return 200, response
 
 
 def run_server(**kwargs) -> None:

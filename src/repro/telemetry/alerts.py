@@ -65,6 +65,12 @@ HISTORY_ROTATE_BYTES = 512 * 1024
 #: Name of the engine-state document inside the history directory.
 STATE_DOCUMENT = "alerts-state.json"
 
+#: Name of the silence-window document inside the history directory.
+#: Kept separate from the engine state so `repro.cli alerts --silence`
+#: (a different process) and the live engine never clobber each other's
+#: writes: the CLI touches only this document, the engine re-reads it.
+SILENCE_DOCUMENT = "alerts-silences.json"
+
 
 def _lookup(data: dict, path: str):
     """Resolve a (possibly dotted) field path inside an event payload."""
@@ -198,6 +204,50 @@ class AlertRule:
         kwargs = dict(document)
         if "key_fields" in kwargs:
             kwargs["key_fields"] = tuple(kwargs["key_fields"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SinkRoute:
+    """One sink-selection route: which named sinks receive which alerts.
+
+    Routes are checked in declaration order; the first match decides the
+    alert's sinks (an empty ``sinks`` tuple means bus-only -- lifecycle
+    events still publish, no external sink fires).  An alert matching no
+    route goes to every sink, so adding a narrow route for one noisy
+    rule never silences the rest.
+    """
+
+    #: Rule-name pattern (:mod:`fnmatch` glob; ``*`` matches every rule).
+    rule: str = "*"
+    #: Only match alerts of this severity (None = any severity).
+    severity: str | None = None
+    #: Names of the sinks that receive matching alerts ("" tuple = bus-only).
+    sinks: tuple = ()
+
+    def matches(self, alert: dict) -> bool:
+        from fnmatch import fnmatch
+
+        if not fnmatch(str(alert.get("rule", "")), self.rule):
+            return False
+        return self.severity is None or alert.get("severity") == self.severity
+
+    def describe(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "sinks": list(self.sinks),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "SinkRoute":
+        known = {"rule", "severity", "sinks"}
+        unknown = set(document) - known
+        if unknown:
+            raise ValueError(f"unknown sink route fields: {sorted(unknown)}")
+        kwargs = dict(document)
+        if "sinks" in kwargs:
+            kwargs["sinks"] = tuple(kwargs["sinks"])
         return cls(**kwargs)
 
 
@@ -365,6 +415,7 @@ class AlertEngine:
         history: int = 256,
         sinks=(),
         store: "AlertHistoryStore | None" = None,
+        routes=None,
     ):
         self.rules = list(default_rules() if rules is None else rules)
         self._publish = publish
@@ -372,8 +423,30 @@ class AlertEngine:
         self._lock = threading.Lock()
         self._states: dict[tuple[str, str], _RuleState] = {}
         self._history: deque[dict] = deque(maxlen=max(1, int(history)))
-        self._sinks = list(sinks)
+        # Sinks are named so routes can select them; a plain iterable
+        # (the historical form) auto-names entries -- a WebhookSink gets
+        # "webhook", everything else "sink<N>".
+        self._sinks: dict[str, object] = {}
+        if isinstance(sinks, dict):
+            for name, sink in sinks.items():
+                self._sinks[str(name)] = sink
+        else:
+            for index, sink in enumerate(sinks):
+                if isinstance(sink, WebhookSink) and "webhook" not in self._sinks:
+                    self._sinks["webhook"] = sink
+                else:
+                    self._sinks[f"sink{index}"] = sink
+        self.routes = [
+            route if isinstance(route, SinkRoute) else SinkRoute.from_dict(route)
+            for route in (routes or [])
+        ]
         self._store = store
+        #: Silence windows: rule name -> wall-clock deadline.  Wall time
+        #: because the window is operator-facing and crosses processes
+        #: (`repro.cli alerts --silence` writes it from another process).
+        self._silences: dict[str, float] = {}
+        self._silences_refreshed = float("-inf")
+        self.silenced_total = 0
         self.fired_total = 0
         self.resolved_total = 0
         self._by_type: dict[str, list[AlertRule]] = {}
@@ -388,11 +461,17 @@ class AlertEngine:
             if state:
                 self.fired_total = int(state.get("fired_total", 0))
                 self.resolved_total = int(state.get("resolved_total", 0))
+            self._silences = store.load_silences()
+            self._silences_refreshed = time.monotonic()
 
     # -- wiring ------------------------------------------------------------
-    def add_sink(self, sink) -> None:
+    def add_sink(self, sink, name: str | None = None) -> None:
         with self._lock:
-            self._sinks.append(sink)
+            if name is None:
+                name = f"sink{len(self._sinks)}"
+                while name in self._sinks:
+                    name += "_"
+            self._sinks[str(name)] = sink
 
     def add_rule(self, rule: AlertRule) -> None:
         with self._lock:
@@ -426,18 +505,82 @@ class AlertEngine:
                 if action is None:
                     continue
                 alert = self._build_alert(rule, key, state, value, event, now)
+                if self._is_silenced(rule.name):
+                    # The state machine still advances (a silence window
+                    # must not replay missed transitions when it lapses),
+                    # but nothing is published or sunk.
+                    alert["silenced"] = True
+                    self.silenced_total += 1
                 self._history.append(alert)
                 if action == "fire":
                     self.fired_total += 1
                 else:
                     self.resolved_total += 1
                 emitted.append(alert)
-            sinks = list(self._sinks)
         # Publish/sink outside the lock: publishing re-enters consume()
         # through relays, and sinks are arbitrary user code.
         for alert in emitted:
-            self._emit(alert, sinks)
+            if not alert.get("silenced"):
+                self._emit(alert, self._sinks_for(alert))
         return emitted
+
+    def _sinks_for(self, alert: dict) -> list:
+        """The sinks this alert routes to (first matching route wins)."""
+        with self._lock:
+            for route in self.routes:
+                if route.matches(alert):
+                    return [
+                        self._sinks[name]
+                        for name in route.sinks
+                        if name in self._sinks
+                    ]
+            return list(self._sinks.values())
+
+    # -- silencing ---------------------------------------------------------
+    def _is_silenced(self, rule_name: str) -> bool:
+        """Silence check (lock held); re-reads the shared document ~1/s."""
+        now_mono = time.monotonic()
+        if (
+            self._store is not None
+            and now_mono - self._silences_refreshed >= 1.0
+        ):
+            self._silences_refreshed = now_mono
+            try:
+                self._silences = self._store.load_silences()
+            except (OSError, ValueError):  # pragma: no cover - dir torn down
+                pass
+        deadline = self._silences.get(rule_name)
+        if deadline is None:
+            return False
+        if time.time() >= deadline:
+            self._silences.pop(rule_name, None)
+            return False
+        return True
+
+    def silence(self, rule_name: str, duration_s: float) -> float:
+        """Silence one rule for ``duration_s`` seconds; returns the deadline.
+
+        Persisted through the history store (when attached), so a CLI
+        process silencing a rule reaches every engine sharing the
+        directory within its ~1s refresh.
+        """
+        deadline = time.time() + max(0.0, float(duration_s))
+        with self._lock:
+            self._silences[str(rule_name)] = deadline
+            if self._store is not None:
+                self._store.save_silences(self._silences)
+        return deadline
+
+    def silences(self) -> dict[str, float]:
+        """Active silence windows (rule -> wall deadline), pruned."""
+        now = time.time()
+        with self._lock:
+            self._silences = {
+                rule: deadline
+                for rule, deadline in self._silences.items()
+                if deadline > now
+            }
+            return dict(self._silences)
 
     def _build_alert(
         self, rule: AlertRule, key: str, state: _RuleState,
@@ -524,13 +667,17 @@ class AlertEngine:
 
     def snapshot(self) -> dict:
         active = self.active()
+        silences = self.silences()
         with self._lock:
             return {
                 "rules": [rule.describe() for rule in self.rules],
+                "routes": [route.describe() for route in self.routes],
                 "active": active,
                 "recent": list(self._history)[-32:],
                 "fired_total": self.fired_total,
                 "resolved_total": self.resolved_total,
+                "silenced_total": self.silenced_total,
+                "silences": silences,
             }
 
 
@@ -737,6 +884,42 @@ class AlertHistoryStore:
 
     def load_state(self) -> dict | None:
         return self._documents.get(STATE_DOCUMENT)
+
+    # -- silence document --------------------------------------------------
+    def save_silences(self, silences: dict) -> None:
+        """Persist silence windows, merged with what is already on disk.
+
+        Merge (max deadline wins) rather than overwrite: the live engine
+        and a `repro.cli alerts --silence` process write concurrently,
+        and neither may shorten a window the other just extended.
+        """
+        merged = self.load_silences()
+        now = time.time()
+        for rule, deadline in silences.items():
+            deadline = float(deadline)
+            if deadline > now:
+                merged[str(rule)] = max(merged.get(str(rule), 0.0), deadline)
+        try:
+            self._documents.put(SILENCE_DOCUMENT, {"silences": merged})
+        except OSError:  # pragma: no cover - dir torn down
+            pass
+
+    def load_silences(self) -> dict[str, float]:
+        """Unexpired silence windows from the shared document."""
+        try:
+            document = self._documents.get(SILENCE_DOCUMENT)
+        except (OSError, ValueError):
+            return {}
+        silences = (document or {}).get("silences")
+        if not isinstance(silences, dict):
+            return {}
+        now = time.time()
+        result = {}
+        for rule, deadline in silences.items():
+            value = _as_float(deadline)
+            if value is not None and value > now:
+                result[str(rule)] = value
+        return result
 
     def stats(self) -> dict:
         return {"writer": self._writer.stats()}

@@ -172,6 +172,14 @@ class EventRelay:
                 pass
         return cumulative
 
+    def trace_summaries(self, limit: int = 32) -> list[dict]:
+        """Newest-first summaries of the traces folded so far."""
+        return self.aggregator.trace_summaries(limit=limit)
+
+    def trace_spans(self, trace_id: str) -> list[dict]:
+        """One trace's spans (deduped, start-ordered); [] when unknown."""
+        return self.aggregator.trace_spans(trace_id)
+
     def snapshot(self) -> dict:
         snapshot = self.aggregator.snapshot()
         if self.follower is not None:
@@ -307,11 +315,23 @@ td { padding: 3px 8px 3px 0; border-bottom: 1px solid var(--grid);
   font-size: 10px; text-align: center; overflow: hidden;
   border-right: 2px solid var(--surface-1); }
 .tl-label { font-size: 11px; color: var(--muted); }
-#log { background: var(--surface-1); border: 1px solid var(--border);
+#log, #history-strip { background: var(--surface-1);
+  border: 1px solid var(--border);
   border-radius: 8px; padding: 8px 12px; max-height: 260px; overflow: auto;
   font: 11px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
   color: var(--text-secondary); }
-#log .t { color: var(--muted); }
+#log .t, #history-strip .t { color: var(--muted); }
+.wf-row { display: flex; align-items: center; gap: 8px; font-size: 11px; }
+.wf-name { width: 160px; overflow: hidden; text-overflow: ellipsis;
+  white-space: nowrap; font-family: ui-monospace, Menlo, monospace; }
+.wf-track { position: relative; flex: 1; height: 12px;
+  background: var(--grid); border-radius: 3px; overflow: hidden; }
+.wf-bar { position: absolute; top: 1px; bottom: 1px; border-radius: 2px;
+  background: var(--rung-2); min-width: 2px; }
+.wf-bar.err { background: var(--critical); }
+.wf-ms { width: 72px; text-align: right; font-size: 11px;
+  color: var(--muted); font-variant-numeric: tabular-nums; }
+.trace-link { cursor: pointer; text-decoration: underline dotted; }
 .dot { display: inline-block; width: 8px; height: 8px; border-radius: 2px;
   margin-right: 6px; vertical-align: baseline; }
 </style>
@@ -347,9 +367,25 @@ td { padding: 3px 8px 3px 0; border-bottom: 1px solid var(--grid);
     </div>
     <div id="al-list" style="margin-top:10px"></div>
   </div>
+  <div class="card" id="traces-card">
+    <h2>Traces</h2>
+    <div class="tiles">
+      <div class="tile"><div class="v" id="tr-count">&ndash;</div>
+        <div class="l">recent traces</div></div>
+      <div class="tile"><div class="v" id="tr-spans">&ndash;</div>
+        <div class="l">spans seen</div></div>
+    </div>
+    <div id="tr-list" style="margin-top:10px"></div>
+    <div id="tr-waterfall" style="margin-top:10px"></div>
+  </div>
 </div>
 
 <div class="cards" id="endpoints"></div>
+
+<div class="card" style="margin-bottom:16px" id="history-card" hidden>
+  <h2>History</h2>
+  <div id="history-strip"></div>
+</div>
 
 <div class="card" style="margin-bottom:16px">
   <h2>Event log</h2>
@@ -401,15 +437,22 @@ function renderSweep(sw) {
   document.getElementById("sw-models").innerHTML = html + "</table>";
 }
 
+// Seconds of timeline history shown; ?window=N overrides the default.
+const WINDOW_S = Math.max(
+  10, Number(new URLSearchParams(location.search).get("window")) || 120);
+
 function timelineHtml(segments, now) {
-  const SPAN = 120;  // seconds of history shown
-  const t0 = now - SPAN;
+  const t0 = now - WINDOW_S;
   let html = '<div class="timeline">';
   for (const seg of segments) {
     const until = seg.until === null ? now : seg.until;
     if (until < t0) continue;
-    const left = Math.max(0, (seg.since - t0) / SPAN * 100);
-    const width = Math.max(0.5, (until - Math.max(seg.since, t0)) / SPAN * 100);
+    // Clamp a segment that predates the window to its left edge *before*
+    // deriving geometry, so width and position stay consistent instead of
+    // relying on pixel clamping alone.
+    const since = Math.max(seg.since, t0);
+    const left = (since - t0) / WINDOW_S * 100;
+    const width = Math.max(0.5, (until - since) / WINDOW_S * 100);
     const title = "rung " + seg.level +
       (seg.reason ? " \\u2014 " + esc(seg.reason) : "");
     html += '<div class="seg" style="left:' + left + "%;width:" + width +
@@ -456,7 +499,7 @@ function renderEndpoints(endpoints, coordinator, now) {
     const shards = Object.keys(timelines).sort();
     if (shards.length) {
       html += '<div style="margin-top:8px" class="tl-label">rung timeline ' +
-        "(last 120s)" +
+        "(last " + WINDOW_S + "s)" +
         (rec ? " \\u2014 coordinator recommends rung " + rec.level : "") +
         "</div>";
       for (const shard of shards) {
@@ -490,11 +533,111 @@ function renderAlerts(al) {
   document.getElementById("al-list").innerHTML = html + "</table>";
 }
 
+function waterfallHtml(spans) {
+  const byId = {};
+  for (const s of spans) byId[s.span_id] = s;
+  const depthOf = (span) => {
+    let depth = 0, parent = span.parent_id;
+    const seen = new Set();
+    while (parent && byId[parent] && !seen.has(parent)) {
+      seen.add(parent);
+      depth += 1;
+      parent = byId[parent].parent_id;
+    }
+    return depth;
+  };
+  const t0 = Math.min(...spans.map((s) => s.start));
+  const t1 = Math.max(...spans.map((s) => s.start + s.duration_ms / 1000));
+  const total = Math.max(1e-6, t1 - t0);
+  let html = "";
+  for (const s of spans) {
+    const left = (s.start - t0) / total * 100;
+    const width = Math.max(0.4, (s.duration_ms / 1000) / total * 100);
+    const bad = s.status && s.status !== "ok";
+    const mark = (s.exemplar ? " [" + esc(s.exemplar) + "]" : "") +
+      (s.orphan ? " [orphan]" : "");
+    html += '<div class="wf-row">' +
+      '<div class="wf-name" style="padding-left:' + depthOf(s) * 10 +
+      'px" title="' + esc(s.name) + '">' + esc(s.name) + mark + "</div>" +
+      '<div class="wf-track"><div class="wf-bar' + (bad ? " err" : "") +
+      '" style="left:' + left + "%;width:" + width + '%" title="' +
+      esc(s.name) + " " + fmt(s.duration_ms, 2) + ' ms"></div></div>' +
+      '<div class="wf-ms">' + fmt(s.duration_ms, 2) + " ms</div></div>";
+  }
+  return html;
+}
+
+async function showWaterfall(traceId) {
+  try {
+    const response = await fetch("/v1/traces/" + encodeURIComponent(traceId));
+    if (!response.ok) return;
+    const payload = await response.json();
+    const spans = payload.spans || [];
+    if (!spans.length) return;
+    document.getElementById("tr-waterfall").innerHTML =
+      '<div class="tl-label">trace ' + esc(traceId) + "</div>" +
+      waterfallHtml(spans);
+  } catch (error) { /* trace aged out of the fold */ }
+}
+
+function renderTraces(traces) {
+  document.getElementById("tr-count").textContent = traces.length;
+  if (!traces.length) {
+    document.getElementById("tr-list").innerHTML =
+      '<span class="tl-label">no traces yet</span>';
+    return;
+  }
+  let html = "<table><tr><th>trace</th><th>root</th><th>ms</th>" +
+    "<th>spans</th><th>status</th></tr>";
+  for (const t of traces.slice(0, 8)) {
+    const mark = t.exemplar ? " [" + esc(t.exemplar) + "]" : "";
+    html += '<tr><td class="trace-link" data-trace="' + esc(t.trace_id) +
+      '">' + esc(t.trace_id) + "</td><td>" + esc(t.root || "?") +
+      "</td><td>" + fmt(t.duration_ms, 2) + "</td><td>" + t.spans +
+      "</td><td>" + esc(t.status || "") + mark + "</td></tr>";
+  }
+  document.getElementById("tr-list").innerHTML = html + "</table>";
+  for (const cell of document.querySelectorAll("#tr-list .trace-link")) {
+    cell.onclick = () => showWaterfall(cell.dataset.trace);
+  }
+}
+
+async function refreshTraces() {
+  try {
+    const response = await fetch("/v1/traces");
+    if (!response.ok) return;
+    const payload = await response.json();
+    renderTraces(payload.traces || []);
+  } catch (error) { /* front-end without tracing; card stays empty */ }
+}
+
+async function refreshHistory() {
+  try {
+    const response = await fetch("/v1/history");
+    if (!response.ok) return;
+    const payload = await response.json();
+    const events = payload.events || [];
+    if (!events.length) return;
+    document.getElementById("history-card").hidden = false;
+    let html = "";
+    for (const ev of events.slice(-80).reverse()) {
+      const when = new Date(ev.at * 1000).toLocaleTimeString();
+      html += '<div><span class="t">' + esc(when) + "</span> " +
+        esc(ev.type) + " " + esc(JSON.stringify(ev.data)) + "</div>";
+    }
+    document.getElementById("history-strip").innerHTML = html;
+  } catch (error) { /* no persisted history behind this server */ }
+}
+
 function render() {
   if (!state) return;
   renderSweep(state.sweep || {});
   renderAlerts(state.alerts);
   renderEndpoints(state.endpoints, state.coordinator, state.at);
+  const traces = state.traces || (state.tracing ? state.tracing : null);
+  if (traces && traces.spans_seen !== undefined) {
+    document.getElementById("tr-spans").textContent = traces.spans_seen;
+  }
   document.getElementById("status").textContent =
     "live \\u2014 " + state.events_seen + " events seen";
 }
@@ -519,7 +662,7 @@ source.onmessage = () => {};
 for (const type of ["sweep_started", "sweep_finished", "point_started",
                     "point_finished", "point_failed", "worker_started",
                     "worker_exited", "endpoint_health", "rung_transition",
-                    "shed", "replica_respawn",
+                    "shed", "replica_respawn", "span",
                     "coordinator_recommendation", "alert_fired",
                     "alert_resolved", "probe_result", "spool_health"]) {
   source.addEventListener(type, (message) => {
@@ -537,7 +680,11 @@ async function refresh() {
   } catch (error) { /* server away; EventSource drives the status line */ }
 }
 refresh();
+refreshTraces();
+refreshHistory();
 setInterval(refresh, 2000);
+setInterval(refreshTraces, 3000);
+setInterval(refreshHistory, 5000);
 </script>
 </body>
 </html>
@@ -627,6 +774,24 @@ class DashboardServer:
             elif path == "/v1/telemetry":
                 body = json.dumps(self.relay.snapshot()).encode("utf-8")
                 await self._respond(writer, 200, body, "application/json")
+            elif path == "/v1/traces":
+                body = json.dumps(
+                    {"traces": self.relay.trace_summaries()}
+                ).encode("utf-8")
+                await self._respond(writer, 200, body, "application/json")
+            elif path.startswith("/v1/traces/"):
+                trace_id = path.rsplit("/", 1)[1]
+                spans = self.relay.trace_spans(trace_id)
+                if not spans:
+                    await self._respond(
+                        writer, 404, b'{"error":"unknown trace"}',
+                        "application/json",
+                    )
+                else:
+                    body = json.dumps(
+                        {"trace_id": trace_id, "spans": spans}
+                    ).encode("utf-8")
+                    await self._respond(writer, 200, body, "application/json")
             elif path == "/healthz":
                 await self._respond(
                     writer, 200, b'{"status":"ok"}', "application/json"

@@ -395,6 +395,14 @@ class TelemetryAggregator:
         self._alerts_recent: deque[dict] = deque(maxlen=64)
         self.alerts_fired = 0
         self.alerts_resolved = 0
+        #: Span trees folded from ``span`` events, keyed by trace id.
+        #: Bounded both ways: oldest trace evicted past ``max_traces``,
+        #: and a runaway trace stops accumulating past
+        #: ``max_spans_per_trace`` (the count still ticks).
+        self._traces: "OrderedDict[str, list[dict]]" = OrderedDict()
+        self.max_traces = 64
+        self.max_spans_per_trace = 256
+        self.spans_seen = 0
 
     def endpoint(self, name: str) -> _EndpointState:
         state = self.endpoints.get(name)
@@ -565,6 +573,49 @@ class TelemetryAggregator:
         self._alerts_recent.append(entry)
         self.alerts_resolved += 1
 
+    # request tracing
+    def _on_span(self, event) -> None:
+        trace_id = event.data.get("trace_id")
+        if not trace_id:
+            return
+        self.spans_seen += 1
+        spans = self._traces.get(trace_id)
+        if spans is None:
+            spans = self._traces[trace_id] = []
+        else:
+            # A trace receiving spans is live; keep it away from eviction.
+            self._traces.move_to_end(trace_id)
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        if len(spans) < self.max_spans_per_trace:
+            spans.append(dict(event.data))
+
+    def trace_summaries(self, limit: int = 32) -> list[dict]:
+        """Newest-first one-line summaries of the folded traces."""
+        # Imported lazily, same cycle-avoidance as merge_latency_payloads.
+        from repro.telemetry.tracing import group_spans, summarize_trace
+
+        with self._lock:
+            traces = [
+                (trace_id, list(spans))
+                for trace_id, spans in self._traces.items()
+            ]
+        summaries = [
+            summarize_trace(trace_id, group_spans(spans).get(trace_id, []))
+            for trace_id, spans in traces
+        ]
+        summaries.sort(key=lambda s: s.get("start") or 0.0, reverse=True)
+        return summaries[: max(0, int(limit))]
+
+    def trace_spans(self, trace_id: str) -> list[dict]:
+        """All folded spans of one trace (deduped, start-ordered)."""
+        from repro.telemetry.tracing import group_spans
+
+        trace_id = str(trace_id).strip().lower()
+        with self._lock:
+            spans = list(self._traces.get(trace_id, []))
+        return group_spans(spans).get(trace_id, [])
+
     def _on_coordinator_recommendation(self, event) -> None:
         name = event.data.get("endpoint", "?")
         self.coordinator[name] = {
@@ -596,5 +647,9 @@ class TelemetryAggregator:
                     "recent": [dict(entry) for entry in self._alerts_recent],
                     "fired": self.alerts_fired,
                     "resolved": self.alerts_resolved,
+                },
+                "traces": {
+                    "spans_seen": self.spans_seen,
+                    "count": len(self._traces),
                 },
             }

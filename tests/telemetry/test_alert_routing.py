@@ -1,0 +1,219 @@
+"""Alert routing and silence windows (PR 10 satellites).
+
+Routing: named sinks, first-matching-route-wins, unmatched alerts go to
+*every* sink (a narrow route for one noisy rule never silences the
+rest).  Silencing: wall-clock windows shared through the history
+store's silence document, so `repro.cli alerts --silence` in one
+process reaches a live engine in another.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.telemetry.alerts import (
+    AlertEngine,
+    AlertHistoryStore,
+    AlertRule,
+    SinkRoute,
+)
+from repro.telemetry.bus import Event
+
+
+def event(type, at=0.0, source=None, seq=0, **data):
+    return Event(type, at=at, source=source or {"pid": 1}, seq=seq, data=data)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class RecordingSink:
+    def __init__(self):
+        self.alerts: list[dict] = []
+
+    def deliver(self, alert: dict) -> None:
+        self.alerts.append(alert)
+
+    __call__ = deliver
+
+
+def _rule(name, severity="warning", **overrides):
+    params = dict(
+        name=name, field="pressure", threshold=0.9, clear_threshold=0.5,
+        for_s=0.0, clear_for_s=0.0, cooldown_s=0.0, severity=severity,
+    )
+    params.update(overrides)
+    return AlertRule(**params)
+
+
+def _fire(engine, clock, rule_field="pressure", value=0.95, at=1.0):
+    clock.now = at
+    return engine.consume(event("endpoint_health", endpoint="e",
+                                **{rule_field: value}))
+
+
+# -- SinkRoute -------------------------------------------------------------
+
+def test_route_matching_by_glob_and_severity():
+    route = SinkRoute(rule="replica_*", severity="critical", sinks=("pager",))
+    assert route.matches({"rule": "replica_loss", "severity": "critical"})
+    assert not route.matches({"rule": "replica_loss", "severity": "warning"})
+    assert not route.matches({"rule": "overload", "severity": "critical"})
+    assert SinkRoute().matches({"rule": "anything", "severity": "info"})
+
+
+def test_route_from_dict_rejects_unknown_fields():
+    route = SinkRoute.from_dict(
+        {"rule": "overload", "sinks": ["webhook", "log"]}
+    )
+    assert route.sinks == ("webhook", "log")
+    assert route.describe()["sinks"] == ["webhook", "log"]
+    with pytest.raises(ValueError, match="unknown sink route fields"):
+        SinkRoute.from_dict({"rule": "x", "url": "http://nope"})
+
+
+# -- engine routing --------------------------------------------------------
+
+def test_first_matching_route_wins_and_unmatched_goes_everywhere():
+    pager, log = RecordingSink(), RecordingSink()
+    clock = FakeClock()
+    engine = AlertEngine(
+        [_rule("critical_rule", severity="critical"),
+         _rule("noisy_rule", severity="warning", field="queue_age")],
+        clock=clock,
+        sinks={"pager": pager, "log": log},
+        routes=[
+            {"rule": "critical_*", "sinks": ["pager", "log"]},
+            {"rule": "critical_*", "sinks": []},  # shadowed: first wins
+            {"rule": "noisy_*", "sinks": ["log"]},
+        ],
+    )
+    _fire(engine, clock)  # critical_rule -> both sinks
+    assert [a["rule"] for a in pager.alerts] == ["critical_rule"]
+    assert [a["rule"] for a in log.alerts] == ["critical_rule"]
+
+    _fire(engine, clock, rule_field="queue_age", at=2.0)  # noisy -> log only
+    assert [a["rule"] for a in pager.alerts] == ["critical_rule"]
+    assert [a["rule"] for a in log.alerts] == ["critical_rule", "noisy_rule"]
+
+
+def test_unrouted_alert_fans_out_to_all_sinks():
+    pager, log = RecordingSink(), RecordingSink()
+    clock = FakeClock()
+    engine = AlertEngine(
+        [_rule("overload")],
+        clock=clock,
+        sinks={"pager": pager, "log": log},
+        routes=[{"rule": "replica_*", "sinks": ["pager"]}],  # no match
+    )
+    _fire(engine, clock)
+    assert len(pager.alerts) == 1 and len(log.alerts) == 1
+
+
+def test_empty_sinks_route_is_bus_only():
+    published, sink = [], RecordingSink()
+    clock = FakeClock()
+    engine = AlertEngine(
+        [_rule("noisy")],
+        clock=clock,
+        publish=lambda type, **data: published.append((type, data)),
+        sinks={"webhook": sink},
+        routes=[{"rule": "noisy", "sinks": []}],
+    )
+    _fire(engine, clock)
+    assert sink.alerts == []  # sink suppressed...
+    assert [t for t, _ in published] == ["alert_fired"]  # ...bus still told
+
+
+def test_legacy_iterable_sinks_are_auto_named():
+    sink = RecordingSink()
+    clock = FakeClock()
+    engine = AlertEngine([_rule("overload")], clock=clock, sinks=[sink])
+    assert list(engine._sinks) == ["sink0"]  # named, so routes can target it
+    _fire(engine, clock)
+    assert len(sink.alerts) == 1
+
+
+# -- silence windows -------------------------------------------------------
+
+def test_silenced_rule_skips_sinks_but_keeps_state_and_history():
+    sink = RecordingSink()
+    published = []
+    clock = FakeClock()
+    engine = AlertEngine(
+        [_rule("overload")],
+        clock=clock,
+        publish=lambda type, **data: published.append(type),
+        sinks={"log": sink},
+    )
+    engine.silence("overload", 60.0)
+    fired = _fire(engine, clock)
+    assert [a["silenced"] for a in fired] == [True]
+    assert sink.alerts == [] and published == []
+    # The state machine advanced: the rule is genuinely firing.
+    assert engine.fired_total == 1 and engine.silenced_total == 1
+    assert [a["rule"] for a in engine.active()] == ["overload"]
+    assert engine.history()[-1]["silenced"] is True
+
+    # Resolution during the window is silenced too; after it lapses,
+    # a fresh fire reaches the sink again.
+    clock.now = 2.0
+    engine.consume(event("endpoint_health", endpoint="e", pressure=0.1))
+    engine._silences.clear()  # the window lapses
+    clock.now = 3.0
+    engine.consume(event("endpoint_health", endpoint="e", pressure=0.95))
+    assert [a["rule"] for a in sink.alerts] == ["overload"]
+
+
+def test_silences_snapshot_prunes_expired_windows():
+    engine = AlertEngine([_rule("overload")], clock=FakeClock())
+    deadline = engine.silence("overload", 30.0)
+    assert deadline == pytest.approx(time.time() + 30.0, abs=2.0)
+    assert "overload" in engine.silences()
+    assert engine.snapshot()["silences"]["overload"] == pytest.approx(
+        deadline
+    )
+    engine._silences["overload"] = time.time() - 1.0
+    assert engine.silences() == {}
+
+
+def test_silence_document_crosses_processes(tmp_path):
+    # Writer (the CLI's role) and a live engine share the directory.
+    writer_store = AlertHistoryStore(str(tmp_path))
+    writer_store.save_silences({"overload": time.time() + 60.0})
+
+    sink = RecordingSink()
+    clock = FakeClock()
+    engine_store = AlertHistoryStore(str(tmp_path))
+    engine = AlertEngine(
+        [_rule("overload")], clock=clock,
+        sinks={"log": sink}, store=engine_store,
+    )
+    try:
+        fired = _fire(engine, clock)
+        assert fired and fired[0].get("silenced") is True
+        assert sink.alerts == []
+    finally:
+        engine_store.close()
+        writer_store.close()
+
+
+def test_save_silences_merges_with_max_deadline(tmp_path):
+    store = AlertHistoryStore(str(tmp_path))
+    try:
+        near = time.time() + 10.0
+        far = time.time() + 100.0
+        store.save_silences({"overload": far, "stale": time.time() - 5.0})
+        store.save_silences({"overload": near})  # shorter must not clobber
+        loaded = store.load_silences()
+        assert loaded["overload"] == pytest.approx(far)
+        assert "stale" not in loaded
+    finally:
+        store.close()

@@ -1,0 +1,320 @@
+"""Tracing unit suite: sampling, the exemplar ring, span trees, persistence.
+
+The tracer's contract has three independently checkable pieces:
+
+* **Consistent head sampling** -- the verdict is a pure function of the
+  trace id and rate, so two processes (or machines) always agree.
+* **Exemplar policy** -- unsampled spans buffer in a bounded ring and
+  :meth:`Tracer.keep` retroactively publishes them (budget breaches,
+  expiries, sheds and errors are never lost to sampling).
+* **Span-tree utilities** -- grouping, summarizing and rendering must
+  survive duplicates, orphans and out-of-order arrival.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.tracing import (
+    SPAN_EVENT,
+    TraceContext,
+    TraceStore,
+    Tracer,
+    build_tree,
+    group_spans,
+    new_span_id,
+    new_trace_id,
+    render_waterfall,
+    sample_decision,
+    summarize_trace,
+)
+
+pytestmark = pytest.mark.trace
+
+
+class Collector:
+    """A stand-in for ``bus.publish`` that records span payloads."""
+
+    def __init__(self):
+        self.events: list[tuple[str, dict]] = []
+
+    def __call__(self, type: str, **data):
+        self.events.append((type, data))
+
+    @property
+    def spans(self) -> list[dict]:
+        return [data for type_, data in self.events if type_ == SPAN_EVENT]
+
+
+# -- sampling --------------------------------------------------------------
+
+def test_sample_decision_extremes():
+    for _ in range(32):
+        tid = new_trace_id()
+        assert sample_decision(tid, 1.0)
+        assert not sample_decision(tid, 0.0)
+
+
+def test_sample_decision_is_deterministic_and_monotone_in_rate():
+    # The same id gets the same verdict everywhere; raising the rate
+    # never un-samples a trace (an upstream's kept trace stays kept
+    # downstream at equal-or-higher rates).
+    for _ in range(64):
+        tid = new_trace_id()
+        verdicts = [sample_decision(tid, r) for r in (0.1, 0.3, 0.7, 0.9)]
+        assert verdicts == sorted(verdicts)  # False... then True...
+        assert sample_decision(tid, 0.5) == sample_decision(tid, 0.5)
+
+
+def test_sample_rate_is_roughly_honored():
+    kept = sum(sample_decision(new_trace_id(), 0.2) for _ in range(2000))
+    assert 250 < kept < 550  # ~400 expected; generous bounds
+
+
+def test_trace_honors_inbound_id_and_normalizes_case():
+    tracer = Tracer(publish=Collector(), sample_rate=1.0)
+    context = tracer.trace("  DEADBEEFCAFEBABE ")
+    assert context.trace_id == "deadbeefcafebabe"
+    assert tracer.trace(None).trace_id != tracer.trace(None).trace_id
+
+
+# -- span lifecycle --------------------------------------------------------
+
+def test_sampled_trace_publishes_immediately():
+    out = Collector()
+    tracer = Tracer(publish=out, sample_rate=1.0)
+    context = tracer.trace()
+    span = tracer.start_span(context, "request", root=True, endpoint="m")
+    child = tracer.start_span(span.child_context(), "admission")
+    child.finish()
+    span.finish()
+    assert [s["name"] for s in out.spans] == ["admission", "request"]
+    root = out.spans[1]
+    assert root["span_id"] == context.span_id
+    assert root["parent_id"] is None
+    assert root["endpoint"] == "m"
+    assert out.spans[0]["parent_id"] == context.span_id
+    assert tracer.published_spans == 2
+
+
+def test_span_finish_is_idempotent():
+    out = Collector()
+    tracer = Tracer(publish=out, sample_rate=1.0)
+    span = tracer.start_span(tracer.trace(), "request", root=True)
+    first = span.finish(status="ok")
+    assert span.finish(status="error") == {}
+    assert len(out.spans) == 1
+    assert first["status"] == "ok"
+
+
+def test_start_span_none_context_returns_none():
+    tracer = Tracer(publish=Collector(), sample_rate=1.0)
+    assert tracer.start_span(None, "request") is None
+    assert tracer.emit(None, "x", start=0.0, duration_s=0.0) == {}
+
+
+def test_emit_records_external_timing_under_the_context_span():
+    out = Collector()
+    tracer = Tracer(publish=out, sample_rate=1.0)
+    context = tracer.trace()
+    payload = tracer.emit(
+        context, "queue_wait", start=100.0, duration_s=0.25, batcher="b"
+    )
+    assert payload["parent_id"] == context.span_id
+    assert payload["duration_ms"] == pytest.approx(250.0)
+    assert out.spans[0]["batcher"] == "b"
+
+
+# -- exemplar policy -------------------------------------------------------
+
+def _unsampled(tracer: Tracer) -> TraceContext:
+    return TraceContext(new_trace_id(), new_span_id(), sampled=False)
+
+
+def test_unsampled_trace_buffers_until_kept():
+    out = Collector()
+    tracer = Tracer(publish=out, sample_rate=0.0)
+    context = _unsampled(tracer)
+    tracer.start_span(context, "request", root=True).finish()
+    tracer.emit(context, "queue_wait", start=1.0, duration_s=0.1)
+    assert out.spans == []
+    assert tracer.buffered_spans == 2
+
+    flushed = tracer.keep(context, "budget_breach")
+    assert flushed == 2
+    assert len(out.spans) == 2
+    assert all(s["exemplar"] == "budget_breach" for s in out.spans)
+    assert tracer.exemplars_kept == 1
+    assert tracer.buffered_spans == 0
+
+
+def test_late_spans_after_keep_publish_directly():
+    out = Collector()
+    tracer = Tracer(publish=out, sample_rate=0.0)
+    context = _unsampled(tracer)
+    tracer.keep(context, "expired")
+    tracer.emit(context, "batch", start=1.0, duration_s=0.2)
+    assert len(out.spans) == 1
+    assert out.spans[0]["exemplar"] == "expired"
+
+
+def test_keep_on_sampled_trace_is_a_noop():
+    out = Collector()
+    tracer = Tracer(publish=out, sample_rate=1.0)
+    context = tracer.trace()
+    tracer.start_span(context, "request", root=True).finish()
+    assert tracer.keep(context, "error") == 0
+    assert len(out.spans) == 1
+    assert "exemplar" not in out.spans[0]
+
+
+def test_discard_drops_the_buffer():
+    out = Collector()
+    tracer = Tracer(publish=out, sample_rate=0.0)
+    context = _unsampled(tracer)
+    tracer.emit(context, "batch", start=1.0, duration_s=0.1)
+    assert tracer.discard(context) == 1
+    assert tracer.keep(context, "late") == 0  # nothing left to flush
+    assert out.spans == []
+    assert tracer.buffered_spans == 0
+
+
+def test_exemplar_ring_evicts_oldest_traces():
+    tracer = Tracer(publish=Collector(), sample_rate=0.0, exemplar_traces=4)
+    contexts = [_unsampled(tracer) for _ in range(10)]
+    for context in contexts:
+        tracer.emit(context, "request", start=1.0, duration_s=0.1)
+    assert tracer.dropped_traces == 6
+    assert tracer.buffered_spans == 4
+    # The oldest were evicted: keeping them finds nothing.
+    assert tracer.keep(contexts[0], "x") == 0
+    assert tracer.keep(contexts[-1], "x") == 1
+
+
+def test_per_trace_span_cap():
+    tracer = Tracer(
+        publish=Collector(), sample_rate=0.0, max_spans_per_trace=8
+    )
+    context = _unsampled(tracer)
+    for index in range(20):
+        tracer.emit(context, f"s{index}", start=float(index), duration_s=0.0)
+    assert tracer.buffered_spans == 8
+
+
+def test_snapshot_counts():
+    tracer = Tracer(publish=Collector(), sample_rate=0.5)
+    context = _unsampled(tracer)
+    tracer.emit(context, "a", start=0.0, duration_s=0.0)
+    snap = tracer.snapshot()
+    assert snap["buffered_spans"] == 1
+    assert snap["buffered_traces"] == 1
+    assert snap["sample_rate"] == 0.5
+
+
+# -- span-tree utilities ---------------------------------------------------
+
+def _span(trace_id, span_id, parent_id, name, start, dur_ms=1.0, **extra):
+    return {
+        "trace_id": trace_id, "span_id": span_id, "parent_id": parent_id,
+        "name": name, "start": start, "duration_ms": dur_ms, "status": "ok",
+        **extra,
+    }
+
+
+def test_group_spans_dedups_and_sorts_by_start():
+    spans = [
+        _span("t1", "b", "a", "later", 5.0),
+        _span("t1", "a", None, "root", 1.0),
+        _span("t1", "b", "a", "later-duplicate", 5.0),
+        _span("t2", "c", None, "other", 2.0),
+    ]
+    grouped = group_spans(spans)
+    assert list(grouped) == ["t1", "t2"]
+    assert [s["name"] for s in grouped["t1"]] == ["root", "later"]
+    assert len(grouped["t1"]) == 2  # duplicate span id folded
+
+
+def test_group_spans_skips_malformed_payloads():
+    grouped = group_spans([
+        {"trace_id": "t", "name": "no-span-id"},
+        {"span_id": "s", "name": "no-trace-id"},
+    ])
+    assert grouped == {}
+
+
+def test_summarize_trace_picks_root_status_and_exemplar():
+    spans = [
+        _span("t", "a", None, "request", 1.0, 100.0, endpoint="m"),
+        _span("t", "b", "a", "batch", 1.01, 50.0, status="error"),
+        _span("t", "c", "b", "engine", 1.02, 40.0, exemplar="error"),
+    ]
+    summary = summarize_trace("t", spans)
+    assert summary["root"] == "request"
+    assert summary["endpoint"] == "m"
+    assert summary["status"] == "error"
+    assert summary["exemplar"] == "error"
+    assert summary["spans"] == 3
+    assert summary["duration_ms"] == pytest.approx(100.0)
+
+
+def test_build_tree_nests_and_promotes_orphans():
+    spans = [
+        _span("t", "a", None, "request", 1.0),
+        _span("t", "b", "a", "batch", 2.0),
+        _span("t", "c", "b", "engine", 3.0),
+        _span("t", "x", "missing", "stray", 4.0),
+    ]
+    roots = build_tree(spans)
+    assert [r["span"]["name"] for r in roots] == ["request", "stray"]
+    assert roots[1]["span"]["orphan"] is True
+    batch = roots[0]["children"][0]
+    assert batch["span"]["name"] == "batch"
+    assert batch["children"][0]["span"]["name"] == "engine"
+
+
+def test_render_waterfall_marks_status_exemplar_and_orphan():
+    spans = [
+        _span("t", "a", None, "request", 1.0, 10.0),
+        _span("t", "b", "a", "batch", 1.002, 5.0,
+              status="error", exemplar="shed"),
+        _span("t", "x", "missing", "stray", 1.004, 1.0),
+    ]
+    lines = render_waterfall(spans)
+    assert len(lines) == 3
+    assert "request" in lines[0]
+    assert "!error" in lines[1] and "[exemplar:shed]" in lines[1]
+    assert "[orphan]" in lines[2]
+    assert render_waterfall([]) == ["(no spans)"]
+
+
+# -- persistence -----------------------------------------------------------
+
+def test_trace_store_persists_only_span_events(tmp_path):
+    bus = TelemetryBus(role="test")
+    store = TraceStore(str(tmp_path))
+    bus.subscribe(callback=store.record)
+    tracer = Tracer(publish=bus.publish, sample_rate=1.0)
+    context = tracer.trace("feedc0defeedc0de")
+    root = tracer.start_span(context, "request", root=True)
+    tracer.emit(context, "queue_wait", start=1.0, duration_s=0.1)
+    root.finish()
+    bus.publish("endpoint_health", endpoint="m", dead_workers=0)
+    store.close()
+
+    replayed = TraceStore(str(tmp_path))
+    traces = replayed.load_traces(compact=False)
+    replayed.close()
+    assert list(traces) == ["feedc0defeedc0de"]
+    assert sorted(s["name"] for s in traces["feedc0defeedc0de"]) == [
+        "queue_wait", "request",
+    ]
+
+
+def test_trace_store_readonly_load_creates_no_files(tmp_path):
+    # The CLI constructs a TraceStore just to read -- inspection must
+    # never add a ring file to a live server's directory.
+    store = TraceStore(str(tmp_path))
+    assert store.load_traces(compact=False) == {}
+    store.close()
+    assert list(tmp_path.iterdir()) == []
